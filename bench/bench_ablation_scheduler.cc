@@ -1,0 +1,94 @@
+// Ablation: which of UniDrive's scheduling ingredients buys what?
+//
+// Sweeps the three mechanisms independently on the same simulated networks:
+//   OP  = data-block over-provisioning (extra parity to fast clouds)
+//   DYN = dynamic scheduling (fastest-first polling + straggler hedging)
+//   AF  = availability-first two-phase batch ordering
+// "none of the three" is exactly the paper's multi-cloud benchmark; "all
+// three" is UniDrive. Metrics: single 32 MB upload availability time and
+// download time (Virginia), and 50 x 1 MB end-to-end batch sync time
+// (Oregon -> Virginia).
+#include "bench_util.h"
+
+namespace unidrive::bench {
+namespace {
+
+constexpr std::uint64_t kBytes = 32 << 20;
+constexpr int kReps = 10;
+
+struct Config {
+  const char* name;
+  bool overprovision;
+  bool dynamic;
+  bool availability_first;
+};
+
+const Config kConfigs[] = {
+    {"none (benchmark)", false, false, false},
+    {"+OP only", true, false, false},
+    {"+DYN only", false, true, false},
+    {"+AF only", false, false, true},
+    {"+OP +DYN", true, true, false},
+    {"all (UniDrive)", true, true, true},
+};
+
+void run() {
+  std::printf("=== Ablation: over-provisioning / dynamic scheduling / "
+              "availability-first ===\n\n");
+  const auto virginia = sim::ec2_locations()[0];
+  const auto oregon = sim::ec2_locations()[1];
+
+  std::printf("%-18s %14s %14s %16s\n", "configuration", "32MB up (s)",
+              "32MB down (s)", "batch sync (s)");
+  print_rule(66);
+
+  for (const Config& config : kConfigs) {
+    Summary up, down, batch;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const std::uint64_t seed = 31000 + rep;
+      {
+        sim::SimEnv env(seed);
+        sim::CloudSet set = sim::make_cloud_set(env, virginia, seed);
+        UniDriveRunOptions options;
+        options.upload.overprovision = config.overprovision;
+        options.upload.availability_first = config.availability_first;
+        options.dynamic_polling = config.dynamic;
+        const UpDown r = unidrive_updown(env, set, kBytes, options);
+        up.add(r.up);
+        down.add(r.down);
+      }
+      if (rep < 3) {  // the e2e runs are heavier; fewer reps suffice
+        sim::SimEnv env(seed);
+        sim::CloudSet up_set = sim::make_cloud_set(env, oregon, seed);
+        sim::CloudSet down_set = sim::make_cloud_set(env, virginia, seed + 1);
+        sim::E2EConfig e2e;
+        e2e.num_files = 50;
+        e2e.file_size = 1 << 20;
+        e2e.upload_options.overprovision = config.overprovision;
+        e2e.upload_options.availability_first = config.availability_first;
+        e2e.run.dynamic_polling = config.dynamic;
+        const auto result = sim::run_unidrive_e2e(env, up_set, {&down_set}, e2e);
+        batch.add(result.batch_sync_time);
+      }
+    }
+    std::printf("%-18s %14s %14s %16s\n", config.name,
+                fmt(up.avg()).c_str(), fmt(down.avg()).c_str(),
+                fmt(batch.avg(), 0).c_str());
+  }
+
+  std::printf("\nReading: OP accelerates uploads (fast clouds absorb surplus "
+              "parity); DYN dominates downloads (fastest-first routing + "
+              "straggler hedging); AF reorders batches for early "
+              "availability. The knobs interact: AF publishes leaner block "
+              "maps at commit time, which only DYN-enabled downloaders "
+              "exploit well — neither mechanism is a free win alone, which "
+              "is the paper's point in shipping them as a suite.\n");
+}
+
+}  // namespace
+}  // namespace unidrive::bench
+
+int main() {
+  unidrive::bench::run();
+  return 0;
+}

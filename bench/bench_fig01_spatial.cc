@@ -1,0 +1,79 @@
+// Figure 1 — spatial dimension of the measurement study: average / min /
+// max time to upload and download an 8 MB file to each of the five CCSs
+// from 13 geographically distributed vantage points, sampled every 30
+// minutes for a (simulated) month.
+#include "bench_util.h"
+
+namespace unidrive::bench {
+namespace {
+
+constexpr std::uint64_t kBytes = 8 << 20;
+constexpr double kSampleInterval = 1800;
+constexpr int kDays = 30;
+
+void run() {
+  std::printf("=== Figure 1: 8 MB upload/download time across locations "
+              "(avg/min/max seconds, 1 month @ 30 min) ===\n");
+  const auto locations = sim::planetlab_locations();
+
+  for (const bool download : {false, true}) {
+    std::printf("\n--- %s ---\n", download ? "DOWNLOAD" : "UPLOAD");
+    std::printf("%-12s", "location");
+    for (std::size_t c = 0; c < sim::kNumClouds; ++c) {
+      std::printf(" %22s", sim::cloud_name(static_cast<sim::CloudKind>(c)));
+    }
+    std::printf("\n");
+    print_rule(12 + 23 * 5);
+
+    for (std::size_t li = 0; li < locations.size(); ++li) {
+      sim::SimEnv env(1000 + li);
+      sim::CloudSet set = sim::make_cloud_set(env, locations[li], 1000 + li);
+      std::vector<Summary> stats(sim::kNumClouds);
+
+      const int samples = kDays * 86400 / static_cast<int>(kSampleInterval);
+      for (int s = 0; s < samples; ++s) {
+        advance_to(env, s * kSampleInterval);
+        // Back-to-back measurements per cloud, like the measurement client.
+        for (std::size_t c = 0; c < sim::kNumClouds; ++c) {
+          stats[c].add(measure_raw(env, *set.clouds[c], kBytes, download));
+        }
+      }
+
+      std::printf("%-12s", locations[li].name.c_str());
+      for (std::size_t c = 0; c < sim::kNumClouds; ++c) {
+        std::printf(" %6s/%6s/%8s", fmt(stats[c].avg()).c_str(),
+                    fmt(stats[c].min()).c_str(), fmt(stats[c].max()).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Headline checks from the paper's text.
+  std::printf("\nPaper-shape checks:\n");
+  {
+    // Dropbox upload: Los Angeles vs Princeton ~2.76x.
+    Summary princeton, la;
+    for (const auto& [idx, out] :
+         std::vector<std::pair<std::size_t, Summary*>>{{0, &princeton},
+                                                       {1, &la}}) {
+      sim::SimEnv env(7 + idx);
+      sim::CloudSet set =
+          sim::make_cloud_set(env, sim::planetlab_locations()[idx], 7 + idx);
+      for (int s = 0; s < 200; ++s) {
+        advance_to(env, s * kSampleInterval);
+        out->add(measure_raw(env, *set.clouds[0], kBytes, false));
+      }
+    }
+    std::printf("  Dropbox 8MB upload LosAngeles/Princeton ratio: %s "
+                "(paper: ~2.76x)\n",
+                fmt(la.avg() / princeton.avg(), 2).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace unidrive::bench
+
+int main() {
+  unidrive::bench::run();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Figure 13 — effectiveness of Delta-sync: sync 1024 x 100 KB files one
+// after another and compare the gross metadata size (what a naive design
+// would re-upload per sync) against the actual Delta-sync traffic (delta
+// log appends, with the base re-uploaded only when the delta outgrows
+// lambda). Paper: average metadata per sync drops 74.7 KB -> 5.7 KB, a
+// 13.1x reduction, with sparse peaks at base folds.
+//
+// This bench uses the REAL metadata structures (SyncFolderImage, DeltaLog,
+// MetadataCodec) — no simulation.
+#include "bench_util.h"
+#include "metadata/codec.h"
+#include "metadata/delta.h"
+
+namespace unidrive::bench {
+namespace {
+
+constexpr std::size_t kNumFiles = 1024;
+constexpr std::uint64_t kFileSize = 100 << 10;
+
+metadata::FileSnapshot snapshot_for(std::size_t i) {
+  metadata::FileSnapshot snap;
+  snap.path = "/trial/file" + std::to_string(i);
+  snap.size = kFileSize;
+  snap.mtime = static_cast<double>(i) * 60;
+  snap.content_hash = "hash" + std::to_string(i);
+  snap.segment_ids = {"seg" + std::to_string(i)};
+  snap.origin_device = "oregon-node";
+  return snap;
+}
+
+metadata::SegmentInfo segment_for(std::size_t i) {
+  metadata::SegmentInfo seg;
+  seg.id = "seg" + std::to_string(i);
+  seg.size = kFileSize;
+  for (std::uint32_t b = 0; b < 5; ++b) {
+    seg.blocks.push_back({b, b % 5});
+  }
+  return seg;
+}
+
+void run() {
+  std::printf("=== Figure 13: Delta-sync metadata traffic, "
+              "1024 x 100 KB sequential syncs ===\n\n");
+  const metadata::MetadataCodec codec("bench-passphrase");
+  metadata::SyncFolderImage image;
+  metadata::DeltaLog delta;
+  metadata::DeltaPolicy policy;  // lambda = max(0.25 * base, 10 KB)
+
+  double gross_total = 0;     // naive: full metadata re-upload per sync
+  double delta_total = 0;     // Delta-sync: delta (or folded base) per sync
+  std::size_t folds = 0;
+  double base_size = 0;       // current encrypted base size
+  Summary gross_per_sync, delta_per_sync;
+  double peak_traffic = 0;
+
+  for (std::size_t i = 0; i < kNumFiles; ++i) {
+    // Apply the i-th file's commit.
+    metadata::CommitRecord record;
+    record.version = {"oregon-node", i + 1, static_cast<double>(i) * 60};
+    record.changes.push_back(
+        metadata::Change::upsert_segment(segment_for(i)));
+    record.changes.push_back(
+        metadata::Change::upsert_file(snapshot_for(i)));
+    for (const auto& change : record.changes) {
+      metadata::apply_change(image, change);
+    }
+    image.set_version(record.version);
+    delta.append(record);
+
+    const double gross =
+        static_cast<double>(codec.encode_image(image).size());
+    const double delta_bytes =
+        static_cast<double>(codec.encode_delta(delta).size());
+
+    double traffic;
+    if (policy.should_merge(static_cast<std::size_t>(base_size),
+                            static_cast<std::size_t>(delta_bytes)) ||
+        base_size == 0) {
+      // Fold: upload the new base, clear the delta (the sparse peaks).
+      traffic = gross;
+      base_size = gross;
+      delta.clear();
+      ++folds;
+    } else {
+      traffic = delta_bytes;
+    }
+    gross_total += gross;
+    delta_total += traffic;
+    gross_per_sync.add(gross);
+    delta_per_sync.add(traffic);
+    peak_traffic = std::max(peak_traffic, traffic);
+
+    if ((i + 1) % 128 == 0) {
+      std::printf("after %4zu files: metadata size %7.1f KB, "
+                  "this sync's traffic %7.1f KB\n",
+                  i + 1, gross / 1024.0, traffic / 1024.0);
+    }
+  }
+
+  std::printf("\n%-34s %14s\n", "metric", "value");
+  print_rule(50);
+  std::printf("%-34s %11.1f KB\n", "avg gross metadata per sync",
+              gross_per_sync.avg() / 1024.0);
+  std::printf("%-34s %11.1f KB\n", "avg Delta-sync traffic per sync",
+              delta_per_sync.avg() / 1024.0);
+  std::printf("%-34s %13.1fx\n", "reduction factor",
+              gross_per_sync.avg() / delta_per_sync.avg());
+  std::printf("%-34s %14zu\n", "base folds (sparse peaks)", folds);
+  std::printf("%-34s %11.1f KB\n", "largest single sync (peak)",
+              peak_traffic / 1024.0);
+  std::printf("\nPaper: 74.7 KB -> 5.7 KB per sync, 13.1x reduction, with "
+              "sparse peaks at base folds.\n");
+}
+
+}  // namespace
+}  // namespace unidrive::bench
+
+int main() {
+  unidrive::bench::run();
+  return 0;
+}

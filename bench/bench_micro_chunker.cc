@@ -1,0 +1,36 @@
+// Microbenchmarks: content-defined chunking and the UniDrive segmenter.
+#include <benchmark/benchmark.h>
+
+#include "chunker/cdc.h"
+#include "chunker/segmenter.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace unidrive;
+
+void BM_CdcSplit(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  chunker::CdcParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chunker::cdc_split(ByteSpan(data), params));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CdcSplit)->Arg(1 << 20)->Arg(16 << 20);
+
+void BM_SegmentFile(benchmark::State& state) {
+  Rng rng(2);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  chunker::SegmenterParams params;  // theta = 4 MB
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chunker::segment_file(ByteSpan(data), params));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SegmentFile)->Arg(4 << 20)->Arg(32 << 20);
+
+}  // namespace

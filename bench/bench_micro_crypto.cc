@@ -1,0 +1,74 @@
+// Microbenchmarks: hashing and encryption primitives on the metadata path.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/crc32.h"
+#include "crypto/des.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace {
+
+using namespace unidrive;
+
+void BM_Sha1(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha1::hash(ByteSpan(data)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(1 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(2);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(ByteSpan(data)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_Crc32(benchmark::State& state) {
+  Rng rng(3);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::crc32(ByteSpan(data)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_DesCbcEncrypt(benchmark::State& state) {
+  Rng rng(4);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const auto key = crypto::des_key_from_passphrase("bench");
+  crypto::Des::Block iv{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::des_cbc_encrypt(key, ByteSpan(data), iv));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DesCbcEncrypt)->Arg(4 << 10)->Arg(64 << 10);
+
+void BM_DesCbcDecrypt(benchmark::State& state) {
+  Rng rng(5);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const auto key = crypto::des_key_from_passphrase("bench");
+  crypto::Des::Block iv{};
+  const Bytes cipher = crypto::des_cbc_encrypt(key, ByteSpan(data), iv);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::des_cbc_decrypt(key, ByteSpan(cipher)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DesCbcDecrypt)->Arg(4 << 10)->Arg(64 << 10);
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Microbenchmarks: Reed-Solomon coding throughput for UniDrive's default
+// (10, 3) code and some alternatives, plus the GF(256) slice kernel.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "erasure/gf256.h"
+#include "erasure/rs.h"
+
+namespace {
+
+using namespace unidrive;
+using erasure::RsCode;
+using erasure::RsVariant;
+
+void BM_GfMulAddSlice(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes src = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  Bytes dst = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    erasure::Gf256::mul_add_slice(dst.data(), src.data(), src.size(), 0x57);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GfMulAddSlice)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_RsEncode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const RsCode code(n, k, RsVariant::kNonSystematic);
+  Rng rng(2);
+  const Bytes segment = rng.bytes(4 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(ByteSpan(segment)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(segment.size()));
+}
+BENCHMARK(BM_RsEncode)->Args({10, 3})->Args({14, 10})->Args({20, 4});
+
+void BM_RsEncodeSingleShard(benchmark::State& state) {
+  // On-demand generation of one over-provisioned parity block.
+  const RsCode code(10, 3);
+  Rng rng(3);
+  const Bytes segment = rng.bytes(4 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode_shards(ByteSpan(segment), {7}));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(segment.size()));
+}
+BENCHMARK(BM_RsEncodeSingleShard);
+
+void BM_RsDecode(benchmark::State& state) {
+  const RsCode code(10, 3);
+  Rng rng(4);
+  const Bytes segment = rng.bytes(4 << 20);
+  auto shards = code.encode(ByteSpan(segment));
+  // Decode from the "worst" subset (all parity, no low indices).
+  const std::vector<erasure::Shard> subset = {shards[7], shards[8], shards[9]};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(subset, segment.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(segment.size()));
+}
+BENCHMARK(BM_RsDecode);
+
+void BM_RsSystematicVsNot(benchmark::State& state) {
+  const bool systematic = state.range(0) != 0;
+  const RsCode code(10, 3, systematic ? RsVariant::kSystematic
+                                      : RsVariant::kNonSystematic);
+  Rng rng(5);
+  const Bytes segment = rng.bytes(1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(ByteSpan(segment)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(segment.size()));
+}
+BENCHMARK(BM_RsSystematicVsNot)->Arg(0)->Arg(1);
+
+}  // namespace

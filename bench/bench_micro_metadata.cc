@@ -1,0 +1,110 @@
+// Microbenchmarks: metadata serialization, encryption, delta replay, and
+// the three-way merge — the control-plane hot paths.
+#include <benchmark/benchmark.h>
+
+#include "metadata/codec.h"
+#include "metadata/delta.h"
+#include "metadata/diff.h"
+#include "metadata/image.h"
+
+namespace {
+
+using namespace unidrive;
+using metadata::Change;
+using metadata::SyncFolderImage;
+
+SyncFolderImage image_with_files(std::size_t count) {
+  SyncFolderImage image;
+  for (std::size_t i = 0; i < count; ++i) {
+    metadata::SegmentInfo seg;
+    seg.id = "seg" + std::to_string(i);
+    seg.size = 1 << 20;
+    for (std::uint32_t b = 0; b < 5; ++b) seg.blocks.push_back({b, b});
+    image.upsert_segment(seg);
+
+    metadata::FileSnapshot snap;
+    snap.path = "/dir" + std::to_string(i % 20) + "/file" + std::to_string(i);
+    snap.size = 1 << 20;
+    snap.content_hash = "0123456789abcdef0123456789abcdef01234567";
+    snap.segment_ids = {seg.id};
+    snap.origin_device = "bench";
+    image.upsert_file(snap);
+  }
+  return image;
+}
+
+void BM_ImageSerialize(benchmark::State& state) {
+  const auto image = image_with_files(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(image.serialize());
+  }
+  state.counters["files"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ImageSerialize)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ImageDeserialize(benchmark::State& state) {
+  const auto image = image_with_files(static_cast<std::size_t>(state.range(0)));
+  const Bytes data = image.serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SyncFolderImage::deserialize(ByteSpan(data)));
+  }
+}
+BENCHMARK(BM_ImageDeserialize)->Arg(1000)->Arg(10000);
+
+void BM_ImageEncryptedRoundTrip(benchmark::State& state) {
+  const metadata::MetadataCodec codec("bench");
+  const auto image = image_with_files(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const Bytes cipher = codec.encode_image(image);
+    benchmark::DoNotOptimize(codec.decode_image(ByteSpan(cipher)));
+  }
+}
+BENCHMARK(BM_ImageEncryptedRoundTrip)->Arg(1000);
+
+void BM_DeltaReplay(benchmark::State& state) {
+  metadata::DeltaLog log;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0)); ++i) {
+    metadata::CommitRecord record;
+    record.version = {"bench", i + 1, 0.0};
+    metadata::FileSnapshot snap;
+    snap.path = "/f" + std::to_string(i);
+    snap.size = 1000;
+    record.changes.push_back(Change::upsert_file(snap));
+    log.append(std::move(record));
+  }
+  const Bytes data = log.serialize();
+  for (auto _ : state) {
+    auto restored = metadata::DeltaLog::deserialize(ByteSpan(data));
+    SyncFolderImage image;
+    metadata::apply_delta(image, restored.value());
+    benchmark::DoNotOptimize(image);
+  }
+  state.counters["commits"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DeltaReplay)->Arg(100)->Arg(1000);
+
+void BM_ThreeWayMerge(benchmark::State& state) {
+  const auto base = image_with_files(static_cast<std::size_t>(state.range(0)));
+  SyncFolderImage local = base;
+  SyncFolderImage cloud = base;
+  // Touch 5% of files on each side (disjoint halves).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n / 20; ++i) {
+    metadata::FileSnapshot snap = *base.find_file(
+        "/dir" + std::to_string(i % 20) + "/file" + std::to_string(i));
+    snap.content_hash = "local";
+    local.upsert_file(snap);
+    metadata::FileSnapshot snap2 = *base.find_file(
+        "/dir" + std::to_string((i + n / 2) % 20) + "/file" +
+        std::to_string(i + n / 2));
+    snap2.content_hash = "cloud";
+    cloud.upsert_file(snap2);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metadata::merge_images(base, local, cloud, "bench"));
+  }
+}
+BENCHMARK(BM_ThreeWayMerge)->Arg(1000)->Arg(5000);
+
+}  // namespace

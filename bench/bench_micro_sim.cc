@@ -1,0 +1,65 @@
+// Microbenchmarks: discrete-event engine and fluid-network throughput —
+// how many simulated transfers per second the experiment substrate sustains.
+#include <benchmark/benchmark.h>
+
+#include "sim/fluid.h"
+#include "sim/profiles.h"
+#include "sim/transfer_run.h"
+#include "workload/files.h"
+
+namespace {
+
+using namespace unidrive;
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SimEnv env(1);
+    int fired = 0;
+    for (int i = 0; i < 10000; ++i) {
+      env.schedule(env.rng().uniform(0, 1000), [&fired] { ++fired; });
+    }
+    env.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.counters["events"] = 10000;
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_FluidTransfers(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SimEnv env(2);
+    sim::FluidNet net(env);
+    net.set_link({0, false}, sim::constant_bw(1e6));
+    int done = 0;
+    for (int i = 0; i < 1000; ++i) {
+      env.schedule(i * 0.1, [&net, &done](/*start staggered*/) {
+        net.start_transfer({0, false}, 5e4, [&done](sim::SimTime) { ++done; });
+      });
+    }
+    env.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.counters["transfers"] = 1000;
+}
+BENCHMARK(BM_FluidTransfers);
+
+void BM_UniDriveUploadSim(benchmark::State& state) {
+  // Full scheduler-driven upload of a 100 x 1 MB batch in virtual time.
+  for (auto _ : state) {
+    sim::SimEnv env(3);
+    sim::CloudSet set =
+        sim::make_cloud_set(env, sim::ec2_locations()[0], 3,
+                            /*with_failures=*/false);
+    const auto specs = workload::upload_specs(
+        workload::uniform_batch(100, 1 << 20), 4 << 20, "f");
+    sched::UploadScheduler scheduler(sched::CodeParams{}, {0, 1, 2, 3, 4},
+                                     specs);
+    sched::ThroughputMonitor monitor;
+    const auto result = run_upload_job(env, set.ptrs(), scheduler, monitor,
+                                       sim::RunConfig{});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_UniDriveUploadSim)->Unit(benchmark::kMillisecond);
+
+}  // namespace

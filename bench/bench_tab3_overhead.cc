@@ -1,0 +1,87 @@
+// Table 3 — overall sync overhead: additional network traffic divided by
+// the actually synced data, for every approach, measured on the 100 x 1 MB
+// batch-sync workload. Paper: native apps 0.70%-7.07%; intuitive 14.93%
+// (every file involves all five CCSs); benchmark 1.01%; UniDrive 1.04%
+// (Delta-sync + tiny version file keep five-cloud metadata cheap).
+#include "bench_util.h"
+
+namespace unidrive::bench {
+namespace {
+
+constexpr std::size_t kNumFiles = 100;
+constexpr std::uint64_t kFileSize = 1 << 20;
+constexpr double kPerRequestOverhead = 820;  // HTTP headers per API call
+
+void run() {
+  std::printf("=== Table 3: overall sync overhead "
+              "(extra traffic / synced data, 100 x 1 MB batch) ===\n\n");
+  const auto oregon = sim::ec2_locations()[1];
+  const auto virginia = sim::ec2_locations()[0];
+  const double payload = static_cast<double>(kNumFiles) * kFileSize;
+
+  std::printf("%-14s %12s %14s\n", "approach", "overhead %", "paper %");
+  print_rule(44);
+
+  // Native apps: measured from the model (fixed per-file + proportional).
+  const double paper_native[5] = {7.07, 2.04, 1.89, 0.70, 0.96};
+  for (std::size_t c = 0; c < sim::kNumClouds; ++c) {
+    const auto spec = native_app_spec(static_cast<sim::CloudKind>(c));
+    const double overhead =
+        100.0 * spec.overhead_fraction(static_cast<double>(kFileSize));
+    std::printf("%-14s %11s%% %13.2f%%\n",
+                sim::cloud_name(static_cast<sim::CloudKind>(c)),
+                fmt(overhead, 2).c_str(), paper_native[c]);
+  }
+
+  // Intuitive: every file pays all five apps' fixed costs on 1/5 payloads.
+  {
+    double extra = 0;
+    for (std::size_t c = 0; c < sim::kNumClouds; ++c) {
+      const auto spec = native_app_spec(static_cast<sim::CloudKind>(c));
+      extra += spec.per_file_fixed_bytes +
+               spec.protocol_overhead * kFileSize / sim::kNumClouds;
+    }
+    std::printf("%-14s %11s%% %13.2f%%\n", "Intuitive",
+                fmt(100.0 * extra / kFileSize, 2).c_str(), 14.93);
+  }
+
+  // UniDrive and the benchmark: measured from the end-to-end simulation
+  // (metadata replication + per-request HTTP overhead; parity redundancy is
+  // storage, not sync overhead, matching the paper's accounting).
+  for (const bool is_unidrive : {false, true}) {
+    sim::SimEnv env(23001);
+    sim::CloudSet up = sim::make_cloud_set(env, oregon, 23001);
+    sim::CloudSet down = sim::make_cloud_set(env, virginia, 23002);
+    sim::E2EConfig config;
+    config.num_files = kNumFiles;
+    config.file_size = kFileSize;
+    if (!is_unidrive) {
+      config.upload_options.overprovision = false;
+      config.upload_options.availability_first = false;
+      config.run.dynamic_polling = false;
+      // The benchmark has no Delta-sync: it re-replicates the whole
+      // (growing) metadata file on every commit. Model via a fatter
+      // per-file metadata record.
+      config.metadata_bytes_per_file = 180 * 4;
+    }
+    const auto result = sim::run_unidrive_e2e(env, up, {&down}, config);
+    const double extra =
+        result.metadata_bytes +
+        static_cast<double>(result.api_requests) * kPerRequestOverhead;
+    std::printf("%-14s %11s%% %13.2f%%\n",
+                is_unidrive ? "UniDrive" : "Benchmark",
+                fmt(100.0 * extra / payload, 2).c_str(),
+                is_unidrive ? 1.04 : 1.01);
+  }
+
+  std::printf("\nPaper shape: intuitive worst by far; UniDrive ~1%% despite "
+              "involving all 5 clouds.\n");
+}
+
+}  // namespace
+}  // namespace unidrive::bench
+
+int main() {
+  unidrive::bench::run();
+  return 0;
+}

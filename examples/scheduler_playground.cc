@@ -1,0 +1,107 @@
+// Scheduler playground: watch over-provisioning and dynamic scheduling work.
+//
+// Runs the same 32 MB upload twice on an identical simulated network with
+// one deliberately slow cloud — once with UniDrive's scheduler, once with
+// the static multi-cloud benchmark — and prints a per-block trace showing
+// how UniDrive routes extra parity blocks to the fast clouds instead of
+// waiting for the slow one.
+//
+// Run:  build/examples/scheduler_playground
+#include <cstdio>
+
+#include "sched/upload_scheduler.h"
+#include "sim/job_runner.h"
+#include "sim/profiles.h"
+#include "workload/files.h"
+
+using namespace unidrive;
+
+namespace {
+
+constexpr std::uint64_t kBytes = 32 << 20;
+
+double run_once(bool unidrive, bool verbose) {
+  sim::SimEnv env(4242);
+  sim::FluidNet net(env);
+
+  // Hand-built network: four decent clouds and one crawler.
+  const double mbps = 1e6 / 8;
+  const double rates[5] = {20 * mbps, 14 * mbps, 10 * mbps, 8 * mbps,
+                           0.8 * mbps};
+  std::vector<std::unique_ptr<sim::SimCloud>> clouds;
+  for (std::uint32_t id = 0; id < 5; ++id) {
+    sim::SimCloudConfig config;
+    config.id = id;
+    config.name = "cloud" + std::to_string(id);
+    config.up = sim::constant_bw(rates[id]);
+    config.down = sim::constant_bw(rates[id] * 1.5);
+    config.request_latency = 0.1;
+    clouds.push_back(std::make_unique<sim::SimCloud>(env, net, config));
+  }
+  std::vector<sim::SimCloud*> ptrs;
+  for (const auto& c : clouds) ptrs.push_back(c.get());
+
+  const auto specs = workload::upload_specs({kBytes}, 4 << 20, "demo");
+  sched::UploadOptions options;
+  options.overprovision = unidrive;
+  options.availability_first = unidrive;
+  auto scheduler = std::make_shared<sched::UploadScheduler>(
+      sched::CodeParams{}, std::vector<cloud::CloudId>{0, 1, 2, 3, 4}, specs,
+      options);
+
+  sched::ThroughputMonitor monitor;
+  sim::RunConfig run;
+  run.dynamic_polling = unidrive;
+  auto runner = std::make_shared<sim::JobRunner<sched::UploadScheduler>>(
+      env, ptrs, scheduler, monitor, run, sched::Direction::kUpload);
+
+  bool done = false;
+  double available_at = -1;  // when the file became usable (the paper's
+                             // "available time" metric — reliability fill
+                             // continues in the background afterwards)
+  runner->on_progress = [&] {
+    if (available_at < 0 && scheduler->all_available()) {
+      available_at = env.now();
+    }
+  };
+  runner->start([&done] { done = true; });
+  while (!done && env.step()) {
+  }
+
+  if (verbose) {
+    std::printf("\nfinal block placement (%s):\n",
+                unidrive ? "UniDrive" : "static benchmark");
+    std::map<cloud::CloudId, int> totals;
+    for (const auto& spec : specs) {
+      for (const auto& seg : spec.segments) {
+        for (const auto& loc : scheduler->locations(seg.id)) {
+          ++totals[loc.cloud];
+        }
+      }
+    }
+    for (const auto& [cloud_id, count] : totals) {
+      std::printf("  cloud%u (%4.1f Mbps): %2d blocks %s\n", cloud_id,
+                  rates[cloud_id] / mbps, count,
+                  std::string(static_cast<std::size_t>(count), '#').c_str());
+    }
+    const auto surplus = scheduler->overprovisioned_blocks();
+    std::printf("  over-provisioned placements: %zu\n", surplus.size());
+    std::printf("  available at %.1f s, fully reliable at %.1f s\n",
+                available_at, runner->finish_time());
+  }
+  return available_at;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== 32 MB upload to 4 fast clouds + 1 slow cloud ===\n");
+  const double unidrive = run_once(true, true);
+  const double benchmark = run_once(false, true);
+  std::printf("\navailability time: UniDrive %.1f s vs static benchmark %.1f s"
+              " (%.2fx)\n",
+              unidrive, benchmark, benchmark / unidrive);
+  std::printf("the slow cloud no longer gates the upload: fast clouds absorb "
+              "extra parity blocks.\n");
+  return unidrive <= benchmark ? 0 : 1;
+}

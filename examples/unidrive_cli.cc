@@ -1,0 +1,176 @@
+// unidrive_cli — a minimal command-line client over PERSISTENT local
+// "clouds" (DirectoryCloud). State survives across invocations, so you can
+// play with the full sync lifecycle from a shell:
+//
+//   unidrive_cli init                 # create 5 clouds + a sync folder
+//   echo hi > $HOME/.unidrive_demo/folder/hello.txt
+//   unidrive_cli sync                 # push
+//   unidrive_cli status               # folder + block placement
+//   unidrive_cli history /hello.txt   # superseded snapshots
+//   unidrive_cli restore /hello.txt   # roll back one version (+ sync)
+//   unidrive_cli gc                   # drop dereferenced segments
+//
+// Everything lives under --root (default $HOME/.unidrive_demo or /tmp).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "cloud/directory_cloud.h"
+#include "core/client.h"
+
+using namespace unidrive;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string default_root() {
+  if (const char* home = std::getenv("HOME")) {
+    return std::string(home) + "/.unidrive_demo";
+  }
+  return (fs::temp_directory_path() / "unidrive_demo").string();
+}
+
+core::UniDriveClient make_client(const std::string& root) {
+  cloud::MultiCloud clouds;
+  for (cloud::CloudId id = 0; id < 5; ++id) {
+    clouds.push_back(std::make_shared<cloud::DirectoryCloud>(
+        id, "cloud" + std::to_string(id),
+        root + "/clouds/cloud" + std::to_string(id)));
+  }
+  core::ClientConfig config;
+  config.device = "cli";
+  config.state_file = root + "/client.state";
+  return core::UniDriveClient(
+      clouds, std::make_shared<core::DiskLocalFs>(root + "/folder"), config);
+}
+
+int cmd_init(const std::string& root) {
+  fs::create_directories(root + "/folder");
+  for (int id = 0; id < 5; ++id) {
+    fs::create_directories(root + "/clouds/cloud" + std::to_string(id));
+  }
+  std::printf("initialized.\n  sync folder: %s/folder\n  clouds:      "
+              "%s/clouds/cloud{0..4}\nDrop files into the folder and run "
+              "`sync`.\n", root.c_str(), root.c_str());
+  return 0;
+}
+
+int cmd_sync(const std::string& root) {
+  auto client = make_client(root);
+  auto report = client.sync();
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "sync failed: %s\n",
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("synced: +%zu uploaded, %zu downloaded, %zu removed, "
+              "%zu conflict(s); version %s\n",
+              report.value().files_uploaded, report.value().files_downloaded,
+              report.value().files_removed, report.value().conflicts.size(),
+              report.value().version.to_string().c_str());
+  for (const auto& conflict : report.value().conflicts) {
+    std::printf("  conflict at %s (copy: %s)\n", conflict.path.c_str(),
+                conflict.conflict_copy.c_str());
+  }
+  return 0;
+}
+
+int cmd_status(const std::string& root) {
+  auto client = make_client(root);
+  // Pull the latest committed state without touching local files.
+  (void)client.sync();
+  const auto& image = client.image();
+  std::printf("version: %s\nfiles: %zu, segments: %zu\n",
+              image.version().to_string().c_str(), image.files().size(),
+              image.segments().size());
+  for (const auto& [path, snap] : image.files()) {
+    std::printf("  %-40s %8llu bytes, %zu segment(s)\n", path.c_str(),
+                static_cast<unsigned long long>(snap.size),
+                snap.segment_ids.size());
+  }
+  std::printf("block placement:\n");
+  for (const auto& [id, seg] : image.segments()) {
+    std::printf("  %.12s… refs=%u blocks:", id.c_str(), seg.refcount);
+    for (const auto& b : seg.blocks) {
+      std::printf(" %u@cloud%u", b.block_index, b.cloud);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_history(const std::string& root, const std::string& path) {
+  auto client = make_client(root);
+  (void)client.sync();
+  const auto history = client.file_history(path);
+  if (history.empty()) {
+    std::printf("no superseded versions of %s\n", path.c_str());
+    return 0;
+  }
+  std::printf("%zu superseded version(s) of %s (most recent first):\n",
+              history.size(), path.c_str());
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    std::printf("  [%zu] %llu bytes, hash %.12s…, from %s\n", i,
+                static_cast<unsigned long long>(history[i].size),
+                history[i].content_hash.c_str(),
+                history[i].origin_device.c_str());
+  }
+  return 0;
+}
+
+int cmd_restore(const std::string& root, const std::string& path) {
+  auto client = make_client(root);
+  (void)client.sync();
+  const Status restored = client.restore_previous_version(path);
+  if (!restored.is_ok()) {
+    std::fprintf(stderr, "restore failed: %s\n", restored.to_string().c_str());
+    return 1;
+  }
+  auto report = client.sync();  // commit the rollback
+  std::printf("restored %s to its previous version%s\n", path.c_str(),
+              report.is_ok() ? " (committed)" : " (commit pending)");
+  return 0;
+}
+
+int cmd_gc(const std::string& root) {
+  auto client = make_client(root);
+  (void)client.sync();
+  auto collected = client.collect_garbage();
+  if (!collected.is_ok()) {
+    std::fprintf(stderr, "gc failed: %s\n",
+                 collected.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("collected %zu dereferenced segment(s)\n", collected.value());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: unidrive_cli [--root DIR] "
+               "init|sync|status|history PATH|restore PATH|gc\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = default_root();
+  int arg = 1;
+  if (arg + 1 < argc && std::strcmp(argv[arg], "--root") == 0) {
+    root = argv[arg + 1];
+    arg += 2;
+  }
+  if (arg >= argc) return usage();
+  const std::string command = argv[arg++];
+
+  if (command == "init") return cmd_init(root);
+  if (command == "sync") return cmd_sync(root);
+  if (command == "status") return cmd_status(root);
+  if (command == "gc") return cmd_gc(root);
+  if (command == "history" && arg < argc) return cmd_history(root, argv[arg]);
+  if (command == "restore" && arg < argc) return cmd_restore(root, argv[arg]);
+  return usage();
+}

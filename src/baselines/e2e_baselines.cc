@@ -1,0 +1,215 @@
+#include "baselines/e2e_baselines.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace unidrive::baselines {
+
+namespace {
+
+// Shared by all scheduled events so nothing dangles even if stray events
+// fire after the driving loop returned (the env outlives this call).
+struct E2EContext : std::enable_shared_from_this<E2EContext> {
+  sim::SimEnv& env;
+  BaselineE2EConfig config;
+  double start = 0;
+  double deadline = 0;
+  bool stopped = false;
+
+  std::vector<double> upload_done_time;
+  std::size_t uploaded = 0;
+  std::shared_ptr<ChunkPipeline> up_pipeline;
+
+  struct Device {
+    std::shared_ptr<ChunkPipeline> pipeline;
+    std::vector<bool> enqueued;
+    std::function<std::vector<ChunkTask>(std::size_t)> make_chunks;
+  };
+  std::vector<Device> devices;
+  std::vector<std::vector<double>> file_sync_time;
+  std::size_t total_synced = 0;
+
+  E2EContext(sim::SimEnv& env, const BaselineE2EConfig& config)
+      : env(env), config(config) {}
+
+  void poll(std::size_t d) {
+    if (stopped || env.now() >= deadline) return;
+    Device& device = devices[d];
+    for (std::size_t f = 0; f < config.num_files; ++f) {
+      if (!device.enqueued[f] && upload_done_time[f] >= 0 &&
+          upload_done_time[f] <= env.now()) {
+        device.enqueued[f] = true;
+        device.pipeline->add_file(f, device.make_chunks(f));
+      }
+    }
+    const bool all_enqueued =
+        std::all_of(device.enqueued.begin(), device.enqueued.end(),
+                    [](bool b) { return b; });
+    if (!all_enqueued || !device.pipeline->idle()) {
+      env.schedule(config.poll_interval,
+                   [self = shared_from_this(), d] { self->poll(d); });
+    }
+  }
+};
+
+template <typename MakeUpChunks, typename MakeDownChunks>
+BaselineE2EResult run_generic_e2e(
+    sim::SimEnv& env, std::map<sim::SimCloud*, std::size_t> up_connections,
+    std::vector<std::map<sim::SimCloud*, std::size_t>> down_connections,
+    const BaselineE2EConfig& config, MakeUpChunks make_up_chunks,
+    MakeDownChunks make_down_chunks) {
+  auto ctx = std::make_shared<E2EContext>(env, config);
+  ctx->start = env.now();
+  ctx->deadline = ctx->start + config.timeout;
+  ctx->upload_done_time.assign(config.num_files, -1.0);
+  const std::size_t num_devices = down_connections.size();
+  ctx->file_sync_time.assign(num_devices,
+                             std::vector<double>(config.num_files, -1.0));
+
+  // Uploader.
+  ctx->up_pipeline = std::make_shared<ChunkPipeline>(
+      env, /*download=*/false, std::move(up_connections));
+  ctx->up_pipeline->on_file_done = [ctx](std::size_t file, bool ok) {
+    if (ok) ctx->upload_done_time[file] = ctx->env.now();
+    ++ctx->uploaded;
+  };
+  for (std::size_t f = 0; f < config.num_files; ++f) {
+    ctx->up_pipeline->add_file(f, make_up_chunks(f));
+  }
+
+  // Downloaders.
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    E2EContext::Device device;
+    device.pipeline = std::make_shared<ChunkPipeline>(
+        env, /*download=*/true, std::move(down_connections[d]));
+    device.enqueued.assign(config.num_files, false);
+    device.make_chunks = [make_down_chunks, d](std::size_t file) {
+      return make_down_chunks(d, file);
+    };
+    device.pipeline->on_file_done = [ctx, d](std::size_t file, bool ok) {
+      if (ok && ctx->file_sync_time[d][file] < 0) {
+        ctx->file_sync_time[d][file] = ctx->env.now() - ctx->start;
+        ++ctx->total_synced;
+      }
+    };
+    ctx->devices.push_back(std::move(device));
+    env.schedule(config.poll_interval,
+                 [ctx, d] { ctx->poll(d); });
+  }
+
+  // Drive.
+  const std::size_t want = num_devices * config.num_files;
+  while (ctx->total_synced < want && env.now() < ctx->deadline && env.step()) {
+  }
+  ctx->stopped = true;
+
+  // Collect.
+  BaselineE2EResult result;
+  result.file_sync_time = ctx->file_sync_time;
+  result.upload_complete = -1;
+  bool upload_all = true;
+  for (const double t : ctx->upload_done_time) {
+    if (t < 0) {
+      upload_all = false;
+      break;
+    }
+    result.upload_complete = std::max(result.upload_complete, t - ctx->start);
+  }
+  if (!upload_all) result.upload_complete = -1;
+  result.success = ctx->total_synced == want;
+  result.batch_sync_time = -1;
+  if (result.success) {
+    for (const auto& times : result.file_sync_time) {
+      for (const double t : times) {
+        result.batch_sync_time = std::max(result.batch_sync_time, t);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+BaselineE2EResult native_e2e(
+    sim::SimEnv& env, sim::SimCloud& uploader_cloud,
+    const std::vector<sim::SimCloud*>& downloader_clouds,
+    sim::CloudKind kind, const BaselineE2EConfig& config) {
+  const sim::NativeAppSpec spec = native_app_spec(kind);
+  const std::uint64_t file_size = config.file_size;
+
+  auto chunks_for = [file_size, spec](sim::SimCloud* cloud,
+                                      std::size_t file) {
+    std::vector<ChunkTask> chunks;
+    std::uint64_t remaining = file_size;
+    do {
+      const std::uint64_t piece = std::min<std::uint64_t>(
+          remaining, static_cast<std::uint64_t>(kNativeChunkBytes));
+      chunks.push_back({file, cloud,
+                        static_cast<double>(piece) *
+                            (1.0 + spec.protocol_overhead)});
+      remaining -= piece;
+    } while (remaining > 0);
+    chunks.front().bytes += spec.per_file_fixed_bytes;
+    return chunks;
+  };
+
+  std::vector<std::map<sim::SimCloud*, std::size_t>> down_connections;
+  down_connections.reserve(downloader_clouds.size());
+  for (sim::SimCloud* c : downloader_clouds) {
+    down_connections.push_back({{c, spec.connections}});
+  }
+  sim::SimCloud* up_cloud = &uploader_cloud;
+  return run_generic_e2e(
+      env, {{up_cloud, spec.connections}}, std::move(down_connections),
+      config,
+      [chunks_for, up_cloud](std::size_t file) {
+        return chunks_for(up_cloud, file);
+      },
+      [chunks_for, downloader_clouds](std::size_t device, std::size_t file) {
+        return chunks_for(downloader_clouds[device], file);
+      });
+}
+
+BaselineE2EResult intuitive_e2e(
+    sim::SimEnv& env, const sim::CloudSet& uploader,
+    const std::vector<const sim::CloudSet*>& downloaders,
+    const BaselineE2EConfig& config) {
+  auto connections_for = [](const sim::CloudSet& set) {
+    std::map<sim::SimCloud*, std::size_t> connections;
+    for (std::size_t c = 0; c < set.clouds.size(); ++c) {
+      connections[set.clouds[c].get()] =
+          native_app_spec(static_cast<sim::CloudKind>(c)).connections;
+    }
+    return connections;
+  };
+  const std::uint64_t file_size = config.file_size;
+  auto chunks_for = [file_size](const sim::CloudSet& set, std::size_t file) {
+    std::vector<ChunkTask> chunks;
+    const double part = static_cast<double>(file_size) /
+                        static_cast<double>(set.clouds.size());
+    for (std::size_t c = 0; c < set.clouds.size(); ++c) {
+      const auto spec = native_app_spec(static_cast<sim::CloudKind>(c));
+      chunks.push_back({file, set.clouds[c].get(),
+                        part * (1.0 + spec.protocol_overhead) +
+                            spec.per_file_fixed_bytes});
+    }
+    return chunks;
+  };
+
+  std::vector<std::map<sim::SimCloud*, std::size_t>> down_connections;
+  down_connections.reserve(downloaders.size());
+  for (const sim::CloudSet* set : downloaders) {
+    down_connections.push_back(connections_for(*set));
+  }
+  const sim::CloudSet* up_set = &uploader;
+  return run_generic_e2e(
+      env, connections_for(uploader), std::move(down_connections), config,
+      [chunks_for, up_set](std::size_t file) {
+        return chunks_for(*up_set, file);
+      },
+      [chunks_for, downloaders](std::size_t device, std::size_t file) {
+        return chunks_for(*downloaders[device], file);
+      });
+}
+
+}  // namespace unidrive::baselines

@@ -1,0 +1,43 @@
+// End-to-end batch-sync simulations for the baseline systems (the
+// comparison rows of Figures 11-12): an uploading device pushes a batch and
+// downloading devices poll and pull, using the vendors' native sync logic —
+// no erasure coding (native/intuitive), no over-provisioning, no dynamic
+// scheduling.
+#pragma once
+
+#include <vector>
+
+#include "baselines/intuitive.h"
+#include "baselines/native_app.h"
+
+namespace unidrive::baselines {
+
+struct BaselineE2EConfig {
+  std::size_t num_files = 100;
+  std::uint64_t file_size = 1 << 20;
+  double poll_interval = 5.0;
+  double timeout = 24 * 3600;
+};
+
+struct BaselineE2EResult {
+  bool success = false;
+  double upload_complete = -1;  // relative to batch start
+  // Per downloader, per file: sync time from batch start (-1 = never).
+  std::vector<std::vector<double>> file_sync_time;
+  double batch_sync_time = -1;  // all files on all downloaders
+};
+
+// Native single-cloud sync: uploader and downloaders all use cloud `kind`;
+// each device sees the cloud through its own simulated link.
+BaselineE2EResult native_e2e(sim::SimEnv& env, sim::SimCloud& uploader_cloud,
+                             const std::vector<sim::SimCloud*>& downloader_clouds,
+                             sim::CloudKind kind,
+                             const BaselineE2EConfig& config);
+
+// Intuitive multi-cloud: each file split into one part per cloud, moved by
+// the five native apps; a file is synced when all parts arrived.
+BaselineE2EResult intuitive_e2e(sim::SimEnv& env, const sim::CloudSet& uploader,
+                                const std::vector<const sim::CloudSet*>& downloaders,
+                                const BaselineE2EConfig& config);
+
+}  // namespace unidrive::baselines

@@ -1,0 +1,34 @@
+// The "intuitive multi-cloud" baseline (Section 7.1): a file is chunked into
+// N equal parts and part i is dropped into cloud i's native app sync folder.
+// Every cloud's own client then syncs its part with the vendor's own logic.
+// A file is usable only when ALL parts arrived — so the slowest cloud
+// dictates the sync time, which is exactly the weakness UniDrive's
+// over-provisioning removes.
+#pragma once
+
+#include <vector>
+
+#include "baselines/native_app.h"
+#include "sim/profiles.h"
+
+namespace unidrive::baselines {
+
+struct IntuitiveResult {
+  bool success = false;
+  double finish_time = 0;              // absolute virtual time
+  std::vector<double> file_done_time;  // absolute; -1 = failed
+};
+
+// Transfers a batch of files: each file becomes one part per cloud, moved by
+// that cloud's native app model (connection limits, protocol overhead).
+IntuitiveResult intuitive_transfer_batch(
+    sim::SimEnv& env, const sim::CloudSet& set,
+    const std::vector<std::uint64_t>& file_sizes, bool download,
+    double timeout = 24 * 3600);
+
+double intuitive_upload_time(sim::SimEnv& env, const sim::CloudSet& set,
+                             std::uint64_t bytes);
+double intuitive_download_time(sim::SimEnv& env, const sim::CloudSet& set,
+                               std::uint64_t bytes);
+
+}  // namespace unidrive::baselines

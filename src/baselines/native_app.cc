@@ -1,0 +1,74 @@
+#include "baselines/native_app.h"
+
+namespace unidrive::baselines {
+
+namespace {
+
+std::vector<ChunkTask> make_chunks(std::size_t file, sim::SimCloud& cloud,
+                                   std::uint64_t bytes,
+                                   const sim::NativeAppSpec& spec) {
+  std::vector<ChunkTask> chunks;
+  std::uint64_t remaining = bytes;
+  do {
+    const std::uint64_t piece = std::min<std::uint64_t>(
+        remaining, static_cast<std::uint64_t>(kNativeChunkBytes));
+    chunks.push_back({file, &cloud,
+                      static_cast<double>(piece) *
+                          (1.0 + spec.protocol_overhead)});
+    remaining -= piece;
+  } while (remaining > 0);
+  // Per-file fixed protocol cost (journal updates etc.) rides with the
+  // first chunk.
+  chunks.front().bytes += spec.per_file_fixed_bytes;
+  return chunks;
+}
+
+}  // namespace
+
+NativeBatchResult native_transfer_batch(
+    sim::SimEnv& env, sim::SimCloud& cloud, sim::CloudKind kind,
+    const std::vector<std::uint64_t>& file_sizes, bool download,
+    double timeout) {
+  const sim::NativeAppSpec spec = native_app_spec(kind);
+  NativeBatchResult result;
+  result.file_done_time.assign(file_sizes.size(), -1.0);
+
+  auto pipeline = std::make_shared<ChunkPipeline>(
+      env, download,
+      std::map<sim::SimCloud*, std::size_t>{{&cloud, spec.connections}});
+  std::size_t done = 0;
+  bool all_ok = true;
+  pipeline->on_file_done = [&](std::size_t file, bool ok) {
+    result.file_done_time[file] = ok ? env.now() : -1.0;
+    all_ok = all_ok && ok;
+    ++done;
+  };
+  for (std::size_t i = 0; i < file_sizes.size(); ++i) {
+    pipeline->add_file(i, make_chunks(i, cloud, file_sizes[i], spec));
+  }
+
+  const double deadline = env.now() + timeout;
+  while (done < file_sizes.size() && env.now() < deadline && env.step()) {
+  }
+  result.success = done == file_sizes.size() && all_ok;
+  result.finish_time = env.now();
+  return result;
+}
+
+double native_upload_time(sim::SimEnv& env, sim::SimCloud& cloud,
+                          sim::CloudKind kind, std::uint64_t bytes) {
+  const double start = env.now();
+  const NativeBatchResult r =
+      native_transfer_batch(env, cloud, kind, {bytes}, /*download=*/false);
+  return r.success ? r.finish_time - start : -1.0;
+}
+
+double native_download_time(sim::SimEnv& env, sim::SimCloud& cloud,
+                            sim::CloudKind kind, std::uint64_t bytes) {
+  const double start = env.now();
+  const NativeBatchResult r =
+      native_transfer_batch(env, cloud, kind, {bytes}, /*download=*/true);
+  return r.success ? r.finish_time - start : -1.0;
+}
+
+}  // namespace unidrive::baselines

@@ -1,0 +1,36 @@
+// Model of a vendor's native CCS client (the per-cloud comparison points in
+// Figures 8-11): uploads/downloads a batch of files to ONE cloud, cutting
+// files into 4 MB parts transferred over the vendor's concurrent-connection
+// budget, with the vendor's measured protocol overhead added to every part.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "baselines/chunk_pipeline.h"
+#include "sim/profiles.h"
+
+namespace unidrive::baselines {
+
+struct NativeBatchResult {
+  bool success = false;
+  double finish_time = 0;                 // absolute virtual time
+  std::vector<double> file_done_time;     // absolute; -1 = failed/never
+};
+
+inline constexpr double kNativeChunkBytes = 4 << 20;
+
+// Synchronous (drives env until the batch completes or `timeout` passes).
+NativeBatchResult native_transfer_batch(
+    sim::SimEnv& env, sim::SimCloud& cloud, sim::CloudKind kind,
+    const std::vector<std::uint64_t>& file_sizes, bool download,
+    double timeout = 24 * 3600);
+
+// Convenience single-file wrappers returning the transfer duration in
+// seconds (or a negative value on failure).
+double native_upload_time(sim::SimEnv& env, sim::SimCloud& cloud,
+                          sim::CloudKind kind, std::uint64_t bytes);
+double native_download_time(sim::SimEnv& env, sim::SimCloud& cloud,
+                            sim::CloudKind kind, std::uint64_t bytes);
+
+}  // namespace unidrive::baselines

@@ -1,0 +1,66 @@
+#include "chunker/cdc.h"
+
+#include <array>
+#include <bit>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace unidrive::chunker {
+
+namespace {
+
+// Random per-byte gear table, fixed seed so chunk boundaries are stable
+// across runs, machines, and versions (a requirement for dedup).
+const std::array<std::uint64_t, 256>& gear_table() noexcept {
+  static const std::array<std::uint64_t, 256> table = [] {
+    std::array<std::uint64_t, 256> t{};
+    Rng rng(0x756e696472697665ULL);  // "unidrive"
+    for (auto& v : t) v = rng.next();
+    return t;
+  }();
+  return table;
+}
+
+std::uint64_t mask_for_target(std::size_t target) noexcept {
+  // Boundary when (hash & mask) == 0; expected chunk length is ~2^bits.
+  const int bits = std::bit_width(target) - 1;
+  return (bits >= 64) ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+}  // namespace
+
+std::vector<ChunkRef> cdc_split(ByteSpan data, const CdcParams& params) {
+  assert(params.valid());
+  std::vector<ChunkRef> chunks;
+  if (data.empty()) return chunks;
+
+  const auto& gear = gear_table();
+  const std::uint64_t mask = mask_for_target(params.target_size);
+
+  std::size_t start = 0;
+  while (start < data.size()) {
+    const std::size_t remaining = data.size() - start;
+    if (remaining <= params.min_size) {
+      chunks.push_back({start, remaining});
+      break;
+    }
+    const std::size_t limit = std::min(remaining, params.max_size);
+    std::uint64_t hash = 0;
+    std::size_t len = limit;  // cut at max_size unless a boundary hits first
+    // The gear hash has a window of ~64 bytes (bits shift out); skipping the
+    // first min_size bytes both enforces the minimum and warms the window.
+    for (std::size_t i = params.min_size; i < limit; ++i) {
+      hash = (hash << 1) + gear[data[start + i]];
+      if ((hash & mask) == 0) {
+        len = i + 1;
+        break;
+      }
+    }
+    chunks.push_back({start, len});
+    start += len;
+  }
+  return chunks;
+}
+
+}  // namespace unidrive::chunker

@@ -1,0 +1,35 @@
+// Content-defined chunking via a gear rolling hash (an LBFS-style scheme):
+// a chunk boundary is declared wherever the rolling hash of the last bytes
+// matches a mask. Because boundaries depend only on local content, an edit
+// in the middle of a file disturbs only the chunks around the edit — the
+// property UniDrive relies on to keep sync traffic proportional to the edit
+// size rather than the file size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace unidrive::chunker {
+
+struct ChunkRef {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+struct CdcParams {
+  std::size_t min_size = 64 << 10;        // never cut before this many bytes
+  std::size_t target_size = 256 << 10;    // expected average chunk size
+  std::size_t max_size = 1 << 20;         // always cut at this many bytes
+
+  [[nodiscard]] bool valid() const noexcept {
+    return min_size > 0 && min_size <= target_size && target_size <= max_size;
+  }
+};
+
+// Split `data` into content-defined chunks. Offsets are contiguous and cover
+// the whole input; the final chunk may be shorter than min_size.
+std::vector<ChunkRef> cdc_split(ByteSpan data, const CdcParams& params);
+
+}  // namespace unidrive::chunker

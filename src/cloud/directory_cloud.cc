@@ -1,0 +1,94 @@
+#include "cloud/directory_cloud.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "cloud/path.h"
+
+namespace unidrive::cloud {
+
+namespace fs = std::filesystem;
+
+DirectoryCloud::DirectoryCloud(CloudId id, std::string name, std::string root)
+    : id_(id), name_(std::move(name)), root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+std::string DirectoryCloud::host_path(const std::string& cloud_path) const {
+  // Cloud paths are normalized slash paths; they map 1:1 under the root.
+  return root_ + normalize_path(cloud_path);
+}
+
+Status DirectoryCloud::upload(const std::string& path, ByteSpan data) {
+  const std::string norm = normalize_path(path);
+  if (norm == "/") {
+    return make_error(ErrorCode::kInvalidArgument, "upload to root");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const fs::path host = host_path(norm);
+  std::error_code ec;
+  fs::create_directories(host.parent_path(), ec);
+  // Write-then-rename gives atomic replace (a crashed upload never leaves a
+  // torn object visible — matching real object stores).
+  const fs::path tmp = host.string() + ".uploading";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return make_error(ErrorCode::kInternal, "cannot open " + tmp.string());
+    }
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      return make_error(ErrorCode::kInternal, "short write " + tmp.string());
+    }
+  }
+  fs::rename(tmp, host, ec);
+  if (ec) return make_error(ErrorCode::kInternal, ec.message());
+  return Status::ok();
+}
+
+Result<Bytes> DirectoryCloud::download(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ifstream in(host_path(path), std::ios::binary);
+  if (!in) return make_error(ErrorCode::kNotFound, name_ + ": " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return data;
+}
+
+Status DirectoryCloud::create_dir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  fs::create_directories(host_path(path), ec);
+  return ec ? make_error(ErrorCode::kInternal, ec.message()) : Status::ok();
+}
+
+Result<std::vector<FileInfo>> DirectoryCloud::list(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FileInfo> out;
+  std::error_code ec;
+  const fs::path host = host_path(dir);
+  if (!fs::exists(host, ec)) return out;  // empty dir == missing dir
+  for (const auto& entry : fs::directory_iterator(host, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".uploading")) continue;  // in-flight temp objects
+    out.push_back({name, static_cast<std::uint64_t>(entry.file_size())});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FileInfo& a, const FileInfo& b) { return a.name < b.name; });
+  return out;
+}
+
+Status DirectoryCloud::remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  if (!fs::remove(host_path(path), ec) || ec) {
+    return make_error(ErrorCode::kNotFound, name_ + ": " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace unidrive::cloud

@@ -1,0 +1,40 @@
+// DirectoryCloud — a CloudProvider persisted in a local directory: every
+// object is a file under the root, with path components URL-free-encoded
+// into one flat level per directory. The second "real" adapter next to
+// MemoryCloud: it survives process restarts, which makes CLI demos and
+// crash-recovery tests possible without network access. Thread-safe.
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "cloud/provider.h"
+
+namespace unidrive::cloud {
+
+class DirectoryCloud final : public CloudProvider {
+ public:
+  // Creates `root` (and parents) if missing.
+  DirectoryCloud(CloudId id, std::string name, std::string root);
+
+  [[nodiscard]] CloudId id() const noexcept override { return id_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  Status upload(const std::string& path, ByteSpan data) override;
+  Result<Bytes> download(const std::string& path) override;
+  Status create_dir(const std::string& path) override;
+  Result<std::vector<FileInfo>> list(const std::string& dir) override;
+  Status remove(const std::string& path) override;
+
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+ private:
+  [[nodiscard]] std::string host_path(const std::string& cloud_path) const;
+
+  CloudId id_;
+  std::string name_;
+  std::string root_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace unidrive::cloud

@@ -1,0 +1,71 @@
+#include "cloud/faulty_cloud.h"
+
+#include <algorithm>
+
+namespace unidrive::cloud {
+
+bool FaultyCloud::should_fail(std::size_t payload_bytes) {
+  requests_.fetch_add(1);
+  if (outage_.load()) {
+    failures_.fetch_add(1);
+    return true;
+  }
+  double p;
+  {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    p = rng_.next_double();
+  }
+  const double mb = static_cast<double>(payload_bytes) / (1 << 20);
+  const double fail_prob = std::min(
+      1.0, profile_.base_failure_rate + profile_.per_mb_failure_rate * mb);
+  if (p < fail_prob) {
+    failures_.fetch_add(1);
+    return true;
+  }
+  return false;
+}
+
+namespace {
+Status fail_status(bool outage, const std::string& name) {
+  return outage ? make_error(ErrorCode::kOutage, name + ": cloud outage")
+                : make_error(ErrorCode::kUnavailable,
+                             name + ": transient request failure");
+}
+}  // namespace
+
+Status FaultyCloud::upload(const std::string& path, ByteSpan data) {
+  if (should_fail(data.size())) return fail_status(outage_.load(), name());
+  return inner_->upload(path, data);
+}
+
+Result<Bytes> FaultyCloud::download(const std::string& path) {
+  // Size-dependent failure needs the size; peek at the inner file first.
+  // (Real transfers fail mid-flight; here the request atomically fails.)
+  auto inner_result = inner_->download(path);
+  const std::size_t size =
+      inner_result.is_ok() ? inner_result.value().size() : 0;
+  if (should_fail(size)) return fail_status(outage_.load(), name());
+  return inner_result;
+}
+
+Status FaultyCloud::create_dir(const std::string& path) {
+  if (should_fail(0)) return fail_status(outage_.load(), name());
+  return inner_->create_dir(path);
+}
+
+Result<std::vector<FileInfo>> FaultyCloud::list(const std::string& dir) {
+  if (should_fail(0)) return fail_status(outage_.load(), name());
+  return inner_->list(dir);
+}
+
+Status FaultyCloud::remove(const std::string& path) {
+  if (should_fail(0)) return fail_status(outage_.load(), name());
+  return inner_->remove(path);
+}
+
+void FaultyCloud::set_profile(FaultProfile profile) {
+  std::lock_guard<std::mutex> lock(rng_mutex_);
+  profile_ = profile;
+}
+
+}  // namespace unidrive::cloud

@@ -1,0 +1,61 @@
+// FaultyCloud — failure-injecting decorator around any CloudProvider.
+//
+// Models the paper's measured failure behaviour: per-request transient
+// failures whose probability grows with transfer size (Figure 4), plus
+// whole-cloud outages (reliability experiments, Figure 14). Deterministic
+// under a seeded RNG.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#include "cloud/provider.h"
+#include "common/rng.h"
+
+namespace unidrive::cloud {
+
+struct FaultProfile {
+  // P(fail) for a request moving `bytes` payload:
+  //   min(1, base_failure_rate + per_mb_failure_rate * bytes / 1 MiB)
+  double base_failure_rate = 0.0;
+  double per_mb_failure_rate = 0.0;
+  // Metadata ops (list/create/delete) use base_failure_rate only.
+};
+
+class FaultyCloud final : public CloudProvider {
+ public:
+  FaultyCloud(CloudPtr inner, FaultProfile profile, std::uint64_t seed)
+      : inner_(std::move(inner)), profile_(profile), rng_(seed) {}
+
+  [[nodiscard]] CloudId id() const noexcept override { return inner_->id(); }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  Status upload(const std::string& path, ByteSpan data) override;
+  Result<Bytes> download(const std::string& path) override;
+  Status create_dir(const std::string& path) override;
+  Result<std::vector<FileInfo>> list(const std::string& dir) override;
+  Status remove(const std::string& path) override;
+
+  // Complete outage: every request fails with kOutage until restored.
+  void set_outage(bool down) noexcept { outage_.store(down); }
+  [[nodiscard]] bool in_outage() const noexcept { return outage_.load(); }
+
+  void set_profile(FaultProfile profile);
+
+  // Counters for failure-rate assertions in tests/benches.
+  [[nodiscard]] std::uint64_t requests() const noexcept { return requests_.load(); }
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_.load(); }
+
+ private:
+  [[nodiscard]] bool should_fail(std::size_t payload_bytes);
+
+  CloudPtr inner_;
+  FaultProfile profile_;
+  std::atomic<bool> outage_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::mutex rng_mutex_;
+  Rng rng_;
+};
+
+}  // namespace unidrive::cloud

@@ -1,0 +1,62 @@
+#include "cloud/latent_cloud.h"
+
+#include <chrono>
+#include <thread>
+
+namespace unidrive::cloud {
+
+namespace {
+void sleep_for_seconds(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+}  // namespace
+
+void LatentCloud::throttle(std::size_t bytes, bool upload_direction) {
+  sleep_for_seconds(profile_.request_latency_sec);
+  const double rate = upload_direction ? profile_.up_bytes_per_sec
+                                       : profile_.down_bytes_per_sec;
+  if (rate <= 0 || bytes == 0) return;
+
+  const double duration = static_cast<double>(bytes) / rate;
+  double wait;
+  {
+    std::mutex& m = upload_direction ? up_mutex_ : down_mutex_;
+    double& free_at = upload_direction ? up_free_at_ : down_free_at_;
+    std::lock_guard<std::mutex> lock(m);
+    const double now = RealClock::instance().now();
+    const double start = std::max(now, free_at);
+    free_at = start + duration;
+    wait = free_at - now;
+  }
+  sleep_for_seconds(wait);
+}
+
+Status LatentCloud::upload(const std::string& path, ByteSpan data) {
+  throttle(data.size(), /*upload_direction=*/true);
+  return inner_->upload(path, data);
+}
+
+Result<Bytes> LatentCloud::download(const std::string& path) {
+  auto result = inner_->download(path);
+  throttle(result.is_ok() ? result.value().size() : 0,
+           /*upload_direction=*/false);
+  return result;
+}
+
+Status LatentCloud::create_dir(const std::string& path) {
+  sleep_for_seconds(profile_.request_latency_sec);
+  return inner_->create_dir(path);
+}
+
+Result<std::vector<FileInfo>> LatentCloud::list(const std::string& dir) {
+  sleep_for_seconds(profile_.request_latency_sec);
+  return inner_->list(dir);
+}
+
+Status LatentCloud::remove(const std::string& path) {
+  sleep_for_seconds(profile_.request_latency_sec);
+  return inner_->remove(path);
+}
+
+}  // namespace unidrive::cloud

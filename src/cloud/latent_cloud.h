@@ -1,0 +1,47 @@
+// LatentCloud — real-time bandwidth/latency throttling decorator (token
+// bucket + sleep). Used by examples and integration tests that exercise the
+// threaded transfer driver against walls-clock time; large-scale performance
+// experiments instead use the discrete-event simulator in src/sim.
+#pragma once
+
+#include <mutex>
+
+#include "cloud/provider.h"
+#include "common/clock.h"
+
+namespace unidrive::cloud {
+
+struct LinkProfile {
+  double up_bytes_per_sec = 0;    // 0 = unlimited
+  double down_bytes_per_sec = 0;  // 0 = unlimited
+  double request_latency_sec = 0;
+};
+
+class LatentCloud final : public CloudProvider {
+ public:
+  LatentCloud(CloudPtr inner, LinkProfile profile)
+      : inner_(std::move(inner)), profile_(profile) {}
+
+  [[nodiscard]] CloudId id() const noexcept override { return inner_->id(); }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  Status upload(const std::string& path, ByteSpan data) override;
+  Result<Bytes> download(const std::string& path) override;
+  Status create_dir(const std::string& path) override;
+  Result<std::vector<FileInfo>> list(const std::string& dir) override;
+  Status remove(const std::string& path) override;
+
+ private:
+  // Serializes per-direction bandwidth: concurrent transfers queue behind
+  // each other, approximating a shared uplink.
+  void throttle(std::size_t bytes, bool upload_direction);
+
+  CloudPtr inner_;
+  LinkProfile profile_;
+  std::mutex up_mutex_;
+  std::mutex down_mutex_;
+  double up_free_at_ = 0;    // RealClock timestamp when uplink frees
+  double down_free_at_ = 0;
+};
+
+}  // namespace unidrive::cloud

@@ -1,0 +1,76 @@
+#include "cloud/memory_cloud.h"
+
+#include "cloud/path.h"
+
+namespace unidrive::cloud {
+
+Status MemoryCloud::upload(const std::string& path, ByteSpan data) {
+  const std::string norm = normalize_path(path);
+  if (norm == "/") {
+    return make_error(ErrorCode::kInvalidArgument, "upload to root");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_[norm] = Bytes(data.begin(), data.end());
+  return Status::ok();
+}
+
+Result<Bytes> MemoryCloud::download(const std::string& path) {
+  const std::string norm = normalize_path(path);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(norm);
+  if (it == files_.end()) {
+    return make_error(ErrorCode::kNotFound, name_ + ": " + norm);
+  }
+  return it->second;
+}
+
+Status MemoryCloud::create_dir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dirs_.insert(normalize_path(path));
+  return Status::ok();
+}
+
+Result<std::vector<FileInfo>> MemoryCloud::list(const std::string& dir) {
+  const std::string norm = normalize_path(dir);
+  const std::string prefix = (norm == "/") ? "/" : norm + "/";
+  std::vector<FileInfo> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // map is ordered, so the children of `prefix` form a contiguous range.
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    const std::string& p = it->first;
+    if (p.compare(0, prefix.size(), prefix) != 0) break;
+    // Immediate children only.
+    if (p.find('/', prefix.size()) != std::string::npos) continue;
+    out.push_back({p.substr(prefix.size()), it->second.size()});
+  }
+  return out;
+}
+
+Status MemoryCloud::remove(const std::string& path) {
+  const std::string norm = normalize_path(path);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.erase(norm) == 0) {
+    return make_error(ErrorCode::kNotFound, name_ + ": " + norm);
+  }
+  return Status::ok();
+}
+
+std::size_t MemoryCloud::file_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.size();
+}
+
+std::uint64_t MemoryCloud::stored_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [path, data] : files_) total += data.size();
+  return total;
+}
+
+void MemoryCloud::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_.clear();
+  dirs_.clear();
+}
+
+}  // namespace unidrive::cloud

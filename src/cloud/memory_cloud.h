@@ -1,0 +1,42 @@
+// In-memory CloudProvider with read-after-write consistency — the reference
+// substrate standing in for a commercial CCS REST endpoint. Thread-safe.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "cloud/provider.h"
+
+namespace unidrive::cloud {
+
+class MemoryCloud final : public CloudProvider {
+ public:
+  MemoryCloud(CloudId id, std::string name)
+      : id_(id), name_(std::move(name)) {}
+
+  [[nodiscard]] CloudId id() const noexcept override { return id_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  Status upload(const std::string& path, ByteSpan data) override;
+  Result<Bytes> download(const std::string& path) override;
+  Status create_dir(const std::string& path) override;
+  Result<std::vector<FileInfo>> list(const std::string& dir) override;
+  Status remove(const std::string& path) override;
+
+  // Introspection for tests and traffic accounting.
+  [[nodiscard]] std::size_t file_count() const;
+  [[nodiscard]] std::uint64_t stored_bytes() const;
+  void clear();
+
+ private:
+  CloudId id_;
+  std::string name_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Bytes> files_;  // normalized path -> content
+  std::set<std::string> dirs_;          // explicitly created directories
+};
+
+}  // namespace unidrive::cloud

@@ -1,0 +1,49 @@
+#include "cloud/path.h"
+
+namespace unidrive::cloud {
+
+std::vector<std::string> split_path(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start < path.size()) {
+    const std::size_t slash = path.find('/', start);
+    const std::size_t end = (slash == std::string_view::npos) ? path.size() : slash;
+    if (end > start) parts.emplace_back(path.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::string normalize_path(std::string_view path) {
+  const std::vector<std::string> parts = split_path(path);
+  if (parts.empty()) return "/";
+  std::string out;
+  for (const std::string& p : parts) {
+    out += '/';
+    out += p;
+  }
+  return out;
+}
+
+std::string parent_path(std::string_view path) {
+  const std::string norm = normalize_path(path);
+  const std::size_t slash = norm.find_last_of('/');
+  if (slash == 0) return "/";
+  return norm.substr(0, slash);
+}
+
+std::string basename(std::string_view path) {
+  const std::string norm = normalize_path(path);
+  if (norm == "/") return "";
+  return norm.substr(norm.find_last_of('/') + 1);
+}
+
+std::string join_path(std::string_view dir, std::string_view leaf) {
+  std::string out = normalize_path(dir);
+  if (out == "/") out.clear();
+  out += '/';
+  out += leaf;
+  return normalize_path(out);
+}
+
+}  // namespace unidrive::cloud

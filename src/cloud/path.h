@@ -1,0 +1,26 @@
+// Slash-separated cloud path helpers (no filesystem semantics beyond that).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unidrive::cloud {
+
+// "/a/b/c" -> {"a", "b", "c"}. Empty components are dropped.
+std::vector<std::string> split_path(std::string_view path);
+
+// Normalizes to "/a/b/c" form (leading slash, no trailing slash, no empty
+// components). The root is "/".
+std::string normalize_path(std::string_view path);
+
+// Parent of "/a/b/c" is "/a/b"; parent of "/a" and "/" is "/".
+std::string parent_path(std::string_view path);
+
+// Leaf name: basename("/a/b/c") == "c"; basename("/") == "".
+std::string basename(std::string_view path);
+
+// join("/a", "b") == "/a/b".
+std::string join_path(std::string_view dir, std::string_view leaf);
+
+}  // namespace unidrive::cloud

@@ -1,0 +1,59 @@
+// CloudProvider — the minimum RESTful data-access surface UniDrive assumes
+// of any consumer cloud storage service: upload, download, create directory,
+// list, delete. Nothing else (no compare-and-swap, no append, no server-side
+// execution, no cross-cloud communication). Everything UniDrive does —
+// metadata replication, quorum locking, block placement — is expressed in
+// these five stateless calls.
+//
+// Consistency contract (matching the paper's assumption): read-after-write.
+// After upload() returns OK, a subsequent list()/download() from any client
+// observes the file.
+//
+// Implementations must be safe to call from multiple threads concurrently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace unidrive::cloud {
+
+using CloudId = std::uint32_t;
+
+struct FileInfo {
+  std::string name;  // leaf name within the listed directory
+  std::uint64_t size = 0;
+};
+
+class CloudProvider {
+ public:
+  virtual ~CloudProvider() = default;
+
+  // Stable identifier of this cloud within a multi-cloud configuration.
+  [[nodiscard]] virtual CloudId id() const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Uploads (creates or replaces) a file at an absolute slash-separated
+  // path, e.g. "/data/<segment>_3". Parent directories are created
+  // implicitly, as consumer REST APIs commonly do.
+  virtual Status upload(const std::string& path, ByteSpan data) = 0;
+
+  virtual Result<Bytes> download(const std::string& path) = 0;
+
+  virtual Status create_dir(const std::string& path) = 0;
+
+  // Lists immediate children (files only) of the directory.
+  virtual Result<std::vector<FileInfo>> list(const std::string& dir) = 0;
+
+  // Deletes a file. Deleting a missing file reports kNotFound.
+  virtual Status remove(const std::string& path) = 0;
+};
+
+using CloudPtr = std::shared_ptr<CloudProvider>;
+using MultiCloud = std::vector<CloudPtr>;
+
+}  // namespace unidrive::cloud

@@ -1,0 +1,45 @@
+#include "cloud/quota_cloud.h"
+
+#include "cloud/path.h"
+
+namespace unidrive::cloud {
+
+Status QuotaCloud::upload(const std::string& path, ByteSpan data) {
+  const std::string norm = normalize_path(path);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t used = 0;
+    for (const auto& [p, s] : sizes_) {
+      if (p != norm) used += s;
+    }
+    if (used + data.size() > quota_) {
+      return make_error(ErrorCode::kQuotaExceeded,
+                        name() + ": quota exhausted");
+    }
+  }
+  const Status status = inner_->upload(norm, data);
+  if (status.is_ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sizes_[norm] = data.size();
+  }
+  return status;
+}
+
+Status QuotaCloud::remove(const std::string& path) {
+  const std::string norm = normalize_path(path);
+  const Status status = inner_->remove(norm);
+  if (status.is_ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sizes_.erase(norm);
+  }
+  return status;
+}
+
+std::uint64_t QuotaCloud::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t used = 0;
+  for (const auto& [p, s] : sizes_) used += s;
+  return used;
+}
+
+}  // namespace unidrive::cloud

@@ -1,0 +1,44 @@
+// QuotaCloud — enforces a storage quota, as consumer clouds do. Uploads
+// that would exceed the quota fail with kQuotaExceeded; the scheduler then
+// treats the cloud as unavailable for further over-provisioning (the paper
+// notes a fast cloud becomes "unavailable" for upload once its quota fills).
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "cloud/provider.h"
+
+namespace unidrive::cloud {
+
+class QuotaCloud final : public CloudProvider {
+ public:
+  QuotaCloud(CloudPtr inner, std::uint64_t quota_bytes)
+      : inner_(std::move(inner)), quota_(quota_bytes) {}
+
+  [[nodiscard]] CloudId id() const noexcept override { return inner_->id(); }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  Status upload(const std::string& path, ByteSpan data) override;
+  Result<Bytes> download(const std::string& path) override {
+    return inner_->download(path);
+  }
+  Status create_dir(const std::string& path) override {
+    return inner_->create_dir(path);
+  }
+  Result<std::vector<FileInfo>> list(const std::string& dir) override {
+    return inner_->list(dir);
+  }
+  Status remove(const std::string& path) override;
+
+  [[nodiscard]] std::uint64_t used_bytes() const;
+  [[nodiscard]] std::uint64_t quota_bytes() const noexcept { return quota_; }
+
+ private:
+  CloudPtr inner_;
+  std::uint64_t quota_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::uint64_t> sizes_;  // path -> bytes
+};
+
+}  // namespace unidrive::cloud

@@ -1,0 +1,82 @@
+// RateLimitedCloud — consumer REST APIs throttle clients (HTTP 429);
+// this decorator enforces a token-bucket request budget and fails excess
+// requests with kUnavailable (transient, retriable), exactly how the
+// schedulers are expected to experience a throttling vendor.
+#pragma once
+
+#include <mutex>
+
+#include "cloud/provider.h"
+#include "common/clock.h"
+
+namespace unidrive::cloud {
+
+struct RateLimit {
+  double requests_per_second = 10.0;
+  double burst = 20.0;  // bucket capacity
+};
+
+class RateLimitedCloud final : public CloudProvider {
+ public:
+  RateLimitedCloud(CloudPtr inner, RateLimit limit, Clock& clock)
+      : inner_(std::move(inner)),
+        limit_(limit),
+        clock_(&clock),
+        tokens_(limit.burst),
+        last_refill_(clock.now()) {}
+
+  [[nodiscard]] CloudId id() const noexcept override { return inner_->id(); }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  Status upload(const std::string& path, ByteSpan data) override {
+    UNI_RETURN_IF_ERROR(take_token());
+    return inner_->upload(path, data);
+  }
+  Result<Bytes> download(const std::string& path) override {
+    UNI_RETURN_IF_ERROR(take_token());
+    return inner_->download(path);
+  }
+  Status create_dir(const std::string& path) override {
+    UNI_RETURN_IF_ERROR(take_token());
+    return inner_->create_dir(path);
+  }
+  Result<std::vector<FileInfo>> list(const std::string& dir) override {
+    UNI_RETURN_IF_ERROR(take_token());
+    return inner_->list(dir);
+  }
+  Status remove(const std::string& path) override {
+    UNI_RETURN_IF_ERROR(take_token());
+    return inner_->remove(path);
+  }
+
+  [[nodiscard]] std::uint64_t throttled_requests() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return throttled_;
+  }
+
+ private:
+  Status take_token() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const TimePoint now = clock_->now();
+    tokens_ = std::min(limit_.burst,
+                       tokens_ + (now - last_refill_) * limit_.requests_per_second);
+    last_refill_ = now;
+    if (tokens_ < 1.0) {
+      ++throttled_;
+      return make_error(ErrorCode::kUnavailable,
+                        name() + ": rate limited (429)");
+    }
+    tokens_ -= 1.0;
+    return Status::ok();
+  }
+
+  CloudPtr inner_;
+  RateLimit limit_;
+  Clock* clock_;
+  mutable std::mutex mutex_;
+  double tokens_;
+  TimePoint last_refill_;
+  std::uint64_t throttled_ = 0;
+};
+
+}  // namespace unidrive::cloud

@@ -1,0 +1,55 @@
+#include "cloud/stats_cloud.h"
+
+namespace unidrive::cloud {
+
+Status StatsCloud::upload(const std::string& path, ByteSpan data) {
+  charge_request();
+  const Status status = inner_->upload(path, data);
+  if (status.is_ok()) up_.fetch_add(data.size());
+  return status;
+}
+
+Result<Bytes> StatsCloud::download(const std::string& path) {
+  charge_request();
+  auto result = inner_->download(path);
+  if (result.is_ok()) down_.fetch_add(result.value().size());
+  return result;
+}
+
+Status StatsCloud::create_dir(const std::string& path) {
+  charge_request();
+  return inner_->create_dir(path);
+}
+
+Result<std::vector<FileInfo>> StatsCloud::list(const std::string& dir) {
+  charge_request();
+  auto result = inner_->list(dir);
+  if (result.is_ok()) {
+    // Listing responses carry one JSON entry per file; charge ~80 bytes each.
+    overhead_.fetch_add(80 * result.value().size());
+  }
+  return result;
+}
+
+Status StatsCloud::remove(const std::string& path) {
+  charge_request();
+  return inner_->remove(path);
+}
+
+TrafficStats StatsCloud::stats() const {
+  TrafficStats s;
+  s.requests = requests_.load();
+  s.payload_up = up_.load();
+  s.payload_down = down_.load();
+  s.overhead_bytes = overhead_.load();
+  return s;
+}
+
+void StatsCloud::reset_stats() {
+  requests_.store(0);
+  up_.store(0);
+  down_.store(0);
+  overhead_.store(0);
+}
+
+}  // namespace unidrive::cloud

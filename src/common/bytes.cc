@@ -1,0 +1,55 @@
+#include "common/bytes.h"
+
+namespace unidrive {
+
+Bytes bytes_from_string(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string string_from_bytes(ByteSpan b) {
+  return std::string(b.begin(), b.end());
+}
+
+std::string to_hex(ByteSpan b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t v : b) {
+    out.push_back(kDigits[v >> 4]);
+    out.push_back(kDigits[v & 0xF]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return {};
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return {};
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(ByteSpan b) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t v : b) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace unidrive

@@ -1,0 +1,25 @@
+// Byte-buffer helpers shared across the codebase.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unidrive {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+Bytes bytes_from_string(std::string_view s);
+std::string string_from_bytes(ByteSpan b);
+
+std::string to_hex(ByteSpan b);
+// Returns empty on malformed input (odd length / non-hex chars).
+Bytes from_hex(std::string_view hex);
+
+// FNV-1a, used for cheap non-cryptographic fingerprints in tests/benches.
+std::uint64_t fnv1a(ByteSpan b) noexcept;
+
+}  // namespace unidrive

@@ -1,0 +1,49 @@
+// Clock abstraction. The synchronization protocol (lock refresh/breaking,
+// poll intervals) never requires globally synchronized clocks — only locally
+// monotonic ones — so every component takes a Clock& and tests drive a
+// ManualClock deterministically.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace unidrive {
+
+// Seconds since an arbitrary epoch. Double keeps simulation maths simple and
+// has ~microsecond precision over the spans we simulate (weeks).
+using TimePoint = double;
+using Duration = double;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+class RealClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override {
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now().time_since_epoch()).count();
+  }
+
+  static RealClock& instance() {
+    static RealClock clock;
+    return clock;
+  }
+};
+
+// Thread-safe manually advanced clock for tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = 0.0) : now_(start) {}
+
+  [[nodiscard]] TimePoint now() const override { return now_.load(); }
+  void advance(Duration d) { now_.store(now_.load() + d); }
+  void set(TimePoint t) { now_.store(t); }
+
+ private:
+  std::atomic<double> now_;
+};
+
+}  // namespace unidrive

@@ -1,0 +1,35 @@
+// Minimal leveled logger. Off by default; benches/tests can raise the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace unidrive {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+void log_line(LogLevel level, const std::string& msg);
+
+namespace internal {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define UNI_LOG(level)                                             \
+  if (::unidrive::log_level() > ::unidrive::LogLevel::level) {     \
+  } else                                                           \
+    ::unidrive::internal::LogMessage(::unidrive::LogLevel::level).stream()
+
+#define UNI_DLOG UNI_LOG(kDebug)
+
+}  // namespace unidrive

@@ -1,0 +1,43 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace unidrive {
+
+double Rng::exponential(double mean) noexcept {
+  double u = next_double();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  return mean + stddev * u * m;
+}
+
+double Rng::lognormal(double median, double sigma) noexcept {
+  return median * std::exp(normal(0.0, sigma));
+}
+
+Bytes Rng::bytes(std::size_t n) {
+  Bytes out(n);
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    const std::uint64_t w = next();
+    for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(w >> (8 * b));
+  }
+  if (i < n) {
+    const std::uint64_t w = next();
+    for (int b = 0; i < n; ++b) out[i++] = static_cast<std::uint8_t>(w >> (8 * b));
+  }
+  return out;
+}
+
+}  // namespace unidrive

@@ -1,0 +1,88 @@
+// Deterministic PRNG (xoshiro256**) so every simulation, test, and bench is
+// reproducible from a seed. Not for cryptographic use.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bytes.h"
+
+namespace unidrive {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    // splitmix64 expansion of the seed into the 4-word state.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Rejection-free Lemire reduction is overkill here; modulo bias is
+    // negligible for simulation bounds << 2^64.
+    return next() % bound;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  // Exponential with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  // Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  // Lognormal such that the *median* of the distribution is `median` and the
+  // underlying normal has standard deviation `sigma`.
+  double lognormal(double median, double sigma) noexcept;
+
+  Bytes bytes(std::size_t n);
+
+  // Split off an independent child stream (for per-entity RNGs).
+  Rng fork() noexcept { return Rng(next() ^ 0xa0761d6478bd642fULL); }
+
+  // UniformRandomBitGenerator interface, so <algorithm>/<random> helpers work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  result_type operator()() noexcept { return next(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace unidrive

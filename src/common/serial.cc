@@ -1,0 +1,111 @@
+#include "common/serial.h"
+
+#include <bit>
+#include <cstring>
+
+namespace unidrive {
+
+namespace {
+Status truncated() {
+  return make_error(ErrorCode::kCorrupt, "serialized data truncated");
+}
+}  // namespace
+
+void BinaryWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void BinaryWriter::put_double(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(bits);
+}
+
+void BinaryWriter::put_string(std::string_view s) {
+  put_varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void BinaryWriter::put_bytes(ByteSpan b) {
+  put_varint(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void BinaryWriter::put_raw(ByteSpan b) {
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+Result<std::uint8_t> BinaryReader::get_u8() {
+  if (pos_ + 1 > data_.size()) return truncated();
+  return data_[pos_++];
+}
+
+Result<std::uint32_t> BinaryReader::get_u32() {
+  if (pos_ + 4 > data_.size()) return truncated();
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+Result<std::uint64_t> BinaryReader::get_u64() {
+  if (pos_ + 8 > data_.size()) return truncated();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+Result<std::uint64_t> BinaryReader::get_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= data_.size()) return truncated();
+    const std::uint8_t byte = data_[pos_++];
+    if (shift >= 64) return make_error(ErrorCode::kCorrupt, "varint overflow");
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Result<double> BinaryReader::get_double() {
+  UNI_ASSIGN_OR_RETURN(const std::uint64_t bits, get_u64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> BinaryReader::get_string() {
+  UNI_ASSIGN_OR_RETURN(const std::uint64_t n, get_varint());
+  if (pos_ + n > data_.size()) return truncated();
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Result<Bytes> BinaryReader::get_bytes() {
+  UNI_ASSIGN_OR_RETURN(const std::uint64_t n, get_varint());
+  return get_raw(n);
+}
+
+Result<Bytes> BinaryReader::get_raw(std::size_t n) {
+  if (pos_ + n > data_.size()) return truncated();
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace unidrive

@@ -1,0 +1,57 @@
+// Compact binary serialization for metadata files (SyncFolderImage, delta
+// logs, version files). Varint-coded integers keep the metadata small, which
+// matters because metadata is replicated to every cloud on every commit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace unidrive {
+
+class BinaryWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u32(std::uint32_t v);   // fixed little-endian
+  void put_u64(std::uint64_t v);   // fixed little-endian
+  void put_varint(std::uint64_t v);
+  void put_double(double v);
+  void put_string(std::string_view s);   // varint length + bytes
+  void put_bytes(ByteSpan b);            // varint length + bytes
+  void put_raw(ByteSpan b);              // bytes only, no length prefix
+
+  [[nodiscard]] const Bytes& data() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() && noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(ByteSpan data) noexcept : data_(data) {}
+
+  Result<std::uint8_t> get_u8();
+  Result<std::uint32_t> get_u32();
+  Result<std::uint64_t> get_u64();
+  Result<std::uint64_t> get_varint();
+  Result<double> get_double();
+  Result<std::string> get_string();
+  Result<Bytes> get_bytes();
+  Result<Bytes> get_raw(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace unidrive

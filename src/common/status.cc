@@ -1,0 +1,32 @@
+#include "common/status.h"
+
+namespace unidrive {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kOutage: return "OUTAGE";
+    case ErrorCode::kQuotaExceeded: return "QUOTA_EXCEEDED";
+    case ErrorCode::kConflict: return "CONFLICT";
+    case ErrorCode::kLockContention: return "LOCK_CONTENTION";
+    case ErrorCode::kCorrupt: return "CORRUPT";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out = error_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace unidrive

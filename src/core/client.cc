@@ -1,0 +1,757 @@
+#include "core/client.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+
+#include "common/logging.h"
+#include "crypto/sha1.h"
+#include "metadata/delta.h"
+#include "sched/rebalance.h"
+
+namespace unidrive::core {
+
+using metadata::Change;
+using metadata::FileSnapshot;
+using metadata::SegmentInfo;
+using metadata::SyncFolderImage;
+using metadata::VersionStamp;
+
+namespace {
+
+// The RS codec length is pinned (not derived from the current N) so a block
+// index means the same codeword row forever: blocks encoded before an
+// add/remove-cloud rebalance stay decodable alongside blocks encoded after.
+// The scheduler still bounds *placement* by CodeParams::code_n().
+constexpr std::size_t kCodecLength = 64;
+
+erasure::RsCode codec_for(const sched::CodeParams& params) {
+  return erasure::RsCode(kCodecLength, params.k);
+}
+
+}  // namespace
+
+UniDriveClient::UniDriveClient(cloud::MultiCloud clouds,
+                               std::shared_ptr<LocalFs> fs,
+                               ClientConfig config, Clock& clock, Rng rng)
+    : clouds_(std::move(clouds)),
+      fs_(std::move(fs)),
+      config_(std::move(config)),
+      clock_(clock),
+      rng_(rng),
+      store_(clouds_, config_.passphrase),
+      lock_(clouds_, config_.device, config_.lock, clock_, rng_.fork()),
+      monitor_() {
+  load_state();
+}
+
+void UniDriveClient::load_state() {
+  if (config_.state_file.empty()) return;
+  std::ifstream in(config_.state_file, std::ios::binary);
+  if (!in) return;  // first run
+  const Bytes data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto image = SyncFolderImage::deserialize(ByteSpan(data));
+  if (image.is_ok()) {
+    image_ = std::move(image).take();
+  } else {
+    UNI_LOG(kWarn) << "discarding corrupt client state file "
+                   << config_.state_file;
+  }
+}
+
+void UniDriveClient::persist_state() const {
+  if (config_.state_file.empty()) return;
+  const Bytes data = image_.serialize();
+  // Write-then-rename so a crash never leaves a torn state file.
+  const std::string tmp = config_.state_file + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      UNI_LOG(kWarn) << "cannot persist client state to " << tmp;
+      return;
+    }
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, config_.state_file, ec);
+  if (ec) {
+    UNI_LOG(kWarn) << "state rename failed: " << ec.message();
+  }
+}
+
+sched::CodeParams UniDriveClient::code_params() const {
+  sched::CodeParams p;
+  p.num_clouds = clouds_.size();
+  p.k = config_.k;
+  p.ks = config_.ks;
+  p.kr = config_.kr;
+  return p;
+}
+
+std::vector<cloud::CloudId> UniDriveClient::cloud_ids() const {
+  std::vector<cloud::CloudId> ids;
+  ids.reserve(clouds_.size());
+  for (const cloud::CloudPtr& c : clouds_) ids.push_back(c->id());
+  return ids;
+}
+
+cloud::CloudProvider* UniDriveClient::find_cloud(cloud::CloudId id) const {
+  for (const cloud::CloudPtr& c : clouds_) {
+    if (c->id() == id) return c.get();
+  }
+  return nullptr;
+}
+
+bool UniDriveClient::cloud_update_pending() {
+  return store_.has_cloud_update(image_.version());
+}
+
+// --- data plane -------------------------------------------------------------
+
+Result<std::vector<SegmentInfo>> UniDriveClient::upload_segments(
+    const std::map<std::string, Bytes>& segments) {
+  std::vector<SegmentInfo> out;
+  if (segments.empty()) return out;
+
+  const sched::CodeParams params = code_params();
+  UNI_RETURN_IF_ERROR(params.validate());
+  const erasure::RsCode code = codec_for(params);
+
+  // Batch all segments as one upload job (the two-phase scheduler treats
+  // each segment's file position by insertion order).
+  std::vector<sched::UploadFileSpec> specs;
+  for (const auto& [id, data] : segments) {
+    sched::UploadFileSpec spec;
+    spec.path = id;  // data-plane job: one pseudo-file per segment
+    spec.segments.push_back({id, data.size()});
+    specs.push_back(std::move(spec));
+  }
+  sched::UploadScheduler scheduler(params, cloud_ids(), specs);
+
+  const auto transfer = [&](const sched::BlockTask& task) -> Status {
+    const auto it = segments.find(task.segment_id);
+    if (it == segments.end()) {
+      return make_error(ErrorCode::kInternal, "unknown segment");
+    }
+    const std::vector<erasure::Shard> shards =
+        code.encode_shards(ByteSpan(it->second), {task.block_index});
+    cloud::CloudProvider* provider = find_cloud(task.cloud);
+    if (provider == nullptr) {
+      return make_error(ErrorCode::kInternal, "unknown cloud");
+    }
+    return provider->upload(
+        metadata::block_path(task.segment_id, task.block_index),
+        ByteSpan(shards.front().data));
+  };
+
+  sched::ThreadedTransferDriver driver(cloud_ids(), config_.driver, monitor_);
+  driver.run_upload(scheduler, transfer);
+
+  for (const auto& [id, data] : segments) {
+    SegmentInfo info;
+    info.id = id;
+    info.size = data.size();
+    info.blocks = scheduler.locations(id);
+    // Availability is the hard floor: fewer than k blocks means the segment
+    // is not recoverable from the multi-cloud at all.
+    std::set<std::uint32_t> distinct;
+    for (const metadata::BlockLocation& b : info.blocks) {
+      distinct.insert(b.block_index);
+    }
+    if (distinct.size() < params.k) {
+      return make_error(ErrorCode::kUnavailable,
+                        "segment " + id + " failed to reach availability");
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+namespace {
+
+// Tries every k-subset of `shards` (distinct block indices) until one
+// decodes to content matching the segment's id. |shards| stays small
+// (<= code_n), so the combinatorial search is cheap; with at most one
+// corrupt shard a single extra block already guarantees a clean subset.
+Result<Bytes> decode_verified(const erasure::RsCode& code,
+                              const std::vector<erasure::Shard>& shards,
+                              const SegmentInfo& segment, std::size_t k) {
+  std::vector<std::size_t> pick(k);
+  std::function<Result<Bytes>(std::size_t, std::size_t)> search =
+      [&](std::size_t depth, std::size_t start) -> Result<Bytes> {
+    if (depth == k) {
+      std::vector<erasure::Shard> subset;
+      subset.reserve(k);
+      for (const std::size_t i : pick) subset.push_back(shards[i]);
+      auto decoded = code.decode(subset, segment.size);
+      if (decoded.is_ok() &&
+          crypto::Sha1::hex(ByteSpan(decoded.value())) == segment.id) {
+        return decoded;
+      }
+      return make_error(ErrorCode::kCorrupt, "subset failed");
+    }
+    for (std::size_t i = start; i + (k - depth) <= shards.size(); ++i) {
+      pick[depth] = i;
+      auto result = search(depth + 1, i + 1);
+      if (result.is_ok()) return result;
+    }
+    return make_error(ErrorCode::kCorrupt, "no verifiable subset");
+  };
+  return search(0, 0);
+}
+
+}  // namespace
+
+// Fetches, decodes and integrity-checks one segment. On an integrity
+// failure (a cloud served tampered or rotted bytes) the corrupt shard
+// cannot be identified directly, so the client fetches additional distinct
+// blocks one at a time and searches the k-subsets of everything fetched
+// until one decodes to the segment's content hash.
+Result<Bytes> UniDriveClient::fetch_segment(
+    const SegmentInfo& segment,
+    const std::vector<metadata::BlockLocation>& exclude) {
+  const sched::CodeParams params = code_params();
+  const erasure::RsCode code = codec_for(params);
+
+  std::mutex shards_mutex;
+  std::vector<erasure::Shard> shards;       // all fetched so far
+  std::set<std::uint32_t> fetched_indices;  // distinct block indices held
+
+  // Fetch `count` more distinct blocks, avoiding already-fetched indices
+  // and excluded placements. Returns how many landed.
+  const auto fetch_more = [&](std::size_t count) -> std::size_t {
+    sched::DownloadSegmentSpec seg_spec;
+    seg_spec.id = segment.id;
+    seg_spec.size = segment.size;
+    for (const metadata::BlockLocation& loc : segment.blocks) {
+      if (fetched_indices.count(loc.block_index) != 0) continue;
+      if (std::find(exclude.begin(), exclude.end(), loc) != exclude.end()) {
+        continue;
+      }
+      seg_spec.locations.push_back(loc);
+    }
+    if (seg_spec.locations.empty()) return 0;
+    sched::DownloadFileSpec spec;
+    spec.path = segment.id;
+    spec.segments.push_back(std::move(seg_spec));
+    sched::DownloadScheduler scheduler(
+        std::min(count, spec.segments[0].locations.size()), {spec});
+    const std::size_t before = shards.size();
+
+    const auto transfer = [&](const sched::BlockTask& task) -> Status {
+      cloud::CloudProvider* provider = find_cloud(task.cloud);
+      if (provider == nullptr) {
+        return make_error(ErrorCode::kInternal, "unknown cloud");
+      }
+      auto data = provider->download(
+          metadata::block_path(task.segment_id, task.block_index));
+      if (!data.is_ok()) return data.status();
+      std::lock_guard<std::mutex> guard(shards_mutex);
+      shards.push_back({task.block_index, std::move(data).take()});
+      fetched_indices.insert(task.block_index);
+      return Status::ok();
+    };
+    sched::ThreadedTransferDriver driver(cloud_ids(), config_.driver,
+                                         monitor_);
+    driver.run_download(scheduler, transfer);
+    return shards.size() - before;
+  };
+
+  if (fetch_more(params.k) < params.k) {
+    return make_error(ErrorCode::kUnavailable,
+                      "could not fetch k blocks for segment " + segment.id);
+  }
+  while (true) {
+    auto decoded = decode_verified(code, shards, segment, params.k);
+    if (decoded.is_ok()) return decoded;
+    UNI_LOG(kWarn) << "segment " << segment.id
+                   << " failed integrity check with " << shards.size()
+                   << " blocks; fetching another";
+    if (fetch_more(1) == 0) {
+      return make_error(ErrorCode::kCorrupt,
+                        "segment " + segment.id +
+                            ": no verifiable block combination exists");
+    }
+  }
+}
+
+Status UniDriveClient::materialize_file(const FileSnapshot& snapshot) {
+  Bytes content;
+  content.reserve(snapshot.size);
+  for (const std::string& seg_id : snapshot.segment_ids) {
+    const SegmentInfo* seg = image_.find_segment(seg_id);
+    if (seg == nullptr) {
+      return make_error(ErrorCode::kCorrupt,
+                        "snapshot references unknown segment " + seg_id);
+    }
+    UNI_ASSIGN_OR_RETURN(const Bytes piece, fetch_segment(*seg, {}));
+    content.insert(content.end(), piece.begin(), piece.end());
+  }
+  if (content.size() != snapshot.size) {
+    return make_error(ErrorCode::kCorrupt,
+                      "assembled size mismatch for " + snapshot.path);
+  }
+  return fs_->write(snapshot.path, ByteSpan(content));
+}
+
+Result<std::pair<std::size_t, std::size_t>> UniDriveClient::apply_cloud_image(
+    const SyncFolderImage& target) {
+  const metadata::ImageDiff diff = metadata::diff_images(image_, target);
+  std::size_t downloaded = 0;
+  std::size_t removed = 0;
+
+  for (const std::string& d : diff.added_dirs) (void)fs_->make_dir(d);
+
+  for (const auto& [path, change] : diff.files) {
+    switch (change.kind) {
+      case metadata::EntryChangeKind::kAdded:
+      case metadata::EntryChangeKind::kModified: {
+        // Skip if the local file already matches (e.g. we produced it).
+        auto local = fs_->read(path);
+        if (local.is_ok() &&
+            crypto::Sha1::hex(ByteSpan(local.value())) ==
+                change.snapshot->content_hash) {
+          break;
+        }
+        // Temporarily adopt the target's pool for block lookup.
+        UNI_RETURN_IF_ERROR(
+            [&]() -> Status {
+              const SyncFolderImage saved = image_;
+              image_ = target;
+              const Status s = materialize_file(*change.snapshot);
+              image_ = saved;
+              return s;
+            }());
+        ++downloaded;
+        break;
+      }
+      case metadata::EntryChangeKind::kDeleted:
+        if (fs_->remove(path).is_ok()) ++removed;
+        break;
+    }
+  }
+
+  for (const std::string& d : diff.removed_dirs) (void)fs_->remove_dir(d);
+
+  image_ = target;
+  return std::make_pair(downloaded, removed);
+}
+
+// --- control plane ----------------------------------------------------------
+
+Status UniDriveClient::commit_locked(SyncFolderImage next,
+                                     const std::vector<Change>& changes) {
+  // Read the authoritative cloud-side base + delta pair (we hold the lock,
+  // so nobody else is writing) and APPEND our commit to the shared delta —
+  // overwriting it with a locally kept log would drop other devices'
+  // records that are not yet folded into the base.
+  SyncFolderImage base;
+  metadata::DeltaLog delta;
+  std::size_t base_size = 0;
+  auto raw = store_.fetch_raw();
+  if (raw.is_ok()) {
+    base = std::move(raw.value().base);
+    delta = std::move(raw.value().delta);
+    base_size = base.serialize().size();
+  }
+
+  VersionStamp version;
+  version.device = config_.device;
+  version.counter =
+      std::max({next.version().counter, image_.version().counter,
+                delta.latest_version().value_or(base.version()).counter}) +
+      1;
+  version.timestamp = clock_.now();
+  next.set_version(version);
+
+  metadata::CommitRecord record;
+  record.version = version;
+  record.changes = changes;
+  delta.append(std::move(record));
+
+  const std::size_t delta_size = delta.serialize().size();
+  const bool fold =
+      config_.delta_policy.should_merge(base_size, delta_size) ||
+      base_size == 0;
+  Status status;
+  if (fold) {
+    // Fold: the new base IS `next`; the delta restarts empty.
+    metadata::DeltaLog empty;
+    status = store_.publish(next, empty, /*upload_base=*/true);
+  } else {
+    status = store_.publish(base, delta, /*upload_base=*/false);
+  }
+  if (!status.is_ok()) return status;
+  image_ = std::move(next);
+  return Status::ok();
+}
+
+Result<SyncReport> UniDriveClient::sync() {
+  SyncReport report;
+
+  const chunker::SegmenterParams seg_params{config_.theta};
+  ScanResult scan = scan_local_changes(*fs_, image_, seg_params,
+                                       config_.device, &scan_cache_);
+
+  if (!scan.changes.empty()) {
+    // --- local update path (Algorithm 1, lines 2-14) ---
+    // Data plane first: blocks must hit the clouds before metadata does.
+    UNI_ASSIGN_OR_RETURN(const std::vector<SegmentInfo> uploaded,
+                         upload_segments(scan.new_segments));
+    report.segments_uploaded = uploaded.size();
+
+    // Build v_l = v_o + epsilon (+ fresh segment records).
+    SyncFolderImage local = image_;
+    std::vector<Change> committed_changes;
+    for (const SegmentInfo& seg : uploaded) {
+      Change c = Change::upsert_segment(seg);
+      apply_change(local, c);
+      committed_changes.push_back(std::move(c));
+    }
+    for (const Change& c : scan.changes.aggregated()) {
+      apply_change(local, c);
+      committed_changes.push_back(c);
+      if (c.kind == metadata::ChangeKind::kUpsertFile) ++report.files_uploaded;
+    }
+
+    UNI_RETURN_IF_ERROR(lock_.acquire());
+    Status commit_status;
+    if (store_.has_cloud_update(image_.version())) {
+      auto fetched = store_.fetch_latest();
+      if (!fetched.is_ok()) {
+        lock_.release();
+        return fetched.status();
+      }
+      metadata::MergeResult merged = metadata::merge_images(
+          image_, local, fetched.value().image, config_.device);
+      report.conflicts = merged.conflicts;
+      // The merge may have rewritten paths (conflict copies): recompute the
+      // change list as the diff base->merged for the delta log.
+      std::vector<Change> merged_changes;
+      for (const auto& [id, seg] : merged.merged.segments()) {
+        if (fetched.value().image.find_segment(id) == nullptr) {
+          merged_changes.push_back(Change::upsert_segment(seg));
+        }
+      }
+      const metadata::ImageDiff d =
+          metadata::diff_images(fetched.value().image, merged.merged);
+      for (const auto& [path, ec] : d.files) {
+        if (ec.kind == metadata::EntryChangeKind::kDeleted) {
+          merged_changes.push_back(Change::delete_file(path));
+        } else {
+          merged_changes.push_back(Change::upsert_file(*ec.snapshot));
+        }
+      }
+      for (const std::string& dir : d.added_dirs) {
+        merged_changes.push_back(Change::add_dir(dir));
+      }
+      for (const std::string& dir : d.removed_dirs) {
+        merged_changes.push_back(Change::delete_dir(dir));
+      }
+      commit_status = commit_locked(merged.merged, merged_changes);
+    } else {
+      commit_status = commit_locked(local, committed_changes);
+    }
+    lock_.release();
+    UNI_RETURN_IF_ERROR(commit_status);
+    report.committed = true;
+
+    // Bring the local folder up to the committed state (conflict copies,
+    // concurrently added files from other devices). The local folder
+    // currently reflects v_l, so diff from there — commit_locked already
+    // moved image_ to the merged state.
+    const SyncFolderImage committed = image_;
+    image_ = local;
+    auto applied = apply_cloud_image(committed);
+    if (!applied.is_ok()) {
+      image_ = committed;  // folder lags, but metadata is authoritative
+    } else {
+      report.files_downloaded += applied.value().first;
+      report.files_removed += applied.value().second;
+      report.applied_cloud = applied.value().first + applied.value().second > 0;
+    }
+  } else if (store_.has_cloud_update(image_.version())) {
+    // --- cloud update path (Algorithm 1, lines 15-18) ---
+    UNI_ASSIGN_OR_RETURN(const metadata::FetchedMetadata fetched,
+                         store_.fetch_latest());
+    UNI_ASSIGN_OR_RETURN(const auto counts, apply_cloud_image(fetched.image));
+    report.files_downloaded = counts.first;
+    report.files_removed = counts.second;
+    report.applied_cloud = true;
+  }
+
+  report.version = image_.version();
+  persist_state();
+  return report;
+}
+
+// --- maintenance -------------------------------------------------------------
+
+Status UniDriveClient::cleanup_overprovisioned() {
+  const sched::CodeParams params = code_params();
+  UNI_RETURN_IF_ERROR(lock_.acquire());
+  auto fetched = store_.fetch_latest();
+  if (!fetched.is_ok()) {
+    lock_.release();
+    return fetched.status();
+  }
+  SyncFolderImage next = std::move(fetched).take().image;
+
+  std::vector<Change> changes;
+  for (const auto& [id, seg] : next.segments()) {
+    std::map<cloud::CloudId, std::size_t> per_cloud;
+    SegmentInfo trimmed = seg;
+    std::vector<metadata::BlockLocation> keep;
+    for (const metadata::BlockLocation& b : seg.blocks) {
+      if (per_cloud[b.cloud] < params.fair_share()) {
+        keep.push_back(b);
+        ++per_cloud[b.cloud];
+      } else {
+        // Surplus: delete the block from the cloud (best effort).
+        cloud::CloudProvider* provider = find_cloud(b.cloud);
+        if (provider != nullptr) {
+          (void)provider->remove(metadata::block_path(id, b.block_index));
+        }
+      }
+    }
+    if (keep.size() != seg.blocks.size()) {
+      trimmed.blocks = std::move(keep);
+      changes.push_back(Change::upsert_segment(trimmed));
+    }
+  }
+
+  Status status = Status::ok();
+  if (!changes.empty()) {
+    for (const Change& c : changes) apply_change(next, c);
+    status = commit_locked(std::move(next), changes);
+  }
+  lock_.release();
+  return status;
+}
+
+Result<std::size_t> UniDriveClient::collect_garbage() {
+  UNI_RETURN_IF_ERROR(lock_.acquire());
+  auto fetched = store_.fetch_latest();
+  if (!fetched.is_ok()) {
+    lock_.release();
+    return fetched.status();
+  }
+  SyncFolderImage next = std::move(fetched).take().image;
+
+  std::vector<Change> changes;
+  for (const std::string& seg_id : next.garbage_segments()) {
+    const SegmentInfo* seg = next.find_segment(seg_id);
+    if (seg == nullptr) continue;
+    // Blocks first, metadata second: a crash in between leaves a harmless
+    // pool entry pointing at deleted blocks (retried next GC), never a
+    // referenced segment without blocks.
+    for (const metadata::BlockLocation& b : seg->blocks) {
+      cloud::CloudProvider* provider = find_cloud(b.cloud);
+      if (provider != nullptr) {
+        (void)provider->remove(metadata::block_path(seg_id, b.block_index));
+      }
+    }
+    changes.push_back(Change::drop_segment(seg_id));
+  }
+
+  Status status = Status::ok();
+  if (!changes.empty()) {
+    for (const Change& c : changes) apply_change(next, c);
+    status = commit_locked(std::move(next), changes);
+  }
+  lock_.release();
+  if (!status.is_ok()) return status;
+  return changes.size();
+}
+
+Status UniDriveClient::resolve_conflict(const metadata::ConflictRecord& record,
+                                        ConflictChoice choice) {
+  if (record.conflict_copy.empty()) {
+    // Nothing was copied (e.g. delete-vs-edit); the cloud version already
+    // stands — only kKeepTheirs is meaningful and it is a no-op.
+    return choice == ConflictChoice::kKeepTheirs
+               ? Status::ok()
+               : make_error(ErrorCode::kInvalidArgument,
+                            "conflict has no local copy to promote");
+  }
+  if (choice == ConflictChoice::kKeepMine) {
+    UNI_ASSIGN_OR_RETURN(const Bytes mine, fs_->read(record.conflict_copy));
+    UNI_RETURN_IF_ERROR(fs_->write(record.path, ByteSpan(mine)));
+  }
+  UNI_RETURN_IF_ERROR(fs_->remove(record.conflict_copy));
+  return Status::ok();
+}
+
+Status UniDriveClient::restore_previous_version(const std::string& path) {
+  const std::vector<FileSnapshot> history = image_.history(path);
+  if (history.empty()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no superseded snapshot for " + path);
+  }
+  // Materialize the old content locally; the next sync() scans it as a
+  // fresh local edit and commits it through the normal pipeline (so other
+  // devices receive it like any other change). Segments are still in the
+  // pool — history snapshots keep them referenced.
+  UNI_RETURN_IF_ERROR(materialize_file(history.front()));
+  return Status::ok();
+}
+
+// Plaintext bytes of a segment, for re-encoding blocks during rebalances.
+// Fast path: slice it out of a local file (the client keeps a full copy of
+// everything). Fallback: fetch + decode k blocks from the multi-cloud —
+// membership changes must work even when the local copy is missing (e.g. a
+// freshly joined device administering the multi-cloud).
+Result<Bytes> UniDriveClient::segment_content(
+    const SyncFolderImage& image, const std::string& segment_id) {
+  for (const auto& [path, snapshot] : image.files()) {
+    std::size_t offset = 0;
+    for (const std::string& sid : snapshot.segment_ids) {
+      const metadata::SegmentInfo* seg = image.find_segment(sid);
+      const std::size_t len = seg ? seg->size : 0;
+      if (sid == segment_id) {
+        auto content = fs_->read(path);
+        if (content.is_ok() && offset + len <= content.value().size()) {
+          const ByteSpan view(content.value());
+          const Bytes piece(view.begin() + offset,
+                            view.begin() + offset + len);
+          // Trust but verify: the local file may have been edited since.
+          if (crypto::Sha1::hex(ByteSpan(piece)) == segment_id) return piece;
+        }
+        break;  // local copy unusable; try the next referencing file
+      }
+      offset += len;
+    }
+  }
+  // Repair path: reconstruct from the clouds.
+  const metadata::SegmentInfo* seg = image.find_segment(segment_id);
+  if (seg == nullptr) {
+    return make_error(ErrorCode::kNotFound, "unknown segment " + segment_id);
+  }
+  const SyncFolderImage saved = image_;
+  image_ = image;  // fetch_segment resolves blocks via image_
+  auto fetched = fetch_segment(*seg, {});
+  image_ = saved;
+  return fetched;
+}
+
+// Executes a rebalance plan: re-encode + upload moved blocks, delete shed
+// ones. Best effort per block (unreachable clouds are skipped; the plan is
+// re-derivable later).
+void UniDriveClient::execute_rebalance(const SyncFolderImage& image,
+                                       const sched::RebalancePlan& plan,
+                                       const erasure::RsCode& code,
+                                       cloud::CloudProvider* added) {
+  for (const sched::BlockMove& move : plan.moves) {
+    auto content = segment_content(image, move.segment_id);
+    if (!content.is_ok()) {
+      UNI_LOG(kWarn) << "rebalance: cannot reconstruct segment "
+                     << move.segment_id << ": "
+                     << content.status().to_string();
+      continue;
+    }
+    const auto shards =
+        code.encode_shards(ByteSpan(content.value()), {move.block_index});
+    cloud::CloudProvider* target =
+        added != nullptr && added->id() == move.to_cloud ? added
+                                                         : find_cloud(move.to_cloud);
+    if (target != nullptr) {
+      (void)target->upload(
+          metadata::block_path(move.segment_id, move.block_index),
+          ByteSpan(shards.front().data));
+    }
+  }
+  for (const sched::BlockDeletion& del : plan.deletions) {
+    cloud::CloudProvider* provider = find_cloud(del.cloud);
+    if (provider != nullptr) {
+      (void)provider->remove(
+          metadata::block_path(del.segment_id, del.block_index));
+    }
+  }
+}
+
+Status UniDriveClient::add_cloud(cloud::CloudPtr new_cloud) {
+  UNI_RETURN_IF_ERROR(lock_.acquire());
+  auto fetched = store_.fetch_latest();
+  SyncFolderImage next = fetched.is_ok() ? fetched.value().image : image_;
+
+  std::vector<cloud::CloudId> all_ids = cloud_ids();
+  all_ids.push_back(new_cloud->id());
+  sched::CodeParams params = code_params();
+  params.num_clouds = all_ids.size();
+  const Status valid = params.validate();
+  if (!valid.is_ok()) {
+    lock_.release();
+    return valid;
+  }
+
+  const sched::RebalancePlan plan =
+      sched::plan_add_cloud(next, new_cloud->id(), all_ids, params);
+  execute_rebalance(next, plan, codec_for(params), new_cloud.get());
+
+  sched::apply_rebalance(next, plan);
+  clouds_.push_back(std::move(new_cloud));
+  // Rebuild store/lock over the new membership.
+  store_ = metadata::MetaStore(clouds_, config_.passphrase);
+  lock_ = lock::QuorumLock(clouds_, config_.device, config_.lock, clock_,
+                           rng_.fork());
+  UNI_RETURN_IF_ERROR(lock_.acquire());
+  std::vector<Change> changes;
+  for (const auto& [id, seg] : next.segments()) {
+    changes.push_back(Change::upsert_segment(seg));
+  }
+  const Status status = commit_locked(std::move(next), changes);
+  lock_.release();
+  return status;
+}
+
+Status UniDriveClient::remove_cloud(cloud::CloudId removed) {
+  UNI_RETURN_IF_ERROR(lock_.acquire());
+  auto fetched = store_.fetch_latest();
+  SyncFolderImage next = fetched.is_ok() ? fetched.value().image : image_;
+
+  std::vector<cloud::CloudId> survivors;
+  for (const cloud::CloudPtr& c : clouds_) {
+    if (c->id() != removed) survivors.push_back(c->id());
+  }
+  if (survivors.size() == clouds_.size()) {
+    lock_.release();
+    return make_error(ErrorCode::kInvalidArgument, "cloud not enrolled");
+  }
+  sched::CodeParams params = code_params();
+  params.num_clouds = survivors.size();
+  const Status valid = params.validate();
+  if (!valid.is_ok()) {
+    lock_.release();
+    return valid;
+  }
+
+  const sched::RebalancePlan plan =
+      sched::plan_remove_cloud(next, removed, survivors, params);
+  execute_rebalance(next, plan, codec_for(params), nullptr);
+
+  sched::apply_rebalance(next, plan);
+  lock_.release();  // release on the OLD membership before rebuilding
+
+  clouds_.erase(std::remove_if(clouds_.begin(), clouds_.end(),
+                               [&](const cloud::CloudPtr& c) {
+                                 return c->id() == removed;
+                               }),
+                clouds_.end());
+  store_ = metadata::MetaStore(clouds_, config_.passphrase);
+  lock_ = lock::QuorumLock(clouds_, config_.device, config_.lock, clock_,
+                           rng_.fork());
+  UNI_RETURN_IF_ERROR(lock_.acquire());
+  std::vector<Change> changes;
+  for (const auto& [id, seg] : next.segments()) {
+    changes.push_back(Change::upsert_segment(seg));
+  }
+  const Status status = commit_locked(std::move(next), changes);
+  lock_.release();
+  return status;
+}
+
+}  // namespace unidrive::core

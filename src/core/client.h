@@ -1,0 +1,178 @@
+// UniDriveClient — the complete server-less, client-centric sync engine.
+//
+// One instance represents one device. sync() runs one round of Algorithm 1:
+//
+//   if local changes exist:
+//       upload new data blocks (data plane, over-provisioned scheduling)
+//       acquire quorum lock
+//       if cloud update pending: fetch, 3-way merge (conflicts keep both)
+//       commit metadata (delta-sync: delta-only unless it outgrew lambda)
+//       release lock
+//   else if cloud update pending:
+//       fetch metadata, download needed blocks, apply to the local folder
+//
+// Content data and metadata are deliberately decoupled: blocks are immutable
+// and uploaded before the metadata that references them is committed, so
+// concurrent uploaders never corrupt each other — the lock serializes only
+// the (small) metadata commit.
+#pragma once
+
+#include <memory>
+
+#include "cloud/provider.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "core/change_scanner.h"
+#include "core/local_fs.h"
+#include "erasure/rs.h"
+#include "lock/quorum_lock.h"
+#include "metadata/diff.h"
+#include "metadata/store.h"
+#include "sched/monitor.h"
+#include "sched/rebalance.h"
+#include "sched/threaded_driver.h"
+
+namespace unidrive::core {
+
+struct ClientConfig {
+  std::string device = "device";
+  std::string passphrase = "unidrive";
+  std::size_t k = 3;    // data blocks per segment
+  std::size_t ks = 2;   // security requirement
+  std::size_t kr = 3;   // reliability requirement
+  std::size_t theta = 4 << 20;  // target segment size
+  lock::LockConfig lock;
+  sched::DriverConfig driver;
+  metadata::DeltaPolicy delta_policy;
+  // When set, the client persists its last committed state (v_o, the image
+  // it has already reconciled with) to this host file and reloads it at
+  // construction — without it a restarted process would treat the whole
+  // cloud state as "concurrent changes" and manufacture conflicts.
+  std::string state_file;
+};
+
+struct SyncReport {
+  bool committed = false;        // a local update was pushed to the clouds
+  bool applied_cloud = false;    // a cloud update was applied locally
+  std::size_t files_uploaded = 0;
+  std::size_t segments_uploaded = 0;
+  std::size_t files_downloaded = 0;
+  std::size_t files_removed = 0;
+  std::vector<metadata::ConflictRecord> conflicts;
+  metadata::VersionStamp version;
+};
+
+class UniDriveClient {
+ public:
+  UniDriveClient(cloud::MultiCloud clouds, std::shared_ptr<LocalFs> fs,
+                 ClientConfig config, Clock& clock = RealClock::instance(),
+                 Rng rng = Rng(0));
+
+  // One synchronization round. Safe to call repeatedly (e.g. on a timer).
+  Result<SyncReport> sync();
+
+  // Cheap cloud-update probe (the version-file check, period tau).
+  [[nodiscard]] bool cloud_update_pending();
+
+  // Deletes over-provisioned blocks beyond every cloud's fair share and
+  // commits the trimmed block map (run after all devices synced a file).
+  Status cleanup_overprovisioned();
+
+  // Deletes the cloud blocks of segments no snapshot references any more
+  // (dereferenced by edits falling off the history, deletions, or conflict
+  // resolution) and drops them from the pool. Returns the number of
+  // segments collected.
+  Result<std::size_t> collect_garbage();
+
+  // Rolls a file back to its most recent superseded snapshot (the paper
+  // keeps per-file snapshot history in the image for exactly this): the
+  // restored version becomes a NEW local edit committed by the next sync().
+  Status restore_previous_version(const std::string& path);
+
+  // Superseded snapshots of a file, most recent first.
+  [[nodiscard]] std::vector<metadata::FileSnapshot> file_history(
+      const std::string& path) const {
+    return image_.history(path);
+  }
+
+  // Resolves a keep-both conflict produced by a previous sync. kKeepTheirs
+  // drops the conflict copy (the cloud version at `record.path` stands);
+  // kKeepMine promotes the conflict copy's content back to the original
+  // path. Either way the copy is removed; the next sync() commits the
+  // resolution for all devices.
+  enum class ConflictChoice { kKeepTheirs, kKeepMine };
+  Status resolve_conflict(const metadata::ConflictRecord& record,
+                          ConflictChoice choice);
+
+  // Multi-cloud membership changes (Section 6.2). Both re-plan placement,
+  // execute the moves/deletions, and commit updated metadata.
+  Status add_cloud(cloud::CloudPtr new_cloud);
+  Status remove_cloud(cloud::CloudId cloud);
+
+  [[nodiscard]] const metadata::SyncFolderImage& image() const noexcept {
+    return image_;
+  }
+  [[nodiscard]] const cloud::MultiCloud& clouds() const noexcept {
+    return clouds_;
+  }
+  [[nodiscard]] sched::CodeParams code_params() const;
+  [[nodiscard]] const ClientConfig& config() const noexcept { return config_; }
+
+ private:
+  // Data plane: erasure-code and upload all new segments; returns the
+  // resulting segment records (with block locations) to merge into metadata.
+  Result<std::vector<metadata::SegmentInfo>> upload_segments(
+      const std::map<std::string, Bytes>& segments);
+
+  // Downloads + decodes the segments of `snapshot` and writes the file.
+  Status materialize_file(const metadata::FileSnapshot& snapshot);
+
+  // Fetches and decodes one segment, verifying its content hash; on
+  // integrity failure, retries with block placements disjoint from
+  // `exclude` + the tainted set until it succeeds or supply runs out.
+  Result<Bytes> fetch_segment(
+      const metadata::SegmentInfo& segment,
+      const std::vector<metadata::BlockLocation>& exclude);
+
+  // Plaintext of a segment: local-file slice when available (verified by
+  // hash), otherwise reconstructed from the multi-cloud.
+  Result<Bytes> segment_content(const metadata::SyncFolderImage& image,
+                                const std::string& segment_id);
+
+  // Uploads moved blocks (re-encoded) and deletes shed ones per `plan`.
+  void execute_rebalance(const metadata::SyncFolderImage& image,
+                         const sched::RebalancePlan& plan,
+                         const erasure::RsCode& code,
+                         cloud::CloudProvider* added);
+
+  // Applies the difference between image_ and `target` to the local folder
+  // (downloads, deletions); updates image_ on success.
+  Result<std::pair<std::size_t, std::size_t>> apply_cloud_image(
+      const metadata::SyncFolderImage& target);
+
+  // Commits `next` (already merged) under the held lock, handling
+  // delta-vs-base upload per the DeltaPolicy.
+  Status commit_locked(metadata::SyncFolderImage next,
+                       const std::vector<metadata::Change>& changes);
+
+  [[nodiscard]] std::vector<cloud::CloudId> cloud_ids() const;
+  [[nodiscard]] cloud::CloudProvider* find_cloud(cloud::CloudId id) const;
+
+  // State persistence (no-ops when config_.state_file is empty).
+  void load_state();
+  void persist_state() const;
+
+  cloud::MultiCloud clouds_;
+  std::shared_ptr<LocalFs> fs_;
+  ClientConfig config_;
+  Clock& clock_;
+  Rng rng_;
+
+  metadata::SyncFolderImage image_;  // v_o: last known committed state
+  metadata::MetaStore store_;
+  lock::QuorumLock lock_;
+  sched::ThroughputMonitor monitor_;
+  ScanCache scan_cache_;  // (size, mtime) fingerprints; avoids re-hashing
+};
+
+}  // namespace unidrive::core

@@ -1,0 +1,169 @@
+#include "core/local_fs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "cloud/path.h"
+
+namespace unidrive::core {
+
+namespace fs = std::filesystem;
+
+// --- MemoryLocalFs ----------------------------------------------------------
+
+Result<Bytes> MemoryLocalFs::read(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(cloud::normalize_path(path));
+  if (it == files_.end()) return make_error(ErrorCode::kNotFound, path);
+  return it->second.data;
+}
+
+Status MemoryLocalFs::write(const std::string& path, ByteSpan data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = files_[cloud::normalize_path(path)];
+  e.data = Bytes(data.begin(), data.end());
+  e.mtime = ++tick_;
+  return Status::ok();
+}
+
+Status MemoryLocalFs::remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.erase(cloud::normalize_path(path)) == 0) {
+    return make_error(ErrorCode::kNotFound, path);
+  }
+  return Status::ok();
+}
+
+Status MemoryLocalFs::make_dir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dirs_.insert(cloud::normalize_path(path));
+  return Status::ok();
+}
+
+Status MemoryLocalFs::remove_dir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dirs_.erase(cloud::normalize_path(path));
+  return Status::ok();
+}
+
+std::vector<std::string> MemoryLocalFs::list_files() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, entry] : files_) out.push_back(path);
+  return out;
+}
+
+std::vector<std::string> MemoryLocalFs::list_dirs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {dirs_.begin(), dirs_.end()};
+}
+
+Result<std::uint64_t> MemoryLocalFs::size(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(cloud::normalize_path(path));
+  if (it == files_.end()) return make_error(ErrorCode::kNotFound, path);
+  return static_cast<std::uint64_t>(it->second.data.size());
+}
+
+Result<double> MemoryLocalFs::mtime(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = files_.find(cloud::normalize_path(path));
+  if (it == files_.end()) return make_error(ErrorCode::kNotFound, path);
+  return it->second.mtime;
+}
+
+// --- DiskLocalFs ------------------------------------------------------------
+
+DiskLocalFs::DiskLocalFs(std::string root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+std::string DiskLocalFs::host_path(const std::string& path) const {
+  return root_ + cloud::normalize_path(path);
+}
+
+Result<Bytes> DiskLocalFs::read(const std::string& path) const {
+  std::ifstream in(host_path(path), std::ios::binary);
+  if (!in) return make_error(ErrorCode::kNotFound, path);
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return data;
+}
+
+Status DiskLocalFs::write(const std::string& path, ByteSpan data) {
+  const std::string host = host_path(path);
+  fs::create_directories(fs::path(host).parent_path());
+  std::ofstream out(host, std::ios::binary | std::ios::trunc);
+  if (!out) return make_error(ErrorCode::kInternal, "cannot open " + host);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out ? Status::ok()
+             : make_error(ErrorCode::kInternal, "short write to " + host);
+}
+
+Status DiskLocalFs::remove(const std::string& path) {
+  std::error_code ec;
+  if (!fs::remove(host_path(path), ec) || ec) {
+    return make_error(ErrorCode::kNotFound, path);
+  }
+  return Status::ok();
+}
+
+Status DiskLocalFs::make_dir(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(host_path(path), ec);
+  return ec ? make_error(ErrorCode::kInternal, ec.message()) : Status::ok();
+}
+
+Status DiskLocalFs::remove_dir(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(host_path(path), ec);
+  return ec ? make_error(ErrorCode::kInternal, ec.message()) : Status::ok();
+}
+
+std::vector<std::string> DiskLocalFs::list_files() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    std::string rel = it->path().string().substr(root_.size());
+    out.push_back(cloud::normalize_path(rel));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> DiskLocalFs::list_dirs() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_directory()) continue;
+    std::string rel = it->path().string().substr(root_.size());
+    out.push_back(cloud::normalize_path(rel));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::uint64_t> DiskLocalFs::size(const std::string& path) const {
+  std::error_code ec;
+  const auto n = fs::file_size(host_path(path), ec);
+  if (ec) return make_error(ErrorCode::kNotFound, path);
+  return static_cast<std::uint64_t>(n);
+}
+
+Result<double> DiskLocalFs::mtime(const std::string& path) const {
+  std::error_code ec;
+  const auto t = fs::last_write_time(host_path(path), ec);
+  if (ec) return make_error(ErrorCode::kNotFound, path);
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace unidrive::core

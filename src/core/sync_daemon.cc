@@ -1,0 +1,66 @@
+#include "core/sync_daemon.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace unidrive::core {
+
+void SyncDaemon::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void SyncDaemon::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+bool SyncDaemon::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_ && !stop_requested_;
+}
+
+SyncDaemon::Stats SyncDaemon::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Result<SyncReport> SyncDaemon::run_round() {
+  auto report = client_.sync();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.rounds;
+  if (report.is_ok()) {
+    if (report.value().committed) ++stats_.commits;
+    if (report.value().applied_cloud) ++stats_.applied;
+    stats_.conflicts += report.value().conflicts.size();
+  } else {
+    ++stats_.errors;
+    UNI_LOG(kWarn) << "sync round failed: " << report.status().to_string();
+  }
+  return report;
+}
+
+void SyncDaemon::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    lock.unlock();
+    (void)run_round();  // errors are counted and retried next tick
+    lock.lock();
+    cv_.wait_for(lock,
+                 std::chrono::duration<double>(config_.sync_interval),
+                 [this] { return stop_requested_; });
+  }
+}
+
+}  // namespace unidrive::core

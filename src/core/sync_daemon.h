@@ -1,0 +1,60 @@
+// SyncDaemon — the background loop a real app runs: periodically checks for
+// cloud updates (the cheap version-file probe, period tau) and scans/syncs
+// the local folder, feeding everything through UniDriveClient::sync().
+// Runs on its own thread; start()/stop() are safe to call repeatedly.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/client.h"
+
+namespace unidrive::core {
+
+struct DaemonConfig {
+  double sync_interval = 5.0;  // tau: seconds between sync rounds
+};
+
+class SyncDaemon {
+ public:
+  SyncDaemon(UniDriveClient& client, DaemonConfig config)
+      : client_(client), config_(config) {}
+  ~SyncDaemon() { stop(); }
+
+  SyncDaemon(const SyncDaemon&) = delete;
+  SyncDaemon& operator=(const SyncDaemon&) = delete;
+
+  void start();
+  void stop();
+
+  // Runs one sync round immediately on the caller's thread (also what the
+  // background loop executes); useful for "sync now" UI actions and tests.
+  Result<SyncReport> sync_once() { return run_round(); }
+
+  struct Stats {
+    std::size_t rounds = 0;
+    std::size_t commits = 0;       // rounds that pushed local changes
+    std::size_t applied = 0;       // rounds that pulled cloud changes
+    std::size_t conflicts = 0;     // conflict files produced
+    std::size_t errors = 0;        // failed rounds (retried next tick)
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] bool running() const;
+
+ private:
+  Result<SyncReport> run_round();
+  void loop();
+
+  UniDriveClient& client_;
+  DaemonConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  Stats stats_;
+};
+
+}  // namespace unidrive::core

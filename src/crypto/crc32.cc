@@ -1,0 +1,30 @@
+#include "crypto/crc32.h"
+
+#include <array>
+
+namespace unidrive::crypto {
+
+namespace {
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+constexpr auto kTable = make_table();
+}  // namespace
+
+std::uint32_t crc32(ByteSpan data, std::uint32_t seed) noexcept {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace unidrive::crypto

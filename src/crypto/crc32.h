@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). Cheap per-record checksum for
+// the delta log: each appended record is guarded so a torn/partial upload is
+// detected when replaying the log.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace unidrive::crypto {
+
+std::uint32_t crc32(ByteSpan data, std::uint32_t seed = 0) noexcept;
+
+}  // namespace unidrive::crypto

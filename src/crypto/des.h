@@ -1,0 +1,48 @@
+// DES block cipher (FIPS 46-3) with CBC mode and PKCS#7 padding.
+//
+// The paper encrypts the replicated metadata file with DES before uploading
+// it to the clouds, so no single provider can read the folder image. We keep
+// the same algorithm choice for fidelity; DES is obsolete as a secure cipher
+// (56-bit key) and this module should not be reused for anything else.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace unidrive::crypto {
+
+class Des {
+ public:
+  static constexpr std::size_t kBlockSize = 8;
+  static constexpr std::size_t kKeySize = 8;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+  using Key = std::array<std::uint8_t, kKeySize>;
+
+  explicit Des(const Key& key) noexcept { expand_key(key); }
+
+  [[nodiscard]] Block encrypt_block(const Block& in) const noexcept {
+    return crypt(in, /*decrypt=*/false);
+  }
+  [[nodiscard]] Block decrypt_block(const Block& in) const noexcept {
+    return crypt(in, /*decrypt=*/true);
+  }
+
+ private:
+  void expand_key(const Key& key) noexcept;
+  [[nodiscard]] Block crypt(const Block& in, bool decrypt) const noexcept;
+
+  std::array<std::uint64_t, 16> subkeys_{};  // 48-bit subkeys in low bits
+};
+
+// CBC with PKCS#7 padding; IV is prepended to the ciphertext.
+Bytes des_cbc_encrypt(const Des::Key& key, ByteSpan plaintext,
+                      const Des::Block& iv);
+Result<Bytes> des_cbc_decrypt(const Des::Key& key, ByteSpan ciphertext);
+
+// Derive a DES key from a passphrase (SHA-1 truncation).
+Des::Key des_key_from_passphrase(std::string_view passphrase);
+
+}  // namespace unidrive::crypto

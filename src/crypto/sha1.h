@@ -1,0 +1,38 @@
+// SHA-1 (FIPS 180-1). UniDrive names segments and data blocks by the SHA-1
+// of their content, which gives content-addressable storage and enables
+// segment-level deduplication. (Security of SHA-1 as a collision-resistant
+// hash is not load-bearing here; it is an identifier, as in the paper.)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace unidrive::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(ByteSpan data) noexcept;
+  [[nodiscard]] Digest finish() noexcept;  // resets afterwards
+
+  static Digest hash(ByteSpan data) noexcept;
+  static std::string hex(ByteSpan data);
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint32_t h_[5];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace unidrive::crypto

@@ -1,0 +1,37 @@
+// SHA-256 (FIPS 180-4). Used for block integrity checks: each stored data
+// block carries a digest so corruption introduced by a faulty cloud is
+// detected before erasure decoding.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace unidrive::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(ByteSpan data) noexcept;
+  [[nodiscard]] Digest finish() noexcept;  // resets afterwards
+
+  static Digest hash(ByteSpan data) noexcept;
+  static std::string hex(ByteSpan data);
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint32_t h_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace unidrive::crypto

@@ -1,0 +1,90 @@
+#include "erasure/gf256.h"
+
+#include <array>
+
+namespace unidrive::erasure {
+
+namespace {
+
+struct Tables {
+  // exp table doubled to avoid a modulo in mul.
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint16_t, 256> log{};  // log[0] unused
+  // Full 256x256 product table: fastest portable kernel for slice ops.
+  std::array<std::array<std::uint8_t, 256>, 256> mul{};
+
+  Tables() noexcept {
+    // Generator 0x03 (0x02 is NOT primitive for polynomial 0x11B).
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log[static_cast<std::size_t>(x)] = static_cast<std::uint16_t>(i);
+      std::uint16_t doubled = x << 1;
+      if (doubled & 0x100) doubled ^= 0x11B;  // reduce mod field polynomial
+      x = doubled ^ x;                        // multiply by 0x03
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+    }
+    for (int a = 0; a < 256; ++a) {
+      for (int b = 0; b < 256; ++b) {
+        if (a == 0 || b == 0) {
+          mul[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = 0;
+        } else {
+          mul[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+              exp[static_cast<std::size_t>(
+                  log[static_cast<std::size_t>(a)] +
+                  log[static_cast<std::size_t>(b)])];
+        }
+      }
+    }
+  }
+};
+
+const Tables& tables() noexcept {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t Gf256::mul(std::uint8_t a, std::uint8_t b) noexcept {
+  return tables().mul[a][b];
+}
+
+std::uint8_t Gf256::div(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a] + 255 - t.log[b])];
+}
+
+std::uint8_t Gf256::inv(std::uint8_t a) noexcept {
+  const auto& t = tables();
+  return t.exp[static_cast<std::size_t>(255 - t.log[a])];
+}
+
+std::uint8_t Gf256::exp(int power) noexcept {
+  power %= 255;
+  if (power < 0) power += 255;
+  return tables().exp[static_cast<std::size_t>(power)];
+}
+
+void Gf256::mul_add_slice(std::uint8_t* dst, const std::uint8_t* src,
+                          std::size_t n, std::uint8_t coeff) noexcept {
+  if (coeff == 0) return;
+  const auto& row = tables().mul[coeff];
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void Gf256::scale_slice(std::uint8_t* dst, std::size_t n,
+                        std::uint8_t coeff) noexcept {
+  if (coeff == 1) return;
+  const auto& row = tables().mul[coeff];
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[dst[i]];
+}
+
+}  // namespace unidrive::erasure

@@ -1,0 +1,34 @@
+// GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11B).
+// Log/antilog tables are built once at static initialization; hot paths
+// (encode/decode inner loops) use mul_add_slice over whole shards.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace unidrive::erasure {
+
+class Gf256 {
+ public:
+  static std::uint8_t add(std::uint8_t a, std::uint8_t b) noexcept {
+    return a ^ b;
+  }
+  static std::uint8_t sub(std::uint8_t a, std::uint8_t b) noexcept {
+    return a ^ b;
+  }
+  static std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept;
+  static std::uint8_t div(std::uint8_t a, std::uint8_t b) noexcept;  // b != 0
+  static std::uint8_t inv(std::uint8_t a) noexcept;                  // a != 0
+  static std::uint8_t exp(int power) noexcept;  // generator^power (mod 255)
+
+  // dst[i] ^= coeff * src[i] for i in [0, n) — the encode/decode kernel.
+  static void mul_add_slice(std::uint8_t* dst, const std::uint8_t* src,
+                            std::size_t n, std::uint8_t coeff) noexcept;
+
+  // dst[i] = coeff * dst[i].
+  static void scale_slice(std::uint8_t* dst, std::size_t n,
+                          std::uint8_t coeff) noexcept;
+};
+
+}  // namespace unidrive::erasure

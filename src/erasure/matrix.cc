@@ -1,0 +1,105 @@
+#include "erasure/matrix.h"
+
+#include "erasure/gf256.h"
+
+namespace unidrive::erasure {
+
+GfMatrix GfMatrix::multiply(const GfMatrix& rhs) const {
+  GfMatrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const std::uint8_t a = at(r, k);
+      if (a == 0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out.at(r, c) = Gf256::add(out.at(r, c), Gf256::mul(a, rhs.at(k, c)));
+      }
+    }
+  }
+  return out;
+}
+
+Result<GfMatrix> GfMatrix::inverted() const {
+  if (rows_ != cols_) {
+    return make_error(ErrorCode::kInvalidArgument, "inverse of non-square");
+  }
+  const std::size_t n = rows_;
+  GfMatrix work = *this;
+  GfMatrix inv = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) {
+      return make_error(ErrorCode::kCorrupt, "singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work.at(pivot, c), work.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    // Normalize pivot row.
+    const std::uint8_t scale = Gf256::inv(work.at(col, col));
+    for (std::size_t c = 0; c < n; ++c) {
+      work.at(col, c) = Gf256::mul(work.at(col, c), scale);
+      inv.at(col, c) = Gf256::mul(inv.at(col, c), scale);
+    }
+    // Eliminate the column everywhere else.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        work.at(r, c) =
+            Gf256::add(work.at(r, c), Gf256::mul(factor, work.at(col, c)));
+        inv.at(r, c) =
+            Gf256::add(inv.at(r, c), Gf256::mul(factor, inv.at(col, c)));
+      }
+    }
+  }
+  return inv;
+}
+
+GfMatrix GfMatrix::identity(std::size_t n) {
+  GfMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+GfMatrix GfMatrix::vandermonde(std::size_t n, std::size_t k) {
+  GfMatrix m(n, k);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::uint8_t v = 1;
+    const auto x = static_cast<std::uint8_t>(r);
+    for (std::size_t c = 0; c < k; ++c) {
+      m.at(r, c) = v;
+      v = Gf256::mul(v, x);
+    }
+  }
+  return m;
+}
+
+GfMatrix GfMatrix::cauchy(std::size_t n, std::size_t k) {
+  GfMatrix m(n, k);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < k; ++c) {
+      const auto x = static_cast<std::uint8_t>(r);
+      const auto y = static_cast<std::uint8_t>(n + c);
+      m.at(r, c) = Gf256::inv(Gf256::add(x, y));
+    }
+  }
+  return m;
+}
+
+GfMatrix GfMatrix::select_rows(const std::vector<std::size_t>& idx) const {
+  GfMatrix out(idx.size(), cols_);
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out.at(r, c) = at(idx[r], c);
+    }
+  }
+  return out;
+}
+
+}  // namespace unidrive::erasure

@@ -1,0 +1,61 @@
+// Dense matrices over GF(256): construction of Vandermonde/Cauchy encode
+// matrices and Gauss-Jordan inversion for decoding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace unidrive::erasure {
+
+class GfMatrix {
+ public:
+  GfMatrix() = default;
+  GfMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  std::uint8_t& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] std::uint8_t at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const std::uint8_t* row(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+
+  [[nodiscard]] GfMatrix multiply(const GfMatrix& rhs) const;
+
+  // Gauss-Jordan inverse; fails (kCorrupt) when singular. Requires square.
+  [[nodiscard]] Result<GfMatrix> inverted() const;
+
+  static GfMatrix identity(std::size_t n);
+
+  // n x k Vandermonde matrix with rows [1, x_i, x_i^2, ...], x_i = i.
+  // CAUTION: over GF(2^8) the *first k* rows are invertible (distinct x_i),
+  // but arbitrary k-row subsets are NOT guaranteed invertible — which is
+  // why the MDS code constructions below use Cauchy matrices instead.
+  static GfMatrix vandermonde(std::size_t n, std::size_t k);
+
+  // n x k Cauchy matrix, entries 1/(x_i + y_j) with disjoint x/y sets.
+  // Requires n + k <= 256. Every square submatrix is invertible.
+  static GfMatrix cauchy(std::size_t n, std::size_t k);
+
+  // Rows selected from this matrix (for decoding with a shard subset).
+  [[nodiscard]] GfMatrix select_rows(const std::vector<std::size_t>& idx) const;
+
+  friend bool operator==(const GfMatrix& a, const GfMatrix& b) noexcept {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace unidrive::erasure

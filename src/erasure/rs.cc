@@ -1,0 +1,125 @@
+#include "erasure/rs.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "erasure/gf256.h"
+
+namespace unidrive::erasure {
+
+namespace {
+
+// Systematic construction: [ I_k ; Cauchy ]. Any k-row subset mixes r unit
+// rows with (k - r) Cauchy rows; expanding the determinant along the unit
+// rows leaves a square Cauchy submatrix, which is always invertible — so
+// the code is provably MDS. (The folklore alternative, column-reducing a
+// Vandermonde matrix, does NOT guarantee MDS over GF(2^8); that is a
+// well-known erasure-coding pitfall.)
+GfMatrix systematic_matrix(std::size_t n, std::size_t k) {
+  GfMatrix m(n, k);
+  for (std::size_t i = 0; i < k; ++i) m.at(i, i) = 1;
+  if (n > k) {
+    const GfMatrix parity = GfMatrix::cauchy(n - k, k);
+    for (std::size_t r = 0; r < n - k; ++r) {
+      for (std::size_t c = 0; c < k; ++c) {
+        m.at(k + r, c) = parity.at(r, c);
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+RsCode::RsCode(std::size_t n, std::size_t k, RsVariant variant)
+    : n_(n), k_(k), variant_(variant) {
+  if (k == 0 || k > n || n > 256 ||
+      (variant == RsVariant::kNonSystematic && n + k > 256)) {
+    throw std::invalid_argument("RsCode: invalid (n, k)");
+  }
+  matrix_ = (variant == RsVariant::kSystematic) ? systematic_matrix(n, k)
+                                                : GfMatrix::cauchy(n, k);
+}
+
+std::vector<Bytes> RsCode::split_into_data_shards(ByteSpan segment) const {
+  const std::size_t size = shard_size(segment.size());
+  std::vector<Bytes> shards(k_, Bytes(size, 0));
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::size_t begin = i * size;
+    if (begin >= segment.size()) break;
+    const std::size_t len = std::min(size, segment.size() - begin);
+    std::copy_n(segment.begin() + static_cast<std::ptrdiff_t>(begin), len,
+                shards[i].begin());
+  }
+  return shards;
+}
+
+std::vector<Shard> RsCode::encode(ByteSpan segment) const {
+  std::vector<std::uint32_t> all(n_);
+  for (std::size_t i = 0; i < n_; ++i) all[i] = static_cast<std::uint32_t>(i);
+  return encode_shards(segment, all);
+}
+
+std::vector<Shard> RsCode::encode_shards(
+    ByteSpan segment, const std::vector<std::uint32_t>& indices) const {
+  const std::vector<Bytes> data = split_into_data_shards(segment);
+  const std::size_t size = shard_size(segment.size());
+
+  std::vector<Shard> out;
+  out.reserve(indices.size());
+  for (const std::uint32_t idx : indices) {
+    Shard shard;
+    shard.index = idx;
+    shard.data.assign(size, 0);
+    for (std::size_t c = 0; c < k_; ++c) {
+      Gf256::mul_add_slice(shard.data.data(), data[c].data(), size,
+                           matrix_.at(idx, c));
+    }
+    out.push_back(std::move(shard));
+  }
+  return out;
+}
+
+Result<Bytes> RsCode::decode(const std::vector<Shard>& shards,
+                             std::size_t original_size) const {
+  if (shards.size() < k_) {
+    return make_error(ErrorCode::kCorrupt, "RS decode: fewer than k shards");
+  }
+  const std::size_t size = shard_size(original_size);
+
+  // Pick the first k shards with distinct, in-range indices.
+  std::vector<const Shard*> chosen;
+  std::unordered_set<std::uint32_t> seen;
+  for (const Shard& s : shards) {
+    if (s.index >= n_ || !seen.insert(s.index).second) continue;
+    if (s.data.size() != size) {
+      return make_error(ErrorCode::kCorrupt, "RS decode: bad shard size");
+    }
+    chosen.push_back(&s);
+    if (chosen.size() == k_) break;
+  }
+  if (chosen.size() < k_) {
+    return make_error(ErrorCode::kCorrupt,
+                      "RS decode: fewer than k distinct shards");
+  }
+
+  std::vector<std::size_t> rows(k_);
+  for (std::size_t i = 0; i < k_; ++i) rows[i] = chosen[i]->index;
+  UNI_ASSIGN_OR_RETURN(const GfMatrix inverse,
+                       matrix_.select_rows(rows).inverted());
+
+  // data[c] = sum_i inverse[c][i] * shard[i]
+  Bytes out(k_ * size, 0);
+  for (std::size_t c = 0; c < k_; ++c) {
+    std::uint8_t* dst = out.data() + c * size;
+    for (std::size_t i = 0; i < k_; ++i) {
+      Gf256::mul_add_slice(dst, chosen[i]->data.data(), size,
+                           inverse.at(c, i));
+    }
+  }
+  out.resize(original_size);
+  return out;
+}
+
+}  // namespace unidrive::erasure

@@ -1,0 +1,75 @@
+// Reed-Solomon erasure codec over GF(256).
+//
+// UniDrive encodes each file segment with a *non-systematic* (n, k) code:
+// every stored block is a parity block (a dense linear combination of the k
+// data blocks), so no cloud ever holds a verbatim piece of the file and
+// fewer than Ks clouds cannot reconstruct any content. A systematic variant
+// is provided for baseline comparisons and ablations.
+//
+// Shard layout: a segment of S bytes is split into k data shards of
+// ceil(S/k) bytes (zero-padded); encode() produces n coded shards of the
+// same size; decode() recovers the segment from any k distinct shards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "erasure/matrix.h"
+
+namespace unidrive::erasure {
+
+enum class RsVariant : std::uint8_t {
+  kNonSystematic,  // all n output shards are parity (UniDrive default)
+  kSystematic,     // first k shards are the data itself
+};
+
+struct Shard {
+  std::uint32_t index = 0;  // row in the encode matrix, unique in [0, n)
+  Bytes data;
+};
+
+class RsCode {
+ public:
+  // Requires 1 <= k <= n <= 256 (and n + k <= 256 for the Cauchy-based
+  // non-systematic construction, far beyond UniDrive's (10, 3) default).
+  RsCode(std::size_t n, std::size_t k,
+         RsVariant variant = RsVariant::kNonSystematic);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] RsVariant variant() const noexcept { return variant_; }
+
+  [[nodiscard]] std::size_t shard_size(std::size_t segment_size) const noexcept {
+    return (segment_size + k_ - 1) / k_;
+  }
+
+  // Encode all n shards of the segment.
+  [[nodiscard]] std::vector<Shard> encode(ByteSpan segment) const;
+
+  // Encode only the shards whose indices are listed (on-demand generation of
+  // over-provisioned parity blocks).
+  [[nodiscard]] std::vector<Shard> encode_shards(
+      ByteSpan segment, const std::vector<std::uint32_t>& indices) const;
+
+  // Reconstruct the original segment (original_size bytes) from any k
+  // shards with distinct indices. Fails with kCorrupt on bad input.
+  [[nodiscard]] Result<Bytes> decode(const std::vector<Shard>& shards,
+                                     std::size_t original_size) const;
+
+  [[nodiscard]] const GfMatrix& encode_matrix() const noexcept {
+    return matrix_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<Bytes> split_into_data_shards(
+      ByteSpan segment) const;
+
+  std::size_t n_;
+  std::size_t k_;
+  RsVariant variant_;
+  GfMatrix matrix_;  // n x k
+};
+
+}  // namespace unidrive::erasure

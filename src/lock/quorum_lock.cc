@@ -1,0 +1,179 @@
+#include "lock/quorum_lock.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "cloud/path.h"
+#include "common/logging.h"
+
+namespace unidrive::lock {
+
+SleepFn real_sleep() {
+  return [](Duration d) {
+    if (d > 0) std::this_thread::sleep_for(std::chrono::duration<double>(d));
+  };
+}
+
+QuorumLock::QuorumLock(cloud::MultiCloud clouds, std::string device,
+                       LockConfig config, Clock& clock, Rng rng, SleepFn sleep)
+    : clouds_(std::move(clouds)),
+      device_(std::move(device)),
+      config_(std::move(config)),
+      clock_(&clock),
+      rng_(rng),
+      sleep_(std::move(sleep)) {}
+
+std::string QuorumLock::make_lock_name() {
+  // "lock_<device>_<t>" — t is a purely local stamp; it only needs to make
+  // successive names from the same device distinct (clock + counter).
+  ++stamp_counter_;
+  return "lock_" + device_ + "_" +
+         std::to_string(static_cast<long long>(clock_->now() * 1000)) + "_" +
+         std::to_string(stamp_counter_);
+}
+
+void QuorumLock::break_stale_locks(
+    cloud::CloudProvider& cloud, const std::vector<cloud::FileInfo>& listing) {
+  const TimePoint now = clock_->now();
+  for (const cloud::FileInfo& f : listing) {
+    const auto key = std::make_pair(cloud.id(), f.name);
+    const auto it = first_seen_.find(key);
+    if (it == first_seen_.end()) {
+      first_seen_.emplace(key, now);
+      continue;
+    }
+    if (now - it->second > config_.stale_after) {
+      // Lock file visible for too long: the holder crashed or lost
+      // connectivity. Any client may delete it (lock breaking).
+      UNI_LOG(kInfo) << device_ << " breaks stale lock " << f.name << " on "
+                     << cloud.name();
+      (void)cloud.remove(cloud::join_path(config_.lock_dir, f.name));
+      first_seen_.erase(it);
+    }
+  }
+  // Drop registry entries for files that disappeared from this cloud.
+  for (auto it = first_seen_.begin(); it != first_seen_.end();) {
+    if (it->first.first != cloud.id()) {
+      ++it;
+      continue;
+    }
+    const bool still_listed =
+        std::any_of(listing.begin(), listing.end(),
+                    [&](const cloud::FileInfo& f) { return f.name == it->first.second; });
+    it = still_listed ? std::next(it) : first_seen_.erase(it);
+  }
+}
+
+QuorumLock::RoundOutcome QuorumLock::attempt_round(
+    const std::string& lock_name) {
+  // Phase 1: plant our lock file everywhere (best effort).
+  const Bytes empty;
+  for (const cloud::CloudPtr& c : clouds_) {
+    (void)c->upload(cloud::join_path(config_.lock_dir, lock_name),
+                    ByteSpan(empty));
+  }
+  // Phase 2: list each lock dir; we hold a cloud iff our file is the only
+  // lock file there.
+  RoundOutcome outcome;
+  for (const cloud::CloudPtr& c : clouds_) {
+    auto listing = c->list(config_.lock_dir);
+    if (!listing.is_ok()) continue;
+    ++outcome.responded;
+    break_stale_locks(*c, listing.value());
+    // Count *after* breaking: a stale lock we just deleted no longer blocks.
+    auto remaining = c->list(config_.lock_dir);
+    const auto& files = remaining.is_ok() ? remaining.value() : listing.value();
+    const bool ours_present =
+        std::any_of(files.begin(), files.end(), [&](const cloud::FileInfo& f) {
+          return f.name == lock_name;
+        });
+    const bool alone = ours_present && files.size() == 1;
+    if (alone) ++outcome.exclusive;
+  }
+  return outcome;
+}
+
+void QuorumLock::delete_own_locks() {
+  for (const cloud::CloudPtr& c : clouds_) {
+    auto listing = c->list(config_.lock_dir);
+    if (!listing.is_ok()) continue;
+    for (const cloud::FileInfo& f : listing.value()) {
+      if (f.name.rfind("lock_" + device_ + "_", 0) == 0) {
+        (void)c->remove(cloud::join_path(config_.lock_dir, f.name));
+      }
+    }
+  }
+}
+
+Status QuorumLock::acquire() {
+  if (held_) return Status::ok();
+  Duration backoff = config_.backoff_base;
+  std::size_t rounds_without_quorum_response = 0;
+
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    const std::string lock_name = make_lock_name();
+    const RoundOutcome outcome = attempt_round(lock_name);
+
+    if (outcome.exclusive >= majority()) {
+      held_ = true;
+      current_lock_name_ = lock_name;
+      return Status::ok();
+    }
+    // Withdraw (the paper: failed attempts must delete their lock files so
+    // they do not block other contenders) and back off randomly.
+    delete_own_locks();
+
+    if (outcome.responded < majority()) {
+      if (++rounds_without_quorum_response >= 3) {
+        return make_error(ErrorCode::kOutage,
+                          "lock: majority of clouds unreachable");
+      }
+    } else {
+      rounds_without_quorum_response = 0;
+    }
+
+    sleep_(rng_.uniform(backoff, backoff + config_.backoff_spread));
+    backoff = std::min(backoff * 2, config_.backoff_cap);
+  }
+  return make_error(ErrorCode::kLockContention,
+                    "lock: exhausted acquisition attempts");
+}
+
+Status QuorumLock::refresh() {
+  if (!held_) {
+    return make_error(ErrorCode::kInternal, "refresh without holding lock");
+  }
+  // Upload a fresh-named lock file first, then remove the old one. At every
+  // instant a file of ours is present, so no gap opens for a contender; the
+  // new name resets other clients' first-seen timers.
+  const std::string fresh = make_lock_name();
+  std::size_t planted = 0;
+  for (const cloud::CloudPtr& c : clouds_) {
+    const Bytes empty;
+    if (c->upload(cloud::join_path(config_.lock_dir, fresh), ByteSpan(empty))
+            .is_ok()) {
+      ++planted;
+    }
+  }
+  for (const cloud::CloudPtr& c : clouds_) {
+    (void)c->remove(cloud::join_path(config_.lock_dir, current_lock_name_));
+  }
+  current_lock_name_ = fresh;
+  if (planted < majority()) {
+    // We could not re-stamp a majority: treat the lock as lost.
+    held_ = false;
+    delete_own_locks();
+    return make_error(ErrorCode::kOutage, "lock refresh lost majority");
+  }
+  return Status::ok();
+}
+
+void QuorumLock::release() {
+  if (!held_ && current_lock_name_.empty()) return;
+  delete_own_locks();
+  held_ = false;
+  current_lock_name_.clear();
+}
+
+}  // namespace unidrive::lock

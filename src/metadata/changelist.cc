@@ -1,0 +1,152 @@
+#include "metadata/changelist.h"
+
+#include <map>
+
+#include "metadata/image.h"
+
+namespace unidrive::metadata {
+
+Change Change::upsert_file(FileSnapshot s) {
+  Change c;
+  c.kind = ChangeKind::kUpsertFile;
+  c.path = s.path;
+  c.snapshot = std::move(s);
+  return c;
+}
+
+Change Change::delete_file(std::string path) {
+  Change c;
+  c.kind = ChangeKind::kDeleteFile;
+  c.path = std::move(path);
+  return c;
+}
+
+Change Change::add_dir(std::string path) {
+  Change c;
+  c.kind = ChangeKind::kAddDir;
+  c.path = std::move(path);
+  return c;
+}
+
+Change Change::delete_dir(std::string path) {
+  Change c;
+  c.kind = ChangeKind::kDeleteDir;
+  c.path = std::move(path);
+  return c;
+}
+
+Change Change::upsert_segment(SegmentInfo s) {
+  Change c;
+  c.kind = ChangeKind::kUpsertSegment;
+  c.path = s.id;
+  // Refcounts are DERIVED state (recomputed from the file entries that
+  // reference a segment); shipping a committer's count would double-count
+  // on replay, so records always carry zero.
+  s.refcount = 0;
+  c.segment = std::move(s);
+  return c;
+}
+
+Change Change::drop_segment(std::string id) {
+  Change c;
+  c.kind = ChangeKind::kDropSegment;
+  c.path = std::move(id);
+  return c;
+}
+
+std::vector<Change> ChangedFileList::aggregated() const {
+  // Later operations on the same (kind-class, path) win. File ops and
+  // segment ops live in separate keyspaces (paths vs segment ids).
+  std::map<std::string, const Change*> file_ops;   // "/path" -> last op
+  std::map<std::string, const Change*> dir_ops;
+  std::map<std::string, const Change*> seg_ops;
+  for (const Change& c : changes_) {
+    switch (c.kind) {
+      case ChangeKind::kUpsertFile:
+      case ChangeKind::kDeleteFile:
+        file_ops[c.path] = &c;
+        break;
+      case ChangeKind::kAddDir:
+      case ChangeKind::kDeleteDir:
+        dir_ops[c.path] = &c;
+        break;
+      case ChangeKind::kUpsertSegment:
+      case ChangeKind::kDropSegment:
+        seg_ops[c.path] = &c;
+        break;
+    }
+  }
+  std::vector<Change> out;
+  out.reserve(seg_ops.size() + dir_ops.size() + file_ops.size());
+  // Segments first so file snapshots never reference unknown segments when
+  // the aggregate is replayed.
+  for (const auto& [path, c] : seg_ops) out.push_back(*c);
+  for (const auto& [path, c] : dir_ops) out.push_back(*c);
+  for (const auto& [path, c] : file_ops) out.push_back(*c);
+  return out;
+}
+
+void serialize_change(BinaryWriter& w, const Change& c) {
+  w.put_u8(static_cast<std::uint8_t>(c.kind));
+  w.put_string(c.path);
+  switch (c.kind) {
+    case ChangeKind::kUpsertFile:
+      serialize_snapshot(w, *c.snapshot);
+      break;
+    case ChangeKind::kUpsertSegment:
+      serialize_segment(w, *c.segment);
+      break;
+    default:
+      break;
+  }
+}
+
+Result<Change> deserialize_change(BinaryReader& r) {
+  Change c;
+  UNI_ASSIGN_OR_RETURN(const std::uint8_t kind, r.get_u8());
+  if (kind > static_cast<std::uint8_t>(ChangeKind::kDropSegment)) {
+    return make_error(ErrorCode::kCorrupt, "bad change kind");
+  }
+  c.kind = static_cast<ChangeKind>(kind);
+  UNI_ASSIGN_OR_RETURN(c.path, r.get_string());
+  switch (c.kind) {
+    case ChangeKind::kUpsertFile: {
+      UNI_ASSIGN_OR_RETURN(FileSnapshot s, deserialize_snapshot(r));
+      c.snapshot = std::move(s);
+      break;
+    }
+    case ChangeKind::kUpsertSegment: {
+      UNI_ASSIGN_OR_RETURN(SegmentInfo s, deserialize_segment(r));
+      c.segment = std::move(s);
+      break;
+    }
+    default:
+      break;
+  }
+  return c;
+}
+
+void apply_change(SyncFolderImage& image, const Change& c) {
+  switch (c.kind) {
+    case ChangeKind::kUpsertFile:
+      image.upsert_file(*c.snapshot);
+      break;
+    case ChangeKind::kDeleteFile:
+      image.delete_file(c.path);
+      break;
+    case ChangeKind::kAddDir:
+      image.add_dir(c.path);
+      break;
+    case ChangeKind::kDeleteDir:
+      image.delete_dir(c.path);
+      break;
+    case ChangeKind::kUpsertSegment:
+      image.upsert_segment(*c.segment);
+      break;
+    case ChangeKind::kDropSegment:
+      image.drop_segment(c.path);
+      break;
+  }
+}
+
+}  // namespace unidrive::metadata

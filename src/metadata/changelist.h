@@ -1,0 +1,63 @@
+// ChangedFileList — the record of everything that happened in the local sync
+// folder since the last successful synchronization. A non-empty list signals
+// a pending *local update*; committing applies the changes to the image and
+// clears the list. Also doubles as the operation set of the delta log.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/serial.h"
+#include "metadata/types.h"
+
+namespace unidrive::metadata {
+
+enum class ChangeKind : std::uint8_t {
+  kUpsertFile = 0,   // add or edit; carries the new snapshot
+  kDeleteFile = 1,
+  kAddDir = 2,
+  kDeleteDir = 3,
+  kUpsertSegment = 4,  // register segment / update block locations
+  kDropSegment = 5,    // segment garbage-collected
+};
+
+struct Change {
+  ChangeKind kind = ChangeKind::kUpsertFile;
+  std::string path;                     // file/dir path or segment id
+  std::optional<FileSnapshot> snapshot; // for kUpsertFile
+  std::optional<SegmentInfo> segment;   // for kUpsertSegment
+
+  static Change upsert_file(FileSnapshot s);
+  static Change delete_file(std::string path);
+  static Change add_dir(std::string path);
+  static Change delete_dir(std::string path);
+  static Change upsert_segment(SegmentInfo s);
+  static Change drop_segment(std::string id);
+};
+
+class ChangedFileList {
+ public:
+  void record(Change change) { changes_.push_back(std::move(change)); }
+  void clear() { changes_.clear(); }
+  [[nodiscard]] bool empty() const noexcept { return changes_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return changes_.size(); }
+  [[nodiscard]] const std::vector<Change>& changes() const noexcept {
+    return changes_;
+  }
+
+  // Collapses redundant operations (multiple edits of one path keep only the
+  // last; add-then-delete cancels) so a burst of edits commits as one change.
+  [[nodiscard]] std::vector<Change> aggregated() const;
+
+ private:
+  std::vector<Change> changes_;
+};
+
+void serialize_change(BinaryWriter& w, const Change& c);
+Result<Change> deserialize_change(BinaryReader& r);
+
+// Applies one committed change to an image (the delta-log replay step).
+void apply_change(class SyncFolderImage& image, const Change& c);
+
+}  // namespace unidrive::metadata

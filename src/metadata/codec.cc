@@ -1,0 +1,74 @@
+#include "metadata/codec.h"
+
+#include <algorithm>
+
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace unidrive::metadata {
+
+namespace {
+// DES-CBC provides confidentiality but no integrity; a flipped ciphertext
+// bit garbles one block and can still deserialize into a plausible-looking
+// image. The envelope carries a SHA-256 of the payload INSIDE the
+// encryption, so any tampering (or a wrong key) is detected before the
+// plaintext is trusted.
+constexpr std::uint32_t kEnvelopeMagic = 0x31454455;  // "UDE1"
+}  // namespace
+
+Bytes MetadataCodec::encrypt(ByteSpan plain) const {
+  BinaryWriter envelope;
+  envelope.put_u32(kEnvelopeMagic);
+  envelope.put_raw(plain);
+  const auto digest = crypto::Sha256::hash(plain);
+  envelope.put_raw(ByteSpan(digest.data(), digest.size()));
+
+  const auto iv_digest = crypto::Sha1::hash(plain);
+  crypto::Des::Block iv;
+  std::copy_n(iv_digest.begin(), iv.size(), iv.begin());
+  return crypto::des_cbc_encrypt(key_, ByteSpan(envelope.data()), iv);
+}
+
+Result<Bytes> MetadataCodec::decrypt(ByteSpan cipher) const {
+  UNI_ASSIGN_OR_RETURN(const Bytes envelope,
+                       crypto::des_cbc_decrypt(key_, cipher));
+  if (envelope.size() < 4 + crypto::Sha256::kDigestSize) {
+    return make_error(ErrorCode::kCorrupt, "metadata envelope too short");
+  }
+  BinaryReader r{ByteSpan(envelope)};
+  UNI_ASSIGN_OR_RETURN(const std::uint32_t magic, r.get_u32());
+  if (magic != kEnvelopeMagic) {
+    return make_error(ErrorCode::kCorrupt, "bad metadata envelope magic");
+  }
+  const std::size_t payload_size =
+      envelope.size() - 4 - crypto::Sha256::kDigestSize;
+  UNI_ASSIGN_OR_RETURN(Bytes payload, r.get_raw(payload_size));
+  UNI_ASSIGN_OR_RETURN(const Bytes digest,
+                       r.get_raw(crypto::Sha256::kDigestSize));
+  const auto expected = crypto::Sha256::hash(ByteSpan(payload));
+  if (!std::equal(expected.begin(), expected.end(), digest.begin())) {
+    return make_error(ErrorCode::kCorrupt,
+                      "metadata failed integrity verification");
+  }
+  return payload;
+}
+
+Bytes MetadataCodec::encode_image(const SyncFolderImage& image) const {
+  return encrypt(ByteSpan(image.serialize()));
+}
+
+Result<SyncFolderImage> MetadataCodec::decode_image(ByteSpan data) const {
+  UNI_ASSIGN_OR_RETURN(const Bytes plain, decrypt(data));
+  return SyncFolderImage::deserialize(ByteSpan(plain));
+}
+
+Bytes MetadataCodec::encode_delta(const DeltaLog& log) const {
+  return encrypt(ByteSpan(log.serialize()));
+}
+
+Result<DeltaLog> MetadataCodec::decode_delta(ByteSpan data) const {
+  UNI_ASSIGN_OR_RETURN(const Bytes plain, decrypt(data));
+  return DeltaLog::deserialize(ByteSpan(plain));
+}
+
+}  // namespace unidrive::metadata

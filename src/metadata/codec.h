@@ -1,0 +1,36 @@
+// Encrypted metadata codec: what actually travels to the clouds.
+//
+// The paper DES-encrypts the metadata before replication so that no single
+// provider can read the folder image (file names, hierarchy, block map).
+// The IV is derived deterministically from the plaintext digest + version so
+// identical states serialize identically (helps dedup and testing); this is
+// acceptable because each commit produces a distinct plaintext.
+#pragma once
+
+#include <string>
+
+#include "crypto/des.h"
+#include "metadata/delta.h"
+#include "metadata/image.h"
+
+namespace unidrive::metadata {
+
+class MetadataCodec {
+ public:
+  explicit MetadataCodec(const std::string& passphrase)
+      : key_(crypto::des_key_from_passphrase(passphrase)) {}
+
+  [[nodiscard]] Bytes encode_image(const SyncFolderImage& image) const;
+  [[nodiscard]] Result<SyncFolderImage> decode_image(ByteSpan data) const;
+
+  [[nodiscard]] Bytes encode_delta(const DeltaLog& log) const;
+  [[nodiscard]] Result<DeltaLog> decode_delta(ByteSpan data) const;
+
+ private:
+  [[nodiscard]] Bytes encrypt(ByteSpan plain) const;
+  [[nodiscard]] Result<Bytes> decrypt(ByteSpan cipher) const;
+
+  crypto::Des::Key key_;
+};
+
+}  // namespace unidrive::metadata

@@ -1,0 +1,79 @@
+#include "metadata/delta.h"
+
+#include "crypto/crc32.h"
+
+namespace unidrive::metadata {
+
+namespace {
+constexpr std::uint32_t kDeltaMagic = 0x474C4455;  // "UDLG"
+}  // namespace
+
+std::optional<VersionStamp> DeltaLog::latest_version() const {
+  if (records_.empty()) return std::nullopt;
+  return records_.back().version;
+}
+
+Bytes DeltaLog::serialize() const {
+  BinaryWriter w;
+  w.put_u32(kDeltaMagic);
+  for (const CommitRecord& record : records_) {
+    BinaryWriter body;
+    serialize_version(body, record.version);
+    body.put_varint(record.changes.size());
+    for (const Change& c : record.changes) serialize_change(body, c);
+
+    w.put_varint(body.size());
+    w.put_u32(crypto::crc32(ByteSpan(body.data())));
+    w.put_raw(ByteSpan(body.data()));
+  }
+  return std::move(w).take();
+}
+
+Result<DeltaLog> DeltaLog::deserialize(ByteSpan data) {
+  BinaryReader r(data);
+  UNI_ASSIGN_OR_RETURN(const std::uint32_t magic, r.get_u32());
+  if (magic != kDeltaMagic) {
+    return make_error(ErrorCode::kCorrupt, "bad delta magic");
+  }
+  DeltaLog log;
+  while (!r.at_end()) {
+    auto len_result = r.get_varint();
+    if (!len_result.is_ok()) break;  // torn tail: keep the valid prefix
+    auto crc_result = r.get_u32();
+    if (!crc_result.is_ok()) break;
+    auto body_result = r.get_raw(len_result.value());
+    if (!body_result.is_ok()) break;
+    const Bytes body = std::move(body_result).take();
+    if (crypto::crc32(ByteSpan(body)) != crc_result.value()) break;
+
+    BinaryReader body_reader{ByteSpan(body)};
+    CommitRecord record;
+    auto version_result = deserialize_version(body_reader);
+    if (!version_result.is_ok()) break;
+    record.version = std::move(version_result).take();
+    auto count_result = body_reader.get_varint();
+    if (!count_result.is_ok()) break;
+    bool record_ok = true;
+    for (std::uint64_t i = 0; i < count_result.value(); ++i) {
+      auto change_result = deserialize_change(body_reader);
+      if (!change_result.is_ok()) {
+        record_ok = false;
+        break;
+      }
+      record.changes.push_back(std::move(change_result).take());
+    }
+    if (!record_ok) break;
+    log.append(std::move(record));
+  }
+  return log;
+}
+
+void apply_delta(SyncFolderImage& image, const DeltaLog& log) {
+  for (const CommitRecord& record : log.records()) {
+    if (!(image.version() < record.version)) continue;  // already applied
+    for (const Change& c : record.changes) apply_change(image, c);
+    image.set_version(record.version);
+  }
+}
+
+}  // namespace unidrive::metadata

@@ -1,0 +1,59 @@
+// Delta-sync: the base + delta representation of the metadata.
+//
+// The base file is a full snapshot of the SyncFolderImage at some committed
+// version; the delta file is a log of commits since then. Normally only the
+// (small) delta travels to the clouds; when the delta outgrows the threshold
+// λ = max(ratio * base_size, floor), the committing client folds it into a
+// new base. Each log record is length-prefixed and CRC-guarded so a torn
+// upload only loses the tail.
+#pragma once
+
+#include <vector>
+
+#include "metadata/changelist.h"
+#include "metadata/image.h"
+
+namespace unidrive::metadata {
+
+struct CommitRecord {
+  VersionStamp version;          // version after this commit
+  std::vector<Change> changes;   // operations of this commit
+};
+
+class DeltaLog {
+ public:
+  void append(CommitRecord record) { records_.push_back(std::move(record)); }
+  void clear() { records_.clear(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] const std::vector<CommitRecord>& records() const noexcept {
+    return records_;
+  }
+
+  // Latest version in the log, or nullopt when empty.
+  [[nodiscard]] std::optional<VersionStamp> latest_version() const;
+
+  [[nodiscard]] Bytes serialize() const;
+  // Tolerates a truncated/corrupt tail: returns the valid prefix.
+  static Result<DeltaLog> deserialize(ByteSpan data);
+
+ private:
+  std::vector<CommitRecord> records_;
+};
+
+// Replays every record newer than the image's version onto the image.
+void apply_delta(SyncFolderImage& image, const DeltaLog& log);
+
+struct DeltaPolicy {
+  double merge_ratio = 0.25;        // λ as a fraction of base size
+  std::size_t merge_floor = 10 << 10;  // ...but at least this many bytes
+
+  [[nodiscard]] bool should_merge(std::size_t base_size,
+                                  std::size_t delta_size) const noexcept {
+    const auto threshold = static_cast<std::size_t>(
+        merge_ratio * static_cast<double>(base_size));
+    return delta_size >= std::max(threshold, merge_floor);
+  }
+};
+
+}  // namespace unidrive::metadata

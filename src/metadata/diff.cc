@@ -1,0 +1,130 @@
+#include "metadata/diff.h"
+
+#include <algorithm>
+
+namespace unidrive::metadata {
+
+ImageDiff diff_images(const SyncFolderImage& from, const SyncFolderImage& to) {
+  ImageDiff out;
+  // Files.
+  for (const auto& [path, snap] : to.files()) {
+    const FileSnapshot* old_snap = from.find_file(path);
+    if (old_snap == nullptr) {
+      out.files[path] = {EntryChangeKind::kAdded, path, snap};
+    } else if (!(*old_snap == snap)) {
+      out.files[path] = {EntryChangeKind::kModified, path, snap};
+    }
+  }
+  for (const auto& [path, snap] : from.files()) {
+    if (to.find_file(path) == nullptr) {
+      out.files[path] = {EntryChangeKind::kDeleted, path, std::nullopt};
+    }
+  }
+  // Directories.
+  std::set_difference(to.dirs().begin(), to.dirs().end(), from.dirs().begin(),
+                      from.dirs().end(), std::back_inserter(out.added_dirs));
+  std::set_difference(from.dirs().begin(), from.dirs().end(), to.dirs().begin(),
+                      to.dirs().end(), std::back_inserter(out.removed_dirs));
+  return out;
+}
+
+namespace {
+
+std::string conflict_copy_path(const std::string& path,
+                               const std::string& device) {
+  return path + ".conflict-" + device;
+}
+
+void apply_entry_change(SyncFolderImage& image, const EntryChange& change) {
+  switch (change.kind) {
+    case EntryChangeKind::kAdded:
+    case EntryChangeKind::kModified:
+      image.upsert_file(*change.snapshot);
+      break;
+    case EntryChangeKind::kDeleted:
+      image.delete_file(change.path);
+      break;
+  }
+}
+
+// Two changes coincide (no conflict) if they delete together or produce the
+// same snapshot.
+bool changes_agree(const EntryChange& a, const EntryChange& b) {
+  if (a.kind == EntryChangeKind::kDeleted &&
+      b.kind == EntryChangeKind::kDeleted) {
+    return true;
+  }
+  return a.snapshot.has_value() && b.snapshot.has_value() &&
+         *a.snapshot == *b.snapshot;
+}
+
+}  // namespace
+
+MergeResult merge_images(const SyncFolderImage& base,
+                         const SyncFolderImage& local,
+                         const SyncFolderImage& cloud,
+                         const std::string& local_device) {
+  const ImageDiff delta_local = diff_images(base, local);
+  const ImageDiff delta_cloud = diff_images(base, cloud);
+
+  MergeResult result;
+  // Start from the cloud image: it already contains ΔC applied to base and
+  // carries the authoritative segment pool of committed uploads.
+  result.merged = cloud;
+
+  // Directories: union of both sides' additions, minus unilateral removals.
+  for (const std::string& d : delta_local.added_dirs) result.merged.add_dir(d);
+  for (const std::string& d : delta_local.removed_dirs) {
+    // Keep the dir if the cloud also created content there; removal only
+    // applies if the cloud side did not touch it.
+    const bool cloud_added =
+        std::find(delta_cloud.added_dirs.begin(), delta_cloud.added_dirs.end(),
+                  d) != delta_cloud.added_dirs.end();
+    if (!cloud_added) result.merged.delete_dir(d);
+  }
+
+  // Union the local segment pool so local snapshots keep valid references.
+  for (const auto& [id, info] : local.segments()) {
+    if (result.merged.find_segment(id) == nullptr) {
+      result.merged.upsert_segment(info);
+    } else {
+      // Both sides know the segment: merge block location sets (callbacks
+      // may have landed on either side).
+      SegmentInfo* dst = result.merged.find_segment_mutable(id);
+      for (const BlockLocation& b : info.blocks) {
+        if (std::find(dst->blocks.begin(), dst->blocks.end(), b) ==
+            dst->blocks.end()) {
+          dst->blocks.push_back(b);
+        }
+      }
+    }
+  }
+
+  // Apply ΔL, detecting coincidental updates.
+  for (const auto& [path, local_change] : delta_local.files) {
+    const auto cloud_it = delta_cloud.files.find(path);
+    if (cloud_it == delta_cloud.files.end()) {
+      apply_entry_change(result.merged, local_change);
+      continue;
+    }
+    const EntryChange& cloud_change = cloud_it->second;
+    if (changes_agree(local_change, cloud_change)) continue;
+
+    // Conflict. Cloud version stays at `path` (already in merged); the local
+    // version, if it still has content, is kept as a conflict copy.
+    ConflictRecord record;
+    record.path = path;
+    if (local_change.snapshot.has_value()) {
+      FileSnapshot copy = *local_change.snapshot;
+      copy.path = conflict_copy_path(path, local_device);
+      record.conflict_copy = copy.path;
+      result.merged.upsert_file(copy);
+    }
+    result.conflicts.push_back(std::move(record));
+  }
+
+  result.merged.rebuild_refcounts();
+  return result;
+}
+
+}  // namespace unidrive::metadata

@@ -1,0 +1,61 @@
+// Tree diff and three-way merge of SyncFolderImages.
+//
+// Implements the paper's conflict handling: with original metadata v_o,
+// local v_l and cloud v_c, compute deltas ΔL = diff(v_o, v_l) and
+// ΔC = diff(v_o, v_c); entries touched by only one side merge directly;
+// entries touched by both with different outcomes are conflicts — the merged
+// image keeps *both* versions (the local one is renamed to a conflict copy,
+// mirroring SVN/Git keep-both resolution) and the user is notified.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metadata/image.h"
+
+namespace unidrive::metadata {
+
+enum class EntryChangeKind : std::uint8_t { kAdded, kModified, kDeleted };
+
+struct EntryChange {
+  EntryChangeKind kind = EntryChangeKind::kAdded;
+  std::string path;
+  // Snapshot after the change (empty for deletions).
+  std::optional<FileSnapshot> snapshot;
+};
+
+// File-level difference `from` -> `to` (directories diffed separately).
+struct ImageDiff {
+  std::map<std::string, EntryChange> files;
+  std::vector<std::string> added_dirs;
+  std::vector<std::string> removed_dirs;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return files.empty() && added_dirs.empty() && removed_dirs.empty();
+  }
+};
+
+ImageDiff diff_images(const SyncFolderImage& from, const SyncFolderImage& to);
+
+struct ConflictRecord {
+  std::string path;           // original path both sides touched
+  std::string conflict_copy;  // where the losing (local) version was kept,
+                              // empty if the conflict needed no copy
+};
+
+struct MergeResult {
+  SyncFolderImage merged;
+  std::vector<ConflictRecord> conflicts;
+};
+
+// Three-way merge. `local_device` names this device (used for conflict-copy
+// paths, "<path>.conflict-<device>"). Cloud wins at the original path;
+// the local version is preserved at the conflict-copy path so no data is
+// ever lost. Segment pools are unioned and refcounts rebuilt.
+MergeResult merge_images(const SyncFolderImage& base,
+                         const SyncFolderImage& local,
+                         const SyncFolderImage& cloud,
+                         const std::string& local_device);
+
+}  // namespace unidrive::metadata

@@ -1,0 +1,268 @@
+#include "metadata/image.h"
+
+#include <algorithm>
+
+namespace unidrive::metadata {
+
+namespace {
+constexpr std::uint32_t kImageMagic = 0x4D494455;  // "UDIM"
+constexpr std::uint8_t kImageFormatVersion = 2;    // v2 added history
+}  // namespace
+
+void SyncFolderImage::add_refs(const FileSnapshot& snapshot, int delta) {
+  for (const std::string& seg_id : snapshot.segment_ids) {
+    auto it = segments_.find(seg_id);
+    if (it == segments_.end()) {
+      // Referencing a segment before it is registered: create a stub so the
+      // refcount is not lost (block locations arrive with upsert_segment).
+      SegmentInfo stub;
+      stub.id = seg_id;
+      it = segments_.emplace(seg_id, std::move(stub)).first;
+    }
+    const int next =
+        static_cast<int>(it->second.refcount) + delta;
+    it->second.refcount = next > 0 ? static_cast<std::uint32_t>(next) : 0;
+  }
+}
+
+void SyncFolderImage::upsert_file(const FileSnapshot& snapshot) {
+  auto it = files_.find(snapshot.path);
+  if (it != files_.end()) {
+    if (it->second == snapshot) return;  // no-op rewrite
+    // Retire the superseded snapshot into the bounded history; it keeps its
+    // segment references until it falls off the end.
+    auto& hist = history_[snapshot.path];
+    hist.insert(hist.begin(), it->second);
+    while (hist.size() > kHistoryDepth) {
+      add_refs(hist.back(), -1);
+      hist.pop_back();
+    }
+    it->second = snapshot;
+  } else {
+    it = files_.emplace(snapshot.path, snapshot).first;
+  }
+  add_refs(snapshot, +1);
+}
+
+void SyncFolderImage::delete_file(const std::string& path) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return;
+  add_refs(it->second, -1);
+  files_.erase(it);
+  const auto hist_it = history_.find(path);
+  if (hist_it != history_.end()) {
+    for (const FileSnapshot& old : hist_it->second) add_refs(old, -1);
+    history_.erase(hist_it);
+  }
+}
+
+std::vector<FileSnapshot> SyncFolderImage::history(
+    const std::string& path) const {
+  const auto it = history_.find(path);
+  return it == history_.end() ? std::vector<FileSnapshot>{} : it->second;
+}
+
+const FileSnapshot* SyncFolderImage::find_file(const std::string& path) const {
+  const auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+void SyncFolderImage::upsert_segment(const SegmentInfo& segment) {
+  auto it = segments_.find(segment.id);
+  if (it == segments_.end()) {
+    segments_.emplace(segment.id, segment);
+    return;
+  }
+  const std::uint32_t refs = it->second.refcount;
+  it->second = segment;
+  it->second.refcount = refs;
+}
+
+void SyncFolderImage::drop_segment(const std::string& id) {
+  segments_.erase(id);
+}
+
+const SegmentInfo* SyncFolderImage::find_segment(const std::string& id) const {
+  const auto it = segments_.find(id);
+  return it == segments_.end() ? nullptr : &it->second;
+}
+
+SegmentInfo* SyncFolderImage::find_segment_mutable(const std::string& id) {
+  const auto it = segments_.find(id);
+  return it == segments_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SyncFolderImage::garbage_segments() const {
+  std::vector<std::string> out;
+  for (const auto& [id, info] : segments_) {
+    if (info.refcount == 0) out.push_back(id);
+  }
+  return out;
+}
+
+void SyncFolderImage::rebuild_refcounts() {
+  for (auto& [id, info] : segments_) info.refcount = 0;
+  const auto count_snapshot = [&](const FileSnapshot& snapshot) {
+    for (const std::string& seg_id : snapshot.segment_ids) {
+      auto it = segments_.find(seg_id);
+      if (it == segments_.end()) {
+        SegmentInfo stub;
+        stub.id = seg_id;
+        it = segments_.emplace(seg_id, std::move(stub)).first;
+      }
+      ++it->second.refcount;
+    }
+  };
+  for (const auto& [path, snapshot] : files_) count_snapshot(snapshot);
+  for (const auto& [path, hist] : history_) {
+    for (const FileSnapshot& old : hist) count_snapshot(old);
+  }
+}
+
+// --- serialization ----------------------------------------------------------
+
+void serialize_version(BinaryWriter& w, const VersionStamp& v) {
+  w.put_string(v.device);
+  w.put_varint(v.counter);
+  w.put_double(v.timestamp);
+}
+
+Result<VersionStamp> deserialize_version(BinaryReader& r) {
+  VersionStamp v;
+  UNI_ASSIGN_OR_RETURN(v.device, r.get_string());
+  UNI_ASSIGN_OR_RETURN(v.counter, r.get_varint());
+  UNI_ASSIGN_OR_RETURN(v.timestamp, r.get_double());
+  return v;
+}
+
+void serialize_snapshot(BinaryWriter& w, const FileSnapshot& s) {
+  w.put_string(s.path);
+  w.put_double(s.mtime);
+  w.put_varint(s.size);
+  w.put_string(s.content_hash);
+  w.put_varint(s.segment_ids.size());
+  for (const std::string& id : s.segment_ids) w.put_string(id);
+  w.put_string(s.origin_device);
+}
+
+Result<FileSnapshot> deserialize_snapshot(BinaryReader& r) {
+  FileSnapshot s;
+  UNI_ASSIGN_OR_RETURN(s.path, r.get_string());
+  UNI_ASSIGN_OR_RETURN(s.mtime, r.get_double());
+  UNI_ASSIGN_OR_RETURN(s.size, r.get_varint());
+  UNI_ASSIGN_OR_RETURN(s.content_hash, r.get_string());
+  UNI_ASSIGN_OR_RETURN(const std::uint64_t n, r.get_varint());
+  // Counts come from untrusted bytes: never reserve more than the buffer
+  // could possibly encode (>= 1 byte per element), or a hostile count
+  // triggers a giant allocation before the first element read fails.
+  s.segment_ids.reserve(std::min<std::uint64_t>(n, r.remaining()));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    UNI_ASSIGN_OR_RETURN(std::string id, r.get_string());
+    s.segment_ids.push_back(std::move(id));
+  }
+  UNI_ASSIGN_OR_RETURN(s.origin_device, r.get_string());
+  return s;
+}
+
+void serialize_segment(BinaryWriter& w, const SegmentInfo& s) {
+  w.put_string(s.id);
+  w.put_varint(s.size);
+  w.put_varint(s.refcount);
+  w.put_varint(s.blocks.size());
+  for (const BlockLocation& b : s.blocks) {
+    w.put_varint(b.block_index);
+    w.put_varint(b.cloud);
+  }
+}
+
+Result<SegmentInfo> deserialize_segment(BinaryReader& r) {
+  SegmentInfo s;
+  UNI_ASSIGN_OR_RETURN(s.id, r.get_string());
+  UNI_ASSIGN_OR_RETURN(s.size, r.get_varint());
+  UNI_ASSIGN_OR_RETURN(const std::uint64_t refs, r.get_varint());
+  s.refcount = static_cast<std::uint32_t>(refs);
+  UNI_ASSIGN_OR_RETURN(const std::uint64_t n, r.get_varint());
+  s.blocks.reserve(std::min<std::uint64_t>(n, r.remaining()));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    BlockLocation b;
+    UNI_ASSIGN_OR_RETURN(const std::uint64_t idx, r.get_varint());
+    UNI_ASSIGN_OR_RETURN(const std::uint64_t cl, r.get_varint());
+    b.block_index = static_cast<std::uint32_t>(idx);
+    b.cloud = static_cast<cloud::CloudId>(cl);
+    s.blocks.push_back(b);
+  }
+  return s;
+}
+
+Bytes SyncFolderImage::serialize() const {
+  BinaryWriter w;
+  w.put_u32(kImageMagic);
+  w.put_u8(kImageFormatVersion);
+  serialize_version(w, version_);
+  w.put_varint(dirs_.size());
+  for (const std::string& d : dirs_) w.put_string(d);
+  w.put_varint(files_.size());
+  for (const auto& [path, snapshot] : files_) serialize_snapshot(w, snapshot);
+  w.put_varint(history_.size());
+  for (const auto& [path, hist] : history_) {
+    w.put_string(path);
+    w.put_varint(hist.size());
+    for (const FileSnapshot& old : hist) serialize_snapshot(w, old);
+  }
+  w.put_varint(segments_.size());
+  for (const auto& [id, info] : segments_) serialize_segment(w, info);
+  return std::move(w).take();
+}
+
+Result<SyncFolderImage> SyncFolderImage::deserialize(ByteSpan data) {
+  BinaryReader r(data);
+  UNI_ASSIGN_OR_RETURN(const std::uint32_t magic, r.get_u32());
+  if (magic != kImageMagic) {
+    return make_error(ErrorCode::kCorrupt, "bad image magic");
+  }
+  UNI_ASSIGN_OR_RETURN(const std::uint8_t fmt, r.get_u8());
+  if (fmt != kImageFormatVersion) {
+    return make_error(ErrorCode::kCorrupt, "unsupported image version");
+  }
+  SyncFolderImage image;
+  UNI_ASSIGN_OR_RETURN(image.version_, deserialize_version(r));
+  UNI_ASSIGN_OR_RETURN(const std::uint64_t ndirs, r.get_varint());
+  for (std::uint64_t i = 0; i < ndirs; ++i) {
+    UNI_ASSIGN_OR_RETURN(std::string d, r.get_string());
+    image.dirs_.insert(std::move(d));
+  }
+  UNI_ASSIGN_OR_RETURN(const std::uint64_t nfiles, r.get_varint());
+  for (std::uint64_t i = 0; i < nfiles; ++i) {
+    UNI_ASSIGN_OR_RETURN(FileSnapshot s, deserialize_snapshot(r));
+    image.files_.emplace(s.path, std::move(s));
+  }
+  UNI_ASSIGN_OR_RETURN(const std::uint64_t nhist, r.get_varint());
+  for (std::uint64_t i = 0; i < nhist; ++i) {
+    UNI_ASSIGN_OR_RETURN(std::string path, r.get_string());
+    UNI_ASSIGN_OR_RETURN(const std::uint64_t count, r.get_varint());
+    std::vector<FileSnapshot> hist;
+    hist.reserve(std::min<std::uint64_t>(count, r.remaining()));
+    for (std::uint64_t j = 0; j < count; ++j) {
+      UNI_ASSIGN_OR_RETURN(FileSnapshot s, deserialize_snapshot(r));
+      hist.push_back(std::move(s));
+    }
+    image.history_.emplace(std::move(path), std::move(hist));
+  }
+  UNI_ASSIGN_OR_RETURN(const std::uint64_t nsegs, r.get_varint());
+  for (std::uint64_t i = 0; i < nsegs; ++i) {
+    UNI_ASSIGN_OR_RETURN(SegmentInfo s, deserialize_segment(r));
+    image.segments_.emplace(s.id, std::move(s));
+  }
+  // Refcounts are derived from the entries; recomputing here makes the
+  // invariant hold regardless of what the serialized counts said.
+  image.rebuild_refcounts();
+  return image;
+}
+
+bool operator==(const SyncFolderImage& a, const SyncFolderImage& b) {
+  return a.version_ == b.version_ && a.dirs_ == b.dirs_ &&
+         a.files_ == b.files_ && a.history_ == b.history_ &&
+         a.segments_ == b.segments_;
+}
+
+}  // namespace unidrive::metadata

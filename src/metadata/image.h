@@ -1,0 +1,105 @@
+// SyncFolderImage — the single metadata file at the heart of UniDrive.
+//
+// Unlike per-file metadata designs (DepSky, MetaSync), UniDrive captures the
+// complete sync-folder state in one image: the directory hierarchy, a
+// snapshot per file, and the segment pool mapping content-addressed segments
+// to erasure-coded block locations. Replicating this one file to all clouds
+// (instead of thousands of tiny ones) is what keeps metadata overhead ~1%.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/serial.h"
+#include "metadata/types.h"
+
+namespace unidrive::metadata {
+
+class SyncFolderImage {
+ public:
+  // How many superseded snapshots are retained per file ("each entry
+  // contains the snapshots of the corresponding file" — the history is what
+  // makes later conflict resolution and version restore possible).
+  static constexpr std::size_t kHistoryDepth = 3;
+
+  // --- files -------------------------------------------------------------
+  // Sets the current snapshot for the file (creates or replaces the entry)
+  // and adjusts segment refcounts. The superseded snapshot is pushed onto
+  // the file's history (bounded by kHistoryDepth), which keeps its segments
+  // referenced so old versions stay restorable.
+  void upsert_file(const FileSnapshot& snapshot);
+
+  // Removes the file entry (current + history); decrements refcounts of its
+  // segments. Segments whose refcount drops to zero stay in the pool
+  // flagged for GC (their blocks must be deleted from the clouds before
+  // dropping them).
+  void delete_file(const std::string& path);
+
+  [[nodiscard]] const FileSnapshot* find_file(const std::string& path) const;
+  [[nodiscard]] const std::map<std::string, FileSnapshot>& files() const noexcept {
+    return files_;
+  }
+
+  // Superseded snapshots of a file, most recent first. Empty when the file
+  // never changed (or does not exist).
+  [[nodiscard]] std::vector<FileSnapshot> history(const std::string& path) const;
+
+  // --- directories ---------------------------------------------------------
+  void add_dir(const std::string& path) { dirs_.insert(path); }
+  void delete_dir(const std::string& path) { dirs_.erase(path); }
+  [[nodiscard]] const std::set<std::string>& dirs() const noexcept {
+    return dirs_;
+  }
+
+  // --- segment pool --------------------------------------------------------
+  // Registers or replaces a segment record (block locations update as upload
+  // callbacks land). Refcount is managed by upsert_file/delete_file;
+  // upsert_segment preserves the existing refcount when replacing.
+  void upsert_segment(const SegmentInfo& segment);
+  void drop_segment(const std::string& id);
+  [[nodiscard]] const SegmentInfo* find_segment(const std::string& id) const;
+  [[nodiscard]] SegmentInfo* find_segment_mutable(const std::string& id);
+  [[nodiscard]] const std::map<std::string, SegmentInfo>& segments() const noexcept {
+    return segments_;
+  }
+
+  // Segments with refcount zero: candidates for block deletion + drop.
+  [[nodiscard]] std::vector<std::string> garbage_segments() const;
+
+  // Recomputes every segment refcount from the file entries. Invariant used
+  // by property tests: rebuild is a no-op on a consistent image.
+  void rebuild_refcounts();
+
+  // --- version -------------------------------------------------------------
+  [[nodiscard]] const VersionStamp& version() const noexcept { return version_; }
+  void set_version(VersionStamp v) { version_ = std::move(v); }
+
+  // --- serialization ---------------------------------------------------------
+  [[nodiscard]] Bytes serialize() const;
+  static Result<SyncFolderImage> deserialize(ByteSpan data);
+
+  friend bool operator==(const SyncFolderImage& a, const SyncFolderImage& b);
+
+ private:
+  void add_refs(const FileSnapshot& snapshot, int delta);
+
+  std::map<std::string, FileSnapshot> files_;   // path -> current snapshot
+  // path -> superseded snapshots, most recent first, <= kHistoryDepth.
+  // History snapshots hold segment references (so their data is not GC'd).
+  std::map<std::string, std::vector<FileSnapshot>> history_;
+  std::set<std::string> dirs_;
+  std::map<std::string, SegmentInfo> segments_; // id -> info
+  VersionStamp version_;
+};
+
+void serialize_snapshot(BinaryWriter& w, const FileSnapshot& s);
+Result<FileSnapshot> deserialize_snapshot(BinaryReader& r);
+void serialize_segment(BinaryWriter& w, const SegmentInfo& s);
+Result<SegmentInfo> deserialize_segment(BinaryReader& r);
+void serialize_version(BinaryWriter& w, const VersionStamp& v);
+Result<VersionStamp> deserialize_version(BinaryReader& r);
+
+}  // namespace unidrive::metadata

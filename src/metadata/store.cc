@@ -1,0 +1,170 @@
+#include "metadata/store.h"
+
+#include "metadata/version_file.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace unidrive::metadata {
+
+namespace {
+// Transient REST failures are the norm (the paper measures 82.5%-99%
+// per-request success); retry a couple of times before declaring a cloud
+// unreachable for this publish.
+Status upload_with_retry(cloud::CloudProvider& cloud, const std::string& path,
+                         ByteSpan data, int attempts = 3) {
+  Status status;
+  for (int i = 0; i < attempts; ++i) {
+    status = cloud.upload(path, data);
+    if (status.is_ok() || !status.is_transient()) return status;
+  }
+  return status;
+}
+}  // namespace
+
+Status MetaStore::publish(const SyncFolderImage& base, const DeltaLog& delta,
+                          bool upload_base) {
+  const Bytes version_bytes =
+      serialize_version_file(delta.latest_version().value_or(base.version()));
+  const Bytes delta_bytes = codec_.encode_delta(delta);
+  Bytes base_bytes;
+  if (upload_base) base_bytes = codec_.encode_image(base);
+
+  std::size_t successes = 0;
+  for (const cloud::CloudPtr& c : clouds_) {
+    bool ok = true;
+    if (upload_base) {
+      ok = upload_with_retry(*c, kBasePath, ByteSpan(base_bytes)).is_ok();
+    }
+    // Order matters: data (base/delta) must land before the version file
+    // that advertises it, so a reader never sees a version it cannot fetch.
+    ok = ok && upload_with_retry(*c, kDeltaPath, ByteSpan(delta_bytes)).is_ok();
+    ok = ok &&
+         upload_with_retry(*c, kVersionPath, ByteSpan(version_bytes)).is_ok();
+    if (ok) {
+      ++successes;
+    } else {
+      UNI_LOG(kInfo) << "metadata publish failed on " << c->name();
+    }
+  }
+  if (successes < majority()) {
+    return make_error(ErrorCode::kUnavailable,
+                      "metadata publish reached only " +
+                          std::to_string(successes) + "/" +
+                          std::to_string(clouds_.size()) + " clouds");
+  }
+  return Status::ok();
+}
+
+Result<VersionStamp> MetaStore::fetch_remote_version() {
+  std::optional<VersionStamp> best;
+  std::size_t responded = 0;
+  for (const cloud::CloudPtr& c : clouds_) {
+    auto data = c->download(kVersionPath);
+    if (!data.is_ok()) {
+      if (data.code() == ErrorCode::kNotFound) ++responded;
+      continue;
+    }
+    ++responded;
+    auto version = parse_version_file(ByteSpan(data.value()));
+    if (!version.is_ok()) continue;
+    if (!best.has_value() || *best < version.value()) {
+      best = version.value();
+    }
+  }
+  if (responded == 0) {
+    return make_error(ErrorCode::kOutage, "no cloud reachable");
+  }
+  if (!best.has_value()) {
+    return make_error(ErrorCode::kNotFound, "no metadata published yet");
+  }
+  return *best;
+}
+
+bool MetaStore::has_cloud_update(const VersionStamp& local) {
+  auto remote = fetch_remote_version();
+  return remote.is_ok() && local < remote.value();
+}
+
+Result<MetaStore::RawMetadata> MetaStore::fetch_raw() {
+  auto fetched = fetch_latest();
+  // fetch_latest validates base+delta consistency; re-derive the raw pair
+  // from the same winning cloud by re-downloading. Cheaper: reconstruct from
+  // the merged image is impossible (delta must be preserved verbatim), so we
+  // re-fetch both files from whichever cloud can serve the newest version.
+  if (!fetched.is_ok()) return fetched.status();
+  const VersionStamp want = fetched.value().version;
+  for (const cloud::CloudPtr& c : clouds_) {
+    auto version_bytes = c->download(kVersionPath);
+    if (!version_bytes.is_ok()) continue;
+    auto version = parse_version_file(ByteSpan(version_bytes.value()));
+    if (!version.is_ok() || version.value() < want) continue;
+    auto base_bytes = c->download(kBasePath);
+    if (!base_bytes.is_ok()) continue;
+    auto base = codec_.decode_image(ByteSpan(base_bytes.value()));
+    if (!base.is_ok()) continue;
+    RawMetadata out;
+    out.base = std::move(base).take();
+    auto delta_bytes = c->download(kDeltaPath);
+    if (delta_bytes.is_ok()) {
+      auto delta = codec_.decode_delta(ByteSpan(delta_bytes.value()));
+      if (delta.is_ok()) out.delta = std::move(delta).take();
+    }
+    return out;
+  }
+  return make_error(ErrorCode::kUnavailable, "no cloud served raw metadata");
+}
+
+Result<FetchedMetadata> MetaStore::fetch_latest() {
+  // Rank clouds by advertised version, newest first, then try to download
+  // the full metadata from each until one succeeds.
+  struct Candidate {
+    VersionStamp version;
+    cloud::CloudProvider* cloud;
+  };
+  std::vector<Candidate> candidates;
+  std::size_t responded = 0;
+  for (const cloud::CloudPtr& c : clouds_) {
+    auto data = c->download(kVersionPath);
+    if (!data.is_ok()) {
+      if (data.code() == ErrorCode::kNotFound) ++responded;
+      continue;
+    }
+    ++responded;
+    auto version = parse_version_file(ByteSpan(data.value()));
+    if (version.is_ok()) candidates.push_back(Candidate{version.value(), c.get()});
+  }
+  if (candidates.empty()) {
+    return make_error(responded == 0 ? ErrorCode::kOutage : ErrorCode::kNotFound,
+                      "no metadata available");
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return b.version < a.version;  // newest first
+                   });
+
+  for (const Candidate& cand : candidates) {
+    auto base_bytes = cand.cloud->download(kBasePath);
+    if (!base_bytes.is_ok()) continue;
+    auto image = codec_.decode_image(ByteSpan(base_bytes.value()));
+    if (!image.is_ok()) continue;
+
+    FetchedMetadata out;
+    out.image = std::move(image).take();
+    auto delta_bytes = cand.cloud->download(kDeltaPath);
+    if (delta_bytes.is_ok()) {
+      auto delta = codec_.decode_delta(ByteSpan(delta_bytes.value()));
+      if (delta.is_ok()) apply_delta(out.image, delta.value());
+    }
+    // The reconstructed state must reach the advertised version; otherwise
+    // this cloud has a stale/torn base+delta pair — try the next one.
+    if (out.image.version() < cand.version) continue;
+    out.version = out.image.version();
+    return out;
+  }
+  return make_error(ErrorCode::kUnavailable,
+                    "no cloud could supply consistent metadata");
+}
+
+}  // namespace unidrive::metadata

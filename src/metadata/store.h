@@ -1,0 +1,65 @@
+// MetaStore — replication of the (encrypted) metadata to every cloud and
+// retrieval of the newest committed state.
+//
+// Writes happen only while the quorum lock is held, so at most one writer is
+// publishing at any time; a publish succeeds when a majority of clouds
+// accepted all three files (version, delta, and base when it changed). Reads
+// consult the version files of all reachable clouds and download from any
+// cloud advertising the newest version — replication to a majority plus
+// read-from-all guarantees the newest committed version is found whenever a
+// majority of clouds is reachable.
+#pragma once
+
+#include "cloud/provider.h"
+#include "metadata/codec.h"
+
+namespace unidrive::metadata {
+
+struct FetchedMetadata {
+  SyncFolderImage image;   // base with delta applied
+  VersionStamp version;    // == image.version()
+};
+
+class MetaStore {
+ public:
+  MetaStore(cloud::MultiCloud clouds, const std::string& passphrase)
+      : clouds_(std::move(clouds)), codec_(passphrase) {}
+
+  // Pushes the current metadata state. `upload_base` controls Delta-sync:
+  // false = delta + version only (the common, cheap case); true = the delta
+  // was folded into the base, push all three.
+  Status publish(const SyncFolderImage& base, const DeltaLog& delta,
+                 bool upload_base);
+
+  // Newest version advertised by any reachable cloud. kOutage when no cloud
+  // responded; kNotFound when no metadata exists yet anywhere.
+  Result<VersionStamp> fetch_remote_version();
+
+  // True if a reachable cloud advertises a version newer than `local`.
+  [[nodiscard]] bool has_cloud_update(const VersionStamp& local);
+
+  // Downloads and reconstructs the newest metadata (base + delta replay).
+  Result<FetchedMetadata> fetch_latest();
+
+  // Raw base + delta pair from the cloud advertising the newest version.
+  // Used by committers (under the lock) to append to the shared delta log
+  // rather than overwrite it.
+  struct RawMetadata {
+    SyncFolderImage base;
+    DeltaLog delta;
+  };
+  Result<RawMetadata> fetch_raw();
+
+  [[nodiscard]] const cloud::MultiCloud& clouds() const noexcept {
+    return clouds_;
+  }
+  [[nodiscard]] std::size_t majority() const noexcept {
+    return clouds_.size() / 2 + 1;
+  }
+
+ private:
+  cloud::MultiCloud clouds_;
+  MetadataCodec codec_;
+};
+
+}  // namespace unidrive::metadata

@@ -1,0 +1,26 @@
+#include "metadata/version_file.h"
+#include "metadata/image.h"
+
+namespace unidrive::metadata {
+
+namespace {
+constexpr std::uint32_t kVersionMagic = 0x53564455;  // "UDVS"
+}  // namespace
+
+Bytes serialize_version_file(const VersionStamp& version) {
+  BinaryWriter w;
+  w.put_u32(kVersionMagic);
+  serialize_version(w, version);
+  return std::move(w).take();
+}
+
+Result<VersionStamp> parse_version_file(ByteSpan data) {
+  BinaryReader r(data);
+  UNI_ASSIGN_OR_RETURN(const std::uint32_t magic, r.get_u32());
+  if (magic != kVersionMagic) {
+    return make_error(ErrorCode::kCorrupt, "bad version-file magic");
+  }
+  return deserialize_version(r);
+}
+
+}  // namespace unidrive::metadata

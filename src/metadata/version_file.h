@@ -1,0 +1,17 @@
+// The tiny version file: the paper's cheap cloud-update signal.
+//
+// Instead of downloading metadata to learn whether anything changed, clients
+// periodically fetch this ~tens-of-bytes file. It holds only the committing
+// device name and version counter — if it differs from the local copy, a
+// cloud update is pending. No global clock synchronization is required.
+#pragma once
+
+#include "common/serial.h"
+#include "metadata/types.h"
+
+namespace unidrive::metadata {
+
+Bytes serialize_version_file(const VersionStamp& version);
+Result<VersionStamp> parse_version_file(ByteSpan data);
+
+}  // namespace unidrive::metadata

@@ -1,0 +1,47 @@
+#include "sched/monitor.h"
+
+#include <algorithm>
+
+namespace unidrive::sched {
+
+void ThroughputMonitor::record(cloud::CloudId cloud, Direction dir,
+                               double bytes, double seconds) {
+  if (seconds <= 0 || bytes <= 0) return;
+  const double sample = bytes / seconds;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto key = std::make_pair(cloud, dir);
+  const auto it = ewma_.find(key);
+  if (it == ewma_.end()) {
+    ewma_[key] = sample;
+  } else {
+    it->second = alpha_ * sample + (1 - alpha_) * it->second;
+  }
+}
+
+double ThroughputMonitor::estimate(cloud::CloudId cloud, Direction dir) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = ewma_.find(std::make_pair(cloud, dir));
+  return it == ewma_.end() ? default_estimate_ : it->second;
+}
+
+std::vector<cloud::CloudId> ThroughputMonitor::ranked(
+    Direction dir, const std::vector<cloud::CloudId>& candidates) const {
+  std::vector<std::pair<double, cloud::CloudId>> scored;
+  scored.reserve(candidates.size());
+  for (const cloud::CloudId c : candidates) {
+    scored.emplace_back(estimate(c, dir), c);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<cloud::CloudId> out;
+  out.reserve(scored.size());
+  for (const auto& [score, c] : scored) out.push_back(c);
+  return out;
+}
+
+void ThroughputMonitor::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ewma_.clear();
+}
+
+}  // namespace unidrive::sched

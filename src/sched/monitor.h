@@ -1,0 +1,57 @@
+// In-channel bandwidth probing (Section 6.2).
+//
+// UniDrive never sends dedicated probe traffic and never tries to predict
+// cloud performance; the last transmissions ARE the probe. Every completed
+// block transfer is recorded as a (bytes, seconds) sample, and clouds are
+// ranked by their recent average *per-connection* throughput (per-connection
+// because several concurrent HTTP connections share each cloud's path and
+// scheduling decisions are per block).
+//
+// The estimate is an exponentially weighted moving average so a cloud whose
+// network degrades mid-transfer loses its rank within a few blocks.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "cloud/provider.h"
+
+namespace unidrive::sched {
+
+enum class Direction : std::uint8_t { kUpload = 0, kDownload = 1 };
+
+class ThroughputMonitor {
+ public:
+  // `default_estimate` seeds unknown clouds. The default is 0 — i.e. a
+  // cloud with no samples ranks BELOW every measured cloud: being wrong
+  // about an unmeasured cloud is cheap (it gets probed when the measured
+  // ones are busy), whereas an optimistic default would keep routing blocks
+  // to a cloud that is actually slow and make stragglers look "fast" to the
+  // hedging logic. With all-equal seeds the first round degenerates to the
+  // even assignment the paper starts from. `alpha` is the EWMA weight of
+  // the newest sample.
+  explicit ThroughputMonitor(double default_estimate = 0.0,
+                             double alpha = 0.35) noexcept
+      : default_estimate_(default_estimate), alpha_(alpha) {}
+
+  void record(cloud::CloudId cloud, Direction dir, double bytes,
+              double seconds);
+
+  // Per-connection throughput estimate in bytes/sec.
+  [[nodiscard]] double estimate(cloud::CloudId cloud, Direction dir) const;
+
+  // Candidates sorted fastest-first (stable for equal estimates).
+  [[nodiscard]] std::vector<cloud::CloudId> ranked(
+      Direction dir, const std::vector<cloud::CloudId>& candidates) const;
+
+  void reset();
+
+ private:
+  double default_estimate_;
+  double alpha_;
+  mutable std::mutex mutex_;
+  std::map<std::pair<cloud::CloudId, Direction>, double> ewma_;
+};
+
+}  // namespace unidrive::sched

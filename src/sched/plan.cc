@@ -1,0 +1,32 @@
+#include "sched/plan.h"
+
+#include <string>
+
+namespace unidrive::sched {
+
+Status CodeParams::validate() const {
+  if (num_clouds == 0 || k == 0) {
+    return make_error(ErrorCode::kInvalidArgument, "N and k must be positive");
+  }
+  if (!(1 <= ks && ks <= kr && kr <= num_clouds)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "need 1 <= Ks <= Kr <= N, got Ks=" + std::to_string(ks) +
+                          " Kr=" + std::to_string(kr) +
+                          " N=" + std::to_string(num_clouds));
+  }
+  if (max_per_cloud() < fair_share()) {
+    return make_error(
+        ErrorCode::kInvalidArgument,
+        "security ceiling below reliability floor: max_per_cloud=" +
+            std::to_string(max_per_cloud()) +
+            " < fair_share=" + std::to_string(fair_share()) +
+            " (raise k or loosen Ks/Kr)");
+  }
+  if (code_n() + k > 256) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "code length exceeds GF(256) capacity");
+  }
+  return Status::ok();
+}
+
+}  // namespace unidrive::sched

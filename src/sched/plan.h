@@ -1,0 +1,69 @@
+// Reliability/security block-placement arithmetic (Section 6.1).
+//
+// A user enrolls N clouds and states two requirements:
+//   security   Ks: fewer than Ks breached clouds must reveal nothing
+//              (no Ks-1 providers can jointly reconstruct any file), and
+//   reliability Kr: any Kr reachable clouds must suffice to recover data
+//              (tolerating N-Kr simultaneous outages), with 1 <= Ks <= Kr <= N.
+//
+// With each segment cut into k data blocks, those requirements bound the
+// per-cloud block count:
+//   at least fair_share = ceil(k/Kr) blocks per cloud (reliability floor),
+//   at most  max_per_cloud = ceil(k/(Ks-1)) - 1 blocks (security ceiling;
+//            k when Ks == 1, i.e. no security requirement).
+// UniDrive uses a non-systematic RS code with n = ceil(k/Ks) * N, generates
+// the fair_share * N "normal" parity blocks up front, and materializes the
+// remaining indices on demand as over-provisioned parity blocks.
+#pragma once
+
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace unidrive::sched {
+
+struct CodeParams {
+  std::size_t num_clouds = 5;  // N
+  std::size_t k = 3;           // data blocks per segment
+  std::size_t ks = 2;          // security requirement Ks
+  std::size_t kr = 3;          // reliability requirement Kr
+
+  [[nodiscard]] Status validate() const;
+
+  // ceil(k / Kr): blocks every cloud must eventually hold.
+  [[nodiscard]] std::size_t fair_share() const noexcept {
+    return (k + kr - 1) / kr;
+  }
+
+  // Security cap on blocks per cloud (k if Ks == 1).
+  [[nodiscard]] std::size_t max_per_cloud() const noexcept {
+    if (ks == 1) return k;
+    return (k + ks - 2) / (ks - 1) - 1;
+  }
+
+  // Normal parity blocks generated in advance.
+  [[nodiscard]] std::size_t normal_blocks() const noexcept {
+    return fair_share() * num_clouds;
+  }
+
+  // Total code length n = ceil(k/Ks) * N; indices >= normal_blocks() are
+  // over-provisioned parity blocks.
+  [[nodiscard]] std::size_t code_n() const noexcept {
+    return ((k + ks - 1) / ks) * num_clouds;
+  }
+
+  // Absolute ceiling from the security requirement.
+  [[nodiscard]] std::size_t max_total_blocks() const noexcept {
+    return max_per_cloud() * num_clouds;
+  }
+
+  // Usable fraction of raw multi-cloud quota: k data blocks stored as
+  // normal_blocks() parity blocks. (The paper's example: N=3, Kr=2 ->
+  // 3 x 100 GB of quota yields 200 GB of user data vs 150 GB for
+  // replication.)
+  [[nodiscard]] double storage_efficiency() const noexcept {
+    return static_cast<double>(k) / static_cast<double>(normal_blocks());
+  }
+};
+
+}  // namespace unidrive::sched

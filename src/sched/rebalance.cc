@@ -1,0 +1,139 @@
+#include "sched/rebalance.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace unidrive::sched {
+
+namespace {
+
+std::map<cloud::CloudId, std::size_t> load_per_cloud(
+    const metadata::SegmentInfo& seg) {
+  std::map<cloud::CloudId, std::size_t> load;
+  for (const metadata::BlockLocation& b : seg.blocks) ++load[b.cloud];
+  return load;
+}
+
+}  // namespace
+
+RebalancePlan plan_remove_cloud(const metadata::SyncFolderImage& image,
+                                cloud::CloudId removed,
+                                const std::vector<cloud::CloudId>& survivors,
+                                const CodeParams& params) {
+  RebalancePlan plan;
+  for (const auto& [id, seg] : image.segments()) {
+    if (seg.refcount == 0) continue;
+    auto load = load_per_cloud(seg);
+
+    // Blocks currently on the removed cloud.
+    std::vector<std::uint32_t> displaced;
+    std::set<std::uint32_t> present;
+    for (const metadata::BlockLocation& b : seg.blocks) {
+      present.insert(b.block_index);
+      if (b.cloud == removed) displaced.push_back(b.block_index);
+    }
+
+    // The paper: "to remove a CCS, we only need to redistribute its fair
+    // share ... to other available CCSs". Re-home every displaced block to
+    // the least-loaded survivor, bounded by the security cap, so the total
+    // redundancy is preserved.
+    for (const std::uint32_t b : displaced) {
+      cloud::CloudId best = BlockMove::kNone;
+      std::size_t best_load = params.max_per_cloud();
+      for (const cloud::CloudId c : survivors) {
+        const std::size_t l = load.count(c) ? load[c] : 0;
+        if (l < best_load) {
+          best_load = l;
+          best = c;
+        }
+      }
+      if (best == BlockMove::kNone) continue;  // caps exhausted: skip block
+      BlockMove move;
+      move.segment_id = id;
+      move.block_index = b;
+      move.from_cloud = BlockMove::kNone;  // block data is re-encodable
+      move.to_cloud = best;
+      plan.moves.push_back(move);
+      ++load[best];
+    }
+    // Everything on the removed cloud is deleted (best effort — the cloud
+    // may already be unreachable; deletion is advisory).
+    for (const std::uint32_t b : displaced) {
+      plan.deletions.push_back({id, b, removed});
+    }
+  }
+  return plan;
+}
+
+RebalancePlan plan_add_cloud(const metadata::SyncFolderImage& image,
+                             cloud::CloudId added,
+                             const std::vector<cloud::CloudId>& all_clouds,
+                             const CodeParams& params) {
+  RebalancePlan plan;
+  for (const auto& [id, seg] : image.segments()) {
+    if (seg.refcount == 0) continue;
+    std::set<std::uint32_t> present;
+    auto load = load_per_cloud(seg);
+    for (const metadata::BlockLocation& b : seg.blocks) {
+      present.insert(b.block_index);
+    }
+
+    // Give the new cloud its fair share: fresh block indices not yet used.
+    std::uint32_t candidate = 0;
+    for (std::size_t i = 0; i < params.fair_share(); ++i) {
+      while (present.count(candidate) != 0 &&
+             candidate < params.code_n()) {
+        ++candidate;
+      }
+      if (candidate >= params.code_n()) break;  // code exhausted
+      BlockMove move;
+      move.segment_id = id;
+      move.block_index = candidate;
+      move.from_cloud = BlockMove::kNone;  // encode locally and upload
+      move.to_cloud = added;
+      plan.moves.push_back(move);
+      present.insert(candidate);
+    }
+
+    // Other clouds shed surplus blocks beyond their fair share — cheapest
+    // way to rebalance, as the paper notes ("simply by deleting some data
+    // blocks") — but never below the reliability floor of k total.
+    std::size_t total_after =
+        present.size();
+    for (const metadata::BlockLocation& b : seg.blocks) {
+      if (b.cloud == added) continue;
+      if (load[b.cloud] > params.fair_share() &&
+          total_after > std::max(params.k, params.fair_share() *
+                                                all_clouds.size())) {
+        plan.deletions.push_back({id, b.block_index, b.cloud});
+        --load[b.cloud];
+        --total_after;
+      }
+    }
+  }
+  return plan;
+}
+
+void apply_rebalance(metadata::SyncFolderImage& image,
+                     const RebalancePlan& plan) {
+  for (const BlockMove& m : plan.moves) {
+    metadata::SegmentInfo* seg = image.find_segment_mutable(m.segment_id);
+    if (seg == nullptr) continue;
+    const metadata::BlockLocation loc{m.block_index, m.to_cloud};
+    if (std::find(seg->blocks.begin(), seg->blocks.end(), loc) ==
+        seg->blocks.end()) {
+      seg->blocks.push_back(loc);
+    }
+  }
+  for (const BlockDeletion& d : plan.deletions) {
+    metadata::SegmentInfo* seg = image.find_segment_mutable(d.segment_id);
+    if (seg == nullptr) continue;
+    const metadata::BlockLocation loc{d.block_index, d.cloud};
+    seg->blocks.erase(
+        std::remove(seg->blocks.begin(), seg->blocks.end(), loc),
+        seg->blocks.end());
+  }
+}
+
+}  // namespace unidrive::sched

@@ -1,0 +1,63 @@
+// Add/remove-cloud rebalancing (Section 6.2, "Adding or Removing CCSs").
+//
+// Placement changes are computed as an explicit plan of block moves and
+// deletions against the current metadata, then executed by a driver:
+//  * removing a cloud: every block it holds that is still needed must be
+//    re-homed to surviving clouds (bounded by the security cap);
+//  * adding a cloud: it receives its fair share of each segment (new block
+//    indices are materialized by re-encoding), and other clouds may shed
+//    surplus blocks beyond their fair share.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metadata/image.h"
+#include "sched/plan.h"
+
+namespace unidrive::sched {
+
+struct BlockMove {
+  std::string segment_id;
+  std::uint32_t block_index = 0;  // existing index to copy, or a fresh index
+                                  // to materialize when from_cloud == kNone
+  cloud::CloudId to_cloud = 0;
+  static constexpr cloud::CloudId kNone = static_cast<cloud::CloudId>(-1);
+  cloud::CloudId from_cloud = kNone;  // kNone = encode locally from file data
+};
+
+struct BlockDeletion {
+  std::string segment_id;
+  std::uint32_t block_index = 0;
+  cloud::CloudId cloud = 0;
+};
+
+struct RebalancePlan {
+  std::vector<BlockMove> moves;
+  std::vector<BlockDeletion> deletions;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return moves.empty() && deletions.empty();
+  }
+};
+
+// Plan for removing `removed` from the multi-cloud. `survivors` are the
+// remaining cloud ids; `params` reflect the NEW configuration (N =
+// survivors.size()).
+RebalancePlan plan_remove_cloud(const metadata::SyncFolderImage& image,
+                                cloud::CloudId removed,
+                                const std::vector<cloud::CloudId>& survivors,
+                                const CodeParams& params);
+
+// Plan for adding `added`. `all_clouds` includes the new cloud; `params`
+// reflect the NEW configuration.
+RebalancePlan plan_add_cloud(const metadata::SyncFolderImage& image,
+                             cloud::CloudId added,
+                             const std::vector<cloud::CloudId>& all_clouds,
+                             const CodeParams& params);
+
+// Applies a completed plan to the metadata (after the driver executed it).
+void apply_rebalance(metadata::SyncFolderImage& image,
+                     const RebalancePlan& plan);
+
+}  // namespace unidrive::sched

@@ -1,0 +1,97 @@
+#include "sched/threaded_driver.h"
+
+#include <chrono>
+#include <map>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace unidrive::sched {
+
+ThreadedTransferDriver::ThreadedTransferDriver(
+    std::vector<cloud::CloudId> clouds, DriverConfig config,
+    ThroughputMonitor& monitor)
+    : clouds_(std::move(clouds)), config_(config), monitor_(monitor) {}
+
+template <typename Scheduler>
+void ThreadedTransferDriver::run(Scheduler& scheduler,
+                                 const TransferFn& transfer, Direction dir) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stop = false;
+  // Consecutive-failure counters so a flapping cloud cannot livelock a run:
+  // after max_retries the scheduler-side cloud is disabled for this run.
+  std::map<cloud::CloudId, int> consecutive_failures;
+
+  auto worker = [&](cloud::CloudId cloud) {
+    while (true) {
+      std::optional<BlockTask> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] {
+          if (stop || scheduler.finished()) return true;
+          if ((task = scheduler.next_task(cloud)).has_value()) return true;
+          // Straggler hedging for downloads: duplicate work pinned on
+          // slower clouds once nothing regular is assignable.
+          if constexpr (requires { scheduler.next_hedge_task(cloud); }) {
+            scheduler.set_speed_order(monitor_.ranked(dir, clouds_));
+            if ((task = scheduler.next_hedge_task(cloud)).has_value()) {
+              return true;
+            }
+          }
+          return false;
+        });
+        if (stop || !task.has_value()) return;
+      }
+
+      const TimePoint start = RealClock::instance().now();
+      const Status status = transfer(*task);
+      const TimePoint end = RealClock::instance().now();
+      if (status.is_ok()) {
+        monitor_.record(cloud, dir, static_cast<double>(task->bytes),
+                        std::max(1e-9, end - start));
+      } else {
+        UNI_LOG(kDebug) << "transfer failed on cloud " << cloud << ": "
+                        << status.to_string();
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        scheduler.on_complete(*task, status.is_ok());
+        if (status.is_ok()) {
+          consecutive_failures[cloud] = 0;
+        } else if (++consecutive_failures[cloud] >=
+                   config_.max_retries_per_block) {
+          scheduler.set_cloud_enabled(cloud, false);
+          UNI_LOG(kInfo) << "cloud " << cloud
+                         << " disabled after repeated failures";
+        }
+        if (scheduler.finished()) stop = true;
+      }
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(clouds_.size() * config_.connections_per_cloud);
+  for (const cloud::CloudId c : clouds_) {
+    for (std::size_t i = 0; i < config_.connections_per_cloud; ++i) {
+      threads.emplace_back(worker, c);
+    }
+  }
+  // Wake everyone once in case finished() is true at entry.
+  cv.notify_all();
+  for (std::thread& t : threads) t.join();
+}
+
+void ThreadedTransferDriver::run_upload(UploadScheduler& scheduler,
+                                        const TransferFn& transfer) {
+  run(scheduler, transfer, Direction::kUpload);
+}
+
+void ThreadedTransferDriver::run_download(DownloadScheduler& scheduler,
+                                          const TransferFn& transfer) {
+  run(scheduler, transfer, Direction::kDownload);
+}
+
+}  // namespace unidrive::sched

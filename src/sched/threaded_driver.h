@@ -1,0 +1,58 @@
+// ThreadedTransferDriver — executes an Upload- or DownloadScheduler's plan
+// against real CloudProviders with a bounded pool of connections per cloud
+// (the paper uses up to 5 concurrent HTTP connections per cloud).
+//
+// Each connection is a worker thread bound to one cloud. Whenever a worker
+// goes idle it asks the scheduler for that cloud's next block; completions
+// are fed back into the scheduler and the throughput monitor (in-channel
+// probing), and all idle workers are woken because a completion can unlock
+// work for any cloud (e.g. over-provisioning kicks in when the fast cloud
+// finishes its fair share).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cloud/provider.h"
+#include "sched/download_scheduler.h"
+#include "sched/monitor.h"
+#include "sched/upload_scheduler.h"
+
+namespace unidrive::sched {
+
+// Performs the actual transfer for a task; returns OK on success. For
+// uploads the callee encodes the shard and PUTs it; for downloads it GETs
+// and stores the shard. Runs on a worker thread.
+using TransferFn = std::function<Status(const BlockTask&)>;
+
+struct DriverConfig {
+  std::size_t connections_per_cloud = 5;
+  int max_retries_per_block = 3;  // consecutive failures before giving up on
+                                  // a (block, cloud) pair for this run
+};
+
+class ThreadedTransferDriver {
+ public:
+  ThreadedTransferDriver(std::vector<cloud::CloudId> clouds,
+                         DriverConfig config, ThroughputMonitor& monitor);
+
+  // Runs the upload job to completion (or stall); returns when
+  // scheduler.finished(). Blocks the calling thread.
+  void run_upload(UploadScheduler& scheduler, const TransferFn& transfer);
+  void run_download(DownloadScheduler& scheduler, const TransferFn& transfer);
+
+ private:
+  // Both schedulers expose the same next_task/on_complete/finished shape;
+  // the generic loop is instantiated for each.
+  template <typename Scheduler>
+  void run(Scheduler& scheduler, const TransferFn& transfer, Direction dir);
+
+  std::vector<cloud::CloudId> clouds_;
+  DriverConfig config_;
+  ThroughputMonitor& monitor_;
+};
+
+}  // namespace unidrive::sched

@@ -1,0 +1,340 @@
+#include "sched/upload_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace unidrive::sched {
+
+UploadScheduler::UploadScheduler(CodeParams params,
+                                 std::vector<cloud::CloudId> clouds,
+                                 std::vector<UploadFileSpec> files,
+                                 UploadOptions options)
+    : params_(params),
+      options_(options),
+      clouds_(std::move(clouds)),
+      homes_(clouds_) {
+  assert(params_.validate().is_ok());
+  assert(clouds_.size() == params_.num_clouds);
+  files_.reserve(files.size());
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    FileState fs;
+    fs.spec = std::move(files[fi]);
+    for (const UploadSegmentSpec& seg : fs.spec.segments) {
+      SegmentState ss;
+      ss.file_index = fi;
+      ss.id = seg.id;
+      ss.block_bytes = (seg.size + params_.k - 1) / params_.k;
+      fs.segment_indices.push_back(segments_.size());
+      segments_.push_back(std::move(ss));
+    }
+    files_.push_back(std::move(fs));
+  }
+}
+
+bool UploadScheduler::segment_available(const SegmentState& seg) const {
+  return seg.done.size() >= params_.k;
+}
+
+bool UploadScheduler::segment_reliable(const SegmentState& seg) const {
+  // Every *enabled* cloud holds its fair share (completed, not in-flight).
+  std::map<cloud::CloudId, std::size_t> done_per_cloud;
+  for (const auto& [index, c] : seg.done) ++done_per_cloud[c];
+  for (const cloud::CloudId c : clouds_) {
+    if (disabled_.count(c) != 0) continue;
+    const auto it = done_per_cloud.find(c);
+    const std::size_t have = it == done_per_cloud.end() ? 0 : it->second;
+    if (have < params_.fair_share()) return false;
+  }
+  return true;
+}
+
+bool UploadScheduler::segment_fully_served(const SegmentState& seg) const {
+  return segment_available(seg) && segment_reliable(seg);
+}
+
+bool UploadScheduler::file_available(std::size_t file_index) const {
+  for (const std::size_t si : files_[file_index].segment_indices) {
+    if (!segment_available(segments_[si])) return false;
+  }
+  return true;
+}
+
+bool UploadScheduler::all_available() const {
+  for (std::size_t fi = 0; fi < files_.size(); ++fi) {
+    if (!file_available(fi)) return false;
+  }
+  return true;
+}
+
+bool UploadScheduler::file_reliable(std::size_t file_index) const {
+  for (const std::size_t si : files_[file_index].segment_indices) {
+    if (!segment_reliable(segments_[si])) return false;
+  }
+  return true;
+}
+
+bool UploadScheduler::all_reliable() const {
+  for (std::size_t fi = 0; fi < files_.size(); ++fi) {
+    if (!file_reliable(fi)) return false;
+  }
+  return true;
+}
+
+bool UploadScheduler::finished() const {
+  // Goal met = done: a surplus block still in flight after every segment
+  // is available and reliable does not hold the job open.
+  if (all_available() && all_reliable()) return true;
+  if (in_flight_ > 0) return false;
+  // Finished when every segment is fully served, or nothing more can be
+  // assigned to any enabled cloud (e.g. clouds down / caps reached).
+  for (const SegmentState& seg : segments_) {
+    if (segment_fully_served(seg)) continue;
+    for (const cloud::CloudId c : clouds_) {
+      if (disabled_.count(c) != 0) continue;
+      // Feasibility probe on a scratch copy (pick_block has no side effects
+      // besides its return, but takes a mutable ref).
+      SegmentState probe = seg;
+      UploadScheduler* self = const_cast<UploadScheduler*>(this);
+      const bool allow_overprov =
+          options_.overprovision && !segment_reliable(seg);
+      if (self->pick_block(probe, c, allow_overprov).has_value()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<std::uint32_t> UploadScheduler::pick_block(
+    SegmentState& seg, cloud::CloudId cloud, bool allow_overprov) {
+  const std::size_t cap = params_.max_per_cloud();
+  if (seg.cloud_load(cloud) >= cap) return std::nullopt;
+
+  const auto placed = [&](std::uint32_t index) {
+    return seg.done.count(index) != 0 || seg.in_flight.count(index) != 0;
+  };
+
+  // 1. A normal block homed on this cloud.
+  const auto normal_count =
+      static_cast<std::uint32_t>(params_.normal_blocks());
+  for (std::uint32_t b = 0; b < normal_count; ++b) {
+    if (home_of(b) == cloud && !placed(b)) return b;
+  }
+  if (!allow_overprov) return std::nullopt;
+
+  // Over-provisioning starts only once this cloud has COMPLETED its fair
+  // share (the paper: "continuing to send extra parity blocks to faster
+  // clouds even if they have received their fair share") — otherwise extra
+  // blocks would compete with the cloud's own normal blocks for bandwidth.
+  std::size_t done_here = 0;
+  for (const auto& [index, c] : seg.done) {
+    if (c == cloud) ++done_here;
+  }
+  if (done_here < params_.fair_share()) return std::nullopt;
+
+  // 2. Over-provisioned parity: any unplaced index, preferring the dedicated
+  // over-provision range so normal blocks stay available for their homes.
+  const auto code_n = static_cast<std::uint32_t>(params_.code_n());
+  for (std::uint32_t b = normal_count; b < code_n; ++b) {
+    if (!placed(b)) return b;
+  }
+  // 3. Normal blocks of *other* (slower) clouds, as a last resort when the
+  // over-provision range is exhausted: still helps availability; reliability
+  // phase will not double-place (the index counts as placed).
+  for (std::uint32_t b = 0; b < normal_count; ++b) {
+    if (!placed(b) && disabled_.count(home_of(b)) != 0) return b;
+  }
+  return std::nullopt;
+}
+
+std::optional<BlockTask> UploadScheduler::next_task(cloud::CloudId cloud) {
+  if (disabled_.count(cloud) != 0) return std::nullopt;
+
+  if (!options_.availability_first) {
+    // No two-phase strategy (multi-cloud benchmark, RACS/DepSky-style):
+    // every cloud simply works through ITS statically assigned blocks in
+    // file order, independently of the other clouds' progress. Slow clouds
+    // fall behind on their own queues; nothing rebalances.
+    for (FileState& file : files_) {
+      for (const std::size_t si : file.segment_indices) {
+        SegmentState& seg = segments_[si];
+        if (segment_fully_served(seg)) continue;
+        const bool allow_overprov =
+            options_.overprovision && !segment_available(seg);
+        const auto choice = pick_block(seg, cloud, allow_overprov);
+        if (choice.has_value()) {
+          seg.in_flight[*choice] = cloud;
+          ++seg.per_cloud[cloud];
+          ++in_flight_;
+          return BlockTask{seg.file_index, seg.id, *choice, cloud,
+                           seg.block_bytes};
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  const bool availability_phase = !all_available();
+
+  // Phase 1: first unavailable file, in batch order.
+  if (availability_phase) {
+    for (FileState& file : files_) {
+      bool file_needs_work = false;
+      // Pass A: this cloud's own normal (fair-share) blocks of the
+      // segments still missing availability — they serve availability AND
+      // reliability and must never be preempted by surplus parity. Homed
+      // blocks of already-available segments wait for phase 2
+      // (availability-first: resources move to the next pending work).
+      bool fair_share_done = true;  // this file's homed work all completed
+      for (const std::size_t si : file.segment_indices) {
+        SegmentState& seg = segments_[si];
+        if (segment_available(seg)) continue;
+        file_needs_work = true;
+        const auto choice =
+            pick_block(seg, cloud, /*allow_overprov=*/false);
+        if (choice.has_value()) {
+          seg.in_flight[*choice] = cloud;
+          ++seg.per_cloud[cloud];
+          ++in_flight_;
+          return BlockTask{seg.file_index, seg.id, *choice, cloud,
+                           seg.block_bytes};
+        }
+        // Fair share "received" = completed, not merely in flight.
+        for (const auto& [index, c] : seg.in_flight) {
+          if (c == cloud) fair_share_done = false;
+        }
+      }
+      // Pass B: over-provisioned parity. Only once this cloud has RECEIVED
+      // its fair share of the whole file (the paper's trigger) does it take
+      // surplus blocks, aimed at the segments still missing availability —
+      // LAST ones foremost: their normal blocks started most recently, so
+      // they are the furthest from availability, while surplus for early
+      // segments would duplicate normal blocks about to finish anyway.
+      // (Surplus for merely not-yet-reliable segments waits for phase 2:
+      // availability of the NEXT file outranks extra redundancy here.)
+      if (options_.overprovision && fair_share_done) {
+        for (auto it = file.segment_indices.rbegin();
+             it != file.segment_indices.rend(); ++it) {
+          SegmentState& seg = segments_[*it];
+          if (segment_available(seg)) continue;
+          const auto choice =
+              pick_block(seg, cloud, /*allow_overprov=*/true);
+          if (choice.has_value()) {
+            seg.in_flight[*choice] = cloud;
+            ++seg.per_cloud[cloud];
+            ++in_flight_;
+            return BlockTask{seg.file_index, seg.id, *choice, cloud,
+                             seg.block_bytes};
+          }
+        }
+      }
+      // Strict availability-first ordering: while this file still needs
+      // work, later files must wait (all connections focus on it).
+      if (file_needs_work) return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  // Phase 2: reliability fill — remaining normal blocks, in file order;
+  // fast clouds that finished their fair shares keep streaming surplus
+  // parity until the slow clouds complete (over-provisioning stops only
+  // when every segment is reliable).
+  for (const bool homed_pass : {true, false}) {
+    if (!homed_pass && !options_.overprovision) break;
+    for (FileState& file : files_) {
+      for (const std::size_t si : file.segment_indices) {
+        SegmentState& seg = segments_[si];
+        if (segment_reliable(seg)) continue;
+        const auto choice =
+            pick_block(seg, cloud, /*allow_overprov=*/!homed_pass);
+        if (choice.has_value()) {
+          seg.in_flight[*choice] = cloud;
+          ++seg.per_cloud[cloud];
+          ++in_flight_;
+          return BlockTask{seg.file_index, seg.id, *choice, cloud,
+                           seg.block_bytes};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void UploadScheduler::on_complete(const BlockTask& task, bool success) {
+  // Locate the segment.
+  for (const std::size_t si : files_[task.file_index].segment_indices) {
+    SegmentState& seg = segments_[si];
+    if (seg.id != task.segment_id) continue;
+    const auto it = seg.in_flight.find(task.block_index);
+    if (it == seg.in_flight.end() || it->second != task.cloud) return;
+    seg.in_flight.erase(it);
+    --in_flight_;
+    auto pc = seg.per_cloud.find(task.cloud);
+    if (success) {
+      seg.done[task.block_index] = task.cloud;
+    } else {
+      // Return capacity; the block becomes assignable again (to any cloud).
+      if (pc != seg.per_cloud.end() && pc->second > 0) --pc->second;
+    }
+    return;
+  }
+}
+
+void UploadScheduler::set_cloud_enabled(cloud::CloudId cloud, bool enabled) {
+  if (enabled) {
+    disabled_.erase(cloud);
+    return;
+  }
+  disabled_.insert(cloud);
+  // Re-home normal blocks of the disabled cloud onto the remaining enabled
+  // clouds (round-robin), so availability does not wait on a dead cloud.
+  std::vector<cloud::CloudId> alive;
+  for (const cloud::CloudId c : clouds_) {
+    if (disabled_.count(c) == 0) alive.push_back(c);
+  }
+  if (alive.empty()) return;
+  std::size_t next = 0;
+  for (cloud::CloudId& home : homes_) {
+    if (disabled_.count(home) != 0) {
+      home = alive[next++ % alive.size()];
+    }
+  }
+}
+
+bool UploadScheduler::cloud_enabled(cloud::CloudId cloud) const {
+  return disabled_.count(cloud) == 0;
+}
+
+std::vector<metadata::BlockLocation> UploadScheduler::locations(
+    const std::string& segment_id) const {
+  std::vector<metadata::BlockLocation> out;
+  for (const SegmentState& seg : segments_) {
+    if (seg.id != segment_id) continue;
+    for (const auto& [index, c] : seg.done) {
+      out.push_back({index, c});
+    }
+    // Merge across duplicate segment ids (dedup within a batch): collect all.
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, metadata::BlockLocation>>
+UploadScheduler::overprovisioned_blocks() const {
+  std::vector<std::pair<std::string, metadata::BlockLocation>> out;
+  for (const SegmentState& seg : segments_) {
+    // Count completed blocks per cloud; anything beyond the fair share on a
+    // cloud is an over-provisioned placement (reclaimable later). Blocks in
+    // the over-provision index range are reported too.
+    std::map<cloud::CloudId, std::size_t> seen;
+    for (const auto& [index, c] : seg.done) {
+      ++seen[c];
+      if (index >= params_.normal_blocks() ||
+          seen[c] > params_.fair_share()) {
+        out.emplace_back(seg.id, metadata::BlockLocation{index, c});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace unidrive::sched

@@ -1,0 +1,170 @@
+#include "sim/bandwidth.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace unidrive::sim {
+
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+// splitmix64: cheap stateless hash for per-slot noise.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Approximate inverse-normal via Box-Muller on two hash-derived uniforms.
+double hashed_normal(std::uint64_t seed, std::uint64_t slot) noexcept {
+  const double u1 = uniform01(mix(seed ^ slot * 0x9E3779B97F4A7C15ULL));
+  const double u2 = uniform01(mix(seed + slot * 0xD1B54A32D192ED03ULL + 1));
+  const double r = std::sqrt(-2.0 * std::log(std::max(u1, 0x1.0p-53)));
+  return r * std::cos(2.0 * M_PI * u2);
+}
+
+class ConstantBw final : public BandwidthModel {
+ public:
+  explicit ConstantBw(double rate) : rate_(rate) {}
+  [[nodiscard]] double at(SimTime) const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+class FluctuatingBw final : public BandwidthModel {
+ public:
+  FluctuatingBw(double base, FluctuationParams params, std::uint64_t seed)
+      : base_(base), params_(params), seed_(seed) {}
+
+  [[nodiscard]] double at(SimTime t) const override {
+    const double diurnal =
+        1.0 + params_.diurnal_amplitude *
+                  std::sin(2.0 * M_PI * (t + params_.diurnal_phase_sec) /
+                           kSecondsPerDay);
+    const auto slot = static_cast<std::uint64_t>(t / params_.slot_seconds);
+    // Smooth between slot draws (linear interpolation) so rates do not jump
+    // discontinuously mid-transfer.
+    const double n0 = hashed_normal(seed_, slot);
+    const double n1 = hashed_normal(seed_, slot + 1);
+    const double frac =
+        t / params_.slot_seconds - static_cast<double>(slot);
+    const double noise =
+        std::exp(params_.noise_sigma * (n0 * (1 - frac) + n1 * frac));
+    const double rate = base_ * diurnal * noise;
+    return std::max(rate, base_ * params_.floor_fraction);
+  }
+
+ private:
+  double base_;
+  FluctuationParams params_;
+  std::uint64_t seed_;
+};
+
+class ScaledBw final : public BandwidthModel {
+ public:
+  ScaledBw(BandwidthPtr inner, double factor)
+      : inner_(std::move(inner)), factor_(factor) {}
+  [[nodiscard]] double at(SimTime t) const override {
+    return inner_->at(t) * factor_;
+  }
+
+ private:
+  BandwidthPtr inner_;
+  double factor_;
+};
+
+}  // namespace
+
+BandwidthPtr constant_bw(double bytes_per_sec) {
+  return std::make_shared<ConstantBw>(bytes_per_sec);
+}
+
+BandwidthPtr fluctuating_bw(double base_bytes_per_sec,
+                            const FluctuationParams& params,
+                            std::uint64_t seed) {
+  return std::make_shared<FluctuatingBw>(base_bytes_per_sec, params, seed);
+}
+
+BandwidthPtr scaled_bw(BandwidthPtr inner, double factor) {
+  return std::make_shared<ScaledBw>(std::move(inner), factor);
+}
+
+namespace {
+
+class TraceBw final : public BandwidthModel {
+ public:
+  explicit TraceBw(std::vector<TraceSample> samples)
+      : samples_(std::move(samples)) {}
+
+  [[nodiscard]] double at(SimTime t) const override {
+    if (t <= samples_.front().time) return samples_.front().bytes_per_sec;
+    if (t >= samples_.back().time) return samples_.back().bytes_per_sec;
+    // Binary search for the surrounding pair, then interpolate.
+    std::size_t lo = 0, hi = samples_.size() - 1;
+    while (hi - lo > 1) {
+      const std::size_t mid = (lo + hi) / 2;
+      (samples_[mid].time <= t ? lo : hi) = mid;
+    }
+    const TraceSample& a = samples_[lo];
+    const TraceSample& b = samples_[hi];
+    const double frac = (t - a.time) / std::max(1e-12, b.time - a.time);
+    return a.bytes_per_sec + frac * (b.bytes_per_sec - a.bytes_per_sec);
+  }
+
+ private:
+  std::vector<TraceSample> samples_;
+};
+
+}  // namespace
+
+BandwidthPtr trace_bw(std::vector<TraceSample> samples) {
+  return std::make_shared<TraceBw>(std::move(samples));
+}
+
+Result<BandwidthPtr> trace_bw_from_csv(std::string_view csv) {
+  std::vector<TraceSample> samples;
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    std::size_t end = csv.find('\n', start);
+    if (end == std::string_view::npos) end = csv.size();
+    std::string_view line = csv.substr(start, end - start);
+    start = end + 1;
+    // Trim and skip comments/blank lines.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t comma = line.find(',');
+    if (comma == std::string_view::npos) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "trace line missing comma: " + std::string(line));
+    }
+    char* endptr = nullptr;
+    const std::string ts(line.substr(0, comma));
+    const std::string rs(line.substr(comma + 1));
+    const double t = std::strtod(ts.c_str(), &endptr);
+    const double rate = std::strtod(rs.c_str(), nullptr);
+    if (rate <= 0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "non-positive rate in trace: " + rs);
+    }
+    if (!samples.empty() && t < samples.back().time) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "trace samples out of order");
+    }
+    samples.push_back({t, rate});
+  }
+  if (samples.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "empty trace");
+  }
+  return trace_bw(std::move(samples));
+}
+
+}  // namespace unidrive::sim

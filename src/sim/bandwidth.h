@@ -1,0 +1,64 @@
+// Time-varying bandwidth models for the simulated cloud links.
+//
+// The measurement study (Section 3.2) found cloud bandwidth to be diverse
+// across locations (up to 60x), highly fluctuating over time (up to 17x
+// within a day) and unpredictable, with no obvious temporal pattern and
+// largely independent across clouds. The composite model reproduces those
+// statistics:
+//   base rate x diurnal factor x slot noise (lognormal, per 10-min slot).
+// `at(t)` is a pure function of time (random access), so the fluid
+// simulator can re-evaluate rates at arbitrary instants.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/event_queue.h"
+
+namespace unidrive::sim {
+
+class BandwidthModel {
+ public:
+  virtual ~BandwidthModel() = default;
+  // Link bandwidth in bytes/second at virtual time t. Always > 0.
+  [[nodiscard]] virtual double at(SimTime t) const = 0;
+};
+
+using BandwidthPtr = std::shared_ptr<BandwidthModel>;
+
+// Constant rate.
+BandwidthPtr constant_bw(double bytes_per_sec);
+
+// Composite model used by the profiles.
+struct FluctuationParams {
+  double diurnal_amplitude = 0.3;   // +-30% day/night swing
+  double diurnal_phase_sec = 0;     // peak-hour offset
+  double noise_sigma = 0.7;         // lognormal sigma of the slot noise
+  double slot_seconds = 600;        // noise re-draw interval
+  double floor_fraction = 0.02;     // never below this fraction of base
+};
+
+BandwidthPtr fluctuating_bw(double base_bytes_per_sec,
+                            const FluctuationParams& params,
+                            std::uint64_t seed);
+
+// Scales another model by a constant factor.
+BandwidthPtr scaled_bw(BandwidthPtr inner, double factor);
+
+// Trace-driven model: piecewise-linear interpolation over (time, rate)
+// samples; clamps outside the sampled range. Lets experiments replay real
+// bandwidth measurements instead of the synthetic models. Samples must be
+// sorted by time and non-empty.
+struct TraceSample {
+  SimTime time = 0;
+  double bytes_per_sec = 0;
+};
+BandwidthPtr trace_bw(std::vector<TraceSample> samples);
+
+// Parses a two-column CSV ("seconds,bytes_per_sec", '#' comments allowed).
+Result<BandwidthPtr> trace_bw_from_csv(std::string_view csv);
+
+}  // namespace unidrive::sim

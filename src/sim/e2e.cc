@@ -1,0 +1,359 @@
+#include "sim/e2e.h"
+
+#include "common/logging.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace unidrive::sim {
+
+namespace {
+
+struct Commit {
+  std::uint64_t version = 0;
+  double time = 0;
+  // files published by this commit: (file index, block map of its segment)
+  std::vector<std::pair<std::size_t,
+                        std::vector<metadata::BlockLocation>>> files;
+};
+
+std::string segment_id_for(std::size_t file_index) {
+  return "file" + std::to_string(file_index) + "_seg";
+}
+
+// One downloading device: polls, fetches metadata, downloads blocks.
+class Downloader : public std::enable_shared_from_this<Downloader> {
+ public:
+  Downloader(SimEnv& env, CloudSet& set, const E2EConfig& config,
+             const std::vector<Commit>& commits, double batch_start)
+      : env_(env),
+        set_(set),
+        config_(config),
+        commits_(commits),
+        batch_start_(batch_start),
+        monitor_() {
+    result_.file_sync_time.assign(config.num_files, -1.0);
+  }
+
+  void start() { schedule_poll(); }
+
+  [[nodiscard]] const DownloaderResult& result() const noexcept {
+    return result_;
+  }
+  [[nodiscard]] bool all_done() const noexcept {
+    return synced_files_ == config_.num_files;
+  }
+  void stop() { stopped_ = true; }
+
+ private:
+  void schedule_poll() {
+    if (stopped_ || all_done()) return;
+    env_.schedule(config_.poll_interval,
+                  [self = shared_from_this()] { self->poll(); });
+  }
+
+  void poll() {
+    if (stopped_ || all_done()) return;
+    ++result_.polls;
+    // Version check against one cloud (rotating), tiny request.
+    SimCloud* cloud =
+        set_.clouds[result_.polls % set_.clouds.size()].get();
+    cloud->small_op([self = shared_from_this()](bool ok) {
+      if (ok) self->on_version_checked();
+      self->schedule_poll();
+    });
+  }
+
+  void on_version_checked() {
+    if (seen_commits_ >= commits_.size()) return;  // nothing new
+    // New commits exist (version file advanced): fetch the delta metadata.
+    const std::size_t first_new = seen_commits_;
+    const std::size_t last = commits_.size();
+    double meta_bytes = 0;
+    for (std::size_t i = first_new; i < last; ++i) {
+      meta_bytes += static_cast<double>(commits_[i].files.size()) *
+                    config_.metadata_bytes_per_file;
+    }
+    ++result_.metadata_fetches;
+    seen_commits_ = last;
+    SimCloud* cloud = set_.clouds[0].get();
+    cloud->download(meta_bytes,
+                    [self = shared_from_this(), first_new, last](bool ok) {
+                      if (!ok) {
+                        // Re-fetch on the next poll.
+                        self->seen_commits_ = first_new;
+                        return;
+                      }
+                      self->enqueue_commits(first_new, last);
+                    });
+  }
+
+  void enqueue_commits(std::size_t first, std::size_t last) {
+    for (std::size_t i = first; i < last; ++i) {
+      for (const auto& [file_index, locations] : commits_[i].files) {
+        // Commits may re-publish a file whose block map grew (reliability
+        // fill / over-provisioning landed after the first commit).
+        latest_locations_[file_index] = locations;
+        if (enqueued_.insert(file_index).second) {
+          pending_.push_back(file_index);
+        }
+      }
+    }
+    maybe_start_job();
+  }
+
+  void maybe_start_job() {
+    if (job_active_ || pending_.empty() || stopped_) return;
+    // Batch everything currently pending into one download job.
+    std::vector<sched::DownloadFileSpec> specs;
+    std::vector<std::size_t> file_indices;
+    for (const std::size_t file_index : pending_) {
+      const auto& locations = latest_locations_[file_index];
+      sched::DownloadFileSpec spec;
+      spec.path = "/f" + std::to_string(file_index);
+      spec.segments.push_back(
+          {segment_id_for(file_index), config_.file_size, locations});
+      specs.push_back(std::move(spec));
+      file_indices.push_back(file_index);
+    }
+    pending_.clear();
+
+    auto scheduler = std::make_shared<sched::DownloadScheduler>(
+        config_.code.k, std::move(specs));
+    auto runner = std::make_shared<JobRunner<sched::DownloadScheduler>>(
+        env_, set_.ptrs(), scheduler, monitor_, config_.run,
+        sched::Direction::kDownload);
+    job_active_ = true;
+    runner->on_progress = [self = shared_from_this(), scheduler,
+                           file_indices] {
+      for (std::size_t j = 0; j < file_indices.size(); ++j) {
+        const std::size_t fi = file_indices[j];
+        if (self->result_.file_sync_time[fi] < 0 &&
+            scheduler->file_complete(j)) {
+          self->result_.file_sync_time[fi] =
+              self->env_.now() - self->batch_start_;
+          ++self->synced_files_;
+        }
+      }
+    };
+    runner->start([self = shared_from_this(), scheduler, file_indices] {
+      self->job_active_ = false;
+      // Transient failures may have stranded files in this job; requeue them
+      // with the FRESHEST published block map (a fresh job also forgets the
+      // per-source failure history), up to a retry cap.
+      for (std::size_t j = 0; j < file_indices.size(); ++j) {
+        const std::size_t fi = file_indices[j];
+        if (self->result_.file_sync_time[fi] >= 0) continue;
+        if (++self->retry_count_[fi] <= kMaxFileRetries) {
+          self->pending_.push_back(fi);
+        } else {
+          // Count as permanently failed so the run can terminate.
+          ++self->synced_files_;
+        }
+      }
+      if (self->all_done()) {
+        self->result_.all_synced_time =
+            self->env_.now() - self->batch_start_;
+      }
+      self->maybe_start_job();
+    });
+  }
+
+  static constexpr int kMaxFileRetries = 8;
+
+  SimEnv& env_;
+  CloudSet& set_;
+  const E2EConfig& config_;
+  const std::vector<Commit>& commits_;
+  double batch_start_;
+  sched::ThroughputMonitor monitor_;
+
+  DownloaderResult result_;
+  std::size_t seen_commits_ = 0;
+  std::size_t synced_files_ = 0;
+  std::deque<std::size_t> pending_;  // file indices awaiting a job
+  std::set<std::size_t> enqueued_;   // ever enqueued (dedup re-publications)
+  std::map<std::size_t, std::vector<metadata::BlockLocation>>
+      latest_locations_;
+  std::map<std::size_t, int> retry_count_;
+  bool job_active_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+E2EResult run_unidrive_e2e(SimEnv& env, CloudSet& uploader,
+                           const std::vector<CloudSet*>& downloaders,
+                           const E2EConfig& config) {
+  E2EResult result;
+  const double start = env.now();
+
+  // --- uploader side ---------------------------------------------------------
+  std::vector<sched::UploadFileSpec> specs;
+  for (std::size_t i = 0; i < config.num_files; ++i) {
+    sched::UploadFileSpec spec;
+    spec.path = "/f" + std::to_string(i);
+    spec.segments.push_back({segment_id_for(i), config.file_size});
+    specs.push_back(std::move(spec));
+  }
+  auto up_sched = std::make_shared<sched::UploadScheduler>(
+      config.code, [&] {
+        std::vector<cloud::CloudId> ids;
+        for (const auto& c : uploader.clouds) ids.push_back(c->id());
+        return ids;
+      }(),
+      specs, config.upload_options);
+  sched::ThroughputMonitor up_monitor;
+  auto up_runner = std::make_shared<JobRunner<sched::UploadScheduler>>(
+      env, uploader.ptrs(), up_sched, up_monitor, config.run,
+      sched::Direction::kUpload);
+
+  // Shared (not stack-referencing) progress state: upload events may still
+  // fire if the caller steps the env after this function returned.
+  auto avail_times =
+      std::make_shared<std::vector<double>>(config.num_files, -1.0);
+  auto upload_done = std::make_shared<bool>(false);
+  up_runner->on_progress = [&env, avail_times, up_sched] {
+    for (std::size_t i = 0; i < avail_times->size(); ++i) {
+      if ((*avail_times)[i] < 0 && up_sched->file_available(i)) {
+        (*avail_times)[i] = env.now();
+      }
+    }
+  };
+  up_runner->start([upload_done] { *upload_done = true; });
+
+  // Periodic metadata commits: publish block maps of newly available files.
+  // All commit state lives in shared ownership so a tick left in the event
+  // queue after this call returns cannot touch dead stack frames.
+  struct CommitCtx {
+    std::vector<Commit> commits;
+    std::vector<bool> committed;
+    std::vector<std::size_t> published_blocks;  // per file, last count
+    double metadata_bytes = 0;
+    bool stopped = false;
+  };
+  auto commit_ctx = std::make_shared<CommitCtx>();
+  commit_ctx->committed.assign(config.num_files, false);
+  commit_ctx->published_blocks.assign(config.num_files, 0);
+  auto commit_tick = std::make_shared<std::function<void()>>();
+  *commit_tick = [&env, commit_ctx,
+                  weak_tick = std::weak_ptr<std::function<void()>>(commit_tick),
+                  up_sched, config, clouds = &uploader.clouds]() {
+    if (commit_ctx->stopped) return;
+    Commit commit;
+    commit.version = commit_ctx->commits.size() + 1;
+    commit.time = env.now();
+    for (std::size_t i = 0; i < config.num_files; ++i) {
+      if (!commit_ctx->committed[i] && up_sched->file_available(i)) {
+        commit_ctx->committed[i] = true;
+        auto locations = up_sched->locations(segment_id_for(i));
+        commit_ctx->published_blocks[i] = locations.size();
+        commit.files.emplace_back(i, std::move(locations));
+      } else if (commit_ctx->committed[i]) {
+        // Re-publish when more blocks landed since the last commit (the
+        // real client updates Cloud-IDs in the metadata via callbacks) —
+        // downloaders gain sources and fault tolerance.
+        auto locations = up_sched->locations(segment_id_for(i));
+        if (locations.size() > commit_ctx->published_blocks[i]) {
+          commit_ctx->published_blocks[i] = locations.size();
+          commit.files.emplace_back(i, std::move(locations));
+        }
+      }
+    }
+    if (!commit.files.empty()) {
+      // Replicate metadata to all clouds (delta + version file).
+      const double meta_bytes =
+          static_cast<double>(commit.files.size()) *
+              config.metadata_bytes_per_file +
+          config.version_file_bytes;
+      for (const auto& c : *clouds) {
+        c->upload(meta_bytes, [](bool) {});
+      }
+      commit_ctx->metadata_bytes +=
+          meta_bytes * static_cast<double>(clouds->size());
+      commit_ctx->commits.push_back(std::move(commit));
+    }
+    const bool everything_committed =
+        std::all_of(commit_ctx->committed.begin(),
+                    commit_ctx->committed.end(), [](bool b) { return b; });
+    // Keep ticking while uploads can still add blocks worth publishing.
+    if (!everything_committed || !up_sched->finished()) {
+      if (const auto tick = weak_tick.lock()) {
+        env.schedule(config.commit_interval, *tick);
+      }
+    }
+  };
+  env.schedule(config.commit_interval, *commit_tick);
+
+  // --- downloader side ---------------------------------------------------------
+  std::vector<std::shared_ptr<Downloader>> device_sims;
+  for (CloudSet* set : downloaders) {
+    auto d = std::make_shared<Downloader>(env, *set, config,
+                                          commit_ctx->commits, start);
+    d->start();
+    device_sims.push_back(std::move(d));
+  }
+
+  // --- run to completion ---------------------------------------------------------
+  const double deadline = start + config.run.timeout;
+  auto all_synced = [&] {
+    for (const auto& d : device_sims) {
+      if (!d->all_done()) return false;
+    }
+    return true;
+  };
+  while (env.now() < deadline && (!*upload_done || !all_synced()) &&
+         env.step()) {
+  }
+  for (const auto& d : device_sims) d->stop();
+  // Drain residual events (stopped pollers reschedule nothing).
+  while (!all_synced() && env.now() < deadline && env.step()) {
+  }
+  commit_ctx->stopped = true;
+
+  // --- results ---------------------------------------------------------
+  result.upload.file_available_time = *avail_times;
+  result.metadata_bytes = commit_ctx->metadata_bytes;
+  result.upload.start_time = start;
+  result.upload.finish_time = up_runner->finish_time();
+  result.upload.all_available = up_sched->all_available();
+  result.upload.all_reliable = up_sched->all_reliable();
+  result.upload.block_transfers = up_runner->transfers();
+  result.upload.failed_transfers = up_runner->failures();
+  result.upload.available_time = start;
+  for (const double t : result.upload.file_available_time) {
+    result.upload.available_time = std::max(result.upload.available_time, t);
+  }
+
+  double batch = -1;
+  for (const auto& d : device_sims) {
+    result.downloaders.push_back(d->result());
+    const double t = d->result().all_synced_time;
+    if (t < 0) {
+      batch = -1;
+      break;
+    }
+    batch = std::max(batch, t);
+  }
+  result.batch_sync_time = batch;
+
+  // Traffic accounting. Uploaded bytes include the metadata replicas; keep
+  // payload and metadata separable for the overhead table.
+  for (const auto& c : uploader.clouds) {
+    result.payload_bytes += c->stats().bytes_up;
+    result.api_requests += c->stats().requests;
+  }
+  result.payload_bytes =
+      std::max(0.0, result.payload_bytes - result.metadata_bytes);
+  for (CloudSet* set : downloaders) {
+    for (const auto& c : set->clouds) {
+      result.payload_bytes += c->stats().bytes_down;
+      result.api_requests += c->stats().requests;
+    }
+  }
+  return result;
+}
+
+}  // namespace unidrive::sim

@@ -1,0 +1,60 @@
+// End-to-end multi-device synchronization simulation (Figures 11-12,
+// Tables 2-3): one uploading device pushes a batch of files through the
+// multi-cloud while several downloading devices — each with its own network
+// view of the same five clouds — poll the version file, fetch metadata, and
+// pull blocks, all concurrently in virtual time.
+//
+// The uploader runs the genuine UploadScheduler (two-phase, over-
+// provisioned) and commits metadata incrementally: every commit interval it
+// publishes the block map of the files that became available since the last
+// commit (the real client's periodic sync rounds). Downloaders see a commit
+// only after their next poll, then fetch the (delta) metadata and join the
+// block download. Sync time per file = download completion - batch start.
+#pragma once
+
+#include <optional>
+
+#include "sched/plan.h"
+#include "sim/job_runner.h"
+#include "sim/profiles.h"
+
+namespace unidrive::sim {
+
+struct E2EConfig {
+  std::size_t num_files = 100;
+  std::uint64_t file_size = 1 << 20;
+  sched::CodeParams code;             // defaults: N=5, k=3, Ks=2, Kr=3
+  sched::UploadOptions upload_options;  // ablations / benchmark baseline
+  RunConfig run;                      // connection limits etc.
+  double poll_interval = 5.0;         // tau: version-file check period
+  double commit_interval = 10.0;      // uploader metadata commit period
+  // Metadata sizes (bytes), matching the real serialized structures:
+  double version_file_bytes = 40;
+  double metadata_bytes_per_file = 180;  // snapshot + segment record
+};
+
+struct DownloaderResult {
+  std::vector<double> file_sync_time;  // per file, from batch start; -1 never
+  double all_synced_time = -1;         // when the last file landed
+  std::uint64_t metadata_fetches = 0;
+  std::uint64_t polls = 0;
+};
+
+struct E2EResult {
+  UploadRunResult upload;
+  std::vector<DownloaderResult> downloaders;
+  // Batch sync time: all files on all devices (the Figure 11 metric).
+  double batch_sync_time = -1;
+  // Traffic accounting for the overhead table.
+  double payload_bytes = 0;
+  double metadata_bytes = 0;
+  std::uint64_t api_requests = 0;
+};
+
+// `uploader` and `downloaders` are independent CloudSets (one per device
+// location) built over the same five logical clouds.
+E2EResult run_unidrive_e2e(SimEnv& env, CloudSet& uploader,
+                           const std::vector<CloudSet*>& downloaders,
+                           const E2EConfig& config);
+
+}  // namespace unidrive::sim

@@ -1,0 +1,36 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace unidrive::sim {
+
+void SimEnv::schedule_at(SimTime when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool SimEnv::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the event is copied out, then popped.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.when;
+  event.fn();
+  return true;
+}
+
+SimTime SimEnv::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime SimEnv::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().when <= until) {
+    step();
+  }
+  if (now_ < until) now_ = until;
+  return now_;
+}
+
+}  // namespace unidrive::sim

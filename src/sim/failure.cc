@@ -1,0 +1,52 @@
+#include "sim/failure.h"
+
+#include <algorithm>
+
+namespace unidrive::sim {
+
+namespace {
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+double uniform01(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+int FailureModel::troubled_cloud(SimTime t) const {
+  const auto slot =
+      static_cast<std::uint64_t>(t / params_.trouble_slot_seconds);
+  const double u = uniform01(mix(seed_ ^ (slot * 0x2545F4914F6CDD1DULL)));
+  if (u >= params_.trouble_probability) return -1;
+  // Pick the troubled cloud from a second hash so the choice is independent
+  // of whether trouble occurs.
+  const std::uint64_t pick = mix(seed_ + slot * 0x9E3779B97F4A7C15ULL + 7);
+  return static_cast<int>(pick % num_clouds_);
+}
+
+double FailureModel::failure_prob(std::size_t cloud, SimTime t,
+                                  std::uint64_t bytes) const {
+  double base = params_.base_rate;
+  if (cloud < base_override_.size() && base_override_[cloud] >= 0) {
+    base = base_override_[cloud];
+  }
+  const double size_term =
+      params_.per_mb_rate * static_cast<double>(bytes) / (1 << 20);
+  double p = base + size_term;
+  if (troubled_cloud(t) == static_cast<int>(cloud)) {
+    p = std::max(p, params_.troubled_rate + size_term);
+  }
+  return std::min(p, 0.95);
+}
+
+void FailureModel::set_base_rate(std::size_t cloud, double rate) {
+  if (base_override_.size() < num_clouds_) {
+    base_override_.assign(num_clouds_, -1.0);
+  }
+  if (cloud < base_override_.size()) base_override_[cloud] = rate;
+}
+
+}  // namespace unidrive::sim

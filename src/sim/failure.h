@@ -1,0 +1,57 @@
+// Transient-failure model for simulated Web API requests.
+//
+// Reproduces three measured behaviours (Section 3.2):
+//  * per-request transient failures with a base rate depending on the
+//    (cloud, location) pair — ~1% US-to-US, ~10% China-to-US, etc.;
+//  * failure probability grows with transfer size (Figure 4);
+//  * failures are NEGATIVELY correlated across clouds (Table 1): at any
+//    time at most one cloud is "troubled" (elevated failure rate), and the
+//    troubled cloud rotates randomly per time slot — when one cloud is
+//    having problems the others are statistically healthier, exactly the
+//    effect the paper exploits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace unidrive::sim {
+
+struct FailureParams {
+  double base_rate = 0.01;          // per-request failure floor
+  double per_mb_rate = 0.004;       // + this per MiB of payload
+  double troubled_rate = 0.22;      // rate while this cloud is troubled
+  double trouble_slot_seconds = 1800;  // trouble rotation interval
+  // P(some cloud is troubled in a slot). High enough that failure bursts
+  // dominate the failure statistics — that exclusivity is what produces the
+  // NEGATIVE cross-cloud failure correlations of Table 1.
+  double trouble_probability = 0.55;
+};
+
+class FailureModel {
+ public:
+  // One model instance covers all `num_clouds` clouds at one location so
+  // the troubled-cloud rotation is shared (that's what anti-correlates).
+  FailureModel(std::size_t num_clouds, FailureParams params,
+               std::uint64_t seed)
+      : num_clouds_(num_clouds), params_(params), seed_(seed) {}
+
+  // Failure probability for a request to `cloud` at time t moving `bytes`.
+  // Per-cloud base rates may be overridden via set_base_rate.
+  [[nodiscard]] double failure_prob(std::size_t cloud, SimTime t,
+                                    std::uint64_t bytes) const;
+
+  // Which cloud is troubled in the slot containing t (-1 if none).
+  [[nodiscard]] int troubled_cloud(SimTime t) const;
+
+  void set_base_rate(std::size_t cloud, double rate);
+
+ private:
+  std::size_t num_clouds_;
+  FailureParams params_;
+  std::uint64_t seed_;
+  std::vector<double> base_override_;
+};
+
+}  // namespace unidrive::sim

@@ -1,0 +1,160 @@
+#include "sim/fluid.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace unidrive::sim {
+
+void FluidNet::set_link(LinkId link, BandwidthPtr bandwidth,
+                        double per_connection_cap) {
+  Link& l = links_[link];
+  l.bandwidth = std::move(bandwidth);
+  l.per_conn_cap = per_connection_cap;
+}
+
+void FluidNet::set_access_capacity(bool download, double bytes_per_sec) {
+  access_capacity_[download ? 1 : 0] = bytes_per_sec;
+}
+
+void FluidNet::allocate_rates(SimTime now) {
+  if (transfers_.empty()) return;
+  // Progressive filling (max-min fairness): every unfrozen transfer's rate
+  // grows at the same pace; when a resource saturates, its transfers freeze.
+  // Resources: each link's B(t), each direction's access capacity, and each
+  // transfer's own per-connection cap.
+  struct Resource {
+    double remaining = 0;
+    std::size_t unfrozen = 0;
+  };
+  std::map<LinkId, Resource> link_res;
+  Resource access_res[2];
+  const bool access_limited[2] = {access_capacity_[0] > 0,
+                                  access_capacity_[1] > 0};
+  access_res[0].remaining = access_capacity_[0];
+  access_res[1].remaining = access_capacity_[1];
+
+  std::vector<Transfer*> unfrozen;
+  for (Transfer& t : transfers_) {
+    t.rate = 0;
+    Resource& r = link_res[t.link];
+    if (r.unfrozen == 0) {
+      r.remaining = std::max(links_[t.link].bandwidth->at(now), 1e-9);
+    }
+    ++r.unfrozen;
+    ++access_res[t.link.download ? 1 : 0].unfrozen;
+    unfrozen.push_back(&t);
+  }
+
+  while (!unfrozen.empty()) {
+    // Smallest uniform increment until some constraint binds.
+    double delta = 1e18;
+    for (const auto& [link, r] : link_res) {
+      if (r.unfrozen > 0) {
+        delta = std::min(delta, r.remaining / static_cast<double>(r.unfrozen));
+      }
+    }
+    for (int d = 0; d < 2; ++d) {
+      if (access_limited[d] && access_res[d].unfrozen > 0) {
+        delta = std::min(delta, access_res[d].remaining /
+                                    static_cast<double>(access_res[d].unfrozen));
+      }
+    }
+    // Per-connection caps bind individually.
+    for (Transfer* t : unfrozen) {
+      const double cap = links_[t->link].per_conn_cap;
+      if (cap > 0) delta = std::min(delta, cap - t->rate);
+    }
+    delta = std::max(delta, 0.0);
+
+    for (Transfer* t : unfrozen) t->rate += delta;
+    for (auto& [link, r] : link_res) {
+      r.remaining -= delta * static_cast<double>(r.unfrozen);
+    }
+    for (int d = 0; d < 2; ++d) {
+      access_res[d].remaining -=
+          delta * static_cast<double>(access_res[d].unfrozen);
+    }
+
+    // Freeze transfers whose constraints saturated.
+    std::vector<Transfer*> still;
+    for (Transfer* t : unfrozen) {
+      const Resource& lr = link_res[t->link];
+      const int d = t->link.download ? 1 : 0;
+      const double cap = links_[t->link].per_conn_cap;
+      const bool frozen = lr.remaining <= 1e-9 ||
+                          (access_limited[d] &&
+                           access_res[d].remaining <= 1e-9) ||
+                          (cap > 0 && t->rate >= cap - 1e-12);
+      if (frozen) {
+        // Remove from resource unfrozen counts.
+        --link_res[t->link].unfrozen;
+        --access_res[d].unfrozen;
+      } else {
+        still.push_back(t);
+      }
+    }
+    if (still.size() == unfrozen.size()) break;  // numerical safety
+    unfrozen = std::move(still);
+  }
+  for (Transfer& t : transfers_) t.rate = std::max(t.rate, 1e-9);
+}
+
+void FluidNet::advance_to(SimTime t) {
+  const double dt = t - last_advance_;
+  if (dt <= 0) {
+    last_advance_ = t;
+    return;
+  }
+  // Integrate with the allocation at the interval midpoint (B(t) is smooth).
+  allocate_rates(last_advance_ + dt / 2);
+  std::vector<TransferHandle> finished;
+  for (auto it = transfers_.begin(); it != transfers_.end(); ++it) {
+    it->remaining -= it->rate * dt;
+    if (it->remaining <= 1e-6) finished.push_back(it);
+  }
+  last_advance_ = t;
+  for (const TransferHandle handle : finished) {
+    auto done = std::move(handle->done);
+    --links_[handle->link].active;
+    transfers_.erase(handle);
+    if (done) done(t);
+  }
+}
+
+void FluidNet::reschedule() {
+  const std::uint64_t gen = ++generation_;
+  if (transfers_.empty()) return;
+
+  const SimTime now = env_.now();
+  allocate_rates(now);
+  // Earliest completion assuming current rates hold.
+  double next_event = quantum_;
+  for (const Transfer& t : transfers_) {
+    next_event = std::min(next_event, t.remaining / t.rate);
+  }
+  next_event = std::max(next_event, 1e-6);
+
+  env_.schedule(next_event, [this, gen] {
+    if (gen != generation_) return;  // superseded by a newer state change
+    advance_to(env_.now());
+    reschedule();
+  });
+}
+
+void FluidNet::start_transfer(LinkId link, double bytes,
+                              std::function<void(SimTime)> done) {
+  assert(links_.count(link) != 0 && "link not configured");
+  if (bytes <= 0) {
+    env_.schedule(0, [done = std::move(done), this] {
+      if (done) done(env_.now());
+    });
+    return;
+  }
+  // Bring all flows up to date before the membership change alters rates.
+  advance_to(env_.now());
+  transfers_.push_back(Transfer{link, bytes, 0, std::move(done)});
+  ++links_[link].active;
+  reschedule();
+}
+
+}  // namespace unidrive::sim

@@ -1,0 +1,86 @@
+// Fluid-flow transfer simulator.
+//
+// Each (cloud, direction) pair is a link with a time-varying capacity B(t);
+// additionally each direction may have a shared ACCESS capacity (the
+// device's own uplink/downlink — e.g. the 40 Mbps EC2 VM downlink the paper
+// calls out). Rates are the max-min fair allocation over all constraints
+// (progressive filling), with an optional per-connection cap. Transfers
+// progress continuously; the simulator advances in events: the earliest of
+// (a) some transfer finishing at current rates, or (b) the rate
+// re-evaluation quantum expiring (rates drift with B(t)).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "sim/bandwidth.h"
+#include "sim/event_queue.h"
+
+namespace unidrive::sim {
+
+struct LinkId {
+  std::uint32_t cloud = 0;
+  bool download = false;
+
+  friend bool operator<(const LinkId& a, const LinkId& b) noexcept {
+    if (a.cloud != b.cloud) return a.cloud < b.cloud;
+    return a.download < b.download;
+  }
+};
+
+class FluidNet {
+ public:
+  // `quantum`: how often rates are re-evaluated against B(t) when nothing
+  // completes (smaller = more accurate, slower).
+  explicit FluidNet(SimEnv& env, double quantum = 5.0)
+      : env_(env), quantum_(quantum) {}
+
+  void set_link(LinkId link, BandwidthPtr bandwidth,
+                double per_connection_cap = 0 /* 0 = uncapped */);
+
+  // Shared access-link capacity for one direction (the device's own NIC);
+  // all transfers in that direction compete for it. 0 = unlimited.
+  void set_access_capacity(bool download, double bytes_per_sec);
+
+  // Starts a transfer of `bytes` on `link`; `done(t)` fires at completion
+  // with the completion time. Zero-byte transfers complete immediately.
+  void start_transfer(LinkId link, double bytes,
+                      std::function<void(SimTime)> done);
+
+  [[nodiscard]] std::size_t active_transfers() const noexcept {
+    return transfers_.size();
+  }
+
+ private:
+  struct Link {
+    BandwidthPtr bandwidth;
+    double per_conn_cap = 0;
+    std::size_t active = 0;
+  };
+  struct Transfer {
+    LinkId link;
+    double remaining = 0;
+    double rate = 0;  // scratch: last allocation
+    std::function<void(SimTime)> done;
+  };
+  using TransferHandle = std::list<Transfer>::iterator;
+
+  // Max-min fair rates for every active transfer at time `now`.
+  void allocate_rates(SimTime now);
+  // Advances all transfers to now_, fires completions, schedules next event.
+  void reschedule();
+  void advance_to(SimTime t);
+
+  SimEnv& env_;
+  double quantum_;
+  std::map<LinkId, Link> links_;
+  double access_capacity_[2] = {0, 0};  // [upload, download]; 0 = unlimited
+  std::list<Transfer> transfers_;
+  SimTime last_advance_ = 0;
+  std::uint64_t generation_ = 0;  // invalidates stale scheduled events
+};
+
+}  // namespace unidrive::sim

@@ -1,0 +1,171 @@
+// JobRunner — the virtual-time transfer driver shared by transfer_run.cc
+// (single synchronous jobs) and e2e.cc (concurrent uploaders/downloaders).
+// Mirrors sched::ThreadedTransferDriver: per-cloud connection slots, polls
+// idle slots fastest-cloud-first, feeds completions to the scheduler and
+// the throughput monitor, disables persistently failing clouds.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "sched/monitor.h"
+#include "sim/sim_cloud.h"
+#include "sim/transfer_run.h"
+
+namespace unidrive::sim {
+
+template <typename Scheduler>
+class JobRunner : public std::enable_shared_from_this<JobRunner<Scheduler>> {
+ public:
+  // `scheduler` may be owned (shared_ptr) so asynchronous jobs keep their
+  // state alive for as long as callbacks may fire.
+  JobRunner(SimEnv& env, std::vector<SimCloud*> clouds,
+            std::shared_ptr<Scheduler> scheduler,
+            sched::ThroughputMonitor& monitor, RunConfig config,
+            sched::Direction direction)
+      : env_(env),
+        clouds_(std::move(clouds)),
+        scheduler_(std::move(scheduler)),
+        monitor_(monitor),
+        config_(config),
+        direction_(direction) {
+    for (SimCloud* c : clouds_) {
+      free_slots_[c->id()] = config_.connections_per_cloud;
+      by_id_[c->id()] = c;
+      ids_.push_back(c->id());
+    }
+  }
+
+  void start(std::function<void()> on_done) {
+    on_done_ = std::move(on_done);
+    start_time_ = env_.now();
+    env_.schedule(config_.timeout, [self = this->shared_from_this()] {
+      if (!self->done_) self->finish();
+    });
+    check_done();  // a job may be trivially finished (no files)
+    poll();
+  }
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] double start_time() const noexcept { return start_time_; }
+  [[nodiscard]] double finish_time() const noexcept { return finish_time_; }
+  [[nodiscard]] std::uint64_t transfers() const noexcept { return transfers_; }
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return *scheduler_; }
+
+  // Fires after every block completion (progress observers hook in here).
+  std::function<void()> on_progress;
+
+ private:
+  void poll() {
+    if (done_) return;
+    // Fastest clouds are offered work first: with over-provisioning this is
+    // what routes surplus blocks to the fast clouds.
+    const auto ranked =
+        config_.dynamic_polling ? monitor_.ranked(direction_, ids_) : ids_;
+    if constexpr (requires { scheduler_->set_speed_order(ranked); }) {
+      if (config_.dynamic_polling) scheduler_->set_speed_order(ranked);
+    }
+    bool dispatched = true;
+    while (dispatched) {
+      dispatched = false;
+      for (const cloud::CloudId id : ranked) {
+        if (free_slots_[id] == 0) continue;
+        auto task = scheduler_->next_task(id);
+        if (!task.has_value()) continue;
+        dispatch(*task);
+        dispatched = true;
+      }
+      // Straggler hedging (downloads, dynamic scheduling only): idle fast
+      // connections duplicate work pinned on slower clouds.
+      if constexpr (requires { scheduler_->next_hedge_task(ids_[0]); }) {
+        if (!dispatched && config_.dynamic_polling) {
+          for (const cloud::CloudId id : ranked) {
+            if (free_slots_[id] == 0) continue;
+            auto task = scheduler_->next_hedge_task(id);
+            if (!task.has_value()) continue;
+            dispatch(*task);
+            dispatched = true;
+          }
+        }
+      }
+    }
+  }
+
+  void dispatch(const sched::BlockTask& task) {
+    UNI_DLOG << "t=" << env_.now() << " dispatch file" << task.file_index
+             << " seg " << task.segment_id << " blk " << task.block_index
+             << " -> cloud " << task.cloud;
+    --free_slots_[task.cloud];
+    const double begin = env_.now();
+    auto completion = [self = this->shared_from_this(), task, begin](bool ok) {
+      self->on_transfer_done(task, begin, ok);
+    };
+    SimCloud* cloud = by_id_[task.cloud];
+    if (direction_ == sched::Direction::kUpload) {
+      cloud->upload(static_cast<double>(task.bytes), std::move(completion));
+    } else {
+      cloud->download(static_cast<double>(task.bytes), std::move(completion));
+    }
+  }
+
+  void on_transfer_done(const sched::BlockTask& task, double begin, bool ok) {
+    UNI_DLOG << "t=" << env_.now() << " complete ok=" << ok << " seg "
+             << task.segment_id << " blk " << task.block_index << " cloud "
+             << task.cloud;
+    ++free_slots_[task.cloud];
+    ++transfers_;
+    if (done_) return;  // timed out meanwhile; drop the result
+    if (ok) {
+      monitor_.record(task.cloud, direction_, static_cast<double>(task.bytes),
+                      std::max(1e-9, env_.now() - begin));
+      consecutive_failures_[task.cloud] = 0;
+    } else {
+      ++failures_;
+      if (++consecutive_failures_[task.cloud] >=
+          config_.failure_disable_threshold) {
+        scheduler_->set_cloud_enabled(task.cloud, false);
+      }
+    }
+    scheduler_->on_complete(task, ok);
+    if (on_progress) on_progress();
+    check_done();
+    poll();
+  }
+
+  void check_done() {
+    if (!done_ && scheduler_->finished()) finish();
+  }
+
+  void finish() {
+    done_ = true;
+    finish_time_ = env_.now();
+    if (on_done_) {
+      auto cb = std::move(on_done_);
+      cb();
+    }
+  }
+
+  SimEnv& env_;
+  std::vector<SimCloud*> clouds_;
+  std::shared_ptr<Scheduler> scheduler_;
+  sched::ThroughputMonitor& monitor_;
+  RunConfig config_;
+  sched::Direction direction_;
+
+  std::vector<cloud::CloudId> ids_;
+  std::map<cloud::CloudId, std::size_t> free_slots_;
+  std::map<cloud::CloudId, SimCloud*> by_id_;
+  std::map<cloud::CloudId, int> consecutive_failures_;
+  std::function<void()> on_done_;
+  bool done_ = false;
+  double start_time_ = 0;
+  double finish_time_ = 0;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace unidrive::sim

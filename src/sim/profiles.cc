@@ -1,0 +1,202 @@
+#include "sim/profiles.h"
+
+#include <algorithm>
+#include <array>
+
+namespace unidrive::sim {
+
+namespace {
+constexpr double kMbps = 1e6 / 8;  // bytes per second per Mbps
+
+struct RegionRow {
+  double up_mbps;
+  double down_factor;   // download = up * factor
+  double fail_base;
+};
+
+// Rows indexed by Region; one table per cloud. Calibrated to Section 3.2.
+constexpr std::array<RegionRow, 8> kDropbox = {{
+    {24.0, 1.6, 0.010},  // UsEast (Princeton: fastest)
+    {9.0, 1.6, 0.012},   // UsWest (2.76x slower than Princeton)
+    {16.0, 1.6, 0.010},  // Canada
+    {12.0, 1.6, 0.015},  // Europe
+    {0.8, 1.4, 0.100},   // China (GFW interference)
+    {6.0, 1.5, 0.030},   // Asia
+    {5.0, 1.5, 0.030},   // Oceania
+    {6.0, 1.5, 0.025},   // SouthAmerica
+}};
+constexpr std::array<RegionRow, 8> kOneDrive = {{
+    {12.0, 1.6, 0.010},
+    {14.0, 1.6, 0.010},
+    {12.0, 1.6, 0.010},
+    {14.0, 1.6, 0.012},
+    {3.0, 1.5, 0.080},
+    {10.0, 1.5, 0.020},
+    {8.0, 1.5, 0.020},
+    {6.0, 1.5, 0.022},
+}};
+constexpr std::array<RegionRow, 8> kGoogleDrive = {{
+    {16.0, 1.7, 0.010},
+    {16.0, 1.7, 0.010},
+    {14.0, 1.7, 0.010},
+    {16.0, 1.7, 0.010},
+    {0.5, 1.3, 0.120},  // effectively blocked from China
+    {12.0, 1.6, 0.015},
+    {10.0, 1.6, 0.015},
+    {8.0, 1.6, 0.018},
+}};
+constexpr std::array<RegionRow, 8> kBaiduPCS = {{
+    {1.5, 1.5, 0.050},
+    {2.5, 1.5, 0.050},
+    {1.5, 1.5, 0.050},
+    {1.2, 1.5, 0.060},
+    {30.0, 1.6, 0.020},  // 60x Google Drive's 0.5 Mbps in China
+    {5.0, 1.5, 0.040},
+    {2.0, 1.4, 0.050},
+    {0.8, 1.4, 0.070},
+}};
+constexpr std::array<RegionRow, 8> kDBank = {{
+    {1.0, 1.4, 0.080},
+    {1.5, 1.4, 0.080},
+    {1.0, 1.4, 0.080},
+    {0.8, 1.4, 0.090},
+    {15.0, 1.5, 0.035},
+    {3.0, 1.4, 0.060},
+    {1.5, 1.4, 0.080},
+    {0.5, 1.3, 0.110},
+}};
+
+const std::array<RegionRow, 8>& table_for(CloudKind kind) {
+  switch (kind) {
+    case CloudKind::kDropbox: return kDropbox;
+    case CloudKind::kOneDrive: return kOneDrive;
+    case CloudKind::kGoogleDrive: return kGoogleDrive;
+    case CloudKind::kBaiduPCS: return kBaiduPCS;
+    case CloudKind::kDBank: return kDBank;
+  }
+  return kDropbox;
+}
+
+double noise_sigma_for(CloudKind kind) {
+  switch (kind) {
+    case CloudKind::kDropbox: return 0.65;
+    case CloudKind::kOneDrive: return 0.70;
+    case CloudKind::kGoogleDrive: return 0.60;
+    case CloudKind::kBaiduPCS: return 0.75;
+    case CloudKind::kDBank: return 0.90;  // "much larger fluctuation"
+  }
+  return 0.7;
+}
+
+}  // namespace
+
+const char* cloud_name(CloudKind kind) {
+  switch (kind) {
+    case CloudKind::kDropbox: return "Dropbox";
+    case CloudKind::kOneDrive: return "OneDrive";
+    case CloudKind::kGoogleDrive: return "GoogleDrive";
+    case CloudKind::kBaiduPCS: return "BaiduPCS";
+    case CloudKind::kDBank: return "DBank";
+  }
+  return "?";
+}
+
+std::vector<LocationProfile> planetlab_locations() {
+  return {
+      {"Princeton", Region::kUsEast, 0},
+      {"LosAngeles", Region::kUsWest, 0},
+      {"Vancouver", Region::kCanada, 0},
+      {"Cambridge", Region::kEurope, 0},
+      {"Paris", Region::kEurope, 0},
+      {"Madrid", Region::kEurope, 0},
+      {"Beijing", Region::kChina, 0},
+      {"Shanghai", Region::kChina, 0},
+      {"Seoul", Region::kAsia, 0},
+      {"Tokyo", Region::kAsia, 0},
+      {"Singapore", Region::kAsia, 0},
+      {"Sydney", Region::kOceania, 0},
+      {"SaoPaulo", Region::kSouthAmerica, 0},
+  };
+}
+
+std::vector<LocationProfile> ec2_locations() {
+  constexpr double kDownCap = 40 * kMbps;  // rented VMs cap the downlink
+  return {
+      {"Virginia", Region::kUsEast, kDownCap},
+      {"Oregon", Region::kUsWest, kDownCap},
+      {"SaoPaulo", Region::kSouthAmerica, kDownCap},
+      {"Ireland", Region::kEurope, kDownCap},
+      {"Singapore", Region::kAsia, kDownCap},
+      {"Tokyo", Region::kAsia, kDownCap},
+      {"Sydney", Region::kOceania, kDownCap},
+  };
+}
+
+LinkSpec link_spec(CloudKind cloud, Region region) {
+  const RegionRow& row = table_for(cloud)[static_cast<std::size_t>(region)];
+  LinkSpec spec;
+  spec.up_bps = row.up_mbps * kMbps;
+  spec.down_bps = row.up_mbps * row.down_factor * kMbps;
+  // Latency grows as links get slower/more distant (crude but monotone).
+  spec.latency_sec = std::clamp(0.08 + 1.5 / row.up_mbps, 0.08, 1.2);
+  spec.base_failure_rate = row.fail_base;
+  spec.noise_sigma = noise_sigma_for(cloud);
+  return spec;
+}
+
+NativeAppSpec native_app_spec(CloudKind kind) {
+  switch (kind) {
+    // Connection counts from Section 7.1; fixed + proportional parts sum to
+    // Table 3's overhead at the 1 MB calibration point.
+    case CloudKind::kDropbox: return {8, 0.015, 58e3};     // 7.07% @ 1 MB
+    case CloudKind::kOneDrive: return {2, 0.006, 15e3};    // 2.04%
+    case CloudKind::kGoogleDrive: return {4, 0.006, 13e3}; // 1.89%
+    case CloudKind::kBaiduPCS: return {6, 0.002, 5e3};     // 0.70%
+    case CloudKind::kDBank: return {4, 0.003, 6.6e3};      // 0.96%
+  }
+  return {};
+}
+
+CloudSet make_cloud_set(SimEnv& env, const LocationProfile& location,
+                        std::uint64_t seed, bool with_failures) {
+  CloudSet set;
+  set.net = std::make_unique<FluidNet>(env);
+  if (location.download_cap_bps > 0) {
+    // The device's own downlink (the paper's rented VMs cap at 40 Mbps) is
+    // SHARED by all five clouds' download transfers.
+    set.net->set_access_capacity(/*download=*/true,
+                                 location.download_cap_bps);
+  }
+
+  FailureParams fparams;
+  set.failure =
+      std::make_unique<FailureModel>(kNumClouds, fparams, seed ^ 0xFA11);
+
+  for (std::size_t i = 0; i < kNumClouds; ++i) {
+    const auto kind = static_cast<CloudKind>(i);
+    const LinkSpec spec = link_spec(kind, location.region);
+    if (with_failures) {
+      set.failure->set_base_rate(i, spec.base_failure_rate);
+    }
+
+    FluctuationParams fluct;
+    fluct.noise_sigma = spec.noise_sigma;
+    // Stagger diurnal peaks per cloud (different home time zones).
+    fluct.diurnal_phase_sec = static_cast<double>(i) * 17000.0;
+
+    SimCloudConfig config;
+    config.id = static_cast<std::uint32_t>(i);
+    config.name = cloud_name(kind);
+    config.up = fluctuating_bw(spec.up_bps, fluct, seed * 31 + i * 7 + 1);
+    config.down = fluctuating_bw(spec.down_bps, fluct, seed * 37 + i * 11 + 2);
+    config.request_latency = spec.latency_sec;
+    config.failure_index = i;
+    config.failure = with_failures ? set.failure.get() : nullptr;
+
+    set.clouds.push_back(
+        std::make_unique<SimCloud>(env, *set.net, std::move(config)));
+  }
+  return set;
+}
+
+}  // namespace unidrive::sim

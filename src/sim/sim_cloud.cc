@@ -1,0 +1,81 @@
+#include "sim/sim_cloud.h"
+
+namespace unidrive::sim {
+
+SimCloud::SimCloud(SimEnv& env, FluidNet& net, SimCloudConfig config)
+    : env_(env), net_(net), config_(std::move(config)) {
+  net_.set_link({config_.id, /*download=*/false}, config_.up,
+                config_.per_connection_cap);
+  net_.set_link({config_.id, /*download=*/true}, config_.down,
+                config_.per_connection_cap);
+}
+
+void SimCloud::transfer(double bytes, bool is_download,
+                        std::function<void(bool)> done) {
+  ++stats_.requests;
+  if (outage_) {
+    ++stats_.failures;
+    // Outage manifests quickly: connection refused after ~latency.
+    env_.schedule(config_.request_latency,
+                  [done = std::move(done)] { done(false); });
+    return;
+  }
+
+  double fail_prob = 0;
+  if (config_.failure != nullptr) {
+    fail_prob = config_.failure->failure_prob(
+        config_.failure_index, env_.now(),
+        static_cast<std::uint64_t>(bytes));
+  }
+  const bool fails = env_.rng().bernoulli(fail_prob);
+  // A failed transfer aborts partway: it consumes time and bandwidth for a
+  // random fraction of the payload (Section 3.2: large files fail more and
+  // waste more).
+  const double effective_bytes =
+      fails ? bytes * env_.rng().uniform(0.05, 0.9) : bytes;
+
+  if (fails) ++stats_.failures;
+  if (is_download) {
+    stats_.bytes_down += effective_bytes;
+  } else {
+    stats_.bytes_up += effective_bytes;
+  }
+
+  const LinkId link{config_.id, is_download};
+  env_.schedule(config_.request_latency, [this, link, effective_bytes, fails,
+                                          done = std::move(done)]() mutable {
+    net_.start_transfer(link, effective_bytes,
+                        [fails, done = std::move(done)](SimTime) {
+                          done(!fails);
+                        });
+  });
+}
+
+void SimCloud::upload(double bytes, std::function<void(bool)> done) {
+  transfer(bytes, /*is_download=*/false, std::move(done));
+}
+
+void SimCloud::download(double bytes, std::function<void(bool)> done) {
+  transfer(bytes, /*is_download=*/true, std::move(done));
+}
+
+void SimCloud::small_op(std::function<void(bool)> done) {
+  ++stats_.requests;
+  if (outage_) {
+    ++stats_.failures;
+    env_.schedule(config_.request_latency,
+                  [done = std::move(done)] { done(false); });
+    return;
+  }
+  double fail_prob = 0;
+  if (config_.failure != nullptr) {
+    fail_prob =
+        config_.failure->failure_prob(config_.failure_index, env_.now(), 0);
+  }
+  const bool fails = env_.rng().bernoulli(fail_prob);
+  if (fails) ++stats_.failures;
+  env_.schedule(config_.request_latency,
+                [fails, done = std::move(done)] { done(!fails); });
+}
+
+}  // namespace unidrive::sim

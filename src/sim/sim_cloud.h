@@ -1,0 +1,68 @@
+// SimCloud — a simulated CCS endpoint: request latency, transient failures,
+// and fluid-shared link bandwidth. The virtual-time counterpart of a real
+// CloudProvider for the performance experiments; the same scheduler code
+// drives both (see transfer_run.h).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/failure.h"
+#include "sim/fluid.h"
+
+namespace unidrive::sim {
+
+struct SimCloudConfig {
+  std::uint32_t id = 0;
+  std::string name;
+  BandwidthPtr up;
+  BandwidthPtr down;
+  double per_connection_cap = 0;  // bytes/sec; 0 = uncapped
+  double request_latency = 0.15;  // API call setup (DNS/TLS/HTTP), seconds
+  // Index of this cloud in the location's shared FailureModel.
+  std::size_t failure_index = 0;
+  const FailureModel* failure = nullptr;  // may be null: never fails
+};
+
+class SimCloud {
+ public:
+  SimCloud(SimEnv& env, FluidNet& net, SimCloudConfig config);
+
+  // Transfers `bytes` and calls done(success). A failed request still wastes
+  // time: it transfers a random fraction of the payload before aborting.
+  void upload(double bytes, std::function<void(bool)> done);
+  void download(double bytes, std::function<void(bool)> done);
+
+  // Small metadata request (list, version file, lock file): latency only.
+  void small_op(std::function<void(bool)> done);
+
+  void set_outage(bool down) noexcept { outage_ = down; }
+  [[nodiscard]] bool in_outage() const noexcept { return outage_; }
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return config_.id; }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return config_.name;
+  }
+
+  // Traffic accounting (bytes actually moved, including aborted requests).
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t failures = 0;
+    double bytes_up = 0;
+    double bytes_down = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  void transfer(double bytes, bool is_download,
+                std::function<void(bool)> done);
+
+  SimEnv& env_;
+  FluidNet& net_;
+  SimCloudConfig config_;
+  bool outage_ = false;
+  Stats stats_;
+};
+
+}  // namespace unidrive::sim

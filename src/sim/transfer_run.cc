@@ -1,0 +1,91 @@
+#include "sim/transfer_run.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/job_runner.h"
+
+namespace unidrive::sim {
+
+namespace {
+
+// Non-owning shared_ptr adapter: the synchronous entry points borrow the
+// caller's scheduler, which outlives the run.
+template <typename T>
+std::shared_ptr<T> borrow(T& object) {
+  return std::shared_ptr<T>(&object, [](T*) {});
+}
+
+}  // namespace
+
+UploadRunResult run_upload_job(SimEnv& env,
+                               const std::vector<SimCloud*>& clouds,
+                               sched::UploadScheduler& scheduler,
+                               sched::ThroughputMonitor& monitor,
+                               const RunConfig& config) {
+  UploadRunResult result;
+  result.file_available_time.assign(scheduler.file_count(), -1.0);
+
+  auto runner = std::make_shared<JobRunner<sched::UploadScheduler>>(
+      env, clouds, borrow(scheduler), monitor, config,
+      sched::Direction::kUpload);
+  bool done_flag = false;
+  runner->on_progress = [&] {
+    for (std::size_t i = 0; i < result.file_available_time.size(); ++i) {
+      if (result.file_available_time[i] < 0 && scheduler.file_available(i)) {
+        result.file_available_time[i] = env.now();
+      }
+    }
+  };
+
+  result.start_time = env.now();
+  runner->start([&] { done_flag = true; });
+  while (!done_flag && env.step()) {
+  }
+
+  result.finish_time = runner->finish_time();
+  result.all_available = scheduler.all_available();
+  result.all_reliable = scheduler.all_reliable();
+  result.available_time = result.start_time;
+  for (const double t : result.file_available_time) {
+    result.available_time = std::max(result.available_time, t);
+  }
+  if (!result.all_available) result.available_time = result.finish_time;
+  result.block_transfers = runner->transfers();
+  result.failed_transfers = runner->failures();
+  return result;
+}
+
+DownloadRunResult run_download_job(SimEnv& env,
+                                   const std::vector<SimCloud*>& clouds,
+                                   sched::DownloadScheduler& scheduler,
+                                   sched::ThroughputMonitor& monitor,
+                                   const RunConfig& config) {
+  DownloadRunResult result;
+  result.file_complete_time.assign(scheduler.file_count(), -1.0);
+
+  auto runner = std::make_shared<JobRunner<sched::DownloadScheduler>>(
+      env, clouds, borrow(scheduler), monitor, config,
+      sched::Direction::kDownload);
+  bool done_flag = false;
+  runner->on_progress = [&] {
+    for (std::size_t i = 0; i < result.file_complete_time.size(); ++i) {
+      if (result.file_complete_time[i] < 0 && scheduler.file_complete(i)) {
+        result.file_complete_time[i] = env.now();
+      }
+    }
+  };
+
+  result.start_time = env.now();
+  runner->start([&] { done_flag = true; });
+  while (!done_flag && env.step()) {
+  }
+
+  result.finish_time = runner->finish_time();
+  result.all_complete = scheduler.all_complete();
+  result.block_transfers = runner->transfers();
+  result.failed_transfers = runner->failures();
+  return result;
+}
+
+}  // namespace unidrive::sim

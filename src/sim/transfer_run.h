@@ -1,0 +1,59 @@
+// Simulation driver for the UniDrive schedulers: runs an UploadScheduler or
+// DownloadScheduler job against SimClouds in virtual time. The decision
+// logic is byte-for-byte the one the real threaded client uses — only the
+// transport is simulated — so measured schedules are faithful.
+#pragma once
+
+#include <vector>
+
+#include "sched/download_scheduler.h"
+#include "sched/monitor.h"
+#include "sched/upload_scheduler.h"
+#include "sim/sim_cloud.h"
+
+namespace unidrive::sim {
+
+struct RunConfig {
+  std::size_t connections_per_cloud = 5;
+  // A cloud is disabled for the job after this many consecutive failures.
+  int failure_disable_threshold = 8;
+  // Hard stop: give up on the whole job after this much virtual time.
+  double timeout = 24 * 3600;
+  // Dynamic scheduling: offer work to clouds fastest-first (in-channel
+  // probing). Off = fixed order, the "multi-cloud benchmark" behaviour.
+  bool dynamic_polling = true;
+};
+
+struct UploadRunResult {
+  bool all_available = false;
+  bool all_reliable = false;
+  double start_time = 0;
+  double available_time = 0;  // when the LAST file became available
+  double finish_time = 0;     // when the job fully finished (reliability)
+  std::vector<double> file_available_time;  // per file, -1 if never
+  std::uint64_t block_transfers = 0;
+  std::uint64_t failed_transfers = 0;
+};
+
+UploadRunResult run_upload_job(SimEnv& env,
+                               const std::vector<SimCloud*>& clouds,
+                               sched::UploadScheduler& scheduler,
+                               sched::ThroughputMonitor& monitor,
+                               const RunConfig& config);
+
+struct DownloadRunResult {
+  bool all_complete = false;
+  double start_time = 0;
+  double finish_time = 0;
+  std::vector<double> file_complete_time;  // per file, -1 if never
+  std::uint64_t block_transfers = 0;
+  std::uint64_t failed_transfers = 0;
+};
+
+DownloadRunResult run_download_job(SimEnv& env,
+                                   const std::vector<SimCloud*>& clouds,
+                                   sched::DownloadScheduler& scheduler,
+                                   sched::ThroughputMonitor& monitor,
+                                   const RunConfig& config);
+
+}  // namespace unidrive::sim

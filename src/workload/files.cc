@@ -1,0 +1,38 @@
+#include "workload/files.h"
+
+namespace unidrive::workload {
+
+std::vector<std::uint64_t> uniform_batch(std::size_t count,
+                                         std::uint64_t bytes) {
+  return std::vector<std::uint64_t>(count, bytes);
+}
+
+std::vector<sched::UploadFileSpec> upload_specs(
+    const std::vector<std::uint64_t>& file_sizes, std::uint64_t theta,
+    const std::string& tag) {
+  std::vector<sched::UploadFileSpec> specs;
+  specs.reserve(file_sizes.size());
+  for (std::size_t i = 0; i < file_sizes.size(); ++i) {
+    sched::UploadFileSpec spec;
+    spec.path = "/" + tag + std::to_string(i);
+    std::uint64_t remaining = file_sizes[i];
+    std::size_t seg = 0;
+    do {
+      // Mirror the segmenter clamp: pieces of at most 1.5*theta, and merge
+      // a short tail into the previous segment when possible.
+      std::uint64_t piece = std::min<std::uint64_t>(remaining, theta);
+      if (remaining - piece > 0 && remaining - piece < theta / 2) {
+        piece = remaining;  // absorb the short tail
+      }
+      spec.segments.push_back(
+          {tag + std::to_string(i) + "_s" + std::to_string(seg++), piece});
+      remaining -= piece;
+    } while (remaining > 0);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+Bytes random_file(Rng& rng, std::size_t bytes) { return rng.bytes(bytes); }
+
+}  // namespace unidrive::workload

@@ -1,0 +1,29 @@
+// Workload generators: file batches for the transfer benches and random
+// file contents (incompressible, dedup-proof — the paper uses randomly
+// generated contents "to avoid deduplication and transfer suppression").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/upload_scheduler.h"
+
+namespace unidrive::workload {
+
+// N files of equal size (the paper's 100 x 1 MB batch et al.).
+std::vector<std::uint64_t> uniform_batch(std::size_t count,
+                                         std::uint64_t bytes);
+
+// Upload job specs for the simulated client: one spec per file; files
+// larger than `theta` split into multiple theta-sized segments, mirroring
+// the real segmenter's clamp.
+std::vector<sched::UploadFileSpec> upload_specs(
+    const std::vector<std::uint64_t>& file_sizes, std::uint64_t theta,
+    const std::string& tag);
+
+// Random (incompressible) file content for real-client benches/examples.
+Bytes random_file(Rng& rng, std::size_t bytes);
+
+}  // namespace unidrive::workload

@@ -1,0 +1,134 @@
+#include "workload/trial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace unidrive::workload {
+
+namespace {
+
+// Site templates spanning the reported deployment footprint.
+const std::vector<std::pair<const char*, sim::Region>>& site_templates() {
+  static const std::vector<std::pair<const char*, sim::Region>> kSites = {
+      {"Boston", sim::Region::kUsEast},
+      {"NewYork", sim::Region::kUsEast},
+      {"Raleigh", sim::Region::kUsEast},
+      {"Seattle", sim::Region::kUsWest},
+      {"PaloAlto", sim::Region::kUsWest},
+      {"Toronto", sim::Region::kCanada},
+      {"London", sim::Region::kEurope},
+      {"Berlin", sim::Region::kEurope},
+      {"Zurich", sim::Region::kEurope},
+      {"Helsinki", sim::Region::kEurope},
+      {"Wuhan", sim::Region::kChina},
+      {"Beijing", sim::Region::kChina},
+      {"Shenzhen", sim::Region::kChina},
+      {"Hangzhou", sim::Region::kChina},
+      {"HongKong", sim::Region::kAsia},
+      {"Taipei", sim::Region::kAsia},
+      {"Tokyo", sim::Region::kAsia},
+      {"Seoul", sim::Region::kAsia},
+      {"Bangalore", sim::Region::kAsia},
+      {"Sydney", sim::Region::kOceania},
+      {"Melbourne", sim::Region::kOceania},
+  };
+  return kSites;
+}
+
+UploadEvent::Kind draw_kind(Rng& rng) {
+  const double u = rng.next_double();
+  if (u < 0.283) return UploadEvent::Kind::kDocument;
+  if (u < 0.283 + 0.305) return UploadEvent::Kind::kMultimedia;
+  return UploadEvent::Kind::kOther;
+}
+
+std::uint64_t draw_size(Rng& rng, UploadEvent::Kind kind) {
+  // Lognormal size mixtures per category (medians chosen so the overall
+  // volume lands near the reported ~500 GB / ~97k files ~ 5 MB mean).
+  double median = 0, sigma = 1.2;
+  switch (kind) {
+    case UploadEvent::Kind::kDocument:
+      median = 120e3;  // office files: ~100 KB median
+      sigma = 1.4;
+      break;
+    case UploadEvent::Kind::kMultimedia:
+      median = 2.5e6;  // photos/audio/video
+      sigma = 1.6;
+      break;
+    case UploadEvent::Kind::kOther:
+      median = 300e3;
+      sigma = 1.8;
+      break;
+  }
+  const double v = rng.lognormal(median, sigma);
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+const std::vector<SizeClass>& trial_size_classes() {
+  static const std::vector<SizeClass> kClasses = {
+      {"<100KB", 0, 100ULL << 10},
+      {"100KB-1MB", 100ULL << 10, 1ULL << 20},
+      {"1MB-10MB", 1ULL << 20, 10ULL << 20},
+      {">10MB", 10ULL << 20, ~0ULL},
+  };
+  return kClasses;
+}
+
+int size_class_of(std::uint64_t bytes) {
+  const auto& classes = trial_size_classes();
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (bytes >= classes[i].min_bytes && bytes < classes[i].max_bytes) {
+      return static_cast<int>(i);
+    }
+  }
+  return static_cast<int>(classes.size()) - 1;
+}
+
+Trial generate_trial(const TrialConfig& config, std::uint64_t seed) {
+  Rng rng(seed);
+  Trial trial;
+
+  const auto& templates = site_templates();
+  const std::size_t num_sites = std::min(config.num_sites, templates.size());
+  for (std::size_t i = 0; i < num_sites; ++i) {
+    trial.sites.push_back({templates[i].first, templates[i].second, 0});
+  }
+
+  // Users spread over sites with a skew (a few large sites, many small).
+  std::vector<std::size_t> user_site(config.num_users);
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    // Zipf-ish: square the uniform draw to favour low site indices.
+    const double z = rng.next_double();
+    const auto site = static_cast<std::size_t>(z * z * num_sites);
+    user_site[u] = std::min(site, num_sites - 1);
+    ++trial.sites[user_site[u]].users;
+  }
+
+  const double duration = config.duration_days * 86400.0;
+  trial.events.reserve(config.num_files);
+  for (std::size_t f = 0; f < config.num_files; ++f) {
+    UploadEvent ev;
+    ev.user = rng.next_below(config.num_users);
+    ev.site = user_site[ev.user];
+    // Diurnal activity: more uploads during the site's daytime.
+    double t;
+    do {
+      t = rng.uniform(0, duration);
+    } while (rng.next_double() >
+             0.55 + 0.45 * std::sin(2 * M_PI * t / 86400.0));
+    ev.time = t;
+    ev.kind = draw_kind(rng);
+    ev.bytes = draw_size(rng, ev.kind);
+    trial.total_bytes += ev.bytes;
+    trial.events.push_back(ev);
+  }
+  std::sort(trial.events.begin(), trial.events.end(),
+            [](const UploadEvent& a, const UploadEvent& b) {
+              return a.time < b.time;
+            });
+  return trial;
+}
+
+}  // namespace unidrive::workload

@@ -1,0 +1,55 @@
+// Synthetic stand-in for the paper's real-world trial (Section 7.3): 272
+// pilot users at 21 sites across America, Europe, Asia and Australia
+// uploaded ~97k files (28.3% documents, 30.5% multimedia) over the study
+// period. We generate a statistically matching population and event stream;
+// the benches replay it through the simulator and reproduce the Figures
+// 15-16 aggregation (throughput by size class, daily averages).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/profiles.h"
+
+namespace unidrive::workload {
+
+struct TrialSite {
+  std::string name;
+  sim::Region region;
+  std::size_t users = 0;
+};
+
+struct UploadEvent {
+  std::size_t site = 0;      // index into the site list
+  std::size_t user = 0;
+  double time = 0;           // seconds within the trial window
+  std::uint64_t bytes = 0;
+  enum class Kind { kDocument, kMultimedia, kOther } kind = Kind::kDocument;
+};
+
+struct TrialConfig {
+  std::size_t num_users = 272;
+  std::size_t num_sites = 21;
+  std::size_t num_files = 96982;
+  double duration_days = 7;  // the window Figures 15-16 report
+};
+
+struct Trial {
+  std::vector<TrialSite> sites;
+  std::vector<UploadEvent> events;  // sorted by time
+  std::uint64_t total_bytes = 0;
+};
+
+Trial generate_trial(const TrialConfig& config, std::uint64_t seed);
+
+// The paper's size buckets for Figure 15.
+struct SizeClass {
+  const char* label;
+  std::uint64_t min_bytes;
+  std::uint64_t max_bytes;
+};
+const std::vector<SizeClass>& trial_size_classes();
+int size_class_of(std::uint64_t bytes);
+
+}  // namespace unidrive::workload

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chunker/cdc.h"
+#include "chunker/segmenter.h"
+#include "common/rng.h"
+#include "crypto/sha1.h"
+
+namespace unidrive::chunker {
+namespace {
+
+CdcParams small_params() {
+  CdcParams p;
+  p.min_size = 256;
+  p.target_size = 1024;
+  p.max_size = 4096;
+  return p;
+}
+
+TEST(CdcTest, EmptyInput) {
+  EXPECT_TRUE(cdc_split(ByteSpan{}, small_params()).empty());
+}
+
+TEST(CdcTest, ChunksCoverInputContiguously) {
+  Rng rng(1);
+  const Bytes data = rng.bytes(100000);
+  const auto chunks = cdc_split(ByteSpan(data), small_params());
+  ASSERT_FALSE(chunks.empty());
+  std::size_t expect_offset = 0;
+  for (const ChunkRef& c : chunks) {
+    EXPECT_EQ(c.offset, expect_offset);
+    EXPECT_GT(c.length, 0u);
+    expect_offset += c.length;
+  }
+  EXPECT_EQ(expect_offset, data.size());
+}
+
+TEST(CdcTest, RespectsMinAndMax) {
+  Rng rng(2);
+  const Bytes data = rng.bytes(200000);
+  const auto params = small_params();
+  const auto chunks = cdc_split(ByteSpan(data), params);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_LE(chunks[i].length, params.max_size);
+    if (i + 1 < chunks.size()) {  // final chunk may be short
+      EXPECT_GT(chunks[i].length, params.min_size);
+    }
+  }
+}
+
+TEST(CdcTest, AverageNearTarget) {
+  Rng rng(3);
+  const Bytes data = rng.bytes(2 << 20);
+  const auto params = small_params();
+  const auto chunks = cdc_split(ByteSpan(data), params);
+  const double avg = static_cast<double>(data.size()) / chunks.size();
+  // Gear CDC typically lands within ~2x of the target mask size.
+  EXPECT_GT(avg, params.target_size * 0.4);
+  EXPECT_LT(avg, params.target_size * 3.0);
+}
+
+TEST(CdcTest, Deterministic) {
+  Rng rng(4);
+  const Bytes data = rng.bytes(50000);
+  const auto a = cdc_split(ByteSpan(data), small_params());
+  const auto b = cdc_split(ByteSpan(data), small_params());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offset, b[i].offset);
+    EXPECT_EQ(a[i].length, b[i].length);
+  }
+}
+
+TEST(CdcTest, EditLocality) {
+  // The property UniDrive depends on: editing bytes in the middle must not
+  // move chunk boundaries far from the edit.
+  Rng rng(5);
+  Bytes data = rng.bytes(500000);
+  const auto before = cdc_split(ByteSpan(data), small_params());
+  // Flip 10 bytes in the middle.
+  for (std::size_t i = 250000; i < 250010; ++i) data[i] ^= 0xFF;
+  const auto after = cdc_split(ByteSpan(data), small_params());
+
+  // Compare boundary sets; they may differ only near the edit.
+  std::set<std::size_t> b1, b2;
+  for (const auto& c : before) b1.insert(c.offset);
+  for (const auto& c : after) b2.insert(c.offset);
+  std::size_t differing = 0;
+  for (const std::size_t off : b1) {
+    if (b2.count(off) == 0) ++differing;
+  }
+  for (const std::size_t off : b2) {
+    if (b1.count(off) == 0) ++differing;
+  }
+  // A localized edit may disturb at most a couple of boundaries.
+  EXPECT_LE(differing, 4u);
+}
+
+TEST(CdcTest, ShortInputSingleChunk) {
+  Rng rng(6);
+  const Bytes data = rng.bytes(100);  // < min_size
+  const auto chunks = cdc_split(ByteSpan(data), small_params());
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].length, 100u);
+}
+
+// --- segmenter ----------------------------------------------------------------
+
+SegmenterParams seg_params(std::size_t theta = 64 << 10) {
+  SegmenterParams p;
+  p.theta = theta;
+  return p;
+}
+
+TEST(SegmenterTest, EmptyFile) {
+  EXPECT_TRUE(segment_file(ByteSpan{}, seg_params()).empty());
+}
+
+TEST(SegmenterTest, SegmentsCoverFile) {
+  Rng rng(7);
+  const Bytes data = rng.bytes(1 << 20);
+  const auto segments = segment_file(ByteSpan(data), seg_params());
+  std::size_t offset = 0;
+  for (const Segment& s : segments) {
+    EXPECT_EQ(s.offset, offset);
+    offset += s.length;
+  }
+  EXPECT_EQ(offset, data.size());
+}
+
+TEST(SegmenterTest, SizeClampRespected) {
+  Rng rng(8);
+  const Bytes data = rng.bytes(4 << 20);
+  const auto params = seg_params();
+  const auto segments = segment_file(ByteSpan(data), params);
+  ASSERT_GT(segments.size(), 2u);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_LE(segments[i].length, params.max_size());
+    if (i + 1 < segments.size()) {
+      EXPECT_GE(segments[i].length, params.min_size());
+    }
+  }
+}
+
+TEST(SegmenterTest, IdIsSha1OfContent) {
+  Rng rng(9);
+  const Bytes data = rng.bytes(300000);
+  const auto segments = segment_file(ByteSpan(data), seg_params());
+  for (const Segment& s : segments) {
+    EXPECT_EQ(s.id,
+              crypto::Sha1::hex(ByteSpan(data).subspan(s.offset, s.length)));
+  }
+}
+
+TEST(SegmenterTest, IdenticalContentSameIds) {
+  Rng rng(10);
+  const Bytes data = rng.bytes(500000);
+  const auto a = segment_file(ByteSpan(data), seg_params());
+  const auto b = segment_file(ByteSpan(data), seg_params());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+}
+
+TEST(SegmenterTest, AppendPreservesEarlySegments) {
+  // Dedup across versions: appending to a file must keep the ids of all but
+  // the last segment(s) unchanged.
+  Rng rng(11);
+  Bytes data = rng.bytes(1 << 20);
+  const auto before = segment_file(ByteSpan(data), seg_params());
+  const Bytes tail = rng.bytes(100000);
+  data.insert(data.end(), tail.begin(), tail.end());
+  const auto after = segment_file(ByteSpan(data), seg_params());
+
+  std::set<std::string> after_ids;
+  for (const Segment& s : after) after_ids.insert(s.id);
+  std::size_t reused = 0;
+  for (const Segment& s : before) {
+    if (after_ids.count(s.id) != 0) ++reused;
+  }
+  // All but the final couple of segments should be reused.
+  EXPECT_GE(reused + 3, before.size());
+  EXPECT_GE(reused, before.size() / 2);
+}
+
+TEST(SegmenterTest, SmallFileSingleSegment) {
+  Rng rng(12);
+  const Bytes data = rng.bytes(1000);
+  const auto segments = segment_file(ByteSpan(data), seg_params());
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].length, data.size());
+}
+
+// --- parameterized property sweeps ------------------------------------------
+
+struct SegmenterCase {
+  std::size_t theta;
+  std::size_t file_size;
+  std::uint64_t seed;
+};
+
+class SegmenterProperty : public ::testing::TestWithParam<SegmenterCase> {};
+
+TEST_P(SegmenterProperty, CoverageAndClampHoldForAllParams) {
+  const SegmenterCase c = GetParam();
+  Rng rng(c.seed);
+  const Bytes data = rng.bytes(c.file_size);
+  SegmenterParams params;
+  params.theta = c.theta;
+  const auto segments = segment_file(ByteSpan(data), params);
+
+  if (data.empty()) {
+    EXPECT_TRUE(segments.empty());
+    return;
+  }
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_EQ(segments[i].offset, offset);
+    EXPECT_LE(segments[i].length, params.max_size());
+    if (segments.size() > 1 && i + 1 < segments.size()) {
+      EXPECT_GE(segments[i].length, params.min_size());
+    }
+    offset += segments[i].length;
+  }
+  EXPECT_EQ(offset, data.size());
+}
+
+TEST_P(SegmenterProperty, PrefixEditOnlyDisturbsNearbySegments) {
+  const SegmenterCase c = GetParam();
+  if (c.file_size < 4 * c.theta) return;  // needs several segments
+  Rng rng(c.seed);
+  Bytes data = rng.bytes(c.file_size);
+  SegmenterParams params;
+  params.theta = c.theta;
+  const auto before = segment_file(ByteSpan(data), params);
+
+  // Edit a few bytes near the START; the TAIL segment ids must survive.
+  for (std::size_t i = 10; i < 20 && i < data.size(); ++i) data[i] ^= 0x5A;
+  const auto after = segment_file(ByteSpan(data), params);
+
+  std::set<std::string> after_ids;
+  for (const Segment& s : after) after_ids.insert(s.id);
+  std::size_t tail_reused = 0;
+  const std::size_t tail_start = before.size() / 2;
+  for (std::size_t i = tail_start; i < before.size(); ++i) {
+    if (after_ids.count(before[i].id) != 0) ++tail_reused;
+  }
+  // Everything in the second half of the file is untouched content.
+  EXPECT_EQ(tail_reused, before.size() - tail_start);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SegmenterProperty,
+    ::testing::Values(SegmenterCase{16 << 10, 0, 1},
+                      SegmenterCase{16 << 10, 1, 2},
+                      SegmenterCase{16 << 10, 500 << 10, 3},
+                      SegmenterCase{64 << 10, 1 << 20, 4},
+                      SegmenterCase{64 << 10, (1 << 20) + 7, 5},
+                      SegmenterCase{256 << 10, 4 << 20, 6},
+                      SegmenterCase{1 << 20, 10 << 20, 7},
+                      SegmenterCase{4 << 20, 3 << 20, 8},   // sub-theta file
+                      SegmenterCase{4 << 20, 33 << 20, 9}));
+
+TEST(SegmenterTest, SegmentBytesExtracts) {
+  Rng rng(13);
+  const Bytes data = rng.bytes(200000);
+  const auto segments = segment_file(ByteSpan(data), seg_params());
+  ASSERT_FALSE(segments.empty());
+  const Bytes piece = segment_bytes(ByteSpan(data), segments[0]);
+  EXPECT_EQ(piece.size(), segments[0].length);
+  EXPECT_TRUE(std::equal(piece.begin(), piece.end(), data.begin()));
+}
+
+}  // namespace
+}  // namespace unidrive::chunker

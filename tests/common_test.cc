@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/serial.h"
+#include "common/status.h"
+
+namespace unidrive {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = make_error(ErrorCode::kNotFound, "missing");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: missing");
+}
+
+TEST(StatusTest, TransientClassification) {
+  EXPECT_TRUE(make_error(ErrorCode::kUnavailable, "").is_transient());
+  EXPECT_TRUE(make_error(ErrorCode::kTimeout, "").is_transient());
+  EXPECT_FALSE(make_error(ErrorCode::kNotFound, "").is_transient());
+  EXPECT_FALSE(make_error(ErrorCode::kQuotaExceeded, "").is_transient());
+}
+
+TEST(StatusTest, EveryCodeHasName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_STRNE(error_code_name(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = make_error(ErrorCode::kCorrupt, "bad");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), ErrorCode::kCorrupt);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r(std::string(1000, 'x'));
+  const std::string moved = std::move(r).take();
+  EXPECT_EQ(moved.size(), 1000u);
+}
+
+// --- bytes -------------------------------------------------------------------
+
+TEST(BytesTest, StringRoundTrip) {
+  const Bytes b = bytes_from_string("hello");
+  EXPECT_EQ(string_from_bytes(ByteSpan(b)), "hello");
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  const Bytes b = {0x00, 0x01, 0xAB, 0xFF};
+  EXPECT_EQ(to_hex(ByteSpan(b)), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), b);
+  EXPECT_EQ(from_hex("0001ABFF"), b);
+}
+
+TEST(BytesTest, FromHexRejectsMalformed) {
+  EXPECT_TRUE(from_hex("abc").empty());   // odd length
+  EXPECT_TRUE(from_hex("zz").empty());    // non-hex
+}
+
+TEST(BytesTest, Fnv1aDistinguishes) {
+  const Bytes a = bytes_from_string("a");
+  const Bytes b = bytes_from_string("b");
+  EXPECT_NE(fnv1a(ByteSpan(a)), fnv1a(ByteSpan(b)));
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.uniform(3.0, 5.0);
+    EXPECT_GE(d, 3.0);
+    EXPECT_LT(d, 5.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximate) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, NormalMomentsApproximate) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(RngTest, LognormalMedianApproximate) {
+  Rng rng(17);
+  std::vector<double> xs(10001);
+  for (double& x : xs) x = rng.lognormal(5.0, 0.5);
+  std::nth_element(xs.begin(), xs.begin() + 5000, xs.end());
+  EXPECT_NEAR(xs[5000], 5.0, 0.25);
+}
+
+TEST(RngTest, BytesLengthAndDeterminism) {
+  Rng a(19), b(19);
+  EXPECT_EQ(a.bytes(17), b.bytes(17));
+  EXPECT_EQ(a.bytes(0).size(), 0u);
+  EXPECT_EQ(a.bytes(100).size(), 100u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+// --- clock -------------------------------------------------------------------
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock(10.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+  clock.advance(5.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 15.5);
+  clock.set(100.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 100.0);
+}
+
+TEST(ClockTest, RealClockMonotone) {
+  RealClock& clock = RealClock::instance();
+  const TimePoint a = clock.now();
+  const TimePoint b = clock.now();
+  EXPECT_LE(a, b);
+}
+
+// --- serialization -----------------------------------------------------------
+
+TEST(SerialTest, FixedWidthRoundTrip) {
+  BinaryWriter w;
+  w.put_u8(0xAB);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFULL);
+  w.put_double(3.25);
+  BinaryReader r{ByteSpan(w.data())};
+  EXPECT_EQ(r.get_u8().value(), 0xAB);
+  EXPECT_EQ(r.get_u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(r.get_double().value(), 3.25);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(SerialTest, VarintRoundTripBoundaries) {
+  const std::uint64_t values[] = {0,    1,        127,        128,
+                                  255,  16383,    16384,      (1ULL << 32),
+                                  ~0ULL};
+  for (const std::uint64_t v : values) {
+    BinaryWriter w;
+    w.put_varint(v);
+    BinaryReader r{ByteSpan(w.data())};
+    EXPECT_EQ(r.get_varint().value(), v) << v;
+  }
+}
+
+TEST(SerialTest, VarintSmallValuesAreOneByte) {
+  BinaryWriter w;
+  w.put_varint(127);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(SerialTest, StringAndBytesRoundTrip) {
+  BinaryWriter w;
+  w.put_string("héllo wörld");
+  w.put_bytes(Bytes{1, 2, 3});
+  BinaryReader r{ByteSpan(w.data())};
+  EXPECT_EQ(r.get_string().value(), "héllo wörld");
+  EXPECT_EQ(r.get_bytes().value(), (Bytes{1, 2, 3}));
+}
+
+TEST(SerialTest, TruncationDetected) {
+  BinaryWriter w;
+  w.put_string("hello");
+  Bytes data = w.data();
+  data.resize(data.size() - 2);
+  BinaryReader r{ByteSpan(data)};
+  EXPECT_EQ(r.get_string().code(), ErrorCode::kCorrupt);
+}
+
+TEST(SerialTest, VarintOverflowDetected) {
+  Bytes data(11, 0xFF);  // endless continuation bits
+  BinaryReader r{ByteSpan(data)};
+  EXPECT_FALSE(r.get_varint().is_ok());
+}
+
+TEST(SerialTest, EmptyString) {
+  BinaryWriter w;
+  w.put_string("");
+  BinaryReader r{ByteSpan(w.data())};
+  EXPECT_EQ(r.get_string().value(), "");
+}
+
+}  // namespace
+}  // namespace unidrive

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "workload/files.h"
+#include "workload/trial.h"
+
+namespace unidrive::workload {
+namespace {
+
+TEST(FilesTest, UniformBatch) {
+  const auto batch = uniform_batch(100, 1 << 20);
+  EXPECT_EQ(batch.size(), 100u);
+  for (const auto s : batch) EXPECT_EQ(s, 1u << 20);
+}
+
+TEST(FilesTest, UploadSpecsSplitLargeFiles) {
+  const auto specs = upload_specs({10 << 20}, 4 << 20, "f");
+  ASSERT_EQ(specs.size(), 1u);
+  // 10 MB with theta = 4 MB: 4 + 6 (tail absorbed) or 4 + 4 + 2-merged.
+  std::uint64_t total = 0;
+  for (const auto& seg : specs[0].segments) {
+    total += seg.size;
+    EXPECT_LE(seg.size, 6u << 20);  // never beyond 1.5 theta
+  }
+  EXPECT_EQ(total, 10u << 20);
+  EXPECT_GE(specs[0].segments.size(), 2u);
+}
+
+TEST(FilesTest, UploadSpecsSmallFileSingleSegment) {
+  const auto specs = upload_specs({100 << 10}, 4 << 20, "f");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].segments.size(), 1u);
+  EXPECT_EQ(specs[0].segments[0].size, 100u << 10);
+}
+
+TEST(FilesTest, SegmentIdsUnique) {
+  const auto specs = upload_specs({8 << 20, 8 << 20}, 4 << 20, "f");
+  std::set<std::string> ids;
+  for (const auto& spec : specs) {
+    for (const auto& seg : spec.segments) {
+      EXPECT_TRUE(ids.insert(seg.id).second) << seg.id;
+    }
+  }
+}
+
+TEST(FilesTest, RandomFileIncompressibleAndDeterministic) {
+  Rng a(1), b(1);
+  const Bytes x = random_file(a, 10000);
+  const Bytes y = random_file(b, 10000);
+  EXPECT_EQ(x, y);
+  // Rough incompressibility check: byte histogram close to uniform.
+  std::array<int, 256> histogram{};
+  for (const std::uint8_t v : x) ++histogram[v];
+  for (const int count : histogram) EXPECT_LT(count, 200);
+}
+
+TEST(TrialTest, PopulationMatchesConfig) {
+  TrialConfig config;
+  config.num_files = 5000;  // smaller for test speed
+  const Trial trial = generate_trial(config, 1);
+  EXPECT_EQ(trial.sites.size(), 21u);
+  EXPECT_EQ(trial.events.size(), 5000u);
+  std::size_t total_users = 0;
+  for (const auto& site : trial.sites) total_users += site.users;
+  EXPECT_EQ(total_users, 272u);
+}
+
+TEST(TrialTest, EventsSortedAndInWindow) {
+  TrialConfig config;
+  config.num_files = 3000;
+  const Trial trial = generate_trial(config, 2);
+  double last = 0;
+  for (const auto& ev : trial.events) {
+    EXPECT_GE(ev.time, last);
+    EXPECT_LE(ev.time, config.duration_days * 86400.0);
+    EXPECT_LT(ev.site, trial.sites.size());
+    EXPECT_GT(ev.bytes, 0u);
+    last = ev.time;
+  }
+}
+
+TEST(TrialTest, CategoryMixMatchesPaperShares) {
+  TrialConfig config;
+  config.num_files = 30000;
+  const Trial trial = generate_trial(config, 3);
+  std::size_t docs = 0, media = 0;
+  for (const auto& ev : trial.events) {
+    if (ev.kind == UploadEvent::Kind::kDocument) ++docs;
+    if (ev.kind == UploadEvent::Kind::kMultimedia) ++media;
+  }
+  EXPECT_NEAR(static_cast<double>(docs) / 30000, 0.283, 0.02);
+  EXPECT_NEAR(static_cast<double>(media) / 30000, 0.305, 0.02);
+}
+
+TEST(TrialTest, VolumeOrderOfMagnitude) {
+  // ~97k files -> ~500 GB in the paper, i.e. ~5 MB mean. Accept 1-15 MB.
+  TrialConfig config;
+  config.num_files = 20000;
+  const Trial trial = generate_trial(config, 4);
+  const double mean =
+      static_cast<double>(trial.total_bytes) / config.num_files;
+  EXPECT_GT(mean, 0.5e6);
+  EXPECT_LT(mean, 20e6);
+}
+
+TEST(TrialTest, SizeClassesPartition) {
+  EXPECT_EQ(size_class_of(1), 0);
+  EXPECT_EQ(size_class_of(100 << 10), 1);
+  EXPECT_EQ(size_class_of(1 << 20), 2);
+  EXPECT_EQ(size_class_of(50 << 20), 3);
+  EXPECT_EQ(trial_size_classes().size(), 4u);
+}
+
+TEST(TrialTest, DeterministicUnderSeed) {
+  TrialConfig config;
+  config.num_files = 1000;
+  const Trial a = generate_trial(config, 9);
+  const Trial b = generate_trial(config, 9);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].bytes, b.events[i].bytes);
+    EXPECT_DOUBLE_EQ(a.events[i].time, b.events[i].time);
+  }
+}
+
+}  // namespace
+}  // namespace unidrive::workload
