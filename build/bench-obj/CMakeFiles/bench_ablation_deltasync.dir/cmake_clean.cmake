@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_deltasync"
+  "../bench/bench_ablation_deltasync.pdb"
+  "CMakeFiles/bench_ablation_deltasync.dir/bench_ablation_deltasync.cc.o"
+  "CMakeFiles/bench_ablation_deltasync.dir/bench_ablation_deltasync.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deltasync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

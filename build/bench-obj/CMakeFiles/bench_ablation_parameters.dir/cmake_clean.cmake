@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_parameters"
+  "../bench/bench_ablation_parameters.pdb"
+  "CMakeFiles/bench_ablation_parameters.dir/bench_ablation_parameters.cc.o"
+  "CMakeFiles/bench_ablation_parameters.dir/bench_ablation_parameters.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

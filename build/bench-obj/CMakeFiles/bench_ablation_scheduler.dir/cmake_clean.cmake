@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_scheduler"
+  "../bench/bench_ablation_scheduler.pdb"
+  "CMakeFiles/bench_ablation_scheduler.dir/bench_ablation_scheduler.cc.o"
+  "CMakeFiles/bench_ablation_scheduler.dir/bench_ablation_scheduler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_filesize"
+  "../bench/bench_fig02_filesize.pdb"
+  "CMakeFiles/bench_fig02_filesize.dir/bench_fig02_filesize.cc.o"
+  "CMakeFiles/bench_fig02_filesize.dir/bench_fig02_filesize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_filesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_temporal"
+  "../bench/bench_fig03_temporal.pdb"
+  "CMakeFiles/bench_fig03_temporal.dir/bench_fig03_temporal.cc.o"
+  "CMakeFiles/bench_fig03_temporal.dir/bench_fig03_temporal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_transfer32"
+  "../bench/bench_fig08_transfer32.pdb"
+  "CMakeFiles/bench_fig08_transfer32.dir/bench_fig08_transfer32.cc.o"
+  "CMakeFiles/bench_fig08_transfer32.dir/bench_fig08_transfer32.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_transfer32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

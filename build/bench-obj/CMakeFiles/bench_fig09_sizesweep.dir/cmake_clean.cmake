@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_sizesweep"
+  "../bench/bench_fig09_sizesweep.pdb"
+  "CMakeFiles/bench_fig09_sizesweep.dir/bench_fig09_sizesweep.cc.o"
+  "CMakeFiles/bench_fig09_sizesweep.dir/bench_fig09_sizesweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_sizesweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

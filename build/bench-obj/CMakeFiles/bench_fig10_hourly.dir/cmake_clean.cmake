@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_hourly"
+  "../bench/bench_fig10_hourly.pdb"
+  "CMakeFiles/bench_fig10_hourly.dir/bench_fig10_hourly.cc.o"
+  "CMakeFiles/bench_fig10_hourly.dir/bench_fig10_hourly.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_hourly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_batchsync"
+  "../bench/bench_fig11_batchsync.pdb"
+  "CMakeFiles/bench_fig11_batchsync.dir/bench_fig11_batchsync.cc.o"
+  "CMakeFiles/bench_fig11_batchsync.dir/bench_fig11_batchsync.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_batchsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_cumulative"
+  "../bench/bench_fig12_cumulative.pdb"
+  "CMakeFiles/bench_fig12_cumulative.dir/bench_fig12_cumulative.cc.o"
+  "CMakeFiles/bench_fig12_cumulative.dir/bench_fig12_cumulative.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cumulative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

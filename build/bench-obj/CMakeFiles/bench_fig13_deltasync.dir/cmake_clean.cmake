@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_deltasync"
+  "../bench/bench_fig13_deltasync.pdb"
+  "CMakeFiles/bench_fig13_deltasync.dir/bench_fig13_deltasync.cc.o"
+  "CMakeFiles/bench_fig13_deltasync.dir/bench_fig13_deltasync.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_deltasync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_reliability"
+  "../bench/bench_fig14_reliability.pdb"
+  "CMakeFiles/bench_fig14_reliability.dir/bench_fig14_reliability.cc.o"
+  "CMakeFiles/bench_fig14_reliability.dir/bench_fig14_reliability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

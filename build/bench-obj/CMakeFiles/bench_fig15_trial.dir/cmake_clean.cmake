@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_trial"
+  "../bench/bench_fig15_trial.pdb"
+  "CMakeFiles/bench_fig15_trial.dir/bench_fig15_trial.cc.o"
+  "CMakeFiles/bench_fig15_trial.dir/bench_fig15_trial.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_trial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

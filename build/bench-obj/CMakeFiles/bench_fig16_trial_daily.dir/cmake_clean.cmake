@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_trial_daily"
+  "../bench/bench_fig16_trial_daily.pdb"
+  "CMakeFiles/bench_fig16_trial_daily.dir/bench_fig16_trial_daily.cc.o"
+  "CMakeFiles/bench_fig16_trial_daily.dir/bench_fig16_trial_daily.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_trial_daily.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_chunker"
+  "../bench/bench_micro_chunker.pdb"
+  "CMakeFiles/bench_micro_chunker.dir/bench_micro_chunker.cc.o"
+  "CMakeFiles/bench_micro_chunker.dir/bench_micro_chunker.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_chunker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

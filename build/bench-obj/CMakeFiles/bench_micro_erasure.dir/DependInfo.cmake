@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_erasure.cc" "bench-obj/CMakeFiles/bench_micro_erasure.dir/bench_micro_erasure.cc.o" "gcc" "bench-obj/CMakeFiles/bench_micro_erasure.dir/bench_micro_erasure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-obj/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/uni_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/erasure/CMakeFiles/uni_erasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/chunker/CMakeFiles/uni_chunker.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/uni_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/uni_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/uni_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uni_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/uni_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/uni_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/uni_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/uni_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uni_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

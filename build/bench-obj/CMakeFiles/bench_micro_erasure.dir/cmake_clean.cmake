@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_erasure"
+  "../bench/bench_micro_erasure.pdb"
+  "CMakeFiles/bench_micro_erasure.dir/bench_micro_erasure.cc.o"
+  "CMakeFiles/bench_micro_erasure.dir/bench_micro_erasure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_lock"
+  "../bench/bench_micro_lock.pdb"
+  "CMakeFiles/bench_micro_lock.dir/bench_micro_lock.cc.o"
+  "CMakeFiles/bench_micro_lock.dir/bench_micro_lock.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

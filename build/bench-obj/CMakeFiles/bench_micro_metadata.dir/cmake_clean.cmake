@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_metadata"
+  "../bench/bench_micro_metadata.pdb"
+  "CMakeFiles/bench_micro_metadata.dir/bench_micro_metadata.cc.o"
+  "CMakeFiles/bench_micro_metadata.dir/bench_micro_metadata.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

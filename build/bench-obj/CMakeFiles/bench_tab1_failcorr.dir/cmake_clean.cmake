@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab1_failcorr"
+  "../bench/bench_tab1_failcorr.pdb"
+  "CMakeFiles/bench_tab1_failcorr.dir/bench_tab1_failcorr.cc.o"
+  "CMakeFiles/bench_tab1_failcorr.dir/bench_tab1_failcorr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_failcorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab4_storage_efficiency"
+  "../bench/bench_tab4_storage_efficiency.pdb"
+  "CMakeFiles/bench_tab4_storage_efficiency.dir/bench_tab4_storage_efficiency.cc.o"
+  "CMakeFiles/bench_tab4_storage_efficiency.dir/bench_tab4_storage_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_storage_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_outage.dir/cloud_outage.cc.o"
+  "CMakeFiles/cloud_outage.dir/cloud_outage.cc.o.d"
+  "cloud_outage"
+  "cloud_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

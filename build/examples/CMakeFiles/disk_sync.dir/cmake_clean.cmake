@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_sync.dir/disk_sync.cc.o"
+  "CMakeFiles/disk_sync.dir/disk_sync.cc.o.d"
+  "disk_sync"
+  "disk_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

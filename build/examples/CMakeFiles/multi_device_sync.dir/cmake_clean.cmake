@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_device_sync.dir/multi_device_sync.cc.o"
+  "CMakeFiles/multi_device_sync.dir/multi_device_sync.cc.o.d"
+  "multi_device_sync"
+  "multi_device_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_device_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unidrive_cli.dir/unidrive_cli.cc.o"
+  "CMakeFiles/unidrive_cli.dir/unidrive_cli.cc.o.d"
+  "unidrive_cli"
+  "unidrive_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unidrive_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for unidrive_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("erasure")
+subdirs("chunker")
+subdirs("cloud")
+subdirs("metadata")
+subdirs("lock")
+subdirs("sched")
+subdirs("core")
+subdirs("sim")
+subdirs("baselines")
+subdirs("workload")

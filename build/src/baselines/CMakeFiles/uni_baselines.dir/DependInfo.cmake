@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/chunk_pipeline.cc" "src/baselines/CMakeFiles/uni_baselines.dir/chunk_pipeline.cc.o" "gcc" "src/baselines/CMakeFiles/uni_baselines.dir/chunk_pipeline.cc.o.d"
+  "/root/repo/src/baselines/e2e_baselines.cc" "src/baselines/CMakeFiles/uni_baselines.dir/e2e_baselines.cc.o" "gcc" "src/baselines/CMakeFiles/uni_baselines.dir/e2e_baselines.cc.o.d"
+  "/root/repo/src/baselines/intuitive.cc" "src/baselines/CMakeFiles/uni_baselines.dir/intuitive.cc.o" "gcc" "src/baselines/CMakeFiles/uni_baselines.dir/intuitive.cc.o.d"
+  "/root/repo/src/baselines/native_app.cc" "src/baselines/CMakeFiles/uni_baselines.dir/native_app.cc.o" "gcc" "src/baselines/CMakeFiles/uni_baselines.dir/native_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/uni_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/uni_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/uni_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/uni_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/uni_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uni_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uni_baselines.dir/chunk_pipeline.cc.o"
+  "CMakeFiles/uni_baselines.dir/chunk_pipeline.cc.o.d"
+  "CMakeFiles/uni_baselines.dir/e2e_baselines.cc.o"
+  "CMakeFiles/uni_baselines.dir/e2e_baselines.cc.o.d"
+  "CMakeFiles/uni_baselines.dir/intuitive.cc.o"
+  "CMakeFiles/uni_baselines.dir/intuitive.cc.o.d"
+  "CMakeFiles/uni_baselines.dir/native_app.cc.o"
+  "CMakeFiles/uni_baselines.dir/native_app.cc.o.d"
+  "libuni_baselines.a"
+  "libuni_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uni_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chunker/cdc.cc" "src/chunker/CMakeFiles/uni_chunker.dir/cdc.cc.o" "gcc" "src/chunker/CMakeFiles/uni_chunker.dir/cdc.cc.o.d"
+  "/root/repo/src/chunker/segmenter.cc" "src/chunker/CMakeFiles/uni_chunker.dir/segmenter.cc.o" "gcc" "src/chunker/CMakeFiles/uni_chunker.dir/segmenter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uni_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/uni_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uni_chunker.dir/cdc.cc.o"
+  "CMakeFiles/uni_chunker.dir/cdc.cc.o.d"
+  "CMakeFiles/uni_chunker.dir/segmenter.cc.o"
+  "CMakeFiles/uni_chunker.dir/segmenter.cc.o.d"
+  "libuni_chunker.a"
+  "libuni_chunker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uni_chunker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

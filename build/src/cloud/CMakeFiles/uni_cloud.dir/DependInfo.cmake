@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/directory_cloud.cc" "src/cloud/CMakeFiles/uni_cloud.dir/directory_cloud.cc.o" "gcc" "src/cloud/CMakeFiles/uni_cloud.dir/directory_cloud.cc.o.d"
+  "/root/repo/src/cloud/faulty_cloud.cc" "src/cloud/CMakeFiles/uni_cloud.dir/faulty_cloud.cc.o" "gcc" "src/cloud/CMakeFiles/uni_cloud.dir/faulty_cloud.cc.o.d"
+  "/root/repo/src/cloud/latent_cloud.cc" "src/cloud/CMakeFiles/uni_cloud.dir/latent_cloud.cc.o" "gcc" "src/cloud/CMakeFiles/uni_cloud.dir/latent_cloud.cc.o.d"
+  "/root/repo/src/cloud/memory_cloud.cc" "src/cloud/CMakeFiles/uni_cloud.dir/memory_cloud.cc.o" "gcc" "src/cloud/CMakeFiles/uni_cloud.dir/memory_cloud.cc.o.d"
+  "/root/repo/src/cloud/path.cc" "src/cloud/CMakeFiles/uni_cloud.dir/path.cc.o" "gcc" "src/cloud/CMakeFiles/uni_cloud.dir/path.cc.o.d"
+  "/root/repo/src/cloud/quota_cloud.cc" "src/cloud/CMakeFiles/uni_cloud.dir/quota_cloud.cc.o" "gcc" "src/cloud/CMakeFiles/uni_cloud.dir/quota_cloud.cc.o.d"
+  "/root/repo/src/cloud/stats_cloud.cc" "src/cloud/CMakeFiles/uni_cloud.dir/stats_cloud.cc.o" "gcc" "src/cloud/CMakeFiles/uni_cloud.dir/stats_cloud.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uni_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

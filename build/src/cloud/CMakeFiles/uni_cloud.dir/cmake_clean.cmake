@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uni_cloud.dir/directory_cloud.cc.o"
+  "CMakeFiles/uni_cloud.dir/directory_cloud.cc.o.d"
+  "CMakeFiles/uni_cloud.dir/faulty_cloud.cc.o"
+  "CMakeFiles/uni_cloud.dir/faulty_cloud.cc.o.d"
+  "CMakeFiles/uni_cloud.dir/latent_cloud.cc.o"
+  "CMakeFiles/uni_cloud.dir/latent_cloud.cc.o.d"
+  "CMakeFiles/uni_cloud.dir/memory_cloud.cc.o"
+  "CMakeFiles/uni_cloud.dir/memory_cloud.cc.o.d"
+  "CMakeFiles/uni_cloud.dir/path.cc.o"
+  "CMakeFiles/uni_cloud.dir/path.cc.o.d"
+  "CMakeFiles/uni_cloud.dir/quota_cloud.cc.o"
+  "CMakeFiles/uni_cloud.dir/quota_cloud.cc.o.d"
+  "CMakeFiles/uni_cloud.dir/stats_cloud.cc.o"
+  "CMakeFiles/uni_cloud.dir/stats_cloud.cc.o.d"
+  "libuni_cloud.a"
+  "libuni_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uni_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

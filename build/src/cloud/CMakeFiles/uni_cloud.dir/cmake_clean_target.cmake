@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuni_cloud.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uni_common.dir/bytes.cc.o"
+  "CMakeFiles/uni_common.dir/bytes.cc.o.d"
+  "CMakeFiles/uni_common.dir/logging.cc.o"
+  "CMakeFiles/uni_common.dir/logging.cc.o.d"
+  "CMakeFiles/uni_common.dir/rng.cc.o"
+  "CMakeFiles/uni_common.dir/rng.cc.o.d"
+  "CMakeFiles/uni_common.dir/serial.cc.o"
+  "CMakeFiles/uni_common.dir/serial.cc.o.d"
+  "CMakeFiles/uni_common.dir/status.cc.o"
+  "CMakeFiles/uni_common.dir/status.cc.o.d"
+  "libuni_common.a"
+  "libuni_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uni_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

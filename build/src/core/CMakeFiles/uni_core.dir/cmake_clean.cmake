@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uni_core.dir/change_scanner.cc.o"
+  "CMakeFiles/uni_core.dir/change_scanner.cc.o.d"
+  "CMakeFiles/uni_core.dir/client.cc.o"
+  "CMakeFiles/uni_core.dir/client.cc.o.d"
+  "CMakeFiles/uni_core.dir/local_fs.cc.o"
+  "CMakeFiles/uni_core.dir/local_fs.cc.o.d"
+  "CMakeFiles/uni_core.dir/sync_daemon.cc.o"
+  "CMakeFiles/uni_core.dir/sync_daemon.cc.o.d"
+  "libuni_core.a"
+  "libuni_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uni_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

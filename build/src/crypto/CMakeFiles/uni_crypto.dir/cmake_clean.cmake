@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uni_crypto.dir/crc32.cc.o"
+  "CMakeFiles/uni_crypto.dir/crc32.cc.o.d"
+  "CMakeFiles/uni_crypto.dir/des.cc.o"
+  "CMakeFiles/uni_crypto.dir/des.cc.o.d"
+  "CMakeFiles/uni_crypto.dir/sha1.cc.o"
+  "CMakeFiles/uni_crypto.dir/sha1.cc.o.d"
+  "CMakeFiles/uni_crypto.dir/sha256.cc.o"
+  "CMakeFiles/uni_crypto.dir/sha256.cc.o.d"
+  "libuni_crypto.a"
+  "libuni_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uni_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

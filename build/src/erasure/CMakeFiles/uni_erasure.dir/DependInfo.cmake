@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/erasure/gf256.cc" "src/erasure/CMakeFiles/uni_erasure.dir/gf256.cc.o" "gcc" "src/erasure/CMakeFiles/uni_erasure.dir/gf256.cc.o.d"
+  "/root/repo/src/erasure/matrix.cc" "src/erasure/CMakeFiles/uni_erasure.dir/matrix.cc.o" "gcc" "src/erasure/CMakeFiles/uni_erasure.dir/matrix.cc.o.d"
+  "/root/repo/src/erasure/rs.cc" "src/erasure/CMakeFiles/uni_erasure.dir/rs.cc.o" "gcc" "src/erasure/CMakeFiles/uni_erasure.dir/rs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uni_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uni_erasure.dir/gf256.cc.o"
+  "CMakeFiles/uni_erasure.dir/gf256.cc.o.d"
+  "CMakeFiles/uni_erasure.dir/matrix.cc.o"
+  "CMakeFiles/uni_erasure.dir/matrix.cc.o.d"
+  "CMakeFiles/uni_erasure.dir/rs.cc.o"
+  "CMakeFiles/uni_erasure.dir/rs.cc.o.d"
+  "libuni_erasure.a"
+  "libuni_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uni_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

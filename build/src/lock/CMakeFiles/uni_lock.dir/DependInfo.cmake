@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/quorum_lock.cc" "src/lock/CMakeFiles/uni_lock.dir/quorum_lock.cc.o" "gcc" "src/lock/CMakeFiles/uni_lock.dir/quorum_lock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uni_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/uni_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/uni_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/uni_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uni_lock.dir/quorum_lock.cc.o"
+  "CMakeFiles/uni_lock.dir/quorum_lock.cc.o.d"
+  "libuni_lock.a"
+  "libuni_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uni_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metadata/changelist.cc" "src/metadata/CMakeFiles/uni_metadata.dir/changelist.cc.o" "gcc" "src/metadata/CMakeFiles/uni_metadata.dir/changelist.cc.o.d"
+  "/root/repo/src/metadata/codec.cc" "src/metadata/CMakeFiles/uni_metadata.dir/codec.cc.o" "gcc" "src/metadata/CMakeFiles/uni_metadata.dir/codec.cc.o.d"
+  "/root/repo/src/metadata/delta.cc" "src/metadata/CMakeFiles/uni_metadata.dir/delta.cc.o" "gcc" "src/metadata/CMakeFiles/uni_metadata.dir/delta.cc.o.d"
+  "/root/repo/src/metadata/diff.cc" "src/metadata/CMakeFiles/uni_metadata.dir/diff.cc.o" "gcc" "src/metadata/CMakeFiles/uni_metadata.dir/diff.cc.o.d"
+  "/root/repo/src/metadata/image.cc" "src/metadata/CMakeFiles/uni_metadata.dir/image.cc.o" "gcc" "src/metadata/CMakeFiles/uni_metadata.dir/image.cc.o.d"
+  "/root/repo/src/metadata/store.cc" "src/metadata/CMakeFiles/uni_metadata.dir/store.cc.o" "gcc" "src/metadata/CMakeFiles/uni_metadata.dir/store.cc.o.d"
+  "/root/repo/src/metadata/version_file.cc" "src/metadata/CMakeFiles/uni_metadata.dir/version_file.cc.o" "gcc" "src/metadata/CMakeFiles/uni_metadata.dir/version_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uni_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/uni_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/uni_cloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uni_metadata.dir/changelist.cc.o"
+  "CMakeFiles/uni_metadata.dir/changelist.cc.o.d"
+  "CMakeFiles/uni_metadata.dir/codec.cc.o"
+  "CMakeFiles/uni_metadata.dir/codec.cc.o.d"
+  "CMakeFiles/uni_metadata.dir/delta.cc.o"
+  "CMakeFiles/uni_metadata.dir/delta.cc.o.d"
+  "CMakeFiles/uni_metadata.dir/diff.cc.o"
+  "CMakeFiles/uni_metadata.dir/diff.cc.o.d"
+  "CMakeFiles/uni_metadata.dir/image.cc.o"
+  "CMakeFiles/uni_metadata.dir/image.cc.o.d"
+  "CMakeFiles/uni_metadata.dir/store.cc.o"
+  "CMakeFiles/uni_metadata.dir/store.cc.o.d"
+  "CMakeFiles/uni_metadata.dir/version_file.cc.o"
+  "CMakeFiles/uni_metadata.dir/version_file.cc.o.d"
+  "libuni_metadata.a"
+  "libuni_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uni_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

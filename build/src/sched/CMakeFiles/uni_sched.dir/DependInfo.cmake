@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/download_scheduler.cc" "src/sched/CMakeFiles/uni_sched.dir/download_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/uni_sched.dir/download_scheduler.cc.o.d"
+  "/root/repo/src/sched/monitor.cc" "src/sched/CMakeFiles/uni_sched.dir/monitor.cc.o" "gcc" "src/sched/CMakeFiles/uni_sched.dir/monitor.cc.o.d"
+  "/root/repo/src/sched/plan.cc" "src/sched/CMakeFiles/uni_sched.dir/plan.cc.o" "gcc" "src/sched/CMakeFiles/uni_sched.dir/plan.cc.o.d"
+  "/root/repo/src/sched/rebalance.cc" "src/sched/CMakeFiles/uni_sched.dir/rebalance.cc.o" "gcc" "src/sched/CMakeFiles/uni_sched.dir/rebalance.cc.o.d"
+  "/root/repo/src/sched/threaded_driver.cc" "src/sched/CMakeFiles/uni_sched.dir/threaded_driver.cc.o" "gcc" "src/sched/CMakeFiles/uni_sched.dir/threaded_driver.cc.o.d"
+  "/root/repo/src/sched/upload_scheduler.cc" "src/sched/CMakeFiles/uni_sched.dir/upload_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/uni_sched.dir/upload_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uni_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/uni_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/uni_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/uni_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uni_sched.dir/download_scheduler.cc.o"
+  "CMakeFiles/uni_sched.dir/download_scheduler.cc.o.d"
+  "CMakeFiles/uni_sched.dir/monitor.cc.o"
+  "CMakeFiles/uni_sched.dir/monitor.cc.o.d"
+  "CMakeFiles/uni_sched.dir/plan.cc.o"
+  "CMakeFiles/uni_sched.dir/plan.cc.o.d"
+  "CMakeFiles/uni_sched.dir/rebalance.cc.o"
+  "CMakeFiles/uni_sched.dir/rebalance.cc.o.d"
+  "CMakeFiles/uni_sched.dir/threaded_driver.cc.o"
+  "CMakeFiles/uni_sched.dir/threaded_driver.cc.o.d"
+  "CMakeFiles/uni_sched.dir/upload_scheduler.cc.o"
+  "CMakeFiles/uni_sched.dir/upload_scheduler.cc.o.d"
+  "libuni_sched.a"
+  "libuni_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uni_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

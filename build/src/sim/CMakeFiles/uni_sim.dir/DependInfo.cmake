@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bandwidth.cc" "src/sim/CMakeFiles/uni_sim.dir/bandwidth.cc.o" "gcc" "src/sim/CMakeFiles/uni_sim.dir/bandwidth.cc.o.d"
+  "/root/repo/src/sim/e2e.cc" "src/sim/CMakeFiles/uni_sim.dir/e2e.cc.o" "gcc" "src/sim/CMakeFiles/uni_sim.dir/e2e.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/uni_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/uni_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/failure.cc" "src/sim/CMakeFiles/uni_sim.dir/failure.cc.o" "gcc" "src/sim/CMakeFiles/uni_sim.dir/failure.cc.o.d"
+  "/root/repo/src/sim/fluid.cc" "src/sim/CMakeFiles/uni_sim.dir/fluid.cc.o" "gcc" "src/sim/CMakeFiles/uni_sim.dir/fluid.cc.o.d"
+  "/root/repo/src/sim/profiles.cc" "src/sim/CMakeFiles/uni_sim.dir/profiles.cc.o" "gcc" "src/sim/CMakeFiles/uni_sim.dir/profiles.cc.o.d"
+  "/root/repo/src/sim/sim_cloud.cc" "src/sim/CMakeFiles/uni_sim.dir/sim_cloud.cc.o" "gcc" "src/sim/CMakeFiles/uni_sim.dir/sim_cloud.cc.o.d"
+  "/root/repo/src/sim/transfer_run.cc" "src/sim/CMakeFiles/uni_sim.dir/transfer_run.cc.o" "gcc" "src/sim/CMakeFiles/uni_sim.dir/transfer_run.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uni_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/uni_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/uni_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/uni_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/uni_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uni_sim.dir/bandwidth.cc.o"
+  "CMakeFiles/uni_sim.dir/bandwidth.cc.o.d"
+  "CMakeFiles/uni_sim.dir/e2e.cc.o"
+  "CMakeFiles/uni_sim.dir/e2e.cc.o.d"
+  "CMakeFiles/uni_sim.dir/event_queue.cc.o"
+  "CMakeFiles/uni_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/uni_sim.dir/failure.cc.o"
+  "CMakeFiles/uni_sim.dir/failure.cc.o.d"
+  "CMakeFiles/uni_sim.dir/fluid.cc.o"
+  "CMakeFiles/uni_sim.dir/fluid.cc.o.d"
+  "CMakeFiles/uni_sim.dir/profiles.cc.o"
+  "CMakeFiles/uni_sim.dir/profiles.cc.o.d"
+  "CMakeFiles/uni_sim.dir/sim_cloud.cc.o"
+  "CMakeFiles/uni_sim.dir/sim_cloud.cc.o.d"
+  "CMakeFiles/uni_sim.dir/transfer_run.cc.o"
+  "CMakeFiles/uni_sim.dir/transfer_run.cc.o.d"
+  "libuni_sim.a"
+  "libuni_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uni_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

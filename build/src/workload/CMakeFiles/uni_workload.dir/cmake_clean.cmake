@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uni_workload.dir/files.cc.o"
+  "CMakeFiles/uni_workload.dir/files.cc.o.d"
+  "CMakeFiles/uni_workload.dir/trial.cc.o"
+  "CMakeFiles/uni_workload.dir/trial.cc.o.d"
+  "libuni_workload.a"
+  "libuni_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uni_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
