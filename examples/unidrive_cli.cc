@@ -74,6 +74,15 @@ int cmd_sync(const std::string& root) {
     std::printf("  conflict at %s (copy: %s)\n", conflict.path.c_str(),
                 conflict.conflict_copy.c_str());
   }
+  if (report.value().degraded) {
+    std::printf("DEGRADED: synced with reduced redundancy; unhealthy clouds:\n");
+    for (const auto& h : report.value().cloud_health) {
+      if (h.state == cloud::BreakerState::kClosed) continue;
+      std::printf("  cloud %u: breaker %s (%llu failures)\n", h.id,
+                  cloud::breaker_state_name(h.state),
+                  static_cast<unsigned long long>(h.failures));
+    }
+  }
   return 0;
 }
 

@@ -55,8 +55,8 @@ void ChunkPipeline::dispatch(Pending pending) {
 void ChunkPipeline::complete(Pending pending, bool ok) {
   ++free_slots_[pending.task.cloud];
   --in_flight_;
-  if (!ok && pending.attempts < max_retries_) {
-    ++pending.attempts;
+  if (!ok && pending.tries + 1 < retry_.max_attempts) {
+    ++pending.tries;
     queue_.push_back(pending);  // retry later
   } else {
     const std::size_t file = pending.task.file;

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/retry.h"
 #include "sim/sim_cloud.h"
 
 namespace unidrive::baselines {
@@ -24,13 +25,16 @@ struct ChunkTask {
 class ChunkPipeline
     : public std::enable_shared_from_this<ChunkPipeline> {
  public:
+  // Per-chunk retries follow the unified RetryPolicy's attempt budget (the
+  // backoff/deadline fields are ignored: the simulator's virtual-time
+  // connection contention already spaces retries out).
   ChunkPipeline(sim::SimEnv& env, bool download,
                 std::map<sim::SimCloud*, std::size_t> connections,
-                int max_retries = 6)
+                RetryPolicy retry = {.max_attempts = 7})
       : env_(env),
         download_(download),
         free_slots_(std::move(connections)),
-        max_retries_(max_retries) {}
+        retry_(retry) {}
 
   // Fires when the last chunk of a file completed (or was abandoned).
   std::function<void(std::size_t file, bool ok)> on_file_done;
@@ -48,7 +52,7 @@ class ChunkPipeline
  private:
   struct Pending {
     ChunkTask task;
-    int attempts = 0;
+    int tries = 0;  // completed (failed) tries so far
   };
 
   void dispatch(Pending pending);
@@ -57,7 +61,7 @@ class ChunkPipeline
   sim::SimEnv& env_;
   bool download_;
   std::map<sim::SimCloud*, std::size_t> free_slots_;
-  int max_retries_;
+  RetryPolicy retry_;
 
   std::vector<Pending> queue_;  // FIFO (front = index 0)
   std::size_t in_flight_ = 0;

@@ -12,7 +12,11 @@ namespace fs = std::filesystem;
 
 DirectoryCloud::DirectoryCloud(CloudId id, std::string name, std::string root)
     : id_(id), name_(std::move(name)), root_(std::move(root)) {
-  fs::create_directories(root_);
+  // Non-throwing: a broken backing root (deleted, replaced by a file, mount
+  // gone) must surface as per-request kUnavailable — the circuit breaker's
+  // domain — not as an exception tearing down the process.
+  std::error_code ec;
+  fs::create_directories(root_, ec);
 }
 
 std::string DirectoryCloud::host_path(const std::string& cloud_path) const {
@@ -35,16 +39,18 @@ Status DirectoryCloud::upload(const std::string& path, ByteSpan data) {
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
-      return make_error(ErrorCode::kInternal, "cannot open " + tmp.string());
+      return make_error(ErrorCode::kUnavailable,
+                        "cannot open " + tmp.string());
     }
     out.write(reinterpret_cast<const char*>(data.data()),
               static_cast<std::streamsize>(data.size()));
     if (!out) {
-      return make_error(ErrorCode::kInternal, "short write " + tmp.string());
+      return make_error(ErrorCode::kUnavailable,
+                        "short write " + tmp.string());
     }
   }
   fs::rename(tmp, host, ec);
-  if (ec) return make_error(ErrorCode::kInternal, ec.message());
+  if (ec) return make_error(ErrorCode::kUnavailable, ec.message());
   return Status::ok();
 }
 
@@ -61,7 +67,7 @@ Status DirectoryCloud::create_dir(const std::string& path) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::error_code ec;
   fs::create_directories(host_path(path), ec);
-  return ec ? make_error(ErrorCode::kInternal, ec.message()) : Status::ok();
+  return ec ? make_error(ErrorCode::kUnavailable, ec.message()) : Status::ok();
 }
 
 Result<std::vector<FileInfo>> DirectoryCloud::list(const std::string& dir) {
@@ -72,10 +78,12 @@ Result<std::vector<FileInfo>> DirectoryCloud::list(const std::string& dir) {
   if (!fs::exists(host, ec)) return out;  // empty dir == missing dir
   for (const auto& entry : fs::directory_iterator(host, ec)) {
     if (ec) break;
-    if (!entry.is_regular_file()) continue;
+    if (!entry.is_regular_file(ec) || ec) continue;
     const std::string name = entry.path().filename().string();
     if (name.ends_with(".uploading")) continue;  // in-flight temp objects
-    out.push_back({name, static_cast<std::uint64_t>(entry.file_size())});
+    const auto size = entry.file_size(ec);
+    if (ec) continue;
+    out.push_back({name, static_cast<std::uint64_t>(size)});
   }
   std::sort(out.begin(), out.end(),
             [](const FileInfo& a, const FileInfo& b) { return a.name < b.name; });

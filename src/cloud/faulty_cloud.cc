@@ -4,20 +4,43 @@
 
 namespace unidrive::cloud {
 
+bool FaultyCloud::draw(double probability) {
+  if (probability <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(rng_mutex_);
+  return rng_.next_double() < probability;
+}
+
+void FaultyCloud::maybe_hang() {
+  double rate;
+  Duration stall;
+  {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    rate = profile_.hang_rate;
+    stall = profile_.hang_seconds;
+  }
+  if (stall <= 0 || !draw(rate)) return;
+  hangs_.fetch_add(1);
+  sleep_(stall);
+}
+
 bool FaultyCloud::should_fail(std::size_t payload_bytes) {
   requests_.fetch_add(1);
+  maybe_hang();
   if (outage_.load()) {
     failures_.fetch_add(1);
     return true;
   }
   double p;
+  double base;
+  double per_mb;
   {
     std::lock_guard<std::mutex> lock(rng_mutex_);
     p = rng_.next_double();
+    base = profile_.base_failure_rate;
+    per_mb = profile_.per_mb_failure_rate;
   }
   const double mb = static_cast<double>(payload_bytes) / (1 << 20);
-  const double fail_prob = std::min(
-      1.0, profile_.base_failure_rate + profile_.per_mb_failure_rate * mb);
+  const double fail_prob = std::min(1.0, base + per_mb * mb);
   if (p < fail_prob) {
     failures_.fetch_add(1);
     return true;
@@ -35,6 +58,21 @@ Status fail_status(bool outage, const std::string& name) {
 
 Status FaultyCloud::upload(const std::string& path, ByteSpan data) {
   if (should_fail(data.size())) return fail_status(outage_.load(), name());
+  double torn_rate;
+  {
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    torn_rate = profile_.torn_upload_rate;
+  }
+  if (!data.empty() && draw(torn_rate)) {
+    // Mid-flight abort: a truncated prefix lands at the path, the client
+    // sees a failure. Integrity checks (hash-verified decode, version/delta
+    // consistency) must reject the garbage.
+    torn_uploads_.fetch_add(1);
+    failures_.fetch_add(1);
+    (void)inner_->upload(path, data.subspan(0, data.size() / 2));
+    return make_error(ErrorCode::kUnavailable,
+                      name() + ": upload torn mid-flight");
+  }
   return inner_->upload(path, data);
 }
 

@@ -2,14 +2,18 @@
 //
 // Models the paper's measured failure behaviour: per-request transient
 // failures whose probability grows with transfer size (Figure 4), plus
-// whole-cloud outages (reliability experiments, Figure 14). Deterministic
-// under a seeded RNG.
+// whole-cloud outages (reliability experiments, Figure 14), torn uploads
+// (a request aborts mid-flight after part of the payload landed) and hangs
+// (a request stalls long enough to blow any deadline). Deterministic under
+// a seeded RNG; hangs go through an injectable sleep so tests advance a
+// ManualClock instead of waiting.
 #pragma once
 
 #include <atomic>
 #include <mutex>
 
 #include "cloud/provider.h"
+#include "common/retry.h"
 #include "common/rng.h"
 
 namespace unidrive::cloud {
@@ -20,12 +24,26 @@ struct FaultProfile {
   double base_failure_rate = 0.0;
   double per_mb_failure_rate = 0.0;
   // Metadata ops (list/create/delete) use base_failure_rate only.
+
+  // Torn upload: with this probability an upload writes a truncated prefix
+  // of the payload to the inner cloud and then reports kUnavailable — the
+  // client believes it failed while garbage sits at the path.
+  double torn_upload_rate = 0.0;
+  // Hang: with this probability a request stalls `hang_seconds` (via the
+  // injected sleep) before proceeding; deadline wrappers turn the stall
+  // into kTimeout.
+  double hang_rate = 0.0;
+  Duration hang_seconds = 0.0;
 };
 
 class FaultyCloud final : public CloudProvider {
  public:
-  FaultyCloud(CloudPtr inner, FaultProfile profile, std::uint64_t seed)
-      : inner_(std::move(inner)), profile_(profile), rng_(seed) {}
+  FaultyCloud(CloudPtr inner, FaultProfile profile, std::uint64_t seed,
+              SleepFn sleep = real_sleep())
+      : inner_(std::move(inner)),
+        profile_(profile),
+        rng_(seed),
+        sleep_(std::move(sleep)) {}
 
   [[nodiscard]] CloudId id() const noexcept override { return inner_->id(); }
   [[nodiscard]] std::string name() const override { return inner_->name(); }
@@ -45,17 +63,29 @@ class FaultyCloud final : public CloudProvider {
   // Counters for failure-rate assertions in tests/benches.
   [[nodiscard]] std::uint64_t requests() const noexcept { return requests_.load(); }
   [[nodiscard]] std::uint64_t failures() const noexcept { return failures_.load(); }
+  [[nodiscard]] std::uint64_t torn_uploads() const noexcept {
+    return torn_uploads_.load();
+  }
+  [[nodiscard]] std::uint64_t hangs() const noexcept { return hangs_.load(); }
 
  private:
   [[nodiscard]] bool should_fail(std::size_t payload_bytes);
+  // Draws the hang decision and stalls if it hits. Called on every request
+  // (an outage request hangs too: a dead endpoint times out, it does not
+  // answer fast).
+  void maybe_hang();
+  [[nodiscard]] bool draw(double probability);
 
   CloudPtr inner_;
   FaultProfile profile_;
   std::atomic<bool> outage_{false};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> torn_uploads_{0};
+  std::atomic<std::uint64_t> hangs_{0};
   std::mutex rng_mutex_;
   Rng rng_;
+  SleepFn sleep_;
 };
 
 }  // namespace unidrive::cloud

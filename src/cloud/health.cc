@@ -1,0 +1,197 @@
+#include "cloud/health.h"
+
+#include <algorithm>
+
+namespace unidrive::cloud {
+
+namespace {
+// EWMA weight for per-request latency; matches the throughput monitor's
+// "recent transfers dominate" philosophy.
+constexpr double kLatencyAlpha = 0.3;
+
+bool is_availability_failure(ErrorCode code) noexcept {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout ||
+         code == ErrorCode::kOutage;
+}
+}  // namespace
+
+const char* breaker_state_name(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+bool CloudHealthRegistry::allow_request(CloudId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[id];
+  switch (e.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (clock_->now() - e.opened_at >= config_.open_duration) {
+        e.state = BreakerState::kHalfOpen;
+        e.half_open_admitted = 1;
+        e.half_open_successes = 0;
+        return true;  // this caller is the probe
+      }
+      return false;
+    case BreakerState::kHalfOpen:
+      if (e.half_open_admitted < config_.half_open_probes) {
+        ++e.half_open_admitted;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+bool CloudHealthRegistry::admissible(CloudId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return true;
+  const Entry& e = it->second;
+  switch (e.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return clock_->now() - e.opened_at >= config_.open_duration;
+    case BreakerState::kHalfOpen:
+      return e.half_open_admitted < config_.half_open_probes;
+  }
+  return true;
+}
+
+void CloudHealthRegistry::push_outcome(Entry& e, bool failure,
+                                       Duration latency) {
+  e.window.push_back(failure);
+  if (failure) ++e.window_failures;
+  while (e.window.size() > config_.window_size) {
+    if (e.window.front()) --e.window_failures;
+    e.window.pop_front();
+  }
+  if (latency > 0) {
+    e.latency_ewma = e.has_latency
+                         ? kLatencyAlpha * latency +
+                               (1 - kLatencyAlpha) * e.latency_ewma
+                         : latency;
+    e.has_latency = true;
+  }
+}
+
+bool CloudHealthRegistry::should_trip(const Entry& e) const {
+  if (e.consecutive_failures >= config_.consecutive_failures_to_open) {
+    return true;
+  }
+  return e.window.size() >= config_.min_window_samples &&
+         static_cast<double>(e.window_failures) >=
+             config_.window_failure_ratio_to_open *
+                 static_cast<double>(e.window.size());
+}
+
+void CloudHealthRegistry::trip(Entry& e) {
+  e.state = BreakerState::kOpen;
+  e.opened_at = clock_->now();
+  e.half_open_admitted = 0;
+  e.half_open_successes = 0;
+}
+
+void CloudHealthRegistry::record_success(CloudId id, Duration latency) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[id];
+  ++e.successes;
+  e.consecutive_failures = 0;
+  push_outcome(e, /*failure=*/false, latency);
+  if (e.state == BreakerState::kHalfOpen &&
+      ++e.half_open_successes >= config_.probe_successes_to_close) {
+    e.state = BreakerState::kClosed;
+    // Fresh start: the pre-outage window must not trip the breaker again
+    // before the recovered cloud had a chance to prove itself.
+    e.window.clear();
+    e.window_failures = 0;
+  }
+  // A straggler success from a request admitted before the trip does not
+  // close an open breaker — only probes do.
+}
+
+void CloudHealthRegistry::record_failure(CloudId id, Duration latency) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[id];
+  ++e.failures;
+  ++e.consecutive_failures;
+  push_outcome(e, /*failure=*/true, latency);
+  if (e.state == BreakerState::kHalfOpen) {
+    trip(e);  // the probe failed: back to open, timer restarts
+  } else if (e.state == BreakerState::kClosed && should_trip(e)) {
+    trip(e);
+  }
+}
+
+void CloudHealthRegistry::record(CloudId id, const Status& status,
+                                 Duration latency) {
+  if (status.is_ok() || !is_availability_failure(status.code())) {
+    record_success(id, latency);
+  } else {
+    record_failure(id, latency);
+  }
+}
+
+BreakerState CloudHealthRegistry::state(CloudId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+CloudHealthSnapshot CloudHealthRegistry::make_snapshot(CloudId id,
+                                                       const Entry& e) const {
+  CloudHealthSnapshot s;
+  s.id = id;
+  s.state = e.state;
+  s.successes = e.successes;
+  s.failures = e.failures;
+  s.consecutive_failures = e.consecutive_failures;
+  s.window_failure_ratio =
+      e.window.empty() ? 0.0
+                       : static_cast<double>(e.window_failures) /
+                             static_cast<double>(e.window.size());
+  s.latency_ewma = e.latency_ewma;
+  return s;
+}
+
+CloudHealthSnapshot CloudHealthRegistry::snapshot(CloudId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    CloudHealthSnapshot s;
+    s.id = id;
+    return s;
+  }
+  return make_snapshot(id, it->second);
+}
+
+std::vector<CloudHealthSnapshot> CloudHealthRegistry::snapshot_all() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CloudHealthSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) out.push_back(make_snapshot(id, e));
+  return out;
+}
+
+bool CloudHealthRegistry::all_closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::all_of(entries_.begin(), entries_.end(), [](const auto& kv) {
+    return kv.second.state == BreakerState::kClosed;
+  });
+}
+
+void CloudHealthRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace unidrive::cloud

@@ -1,0 +1,125 @@
+#include "cloud/retrying_cloud.h"
+
+#include <optional>
+#include <utility>
+
+namespace unidrive::cloud {
+
+// --- DeadlineCloud ----------------------------------------------------------
+
+Status DeadlineCloud::check(TimePoint started, Status status) const {
+  if (status.is_ok() && deadline_ > 0 &&
+      clock_->now() - started > deadline_) {
+    return make_error(ErrorCode::kTimeout,
+                      name() + ": call exceeded deadline");
+  }
+  return status;
+}
+
+Status DeadlineCloud::upload(const std::string& path, ByteSpan data) {
+  const TimePoint t0 = clock_->now();
+  return check(t0, inner_->upload(path, data));
+}
+
+Result<Bytes> DeadlineCloud::download(const std::string& path) {
+  const TimePoint t0 = clock_->now();
+  auto result = inner_->download(path);
+  const Status status = check(t0, result.status());
+  if (!status.is_ok()) return status;
+  return result;
+}
+
+Status DeadlineCloud::create_dir(const std::string& path) {
+  const TimePoint t0 = clock_->now();
+  return check(t0, inner_->create_dir(path));
+}
+
+Result<std::vector<FileInfo>> DeadlineCloud::list(const std::string& dir) {
+  const TimePoint t0 = clock_->now();
+  auto result = inner_->list(dir);
+  const Status status = check(t0, result.status());
+  if (!status.is_ok()) return status;
+  return result;
+}
+
+Status DeadlineCloud::remove(const std::string& path) {
+  const TimePoint t0 = clock_->now();
+  return check(t0, inner_->remove(path));
+}
+
+// --- RetryingCloud ----------------------------------------------------------
+
+Status RetryingCloud::call(const std::function<Status()>& op) {
+  RetryEnv env;
+  env.clock = clock_;
+  env.sleep = sleep_;
+  {
+    // Concurrent callers each retry with an independent jitter stream.
+    std::lock_guard<std::mutex> lock(rng_mutex_);
+    env.rng = rng_.fork();
+  }
+  return retry_call(policy_, env, [&]() -> Status {
+    if (health_ && !health_->allow_request(id())) {
+      // kOutage is deliberately non-transient: retry_call returns at once
+      // instead of spinning its backoff against an open breaker.
+      return make_error(ErrorCode::kOutage, name() + ": circuit open");
+    }
+    const TimePoint t0 = clock_->now();
+    Status status = op();
+    const Duration elapsed = clock_->now() - t0;
+    if (status.is_ok() && policy_.attempt_deadline > 0 &&
+        elapsed > policy_.attempt_deadline) {
+      status = make_error(ErrorCode::kTimeout,
+                          name() + ": attempt exceeded deadline");
+    }
+    if (health_) health_->record(id(), status, elapsed);
+    return status;
+  });
+}
+
+template <typename T>
+Result<T> RetryingCloud::call_result(const std::function<Result<T>()>& op) {
+  std::optional<Result<T>> out;
+  const Status status = call([&]() -> Status {
+    out.emplace(op());
+    return out->status();
+  });
+  // `out` is empty when the breaker refused the very first attempt.
+  if (!status.is_ok() || !out.has_value()) return status;
+  return *std::move(out);
+}
+
+Status RetryingCloud::upload(const std::string& path, ByteSpan data) {
+  return call([&] { return inner_->upload(path, data); });
+}
+
+Result<Bytes> RetryingCloud::download(const std::string& path) {
+  return call_result<Bytes>([&] { return inner_->download(path); });
+}
+
+Status RetryingCloud::create_dir(const std::string& path) {
+  return call([&] { return inner_->create_dir(path); });
+}
+
+Result<std::vector<FileInfo>> RetryingCloud::list(const std::string& dir) {
+  return call_result<std::vector<FileInfo>>(
+      [&] { return inner_->list(dir); });
+}
+
+Status RetryingCloud::remove(const std::string& path) {
+  return call([&] { return inner_->remove(path); });
+}
+
+MultiCloud guard_clouds(const MultiCloud& clouds, const RetryPolicy& policy,
+                        std::shared_ptr<CloudHealthRegistry> health,
+                        Clock& clock, SleepFn sleep, Rng& rng) {
+  MultiCloud guarded;
+  guarded.reserve(clouds.size());
+  for (const CloudPtr& c : clouds) {
+    guarded.push_back(std::make_shared<RetryingCloud>(
+        c, policy, health, clock, sleep, rng.fork()));
+  }
+  return guarded;
+}
+
+}  // namespace unidrive::cloud

@@ -1,0 +1,111 @@
+// RetryingCloud / DeadlineCloud — the resilience decorators every
+// cloud-facing call path goes through.
+//
+// RetryingCloud composes, around any CloudProvider:
+//   - the RetryPolicy (common/retry.h): transient failures retried with
+//     decorrelated-jitter backoff under per-attempt and total deadlines;
+//   - the CloudHealthRegistry (cloud/health.h): every attempt is gated by
+//     the cloud's circuit breaker and its outcome recorded. When the
+//     breaker is open, calls fail instantly with kOutage ("circuit open")
+//     so callers reroute to the remaining k-of-N clouds instead of burning
+//     a retry cycle against a dead provider;
+//   - deadline mapping: an attempt that exceeds the policy's
+//     attempt_deadline is reported as kTimeout even if it eventually
+//     returned OK (consumer clouds stall for minutes; the paper's hang
+//     failures).
+//
+// DeadlineCloud is the standalone deadline-only wrapper for callers that
+// want timeout mapping without retry or breaker (e.g. baselines).
+//
+// Both are thread-safe when the inner provider is.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "cloud/health.h"
+#include "cloud/provider.h"
+#include "common/retry.h"
+
+namespace unidrive::cloud {
+
+// Maps calls that take longer than `deadline` to kTimeout. The inner call
+// still runs to completion (the five REST verbs are synchronous and cannot
+// be aborted mid-flight); the mapping makes the caller treat the result as
+// failed, mirroring a client-side HTTP timeout whose transfer the server
+// may still have applied.
+class DeadlineCloud final : public CloudProvider {
+ public:
+  DeadlineCloud(CloudPtr inner, Duration deadline,
+                Clock& clock = RealClock::instance())
+      : inner_(std::move(inner)), deadline_(deadline), clock_(&clock) {}
+
+  [[nodiscard]] CloudId id() const noexcept override { return inner_->id(); }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  Status upload(const std::string& path, ByteSpan data) override;
+  Result<Bytes> download(const std::string& path) override;
+  Status create_dir(const std::string& path) override;
+  Result<std::vector<FileInfo>> list(const std::string& dir) override;
+  Status remove(const std::string& path) override;
+
+ private:
+  [[nodiscard]] Status check(TimePoint started, Status status) const;
+
+  CloudPtr inner_;
+  Duration deadline_;
+  Clock* clock_;
+};
+
+class RetryingCloud final : public CloudProvider {
+ public:
+  RetryingCloud(CloudPtr inner, RetryPolicy policy,
+                std::shared_ptr<CloudHealthRegistry> health = nullptr,
+                Clock& clock = RealClock::instance(),
+                SleepFn sleep = real_sleep(),
+                Rng rng = Rng(0x52455452ULL))  // "RETR"
+      : inner_(std::move(inner)),
+        policy_(policy),
+        health_(std::move(health)),
+        clock_(&clock),
+        sleep_(std::move(sleep)),
+        rng_(rng) {}
+
+  [[nodiscard]] CloudId id() const noexcept override { return inner_->id(); }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  Status upload(const std::string& path, ByteSpan data) override;
+  Result<Bytes> download(const std::string& path) override;
+  Status create_dir(const std::string& path) override;
+  Result<std::vector<FileInfo>> list(const std::string& dir) override;
+  Status remove(const std::string& path) override;
+
+  [[nodiscard]] const RetryPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] const std::shared_ptr<CloudHealthRegistry>& health()
+      const noexcept {
+    return health_;
+  }
+  [[nodiscard]] const CloudPtr& inner() const noexcept { return inner_; }
+
+ private:
+  // One policy-driven call: breaker gate, attempt timing, health recording.
+  Status call(const std::function<Status()>& op);
+  template <typename T>
+  Result<T> call_result(const std::function<Result<T>()>& op);
+
+  CloudPtr inner_;
+  RetryPolicy policy_;
+  std::shared_ptr<CloudHealthRegistry> health_;
+  Clock* clock_;
+  SleepFn sleep_;
+  std::mutex rng_mutex_;
+  Rng rng_;
+};
+
+// Wraps every cloud of a multi-cloud in a RetryingCloud sharing one policy
+// and one health registry — the one-liner the client uses.
+MultiCloud guard_clouds(const MultiCloud& clouds, const RetryPolicy& policy,
+                        std::shared_ptr<CloudHealthRegistry> health,
+                        Clock& clock, SleepFn sleep, Rng& rng);
+
+}  // namespace unidrive::cloud

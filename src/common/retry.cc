@@ -1,0 +1,39 @@
+#include "common/retry.h"
+
+#include <chrono>
+#include <thread>
+
+namespace unidrive {
+
+SleepFn real_sleep() {
+  return [](Duration d) {
+    if (d > 0) std::this_thread::sleep_for(std::chrono::duration<double>(d));
+  };
+}
+
+Status retry_call(const RetryPolicy& policy, RetryEnv& env,
+                  const std::function<Status()>& op) {
+  const TimePoint start = env.clock->now();
+  BackoffState backoff(policy);
+  Status status;
+  for (int attempt = 1;; ++attempt) {
+    const TimePoint attempt_start = env.clock->now();
+    status = op();
+    if (status.is_ok() && policy.attempt_deadline > 0 &&
+        env.clock->now() - attempt_start > policy.attempt_deadline) {
+      // The call came back, but only after the caller had given up on it.
+      status = make_error(ErrorCode::kTimeout, "attempt exceeded deadline");
+    }
+    if (status.is_ok() || !status.is_transient()) return status;
+    if (attempt >= policy.max_attempts) return status;
+    const Duration pause = backoff.next(env.rng);
+    if (policy.total_deadline > 0 &&
+        env.clock->now() - start + pause > policy.total_deadline) {
+      return make_error(ErrorCode::kTimeout,
+                        "retry budget exhausted: " + status.message());
+    }
+    env.sleep(pause);
+  }
+}
+
+}  // namespace unidrive

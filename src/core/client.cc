@@ -41,10 +41,23 @@ UniDriveClient::UniDriveClient(cloud::MultiCloud clouds,
       config_(std::move(config)),
       clock_(clock),
       rng_(rng),
-      store_(clouds_, config_.passphrase),
-      lock_(clouds_, config_.device, config_.lock, clock_, rng_.fork()),
+      health_(std::make_shared<cloud::CloudHealthRegistry>(config_.breaker,
+                                                           clock_)),
+      guarded_(cloud::guard_clouds(clouds_, config_.retry, health_, clock_,
+                                   config_.sleep, rng_)),
+      store_(guarded_, config_.passphrase),
+      lock_(guarded_, config_.device, config_.lock, clock_, rng_.fork(),
+            config_.sleep),
       monitor_() {
   load_state();
+}
+
+void UniDriveClient::rebuild_guards() {
+  guarded_ = cloud::guard_clouds(clouds_, config_.retry, health_, clock_,
+                                 config_.sleep, rng_);
+  store_ = metadata::MetaStore(guarded_, config_.passphrase);
+  lock_ = lock::QuorumLock(guarded_, config_.device, config_.lock, clock_,
+                           rng_.fork(), config_.sleep);
 }
 
 void UniDriveClient::load_state() {
@@ -100,7 +113,7 @@ std::vector<cloud::CloudId> UniDriveClient::cloud_ids() const {
 }
 
 cloud::CloudProvider* UniDriveClient::find_cloud(cloud::CloudId id) const {
-  for (const cloud::CloudPtr& c : clouds_) {
+  for (const cloud::CloudPtr& c : guarded_) {
     if (c->id() == id) return c.get();
   }
   return nullptr;
@@ -148,7 +161,8 @@ Result<std::vector<SegmentInfo>> UniDriveClient::upload_segments(
         ByteSpan(shards.front().data));
   };
 
-  sched::ThreadedTransferDriver driver(cloud_ids(), config_.driver, monitor_);
+  sched::ThreadedTransferDriver driver(cloud_ids(), config_.driver, monitor_,
+                                       health_);
   driver.run_upload(scheduler, transfer);
 
   for (const auto& [id, data] : segments) {
@@ -256,7 +270,7 @@ Result<Bytes> UniDriveClient::fetch_segment(
       return Status::ok();
     };
     sched::ThreadedTransferDriver driver(cloud_ids(), config_.driver,
-                                         monitor_);
+                                         monitor_, health_);
     driver.run_download(scheduler, transfer);
     return shards.size() - before;
   };
@@ -485,6 +499,8 @@ Result<SyncReport> UniDriveClient::sync() {
   }
 
   report.version = image_.version();
+  report.cloud_health = health_->snapshot_all();
+  report.degraded = !health_->all_closed();
   persist_state();
   return report;
 }
@@ -690,14 +706,16 @@ Status UniDriveClient::add_cloud(cloud::CloudPtr new_cloud) {
 
   const sched::RebalancePlan plan =
       sched::plan_add_cloud(next, new_cloud->id(), all_ids, params);
-  execute_rebalance(next, plan, codec_for(params), new_cloud.get());
+  // The joining cloud gets the same resilience guard as enrolled ones for
+  // the rebalance uploads.
+  cloud::RetryingCloud added_guard(new_cloud, config_.retry, health_, clock_,
+                                   config_.sleep, rng_.fork());
+  execute_rebalance(next, plan, codec_for(params), &added_guard);
 
   sched::apply_rebalance(next, plan);
   clouds_.push_back(std::move(new_cloud));
-  // Rebuild store/lock over the new membership.
-  store_ = metadata::MetaStore(clouds_, config_.passphrase);
-  lock_ = lock::QuorumLock(clouds_, config_.device, config_.lock, clock_,
-                           rng_.fork());
+  // Rebuild guards + store + lock over the new membership.
+  rebuild_guards();
   UNI_RETURN_IF_ERROR(lock_.acquire());
   std::vector<Change> changes;
   for (const auto& [id, seg] : next.segments()) {
@@ -741,9 +759,7 @@ Status UniDriveClient::remove_cloud(cloud::CloudId removed) {
                                  return c->id() == removed;
                                }),
                 clouds_.end());
-  store_ = metadata::MetaStore(clouds_, config_.passphrase);
-  lock_ = lock::QuorumLock(clouds_, config_.device, config_.lock, clock_,
-                           rng_.fork());
+  rebuild_guards();
   UNI_RETURN_IF_ERROR(lock_.acquire());
   std::vector<Change> changes;
   for (const auto& [id, seg] : next.segments()) {

@@ -19,8 +19,11 @@
 
 #include <memory>
 
+#include "cloud/health.h"
 #include "cloud/provider.h"
+#include "cloud/retrying_cloud.h"
 #include "common/clock.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "core/change_scanner.h"
 #include "core/local_fs.h"
@@ -44,6 +47,14 @@ struct ClientConfig {
   lock::LockConfig lock;
   sched::DriverConfig driver;
   metadata::DeltaPolicy delta_policy;
+  // Unified resilience layer: every enrolled cloud is wrapped exactly once
+  // in a cloud::RetryingCloud combining this retry policy with a circuit
+  // breaker shared across sync rounds — no other layer retries.
+  RetryPolicy retry;
+  cloud::BreakerConfig breaker;
+  // All blocking pauses (retry backoff, lock contention backoff) go through
+  // this; tests and simulations substitute a virtual-time sleep.
+  SleepFn sleep = real_sleep();
   // When set, the client persists its last committed state (v_o, the image
   // it has already reconciled with) to this host file and reloads it at
   // construction — without it a restarted process would treat the whole
@@ -60,6 +71,11 @@ struct SyncReport {
   std::size_t files_removed = 0;
   std::vector<metadata::ConflictRecord> conflicts;
   metadata::VersionStamp version;
+  // Degraded mode: true when at least one cloud's circuit breaker was not
+  // closed at the end of the round — the sync proceeded on the remaining
+  // clouds (k-of-N tolerates it) but redundancy is reduced.
+  bool degraded = false;
+  std::vector<cloud::CloudHealthSnapshot> cloud_health;
 };
 
 class UniDriveClient {
@@ -115,6 +131,11 @@ class UniDriveClient {
   [[nodiscard]] const cloud::MultiCloud& clouds() const noexcept {
     return clouds_;
   }
+  // Shared per-cloud health/breaker state; outlives individual sync rounds.
+  [[nodiscard]] const std::shared_ptr<cloud::CloudHealthRegistry>& health()
+      const noexcept {
+    return health_;
+  }
   [[nodiscard]] sched::CodeParams code_params() const;
   [[nodiscard]] const ClientConfig& config() const noexcept { return config_; }
 
@@ -156,17 +177,24 @@ class UniDriveClient {
                        const std::vector<metadata::Change>& changes);
 
   [[nodiscard]] std::vector<cloud::CloudId> cloud_ids() const;
+  // Resolves to the GUARDED provider — all I/O goes through the resilience
+  // decorator, never the raw cloud.
   [[nodiscard]] cloud::CloudProvider* find_cloud(cloud::CloudId id) const;
+
+  // Re-wraps clouds_ and rebuilds store_/lock_ after membership changes.
+  void rebuild_guards();
 
   // State persistence (no-ops when config_.state_file is empty).
   void load_state();
   void persist_state() const;
 
-  cloud::MultiCloud clouds_;
+  cloud::MultiCloud clouds_;  // raw providers, as enrolled
   std::shared_ptr<LocalFs> fs_;
   ClientConfig config_;
   Clock& clock_;
   Rng rng_;
+  std::shared_ptr<cloud::CloudHealthRegistry> health_;
+  cloud::MultiCloud guarded_;  // clouds_, each wrapped in a RetryingCloud
 
   metadata::SyncFolderImage image_;  // v_o: last known committed state
   metadata::MetaStore store_;

@@ -1,19 +1,11 @@
 #include "lock/quorum_lock.h"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
 
 #include "cloud/path.h"
 #include "common/logging.h"
 
 namespace unidrive::lock {
-
-SleepFn real_sleep() {
-  return [](Duration d) {
-    if (d > 0) std::this_thread::sleep_for(std::chrono::duration<double>(d));
-  };
-}
 
 QuorumLock::QuorumLock(cloud::MultiCloud clouds, std::string device,
                        LockConfig config, Clock& clock, Rng rng, SleepFn sleep)
@@ -108,10 +100,12 @@ void QuorumLock::delete_own_locks() {
 
 Status QuorumLock::acquire() {
   if (held_) return Status::ok();
-  Duration backoff = config_.backoff_base;
+  const RetryPolicy& policy = config_.retry;
+  BackoffState backoff(policy);
+  const TimePoint started = clock_->now();
   std::size_t rounds_without_quorum_response = 0;
 
-  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
     const std::string lock_name = make_lock_name();
     const RoundOutcome outcome = attempt_round(lock_name);
 
@@ -133,8 +127,15 @@ Status QuorumLock::acquire() {
       rounds_without_quorum_response = 0;
     }
 
-    sleep_(rng_.uniform(backoff, backoff + config_.backoff_spread));
-    backoff = std::min(backoff * 2, config_.backoff_cap);
+    // Decorrelated-jitter pause between rounds; give up early rather than
+    // sleep past the acquisition's total time budget.
+    const Duration pause = backoff.next(rng_);
+    if (policy.total_deadline > 0 &&
+        clock_->now() - started + pause > policy.total_deadline) {
+      return make_error(ErrorCode::kTimeout,
+                        "lock: acquisition budget exhausted");
+    }
+    sleep_(pause);
   }
   return make_error(ErrorCode::kLockContention,
                     "lock: exhausted acquisition attempts");

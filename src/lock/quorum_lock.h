@@ -20,31 +20,34 @@
 // deleted), so two devices cannot both see themselves alone on a majority.
 #pragma once
 
-#include <functional>
 #include <map>
 #include <string>
 
 #include "cloud/provider.h"
 #include "common/clock.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/status.h"
 
 namespace unidrive::lock {
 
+// Sleeping is injected so tests and simulations control time; the type and
+// default implementation are the shared ones from common/retry.h.
+using ::unidrive::real_sleep;
+using ::unidrive::SleepFn;
+
 struct LockConfig {
   std::string lock_dir = "/lock";
   Duration stale_after = 120.0;      // dT: break locks seen for this long
   Duration refresh_interval = 30.0;  // holder re-stamps its lock this often
-  int max_attempts = 16;             // acquisition attempts before giving up
-  Duration backoff_base = 0.5;       // random backoff in [base, base+spread)
-  Duration backoff_spread = 1.5;
-  Duration backoff_cap = 30.0;       // exponential growth is capped here
+  // Contention backoff between acquisition rounds reuses the unified retry
+  // policy: max_attempts rounds, decorrelated-jitter pauses in
+  // [backoff_base, backoff_cap], and an optional total_deadline budget on
+  // the whole acquisition.
+  RetryPolicy retry{.max_attempts = 16,
+                    .backoff_base = 0.5,
+                    .backoff_cap = 30.0};
 };
-
-// Sleeping is injected so tests and simulations control time. The default
-// used by production code sleeps the calling thread for real.
-using SleepFn = std::function<void(Duration)>;
-SleepFn real_sleep();
 
 class QuorumLock {
  public:

@@ -8,21 +8,12 @@
 
 namespace unidrive::metadata {
 
-namespace {
 // Transient REST failures are the norm (the paper measures 82.5%-99%
-// per-request success); retry a couple of times before declaring a cloud
-// unreachable for this publish.
-Status upload_with_retry(cloud::CloudProvider& cloud, const std::string& path,
-                         ByteSpan data, int attempts = 3) {
-  Status status;
-  for (int i = 0; i < attempts; ++i) {
-    status = cloud.upload(path, data);
-    if (status.is_ok() || !status.is_transient()) return status;
-  }
-  return status;
-}
-}  // namespace
-
+// per-request success), but the store does NOT retry: resilience lives one
+// layer down, in cloud::RetryingCloud, which wraps every provider handed to
+// the store. A failed upload here means the retry budget is already spent
+// (or the cloud's circuit breaker is open), so the cloud is skipped for
+// this publish and the majority rule decides the outcome.
 Status MetaStore::publish(const SyncFolderImage& base, const DeltaLog& delta,
                           bool upload_base) {
   const Bytes version_bytes =
@@ -35,13 +26,12 @@ Status MetaStore::publish(const SyncFolderImage& base, const DeltaLog& delta,
   for (const cloud::CloudPtr& c : clouds_) {
     bool ok = true;
     if (upload_base) {
-      ok = upload_with_retry(*c, kBasePath, ByteSpan(base_bytes)).is_ok();
+      ok = c->upload(kBasePath, ByteSpan(base_bytes)).is_ok();
     }
     // Order matters: data (base/delta) must land before the version file
     // that advertises it, so a reader never sees a version it cannot fetch.
-    ok = ok && upload_with_retry(*c, kDeltaPath, ByteSpan(delta_bytes)).is_ok();
-    ok = ok &&
-         upload_with_retry(*c, kVersionPath, ByteSpan(version_bytes)).is_ok();
+    ok = ok && c->upload(kDeltaPath, ByteSpan(delta_bytes)).is_ok();
+    ok = ok && c->upload(kVersionPath, ByteSpan(version_bytes)).is_ok();
     if (ok) {
       ++successes;
     } else {

@@ -18,6 +18,18 @@ void ThroughputMonitor::record(cloud::CloudId cloud, Direction dir,
   }
 }
 
+void ThroughputMonitor::record_failure(cloud::CloudId cloud, Direction dir,
+                                       double seconds) {
+  if (seconds < 1e-6) return;  // fail-fast, no channel time wasted
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = ewma_.find(std::make_pair(cloud, dir));
+  if (it != ewma_.end()) {
+    it->second *= 1 - alpha_;  // EWMA update with a zero sample
+  }
+  // An unmeasured cloud stays unmeasured: it already ranks at the default
+  // (bottom) estimate.
+}
+
 double ThroughputMonitor::estimate(cloud::CloudId cloud, Direction dir) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = ewma_.find(std::make_pair(cloud, dir));

@@ -38,6 +38,14 @@ class ThroughputMonitor {
   void record(cloud::CloudId cloud, Direction dir, double bytes,
               double seconds);
 
+  // A failed transfer moved zero payload in `seconds` of connection time;
+  // fold it in as a zero-throughput sample so clouds that fail slowly
+  // (burning a connection for the full stall before erroring) sink in the
+  // ranking instead of coasting on their last good estimate. Instant
+  // failures (seconds ~ 0, e.g. an open circuit breaker) are ignored: no
+  // channel time was actually wasted, so they carry no bandwidth signal.
+  void record_failure(cloud::CloudId cloud, Direction dir, double seconds);
+
   // Per-connection throughput estimate in bytes/sec.
   [[nodiscard]] double estimate(cloud::CloudId cloud, Direction dir) const;
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <map>
+#include <set>
 
 #include "common/clock.h"
 #include "common/logging.h"
@@ -10,8 +11,12 @@ namespace unidrive::sched {
 
 ThreadedTransferDriver::ThreadedTransferDriver(
     std::vector<cloud::CloudId> clouds, DriverConfig config,
-    ThroughputMonitor& monitor)
-    : clouds_(std::move(clouds)), config_(config), monitor_(monitor) {}
+    ThroughputMonitor& monitor,
+    std::shared_ptr<cloud::CloudHealthRegistry> health)
+    : clouds_(std::move(clouds)),
+      config_(config),
+      monitor_(monitor),
+      health_(std::move(health)) {}
 
 template <typename Scheduler>
 void ThreadedTransferDriver::run(Scheduler& scheduler,
@@ -19,9 +24,22 @@ void ThreadedTransferDriver::run(Scheduler& scheduler,
   std::mutex mutex;
   std::condition_variable cv;
   bool stop = false;
-  // Consecutive-failure counters so a flapping cloud cannot livelock a run:
-  // after max_retries the scheduler-side cloud is disabled for this run.
+  // Per-CLOUD consecutive-failure counters so a flapping cloud cannot
+  // livelock a run; with a health registry the breaker decides instead
+  // (and, unlike these counters, survives into the next run).
   std::map<cloud::CloudId, int> consecutive_failures;
+  // Clouds this run disabled in the scheduler; a later success (a breaker
+  // probe that went through) re-admits them.
+  std::set<cloud::CloudId> disabled;
+
+  // Two gates: the breaker covers availability failures across rounds; the
+  // per-run counter additionally catches clouds that fail deterministically
+  // WITHOUT looking unavailable (e.g. out of quota — a health "success"),
+  // which would otherwise be reassigned the same blocks forever.
+  const auto cloud_is_down = [&](cloud::CloudId cloud) {
+    if (health_ != nullptr && !health_->admissible(cloud)) return true;
+    return consecutive_failures[cloud] >= config_.max_consecutive_failures;
+  };
 
   auto worker = [&](cloud::CloudId cloud) {
     while (true) {
@@ -51,6 +69,9 @@ void ThreadedTransferDriver::run(Scheduler& scheduler,
         monitor_.record(cloud, dir, static_cast<double>(task->bytes),
                         std::max(1e-9, end - start));
       } else {
+        // Failures waste connection time too: feed the stall into the
+        // ranking so slow-failing clouds sink below clouds that fail fast.
+        monitor_.record_failure(cloud, dir, end - start);
         UNI_LOG(kDebug) << "transfer failed on cloud " << cloud << ": "
                         << status.to_string();
       }
@@ -60,17 +81,35 @@ void ThreadedTransferDriver::run(Scheduler& scheduler,
         scheduler.on_complete(*task, status.is_ok());
         if (status.is_ok()) {
           consecutive_failures[cloud] = 0;
-        } else if (++consecutive_failures[cloud] >=
-                   config_.max_retries_per_block) {
-          scheduler.set_cloud_enabled(cloud, false);
-          UNI_LOG(kInfo) << "cloud " << cloud
-                         << " disabled after repeated failures";
+          if (disabled.erase(cloud) != 0) {
+            scheduler.set_cloud_enabled(cloud, true);
+            UNI_LOG(kInfo) << "cloud " << cloud << " re-admitted";
+          }
+        } else {
+          ++consecutive_failures[cloud];
+          if (cloud_is_down(cloud) && disabled.insert(cloud).second) {
+            scheduler.set_cloud_enabled(cloud, false);
+            UNI_LOG(kInfo) << "cloud " << cloud
+                           << " disabled after repeated failures";
+          }
         }
         if (scheduler.finished()) stop = true;
       }
       cv.notify_all();
     }
   };
+
+  // A cloud already tripped when the run starts (breaker state carried over
+  // from earlier rounds) is disabled up front — unless its probe timer
+  // expired, in which case its workers run and the first transfer probes it.
+  if (health_ != nullptr) {
+    for (const cloud::CloudId c : clouds_) {
+      if (!health_->admissible(c)) {
+        scheduler.set_cloud_enabled(c, false);
+        disabled.insert(c);
+      }
+    }
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(clouds_.size() * config_.connections_per_cloud);

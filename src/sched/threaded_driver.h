@@ -8,14 +8,23 @@
 // probing), and all idle workers are woken because a completion can unlock
 // work for any cloud (e.g. over-provisioning kicks in when the fast cloud
 // finishes its fair share).
+//
+// Fault handling: when a shared CloudHealthRegistry is supplied, a cloud
+// whose circuit breaker is open is disabled in the scheduler for this run
+// (its blocks reroute to the remaining clouds) — and because the registry
+// outlives the run, a cloud tripped in round N starts round N+1 half-open
+// instead of eating another full failure cycle. Without a registry the
+// driver falls back to per-run consecutive-failure counting.
 #pragma once
 
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "cloud/health.h"
 #include "cloud/provider.h"
 #include "sched/download_scheduler.h"
 #include "sched/monitor.h"
@@ -30,14 +39,17 @@ using TransferFn = std::function<Status(const BlockTask&)>;
 
 struct DriverConfig {
   std::size_t connections_per_cloud = 5;
-  int max_retries_per_block = 3;  // consecutive failures before giving up on
-                                  // a (block, cloud) pair for this run
+  // Consecutive failed transfers before a CLOUD is disabled for this run
+  // (per cloud, not per block — a flapping cloud must not livelock a job).
+  int max_consecutive_failures = 3;
 };
 
 class ThreadedTransferDriver {
  public:
   ThreadedTransferDriver(std::vector<cloud::CloudId> clouds,
-                         DriverConfig config, ThroughputMonitor& monitor);
+                         DriverConfig config, ThroughputMonitor& monitor,
+                         std::shared_ptr<cloud::CloudHealthRegistry> health =
+                             nullptr);
 
   // Runs the upload job to completion (or stall); returns when
   // scheduler.finished(). Blocks the calling thread.
@@ -53,6 +65,7 @@ class ThreadedTransferDriver {
   std::vector<cloud::CloudId> clouds_;
   DriverConfig config_;
   ThroughputMonitor& monitor_;
+  std::shared_ptr<cloud::CloudHealthRegistry> health_;
 };
 
 }  // namespace unidrive::sched

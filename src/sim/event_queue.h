@@ -10,6 +10,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/rng.h"
 
 namespace unidrive::sim {
@@ -56,6 +57,18 @@ class SimEnv {
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   Rng rng_;
+};
+
+// Clock adapter over virtual time, so components built on the Clock
+// abstraction (circuit breakers, retry deadlines) run unmodified inside the
+// simulator: breaker probe timers elapse in simulated seconds.
+class SimEnvClock final : public Clock {
+ public:
+  explicit SimEnvClock(const SimEnv& env) noexcept : env_(env) {}
+  [[nodiscard]] TimePoint now() const override { return env_.now(); }
+
+ private:
+  const SimEnv& env_;
 };
 
 }  // namespace unidrive::sim

@@ -45,7 +45,8 @@ class JobRunner : public std::enable_shared_from_this<JobRunner<Scheduler>> {
     env_.schedule(config_.timeout, [self = this->shared_from_this()] {
       if (!self->done_) self->finish();
     });
-    check_done();  // a job may be trivially finished (no files)
+    sync_health_gates();  // clouds tripped in earlier rounds start disabled
+    check_done();         // a job may be trivially finished (no files)
     poll();
   }
 
@@ -60,8 +61,24 @@ class JobRunner : public std::enable_shared_from_this<JobRunner<Scheduler>> {
   std::function<void()> on_progress;
 
  private:
+  // With a health registry, the scheduler's per-cloud enablement mirrors the
+  // breakers: open-breaker clouds get their blocks rerouted, and a breaker
+  // whose probe timer expired re-enables its cloud so the next dispatch acts
+  // as the half-open probe.
+  void sync_health_gates() {
+    if (config_.health == nullptr) return;
+    for (const cloud::CloudId id : ids_) {
+      scheduler_->set_cloud_enabled(id, config_.health->admissible(id));
+    }
+  }
+
+  [[nodiscard]] bool may_dispatch_to(cloud::CloudId id) const {
+    return config_.health == nullptr || config_.health->admissible(id);
+  }
+
   void poll() {
     if (done_) return;
+    sync_health_gates();
     // Fastest clouds are offered work first: with over-provisioning this is
     // what routes surplus blocks to the fast clouds.
     const auto ranked =
@@ -73,7 +90,7 @@ class JobRunner : public std::enable_shared_from_this<JobRunner<Scheduler>> {
     while (dispatched) {
       dispatched = false;
       for (const cloud::CloudId id : ranked) {
-        if (free_slots_[id] == 0) continue;
+        if (free_slots_[id] == 0 || !may_dispatch_to(id)) continue;
         auto task = scheduler_->next_task(id);
         if (!task.has_value()) continue;
         dispatch(*task);
@@ -84,7 +101,7 @@ class JobRunner : public std::enable_shared_from_this<JobRunner<Scheduler>> {
       if constexpr (requires { scheduler_->next_hedge_task(ids_[0]); }) {
         if (!dispatched && config_.dynamic_polling) {
           for (const cloud::CloudId id : ranked) {
-            if (free_slots_[id] == 0) continue;
+            if (free_slots_[id] == 0 || !may_dispatch_to(id)) continue;
             auto task = scheduler_->next_hedge_task(id);
             if (!task.has_value()) continue;
             dispatch(*task);
@@ -100,6 +117,17 @@ class JobRunner : public std::enable_shared_from_this<JobRunner<Scheduler>> {
              << " seg " << task.segment_id << " blk " << task.block_index
              << " -> cloud " << task.cloud;
     --free_slots_[task.cloud];
+    // The transfer we are about to issue IS the breaker probe when the cloud
+    // is half-open; allow_request() books the probe slot. admissible() was
+    // checked just before in this single-threaded loop, so a refusal can
+    // only mean the half-open probe quota filled within this poll — feed
+    // the block back to the scheduler instead of sending it.
+    if (config_.health != nullptr &&
+        !config_.health->allow_request(task.cloud)) {
+      ++free_slots_[task.cloud];
+      scheduler_->on_complete(task, false);
+      return;
+    }
     const double begin = env_.now();
     auto completion = [self = this->shared_from_this(), task, begin](bool ok) {
       self->on_transfer_done(task, begin, ok);
@@ -119,15 +147,27 @@ class JobRunner : public std::enable_shared_from_this<JobRunner<Scheduler>> {
     ++free_slots_[task.cloud];
     ++transfers_;
     if (done_) return;  // timed out meanwhile; drop the result
+    const double elapsed = env_.now() - begin;
     if (ok) {
       monitor_.record(task.cloud, direction_, static_cast<double>(task.bytes),
-                      std::max(1e-9, env_.now() - begin));
+                      std::max(1e-9, elapsed));
       consecutive_failures_[task.cloud] = 0;
     } else {
       ++failures_;
-      if (++consecutive_failures_[task.cloud] >=
-          config_.failure_disable_threshold) {
+      monitor_.record_failure(task.cloud, direction_, elapsed);
+      if (config_.health == nullptr &&
+          ++consecutive_failures_[task.cloud] >=
+              config_.failure_disable_threshold) {
         scheduler_->set_cloud_enabled(task.cloud, false);
+      }
+    }
+    if (config_.health != nullptr) {
+      // The breaker decides instead of the per-run counter; poll() syncs the
+      // scheduler gates from it right after.
+      if (ok) {
+        config_.health->record_success(task.cloud, elapsed);
+      } else {
+        config_.health->record_failure(task.cloud, elapsed);
       }
     }
     scheduler_->on_complete(task, ok);

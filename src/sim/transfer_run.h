@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "cloud/health.h"
 #include "sched/download_scheduler.h"
 #include "sched/monitor.h"
 #include "sched/upload_scheduler.h"
@@ -16,12 +17,20 @@ namespace unidrive::sim {
 struct RunConfig {
   std::size_t connections_per_cloud = 5;
   // A cloud is disabled for the job after this many consecutive failures.
+  // Only consulted when no health registry is supplied below.
   int failure_disable_threshold = 8;
   // Hard stop: give up on the whole job after this much virtual time.
   double timeout = 24 * 3600;
   // Dynamic scheduling: offer work to clouds fastest-first (in-channel
   // probing). Off = fixed order, the "multi-cloud benchmark" behaviour.
   bool dynamic_polling = true;
+  // Optional shared circuit-breaker registry (pair it with a SimEnvClock so
+  // probe timers run on virtual time). When set, per-run failure counting is
+  // replaced by the registry: outcomes are recorded into it, open-breaker
+  // clouds are not dispatched to, and — because the registry outlives the
+  // run — a cloud tripped in one round starts the next round half-open.
+  // Non-owning; must outlive the run.
+  cloud::CloudHealthRegistry* health = nullptr;
 };
 
 struct UploadRunResult {

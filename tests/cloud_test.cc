@@ -409,8 +409,8 @@ TEST(RateLimitedCloudTest, ClientSyncsThroughRateLimits) {
   core::ClientConfig config;
   config.device = "dev";
   config.theta = 64 << 10;
-  config.lock.backoff_base = 0.005;
-  config.lock.backoff_spread = 0.01;
+  config.lock.retry.backoff_base = 0.005;
+  config.lock.retry.backoff_cap = 0.015;
   core::UniDriveClient client(clouds, fs, config);
   Rng rng(77);
   ASSERT_TRUE(fs->write("/f", ByteSpan(rng.bytes(100000))).is_ok());

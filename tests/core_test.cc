@@ -31,9 +31,8 @@ ClientConfig test_config(const std::string& device) {
   ClientConfig cfg;
   cfg.device = device;
   cfg.theta = 64 << 10;  // small segments so tests stay fast
-  cfg.lock.backoff_base = 0.001;
-  cfg.lock.backoff_spread = 0.002;
-  cfg.lock.backoff_cap = 0.01;
+  cfg.lock.retry.backoff_base = 0.001;
+  cfg.lock.retry.backoff_cap = 0.01;
   cfg.driver.connections_per_cloud = 2;
   return cfg;
 }

@@ -38,9 +38,8 @@ ClientConfig fast_config(const std::string& device) {
   ClientConfig config;
   config.device = device;
   config.theta = 64 << 10;
-  config.lock.backoff_base = 0.001;
-  config.lock.backoff_spread = 0.002;
-  config.lock.backoff_cap = 0.01;
+  config.lock.retry.backoff_base = 0.001;
+  config.lock.retry.backoff_cap = 0.01;
   config.driver.connections_per_cloud = 2;
   return config;
 }
@@ -63,9 +62,9 @@ TEST(IntegrationTest, SyncRecoversFromCrashedLockHolder) {
   // breaking the stale lock. Each backoff advances its clock past dT.
   ClientConfig config = fast_config("survivor");
   config.lock.stale_after = 0.5;
-  config.lock.backoff_base = 0.4;
-  config.lock.backoff_spread = 0.3;
-  config.lock.max_attempts = 30;
+  config.lock.retry.backoff_base = 0.4;
+  config.lock.retry.backoff_cap = 0.7;
+  config.lock.retry.max_attempts = 30;
   auto fs = std::make_shared<MemoryLocalFs>();
   auto clock = std::make_shared<ManualClock>();
   // Client sleeps are real; use a thread-advancing manual clock via lock

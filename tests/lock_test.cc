@@ -29,9 +29,8 @@ SleepFn clock_sleep(ManualClock& clock) {
 
 LockConfig fast_config() {
   LockConfig c;
-  c.backoff_base = 0.01;
-  c.backoff_spread = 0.02;
-  c.backoff_cap = 0.1;
+  c.retry.backoff_base = 0.01;
+  c.retry.backoff_cap = 0.1;
   return c;
 }
 
@@ -72,7 +71,7 @@ TEST(QuorumLockTest, SecondDeviceBlockedWhileHeld) {
   ASSERT_TRUE(lock_a.acquire().is_ok());
 
   LockConfig cfg_b = fast_config();
-  cfg_b.max_attempts = 3;
+  cfg_b.retry.max_attempts = 3;
   QuorumLock lock_b(clouds, "devB", cfg_b, clock, Rng(2), clock_sleep(clock));
   const Status s = lock_b.acquire();
   EXPECT_FALSE(s.is_ok());
@@ -101,7 +100,7 @@ TEST(QuorumLockTest, MutualExclusionUnderThreadContention) {
     threads.emplace_back([&, t] {
       ManualClock clock;  // per-thread local clock; protocol needs no sync
       LockConfig cfg = fast_config();
-      cfg.max_attempts = 200;
+      cfg.retry.max_attempts = 200;
       // Real (short) sleep so contenders actually interleave.
       QuorumLock lock(clouds, "dev" + std::to_string(t), cfg, clock, Rng(t),
                       [](Duration d) {
@@ -137,10 +136,11 @@ TEST(QuorumLockTest, StaleLockBrokenAfterThreshold) {
   // devB keeps trying; once the clock passes dT it must succeed by breaking
   // devA's stale lock files.
   LockConfig cfg_b = cfg;
-  cfg_b.max_attempts = 50;
-  cfg_b.backoff_base = 30.0;  // each retry advances the clock 30+ s
-  cfg_b.backoff_spread = 5.0;
-  cfg_b.backoff_cap = 60.0;
+  cfg_b.retry.max_attempts = 50;
+  // Decorrelated jitter never sleeps less than the base, so each retry
+  // advances the clock 30+ s.
+  cfg_b.retry.backoff_base = 30.0;
+  cfg_b.retry.backoff_cap = 60.0;
   QuorumLock lock_b(clouds, "devB", cfg_b, clock, Rng(2), clock_sleep(clock));
   ASSERT_TRUE(lock_b.acquire().is_ok());
   EXPECT_TRUE(lock_b.held());
@@ -156,9 +156,9 @@ TEST(QuorumLockTest, RefreshKeepsLockAlive) {
   ASSERT_TRUE(lock_a.acquire().is_ok());
 
   LockConfig cfg_b = cfg;
-  cfg_b.max_attempts = 4;
-  cfg_b.backoff_base = 40.0;
-  cfg_b.backoff_spread = 1.0;
+  cfg_b.retry.max_attempts = 4;
+  cfg_b.retry.backoff_base = 40.0;
+  cfg_b.retry.backoff_cap = 41.0;
   QuorumLock lock_b(clouds, "devB", cfg_b, clock, Rng(2), clock_sleep(clock));
 
   // Interleave: devA refreshes every 40 simulated seconds via devB's backoff
@@ -168,9 +168,7 @@ TEST(QuorumLockTest, RefreshKeepsLockAlive) {
     ASSERT_TRUE(lock_a.refresh().is_ok());
     // devB attempts once (single round), must fail: devA's lock is fresh.
     LockConfig one_shot = cfg;
-    one_shot.max_attempts = 1;
-    one_shot.backoff_base = 0.0;
-    one_shot.backoff_spread = 0.001;
+    one_shot.retry = RetryPolicy::single_shot();
     QuorumLock probe(clouds, "devB", one_shot, clock, Rng(3),
                      clock_sleep(clock));
     EXPECT_FALSE(probe.acquire().is_ok());
@@ -190,7 +188,7 @@ TEST(QuorumLockTest, AcquireFailsWhenMajorityDown) {
   }
   ManualClock clock;
   LockConfig cfg = fast_config();
-  cfg.max_attempts = 10;
+  cfg.retry.max_attempts = 10;
   QuorumLock lock(clouds, "devA", cfg, clock, Rng(1), clock_sleep(clock));
   const Status s = lock.acquire();
   EXPECT_FALSE(s.is_ok());
@@ -224,7 +222,7 @@ TEST(QuorumLockTest, AcquireToleratesTransientFailures) {
   }
   ManualClock clock;
   LockConfig cfg = fast_config();
-  cfg.max_attempts = 100;
+  cfg.retry.max_attempts = 100;
   QuorumLock lock(clouds, "devA", cfg, clock, Rng(1), clock_sleep(clock));
   EXPECT_TRUE(lock.acquire().is_ok());
   lock.release();
