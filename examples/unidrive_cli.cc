@@ -19,6 +19,7 @@
 
 #include "cloud/directory_cloud.h"
 #include "core/client.h"
+#include "obs/obs.h"
 
 using namespace unidrive;
 namespace fs = std::filesystem;
@@ -82,6 +83,11 @@ int cmd_sync(const std::string& root) {
                   cloud::breaker_state_name(h.state),
                   static_cast<unsigned long long>(h.failures));
     }
+  }
+  // Full metrics + span dump of the round, for dashboards/debugging.
+  const std::string metrics_path = root + "/metrics.json";
+  if (obs::WriteJsonFile(*client.observability(), metrics_path).is_ok()) {
+    std::printf("metrics written to %s\n", metrics_path.c_str());
   }
   return 0;
 }

@@ -38,14 +38,17 @@ bool CloudHealthRegistry::allow_request(CloudId id) {
         e.state = BreakerState::kHalfOpen;
         e.half_open_admitted = 1;
         e.half_open_successes = 0;
+        count_transition(id, "half_open");
         return true;  // this caller is the probe
       }
+      count_transition(id, "rejected");
       return false;
     case BreakerState::kHalfOpen:
       if (e.half_open_admitted < config_.half_open_probes) {
         ++e.half_open_admitted;
         return true;
       }
+      count_transition(id, "rejected");
       return false;
   }
   return true;
@@ -94,11 +97,20 @@ bool CloudHealthRegistry::should_trip(const Entry& e) const {
                  static_cast<double>(e.window.size());
 }
 
-void CloudHealthRegistry::trip(Entry& e) {
+void CloudHealthRegistry::trip(CloudId id, Entry& e) {
   e.state = BreakerState::kOpen;
   e.opened_at = clock_->now();
   e.half_open_admitted = 0;
   e.half_open_successes = 0;
+  count_transition(id, "opened");
+}
+
+void CloudHealthRegistry::count_transition(CloudId id,
+                                           const char* transition) {
+  if (!obs_) return;
+  obs_->metrics
+      .counter("breaker.cloud" + std::to_string(id) + "." + transition)
+      .add();
 }
 
 void CloudHealthRegistry::record_success(CloudId id, Duration latency) {
@@ -114,6 +126,7 @@ void CloudHealthRegistry::record_success(CloudId id, Duration latency) {
     // before the recovered cloud had a chance to prove itself.
     e.window.clear();
     e.window_failures = 0;
+    count_transition(id, "closed");
   }
   // A straggler success from a request admitted before the trip does not
   // close an open breaker — only probes do.
@@ -126,9 +139,9 @@ void CloudHealthRegistry::record_failure(CloudId id, Duration latency) {
   ++e.consecutive_failures;
   push_outcome(e, /*failure=*/true, latency);
   if (e.state == BreakerState::kHalfOpen) {
-    trip(e);  // the probe failed: back to open, timer restarts
+    trip(id, e);  // the probe failed: back to open, timer restarts
   } else if (e.state == BreakerState::kClosed && should_trip(e)) {
-    trip(e);
+    trip(id, e);
   }
 }
 

@@ -33,6 +33,7 @@
 
 #include "cloud/provider.h"
 #include "common/clock.h"
+#include "obs/obs.h"
 
 namespace unidrive::cloud {
 
@@ -69,9 +70,13 @@ struct CloudHealthSnapshot {
 
 class CloudHealthRegistry {
  public:
+  // When `obs` is non-null, breaker transitions are counted there:
+  //   breaker.cloud<id>.opened|half_open|closed|rejected
+  // (rejected = requests refused while open / probe quota used up).
   explicit CloudHealthRegistry(BreakerConfig config = {},
-                               Clock& clock = RealClock::instance())
-      : config_(config), clock_(&clock) {}
+                               Clock& clock = RealClock::instance(),
+                               obs::ObsPtr obs = nullptr)
+      : config_(config), clock_(&clock), obs_(std::move(obs)) {}
 
   // Gate for anyone about to issue a request. false = circuit open: fail
   // fast without touching the network. May transition open -> half-open
@@ -123,12 +128,14 @@ class CloudHealthRegistry {
 
   void push_outcome(Entry& e, bool failure, Duration latency);
   [[nodiscard]] bool should_trip(const Entry& e) const;
-  void trip(Entry& e);
+  void trip(CloudId id, Entry& e);
+  void count_transition(CloudId id, const char* transition);
   [[nodiscard]] CloudHealthSnapshot make_snapshot(CloudId id,
                                                   const Entry& e) const;
 
   BreakerConfig config_;
   Clock* clock_;  // non-owning, never null
+  obs::ObsPtr obs_;
   mutable std::mutex mutex_;
   std::map<CloudId, Entry> entries_;
 };

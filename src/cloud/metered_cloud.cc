@@ -1,0 +1,74 @@
+#include "cloud/metered_cloud.h"
+
+#include <utility>
+
+namespace unidrive::cloud {
+
+namespace {
+// Buckets request paths by what they carry, mirroring the layout the client
+// uses on every cloud (metadata/types.h): erasure-coded blocks under /data,
+// base/delta/version files under /meta, lock files under /lock.
+const char* area_of(const std::string& path) {
+  if (path.rfind("/data", 0) == 0) return "data";
+  if (path.rfind("/meta", 0) == 0) return "meta";
+  if (path.rfind("/lock", 0) == 0) return "lock";
+  return "other";
+}
+}  // namespace
+
+MeteredCloud::MeteredCloud(CloudPtr inner, obs::ObsPtr obs)
+    : inner_(std::move(inner)),
+      obs_(std::move(obs)),
+      prefix_("cloud." + inner_->name() + ".") {}
+
+void MeteredCloud::account(const char* verb, const std::string& path,
+                           const Status& status, Duration elapsed) {
+  obs_->metrics
+      .counter(prefix_ + verb + "." + area_of(path) +
+               (status.is_ok() ? ".ok" : ".err"))
+      .add();
+  obs_->metrics.histogram(prefix_ + verb + ".latency").observe(elapsed);
+}
+
+Status MeteredCloud::upload(const std::string& path, ByteSpan data) {
+  const TimePoint t0 = obs_->clock().now();
+  const Status status = inner_->upload(path, data);
+  account("upload", path, status, obs_->clock().now() - t0);
+  if (status.is_ok()) {
+    obs_->metrics.counter(prefix_ + "bytes_up").add(data.size());
+  }
+  return status;
+}
+
+Result<Bytes> MeteredCloud::download(const std::string& path) {
+  const TimePoint t0 = obs_->clock().now();
+  auto result = inner_->download(path);
+  account("download", path, result.status(), obs_->clock().now() - t0);
+  if (result.is_ok()) {
+    obs_->metrics.counter(prefix_ + "bytes_down").add(result.value().size());
+  }
+  return result;
+}
+
+Status MeteredCloud::create_dir(const std::string& path) {
+  const TimePoint t0 = obs_->clock().now();
+  const Status status = inner_->create_dir(path);
+  account("create_dir", path, status, obs_->clock().now() - t0);
+  return status;
+}
+
+Result<std::vector<FileInfo>> MeteredCloud::list(const std::string& dir) {
+  const TimePoint t0 = obs_->clock().now();
+  auto result = inner_->list(dir);
+  account("list", dir, result.status(), obs_->clock().now() - t0);
+  return result;
+}
+
+Status MeteredCloud::remove(const std::string& path) {
+  const TimePoint t0 = obs_->clock().now();
+  const Status status = inner_->remove(path);
+  account("remove", path, status, obs_->clock().now() - t0);
+  return status;
+}
+
+}  // namespace unidrive::cloud

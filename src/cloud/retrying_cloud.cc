@@ -3,6 +3,8 @@
 #include <optional>
 #include <utility>
 
+#include "cloud/metered_cloud.h"
+
 namespace unidrive::cloud {
 
 // --- DeadlineCloud ----------------------------------------------------------
@@ -58,6 +60,16 @@ Status RetryingCloud::call(const std::function<Status()>& op) {
     std::lock_guard<std::mutex> lock(rng_mutex_);
     env.rng = rng_.fork();
   }
+  if (obs_) {
+    env.on_attempt = [this](int attempt, const Status& s) {
+      attempts_->add();
+      if (attempt > 1) retries_->add();
+      if (!s.is_ok() && s.is_transient()) transient_failures_->add();
+    };
+    env.on_backoff = [this](Duration pause) {
+      backoff_hist_->observe(pause);
+    };
+  }
   return retry_call(policy_, env, [&]() -> Status {
     if (health_ && !health_->allow_request(id())) {
       // kOutage is deliberately non-transient: retry_call returns at once
@@ -112,12 +124,15 @@ Status RetryingCloud::remove(const std::string& path) {
 
 MultiCloud guard_clouds(const MultiCloud& clouds, const RetryPolicy& policy,
                         std::shared_ptr<CloudHealthRegistry> health,
-                        Clock& clock, SleepFn sleep, Rng& rng) {
+                        Clock& clock, SleepFn sleep, Rng& rng,
+                        obs::ObsPtr obs) {
   MultiCloud guarded;
   guarded.reserve(clouds.size());
   for (const CloudPtr& c : clouds) {
+    const CloudPtr inner =
+        obs ? std::make_shared<MeteredCloud>(c, obs) : c;
     guarded.push_back(std::make_shared<RetryingCloud>(
-        c, policy, health, clock, sleep, rng.fork()));
+        inner, policy, health, clock, sleep, rng.fork(), obs));
   }
   return guarded;
 }

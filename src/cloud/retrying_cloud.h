@@ -26,6 +26,7 @@
 #include "cloud/health.h"
 #include "cloud/provider.h"
 #include "common/retry.h"
+#include "obs/obs.h"
 
 namespace unidrive::cloud {
 
@@ -63,13 +64,25 @@ class RetryingCloud final : public CloudProvider {
                 std::shared_ptr<CloudHealthRegistry> health = nullptr,
                 Clock& clock = RealClock::instance(),
                 SleepFn sleep = real_sleep(),
-                Rng rng = Rng(0x52455452ULL))  // "RETR"
+                Rng rng = Rng(0x52455452ULL),  // "RETR"
+                obs::ObsPtr obs = nullptr)
       : inner_(std::move(inner)),
         policy_(policy),
         health_(std::move(health)),
         clock_(&clock),
         sleep_(std::move(sleep)),
-        rng_(rng) {}
+        rng_(rng),
+        obs_(std::move(obs)) {
+    if (obs_) {
+      // Resolved once: the retry loop then increments plain atomics.
+      const std::string prefix = "retry." + inner_->name() + ".";
+      attempts_ = &obs_->metrics.counter(prefix + "attempts");
+      retries_ = &obs_->metrics.counter(prefix + "retries");
+      transient_failures_ =
+          &obs_->metrics.counter(prefix + "transient_failures");
+      backoff_hist_ = &obs_->metrics.histogram(prefix + "backoff");
+    }
+  }
 
   [[nodiscard]] CloudId id() const noexcept override { return inner_->id(); }
   [[nodiscard]] std::string name() const override { return inner_->name(); }
@@ -100,12 +113,21 @@ class RetryingCloud final : public CloudProvider {
   SleepFn sleep_;
   std::mutex rng_mutex_;
   Rng rng_;
+  obs::ObsPtr obs_;
+  // Cached instruments (owned by obs_->metrics); null when obs_ is null.
+  obs::Counter* attempts_ = nullptr;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* transient_failures_ = nullptr;
+  obs::Histogram* backoff_hist_ = nullptr;
 };
 
 // Wraps every cloud of a multi-cloud in a RetryingCloud sharing one policy
-// and one health registry — the one-liner the client uses.
+// and one health registry — the one-liner the client uses. When `obs` is
+// non-null each cloud is additionally metered (Retrying(Metered(raw))), so
+// the per-attempt request traffic lands in the shared metrics registry.
 MultiCloud guard_clouds(const MultiCloud& clouds, const RetryPolicy& policy,
                         std::shared_ptr<CloudHealthRegistry> health,
-                        Clock& clock, SleepFn sleep, Rng& rng);
+                        Clock& clock, SleepFn sleep, Rng& rng,
+                        obs::ObsPtr obs = nullptr);
 
 }  // namespace unidrive::cloud

@@ -24,6 +24,7 @@ Status retry_call(const RetryPolicy& policy, RetryEnv& env,
       // The call came back, but only after the caller had given up on it.
       status = make_error(ErrorCode::kTimeout, "attempt exceeded deadline");
     }
+    if (env.on_attempt) env.on_attempt(attempt, status);
     if (status.is_ok() || !status.is_transient()) return status;
     if (attempt >= policy.max_attempts) return status;
     const Duration pause = backoff.next(env.rng);
@@ -32,6 +33,7 @@ Status retry_call(const RetryPolicy& policy, RetryEnv& env,
       return make_error(ErrorCode::kTimeout,
                         "retry budget exhausted: " + status.message());
     }
+    if (env.on_backoff) env.on_backoff(pause);
     env.sleep(pause);
   }
 }

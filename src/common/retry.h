@@ -87,6 +87,13 @@ struct RetryEnv {
   Clock* clock = &RealClock::instance();
   SleepFn sleep = real_sleep();
   Rng rng{0x7265747279ULL};  // "retry"
+  // Optional observers, so callers (e.g. RetryingCloud) can meter retry
+  // behaviour without this layer depending on the obs library. on_attempt
+  // fires after every attempt with its 1-based number and outcome;
+  // on_backoff fires with each pause that is about to be slept. Null (the
+  // default) disables instrumentation.
+  std::function<void(int, const Status&)> on_attempt;
+  std::function<void(Duration)> on_backoff;
 };
 
 // Runs `op` until it returns OK or a non-transient error, the attempt budget

@@ -41,23 +41,24 @@ UniDriveClient::UniDriveClient(cloud::MultiCloud clouds,
       config_(std::move(config)),
       clock_(clock),
       rng_(rng),
+      obs_(std::make_shared<obs::Observability>(clock_)),
       health_(std::make_shared<cloud::CloudHealthRegistry>(config_.breaker,
-                                                           clock_)),
+                                                           clock_, obs_)),
       guarded_(cloud::guard_clouds(clouds_, config_.retry, health_, clock_,
-                                   config_.sleep, rng_)),
-      store_(guarded_, config_.passphrase),
+                                   config_.sleep, rng_, obs_)),
+      store_(guarded_, config_.passphrase, obs_),
       lock_(guarded_, config_.device, config_.lock, clock_, rng_.fork(),
-            config_.sleep),
+            config_.sleep, obs_),
       monitor_() {
   load_state();
 }
 
 void UniDriveClient::rebuild_guards() {
   guarded_ = cloud::guard_clouds(clouds_, config_.retry, health_, clock_,
-                                 config_.sleep, rng_);
-  store_ = metadata::MetaStore(guarded_, config_.passphrase);
+                                 config_.sleep, rng_, obs_);
+  store_ = metadata::MetaStore(guarded_, config_.passphrase, obs_);
   lock_ = lock::QuorumLock(guarded_, config_.device, config_.lock, clock_,
-                           rng_.fork(), config_.sleep);
+                           rng_.fork(), config_.sleep, obs_);
 }
 
 void UniDriveClient::load_state() {
@@ -162,8 +163,26 @@ Result<std::vector<SegmentInfo>> UniDriveClient::upload_segments(
   };
 
   sched::ThreadedTransferDriver driver(cloud_ids(), config_.driver, monitor_,
-                                       health_);
-  driver.run_upload(scheduler, transfer);
+                                       health_, obs_);
+  {
+    obs::Span span = obs::start_span(obs_.get(), "sync.upload_segments");
+    driver.run_upload(scheduler, transfer);
+  }
+
+  // Per-round placement accounting: where the availability-first scheduler
+  // actually put the blocks, and how many were over-provisioned extras.
+  std::size_t placed = 0;
+  for (const auto& [id, data] : segments) {
+    for (const metadata::BlockLocation& b : scheduler.locations(id)) {
+      obs::add_counter(obs_.get(),
+                       "sched.blocks.cloud" + std::to_string(b.cloud));
+      ++placed;
+    }
+  }
+  obs::add_counter(obs_.get(), "sched.blocks.placed", placed);
+  obs::add_counter(obs_.get(), "sched.overprovisioned",
+                   scheduler.overprovisioned_blocks().size());
+  obs::add_counter(obs_.get(), "sched.segments", segments.size());
 
   for (const auto& [id, data] : segments) {
     SegmentInfo info;
@@ -270,7 +289,7 @@ Result<Bytes> UniDriveClient::fetch_segment(
       return Status::ok();
     };
     sched::ThreadedTransferDriver driver(cloud_ids(), config_.driver,
-                                         monitor_, health_);
+                                         monitor_, health_, obs_);
     driver.run_download(scheduler, transfer);
     return shards.size() - before;
   };
@@ -406,10 +425,16 @@ Status UniDriveClient::commit_locked(SyncFolderImage next,
 
 Result<SyncReport> UniDriveClient::sync() {
   SyncReport report;
+  obs::add_counter(obs_.get(), "sync.rounds");
+  obs::Span round_span = obs::start_span(obs_.get(), "sync.round");
 
   const chunker::SegmenterParams seg_params{config_.theta};
-  ScanResult scan = scan_local_changes(*fs_, image_, seg_params,
-                                       config_.device, &scan_cache_);
+  ScanResult scan;
+  {
+    obs::Span scan_span = round_span.child("sync.scan");
+    scan = scan_local_changes(*fs_, image_, seg_params, config_.device,
+                              &scan_cache_);
+  }
 
   if (!scan.changes.empty()) {
     // --- local update path (Algorithm 1, lines 2-14) ---
@@ -440,9 +465,13 @@ Result<SyncReport> UniDriveClient::sync() {
         lock_.release();
         return fetched.status();
       }
+      obs::Span merge_span = round_span.child("sync.merge");
       metadata::MergeResult merged = metadata::merge_images(
           image_, local, fetched.value().image, config_.device);
+      merge_span.end();
       report.conflicts = merged.conflicts;
+      obs::add_counter(obs_.get(), "sync.conflicts",
+                       merged.conflicts.size());
       // The merge may have rewritten paths (conflict copies): recompute the
       // change list as the diff base->merged for the delta log.
       std::vector<Change> merged_changes;
@@ -466,8 +495,10 @@ Result<SyncReport> UniDriveClient::sync() {
       for (const std::string& dir : d.removed_dirs) {
         merged_changes.push_back(Change::delete_dir(dir));
       }
+      obs::Span commit_span = round_span.child("sync.commit");
       commit_status = commit_locked(merged.merged, merged_changes);
     } else {
+      obs::Span commit_span = round_span.child("sync.commit");
       commit_status = commit_locked(local, committed_changes);
     }
     lock_.release();
@@ -480,7 +511,9 @@ Result<SyncReport> UniDriveClient::sync() {
     // moved image_ to the merged state.
     const SyncFolderImage committed = image_;
     image_ = local;
+    obs::Span apply_span = round_span.child("sync.apply_cloud");
     auto applied = apply_cloud_image(committed);
+    apply_span.end();
     if (!applied.is_ok()) {
       image_ = committed;  // folder lags, but metadata is authoritative
     } else {
@@ -492,7 +525,9 @@ Result<SyncReport> UniDriveClient::sync() {
     // --- cloud update path (Algorithm 1, lines 15-18) ---
     UNI_ASSIGN_OR_RETURN(const metadata::FetchedMetadata fetched,
                          store_.fetch_latest());
+    obs::Span apply_span = round_span.child("sync.apply_cloud");
     UNI_ASSIGN_OR_RETURN(const auto counts, apply_cloud_image(fetched.image));
+    apply_span.end();
     report.files_downloaded = counts.first;
     report.files_removed = counts.second;
     report.applied_cloud = true;
@@ -502,6 +537,8 @@ Result<SyncReport> UniDriveClient::sync() {
   report.cloud_health = health_->snapshot_all();
   report.degraded = !health_->all_closed();
   persist_state();
+  round_span.end();
+  report.metrics = obs_->metrics.snapshot();
   return report;
 }
 
@@ -709,7 +746,7 @@ Status UniDriveClient::add_cloud(cloud::CloudPtr new_cloud) {
   // The joining cloud gets the same resilience guard as enrolled ones for
   // the rebalance uploads.
   cloud::RetryingCloud added_guard(new_cloud, config_.retry, health_, clock_,
-                                   config_.sleep, rng_.fork());
+                                   config_.sleep, rng_.fork(), obs_);
   execute_rebalance(next, plan, codec_for(params), &added_guard);
 
   sched::apply_rebalance(next, plan);

@@ -31,6 +31,7 @@
 #include "lock/quorum_lock.h"
 #include "metadata/diff.h"
 #include "metadata/store.h"
+#include "obs/obs.h"
 #include "sched/monitor.h"
 #include "sched/rebalance.h"
 #include "sched/threaded_driver.h"
@@ -76,6 +77,10 @@ struct SyncReport {
   // clouds (k-of-N tolerates it) but redundancy is reduced.
   bool degraded = false;
   std::vector<cloud::CloudHealthSnapshot> cloud_health;
+  // Point-in-time copy of the client's metrics registry, taken at the end
+  // of the round. Counters are cumulative over the client's lifetime (they
+  // are NOT reset per round); see obs/metrics.h for the name families.
+  obs::MetricsSnapshot metrics;
 };
 
 class UniDriveClient {
@@ -138,6 +143,11 @@ class UniDriveClient {
   }
   [[nodiscard]] sched::CodeParams code_params() const;
   [[nodiscard]] const ClientConfig& config() const noexcept { return config_; }
+  // The shared metrics/tracing sink every layer of this client reports
+  // into. Never null; lives as long as the client.
+  [[nodiscard]] const obs::ObsPtr& observability() const noexcept {
+    return obs_;
+  }
 
  private:
   // Data plane: erasure-code and upload all new segments; returns the
@@ -193,6 +203,8 @@ class UniDriveClient {
   ClientConfig config_;
   Clock& clock_;
   Rng rng_;
+  // Declared before health_/guarded_/store_/lock_: they all capture it.
+  obs::ObsPtr obs_;
   std::shared_ptr<cloud::CloudHealthRegistry> health_;
   cloud::MultiCloud guarded_;  // clouds_, each wrapped in a RetryingCloud
 

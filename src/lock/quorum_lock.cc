@@ -8,13 +8,15 @@
 namespace unidrive::lock {
 
 QuorumLock::QuorumLock(cloud::MultiCloud clouds, std::string device,
-                       LockConfig config, Clock& clock, Rng rng, SleepFn sleep)
+                       LockConfig config, Clock& clock, Rng rng, SleepFn sleep,
+                       obs::ObsPtr obs)
     : clouds_(std::move(clouds)),
       device_(std::move(device)),
       config_(std::move(config)),
       clock_(&clock),
       rng_(rng),
-      sleep_(std::move(sleep)) {}
+      sleep_(std::move(sleep)),
+      obs_(std::move(obs)) {}
 
 std::string QuorumLock::make_lock_name() {
   // "lock_<device>_<t>" — t is a purely local stamp; it only needs to make
@@ -40,7 +42,11 @@ void QuorumLock::break_stale_locks(
       // connectivity. Any client may delete it (lock breaking).
       UNI_LOG(kInfo) << device_ << " breaks stale lock " << f.name << " on "
                      << cloud.name();
-      (void)cloud.remove(cloud::join_path(config_.lock_dir, f.name));
+      {
+        obs::Span span = obs::start_span(obs_.get(), "lock.break_stale");
+        (void)cloud.remove(cloud::join_path(config_.lock_dir, f.name));
+      }
+      obs::add_counter(obs_.get(), "lock.stale_broken");
       first_seen_.erase(it);
     }
   }
@@ -104,14 +110,23 @@ Status QuorumLock::acquire() {
   BackoffState backoff(policy);
   const TimePoint started = clock_->now();
   std::size_t rounds_without_quorum_response = 0;
+  obs::Span acquire_span = obs::start_span(obs_.get(), "lock.acquire");
 
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    obs::add_counter(obs_.get(), "lock.rounds");
     const std::string lock_name = make_lock_name();
-    const RoundOutcome outcome = attempt_round(lock_name);
+    RoundOutcome outcome;
+    {
+      obs::Span round_span = acquire_span.child("lock.round");
+      outcome = attempt_round(lock_name);
+    }
 
     if (outcome.exclusive >= majority()) {
       held_ = true;
       current_lock_name_ = lock_name;
+      obs::add_counter(obs_.get(), "lock.acquired");
+      obs::observe(obs_.get(), "lock.acquire.latency",
+                   clock_->now() - started);
       return Status::ok();
     }
     // Withdraw (the paper: failed attempts must delete their lock files so
@@ -120,6 +135,7 @@ Status QuorumLock::acquire() {
 
     if (outcome.responded < majority()) {
       if (++rounds_without_quorum_response >= 3) {
+        obs::add_counter(obs_.get(), "lock.outage");
         return make_error(ErrorCode::kOutage,
                           "lock: majority of clouds unreachable");
       }
@@ -135,8 +151,10 @@ Status QuorumLock::acquire() {
       return make_error(ErrorCode::kTimeout,
                         "lock: acquisition budget exhausted");
     }
+    obs::add_counter(obs_.get(), "lock.backoffs");
     sleep_(pause);
   }
+  obs::add_counter(obs_.get(), "lock.contention");
   return make_error(ErrorCode::kLockContention,
                     "lock: exhausted acquisition attempts");
 }
@@ -148,6 +166,7 @@ Status QuorumLock::refresh() {
   // Upload a fresh-named lock file first, then remove the old one. At every
   // instant a file of ours is present, so no gap opens for a contender; the
   // new name resets other clients' first-seen timers.
+  obs::Span span = obs::start_span(obs_.get(), "lock.refresh");
   const std::string fresh = make_lock_name();
   std::size_t planted = 0;
   for (const cloud::CloudPtr& c : clouds_) {

@@ -28,6 +28,7 @@
 #include "common/retry.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "obs/obs.h"
 
 namespace unidrive::lock {
 
@@ -51,8 +52,13 @@ struct LockConfig {
 
 class QuorumLock {
  public:
+  // When `obs` is non-null, acquisition is traced ("lock.acquire" span with
+  // one "lock.round" child per protocol round) and counted:
+  //   lock.rounds, lock.acquired, lock.contention, lock.outage,
+  //   lock.stale_broken, lock.backoffs; lock.acquire.latency histogram.
   QuorumLock(cloud::MultiCloud clouds, std::string device, LockConfig config,
-             Clock& clock, Rng rng, SleepFn sleep = real_sleep());
+             Clock& clock, Rng rng, SleepFn sleep = real_sleep(),
+             obs::ObsPtr obs = nullptr);
 
   // Tries to acquire the global lock; blocks (via the sleep function)
   // between attempts. kLockContention after max_attempts failures, kOutage
@@ -96,6 +102,7 @@ class QuorumLock {
   Clock* clock_;  // non-owning, never null (pointer keeps locks assignable)
   Rng rng_;
   SleepFn sleep_;
+  obs::ObsPtr obs_;
 
   bool held_ = false;
   std::string current_lock_name_;

@@ -16,11 +16,20 @@ namespace unidrive::metadata {
 // this publish and the majority rule decides the outcome.
 Status MetaStore::publish(const SyncFolderImage& base, const DeltaLog& delta,
                           bool upload_base) {
+  obs::Span span = obs::start_span(obs_.get(), "meta.publish");
   const Bytes version_bytes =
       serialize_version_file(delta.latest_version().value_or(base.version()));
   const Bytes delta_bytes = codec_.encode_delta(delta);
   Bytes base_bytes;
   if (upload_base) base_bytes = codec_.encode_image(base);
+  if (obs_) {
+    if (upload_base) {
+      obs_->metrics.gauge("meta.base_bytes")
+          .set(static_cast<double>(base_bytes.size()));
+    }
+    obs_->metrics.gauge("meta.delta_bytes")
+        .set(static_cast<double>(delta_bytes.size()));
+  }
 
   std::size_t successes = 0;
   for (const cloud::CloudPtr& c : clouds_) {
@@ -39,11 +48,13 @@ Status MetaStore::publish(const SyncFolderImage& base, const DeltaLog& delta,
     }
   }
   if (successes < majority()) {
+    obs::add_counter(obs_.get(), "meta.publish.err");
     return make_error(ErrorCode::kUnavailable,
                       "metadata publish reached only " +
                           std::to_string(successes) + "/" +
                           std::to_string(clouds_.size()) + " clouds");
   }
+  obs::add_counter(obs_.get(), "meta.publish.ok");
   return Status::ok();
 }
 
@@ -78,6 +89,7 @@ bool MetaStore::has_cloud_update(const VersionStamp& local) {
 }
 
 Result<MetaStore::RawMetadata> MetaStore::fetch_raw() {
+  obs::Span span = obs::start_span(obs_.get(), "meta.fetch_raw");
   auto fetched = fetch_latest();
   // fetch_latest validates base+delta consistency; re-derive the raw pair
   // from the same winning cloud by re-downloading. Cheaper: reconstruct from
@@ -107,6 +119,7 @@ Result<MetaStore::RawMetadata> MetaStore::fetch_raw() {
 }
 
 Result<FetchedMetadata> MetaStore::fetch_latest() {
+  obs::Span span = obs::start_span(obs_.get(), "meta.fetch_latest");
   // Rank clouds by advertised version, newest first, then try to download
   // the full metadata from each until one succeeds.
   struct Candidate {
@@ -126,6 +139,7 @@ Result<FetchedMetadata> MetaStore::fetch_latest() {
     if (version.is_ok()) candidates.push_back(Candidate{version.value(), c.get()});
   }
   if (candidates.empty()) {
+    obs::add_counter(obs_.get(), "meta.fetch.err");
     return make_error(responded == 0 ? ErrorCode::kOutage : ErrorCode::kNotFound,
                       "no metadata available");
   }
@@ -151,8 +165,10 @@ Result<FetchedMetadata> MetaStore::fetch_latest() {
     // this cloud has a stale/torn base+delta pair — try the next one.
     if (out.image.version() < cand.version) continue;
     out.version = out.image.version();
+    obs::add_counter(obs_.get(), "meta.fetch.ok");
     return out;
   }
+  obs::add_counter(obs_.get(), "meta.fetch.err");
   return make_error(ErrorCode::kUnavailable,
                     "no cloud could supply consistent metadata");
 }

@@ -12,6 +12,7 @@
 
 #include "cloud/provider.h"
 #include "metadata/codec.h"
+#include "obs/obs.h"
 
 namespace unidrive::metadata {
 
@@ -22,8 +23,13 @@ struct FetchedMetadata {
 
 class MetaStore {
  public:
-  MetaStore(cloud::MultiCloud clouds, const std::string& passphrase)
-      : clouds_(std::move(clouds)), codec_(passphrase) {}
+  // When `obs` is non-null, publish/fetch are traced ("meta.publish",
+  // "meta.fetch_latest", "meta.fetch_raw" spans) and counted
+  // (meta.publish.ok|err, meta.fetch.ok|err; meta.base_bytes /
+  // meta.delta_bytes gauges track the last published payload sizes).
+  MetaStore(cloud::MultiCloud clouds, const std::string& passphrase,
+            obs::ObsPtr obs = nullptr)
+      : clouds_(std::move(clouds)), codec_(passphrase), obs_(std::move(obs)) {}
 
   // Pushes the current metadata state. `upload_base` controls Delta-sync:
   // false = delta + version only (the common, cheap case); true = the delta
@@ -60,6 +66,7 @@ class MetaStore {
  private:
   cloud::MultiCloud clouds_;
   MetadataCodec codec_;
+  obs::ObsPtr obs_;
 };
 
 }  // namespace unidrive::metadata

@@ -1,0 +1,129 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace unidrive::obs {
+
+namespace {
+// compare_exchange folding of an associative double update (add/min/max).
+template <typename Fold>
+void fold_atomic_double(std::atomic<double>& target, double v, Fold fold) {
+  double cur = target.load(std::memory_order_relaxed);
+  double next = fold(cur, v);
+  while (!target.compare_exchange_weak(cur, next,
+                                       std::memory_order_relaxed)) {
+    next = fold(cur, v);
+  }
+}
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+std::vector<double> Histogram::default_latency_bounds() {
+  return {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+          0.5,   1.0,    2.5,   5.0,  10.0,  30.0, 60.0, 120.0};
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seen = count_.fetch_add(1, std::memory_order_relaxed);
+  fold_atomic_double(sum_, v, [](double a, double b) { return a + b; });
+  if (seen == 0) {
+    // First observation seeds min/max; racers that beat the seed fold below.
+    min_.store(v, std::memory_order_relaxed);
+    max_.store(v, std::memory_order_relaxed);
+  }
+  fold_atomic_double(min_, v, [](double a, double b) { return std::min(a, b); });
+  fold_atomic_double(max_, v, [](double a, double b) { return std::max(a, b); });
+}
+
+double Histogram::quantile(double q) const {
+  std::vector<std::uint64_t> counts(buckets_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double lo = min_.load(std::memory_order_relaxed);
+  const double hi = max_.load(std::memory_order_relaxed);
+  if (q <= 0.0) return lo;
+  if (q >= 1.0) return hi;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(cum + counts[i]) >= target) {
+      if (i == bounds_.size()) return hi;  // overflow bucket: no upper edge
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+      return std::clamp(lower + frac * (upper - lower), lo, hi);
+    }
+    cum += counts[i];
+  }
+  return hi;
+}
+
+HistogramStats Histogram::stats() const {
+  HistogramStats s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::gauge_value(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histogram(name, Histogram::default_latency_bounds());
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->stats();
+  return s;
+}
+
+}  // namespace unidrive::obs

@@ -1,0 +1,142 @@
+// MetricsRegistry — the process-wide numbers behind every UniDrive claim.
+//
+// The paper's evaluation (§5–6) is entirely quantitative: per-cloud request
+// latency and success counts, blocks placed per cloud by the
+// availability-first scheduler, retry and breaker churn under failure
+// injection. This header provides the three instrument kinds those
+// measurements need:
+//
+//   Counter    monotonically increasing u64 (ops, bytes, retries).
+//   Gauge      last-written double (payload sizes, ratios).
+//   Histogram  fixed-bucket latency distribution with p50/p95/p99 readout.
+//
+// All instruments are lock-free on the hot path (plain atomics); the
+// registry itself takes a mutex only to resolve a name to an instrument,
+// and instruments are never destroyed while the registry lives, so callers
+// may cache the returned references. snapshot() is a point-in-time copy
+// safe to read while writers keep running (per-instrument values are
+// individually atomic; the snapshot is not a cross-instrument barrier).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace unidrive::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Everything a snapshot keeps about one histogram. Quantiles are estimated
+// by linear interpolation inside the bucket containing the target rank and
+// clamped to the observed [min, max]; observations past the last bound
+// report the observed max (the bucket has no upper edge to interpolate to).
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+class Histogram {
+ public:
+  // Bucket upper bounds, strictly increasing; one extra overflow bucket is
+  // appended for observations past the last bound.
+  explicit Histogram(std::vector<double> bounds);
+
+  // The default bounds used for request latency: 1ms .. 2min, roughly
+  // exponential — covers LAN-simulated clouds and the paper's multi-second
+  // consumer-cloud stalls alike.
+  [[nodiscard]] static std::vector<double> default_latency_bounds();
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] HistogramStats stats() const;
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  // bounds_.size() + 1 buckets; bucket i counts v <= bounds_[i], the last
+  // bucket counts v > bounds_.back().
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// What MetricsRegistry::snapshot() returns: plain values keyed by name,
+// cheap to copy into a SyncReport and trivial to serialise.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  // Lookup helpers returning a zero value for unknown names, so tests can
+  // sum families of counters without existence checks.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  [[nodiscard]] double gauge_value(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  // Find-or-create by name. The returned reference stays valid for the
+  // registry's lifetime; hot paths should call once and cache it.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace unidrive::obs

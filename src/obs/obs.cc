@@ -1,0 +1,145 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace unidrive::obs {
+
+namespace {
+
+void append_escaped(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void append_number(std::ostringstream& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out << buf;
+}
+
+void append_metrics(std::ostringstream& out, const MetricsSnapshot& m) {
+  out << "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : m.counters) {
+    if (!first) out << ", ";
+    first = false;
+    append_escaped(out, name);
+    out << ": " << v;
+  }
+  out << "},\n\"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : m.gauges) {
+    if (!first) out << ", ";
+    first = false;
+    append_escaped(out, name);
+    out << ": ";
+    append_number(out, v);
+  }
+  out << "},\n\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : m.histograms) {
+    if (!first) out << ", ";
+    first = false;
+    append_escaped(out, name);
+    out << ": {\"count\": " << h.count << ", \"sum\": ";
+    append_number(out, h.sum);
+    out << ", \"min\": ";
+    append_number(out, h.min);
+    out << ", \"max\": ";
+    append_number(out, h.max);
+    out << ", \"mean\": ";
+    append_number(out, h.mean());
+    out << ", \"p50\": ";
+    append_number(out, h.p50);
+    out << ", \"p95\": ";
+    append_number(out, h.p95);
+    out << ", \"p99\": ";
+    append_number(out, h.p99);
+    out << "}";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string DumpJson(const MetricsSnapshot& metrics) {
+  std::ostringstream out;
+  out << "{\n";
+  append_metrics(out, metrics);
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string DumpJson(const Observability& obs) {
+  std::ostringstream out;
+  out << "{\n";
+  append_metrics(out, obs.metrics.snapshot());
+  out << ",\n\"spans\": [";
+  bool first = true;
+  for (const SpanRecord& s : obs.tracer.finished()) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\n{\"id\": " << s.id << ", \"parent\": " << s.parent
+        << ", \"name\": ";
+    append_escaped(out, s.name);
+    out << ", \"start\": ";
+    append_number(out, s.start);
+    out << ", \"end\": ";
+    append_number(out, s.end);
+    out << "}";
+  }
+  out << "],\n\"spans_dropped\": " << obs.tracer.dropped() << "\n}\n";
+  return out.str();
+}
+
+Status WriteJsonFile(const Observability& obs, const std::string& path) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return make_error(ErrorCode::kInternal,
+                        "cannot create " + parent.string() + ": " +
+                            ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return make_error(ErrorCode::kInternal, "cannot open " + path);
+  }
+  out << DumpJson(obs);
+  out.flush();
+  if (!out) {
+    return make_error(ErrorCode::kInternal, "short write to " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace unidrive::obs

@@ -1,0 +1,68 @@
+// Observability — one bundle of MetricsRegistry + Tracer shared by every
+// layer of a client, plus the JSON export the CLI/bench harness writes as
+// metrics.json.
+//
+// A UniDriveClient owns one Observability instance and hands the same
+// shared_ptr to its guarded clouds, health registry, quorum lock, metadata
+// store and transfer drivers, so one snapshot shows a sync round end to
+// end: per-cloud request counts under the retry layer, breaker
+// transitions, lock rounds, blocks placed per cloud. Instrumented
+// components treat a null Observability as "tracing off" — the
+// add_counter()/observe()/start_span() helpers below are no-ops on null,
+// so call sites stay branch-free.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace unidrive::obs {
+
+struct Observability {
+  explicit Observability(Clock& clock = RealClock::instance(),
+                         std::size_t span_capacity = 1024)
+      : tracer(clock, span_capacity), clock_(&clock) {}
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+
+  [[nodiscard]] Clock& clock() const noexcept { return *clock_; }
+
+ private:
+  Clock* clock_;  // non-owning, never null
+};
+
+using ObsPtr = std::shared_ptr<Observability>;
+
+// Null-tolerant instrumentation helpers.
+[[nodiscard]] inline Span start_span(Observability* obs,
+                                     const std::string& name) {
+  return obs == nullptr ? Span() : obs->tracer.start(name);
+}
+
+inline void add_counter(Observability* obs, const std::string& name,
+                        std::uint64_t n = 1) {
+  if (obs != nullptr) obs->metrics.counter(name).add(n);
+}
+
+inline void observe(Observability* obs, const std::string& name, double v) {
+  if (obs != nullptr) obs->metrics.histogram(name).observe(v);
+}
+
+// The whole Observability as a JSON document:
+//   {"counters": {...}, "gauges": {...},
+//    "histograms": {"name": {"count":..,"sum":..,"min":..,"max":..,
+//                            "mean":..,"p50":..,"p95":..,"p99":..}},
+//    "spans": [{"id":..,"parent":..,"name":..,"start":..,"end":..}, ...],
+//    "spans_dropped": n}
+std::string DumpJson(const Observability& obs);
+std::string DumpJson(const MetricsSnapshot& metrics);
+
+// DumpJson() to a file, creating parent directories if needed.
+Status WriteJsonFile(const Observability& obs, const std::string& path);
+
+}  // namespace unidrive::obs

@@ -1,0 +1,87 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace unidrive::obs {
+
+Span::Span(Span&& other) noexcept
+    : tracer_(std::exchange(other.tracer_, nullptr)),
+      id_(other.id_),
+      parent_(other.parent_),
+      name_(std::move(other.name_)),
+      start_(other.start_) {}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = std::exchange(other.tracer_, nullptr);
+    id_ = other.id_;
+    parent_ = other.parent_;
+    name_ = std::move(other.name_);
+    start_ = other.start_;
+  }
+  return *this;
+}
+
+Span::~Span() { end(); }
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = std::exchange(tracer_, nullptr);
+  tracer->finish(*this);
+}
+
+Span Span::child(const std::string& name) {
+  if (tracer_ == nullptr) return Span();
+  return tracer_->start(name, id_);
+}
+
+Span Tracer::start(const std::string& name, std::uint64_t parent) {
+  return Span(this, next_id_.fetch_add(1, std::memory_order_relaxed), parent,
+              name, clock_->now());
+}
+
+void Tracer::finish(Span& span) {
+  SpanRecord rec;
+  rec.id = span.id_;
+  rec.parent = span.parent_;
+  rec.name = std::move(span.name_);
+  rec.start = span.start_;
+  rec.end = clock_->now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(std::move(rec));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SpanRecord> Tracer::finished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<SpanRecord>(ring_.begin(), ring_.end());
+}
+
+std::optional<SpanRecord> Tracer::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->name == name) return *it;
+  }
+  return std::nullopt;
+}
+
+std::size_t Tracer::count(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const SpanRecord& rec : ring_) {
+    if (rec.name == name) ++n;
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace unidrive::obs

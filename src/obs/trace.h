@@ -1,0 +1,112 @@
+// Tracer / Span — lightweight structured timing for one sync round.
+//
+// Metrics aggregate; spans explain. A sync round is a short tree of
+// operations (acquire lock → fetch metadata → upload blocks → commit), and
+// when a round is slow the interesting question is WHICH edge of that tree
+// ate the time. A Span is an RAII timer: started from a Tracer (or as a
+// child of another span), it records {id, parent, name, start, end} into
+// the tracer's bounded ring buffer when it ends. The clock is injected, so
+// simulator/virtual-time tests get deterministic timestamps.
+//
+// Spans are move-only and single-threaded objects (one span lives on one
+// thread's stack); the Tracer itself is thread-safe, so concurrent threads
+// can each run their own span tree against the shared tracer. The ring
+// buffer keeps the newest `capacity` finished spans and counts the rest in
+// dropped() — tracing must never grow without bound in a long-lived daemon.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace unidrive::obs {
+
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root span
+  std::string name;
+  TimePoint start = 0;
+  TimePoint end = 0;
+  [[nodiscard]] Duration duration() const noexcept { return end - start; }
+};
+
+class Tracer;
+
+class Span {
+ public:
+  // A default-constructed span is inert: end() and child() are no-ops and
+  // produce inert spans. Instrumented code paths hold an inert span when
+  // observability is disabled, avoiding null checks at every timing point.
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  ~Span();
+
+  // Finishes the span now (idempotent; the destructor calls it too).
+  void end();
+
+  // A new span parented under this one, sharing the tracer.
+  [[nodiscard]] Span child(const std::string& name);
+
+  [[nodiscard]] bool active() const noexcept { return tracer_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::uint64_t id, std::uint64_t parent,
+       std::string name, TimePoint start)
+      : tracer_(tracer),
+        id_(id),
+        parent_(parent),
+        name_(std::move(name)),
+        start_(start) {}
+
+  Tracer* tracer_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::string name_;
+  TimePoint start_ = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(Clock& clock = RealClock::instance(),
+                  std::size_t capacity = 1024)
+      : clock_(&clock), capacity_(capacity) {}
+
+  [[nodiscard]] Span start(const std::string& name, std::uint64_t parent = 0);
+
+  // Finished spans, oldest first; at most capacity() of them.
+  [[nodiscard]] std::vector<SpanRecord> finished() const;
+  // The newest finished span with this name, if any.
+  [[nodiscard]] std::optional<SpanRecord> find(std::string_view name) const;
+  [[nodiscard]] std::size_t count(std::string_view name) const;
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  void clear();
+
+ private:
+  friend class Span;
+  void finish(Span& span);
+
+  Clock* clock_;  // non-owning, never null
+  std::size_t capacity_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::deque<SpanRecord> ring_;  // newest at the back
+};
+
+}  // namespace unidrive::obs

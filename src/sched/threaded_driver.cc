@@ -12,11 +12,12 @@ namespace unidrive::sched {
 ThreadedTransferDriver::ThreadedTransferDriver(
     std::vector<cloud::CloudId> clouds, DriverConfig config,
     ThroughputMonitor& monitor,
-    std::shared_ptr<cloud::CloudHealthRegistry> health)
+    std::shared_ptr<cloud::CloudHealthRegistry> health, obs::ObsPtr obs)
     : clouds_(std::move(clouds)),
       config_(config),
       monitor_(monitor),
-      health_(std::move(health)) {}
+      health_(std::move(health)),
+      obs_(std::move(obs)) {}
 
 template <typename Scheduler>
 void ThreadedTransferDriver::run(Scheduler& scheduler,
@@ -24,6 +25,23 @@ void ThreadedTransferDriver::run(Scheduler& scheduler,
   std::mutex mutex;
   std::condition_variable cv;
   bool stop = false;
+  // Per-cloud outcome counters, resolved once so worker threads only touch
+  // atomics; null when observability is off.
+  const char* const dir_name = dir == Direction::kUpload ? "up" : "down";
+  std::map<cloud::CloudId, obs::Counter*> ok_counters;
+  std::map<cloud::CloudId, obs::Counter*> err_counters;
+  obs::Histogram* latency_hist = nullptr;
+  if (obs_) {
+    const std::string prefix = std::string("driver.") + dir_name + ".cloud";
+    for (const cloud::CloudId c : clouds_) {
+      ok_counters[c] =
+          &obs_->metrics.counter(prefix + std::to_string(c) + ".ok");
+      err_counters[c] =
+          &obs_->metrics.counter(prefix + std::to_string(c) + ".err");
+    }
+    latency_hist = &obs_->metrics.histogram(std::string("driver.") +
+                                            dir_name + ".latency");
+  }
   // Per-CLOUD consecutive-failure counters so a flapping cloud cannot
   // livelock a run; with a health registry the breaker decides instead
   // (and, unlike these counters, survives into the next run).
@@ -44,6 +62,7 @@ void ThreadedTransferDriver::run(Scheduler& scheduler,
   auto worker = [&](cloud::CloudId cloud) {
     while (true) {
       std::optional<BlockTask> task;
+      bool is_hedge = false;
       {
         std::unique_lock<std::mutex> lock(mutex);
         cv.wait(lock, [&] {
@@ -54,6 +73,7 @@ void ThreadedTransferDriver::run(Scheduler& scheduler,
           if constexpr (requires { scheduler.next_hedge_task(cloud); }) {
             scheduler.set_speed_order(monitor_.ranked(dir, clouds_));
             if ((task = scheduler.next_hedge_task(cloud)).has_value()) {
+              is_hedge = true;
               return true;
             }
           }
@@ -61,10 +81,15 @@ void ThreadedTransferDriver::run(Scheduler& scheduler,
         });
         if (stop || !task.has_value()) return;
       }
+      if (is_hedge) obs::add_counter(obs_.get(), "driver.hedge_tasks");
 
       const TimePoint start = RealClock::instance().now();
       const Status status = transfer(*task);
       const TimePoint end = RealClock::instance().now();
+      if (obs_) {
+        (status.is_ok() ? ok_counters : err_counters)[cloud]->add();
+        latency_hist->observe(end - start);
+      }
       if (status.is_ok()) {
         monitor_.record(cloud, dir, static_cast<double>(task->bytes),
                         std::max(1e-9, end - start));
@@ -83,12 +108,14 @@ void ThreadedTransferDriver::run(Scheduler& scheduler,
           consecutive_failures[cloud] = 0;
           if (disabled.erase(cloud) != 0) {
             scheduler.set_cloud_enabled(cloud, true);
+            obs::add_counter(obs_.get(), "driver.cloud_readmitted");
             UNI_LOG(kInfo) << "cloud " << cloud << " re-admitted";
           }
         } else {
           ++consecutive_failures[cloud];
           if (cloud_is_down(cloud) && disabled.insert(cloud).second) {
             scheduler.set_cloud_enabled(cloud, false);
+            obs::add_counter(obs_.get(), "driver.cloud_disabled");
             UNI_LOG(kInfo) << "cloud " << cloud
                            << " disabled after repeated failures";
           }

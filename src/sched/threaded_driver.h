@@ -26,6 +26,7 @@
 
 #include "cloud/health.h"
 #include "cloud/provider.h"
+#include "obs/obs.h"
 #include "sched/download_scheduler.h"
 #include "sched/monitor.h"
 #include "sched/upload_scheduler.h"
@@ -46,10 +47,16 @@ struct DriverConfig {
 
 class ThreadedTransferDriver {
  public:
+  // When `obs` is non-null, every transfer is counted per cloud
+  // (driver.up|down.cloud<id>.ok|err), latency lands in a per-direction
+  // histogram (driver.up|down.latency), and straggler handoffs / cloud
+  // disable/re-admit events are counted (driver.hedge_tasks,
+  // driver.cloud_disabled, driver.cloud_readmitted).
   ThreadedTransferDriver(std::vector<cloud::CloudId> clouds,
                          DriverConfig config, ThroughputMonitor& monitor,
                          std::shared_ptr<cloud::CloudHealthRegistry> health =
-                             nullptr);
+                             nullptr,
+                         obs::ObsPtr obs = nullptr);
 
   // Runs the upload job to completion (or stall); returns when
   // scheduler.finished(). Blocks the calling thread.
@@ -66,6 +73,7 @@ class ThreadedTransferDriver {
   DriverConfig config_;
   ThroughputMonitor& monitor_;
   std::shared_ptr<cloud::CloudHealthRegistry> health_;
+  obs::ObsPtr obs_;
 };
 
 }  // namespace unidrive::sched

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "erasure/gf256.h"
 #include "erasure/matrix.h"
 #include "erasure/rs.h"
+#include "sched/plan.h"
 
 namespace unidrive::erasure {
 namespace {
@@ -206,6 +209,64 @@ INSTANTIATE_TEST_SUITE_P(
         RsCase{14, 10, RsVariant::kSystematic, 10000},
         RsCase{20, 4, RsVariant::kNonSystematic, 64},
         RsCase{100, 30, RsVariant::kNonSystematic, 3000}));
+
+// Randomized sweep over UniDrive placement parameters: draw (N, k, Ks, Kr)
+// at random, keep the combinations CodeParams::validate() accepts, and check
+// the erasure-code contract the placement math relies on — the derived
+// (code_n, k) code must decode from ANY k of its shards, and the security
+// ceiling must make Ks-1 colluding clouds arithmetically unable to gather k.
+TEST(RsPropertyTest, RandomCodeParamsRoundTripFromAnyKSubset) {
+  Rng rng(0xC0DE);
+  int tested = 0;
+  int drawn = 0;
+  while (tested < 40) {
+    ASSERT_LT(++drawn, 4000) << "parameter space too hard to sample";
+    sched::CodeParams params;
+    params.num_clouds = 2 + rng.next_below(8);  // N in [2, 9]
+    params.k = 1 + rng.next_below(10);          // k in [1, 10]
+    params.ks = 1 + rng.next_below(4);          // Ks in [1, 4]
+    params.kr = 1 + rng.next_below(params.num_clouds);  // Kr in [1, N]
+    if (!params.validate().is_ok()) continue;  // infeasible combination
+    ++tested;
+    SCOPED_TRACE("N=" + std::to_string(params.num_clouds) +
+                 " k=" + std::to_string(params.k) +
+                 " Ks=" + std::to_string(params.ks) +
+                 " Kr=" + std::to_string(params.kr));
+
+    // Security arithmetic: at the per-cloud cap, Ks-1 breached clouds hold
+    // strictly fewer than k blocks — reconstruction is impossible.
+    if (params.ks > 1) {
+      EXPECT_LT((params.ks - 1) * params.max_per_cloud(), params.k);
+    }
+    // Reliability arithmetic: any Kr clouds at the fair-share floor hold at
+    // least k blocks — reconstruction is guaranteed.
+    EXPECT_GE(params.kr * params.fair_share(), params.k);
+
+    const RsCode code(params.code_n(), params.k, RsVariant::kNonSystematic);
+    const Bytes segment = rng.bytes(64 + rng.next_below(2048));
+    const std::vector<Shard> shards = code.encode(ByteSpan(segment));
+    ASSERT_EQ(shards.size(), params.code_n());
+
+    std::vector<std::size_t> order(params.code_n());
+    std::iota(order.begin(), order.end(), 0);
+    for (int trial = 0; trial < 6; ++trial) {
+      std::shuffle(order.begin(), order.end(), rng);
+      std::vector<Shard> subset;
+      for (std::size_t i = 0; i < params.k; ++i) {
+        subset.push_back(shards[order[i]]);
+      }
+      auto decoded = code.decode(subset, segment.size());
+      ASSERT_TRUE(decoded.is_ok());
+      EXPECT_EQ(decoded.value(), segment);
+    }
+    // And k-1 shards must never suffice.
+    if (params.k > 1) {
+      std::vector<Shard> short_subset(shards.begin(),
+                                      shards.begin() + (params.k - 1));
+      EXPECT_FALSE(code.decode(short_subset, segment.size()).is_ok());
+    }
+  }
+}
 
 TEST(RsCodeTest, EmptySegment) {
   const RsCode code(10, 3);

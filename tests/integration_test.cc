@@ -6,7 +6,9 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "cloud/faulty_cloud.h"
@@ -16,6 +18,7 @@
 #include "core/client.h"
 #include "lock/quorum_lock.h"
 #include "metadata/types.h"
+#include "obs/obs.h"
 #include "workload/files.h"
 
 namespace unidrive {
@@ -42,6 +45,91 @@ ClientConfig fast_config(const std::string& device) {
   config.lock.retry.backoff_cap = 0.01;
   config.driver.connections_per_cloud = 2;
   return config;
+}
+
+// --- observability of a full round -------------------------------------------------
+
+// One sync round over flaky clouds, verified through the public obs API: the
+// per-cloud data-upload counters must account for every block the scheduler
+// recorded, the quorum-lock acquisition must have left a span, and the
+// injected failures must show up in the retry counters.
+TEST(IntegrationTest, MetricsAccountForFullSyncRound) {
+  auto raw = make_clouds(5);
+  cloud::MultiCloud clouds;
+  cloud::FaultProfile profile;
+  profile.base_failure_rate = 0.25;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    clouds.push_back(std::make_shared<cloud::FaultyCloud>(
+        raw[i], profile, /*seed=*/100 + i));
+  }
+
+  ClientConfig config = fast_config("devA");
+  // Plenty of fast retries so the round completes despite the 25% failure
+  // rate, and a breaker loose enough that no cloud trips mid-test.
+  config.retry.max_attempts = 10;
+  config.retry.backoff_base = 0.0005;
+  config.retry.backoff_cap = 0.002;
+  config.breaker.consecutive_failures_to_open = 50;
+  config.breaker.window_failure_ratio_to_open = 0.95;
+
+  auto fs = std::make_shared<MemoryLocalFs>();
+  UniDriveClient client(clouds, fs, config);
+  Rng rng(21);
+  const Bytes content = rng.bytes(150000);
+  ASSERT_TRUE(fs->write("/observed", ByteSpan(content)).is_ok());
+  auto report = client.sync();
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  ASSERT_TRUE(report.value().committed);
+
+  const obs::MetricsSnapshot& m = report.value().metrics;
+
+  // Every block location recorded in the committed image corresponds to
+  // exactly one successful data-area upload on that cloud — the metering
+  // decorator sits below the retry layer, so retries never double-count.
+  std::map<cloud::CloudId, std::uint64_t> blocks_per_cloud;
+  std::uint64_t total_blocks = 0;
+  for (const auto& [id, seg] : client.image().segments()) {
+    for (const auto& loc : seg.blocks) {
+      ++blocks_per_cloud[loc.cloud];
+      ++total_blocks;
+    }
+  }
+  ASSERT_GT(total_blocks, 0u);
+  std::uint64_t uploaded_ok = 0;
+  for (std::size_t i = 0; i < clouds.size(); ++i) {
+    const std::string name = "cloud.cloud" + std::to_string(i);
+    const std::uint64_t ok = m.counter_value(name + ".upload.data.ok");
+    EXPECT_EQ(ok, blocks_per_cloud[static_cast<cloud::CloudId>(i)])
+        << "cloud " << i;
+    uploaded_ok += ok;
+  }
+  EXPECT_EQ(uploaded_ok, total_blocks);
+  EXPECT_EQ(m.counter_value("sched.blocks.placed"), total_blocks);
+
+  // The injected 25% failure rate must be visible as retries/attempt
+  // inflation somewhere across the five clouds.
+  std::uint64_t retries = 0;
+  std::uint64_t attempts = 0;
+  for (std::size_t i = 0; i < clouds.size(); ++i) {
+    const std::string prefix = "retry.cloud" + std::to_string(i) + ".";
+    retries += m.counter_value(prefix + "retries");
+    attempts += m.counter_value(prefix + "attempts");
+  }
+  EXPECT_GT(retries, 0u);
+  EXPECT_GT(attempts, retries);
+
+  // The commit went through the quorum lock, and the round left a root span.
+  const obs::ObsPtr& sink = client.observability();
+  ASSERT_NE(sink, nullptr);
+  EXPECT_TRUE(sink->tracer.find("lock.acquire").has_value());
+  EXPECT_TRUE(sink->tracer.find("sync.round").has_value());
+  EXPECT_TRUE(sink->tracer.find("meta.publish").has_value());
+  EXPECT_GE(m.counter_value("lock.acquired"), 1u);
+  EXPECT_GE(m.counter_value("sync.rounds"), 1u);
+
+  // The snapshot serializes: the bench/CLI metrics.json path.
+  const std::string json = obs::DumpJson(*sink);
+  EXPECT_NE(json.find("sched.blocks.placed"), std::string::npos);
 }
 
 // --- crashed lock holder ---------------------------------------------------------

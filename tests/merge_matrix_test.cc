@@ -1,0 +1,213 @@
+// Three-way merge conflict matrix: every (local op) × (cloud op) pair over
+// the same base image, checked against Algorithm 1's keep-both guarantee —
+// a merge may create conflict copies, but it must never silently lose
+// content that either side still referenced.
+//
+// Ops: none, add (both sides add the SAME new path, with different
+// content), modify, delete, rename (delete + re-add under a side-specific
+// name, same content). 5 × 5 = 25 combinations, each checked for:
+//   1. No silent loss: a file present on one side survives the merge
+//      (somewhere — original path or conflict copy) unless the other side
+//      cleanly deleted it while this side left it untouched.
+//   2. Conflicts are reported exactly when both sides changed the same
+//      path to different outcomes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "metadata/diff.h"
+#include "metadata/image.h"
+
+namespace unidrive::metadata {
+namespace {
+
+enum class Op { kNone, kAdd, kModify, kDelete, kRename };
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kNone:
+      return "none";
+    case Op::kAdd:
+      return "add";
+    case Op::kModify:
+      return "modify";
+    case Op::kDelete:
+      return "delete";
+    case Op::kRename:
+      return "rename";
+  }
+  return "?";
+}
+
+FileSnapshot snap(const std::string& path, const std::string& hash) {
+  FileSnapshot s;
+  s.path = path;
+  s.size = 100;
+  s.content_hash = hash;
+  s.origin_device = "dev";
+  return s;
+}
+
+SyncFolderImage make_base() {
+  SyncFolderImage base;
+  base.upsert_file(snap("/f", "v0"));
+  base.set_version(VersionStamp{"base", 1, 0});
+  return base;
+}
+
+// Applies `op` to a copy of the base, acting as side `who` ("local" or
+// "cloud"); side-specific suffixes make concurrent edits genuinely differ.
+SyncFolderImage apply_op(const SyncFolderImage& base, Op op,
+                         const std::string& who) {
+  SyncFolderImage image = base;
+  switch (op) {
+    case Op::kNone:
+      break;
+    case Op::kAdd:
+      image.upsert_file(snap("/n", "added_" + who));
+      break;
+    case Op::kModify:
+      image.upsert_file(snap("/f", "modified_" + who));
+      break;
+    case Op::kDelete:
+      image.delete_file("/f");
+      break;
+    case Op::kRename:
+      image.delete_file("/f");
+      image.upsert_file(snap("/f_renamed_" + who, "v0"));
+      break;
+  }
+  image.set_version(VersionStamp{who, 2, 0});
+  return image;
+}
+
+bool merged_contains_hash(const SyncFolderImage& merged,
+                          const std::string& hash) {
+  for (const auto& [path, s] : merged.files()) {
+    if (s.content_hash == hash) return true;
+  }
+  return false;
+}
+
+// The no-silent-loss invariant. For every file a side currently holds, the
+// merged image must retain its content — at the original path or in a
+// conflict copy — UNLESS this side left the path untouched and the other
+// side cleanly changed it (an uncontested modify/delete is allowed to win;
+// that is a sync, not a loss).
+void check_no_silent_loss(const SyncFolderImage& base,
+                          const SyncFolderImage& side,
+                          const SyncFolderImage& other,
+                          const SyncFolderImage& merged,
+                          const std::string& side_name) {
+  for (const auto& [path, s] : side.files()) {
+    const FileSnapshot* in_base = base.find_file(path);
+    const FileSnapshot* in_other = other.find_file(path);
+    const bool side_changed = in_base == nullptr || !(*in_base == s);
+    const bool other_changed =
+        in_base != nullptr && (in_other == nullptr || !(*in_other == *in_base));
+    if (!side_changed && other_changed) continue;  // uncontested change wins
+    EXPECT_TRUE(merged_contains_hash(merged, s.content_hash))
+        << side_name << " content " << s.content_hash << " at " << path
+        << " was silently lost";
+  }
+}
+
+// Whether the pair of ops constitutes a real concurrent conflict on some
+// path: both sides changed the same path relative to base, with differing
+// outcomes. (Rename only touches /f by deleting it; the re-added file is
+// under a side-unique name and cannot collide.)
+bool expect_conflict(Op local, Op cloud) {
+  const auto touches_f = [](Op op) {
+    return op == Op::kModify || op == Op::kDelete || op == Op::kRename;
+  };
+  if (local == Op::kAdd && cloud == Op::kAdd) return true;  // same new path
+  if (!touches_f(local) || !touches_f(cloud)) return false;
+  const auto deletes_f = [](Op op) {
+    return op == Op::kDelete || op == Op::kRename;
+  };
+  if (deletes_f(local) && deletes_f(cloud)) return false;  // same outcome
+  if (local == Op::kModify && cloud == Op::kModify) return true;  // differ
+  return true;  // modify vs delete (either direction)
+}
+
+TEST(MergeMatrixTest, AllOpPairsPreserveContentAndReportConflicts) {
+  const Op kOps[] = {Op::kNone, Op::kAdd, Op::kModify, Op::kDelete,
+                     Op::kRename};
+  for (const Op local_op : kOps) {
+    for (const Op cloud_op : kOps) {
+      SCOPED_TRACE(std::string("local=") + op_name(local_op) +
+                   " cloud=" + op_name(cloud_op));
+      const SyncFolderImage base = make_base();
+      const SyncFolderImage local = apply_op(base, local_op, "local");
+      const SyncFolderImage cloud = apply_op(base, cloud_op, "cloud");
+
+      const MergeResult result = merge_images(base, local, cloud, "deviceA");
+
+      check_no_silent_loss(base, local, cloud, result.merged, "local");
+      check_no_silent_loss(base, cloud, local, result.merged, "cloud");
+
+      if (expect_conflict(local_op, cloud_op)) {
+        EXPECT_FALSE(result.conflicts.empty())
+            << "concurrent divergent ops must be reported as a conflict";
+      } else {
+        EXPECT_TRUE(result.conflicts.empty())
+            << "non-conflicting ops must merge cleanly, got conflict at "
+            << (result.conflicts.empty() ? ""
+                                         : result.conflicts.front().path);
+      }
+
+      // Spot-check the keep-both mechanics for the double-edit cell: cloud
+      // wins the original path, local survives in the conflict copy.
+      if (local_op == Op::kModify && cloud_op == Op::kModify) {
+        const FileSnapshot* at_original = result.merged.find_file("/f");
+        ASSERT_NE(at_original, nullptr);
+        EXPECT_EQ(at_original->content_hash, "modified_cloud");
+        ASSERT_EQ(result.conflicts.size(), 1u);
+        EXPECT_EQ(result.conflicts[0].path, "/f");
+        const FileSnapshot* copy =
+            result.merged.find_file(result.conflicts[0].conflict_copy);
+        ASSERT_NE(copy, nullptr);
+        EXPECT_EQ(copy->content_hash, "modified_local");
+      }
+    }
+  }
+}
+
+// Delete vs modify: the edit survives at the original path (a deletion must
+// not destroy a concurrent edit), and no conflict copy is needed.
+TEST(MergeMatrixTest, DeleteVersusModifyKeepsTheEdit) {
+  const SyncFolderImage base = make_base();
+
+  // Local deletes, cloud modifies.
+  {
+    const SyncFolderImage local = apply_op(base, Op::kDelete, "local");
+    const SyncFolderImage cloud = apply_op(base, Op::kModify, "cloud");
+    const MergeResult result = merge_images(base, local, cloud, "deviceA");
+    const FileSnapshot* f = result.merged.find_file("/f");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->content_hash, "modified_cloud");
+  }
+  // Cloud deletes, local modifies.
+  {
+    const SyncFolderImage local = apply_op(base, Op::kModify, "local");
+    const SyncFolderImage cloud = apply_op(base, Op::kDelete, "cloud");
+    const MergeResult result = merge_images(base, local, cloud, "deviceA");
+    EXPECT_TRUE(merged_contains_hash(result.merged, "modified_local"));
+  }
+}
+
+// Rename vs rename: both renamed copies survive under their new names and
+// the old path is gone — nothing lost, nothing resurrected.
+TEST(MergeMatrixTest, ConcurrentRenamesKeepBothNames) {
+  const SyncFolderImage base = make_base();
+  const SyncFolderImage local = apply_op(base, Op::kRename, "local");
+  const SyncFolderImage cloud = apply_op(base, Op::kRename, "cloud");
+  const MergeResult result = merge_images(base, local, cloud, "deviceA");
+  EXPECT_EQ(result.merged.find_file("/f"), nullptr);
+  EXPECT_NE(result.merged.find_file("/f_renamed_local"), nullptr);
+  EXPECT_NE(result.merged.find_file("/f_renamed_cloud"), nullptr);
+}
+
+}  // namespace
+}  // namespace unidrive::metadata

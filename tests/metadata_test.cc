@@ -488,6 +488,121 @@ TEST(CodecTest, DeltaEncryptionRoundTrip) {
   EXPECT_EQ(back.value().size(), 1u);
 }
 
+// --- codec fuzz ------------------------------------------------------------------
+//
+// The metadata envelope is the one payload every device must agree on; a
+// malformed byte stream (truncated upload, bit rot, a hostile provider) must
+// surface as a decode error — never a crash, never a silently wrong image.
+
+SyncFolderImage random_image(Rng& rng) {
+  SyncFolderImage image;
+  const std::size_t num_dirs = rng.next_below(4);
+  for (std::size_t d = 0; d < num_dirs; ++d) {
+    image.add_dir("/dir" + std::to_string(rng.next_below(100)));
+  }
+  const std::size_t num_files = 1 + rng.next_below(6);
+  for (std::size_t f = 0; f < num_files; ++f) {
+    std::vector<std::string> seg_ids;
+    const std::size_t num_segments = rng.next_below(3);
+    for (std::size_t s = 0; s < num_segments; ++s) {
+      SegmentInfo seg;
+      seg.id = "seg" + std::to_string(rng.next());
+      seg.size = rng.next_below(1 << 20);
+      const std::size_t num_blocks = rng.next_below(8);
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        seg.blocks.push_back({static_cast<std::uint32_t>(rng.next_below(32)),
+                              static_cast<cloud::CloudId>(rng.next_below(5))});
+      }
+      image.upsert_segment(seg);
+      seg_ids.push_back(seg.id);
+    }
+    FileSnapshot snap;
+    snap.path = "/f" + std::to_string(f) + "_" + std::to_string(rng.next());
+    snap.mtime = rng.next_double() * 1e9;
+    snap.size = rng.next_below(1 << 22);
+    snap.content_hash = "h" + std::to_string(rng.next());
+    snap.segment_ids = std::move(seg_ids);
+    snap.origin_device = "dev" + std::to_string(rng.next_below(4));
+    image.upsert_file(snap);
+  }
+  image.set_version(VersionStamp{"dev" + std::to_string(rng.next_below(4)),
+                                 rng.next_below(1000), rng.next_double()});
+  return image;
+}
+
+TEST(CodecFuzzTest, RandomImagesRoundTrip) {
+  MetadataCodec codec("fuzz-pass");
+  Rng rng(0xF0220);
+  for (int iter = 0; iter < 25; ++iter) {
+    const SyncFolderImage image = random_image(rng);
+    const Bytes cipher = codec.encode_image(image);
+    auto back = codec.decode_image(ByteSpan(cipher));
+    ASSERT_TRUE(back.is_ok()) << "iteration " << iter;
+    EXPECT_TRUE(back.value() == image) << "iteration " << iter;
+  }
+}
+
+TEST(CodecFuzzTest, TruncatedPayloadsErrorNeverCrash) {
+  MetadataCodec codec("fuzz-pass");
+  Rng rng(0xF0221);
+  const SyncFolderImage image = random_image(rng);
+  const Bytes cipher = codec.encode_image(image);
+  ASSERT_GT(cipher.size(), 8u);
+  // Every prefix length from a random sample, plus the always-nasty edges.
+  std::vector<std::size_t> lengths = {0, 1, 7, 8, cipher.size() - 1};
+  for (int i = 0; i < 40; ++i) lengths.push_back(rng.next_below(cipher.size()));
+  for (const std::size_t len : lengths) {
+    Bytes truncated(cipher.begin(),
+                    cipher.begin() + static_cast<std::ptrdiff_t>(len));
+    const auto result = codec.decode_image(ByteSpan(truncated));
+    EXPECT_FALSE(result.is_ok()) << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(CodecFuzzTest, BitFlippedPayloadsErrorNeverCrash) {
+  MetadataCodec codec("fuzz-pass");
+  Rng rng(0xF0222);
+  const SyncFolderImage image = random_image(rng);
+  const Bytes cipher = codec.encode_image(image);
+  for (int i = 0; i < 60; ++i) {
+    Bytes corrupted = cipher;
+    const std::size_t byte = rng.next_below(corrupted.size());
+    corrupted[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    const auto result = codec.decode_image(ByteSpan(corrupted));
+    EXPECT_FALSE(result.is_ok())
+        << "bit flip in byte " << byte << " went undetected";
+  }
+}
+
+TEST(CodecFuzzTest, DeltaLogSurvivesRoundTripAndRejectsCorruption) {
+  MetadataCodec codec("fuzz-pass");
+  Rng rng(0xF0223);
+  DeltaLog log;
+  const std::size_t num_commits = 1 + rng.next_below(5);
+  for (std::size_t c = 0; c < num_commits; ++c) {
+    CommitRecord record;
+    record.version = {"dev" + std::to_string(rng.next_below(3)), c + 1,
+                      rng.next_double()};
+    record.changes.push_back(Change::add_dir("/d" + std::to_string(c)));
+    log.append(record);
+  }
+  const Bytes cipher = codec.encode_delta(log);
+  auto back = codec.decode_delta(ByteSpan(cipher));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().size(), num_commits);
+
+  for (int i = 0; i < 30; ++i) {
+    Bytes corrupted = cipher;
+    if (rng.bernoulli(0.5)) {
+      corrupted.resize(rng.next_below(corrupted.size()));
+    } else {
+      const std::size_t byte = rng.next_below(corrupted.size());
+      corrupted[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    EXPECT_FALSE(codec.decode_delta(ByteSpan(corrupted)).is_ok());
+  }
+}
+
 // --- MetaStore -------------------------------------------------------------------
 
 cloud::MultiCloud make_clouds(int n) {

@@ -1,0 +1,278 @@
+// Tests for the observability layer (src/obs/): histogram quantile
+// correctness, thread-safety of concurrent instrument updates (the CI
+// sanitizer job runs this suite under TSan), span nesting and ring-buffer
+// overflow, and deterministic timestamps under an injected ManualClock.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/obs.h"
+
+namespace unidrive::obs {
+namespace {
+
+// --- Counter / Gauge --------------------------------------------------------
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(HistogramTest, QuantilesInterpolateExactlyOnUniformData) {
+  // Bounds at 10, 20, ..., 100 and values 1..100: every bucket holds
+  // exactly 10 observations, so linear interpolation within the target
+  // bucket must land on the exact rank.
+  std::vector<double> bounds;
+  for (int b = 10; b <= 100; b += 10) bounds.push_back(b);
+  Histogram h(bounds);
+  for (int v = 1; v <= 100; ++v) h.observe(v);
+
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  // Edge quantiles are pinned to the observed extremes.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, QuantilesClampToObservedRange) {
+  Histogram h({10.0, 20.0});
+  h.observe(14.0);
+  h.observe(15.0);
+  h.observe(16.0);
+  // All mass is in (10, 20]; interpolation may not report values outside
+  // what was actually observed.
+  EXPECT_GE(h.quantile(0.01), 14.0);
+  EXPECT_LE(h.quantile(0.99), 16.0);
+}
+
+TEST(HistogramTest, OverflowBucketReportsMax) {
+  Histogram h({1.0, 2.0});
+  h.observe(50.0);
+  h.observe(75.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 75.0);
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.min, 50.0);
+  EXPECT_DOUBLE_EQ(s.max, 75.0);
+}
+
+TEST(HistogramTest, StatsTrackSumMinMaxMean) {
+  Histogram h(Histogram::default_latency_bounds());
+  h.observe(0.2);
+  h.observe(0.4);
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.6);
+  EXPECT_DOUBLE_EQ(s.min, 0.2);
+  EXPECT_DOUBLE_EQ(s.max, 0.4);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.3);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZeros) {
+  Histogram h(Histogram::default_latency_bounds());
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+// --- concurrency (TSan-clean) -----------------------------------------------
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsLoseNothing) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Mix of cached-reference and by-name access, plus histogram and
+      // gauge traffic, all against shared instruments.
+      Counter& fast = registry.counter("test.fast");
+      for (int i = 0; i < kPerThread; ++i) {
+        fast.add();
+        registry.counter("test.named").add(2);
+        registry.histogram("test.latency").observe(0.01 * (i % 7));
+        registry.gauge("test.gauge").add(1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const MetricsSnapshot s = registry.snapshot();
+  EXPECT_EQ(s.counter_value("test.fast"), kThreads * kPerThread);
+  EXPECT_EQ(s.counter_value("test.named"), 2u * kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(s.gauge_value("test.gauge"), kThreads * kPerThread);
+  const auto hist = s.histograms.at("test.latency");
+  EXPECT_EQ(hist.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(hist.min, 0.0);
+  EXPECT_DOUBLE_EQ(hist.max, 0.06);
+}
+
+TEST(TracerTest, ConcurrentSpansAllRecorded) {
+  ManualClock clock(0.0);
+  Tracer tracer(clock, /*capacity=*/4096);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Span root = tracer.start("work");
+        Span child = root.child("step");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(tracer.finished().size(), 2u * kThreads * kPerThread);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.count("work"), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+// --- spans ------------------------------------------------------------------
+
+TEST(TracerTest, ParentChildNesting) {
+  ManualClock clock(100.0);
+  Tracer tracer(clock);
+  {
+    Span root = tracer.start("root");
+    Span child = root.child("child");
+    Span grandchild = child.child("grandchild");
+  }
+  const auto spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 3u);
+  // Destruction order: grandchild, child, root.
+  EXPECT_EQ(spans[0].name, "grandchild");
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[2].name, "root");
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  EXPECT_EQ(spans[1].parent, spans[2].id);
+  EXPECT_EQ(spans[2].parent, 0u);
+}
+
+TEST(TracerTest, RingBufferOverflowKeepsNewestAndCounts) {
+  ManualClock clock(0.0);
+  Tracer tracer(clock, /*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    Span s = tracer.start("span" + std::to_string(i));
+    clock.advance(1.0);
+  }
+  const auto spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "span6");
+  EXPECT_EQ(spans.back().name, "span9");
+  EXPECT_EQ(tracer.dropped(), 6u);
+}
+
+TEST(TracerTest, DeterministicTimestampsWithManualClock) {
+  ManualClock clock(1000.0);
+  Tracer tracer(clock);
+  Span root = tracer.start("outer");
+  clock.advance(3.0);
+  {
+    Span inner = root.child("inner");
+    clock.advance(2.0);
+  }
+  clock.advance(5.0);
+  root.end();
+
+  const auto outer = tracer.find("outer");
+  const auto inner = tracer.find("inner");
+  ASSERT_TRUE(outer.has_value());
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_DOUBLE_EQ(outer->start, 1000.0);
+  EXPECT_DOUBLE_EQ(outer->end, 1010.0);
+  EXPECT_DOUBLE_EQ(outer->duration(), 10.0);
+  EXPECT_DOUBLE_EQ(inner->start, 1003.0);
+  EXPECT_DOUBLE_EQ(inner->end, 1005.0);
+}
+
+TEST(TracerTest, EndIsIdempotentAndMoveTransfersOwnership) {
+  ManualClock clock(0.0);
+  Tracer tracer(clock);
+  Span a = tracer.start("a");
+  Span b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): on purpose
+  EXPECT_TRUE(b.active());
+  b.end();
+  b.end();  // second end is a no-op
+  EXPECT_EQ(tracer.finished().size(), 1u);
+}
+
+TEST(SpanTest, InertSpanIsSafe) {
+  Span inert;
+  EXPECT_FALSE(inert.active());
+  Span child = inert.child("child");
+  EXPECT_FALSE(child.active());
+  inert.end();  // no-op, no crash
+}
+
+// --- Observability / JSON ---------------------------------------------------
+
+TEST(ObservabilityTest, NullHelpersAreNoOps) {
+  add_counter(nullptr, "x");
+  observe(nullptr, "y", 1.0);
+  Span s = start_span(nullptr, "z");
+  EXPECT_FALSE(s.active());
+}
+
+TEST(ObservabilityTest, DumpJsonContainsAllSections) {
+  ManualClock clock(7.0);
+  Observability obs(clock);
+  obs.metrics.counter("requests.total").add(3);
+  obs.metrics.gauge("queue.depth").set(1.5);
+  obs.metrics.histogram("latency").observe(0.25);
+  {
+    Span s = obs.tracer.start("round");
+    clock.advance(1.0);
+  }
+  const std::string json = DumpJson(obs);
+  EXPECT_NE(json.find("\"requests.total\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"queue.depth\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"round\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans_dropped\": 0"), std::string::npos);
+}
+
+TEST(ObservabilityTest, WriteJsonFileCreatesParentDirs) {
+  Observability obs;
+  obs.metrics.counter("c").add();
+  const std::string path =
+      ::testing::TempDir() + "/obs_test_out/nested/metrics.json";
+  ASSERT_TRUE(WriteJsonFile(obs, path).is_ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"c\": 1"), std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, MissingNamesReadAsZero) {
+  MetricsRegistry registry;
+  const MetricsSnapshot s = registry.snapshot();
+  EXPECT_EQ(s.counter_value("nope"), 0u);
+  EXPECT_DOUBLE_EQ(s.gauge_value("nope"), 0.0);
+}
+
+}  // namespace
+}  // namespace unidrive::obs

@@ -41,6 +41,26 @@ std::vector<cloud::CloudId> cloud_ids(std::size_t n) {
   return ids;
 }
 
+// Randomly drawn (N, k, Ks, Kr) combinations, filtered through
+// CodeParams::validate() so only feasible points are instantiated. The
+// fixed Values() sweeps below pin the paper's named configurations; this
+// widens coverage to arbitrary feasible corners of the parameter space.
+std::vector<ParamCase> random_cases(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ParamCase> cases;
+  std::size_t attempts = 0;
+  while (cases.size() < count && ++attempts < 10000) {
+    ParamCase c;
+    c.n = 2 + rng.next_below(7);   // N in [2, 8]
+    c.k = 1 + rng.next_below(8);   // k in [1, 8]
+    c.ks = 1 + rng.next_below(4);  // Ks in [1, 4]
+    c.kr = 1 + rng.next_below(c.n);
+    c.seed = 1000 + cases.size();  // unique -> unique test names
+    if (make_params(c).validate().is_ok()) cases.push_back(c);
+  }
+  return cases;
+}
+
 class UploadSchedulerProperty : public ::testing::TestWithParam<ParamCase> {};
 
 // Randomized execution: interleave task pulls and completions (some failing)
@@ -143,6 +163,12 @@ INSTANTIATE_TEST_SUITE_P(
         ParamCase{9, 5, 3, 4, 9}),
     case_name);
 
+// The same invariants (availability floor, security cap, fair-share
+// reliability) over 24 randomly sampled feasible parameter points.
+INSTANTIATE_TEST_SUITE_P(RandomSweep, UploadSchedulerProperty,
+                         ::testing::ValuesIn(random_cases(24, 0xA11C0DE)),
+                         case_name);
+
 class DownloadSchedulerProperty : public ::testing::TestWithParam<ParamCase> {
 };
 
@@ -220,6 +246,10 @@ INSTANTIATE_TEST_SUITE_P(
                       ParamCase{3, 2, 1, 2, 3}, ParamCase{7, 4, 2, 4, 4},
                       ParamCase{6, 6, 2, 3, 5}, ParamCase{9, 5, 3, 4, 6}),
     case_name);
+
+INSTANTIATE_TEST_SUITE_P(RandomSweep, DownloadSchedulerProperty,
+                         ::testing::ValuesIn(random_cases(12, 0xD00DC0DE)),
+                         case_name);
 
 }  // namespace
 }  // namespace unidrive::sched
