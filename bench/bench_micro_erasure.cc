@@ -25,6 +25,28 @@ void BM_GfMulAddSlice(benchmark::State& state) {
 }
 BENCHMARK(BM_GfMulAddSlice)->Arg(64 << 10)->Arg(1 << 20);
 
+// Reference scalar kernel (byte-at-a-time read-modify-write of dst) so the
+// blocked 8-byte production kernel above has an in-tree baseline.
+void bytewise_mul_add(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n, std::uint8_t coeff) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] ^= erasure::Gf256::mul(coeff, src[i]);
+  }
+}
+
+void BM_GfMulAddSliceBytewise(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes src = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  Bytes dst = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    bytewise_mul_add(dst.data(), src.data(), src.size(), 0x57);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GfMulAddSliceBytewise)->Arg(64 << 10)->Arg(1 << 20);
+
 void BM_RsEncode(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto k = static_cast<std::size_t>(state.range(1));
@@ -38,6 +60,28 @@ void BM_RsEncode(benchmark::State& state) {
                           static_cast<std::int64_t>(segment.size()));
 }
 BENCHMARK(BM_RsEncode)->Args({10, 3})->Args({14, 10})->Args({20, 4});
+
+void BM_RsEncodeParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto threads = static_cast<std::size_t>(state.range(2));
+  const RsCode code(n, k, RsVariant::kNonSystematic);
+  Executor executor(threads);
+  std::vector<std::uint32_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<std::uint32_t>(i);
+  Rng rng(2);
+  const Bytes segment = rng.bytes(4 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        code.encode_shards_parallel(ByteSpan(segment), all, executor));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(segment.size()));
+}
+BENCHMARK(BM_RsEncodeParallel)
+    ->Args({10, 3, 1})
+    ->Args({10, 3, 4})
+    ->Args({20, 4, 4});
 
 void BM_RsEncodeSingleShard(benchmark::State& state) {
   // On-demand generation of one over-provisioned parity block.

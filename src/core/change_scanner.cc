@@ -28,8 +28,12 @@ void ScanCache::forget(const std::string& path) { entries_.erase(path); }
 ScanResult scan_local_changes(const LocalFs& fs,
                               const metadata::SyncFolderImage& image,
                               const chunker::SegmenterParams& seg_params,
-                              const std::string& device, ScanCache* cache) {
+                              const std::string& device, ScanCache* cache,
+                              const SegmentSink& sink) {
   ScanResult result;
+  // With a sink, new_segments stays empty — track emitted ids separately so
+  // the within-scan dedup still holds.
+  std::set<std::string> emitted;
 
   const std::vector<std::string> local_files = fs.list_files();
   const std::set<std::string> local_set(local_files.begin(),
@@ -70,10 +74,14 @@ ScanResult scan_local_changes(const LocalFs& fs,
       snapshot.segment_ids.push_back(seg.id);
       // Dedup: only segments unknown to the pool (and not already scheduled
       // in this scan) need uploading.
-      if (image.find_segment(seg.id) == nullptr &&
-          result.new_segments.count(seg.id) == 0) {
-        result.new_segments.emplace(seg.id,
-                                    chunker::segment_bytes(ByteSpan(data), seg));
+      if (image.find_segment(seg.id) != nullptr) continue;
+      if (sink) {
+        if (emitted.insert(seg.id).second) {
+          sink(seg.id, chunker::segment_bytes(ByteSpan(data), seg));
+        }
+      } else if (result.new_segments.count(seg.id) == 0) {
+        result.new_segments.emplace(
+            seg.id, chunker::segment_bytes(ByteSpan(data), seg));
       }
     }
     result.changes.record(Change::upsert_file(snapshot));

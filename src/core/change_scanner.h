@@ -8,6 +8,7 @@
 // encode and upload exactly the *new* segments (dedup against the pool).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -54,13 +55,23 @@ class ScanCache {
   std::map<std::string, Entry> entries_;
 };
 
+// Streaming consumer for new-segment bytes discovered during the scan.
+using SegmentSink = std::function<void(const std::string& id, Bytes bytes)>;
+
 // `seg_params.theta` is the target segment size; `device` stamps snapshot
 // origin. `cache` (optional) skips re-hashing files whose (size, mtime)
 // fingerprint is unchanged and is updated in place.
+//
+// When `sink` is set, each new segment's bytes are handed to it as soon as
+// the segment is discovered (deduped within the scan) instead of being
+// accumulated in ScanResult::new_segments — this lets the sync pipeline
+// start encoding and uploading while the scan is still hashing later
+// files. The sink may block (backpressure from a bounded pipeline).
 ScanResult scan_local_changes(const LocalFs& fs,
                               const metadata::SyncFolderImage& image,
                               const chunker::SegmenterParams& seg_params,
                               const std::string& device,
-                              ScanCache* cache = nullptr);
+                              ScanCache* cache = nullptr,
+                              const SegmentSink& sink = nullptr);
 
 }  // namespace unidrive::core

@@ -31,6 +31,18 @@ erasure::RsCode codec_for(const sched::CodeParams& params) {
   return erasure::RsCode(kCodecLength, params.k);
 }
 
+// Shared pool width: explicit config wins, otherwise default_threads()
+// (env override, else max(transfer concurrency, hardware)).
+std::shared_ptr<Executor> make_executor(const ClientConfig& config,
+                                        std::size_t num_clouds) {
+  const std::size_t floor =
+      std::max<std::size_t>(1, num_clouds * config.driver.connections_per_cloud);
+  const std::size_t threads = config.pipeline.threads > 0
+                                  ? config.pipeline.threads
+                                  : Executor::default_threads(floor);
+  return std::make_shared<Executor>(threads);
+}
+
 }  // namespace
 
 UniDriveClient::UniDriveClient(cloud::MultiCloud clouds,
@@ -46,6 +58,7 @@ UniDriveClient::UniDriveClient(cloud::MultiCloud clouds,
                                                            clock_, obs_)),
       guarded_(cloud::guard_clouds(clouds_, config_.retry, health_, clock_,
                                    config_.sleep, rng_, obs_)),
+      executor_(make_executor(config_, clouds_.size())),
       store_(guarded_, config_.passphrase, obs_),
       lock_(guarded_, config_.device, config_.lock, clock_, rng_.fork(),
             config_.sleep, obs_),
@@ -56,6 +69,7 @@ UniDriveClient::UniDriveClient(cloud::MultiCloud clouds,
 void UniDriveClient::rebuild_guards() {
   guarded_ = cloud::guard_clouds(clouds_, config_.retry, health_, clock_,
                                  config_.sleep, rng_, obs_);
+  executor_ = make_executor(config_, clouds_.size());
   store_ = metadata::MetaStore(guarded_, config_.passphrase, obs_);
   lock_ = lock::QuorumLock(guarded_, config_.device, config_.lock, clock_,
                            rng_.fork(), config_.sleep, obs_);
@@ -126,82 +140,12 @@ bool UniDriveClient::cloud_update_pending() {
 
 // --- data plane -------------------------------------------------------------
 
-Result<std::vector<SegmentInfo>> UniDriveClient::upload_segments(
-    const std::map<std::string, Bytes>& segments) {
-  std::vector<SegmentInfo> out;
-  if (segments.empty()) return out;
-
-  const sched::CodeParams params = code_params();
-  UNI_RETURN_IF_ERROR(params.validate());
-  const erasure::RsCode code = codec_for(params);
-
-  // Batch all segments as one upload job (the two-phase scheduler treats
-  // each segment's file position by insertion order).
-  std::vector<sched::UploadFileSpec> specs;
-  for (const auto& [id, data] : segments) {
-    sched::UploadFileSpec spec;
-    spec.path = id;  // data-plane job: one pseudo-file per segment
-    spec.segments.push_back({id, data.size()});
-    specs.push_back(std::move(spec));
-  }
-  sched::UploadScheduler scheduler(params, cloud_ids(), specs);
-
-  const auto transfer = [&](const sched::BlockTask& task) -> Status {
-    const auto it = segments.find(task.segment_id);
-    if (it == segments.end()) {
-      return make_error(ErrorCode::kInternal, "unknown segment");
-    }
-    const std::vector<erasure::Shard> shards =
-        code.encode_shards(ByteSpan(it->second), {task.block_index});
-    cloud::CloudProvider* provider = find_cloud(task.cloud);
-    if (provider == nullptr) {
-      return make_error(ErrorCode::kInternal, "unknown cloud");
-    }
-    return provider->upload(
-        metadata::block_path(task.segment_id, task.block_index),
-        ByteSpan(shards.front().data));
-  };
-
-  sched::ThreadedTransferDriver driver(cloud_ids(), config_.driver, monitor_,
-                                       health_, obs_);
-  {
-    obs::Span span = obs::start_span(obs_.get(), "sync.upload_segments");
-    driver.run_upload(scheduler, transfer);
-  }
-
-  // Per-round placement accounting: where the availability-first scheduler
-  // actually put the blocks, and how many were over-provisioned extras.
-  std::size_t placed = 0;
-  for (const auto& [id, data] : segments) {
-    for (const metadata::BlockLocation& b : scheduler.locations(id)) {
-      obs::add_counter(obs_.get(),
-                       "sched.blocks.cloud" + std::to_string(b.cloud));
-      ++placed;
-    }
-  }
-  obs::add_counter(obs_.get(), "sched.blocks.placed", placed);
-  obs::add_counter(obs_.get(), "sched.overprovisioned",
-                   scheduler.overprovisioned_blocks().size());
-  obs::add_counter(obs_.get(), "sched.segments", segments.size());
-
-  for (const auto& [id, data] : segments) {
-    SegmentInfo info;
-    info.id = id;
-    info.size = data.size();
-    info.blocks = scheduler.locations(id);
-    // Availability is the hard floor: fewer than k blocks means the segment
-    // is not recoverable from the multi-cloud at all.
-    std::set<std::uint32_t> distinct;
-    for (const metadata::BlockLocation& b : info.blocks) {
-      distinct.insert(b.block_index);
-    }
-    if (distinct.size() < params.k) {
-      return make_error(ErrorCode::kUnavailable,
-                        "segment " + id + " failed to reach availability");
-    }
-    out.push_back(std::move(info));
-  }
-  return out;
+std::unique_ptr<UploadPipeline> UniDriveClient::make_pipeline(
+    const sched::CodeParams& params) {
+  return std::make_unique<UploadPipeline>(
+      params, codec_for(params), cloud_ids(), config_.driver, monitor_,
+      executor_, [this](cloud::CloudId id) { return find_cloud(id); },
+      config_.pipeline, health_, obs_);
 }
 
 namespace {
@@ -289,7 +233,7 @@ Result<Bytes> UniDriveClient::fetch_segment(
       return Status::ok();
     };
     sched::ThreadedTransferDriver driver(cloud_ids(), config_.driver,
-                                         monitor_, health_, obs_);
+                                         monitor_, health_, obs_, executor_);
     driver.run_download(scheduler, transfer);
     return shards.size() - before;
   };
@@ -331,13 +275,21 @@ Status UniDriveClient::materialize_file(const FileSnapshot& snapshot) {
   return fs_->write(snapshot.path, ByteSpan(content));
 }
 
-Result<std::pair<std::size_t, std::size_t>> UniDriveClient::apply_cloud_image(
+Result<UniDriveClient::ApplyOutcome> UniDriveClient::apply_cloud_image(
     const SyncFolderImage& target) {
   const metadata::ImageDiff diff = metadata::diff_images(image_, target);
-  std::size_t downloaded = 0;
-  std::size_t removed = 0;
+  ApplyOutcome outcome;
 
-  for (const std::string& d : diff.added_dirs) (void)fs_->make_dir(d);
+  // Directory failures must not be swallowed: a file materialized into a
+  // missing directory fails too, and the caller needs to know the folder
+  // does not fully reflect the committed image.
+  for (const std::string& d : diff.added_dirs) {
+    const Status s = fs_->make_dir(d);
+    if (!s.is_ok()) {
+      outcome.dir_failures.push_back(d);
+      UNI_LOG(kWarn) << "make_dir " << d << " failed: " << s.to_string();
+    }
+  }
 
   for (const auto& [path, change] : diff.files) {
     switch (change.kind) {
@@ -359,19 +311,26 @@ Result<std::pair<std::size_t, std::size_t>> UniDriveClient::apply_cloud_image(
               image_ = saved;
               return s;
             }());
-        ++downloaded;
+        ++outcome.downloaded;
         break;
       }
       case metadata::EntryChangeKind::kDeleted:
-        if (fs_->remove(path).is_ok()) ++removed;
+        if (fs_->remove(path).is_ok()) ++outcome.removed;
         break;
     }
   }
 
-  for (const std::string& d : diff.removed_dirs) (void)fs_->remove_dir(d);
+  for (const std::string& d : diff.removed_dirs) {
+    const Status s = fs_->remove_dir(d);
+    // Already gone is the desired end state, not a failure.
+    if (!s.is_ok() && s.code() != ErrorCode::kNotFound) {
+      outcome.dir_failures.push_back(d);
+      UNI_LOG(kWarn) << "remove_dir " << d << " failed: " << s.to_string();
+    }
+  }
 
   image_ = target;
-  return std::make_pair(downloaded, removed);
+  return outcome;
 }
 
 // --- control plane ----------------------------------------------------------
@@ -429,18 +388,49 @@ Result<SyncReport> UniDriveClient::sync() {
   obs::Span round_span = obs::start_span(obs_.get(), "sync.round");
 
   const chunker::SegmenterParams seg_params{config_.theta};
+  const sched::CodeParams params = code_params();
+  const bool params_ok = params.validate().is_ok();
+
+  // Staged mode: stand the pipeline up BEFORE the scan so CDC output
+  // streams straight into encode/transfer while the scanner is still
+  // walking files. Invalid CodeParams fall through to the batch branch,
+  // which surfaces the validation error only if there is data to upload.
+  std::unique_ptr<UploadPipeline> pipeline;
+  if (params_ok && config_.pipeline.enabled) pipeline = make_pipeline(params);
+
   ScanResult scan;
   {
     obs::Span scan_span = round_span.child("sync.scan");
-    scan = scan_local_changes(*fs_, image_, seg_params, config_.device,
-                              &scan_cache_);
+    if (pipeline != nullptr) {
+      scan = scan_local_changes(*fs_, image_, seg_params, config_.device,
+                                &scan_cache_,
+                                [&](const std::string& id, Bytes bytes) {
+                                  pipeline->feed(id, std::move(bytes));
+                                });
+    } else {
+      scan = scan_local_changes(*fs_, image_, seg_params, config_.device,
+                                &scan_cache_);
+    }
   }
 
   if (!scan.changes.empty()) {
     // --- local update path (Algorithm 1, lines 2-14) ---
     // Data plane first: blocks must hit the clouds before metadata does.
-    UNI_ASSIGN_OR_RETURN(const std::vector<SegmentInfo> uploaded,
-                         upload_segments(scan.new_segments));
+    std::vector<SegmentInfo> uploaded;
+    {
+      obs::Span upload_span = round_span.child("sync.upload_segments");
+      if (pipeline != nullptr) {
+        UNI_ASSIGN_OR_RETURN(uploaded, pipeline->finish());
+      } else if (!scan.new_segments.empty()) {
+        UNI_RETURN_IF_ERROR(params.validate());
+        // Monolithic fallback: one batch round through the same object.
+        auto batch = make_pipeline(params);
+        for (auto& [id, bytes] : scan.new_segments) {
+          batch->feed(id, std::move(bytes));
+        }
+        UNI_ASSIGN_OR_RETURN(uploaded, batch->finish());
+      }
+    }
     report.segments_uploaded = uploaded.size();
 
     // Build v_l = v_o + epsilon (+ fresh segment records).
@@ -516,21 +506,40 @@ Result<SyncReport> UniDriveClient::sync() {
     apply_span.end();
     if (!applied.is_ok()) {
       image_ = committed;  // folder lags, but metadata is authoritative
+      report.materialize = applied.status();
     } else {
-      report.files_downloaded += applied.value().first;
-      report.files_removed += applied.value().second;
-      report.applied_cloud = applied.value().first + applied.value().second > 0;
+      const ApplyOutcome& outcome = applied.value();
+      report.files_downloaded += outcome.downloaded;
+      report.files_removed += outcome.removed;
+      report.applied_cloud = outcome.downloaded + outcome.removed > 0;
+      report.dir_failures = outcome.dir_failures;
+      if (!outcome.dir_failures.empty()) {
+        report.materialize = Status(
+            ErrorCode::kUnavailable,
+            "folder materialization incomplete: " +
+                std::to_string(outcome.dir_failures.size()) +
+                " directory operation(s) failed");
+      }
     }
   } else if (store_.has_cloud_update(image_.version())) {
     // --- cloud update path (Algorithm 1, lines 15-18) ---
     UNI_ASSIGN_OR_RETURN(const metadata::FetchedMetadata fetched,
                          store_.fetch_latest());
     obs::Span apply_span = round_span.child("sync.apply_cloud");
-    UNI_ASSIGN_OR_RETURN(const auto counts, apply_cloud_image(fetched.image));
+    UNI_ASSIGN_OR_RETURN(const ApplyOutcome outcome,
+                         apply_cloud_image(fetched.image));
     apply_span.end();
-    report.files_downloaded = counts.first;
-    report.files_removed = counts.second;
+    report.files_downloaded = outcome.downloaded;
+    report.files_removed = outcome.removed;
     report.applied_cloud = true;
+    report.dir_failures = outcome.dir_failures;
+    if (!outcome.dir_failures.empty()) {
+      report.materialize = Status(
+          ErrorCode::kUnavailable,
+          "folder materialization incomplete: " +
+              std::to_string(outcome.dir_failures.size()) +
+              " directory operation(s) failed");
+    }
   }
 
   report.version = image_.version();

@@ -23,10 +23,12 @@
 #include "cloud/provider.h"
 #include "cloud/retrying_cloud.h"
 #include "common/clock.h"
+#include "common/executor.h"
 #include "common/retry.h"
 #include "common/rng.h"
 #include "core/change_scanner.h"
 #include "core/local_fs.h"
+#include "core/upload_pipeline.h"
 #include "erasure/rs.h"
 #include "lock/quorum_lock.h"
 #include "metadata/diff.h"
@@ -47,6 +49,10 @@ struct ClientConfig {
   std::size_t theta = 4 << 20;  // target segment size
   lock::LockConfig lock;
   sched::DriverConfig driver;
+  // Staged sync write path: shared executor width, encode stage, bounded
+  // in-flight bytes. pipeline.enabled = false reverts to the monolithic
+  // scan-then-upload round.
+  PipelineConfig pipeline;
   metadata::DeltaPolicy delta_policy;
   // Unified resilience layer: every enrolled cloud is wrapped exactly once
   // in a cloud::RetryingCloud combining this retry policy with a circuit
@@ -77,6 +83,12 @@ struct SyncReport {
   // clouds (k-of-N tolerates it) but redundancy is reduced.
   bool degraded = false;
   std::vector<cloud::CloudHealthSnapshot> cloud_health;
+  // Folder materialization outcome. `materialize` is non-OK when the local
+  // folder could not be brought fully up to the committed image (directory
+  // create/remove failures below, or a file that could not be
+  // reconstructed); the metadata commit itself still stands.
+  Status materialize;
+  std::vector<std::string> dir_failures;  // dirs that failed to (un)make
   // Point-in-time copy of the client's metrics registry, taken at the end
   // of the round. Counters are cumulative over the client's lifetime (they
   // are NOT reset per round); see obs/metrics.h for the name families.
@@ -150,10 +162,11 @@ class UniDriveClient {
   }
 
  private:
-  // Data plane: erasure-code and upload all new segments; returns the
-  // resulting segment records (with block locations) to merge into metadata.
-  Result<std::vector<metadata::SegmentInfo>> upload_segments(
-      const std::map<std::string, Bytes>& segments);
+  // Data plane: a staged UploadPipeline wired to this client's executor,
+  // guarded clouds and observability (also runs the monolithic fallback
+  // when config_.pipeline.enabled is false).
+  [[nodiscard]] std::unique_ptr<UploadPipeline> make_pipeline(
+      const sched::CodeParams& params);
 
   // Downloads + decodes the segments of `snapshot` and writes the file.
   Status materialize_file(const metadata::FileSnapshot& snapshot);
@@ -177,8 +190,16 @@ class UniDriveClient {
                          cloud::CloudProvider* added);
 
   // Applies the difference between image_ and `target` to the local folder
-  // (downloads, deletions); updates image_ on success.
-  Result<std::pair<std::size_t, std::size_t>> apply_cloud_image(
+  // (downloads, deletions); updates image_ on success. Directory
+  // create/remove failures do not abort the apply (files are still
+  // materialized) but are reported in `dir_failures` so sync() can surface
+  // an incomplete materialization instead of silently dropping them.
+  struct ApplyOutcome {
+    std::size_t downloaded = 0;
+    std::size_t removed = 0;
+    std::vector<std::string> dir_failures;
+  };
+  Result<ApplyOutcome> apply_cloud_image(
       const metadata::SyncFolderImage& target);
 
   // Commits `next` (already merged) under the held lock, handling
@@ -207,6 +228,10 @@ class UniDriveClient {
   obs::ObsPtr obs_;
   std::shared_ptr<cloud::CloudHealthRegistry> health_;
   cloud::MultiCloud guarded_;  // clouds_, each wrapped in a RetryingCloud
+  // Shared thread pool for the sync pipeline and the transfer drivers;
+  // sized for clouds * connections unless config_.pipeline.threads (or
+  // UNIDRIVE_PIPELINE_THREADS) overrides. Rebuilt on membership changes.
+  std::shared_ptr<Executor> executor_;
 
   metadata::SyncFolderImage image_;  // v_o: last known committed state
   metadata::MetaStore store_;

@@ -1,0 +1,355 @@
+#include "core/upload_pipeline.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "sched/threaded_driver.h"
+#include "sched/upload_scheduler.h"
+
+namespace unidrive::core {
+
+using metadata::SegmentInfo;
+
+UploadPipeline::UploadPipeline(const sched::CodeParams& params,
+                               erasure::RsCode code,
+                               std::vector<cloud::CloudId> clouds,
+                               sched::DriverConfig driver_config,
+                               sched::ThroughputMonitor& monitor,
+                               std::shared_ptr<Executor> executor,
+                               FindCloudFn find_cloud,
+                               PipelineConfig pipeline_config,
+                               std::shared_ptr<cloud::CloudHealthRegistry> health,
+                               obs::ObsPtr obs)
+    : params_(params),
+      code_(std::move(code)),
+      clouds_(std::move(clouds)),
+      driver_config_(driver_config),
+      monitor_(monitor),
+      executor_(std::move(executor)),
+      find_cloud_(std::move(find_cloud)),
+      config_(pipeline_config),
+      health_(std::move(health)),
+      obs_(std::move(obs)),
+      queue_(config_.encode_queue_capacity) {
+  if (config_.enabled) {
+    driver_ = std::make_unique<sched::StreamingUploadDriver>(
+        params_, clouds_, driver_config_, monitor_, executor_,
+        [this](const sched::BlockTask& task) { return transfer(task); },
+        sched::UploadOptions{}, health_, obs_,
+        [this](const std::string& id) { on_segment_settled(id); });
+  }
+}
+
+UploadPipeline::~UploadPipeline() {
+  cancel();
+  join_encode_workers();
+  // driver_ (if any) cancels and drains in its own destructor.
+}
+
+std::size_t UploadPipeline::inflight_bytes() const {
+  std::lock_guard<std::mutex> guard(mem_mutex_);
+  return inflight_;
+}
+
+void UploadPipeline::release_bytes_locked(std::size_t n) {
+  inflight_ -= std::min(inflight_, n);
+  obs::set_gauge(obs_.get(), "pipeline.inflight_bytes",
+                 static_cast<double>(inflight_));
+  mem_cv_.notify_all();
+}
+
+void UploadPipeline::feed(const std::string& id, Bytes bytes) {
+  if (cancelled_.load()) return;
+  const std::size_t plain = bytes.size();
+  // Full footprint reserved up front: the plaintext now in hand plus every
+  // coded shard the encode stage will materialize for it.
+  const std::size_t footprint =
+      plain + code_.shard_size(plain) * params_.code_n();
+
+  {
+    std::unique_lock<std::mutex> lock(mem_mutex_);
+    if (fed_ids_.count(id) != 0) return;  // dedup (defensive; scanner dedups)
+    if (!config_.enabled) {
+      // Monolithic baseline: hold everything, count only the plaintext
+      // (shards are produced per block on demand during the batch round).
+      fed_ids_.insert(id);
+      fed_.emplace_back(id, plain);
+      inflight_ += plain;
+      peak_inflight_ = std::max(peak_inflight_, inflight_);
+      obs::set_gauge(obs_.get(), "pipeline.inflight_bytes",
+                     static_cast<double>(inflight_));
+      obs::set_gauge(obs_.get(), "pipeline.inflight_bytes_peak",
+                     static_cast<double>(peak_inflight_));
+      lock.unlock();
+      std::lock_guard<std::mutex> cache(cache_mutex_);
+      pending_.emplace(id, std::move(bytes));
+      return;
+    }
+    // Admission gate: wait for room. An oversized segment (footprint >
+    // cap) is admitted once the pipeline is empty, so it cannot wedge.
+    mem_cv_.wait(lock, [&] {
+      return cancelled_.load() || inflight_ == 0 ||
+             inflight_ + footprint <= config_.max_inflight_bytes;
+    });
+    if (cancelled_.load()) return;
+    fed_ids_.insert(id);
+    fed_.emplace_back(id, plain);
+    inflight_ += footprint;
+    footprint_[id] = footprint;
+    peak_inflight_ = std::max(peak_inflight_, inflight_);
+    obs::set_gauge(obs_.get(), "pipeline.inflight_bytes",
+                   static_cast<double>(inflight_));
+    obs::set_gauge(obs_.get(), "pipeline.inflight_bytes_peak",
+                   static_cast<double>(peak_inflight_));
+    if (!workers_started_) {
+      workers_started_ = true;
+      const std::size_t n = std::max<std::size_t>(1, config_.encode_workers);
+      encode_threads_.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        encode_threads_.emplace_back([this] { encode_worker(); });
+      }
+    }
+  }
+
+  if (!queue_.push(EncodeJob{id, std::move(bytes)})) {
+    // Stream cancelled while blocked on the queue: roll the charge back.
+    std::lock_guard<std::mutex> lock(mem_mutex_);
+    release_bytes_locked(footprint_[id]);
+    footprint_.erase(id);
+    return;
+  }
+  obs::set_gauge(obs_.get(), "pipeline.queue.encode",
+                 static_cast<double>(queue_.depth()));
+}
+
+void UploadPipeline::encode_worker() {
+  std::vector<std::uint32_t> indices(params_.code_n());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<std::uint32_t>(i);
+  }
+  while (auto job = queue_.pop()) {
+    obs::set_gauge(obs_.get(), "pipeline.queue.encode",
+                   static_cast<double>(queue_.depth()));
+    const std::size_t plain = job->bytes.size();
+    const TimePoint start = RealClock::instance().now();
+    std::vector<erasure::Shard> shards =
+        code_.encode_shards_parallel(ByteSpan(job->bytes), indices,
+                                     *executor_);
+    obs::observe(obs_.get(), "pipeline.stage.encode.latency",
+                 RealClock::instance().now() - start);
+    Bytes().swap(job->bytes);  // plaintext no longer needed
+
+    {
+      std::lock_guard<std::mutex> cache(cache_mutex_);
+      auto& slot = shards_[job->id];
+      slot.assign(params_.code_n(), nullptr);
+      for (erasure::Shard& s : shards) {
+        slot[s.index] = std::make_shared<const Bytes>(std::move(s.data));
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mem_mutex_);
+      auto it = footprint_.find(job->id);
+      if (it != footprint_.end()) {
+        const std::size_t drop = std::min(it->second, plain);
+        it->second -= drop;
+        release_bytes_locked(drop);
+      }
+    }
+    if (!cancelled_.load()) {
+      sched::UploadFileSpec spec;
+      spec.path = job->id;  // data-plane job: one pseudo-file per segment
+      spec.segments.push_back({job->id, plain});
+      driver_->add_file(std::move(spec));
+    }
+  }
+}
+
+// Runs under the streaming driver's lock; the driver has already abandoned
+// the segment, so these bytes can never be requested again.
+void UploadPipeline::on_segment_settled(const std::string& id) {
+  {
+    std::lock_guard<std::mutex> cache(cache_mutex_);
+    shards_.erase(id);
+  }
+  std::lock_guard<std::mutex> lock(mem_mutex_);
+  const auto it = footprint_.find(id);
+  if (it == footprint_.end()) return;
+  release_bytes_locked(it->second);
+  footprint_.erase(it);
+}
+
+Status UploadPipeline::transfer(const sched::BlockTask& task) {
+  std::shared_ptr<const Bytes> shard;
+  {
+    std::lock_guard<std::mutex> cache(cache_mutex_);
+    const auto it = shards_.find(task.segment_id);
+    if (it != shards_.end() && task.block_index < it->second.size()) {
+      shard = it->second[task.block_index];
+    }
+  }
+  if (shard == nullptr) {
+    return make_error(ErrorCode::kInternal,
+                      "shard bytes unavailable for segment " +
+                          task.segment_id);
+  }
+  cloud::CloudProvider* provider = find_cloud_(task.cloud);
+  if (provider == nullptr) {
+    return make_error(ErrorCode::kInternal, "unknown cloud");
+  }
+  return provider->upload(
+      metadata::block_path(task.segment_id, task.block_index),
+      ByteSpan(*shard));
+}
+
+void UploadPipeline::cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mem_mutex_);
+    cancelled_.store(true);
+    mem_cv_.notify_all();
+  }
+  queue_.cancel();
+  if (driver_ != nullptr) driver_->cancel();
+}
+
+void UploadPipeline::join_encode_workers() {
+  for (std::thread& t : encode_threads_) {
+    if (t.joinable()) t.join();
+  }
+  encode_threads_.clear();
+}
+
+Result<std::vector<SegmentInfo>> UploadPipeline::build_results(
+    const std::function<std::vector<metadata::BlockLocation>(
+        const std::string&)>& locations,
+    std::size_t overprovisioned) {
+  // Per-round placement accounting: where the availability-first scheduler
+  // actually put the blocks, and how many were over-provisioned extras.
+  std::size_t placed = 0;
+  std::vector<SegmentInfo> out;
+  out.reserve(fed_.size());
+  for (const auto& [id, size] : fed_) {
+    SegmentInfo info;
+    info.id = id;
+    info.size = size;
+    info.blocks = locations(id);
+    for (const metadata::BlockLocation& b : info.blocks) {
+      obs::add_counter(obs_.get(),
+                       "sched.blocks.cloud" + std::to_string(b.cloud));
+      ++placed;
+    }
+    out.push_back(std::move(info));
+  }
+  obs::add_counter(obs_.get(), "sched.blocks.placed", placed);
+  obs::add_counter(obs_.get(), "sched.overprovisioned", overprovisioned);
+  obs::add_counter(obs_.get(), "sched.segments", fed_.size());
+
+  for (const SegmentInfo& info : out) {
+    // Availability is the hard floor: fewer than k blocks means the
+    // segment is not recoverable from the multi-cloud at all.
+    std::set<std::uint32_t> distinct;
+    for (const metadata::BlockLocation& b : info.blocks) {
+      distinct.insert(b.block_index);
+    }
+    if (distinct.size() < params_.k) {
+      return make_error(ErrorCode::kUnavailable,
+                        "segment " + info.id +
+                            " failed to reach availability");
+    }
+  }
+  return out;
+}
+
+Result<std::vector<SegmentInfo>> UploadPipeline::finish_monolithic() {
+  std::vector<SegmentInfo> empty;
+  std::map<std::string, Bytes> segments;
+  {
+    std::lock_guard<std::mutex> cache(cache_mutex_);
+    segments.swap(pending_);
+  }
+  const auto drop_all = [&] {
+    std::lock_guard<std::mutex> lock(mem_mutex_);
+    release_bytes_locked(inflight_);
+  };
+  if (segments.empty() || cancelled_.load()) {
+    drop_all();
+    if (cancelled_.load() && !segments.empty()) {
+      return make_error(ErrorCode::kUnavailable, "upload pipeline cancelled");
+    }
+    return empty;
+  }
+
+  // Batch all segments as one upload job (the two-phase scheduler treats
+  // each segment's file position by insertion order).
+  std::vector<sched::UploadFileSpec> specs;
+  for (const auto& [id, data] : segments) {
+    sched::UploadFileSpec spec;
+    spec.path = id;
+    spec.segments.push_back({id, data.size()});
+    specs.push_back(std::move(spec));
+  }
+  sched::UploadScheduler scheduler(params_, clouds_, specs);
+
+  const auto transfer = [&](const sched::BlockTask& task) -> Status {
+    const auto it = segments.find(task.segment_id);
+    if (it == segments.end()) {
+      return make_error(ErrorCode::kInternal, "unknown segment");
+    }
+    const std::vector<erasure::Shard> shards =
+        code_.encode_shards(ByteSpan(it->second), {task.block_index});
+    cloud::CloudProvider* provider = find_cloud_(task.cloud);
+    if (provider == nullptr) {
+      return make_error(ErrorCode::kInternal, "unknown cloud");
+    }
+    return provider->upload(
+        metadata::block_path(task.segment_id, task.block_index),
+        ByteSpan(shards.front().data));
+  };
+
+  sched::ThreadedTransferDriver driver(clouds_, driver_config_, monitor_,
+                                       health_, obs_, executor_);
+  driver.run_upload(scheduler, transfer);
+  drop_all();
+
+  return build_results(
+      [&](const std::string& id) { return scheduler.locations(id); },
+      scheduler.overprovisioned_blocks().size());
+}
+
+Result<std::vector<SegmentInfo>> UploadPipeline::finish() {
+  if (!config_.enabled) {
+    queue_.close();
+    return finish_monolithic();
+  }
+
+  // Drain stage by stage: no more scan input -> encode workers exit once
+  // the queue empties -> no more add_file -> the driver drains.
+  queue_.close();
+  join_encode_workers();
+  driver_->close();
+  driver_->wait();
+
+  // Anything still charged (cancelled mid-flight, or segments whose
+  // settle callback never fired) is released now; the driver is drained,
+  // so no transfer can touch the cache anymore.
+  {
+    std::lock_guard<std::mutex> cache(cache_mutex_);
+    shards_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mem_mutex_);
+    footprint_.clear();
+    release_bytes_locked(inflight_);
+  }
+
+  if (cancelled_.load()) {
+    if (fed_.empty()) return std::vector<SegmentInfo>{};
+    return make_error(ErrorCode::kUnavailable, "upload pipeline cancelled");
+  }
+  return build_results(
+      [&](const std::string& id) { return driver_->locations(id); },
+      driver_->overprovisioned_blocks().size());
+}
+
+}  // namespace unidrive::core

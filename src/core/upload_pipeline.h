@@ -1,0 +1,171 @@
+// UploadPipeline — the staged, streaming data-plane write path:
+//
+//   scan/CDC  ──feed()──►  [bounded encode queue]  ──►  encode workers
+//   (producer)                                           (RS fan-out on the
+//                                                        shared Executor)
+//                                                              │ add_file()
+//                                                              ▼
+//                                                     StreamingUploadDriver
+//                                                     (place + transfer)
+//
+// Backpressure and bounded memory: feed() is an admission gate that
+// reserves a segment's full footprint — plaintext + code_n coded shards —
+// against PipelineConfig::max_inflight_bytes and blocks the producer until
+// enough in-flight bytes drain. The charge is released in stages: the
+// plaintext portion as soon as the encode worker has produced the shards,
+// the shard portion when the transfer stage reports the segment settled
+// (every placed block acked, nothing more assignable). A segment larger
+// than the whole cap is admitted alone (the gate opens when the pipeline
+// is empty) so progress is always possible.
+//
+// finish() closes the stream, drains every stage, and returns the
+// SegmentInfo records exactly like the old monolithic upload_segments()
+// did — including the availability floor (>= k distinct blocks placed, or
+// kUnavailable). cancel() aborts all stages without deadlocking even when
+// a cloud call hangs: queued work is dropped, running transfers finish
+// their current request, and all reserved bytes are released.
+//
+// With PipelineConfig::enabled = false the same object runs the legacy
+// monolithic path (hold all segments, then one batch scheduler round with
+// per-block on-demand encoding) — the baseline the pipeline benchmark
+// compares against.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cloud/health.h"
+#include "cloud/provider.h"
+#include "common/executor.h"
+#include "erasure/rs.h"
+#include "metadata/types.h"
+#include "obs/obs.h"
+#include "sched/monitor.h"
+#include "sched/plan.h"
+#include "sched/streaming_driver.h"
+
+namespace unidrive::core {
+
+struct PipelineConfig {
+  // false = legacy monolithic round (scan fully, then encode+upload batch).
+  bool enabled = true;
+  // Shared executor width; 0 = max(clouds * connections, hardware). The
+  // UNIDRIVE_PIPELINE_THREADS environment variable overrides either.
+  std::size_t threads = 0;
+  // Dedicated encode-stage workers popping the bounded queue. Each encode
+  // additionally fans its shard rows out over the shared executor.
+  std::size_t encode_workers = 2;
+  // Capacity of the scan -> encode queue (segments).
+  std::size_t encode_queue_capacity = 4;
+  // Admission cap on plaintext + shard bytes resident in the pipeline.
+  std::size_t max_inflight_bytes = 256u << 20;
+};
+
+// Resolves a cloud id to its guarded provider (never the raw cloud).
+using FindCloudFn = std::function<cloud::CloudProvider*(cloud::CloudId)>;
+
+class UploadPipeline {
+ public:
+  UploadPipeline(const sched::CodeParams& params, erasure::RsCode code,
+                 std::vector<cloud::CloudId> clouds,
+                 sched::DriverConfig driver_config,
+                 sched::ThroughputMonitor& monitor,
+                 std::shared_ptr<Executor> executor, FindCloudFn find_cloud,
+                 PipelineConfig pipeline_config,
+                 std::shared_ptr<cloud::CloudHealthRegistry> health,
+                 obs::ObsPtr obs);
+  ~UploadPipeline();
+
+  UploadPipeline(const UploadPipeline&) = delete;
+  UploadPipeline& operator=(const UploadPipeline&) = delete;
+
+  // Hand one new segment to the pipeline. Blocks while the in-flight-bytes
+  // cap is reached (backpressure on the scanner). Duplicate ids are
+  // dropped. Returns immediately after cancel().
+  void feed(const std::string& id, Bytes bytes);
+
+  // End of stream: drain every stage and return the segment records (with
+  // final block locations) in feed order. kUnavailable if any segment
+  // ended below k distinct blocks. Call exactly once.
+  Result<std::vector<metadata::SegmentInfo>> finish();
+
+  // Abort: stop assigning work, drop queued segments, release every
+  // blocked producer and all reserved bytes. In-flight cloud requests
+  // complete; finish() afterwards reports the cancellation.
+  void cancel();
+
+  // Bytes currently reserved against the cap (for tests).
+  [[nodiscard]] std::size_t inflight_bytes() const;
+
+ private:
+  struct EncodeJob {
+    std::string id;
+    Bytes bytes;
+  };
+
+  void encode_worker();
+  void on_segment_settled(const std::string& id);  // under the driver lock
+  Status transfer(const sched::BlockTask& task);
+  void release_bytes_locked(std::size_t n);  // mem_mutex_ held
+  void join_encode_workers();
+  Result<std::vector<metadata::SegmentInfo>> finish_monolithic();
+  Result<std::vector<metadata::SegmentInfo>> build_results(
+      const std::function<std::vector<metadata::BlockLocation>(
+          const std::string&)>& locations,
+      std::size_t overprovisioned);
+
+  sched::CodeParams params_;
+  erasure::RsCode code_;
+  std::vector<cloud::CloudId> clouds_;
+  sched::DriverConfig driver_config_;
+  sched::ThroughputMonitor& monitor_;
+  std::shared_ptr<Executor> executor_;
+  FindCloudFn find_cloud_;
+  PipelineConfig config_;
+  std::shared_ptr<cloud::CloudHealthRegistry> health_;
+  obs::ObsPtr obs_;
+
+  // Admission gate + accounting. mem_mutex_ is a leaf lock everywhere
+  // except feed(), which holds nothing else.
+  mutable std::mutex mem_mutex_;
+  std::condition_variable mem_cv_;
+  std::size_t inflight_ = 0;
+  std::size_t peak_inflight_ = 0;
+  // Remaining charged bytes per fed segment (plaintext drops off after
+  // encode, the shard part on settle).
+  std::map<std::string, std::size_t> footprint_;
+  bool workers_started_ = false;
+  std::atomic<bool> cancelled_{false};
+
+  // Feed order and sizes, for building the result records.
+  std::vector<std::pair<std::string, std::uint64_t>> fed_;
+  std::set<std::string> fed_ids_;
+
+  // scan -> encode channel.
+  BoundedQueue<EncodeJob> queue_;
+  std::vector<std::thread> encode_threads_;
+
+  // Encoded shards awaiting transfer, indexed by block index. shared_ptr
+  // so a transfer in progress keeps its shard alive across a concurrent
+  // (impossible for settled segments, but cheap) release.
+  std::mutex cache_mutex_;
+  std::map<std::string, std::vector<std::shared_ptr<const Bytes>>> shards_;
+
+  // Transfer stage (pipelined mode only).
+  std::unique_ptr<sched::StreamingUploadDriver> driver_;
+
+  // Monolithic mode: segments held until finish().
+  std::map<std::string, Bytes> pending_;
+};
+
+}  // namespace unidrive::core

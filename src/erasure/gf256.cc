@@ -1,6 +1,7 @@
 #include "erasure/gf256.h"
 
 #include <array>
+#include <cstring>
 
 namespace unidrive::erasure {
 
@@ -72,12 +73,36 @@ std::uint8_t Gf256::exp(int power) noexcept {
 void Gf256::mul_add_slice(std::uint8_t* dst, const std::uint8_t* src,
                           std::size_t n, std::uint8_t coeff) noexcept {
   if (coeff == 0) return;
-  const auto& row = tables().mul[coeff];
+  std::size_t i = 0;
   if (coeff == 1) {
-    for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+    // Pure XOR: combine 8 bytes per load/store pair.
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t a;
+      std::uint64_t b;
+      std::memcpy(&a, dst + i, 8);
+      std::memcpy(&b, src + i, 8);
+      a ^= b;
+      std::memcpy(dst + i, &a, 8);
+    }
+    for (; i < n; ++i) dst[i] ^= src[i];
     return;
   }
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+  // One 256-entry product row per coefficient (a 256-byte table, resident
+  // in L1 for the whole slice), applied in 8-byte blocks: the 8 translated
+  // bytes are composed in a local buffer and folded into dst with a single
+  // word-wide load/XOR/store instead of 8 read-modify-writes.
+  const auto& row = tables().mul[coeff];
+  for (; i + 8 <= n; i += 8) {
+    std::uint8_t translated[8];
+    for (std::size_t j = 0; j < 8; ++j) translated[j] = row[src[i + j]];
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, translated, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
 }
 
 void Gf256::scale_slice(std::uint8_t* dst, std::size_t n,

@@ -81,6 +81,25 @@ std::vector<Shard> RsCode::encode_shards(
   return out;
 }
 
+std::vector<Shard> RsCode::encode_shards_parallel(
+    ByteSpan segment, const std::vector<std::uint32_t>& indices,
+    Executor& executor) const {
+  const std::vector<Bytes> data = split_into_data_shards(segment);
+  const std::size_t size = shard_size(segment.size());
+
+  std::vector<Shard> out(indices.size());
+  executor.parallel_apply(indices.size(), [&](std::size_t i) {
+    Shard& shard = out[i];
+    shard.index = indices[i];
+    shard.data.assign(size, 0);
+    for (std::size_t c = 0; c < k_; ++c) {
+      Gf256::mul_add_slice(shard.data.data(), data[c].data(), size,
+                           matrix_.at(shard.index, c));
+    }
+  });
+  return out;
+}
+
 Result<Bytes> RsCode::decode(const std::vector<Shard>& shards,
                              std::size_t original_size) const {
   if (shards.size() < k_) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/executor.h"
 #include "common/status.h"
 #include "erasure/matrix.h"
 
@@ -52,6 +53,15 @@ class RsCode {
   // over-provisioned parity blocks).
   [[nodiscard]] std::vector<Shard> encode_shards(
       ByteSpan segment, const std::vector<std::uint32_t>& indices) const;
+
+  // Same result as encode_shards(), but the per-shard row combinations are
+  // fanned out over `executor` (the calling thread participates, so this is
+  // safe from pool threads and degrades to the serial path on a
+  // single-thread executor). The segment is split into data shards exactly
+  // once, shared read-only by all rows.
+  [[nodiscard]] std::vector<Shard> encode_shards_parallel(
+      ByteSpan segment, const std::vector<std::uint32_t>& indices,
+      Executor& executor) const;
 
   // Reconstruct the original segment (original_size bytes) from any k
   // shards with distinct indices. Fails with kCorrupt on bad input.

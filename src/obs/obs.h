@@ -53,6 +53,10 @@ inline void observe(Observability* obs, const std::string& name, double v) {
   if (obs != nullptr) obs->metrics.histogram(name).observe(v);
 }
 
+inline void set_gauge(Observability* obs, const std::string& name, double v) {
+  if (obs != nullptr) obs->metrics.gauge(name).set(v);
+}
+
 // The whole Observability as a JSON document:
 //   {"counters": {...}, "gauges": {...},
 //    "histograms": {"name": {"count":..,"sum":..,"min":..,"max":..,

@@ -1,0 +1,190 @@
+#include "sched/streaming_driver.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace unidrive::sched {
+
+StreamingUploadDriver::StreamingUploadDriver(
+    CodeParams params, std::vector<cloud::CloudId> clouds,
+    DriverConfig config, ThroughputMonitor& monitor,
+    std::shared_ptr<Executor> executor, TransferFn transfer,
+    UploadOptions options, std::shared_ptr<cloud::CloudHealthRegistry> health,
+    obs::ObsPtr obs, SegmentSettledFn on_settled)
+    : clouds_(std::move(clouds)),
+      config_(config),
+      monitor_(monitor),
+      executor_(std::move(executor)),
+      transfer_(std::move(transfer)),
+      health_(std::move(health)),
+      obs_(std::move(obs)),
+      on_settled_(std::move(on_settled)),
+      scheduler_(params, clouds_, {}, options) {
+  for (const cloud::CloudId c : clouds_) {
+    free_conns_[c] = config_.connections_per_cloud;
+  }
+  if (obs_) {
+    for (const cloud::CloudId c : clouds_) {
+      ok_counters_[c] =
+          &obs_->metrics.counter("driver.up.cloud" + std::to_string(c) +
+                                 ".ok");
+      err_counters_[c] =
+          &obs_->metrics.counter("driver.up.cloud" + std::to_string(c) +
+                                 ".err");
+    }
+    latency_hist_ = &obs_->metrics.histogram("driver.up.latency");
+  }
+  // Same up-front breaker gate as ThreadedTransferDriver: a cloud tripped
+  // in an earlier round starts this job disabled unless its probe timer
+  // expired.
+  if (health_ != nullptr) {
+    for (const cloud::CloudId c : clouds_) {
+      if (!health_->admissible(c)) {
+        scheduler_.set_cloud_enabled(c, false);
+        disabled_.insert(c);
+      }
+    }
+  }
+}
+
+StreamingUploadDriver::~StreamingUploadDriver() {
+  cancel();
+  wait();
+}
+
+bool StreamingUploadDriver::done() const {
+  return outstanding_ == 0 &&
+         (cancelled_ || (closed_ && scheduler_.finished()));
+}
+
+void StreamingUploadDriver::add_file(UploadFileSpec file) {
+  std::lock_guard<std::mutex> guard(lock_);
+  if (closed_ || cancelled_) return;
+  for (const UploadSegmentSpec& seg : file.segments) {
+    unsettled_.insert(seg.id);
+  }
+  scheduler_.add_file(std::move(file));
+  pump();
+  // With every cloud capped or down the new segments may already be
+  // unassignable; settle them now so a producer blocked on a memory cap
+  // is not left waiting for a completion that will never come.
+  sweep_settled();
+}
+
+void StreamingUploadDriver::close() {
+  std::lock_guard<std::mutex> guard(lock_);
+  if (closed_) return;
+  closed_ = true;
+  cv_.notify_all();
+}
+
+void StreamingUploadDriver::cancel() {
+  std::lock_guard<std::mutex> guard(lock_);
+  if (cancelled_) return;
+  cancelled_ = true;
+  cv_.notify_all();
+}
+
+void StreamingUploadDriver::wait() {
+  std::unique_lock<std::mutex> guard(lock_);
+  cv_.wait(guard, [&] { return done(); });
+}
+
+bool StreamingUploadDriver::cancelled() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return cancelled_;
+}
+
+std::vector<metadata::BlockLocation> StreamingUploadDriver::locations(
+    const std::string& segment_id) const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return scheduler_.locations(segment_id);
+}
+
+std::vector<std::pair<std::string, metadata::BlockLocation>>
+StreamingUploadDriver::overprovisioned_blocks() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return scheduler_.overprovisioned_blocks();
+}
+
+void StreamingUploadDriver::pump() {
+  if (cancelled_ || scheduler_.finished()) return;
+  for (const cloud::CloudId c : clouds_) {
+    while (free_conns_[c] > 0) {
+      const std::optional<BlockTask> task = scheduler_.next_task(c);
+      if (!task.has_value()) break;
+      launch(c, *task);
+    }
+  }
+}
+
+void StreamingUploadDriver::sweep_settled() {
+  for (auto it = unsettled_.begin(); it != unsettled_.end();) {
+    if (!scheduler_.segment_settled(*it)) {
+      ++it;
+      continue;
+    }
+    // Abandon BEFORE releasing the bytes: a cloud re-admitted later must
+    // never be assigned a block whose shards are gone.
+    scheduler_.abandon_segment(*it);
+    if (on_settled_) on_settled_(*it);
+    it = unsettled_.erase(it);
+  }
+}
+
+void StreamingUploadDriver::launch(cloud::CloudId cloud,
+                                   const BlockTask& task) {
+  --free_conns_[cloud];
+  ++outstanding_;
+  executor_->submit([this, task, cloud] {
+    const TimePoint start = RealClock::instance().now();
+    const Status status = transfer_(task);
+    const TimePoint end = RealClock::instance().now();
+    if (obs_ != nullptr) {
+      (status.is_ok() ? ok_counters_ : err_counters_).at(cloud)->add();
+      latency_hist_->observe(end - start);
+    }
+    if (status.is_ok()) {
+      monitor_.record(cloud, Direction::kUpload,
+                      static_cast<double>(task.bytes),
+                      std::max(1e-9, end - start));
+    } else {
+      monitor_.record_failure(cloud, Direction::kUpload, end - start);
+      UNI_LOG(kDebug) << "transfer failed on cloud " << cloud << ": "
+                      << status.to_string();
+    }
+
+    std::lock_guard<std::mutex> guard(lock_);
+    scheduler_.on_complete(task, status.is_ok());
+    if (status.is_ok()) {
+      consecutive_failures_[cloud] = 0;
+      if (disabled_.erase(cloud) != 0) {
+        scheduler_.set_cloud_enabled(cloud, true);
+        obs::add_counter(obs_.get(), "driver.cloud_readmitted");
+        UNI_LOG(kInfo) << "cloud " << cloud << " re-admitted";
+      }
+    } else {
+      ++consecutive_failures_[cloud];
+      const bool down =
+          (health_ != nullptr && !health_->admissible(cloud)) ||
+          consecutive_failures_[cloud] >= config_.max_consecutive_failures;
+      if (down && disabled_.insert(cloud).second) {
+        scheduler_.set_cloud_enabled(cloud, false);
+        obs::add_counter(obs_.get(), "driver.cloud_disabled");
+        UNI_LOG(kInfo) << "cloud " << cloud
+                       << " disabled after repeated failures";
+      }
+    }
+    ++free_conns_[cloud];
+    --outstanding_;
+    pump();
+    sweep_settled();
+    // Notify under the lock: wait() may destroy this object right after.
+    cv_.notify_all();
+  });
+}
+
+}  // namespace unidrive::sched

@@ -1,0 +1,127 @@
+// StreamingUploadDriver — an upload driver that accepts files
+// *incrementally* while transfers are already running, so encode and
+// transfer overlap instead of the driver draining a frozen plan.
+//
+// This is the transfer stage of the sync pipeline: the encode stage calls
+// add_file() as soon as a segment's shards exist, close() when the scan is
+// exhausted, and wait() for the drain. The embedded UploadScheduler keeps
+// the batch policy intact — files added later rank after earlier ones in
+// the availability-first order, over-provisioning and the per-cloud
+// security cap apply unchanged — because all policy still lives in the
+// scheduler; this class only feeds it and executes its decisions on a
+// shared Executor (same event-driven pump as ThreadedTransferDriver).
+//
+// Memory release: when a segment "settles" (nothing in flight and no
+// future task can place another block — fully served, or every enabled
+// cloud is capped/down), the driver abandons it in the scheduler and fires
+// the SegmentSettledFn, letting the pipeline drop the shard bytes early.
+// Abandoning first makes the release safe: even if a disabled cloud is
+// later re-admitted, the scheduler will never ask for those bytes again.
+// The settled sweep also runs when clouds go down mid-run, so a producer
+// blocked on an in-flight-bytes cap is always unblocked eventually.
+//
+// cancel() stops all future assignment; transfers already running finish
+// (cloud calls are not interruptible) and are awaited by wait().
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cloud/health.h"
+#include "cloud/provider.h"
+#include "common/executor.h"
+#include "metadata/types.h"
+#include "obs/obs.h"
+#include "sched/monitor.h"
+#include "sched/plan.h"
+#include "sched/threaded_driver.h"
+#include "sched/upload_scheduler.h"
+
+namespace unidrive::sched {
+
+// Invoked under the driver lock when a segment's shard bytes can be
+// released. Must not call back into the driver.
+using SegmentSettledFn = std::function<void(const std::string& segment_id)>;
+
+class StreamingUploadDriver {
+ public:
+  StreamingUploadDriver(CodeParams params,
+                        std::vector<cloud::CloudId> clouds,
+                        DriverConfig config, ThroughputMonitor& monitor,
+                        std::shared_ptr<Executor> executor,
+                        TransferFn transfer, UploadOptions options = {},
+                        std::shared_ptr<cloud::CloudHealthRegistry> health =
+                            nullptr,
+                        obs::ObsPtr obs = nullptr,
+                        SegmentSettledFn on_settled = nullptr);
+  // Cancels and waits for in-flight transfers if the job is still open.
+  ~StreamingUploadDriver();
+
+  StreamingUploadDriver(const StreamingUploadDriver&) = delete;
+  StreamingUploadDriver& operator=(const StreamingUploadDriver&) = delete;
+
+  // Feed one more file into the running job. Ignored after close/cancel.
+  void add_file(UploadFileSpec file);
+
+  // No more files will be added; wait() returns once the scheduler drains.
+  void close();
+
+  // Stop assigning new blocks. In-flight transfers complete and are
+  // reported to the scheduler, then wait() returns.
+  void cancel();
+
+  // Blocks until the job is done: nothing in flight AND (cancelled, or
+  // closed with the scheduler finished).
+  void wait();
+
+  [[nodiscard]] bool cancelled() const;
+
+  // Snapshot accessors; meaningful once the relevant segment settled or
+  // after wait().
+  [[nodiscard]] std::vector<metadata::BlockLocation> locations(
+      const std::string& segment_id) const;
+  [[nodiscard]] std::vector<std::pair<std::string, metadata::BlockLocation>>
+  overprovisioned_blocks() const;
+  [[nodiscard]] const CodeParams& params() const noexcept {
+    return scheduler_.params();
+  }
+
+ private:
+  // Both require lock_ held.
+  void pump();
+  void sweep_settled();
+  [[nodiscard]] bool done() const;
+  void launch(cloud::CloudId cloud, const BlockTask& task);
+
+  std::vector<cloud::CloudId> clouds_;
+  DriverConfig config_;
+  ThroughputMonitor& monitor_;
+  std::shared_ptr<Executor> executor_;
+  TransferFn transfer_;
+  std::shared_ptr<cloud::CloudHealthRegistry> health_;
+  obs::ObsPtr obs_;
+  SegmentSettledFn on_settled_;
+
+  mutable std::mutex lock_;
+  std::condition_variable cv_;
+  UploadScheduler scheduler_;
+  std::map<cloud::CloudId, std::size_t> free_conns_;
+  std::size_t outstanding_ = 0;
+  bool closed_ = false;
+  bool cancelled_ = false;
+  std::map<cloud::CloudId, int> consecutive_failures_;
+  std::set<cloud::CloudId> disabled_;
+  std::set<std::string> unsettled_;
+  std::map<cloud::CloudId, obs::Counter*> ok_counters_;
+  std::map<cloud::CloudId, obs::Counter*> err_counters_;
+  obs::Histogram* latency_hist_ = nullptr;
+};
+
+}  // namespace unidrive::sched

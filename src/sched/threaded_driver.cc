@@ -1,7 +1,11 @@
 #include "sched/threaded_driver.h"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <set>
 
 #include "common/clock.h"
@@ -12,20 +16,29 @@ namespace unidrive::sched {
 ThreadedTransferDriver::ThreadedTransferDriver(
     std::vector<cloud::CloudId> clouds, DriverConfig config,
     ThroughputMonitor& monitor,
-    std::shared_ptr<cloud::CloudHealthRegistry> health, obs::ObsPtr obs)
+    std::shared_ptr<cloud::CloudHealthRegistry> health, obs::ObsPtr obs,
+    std::shared_ptr<Executor> executor)
     : clouds_(std::move(clouds)),
       config_(config),
       monitor_(monitor),
       health_(std::move(health)),
-      obs_(std::move(obs)) {}
+      obs_(std::move(obs)),
+      executor_(std::move(executor)) {}
 
 template <typename Scheduler>
 void ThreadedTransferDriver::run(Scheduler& scheduler,
                                  const TransferFn& transfer, Direction dir) {
+  // All scheduler state below is guarded by `mutex`; completion handlers
+  // notify under the lock so run() can safely destroy the cv on return.
   std::mutex mutex;
   std::condition_variable cv;
-  bool stop = false;
-  // Per-cloud outcome counters, resolved once so worker threads only touch
+  std::size_t outstanding = 0;  // submitted transfers not yet completed
+  std::map<cloud::CloudId, std::size_t> free_conns;
+  for (const cloud::CloudId c : clouds_) {
+    free_conns[c] = config_.connections_per_cloud;
+  }
+
+  // Per-cloud outcome counters, resolved once so transfer tasks only touch
   // atomics; null when observability is off.
   const char* const dir_name = dir == Direction::kUpload ? "up" : "down";
   std::map<cloud::CloudId, obs::Counter*> ok_counters;
@@ -59,39 +72,60 @@ void ThreadedTransferDriver::run(Scheduler& scheduler,
     return consecutive_failures[cloud] >= config_.max_consecutive_failures;
   };
 
-  auto worker = [&](cloud::CloudId cloud) {
-    while (true) {
-      std::optional<BlockTask> task;
-      bool is_hedge = false;
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        cv.wait(lock, [&] {
-          if (stop || scheduler.finished()) return true;
-          if ((task = scheduler.next_task(cloud)).has_value()) return true;
-          // Straggler hedging for downloads: duplicate work pinned on
-          // slower clouds once nothing regular is assignable.
-          if constexpr (requires { scheduler.next_hedge_task(cloud); }) {
-            scheduler.set_speed_order(monitor_.ranked(dir, clouds_));
-            if ((task = scheduler.next_hedge_task(cloud)).has_value()) {
-              is_hedge = true;
-              return true;
-            }
-          }
-          return false;
-        });
-        if (stop || !task.has_value()) return;
+  // Without a shared executor, a local pool with the same concurrency as
+  // the old thread-per-connection model. Declared after mutex/cv so its
+  // destructor (which joins the pool) runs first on scope exit, while the
+  // synchronization objects the tasks use are still alive.
+  std::unique_ptr<Executor> local;
+  Executor* exec = executor_.get();
+  if (exec == nullptr) {
+    local = std::make_unique<Executor>(std::max<std::size_t>(
+        1, clouds_.size() * config_.connections_per_cloud));
+    exec = local.get();
+  }
+
+  // launch() and pump() are mutually recursive and both require `mutex` to
+  // be held by the caller.
+  std::function<void(cloud::CloudId, const BlockTask&, bool)> launch;
+  const auto pump = [&] {
+    // Goal met = done: never assign surplus work past finished().
+    if (scheduler.finished()) return;
+    for (const cloud::CloudId c : clouds_) {
+      while (free_conns[c] > 0) {
+        const std::optional<BlockTask> task = scheduler.next_task(c);
+        if (!task.has_value()) break;
+        launch(c, *task, /*is_hedge=*/false);
       }
+    }
+    // Straggler hedging for downloads: duplicate work pinned on slower
+    // clouds once nothing regular is assignable.
+    if constexpr (requires { scheduler.next_hedge_task(cloud::CloudId{}); }) {
+      scheduler.set_speed_order(monitor_.ranked(dir, clouds_));
+      for (const cloud::CloudId c : clouds_) {
+        while (free_conns[c] > 0) {
+          const std::optional<BlockTask> task = scheduler.next_hedge_task(c);
+          if (!task.has_value()) break;
+          launch(c, *task, /*is_hedge=*/true);
+        }
+      }
+    }
+  };
+
+  launch = [&](cloud::CloudId cloud, const BlockTask& task, bool is_hedge) {
+    --free_conns[cloud];
+    ++outstanding;
+    exec->submit([&, task, cloud, is_hedge] {
       if (is_hedge) obs::add_counter(obs_.get(), "driver.hedge_tasks");
 
       const TimePoint start = RealClock::instance().now();
-      const Status status = transfer(*task);
+      const Status status = transfer(task);
       const TimePoint end = RealClock::instance().now();
-      if (obs_) {
-        (status.is_ok() ? ok_counters : err_counters)[cloud]->add();
+      if (obs_ != nullptr) {
+        (status.is_ok() ? ok_counters : err_counters).at(cloud)->add();
         latency_hist->observe(end - start);
       }
       if (status.is_ok()) {
-        monitor_.record(cloud, dir, static_cast<double>(task->bytes),
+        monitor_.record(cloud, dir, static_cast<double>(task.bytes),
                         std::max(1e-9, end - start));
       } else {
         // Failures waste connection time too: feed the stall into the
@@ -101,53 +135,49 @@ void ThreadedTransferDriver::run(Scheduler& scheduler,
                         << status.to_string();
       }
 
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        scheduler.on_complete(*task, status.is_ok());
-        if (status.is_ok()) {
-          consecutive_failures[cloud] = 0;
-          if (disabled.erase(cloud) != 0) {
-            scheduler.set_cloud_enabled(cloud, true);
-            obs::add_counter(obs_.get(), "driver.cloud_readmitted");
-            UNI_LOG(kInfo) << "cloud " << cloud << " re-admitted";
-          }
-        } else {
-          ++consecutive_failures[cloud];
-          if (cloud_is_down(cloud) && disabled.insert(cloud).second) {
-            scheduler.set_cloud_enabled(cloud, false);
-            obs::add_counter(obs_.get(), "driver.cloud_disabled");
-            UNI_LOG(kInfo) << "cloud " << cloud
-                           << " disabled after repeated failures";
-          }
+      std::lock_guard<std::mutex> lock(mutex);
+      scheduler.on_complete(task, status.is_ok());
+      if (status.is_ok()) {
+        consecutive_failures[cloud] = 0;
+        if (disabled.erase(cloud) != 0) {
+          scheduler.set_cloud_enabled(cloud, true);
+          obs::add_counter(obs_.get(), "driver.cloud_readmitted");
+          UNI_LOG(kInfo) << "cloud " << cloud << " re-admitted";
         }
-        if (scheduler.finished()) stop = true;
+      } else {
+        ++consecutive_failures[cloud];
+        if (cloud_is_down(cloud) && disabled.insert(cloud).second) {
+          scheduler.set_cloud_enabled(cloud, false);
+          obs::add_counter(obs_.get(), "driver.cloud_disabled");
+          UNI_LOG(kInfo) << "cloud " << cloud
+                         << " disabled after repeated failures";
+        }
       }
+      ++free_conns[cloud];
+      --outstanding;
+      pump();
       cv.notify_all();
-    }
+    });
   };
 
-  // A cloud already tripped when the run starts (breaker state carried over
-  // from earlier rounds) is disabled up front — unless its probe timer
-  // expired, in which case its workers run and the first transfer probes it.
-  if (health_ != nullptr) {
-    for (const cloud::CloudId c : clouds_) {
-      if (!health_->admissible(c)) {
-        scheduler.set_cloud_enabled(c, false);
-        disabled.insert(c);
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    // A cloud already tripped when the run starts (breaker state carried
+    // over from earlier rounds) is disabled up front — unless its probe
+    // timer expired, in which case the first transfer probes it.
+    if (health_ != nullptr) {
+      for (const cloud::CloudId c : clouds_) {
+        if (!health_->admissible(c)) {
+          scheduler.set_cloud_enabled(c, false);
+          disabled.insert(c);
+        }
       }
     }
+    pump();
+    // Every completion pumps before notifying, so outstanding == 0 implies
+    // nothing further is assignable: the job is finished or stalled.
+    cv.wait(lock, [&] { return outstanding == 0; });
   }
-
-  std::vector<std::thread> threads;
-  threads.reserve(clouds_.size() * config_.connections_per_cloud);
-  for (const cloud::CloudId c : clouds_) {
-    for (std::size_t i = 0; i < config_.connections_per_cloud; ++i) {
-      threads.emplace_back(worker, c);
-    }
-  }
-  // Wake everyone once in case finished() is true at entry.
-  cv.notify_all();
-  for (std::thread& t : threads) t.join();
 }
 
 void ThreadedTransferDriver::run_upload(UploadScheduler& scheduler,

@@ -1,13 +1,21 @@
 // ThreadedTransferDriver — executes an Upload- or DownloadScheduler's plan
-// against real CloudProviders with a bounded pool of connections per cloud
-// (the paper uses up to 5 concurrent HTTP connections per cloud).
+// against real CloudProviders with a bounded number of connections per
+// cloud (the paper uses up to 5 concurrent HTTP connections per cloud).
 //
-// Each connection is a worker thread bound to one cloud. Whenever a worker
-// goes idle it asks the scheduler for that cloud's next block; completions
-// are fed back into the scheduler and the throughput monitor (in-channel
-// probing), and all idle workers are woken because a completion can unlock
-// work for any cloud (e.g. over-provisioning kicks in when the fast cloud
-// finishes its fair share).
+// The driver is event-driven: instead of parking one thread per connection,
+// it tracks free connections per cloud and, under a single lock, "pumps"
+// the scheduler — assigning a block to every free connection that can get
+// one and submitting each transfer as a finite task on an Executor. When a
+// transfer completes, its completion handler feeds the scheduler and the
+// throughput monitor (in-channel probing) and pumps again, because a
+// completion can unlock work for any cloud (e.g. over-provisioning kicks
+// in when the fast cloud finishes its fair share).
+//
+// The Executor may be shared with other subsystems (the sync pipeline's
+// encode stage); transfers block on cloud I/O, so the pool must be sized
+// for that (see ClientConfig). Without a shared executor the driver spins
+// up a local pool with one thread per connection — the exact concurrency
+// of the old thread-per-connection model.
 //
 // Fault handling: when a shared CloudHealthRegistry is supplied, a cloud
 // whose circuit breaker is open is disabled in the scheduler for this run
@@ -17,15 +25,13 @@
 // driver falls back to per-run consecutive-failure counting.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "cloud/health.h"
 #include "cloud/provider.h"
+#include "common/executor.h"
 #include "obs/obs.h"
 #include "sched/download_scheduler.h"
 #include "sched/monitor.h"
@@ -35,7 +41,7 @@ namespace unidrive::sched {
 
 // Performs the actual transfer for a task; returns OK on success. For
 // uploads the callee encodes the shard and PUTs it; for downloads it GETs
-// and stores the shard. Runs on a worker thread.
+// and stores the shard. Runs on an executor thread; must be thread-safe.
 using TransferFn = std::function<Status(const BlockTask&)>;
 
 struct DriverConfig {
@@ -52,11 +58,15 @@ class ThreadedTransferDriver {
   // histogram (driver.up|down.latency), and straggler handoffs / cloud
   // disable/re-admit events are counted (driver.hedge_tasks,
   // driver.cloud_disabled, driver.cloud_readmitted).
+  //
+  // When `executor` is null, each run creates a local pool sized
+  // clouds * connections_per_cloud.
   ThreadedTransferDriver(std::vector<cloud::CloudId> clouds,
                          DriverConfig config, ThroughputMonitor& monitor,
                          std::shared_ptr<cloud::CloudHealthRegistry> health =
                              nullptr,
-                         obs::ObsPtr obs = nullptr);
+                         obs::ObsPtr obs = nullptr,
+                         std::shared_ptr<Executor> executor = nullptr);
 
   // Runs the upload job to completion (or stall); returns when
   // scheduler.finished(). Blocks the calling thread.
@@ -74,6 +84,7 @@ class ThreadedTransferDriver {
   ThroughputMonitor& monitor_;
   std::shared_ptr<cloud::CloudHealthRegistry> health_;
   obs::ObsPtr obs_;
+  std::shared_ptr<Executor> executor_;
 };
 
 }  // namespace unidrive::sched

@@ -16,19 +16,22 @@ UploadScheduler::UploadScheduler(CodeParams params,
   assert(params_.validate().is_ok());
   assert(clouds_.size() == params_.num_clouds);
   files_.reserve(files.size());
-  for (std::size_t fi = 0; fi < files.size(); ++fi) {
-    FileState fs;
-    fs.spec = std::move(files[fi]);
-    for (const UploadSegmentSpec& seg : fs.spec.segments) {
-      SegmentState ss;
-      ss.file_index = fi;
-      ss.id = seg.id;
-      ss.block_bytes = (seg.size + params_.k - 1) / params_.k;
-      fs.segment_indices.push_back(segments_.size());
-      segments_.push_back(std::move(ss));
-    }
-    files_.push_back(std::move(fs));
+  for (UploadFileSpec& file : files) add_file(std::move(file));
+}
+
+void UploadScheduler::add_file(UploadFileSpec file) {
+  const std::size_t fi = files_.size();
+  FileState fs;
+  fs.spec = std::move(file);
+  for (const UploadSegmentSpec& seg : fs.spec.segments) {
+    SegmentState ss;
+    ss.file_index = fi;
+    ss.id = seg.id;
+    ss.block_bytes = (seg.size + params_.k - 1) / params_.k;
+    fs.segment_indices.push_back(segments_.size());
+    segments_.push_back(std::move(ss));
   }
+  files_.push_back(std::move(fs));
 }
 
 bool UploadScheduler::segment_available(const SegmentState& seg) const {
@@ -53,8 +56,11 @@ bool UploadScheduler::segment_fully_served(const SegmentState& seg) const {
 }
 
 bool UploadScheduler::file_available(std::size_t file_index) const {
+  // Abandoned segments are as available as they will ever get; counting
+  // them would pin the batch in the availability phase forever.
   for (const std::size_t si : files_[file_index].segment_indices) {
-    if (!segment_available(segments_[si])) return false;
+    const SegmentState& seg = segments_[si];
+    if (!seg.abandoned && !segment_available(seg)) return false;
   }
   return true;
 }
@@ -68,7 +74,8 @@ bool UploadScheduler::all_available() const {
 
 bool UploadScheduler::file_reliable(std::size_t file_index) const {
   for (const std::size_t si : files_[file_index].segment_indices) {
-    if (!segment_reliable(segments_[si])) return false;
+    const SegmentState& seg = segments_[si];
+    if (!seg.abandoned && !segment_reliable(seg)) return false;
   }
   return true;
 }
@@ -88,7 +95,7 @@ bool UploadScheduler::finished() const {
   // Finished when every segment is fully served, or nothing more can be
   // assigned to any enabled cloud (e.g. clouds down / caps reached).
   for (const SegmentState& seg : segments_) {
-    if (segment_fully_served(seg)) continue;
+    if (seg.abandoned || segment_fully_served(seg)) continue;
     for (const cloud::CloudId c : clouds_) {
       if (disabled_.count(c) != 0) continue;
       // Feasibility probe on a scratch copy (pick_block has no side effects
@@ -107,6 +114,7 @@ bool UploadScheduler::finished() const {
 
 std::optional<std::uint32_t> UploadScheduler::pick_block(
     SegmentState& seg, cloud::CloudId cloud, bool allow_overprov) {
+  if (seg.abandoned) return std::nullopt;
   const std::size_t cap = params_.max_per_cloud();
   if (seg.cloud_load(cloud) >= cap) return std::nullopt;
 
@@ -158,7 +166,7 @@ std::optional<BlockTask> UploadScheduler::next_task(cloud::CloudId cloud) {
     for (FileState& file : files_) {
       for (const std::size_t si : file.segment_indices) {
         SegmentState& seg = segments_[si];
-        if (segment_fully_served(seg)) continue;
+        if (seg.abandoned || segment_fully_served(seg)) continue;
         const bool allow_overprov =
             options_.overprovision && !segment_available(seg);
         const auto choice = pick_block(seg, cloud, allow_overprov);
@@ -188,7 +196,7 @@ std::optional<BlockTask> UploadScheduler::next_task(cloud::CloudId cloud) {
       bool fair_share_done = true;  // this file's homed work all completed
       for (const std::size_t si : file.segment_indices) {
         SegmentState& seg = segments_[si];
-        if (segment_available(seg)) continue;
+        if (seg.abandoned || segment_available(seg)) continue;
         file_needs_work = true;
         const auto choice =
             pick_block(seg, cloud, /*allow_overprov=*/false);
@@ -216,7 +224,7 @@ std::optional<BlockTask> UploadScheduler::next_task(cloud::CloudId cloud) {
         for (auto it = file.segment_indices.rbegin();
              it != file.segment_indices.rend(); ++it) {
           SegmentState& seg = segments_[*it];
-          if (segment_available(seg)) continue;
+          if (seg.abandoned || segment_available(seg)) continue;
           const auto choice =
               pick_block(seg, cloud, /*allow_overprov=*/true);
           if (choice.has_value()) {
@@ -244,7 +252,7 @@ std::optional<BlockTask> UploadScheduler::next_task(cloud::CloudId cloud) {
     for (FileState& file : files_) {
       for (const std::size_t si : file.segment_indices) {
         SegmentState& seg = segments_[si];
-        if (segment_reliable(seg)) continue;
+        if (seg.abandoned || segment_reliable(seg)) continue;
         const auto choice =
             pick_block(seg, cloud, /*allow_overprov=*/!homed_pass);
         if (choice.has_value()) {
@@ -277,6 +285,35 @@ void UploadScheduler::on_complete(const BlockTask& task, bool success) {
       if (pc != seg.per_cloud.end() && pc->second > 0) --pc->second;
     }
     return;
+  }
+}
+
+bool UploadScheduler::segment_settled(const std::string& segment_id) const {
+  bool found = false;
+  for (const SegmentState& seg : segments_) {
+    if (seg.id != segment_id) continue;
+    found = true;
+    if (!seg.in_flight.empty()) return false;
+    if (seg.abandoned || segment_fully_served(seg)) continue;
+    // Same feasibility probe as finished(): can any enabled cloud still be
+    // handed a block of this segment? With nothing in flight, the probe's
+    // inputs only change through new assignments, so the verdict is stable
+    // (modulo cloud re-admission — see header).
+    for (const cloud::CloudId c : clouds_) {
+      if (disabled_.count(c) != 0) continue;
+      SegmentState probe = seg;
+      UploadScheduler* self = const_cast<UploadScheduler*>(this);
+      if (self->pick_block(probe, c, options_.overprovision).has_value()) {
+        return false;
+      }
+    }
+  }
+  return found;
+}
+
+void UploadScheduler::abandon_segment(const std::string& segment_id) {
+  for (SegmentState& seg : segments_) {
+    if (seg.id == segment_id) seg.abandoned = true;
   }
 }
 

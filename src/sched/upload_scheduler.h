@@ -78,6 +78,12 @@ class UploadScheduler {
                   std::vector<UploadFileSpec> files,
                   UploadOptions options = {});
 
+  // Streaming: append a file to the batch while the job is running (the
+  // caller must serialize this with next_task/on_complete, like every other
+  // mutating call). The new file ranks after all existing files in the
+  // availability-first order.
+  void add_file(UploadFileSpec file);
+
   // Next block for an idle connection of `cloud`; nullopt = nothing for this
   // cloud right now (it may get work later as other transfers complete).
   std::optional<BlockTask> next_task(cloud::CloudId cloud);
@@ -104,6 +110,20 @@ class UploadScheduler {
   [[nodiscard]] bool finished() const;
   [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_; }
 
+  // True when no block of `segment_id` is in flight and no future task can
+  // place another (fully served, or nothing assignable on any enabled
+  // cloud): the segment's shard bytes are no longer needed by this job.
+  // The verdict is stable unless a disabled cloud is later re-admitted —
+  // callers that free bytes on settle should abandon_segment() first.
+  [[nodiscard]] bool segment_settled(const std::string& segment_id) const;
+
+  // Permanently withdraw a segment from scheduling: no further blocks will
+  // be assigned for it even if clouds are re-admitted, and it no longer
+  // holds up finished() or the availability phase. Blocks already placed
+  // stay in locations(). Used by streaming drivers after the segment's
+  // shard bytes have been released.
+  void abandon_segment(const std::string& segment_id);
+
   // Final block placement of a segment (for committing metadata).
   [[nodiscard]] std::vector<metadata::BlockLocation> locations(
       const std::string& segment_id) const;
@@ -120,6 +140,7 @@ class UploadScheduler {
     std::size_t file_index = 0;
     std::string id;
     std::uint64_t block_bytes = 0;
+    bool abandoned = false;  // withdrawn: never assign another block
     std::map<std::uint32_t, cloud::CloudId> done;      // index -> cloud
     std::map<std::uint32_t, cloud::CloudId> in_flight; // index -> cloud
     std::map<cloud::CloudId, std::size_t> per_cloud;   // done+in-flight count

@@ -1,0 +1,498 @@
+// Tests for the staged sync pipeline: the Executor/BoundedQueue substrate,
+// parallel erasure encode, the incremental StreamingUploadDriver, and the
+// end-to-end UploadPipeline including cancellation under injected cloud
+// hangs and the bounded-memory admission gate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "cloud/faulty_cloud.h"
+#include "cloud/memory_cloud.h"
+#include "common/executor.h"
+#include "common/rng.h"
+#include "core/change_scanner.h"
+#include "core/client.h"
+#include "core/local_fs.h"
+#include "core/upload_pipeline.h"
+#include "erasure/rs.h"
+#include "sched/streaming_driver.h"
+
+namespace unidrive::core {
+namespace {
+
+Bytes text(const std::string& s) { return bytes_from_string(s); }
+
+cloud::MultiCloud make_clouds(int n) {
+  cloud::MultiCloud clouds;
+  for (int i = 0; i < n; ++i) {
+    clouds.push_back(std::make_shared<cloud::MemoryCloud>(
+        static_cast<cloud::CloudId>(i), "cloud" + std::to_string(i)));
+  }
+  return clouds;
+}
+
+ClientConfig test_config(const std::string& device) {
+  ClientConfig cfg;
+  cfg.device = device;
+  cfg.theta = 64 << 10;
+  cfg.lock.retry.backoff_base = 0.001;
+  cfg.lock.retry.backoff_cap = 0.01;
+  cfg.driver.connections_per_cloud = 2;
+  return cfg;
+}
+
+// Scoped setter for UNIDRIVE_PIPELINE_THREADS.
+class ScopedPipelineThreadsEnv {
+ public:
+  explicit ScopedPipelineThreadsEnv(const char* value) {
+    const char* old = std::getenv("UNIDRIVE_PIPELINE_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    setenv("UNIDRIVE_PIPELINE_THREADS", value, 1);
+  }
+  ~ScopedPipelineThreadsEnv() {
+    if (had_old_) {
+      setenv("UNIDRIVE_PIPELINE_THREADS", old_.c_str(), 1);
+    } else {
+      unsetenv("UNIDRIVE_PIPELINE_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// --- BoundedQueue -----------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoAndCloseDrains) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // rejected after close
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // closed + drained
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilConsumerMakesRoom) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks: queue is full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueueTest, CancelReleasesBlockedProducerAndDropsItems) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.cancel();
+  producer.join();
+  EXPECT_FALSE(q.pop().has_value());  // contents dropped
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+// --- Executor ---------------------------------------------------------------
+
+TEST(ExecutorTest, ParallelApplyCoversAllIndices) {
+  Executor executor(4);
+  std::vector<std::atomic<int>> hits(100);
+  executor.parallel_apply(hits.size(),
+                          [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ExecutorTest, ParallelApplySafeFromPoolThread) {
+  // A submitted task fanning out again must not deadlock (the caller
+  // participates in the fan-out).
+  Executor executor(1);
+  std::promise<int> done;
+  executor.submit([&] {
+    std::atomic<int> sum{0};
+    executor.parallel_apply(10, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    done.set_value(sum.load());
+  });
+  auto fut = done.get_future();
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(fut.get(), 45);
+}
+
+TEST(ExecutorTest, EnvVariableOverridesThreadCount) {
+  ScopedPipelineThreadsEnv env("1");
+  EXPECT_EQ(Executor::default_threads(8), 1u);
+}
+
+TEST(ExecutorTest, FloorAppliesWithoutEnvOverride) {
+  // Whatever the hardware, the caller's floor is respected.
+  ScopedPipelineThreadsEnv env("0");  // treated as unset (must be > 0)
+  EXPECT_GE(Executor::default_threads(16), 16u);
+}
+
+// --- parallel encode --------------------------------------------------------
+
+TEST(ParallelEncodeTest, MatchesSerialEncodeForEveryShard) {
+  const erasure::RsCode code(16, 4);
+  Rng rng(7);
+  const Bytes segment = rng.bytes(200001);  // deliberately not shard-aligned
+  std::vector<std::uint32_t> indices;
+  for (std::uint32_t i = 0; i < 16; ++i) indices.push_back(i);
+
+  const std::vector<erasure::Shard> serial =
+      code.encode_shards(ByteSpan(segment), indices);
+  for (const std::size_t threads : {1, 4}) {
+    Executor executor(threads);
+    const std::vector<erasure::Shard> parallel =
+        code.encode_shards_parallel(ByteSpan(segment), indices, executor);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].index, serial[i].index);
+      EXPECT_EQ(parallel[i].data, serial[i].data) << "shard " << i;
+    }
+  }
+}
+
+// --- StreamingUploadDriver --------------------------------------------------
+
+TEST(StreamingDriverTest, IncrementalFeedPreservesPlacementInvariants) {
+  const sched::CodeParams params{4, 3, 2, 3};
+  ASSERT_TRUE(params.validate().is_ok());
+  const std::vector<cloud::CloudId> clouds{0, 1, 2, 3};
+  sched::ThroughputMonitor monitor;
+  auto executor = std::make_shared<Executor>(4);
+
+  std::mutex mu;
+  std::map<std::string, std::set<std::uint32_t>> uploaded;
+  const sched::TransferFn transfer = [&](const sched::BlockTask& task) {
+    std::lock_guard<std::mutex> g(mu);
+    uploaded[task.segment_id].insert(task.block_index);
+    return Status::ok();
+  };
+
+  std::mutex settled_mu;
+  std::set<std::string> settled;
+  sched::StreamingUploadDriver driver(
+      params, clouds, sched::DriverConfig{2, 3}, monitor, executor, transfer,
+      sched::UploadOptions{}, nullptr, nullptr,
+      [&](const std::string& id) {
+        std::lock_guard<std::mutex> g(settled_mu);
+        settled.insert(id);
+      });
+
+  // Files arrive one by one while transfers are already running.
+  for (int i = 0; i < 3; ++i) {
+    sched::UploadFileSpec spec;
+    spec.path = "/f" + std::to_string(i);
+    spec.segments.push_back({"seg" + std::to_string(i), 64 << 10});
+    driver.add_file(std::move(spec));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  driver.close();
+  driver.wait();
+
+  for (int i = 0; i < 3; ++i) {
+    const std::string id = "seg" + std::to_string(i);
+    const auto locations = driver.locations(id);
+    // Availability floor: >= k distinct blocks landed.
+    std::set<std::uint32_t> distinct;
+    std::map<cloud::CloudId, std::size_t> per_cloud;
+    for (const auto& b : locations) {
+      distinct.insert(b.block_index);
+      ++per_cloud[b.cloud];
+      EXPECT_LT(b.block_index, params.code_n());
+    }
+    EXPECT_GE(distinct.size(), params.k);
+    // Security ceiling holds per cloud.
+    for (const auto& [cloud, count] : per_cloud) {
+      EXPECT_LE(count, params.max_per_cloud());
+    }
+    // Every placed block was actually transferred, and vice versa.
+    EXPECT_EQ(uploaded[id].size(), distinct.size());
+    // Memory-release contract: every segment settled by the end.
+    EXPECT_EQ(settled.count(id), 1u);
+  }
+}
+
+// --- UploadPipeline: cancellation under a hanging cloud ---------------------
+
+// Blocks every injected hang until the test opens the gate.
+struct HangGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  void release() {
+    {
+      std::lock_guard<std::mutex> g(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return open; });
+  }
+};
+
+TEST(UploadPipelineTest, CancelUnderHangingCloudReleasesProducerAndBytes) {
+  const sched::CodeParams params{2, 2, 1, 2};
+  ASSERT_TRUE(params.validate().is_ok());
+
+  HangGate gate;
+  cloud::FaultProfile hang_profile;
+  hang_profile.hang_rate = 1.0;
+  hang_profile.hang_seconds = 1.0;
+  std::vector<std::shared_ptr<cloud::FaultyCloud>> faulty;
+  for (int i = 0; i < 2; ++i) {
+    faulty.push_back(std::make_shared<cloud::FaultyCloud>(
+        std::make_shared<cloud::MemoryCloud>(static_cast<cloud::CloudId>(i),
+                                             "c" + std::to_string(i)),
+        hang_profile, /*seed=*/i + 1,
+        [&gate](Duration) { gate.wait(); }));
+  }
+
+  sched::ThroughputMonitor monitor;
+  auto executor = std::make_shared<Executor>(4);
+  PipelineConfig pipeline_config;
+  pipeline_config.encode_queue_capacity = 2;
+  // One 64 KiB segment's footprint (plaintext + 4 shards of 32 KiB) fits;
+  // a second does not, so its producer blocks on the admission gate.
+  pipeline_config.max_inflight_bytes = 200 << 10;
+
+  UploadPipeline pipeline(
+      params, erasure::RsCode(16, params.k), {0, 1}, sched::DriverConfig{2, 3},
+      monitor, executor,
+      [&](cloud::CloudId id) -> cloud::CloudProvider* {
+        return faulty[id].get();
+      },
+      pipeline_config, nullptr, nullptr);
+
+  Rng rng(11);
+  pipeline.feed("hang-seg", rng.bytes(64 << 10));
+
+  // Wait until a transfer is actually stuck inside the injected hang.
+  for (int spin = 0; spin < 5000; ++spin) {
+    if (faulty[0]->hangs() + faulty[1]->hangs() > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(faulty[0]->hangs() + faulty[1]->hangs(), 0u);
+
+  // A second segment cannot be admitted while the first is wedged: its
+  // producer must block, and cancel() must release it.
+  std::atomic<bool> producer_done{false};
+  std::thread producer([&] {
+    pipeline.feed("blocked-seg", rng.bytes(64 << 10));
+    producer_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(producer_done.load());
+
+  pipeline.cancel();
+  producer.join();  // released without the cloud ever answering
+  EXPECT_TRUE(producer_done.load());
+
+  gate.release();  // let the stuck transfers finish their current request
+  const auto result = pipeline.finish();
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), ErrorCode::kUnavailable);
+  // No queued segment bytes leaked past the drain.
+  EXPECT_EQ(pipeline.inflight_bytes(), 0u);
+}
+
+// --- end-to-end sync through the pipeline -----------------------------------
+
+TEST(PipelineSyncTest, RoundTripsAcrossDevices) {
+  cloud::MultiCloud clouds = make_clouds(4);
+  auto fs_a = std::make_shared<MemoryLocalFs>();
+  UniDriveClient a(clouds, fs_a, test_config("a"));
+
+  Rng rng(3);
+  const Bytes big = rng.bytes(600 << 10);  // ~10 segments at theta=64K
+  ASSERT_TRUE(fs_a->write("/big.bin", ByteSpan(big)).is_ok());
+  ASSERT_TRUE(fs_a->write("/note.txt", ByteSpan(text("hello"))).is_ok());
+
+  const auto report = a.sync();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().committed);
+  EXPECT_GT(report.value().segments_uploaded, 1u);
+  EXPECT_TRUE(report.value().materialize.is_ok());
+
+  auto fs_b = std::make_shared<MemoryLocalFs>();
+  UniDriveClient b(clouds, fs_b, test_config("b"));
+  const auto applied = b.sync();
+  ASSERT_TRUE(applied.is_ok());
+  EXPECT_TRUE(applied.value().applied_cloud);
+  EXPECT_EQ(fs_b->read("/big.bin").value(), big);
+  EXPECT_EQ(fs_b->read("/note.txt").value(), text("hello"));
+}
+
+TEST(PipelineSyncTest, MonolithicModeMatchesPipelinedResult) {
+  cloud::MultiCloud clouds = make_clouds(4);
+  auto fs_a = std::make_shared<MemoryLocalFs>();
+  ClientConfig cfg = test_config("a");
+  cfg.pipeline.enabled = false;  // legacy batch round
+  UniDriveClient a(clouds, fs_a, cfg);
+
+  Rng rng(4);
+  const Bytes data = rng.bytes(300 << 10);
+  ASSERT_TRUE(fs_a->write("/data.bin", ByteSpan(data)).is_ok());
+  const auto report = a.sync();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().committed);
+  EXPECT_GT(report.value().segments_uploaded, 0u);
+
+  // A pipelined reader reconstructs the batch-uploaded data.
+  auto fs_b = std::make_shared<MemoryLocalFs>();
+  UniDriveClient b(clouds, fs_b, test_config("b"));
+  ASSERT_TRUE(b.sync().is_ok());
+  EXPECT_EQ(fs_b->read("/data.bin").value(), data);
+}
+
+TEST(PipelineSyncTest, InflightBytesStayUnderCapAndDrainToZero) {
+  cloud::MultiCloud clouds = make_clouds(4);
+  auto fs = std::make_shared<MemoryLocalFs>();
+  ClientConfig cfg = test_config("a");
+  // Tight cap: a 64 KiB segment's footprint is ~235 KiB (plaintext + 8
+  // shards of ~21 KiB), so at most two segments fit in flight at once.
+  cfg.pipeline.max_inflight_bytes = 512 << 10;
+  UniDriveClient client(clouds, fs, cfg);
+
+  Rng rng(5);
+  ASSERT_TRUE(fs->write("/big.bin", ByteSpan(rng.bytes(2 << 20))).is_ok());
+  const auto report = client.sync();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report.value().segments_uploaded, 10u);
+
+  const auto& metrics = report.value().metrics;
+  const double peak = metrics.gauge_value("pipeline.inflight_bytes_peak");
+  EXPECT_GT(peak, 0.0);
+  EXPECT_LE(peak, static_cast<double>(cfg.pipeline.max_inflight_bytes));
+  // Everything reserved was released by the end of the round.
+  EXPECT_EQ(metrics.gauge_value("pipeline.inflight_bytes"), 0.0);
+}
+
+TEST(PipelineSyncTest, SingleThreadedDegradationStillRoundTrips) {
+  ScopedPipelineThreadsEnv env("1");
+  cloud::MultiCloud clouds = make_clouds(4);
+  auto fs_a = std::make_shared<MemoryLocalFs>();
+  UniDriveClient a(clouds, fs_a, test_config("a"));
+  Rng rng(6);
+  const Bytes data = rng.bytes(200 << 10);
+  ASSERT_TRUE(fs_a->write("/one.bin", ByteSpan(data)).is_ok());
+  const auto report = a.sync();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().committed);
+
+  auto fs_b = std::make_shared<MemoryLocalFs>();
+  UniDriveClient b(clouds, fs_b, test_config("b"));
+  ASSERT_TRUE(b.sync().is_ok());
+  EXPECT_EQ(fs_b->read("/one.bin").value(), data);
+}
+
+// --- directory-failure surfacing (apply_cloud_image bugfix) -----------------
+
+// Forwards to MemoryLocalFs but refuses to create directories.
+class FailingDirFs final : public LocalFs {
+ public:
+  Result<Bytes> read(const std::string& path) const override {
+    return inner_.read(path);
+  }
+  Status write(const std::string& path, ByteSpan data) override {
+    return inner_.write(path, data);
+  }
+  Status remove(const std::string& path) override {
+    return inner_.remove(path);
+  }
+  Status make_dir(const std::string&) override {
+    return make_error(ErrorCode::kInternal, "injected make_dir failure");
+  }
+  Status remove_dir(const std::string& path) override {
+    return inner_.remove_dir(path);
+  }
+  [[nodiscard]] std::vector<std::string> list_files() const override {
+    return inner_.list_files();
+  }
+  [[nodiscard]] std::vector<std::string> list_dirs() const override {
+    return inner_.list_dirs();
+  }
+  [[nodiscard]] Result<std::uint64_t> size(
+      const std::string& path) const override {
+    return inner_.size(path);
+  }
+  [[nodiscard]] Result<double> mtime(const std::string& path) const override {
+    return inner_.mtime(path);
+  }
+
+ private:
+  MemoryLocalFs inner_;
+};
+
+TEST(PipelineSyncTest, DirectoryFailuresSurfaceInReport) {
+  cloud::MultiCloud clouds = make_clouds(4);
+  auto fs_a = std::make_shared<MemoryLocalFs>();
+  UniDriveClient a(clouds, fs_a, test_config("a"));
+  ASSERT_TRUE(fs_a->make_dir("/docs").is_ok());
+  ASSERT_TRUE(fs_a->write("/readme", ByteSpan(text("root file"))).is_ok());
+  ASSERT_TRUE(a.sync().is_ok());
+
+  auto fs_b = std::make_shared<FailingDirFs>();
+  UniDriveClient b(clouds, fs_b, test_config("b"));
+  const auto report = b.sync();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().applied_cloud);
+  // The old code swallowed make_dir failures with (void); now they are
+  // recorded and the materialization status reflects the incomplete folder.
+  ASSERT_EQ(report.value().dir_failures.size(), 1u);
+  EXPECT_EQ(report.value().dir_failures[0], "/docs");
+  EXPECT_FALSE(report.value().materialize.is_ok());
+  // Files still materialized despite the directory failure.
+  EXPECT_EQ(fs_b->read("/readme").value(), text("root file"));
+}
+
+// --- scan sink --------------------------------------------------------------
+
+TEST(ScanSinkTest, SinkReceivesExactlyTheNewSegments) {
+  MemoryLocalFs fs;
+  Rng rng(9);
+  const Bytes content = rng.bytes(150 << 10);
+  ASSERT_TRUE(fs.write("/f.bin", ByteSpan(content)).is_ok());
+  metadata::SyncFolderImage image;
+  const chunker::SegmenterParams params{64 << 10};
+
+  const ScanResult batch = scan_local_changes(fs, image, params, "dev");
+
+  std::map<std::string, Bytes> sunk;
+  const ScanResult streamed = scan_local_changes(
+      fs, image, params, "dev", nullptr,
+      [&](const std::string& id, Bytes bytes) {
+        sunk.emplace(id, std::move(bytes));
+      });
+  // With a sink, segments stream out instead of accumulating in the result.
+  EXPECT_TRUE(streamed.new_segments.empty());
+  ASSERT_EQ(sunk.size(), batch.new_segments.size());
+  for (const auto& [id, bytes] : batch.new_segments) {
+    ASSERT_EQ(sunk.count(id), 1u);
+    EXPECT_EQ(sunk[id], bytes);
+  }
+}
+
+}  // namespace
+}  // namespace unidrive::core
