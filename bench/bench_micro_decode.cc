@@ -1,0 +1,82 @@
+// Microbenchmarks for the restore pipeline's decode stage: serial
+// RsCode::decode vs the row-parallel decode_shards_parallel, and the
+// verified k-subset search that heals a corrupt shard.
+#include <benchmark/benchmark.h>
+
+#include "common/executor.h"
+#include "common/rng.h"
+#include "core/download_pipeline.h"
+#include "crypto/sha1.h"
+#include "erasure/rs.h"
+
+namespace {
+
+using namespace unidrive;
+using erasure::RsCode;
+
+void BM_RsDecodeSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const RsCode code(n, k);
+  Rng rng(11);
+  const Bytes segment = rng.bytes(4 << 20);
+  const auto all = code.encode(ByteSpan(segment));
+  // Decode from the "worst" subset (all parity, no low indices).
+  const std::vector<erasure::Shard> subset(all.end() - k, all.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode(subset, segment.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(segment.size()));
+}
+BENCHMARK(BM_RsDecodeSerial)->Args({10, 3})->Args({14, 10})->Args({20, 4});
+
+void BM_RsDecodeParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto threads = static_cast<std::size_t>(state.range(2));
+  const RsCode code(n, k);
+  Executor executor(threads);
+  Rng rng(11);
+  const Bytes segment = rng.bytes(4 << 20);
+  const auto all = code.encode(ByteSpan(segment));
+  const std::vector<erasure::Shard> subset(all.end() - k, all.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        code.decode_shards_parallel(subset, segment.size(), executor));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(segment.size()));
+}
+BENCHMARK(BM_RsDecodeParallel)
+    ->Args({10, 3, 1})
+    ->Args({10, 3, 4})
+    ->Args({14, 10, 4})
+    ->Args({20, 4, 4});
+
+// The corrupt-shard search: k+1 shards, one silently corrupted, so the
+// verified decode must try subsets until a clean one hashes correctly.
+void BM_DecodeVerifiedCorruptSearch(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 3;
+  const RsCode code(10, k);
+  Executor executor(threads == 0 ? 1 : threads);
+  Rng rng(12);
+  const Bytes segment = rng.bytes(1 << 20);
+  metadata::SegmentInfo info;
+  info.id = crypto::Sha1::hex(ByteSpan(segment));
+  info.size = segment.size();
+  std::vector<erasure::Shard> shards =
+      code.encode_shards(ByteSpan(segment), {0, 1, 2, 3});
+  shards[0].data[99] ^= 0xA5;  // first subset tried is dirty
+  Executor* exec = threads == 0 ? nullptr : &executor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::decode_verified(code, shards, info, k, exec));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(segment.size()));
+}
+BENCHMARK(BM_DecodeVerifiedCorruptSearch)->Arg(0)->Arg(4);
+
+}  // namespace

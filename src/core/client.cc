@@ -1,6 +1,7 @@
 #include "core/client.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -148,131 +149,163 @@ std::unique_ptr<UploadPipeline> UniDriveClient::make_pipeline(
       config_.pipeline, health_, obs_);
 }
 
-namespace {
-
-// Tries every k-subset of `shards` (distinct block indices) until one
-// decodes to content matching the segment's id. |shards| stays small
-// (<= code_n), so the combinatorial search is cheap; with at most one
-// corrupt shard a single extra block already guarantees a clean subset.
-Result<Bytes> decode_verified(const erasure::RsCode& code,
-                              const std::vector<erasure::Shard>& shards,
-                              const SegmentInfo& segment, std::size_t k) {
-  std::vector<std::size_t> pick(k);
-  std::function<Result<Bytes>(std::size_t, std::size_t)> search =
-      [&](std::size_t depth, std::size_t start) -> Result<Bytes> {
-    if (depth == k) {
-      std::vector<erasure::Shard> subset;
-      subset.reserve(k);
-      for (const std::size_t i : pick) subset.push_back(shards[i]);
-      auto decoded = code.decode(subset, segment.size);
-      if (decoded.is_ok() &&
-          crypto::Sha1::hex(ByteSpan(decoded.value())) == segment.id) {
-        return decoded;
-      }
-      return make_error(ErrorCode::kCorrupt, "subset failed");
-    }
-    for (std::size_t i = start; i + (k - depth) <= shards.size(); ++i) {
-      pick[depth] = i;
-      auto result = search(depth + 1, i + 1);
-      if (result.is_ok()) return result;
-    }
-    return make_error(ErrorCode::kCorrupt, "no verifiable subset");
-  };
-  return search(0, 0);
+std::unique_ptr<DownloadPipeline> UniDriveClient::make_download_pipeline(
+    const sched::CodeParams& params) {
+  return std::make_unique<DownloadPipeline>(
+      params.k, codec_for(params), cloud_ids(), config_.driver, monitor_,
+      executor_, [this](cloud::CloudId id) { return find_cloud(id); },
+      config_.pipeline, *fs_, health_, obs_);
 }
-
-}  // namespace
 
 // Fetches, decodes and integrity-checks one segment. On an integrity
 // failure (a cloud served tampered or rotted bytes) the corrupt shard
 // cannot be identified directly, so the client fetches additional distinct
 // blocks one at a time and searches the k-subsets of everything fetched
-// until one decodes to the segment's content hash.
+// until one decodes to the segment's content hash. One long-lived
+// streaming driver serves the whole reconstruction: extra blocks raise the
+// budget of the same scheduler instead of standing up a fresh driver per
+// attempt.
 Result<Bytes> UniDriveClient::fetch_segment(
     const SegmentInfo& segment,
     const std::vector<metadata::BlockLocation>& exclude) {
   const sched::CodeParams params = code_params();
   const erasure::RsCode code = codec_for(params);
 
-  std::mutex shards_mutex;
-  std::vector<erasure::Shard> shards;       // all fetched so far
-  std::set<std::uint32_t> fetched_indices;  // distinct block indices held
-
-  // Fetch `count` more distinct blocks, avoiding already-fetched indices
-  // and excluded placements. Returns how many landed.
-  const auto fetch_more = [&](std::size_t count) -> std::size_t {
-    sched::DownloadSegmentSpec seg_spec;
-    seg_spec.id = segment.id;
-    seg_spec.size = segment.size;
-    for (const metadata::BlockLocation& loc : segment.blocks) {
-      if (fetched_indices.count(loc.block_index) != 0) continue;
-      if (std::find(exclude.begin(), exclude.end(), loc) != exclude.end()) {
-        continue;
-      }
+  sched::DownloadSegmentSpec seg_spec;
+  seg_spec.id = segment.id;
+  seg_spec.size = segment.size;
+  for (const metadata::BlockLocation& loc : segment.blocks) {
+    if (std::find(exclude.begin(), exclude.end(), loc) == exclude.end()) {
       seg_spec.locations.push_back(loc);
     }
-    if (seg_spec.locations.empty()) return 0;
-    sched::DownloadFileSpec spec;
-    spec.path = segment.id;
-    spec.segments.push_back(std::move(seg_spec));
-    sched::DownloadScheduler scheduler(
-        std::min(count, spec.segments[0].locations.size()), {spec});
-    const std::size_t before = shards.size();
-
-    const auto transfer = [&](const sched::BlockTask& task) -> Status {
-      cloud::CloudProvider* provider = find_cloud(task.cloud);
-      if (provider == nullptr) {
-        return make_error(ErrorCode::kInternal, "unknown cloud");
-      }
-      auto data = provider->download(
-          metadata::block_path(task.segment_id, task.block_index));
-      if (!data.is_ok()) return data.status();
-      std::lock_guard<std::mutex> guard(shards_mutex);
-      shards.push_back({task.block_index, std::move(data).take()});
-      fetched_indices.insert(task.block_index);
-      return Status::ok();
-    };
-    sched::ThreadedTransferDriver driver(cloud_ids(), config_.driver,
-                                         monitor_, health_, obs_, executor_);
-    driver.run_download(scheduler, transfer);
-    return shards.size() - before;
-  };
-
-  if (fetch_more(params.k) < params.k) {
+  }
+  if (seg_spec.locations.empty()) {
     return make_error(ErrorCode::kUnavailable,
                       "could not fetch k blocks for segment " + segment.id);
   }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<erasure::Shard> shards;       // all fetched so far
+  std::set<std::uint32_t> fetched_indices;  // distinct block indices held
+  std::size_t events = 0;
+  bool last_ok = false;
+
+  sched::StreamingDownloadDriver driver(
+      params.k, cloud_ids(), config_.driver, monitor_, executor_,
+      [&](const sched::BlockTask& task) -> Status {
+        cloud::CloudProvider* provider = find_cloud(task.cloud);
+        if (provider == nullptr) {
+          return make_error(ErrorCode::kInternal, "unknown cloud");
+        }
+        auto data = provider->download(
+            metadata::block_path(task.segment_id, task.block_index));
+        if (!data.is_ok()) return data.status();
+        std::lock_guard<std::mutex> guard(mu);
+        // A hedge duplicate may land second; keep the first copy.
+        if (fetched_indices.insert(task.block_index).second) {
+          shards.push_back({task.block_index, std::move(data).take()});
+        }
+        return Status::ok();
+      },
+      health_, obs_,
+      [&](const std::string&, bool ok) {
+        std::lock_guard<std::mutex> guard(mu);
+        ++events;
+        last_ok = ok;
+        cv.notify_all();
+      });
+
+  sched::DownloadFileSpec spec;
+  spec.path = segment.id;
+  spec.segments.push_back(std::move(seg_spec));
+  driver.add_file(std::move(spec));
+  driver.close();
+
+  std::size_t consumed = 0;
   while (true) {
-    auto decoded = decode_verified(code, shards, segment, params.k);
+    bool ok = false;
+    std::vector<erasure::Shard> held;
+    {
+      std::unique_lock<std::mutex> guard(mu);
+      cv.wait(guard, [&] { return events > consumed; });
+      ++consumed;
+      ok = last_ok;
+      held = shards;
+    }
+    if (!ok) {
+      // First event failing means even k blocks never landed; a later one
+      // means the corrupt-shard search ran out of supply.
+      return consumed == 1
+                 ? make_error(ErrorCode::kUnavailable,
+                              "could not fetch k blocks for segment " +
+                                  segment.id)
+                 : make_error(ErrorCode::kCorrupt,
+                              "segment " + segment.id +
+                                  ": no verifiable block combination exists");
+    }
+    auto decoded =
+        decode_verified(code, held, segment, params.k, executor_.get());
     if (decoded.is_ok()) return decoded;
     UNI_LOG(kWarn) << "segment " << segment.id
-                   << " failed integrity check with " << shards.size()
+                   << " failed integrity check with " << held.size()
                    << " blocks; fetching another";
-    if (fetch_more(1) == 0) {
-      return make_error(ErrorCode::kCorrupt,
-                        "segment " + segment.id +
-                            ": no verifiable block combination exists");
-    }
+    driver.request_extra_block(segment.id);
   }
 }
 
-Status UniDriveClient::materialize_file(const FileSnapshot& snapshot) {
-  Bytes content;
-  content.reserve(snapshot.size);
+Status UniDriveClient::materialize_file(const FileSnapshot& snapshot,
+                                        const SyncFolderImage& image) {
+  const sched::CodeParams params = code_params();
+  if (config_.pipeline.enabled && params.validate().is_ok()) {
+    auto pipeline = make_download_pipeline(params);
+    pipeline->add_file(snapshot, image);
+    const auto results = pipeline->finish();
+    return results.empty() ? Status::ok() : results.front().status;
+  }
+
+  // Monolithic fallback: fetch + decode one segment at a time, streaming
+  // each into the writer — peak memory is one segment, not the file, and
+  // a failed restore aborts the writer instead of leaving a partial file.
+  UNI_ASSIGN_OR_RETURN(std::unique_ptr<LocalFs::FileWriter> writer,
+                       fs_->open_write(snapshot.path));
+  crypto::Sha1 hasher;
+  std::uint64_t written = 0;
   for (const std::string& seg_id : snapshot.segment_ids) {
-    const SegmentInfo* seg = image_.find_segment(seg_id);
+    const SegmentInfo* seg = image.find_segment(seg_id);
     if (seg == nullptr) {
+      writer->abort();
       return make_error(ErrorCode::kCorrupt,
                         "snapshot references unknown segment " + seg_id);
     }
-    UNI_ASSIGN_OR_RETURN(const Bytes piece, fetch_segment(*seg, {}));
-    content.insert(content.end(), piece.begin(), piece.end());
+    auto piece = fetch_segment(*seg, {});
+    if (!piece.is_ok()) {
+      writer->abort();
+      return piece.status();
+    }
+    const Status appended = writer->append(ByteSpan(piece.value()));
+    if (!appended.is_ok()) {
+      writer->abort();
+      return appended;
+    }
+    hasher.update(ByteSpan(piece.value()));
+    written += piece.value().size();
   }
-  if (content.size() != snapshot.size) {
+  if (written != snapshot.size) {
+    writer->abort();
     return make_error(ErrorCode::kCorrupt,
                       "assembled size mismatch for " + snapshot.path);
   }
-  return fs_->write(snapshot.path, ByteSpan(content));
+  if (!snapshot.content_hash.empty()) {
+    const crypto::Sha1::Digest digest = hasher.finish();
+    if (to_hex(ByteSpan(digest.data(), digest.size())) !=
+        snapshot.content_hash) {
+      writer->abort();
+      return make_error(ErrorCode::kCorrupt,
+                        "content hash mismatch for " + snapshot.path);
+    }
+  }
+  return writer->commit();
 }
 
 Result<UniDriveClient::ApplyOutcome> UniDriveClient::apply_cloud_image(
@@ -291,6 +324,10 @@ Result<UniDriveClient::ApplyOutcome> UniDriveClient::apply_cloud_image(
     }
   }
 
+  // First pass: deletions inline, downloads collected so the whole batch
+  // streams through ONE restore pipeline (connection pools and hedging
+  // span file boundaries; the prefetch window bounds memory).
+  std::vector<const FileSnapshot*> to_download;
   for (const auto& [path, change] : diff.files) {
     switch (change.kind) {
       case metadata::EntryChangeKind::kAdded:
@@ -302,21 +339,31 @@ Result<UniDriveClient::ApplyOutcome> UniDriveClient::apply_cloud_image(
                 change.snapshot->content_hash) {
           break;
         }
-        // Temporarily adopt the target's pool for block lookup.
-        UNI_RETURN_IF_ERROR(
-            [&]() -> Status {
-              const SyncFolderImage saved = image_;
-              image_ = target;
-              const Status s = materialize_file(*change.snapshot);
-              image_ = saved;
-              return s;
-            }());
-        ++outcome.downloaded;
+        to_download.push_back(&*change.snapshot);
         break;
       }
       case metadata::EntryChangeKind::kDeleted:
         if (fs_->remove(path).is_ok()) ++outcome.removed;
         break;
+    }
+  }
+
+  if (!to_download.empty()) {
+    const sched::CodeParams params = code_params();
+    if (config_.pipeline.enabled && params.validate().is_ok()) {
+      auto pipeline = make_download_pipeline(params);
+      for (const FileSnapshot* snapshot : to_download) {
+        pipeline->add_file(*snapshot, target);
+      }
+      for (const DownloadPipeline::FileResult& r : pipeline->finish()) {
+        UNI_RETURN_IF_ERROR(r.status);
+        ++outcome.downloaded;
+      }
+    } else {
+      for (const FileSnapshot* snapshot : to_download) {
+        UNI_RETURN_IF_ERROR(materialize_file(*snapshot, target));
+        ++outcome.downloaded;
+      }
     }
   }
 
@@ -658,7 +705,7 @@ Status UniDriveClient::restore_previous_version(const std::string& path) {
   // fresh local edit and commits it through the normal pipeline (so other
   // devices receive it like any other change). Segments are still in the
   // pool — history snapshots keep them referenced.
-  UNI_RETURN_IF_ERROR(materialize_file(history.front()));
+  UNI_RETURN_IF_ERROR(materialize_file(history.front(), image_));
   return Status::ok();
 }
 
@@ -688,16 +735,13 @@ Result<Bytes> UniDriveClient::segment_content(
       offset += len;
     }
   }
-  // Repair path: reconstruct from the clouds.
+  // Repair path: reconstruct from the clouds. fetch_segment resolves
+  // block placements from the record itself — no image adoption needed.
   const metadata::SegmentInfo* seg = image.find_segment(segment_id);
   if (seg == nullptr) {
     return make_error(ErrorCode::kNotFound, "unknown segment " + segment_id);
   }
-  const SyncFolderImage saved = image_;
-  image_ = image;  // fetch_segment resolves blocks via image_
-  auto fetched = fetch_segment(*seg, {});
-  image_ = saved;
-  return fetched;
+  return fetch_segment(*seg, {});
 }
 
 // Executes a rebalance plan: re-encode + upload moved blocks, delete shed

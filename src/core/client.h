@@ -27,6 +27,7 @@
 #include "common/retry.h"
 #include "common/rng.h"
 #include "core/change_scanner.h"
+#include "core/download_pipeline.h"
 #include "core/local_fs.h"
 #include "core/upload_pipeline.h"
 #include "erasure/rs.h"
@@ -167,13 +168,24 @@ class UniDriveClient {
   // when config_.pipeline.enabled is false).
   [[nodiscard]] std::unique_ptr<UploadPipeline> make_pipeline(
       const sched::CodeParams& params);
+  // Restore mirror: a streaming DownloadPipeline over the same executor,
+  // guards and observability (overlapped fetch → parallel decode →
+  // in-order write with a bounded prefetch window).
+  [[nodiscard]] std::unique_ptr<DownloadPipeline> make_download_pipeline(
+      const sched::CodeParams& params);
 
-  // Downloads + decodes the segments of `snapshot` and writes the file.
-  Status materialize_file(const metadata::FileSnapshot& snapshot);
+  // Downloads + decodes the segments of `snapshot` (resolved against
+  // `image`) and writes the file. Streams through the DownloadPipeline
+  // when config_.pipeline.enabled, otherwise fetches segment by segment
+  // into a LocalFs::FileWriter — either way peak memory is bounded and a
+  // failed restore never leaves a partial file behind.
+  Status materialize_file(const metadata::FileSnapshot& snapshot,
+                          const metadata::SyncFolderImage& image);
 
   // Fetches and decodes one segment, verifying its content hash; on
-  // integrity failure, retries with block placements disjoint from
-  // `exclude` + the tainted set until it succeeds or supply runs out.
+  // integrity failure, raises the fetch budget of the long-lived driver
+  // one distinct block at a time (placements disjoint from `exclude`)
+  // until a verifiable subset exists or supply runs out.
   Result<Bytes> fetch_segment(
       const metadata::SegmentInfo& segment,
       const std::vector<metadata::BlockLocation>& exclude);

@@ -11,6 +11,118 @@ namespace unidrive::core {
 
 namespace fs = std::filesystem;
 
+// --- LocalFs::open_write (buffered default) ---------------------------------
+
+namespace {
+
+// Stages appends in memory and publishes through LocalFs::write() on
+// commit, so the atomicity of the underlying write() carries over.
+class BufferedFileWriter final : public LocalFs::FileWriter {
+ public:
+  BufferedFileWriter(LocalFs& fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  Status append(ByteSpan data) override {
+    if (closed_) {
+      return make_error(ErrorCode::kInternal, "append after commit/abort");
+    }
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+    return Status::ok();
+  }
+
+  Status commit() override {
+    if (closed_) {
+      return make_error(ErrorCode::kInternal, "double commit");
+    }
+    closed_ = true;
+    const Status status = fs_.write(path_, buffer_);
+    buffer_.clear();
+    return status;
+  }
+
+  void abort() override {
+    closed_ = true;
+    buffer_.clear();
+  }
+
+ private:
+  LocalFs& fs_;
+  std::string path_;
+  Bytes buffer_;
+  bool closed_ = false;
+};
+
+// Streams appends straight to "<host>.part" and renames into place on
+// commit: peak memory is one chunk, and a crash or abort mid-restore never
+// leaves a half-written file at the destination path.
+class DiskFileWriter final : public LocalFs::FileWriter {
+ public:
+  explicit DiskFileWriter(std::string host) : host_(std::move(host)) {
+    fs::create_directories(fs::path(host_).parent_path());
+    out_.open(part_path(), std::ios::binary | std::ios::trunc);
+  }
+
+  ~DiskFileWriter() override { abort(); }
+
+  Status append(ByteSpan data) override {
+    if (closed_) {
+      return make_error(ErrorCode::kInternal, "append after commit/abort");
+    }
+    if (!out_) {
+      return make_error(ErrorCode::kInternal, "cannot open " + part_path());
+    }
+    out_.write(reinterpret_cast<const char*>(data.data()),
+               static_cast<std::streamsize>(data.size()));
+    return out_ ? Status::ok()
+                : make_error(ErrorCode::kInternal,
+                             "short write to " + part_path());
+  }
+
+  Status commit() override {
+    if (closed_) {
+      return make_error(ErrorCode::kInternal, "double commit");
+    }
+    closed_ = true;
+    out_.close();
+    if (!out_) {
+      abort_cleanup();
+      return make_error(ErrorCode::kInternal, "short write to " + part_path());
+    }
+    std::error_code ec;
+    fs::rename(part_path(), host_, ec);
+    if (ec) {
+      abort_cleanup();
+      return make_error(ErrorCode::kInternal, ec.message());
+    }
+    return Status::ok();
+  }
+
+  void abort() override {
+    if (closed_) return;
+    closed_ = true;
+    out_.close();
+    abort_cleanup();
+  }
+
+ private:
+  [[nodiscard]] std::string part_path() const { return host_ + ".part"; }
+  void abort_cleanup() {
+    std::error_code ec;
+    fs::remove(part_path(), ec);
+  }
+
+  std::string host_;
+  std::ofstream out_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<LocalFs::FileWriter>> LocalFs::open_write(
+    const std::string& path) {
+  return std::unique_ptr<FileWriter>(new BufferedFileWriter(*this, path));
+}
+
 // --- MemoryLocalFs ----------------------------------------------------------
 
 Result<Bytes> MemoryLocalFs::read(const std::string& path) const {
@@ -83,6 +195,11 @@ DiskLocalFs::DiskLocalFs(std::string root) : root_(std::move(root)) {
 
 std::string DiskLocalFs::host_path(const std::string& path) const {
   return root_ + cloud::normalize_path(path);
+}
+
+Result<std::unique_ptr<LocalFs::FileWriter>> DiskLocalFs::open_write(
+    const std::string& path) {
+  return std::unique_ptr<FileWriter>(new DiskFileWriter(host_path(path)));
 }
 
 Result<Bytes> DiskLocalFs::read(const std::string& path) const {

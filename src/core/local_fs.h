@@ -19,6 +19,26 @@ class LocalFs {
  public:
   virtual ~LocalFs() = default;
 
+  // Incremental writer for streaming restores: append chunks in order, then
+  // commit() to publish the file (or abort() / destroy to discard — a
+  // never-committed writer must leave no trace at `path`). The base class
+  // provides a buffered default that stages in memory and publishes via
+  // write() on commit, so existing subclasses keep working; DiskLocalFs
+  // overrides it to stream through a temp file and rename on commit.
+  class FileWriter {
+   public:
+    virtual ~FileWriter() = default;
+    virtual Status append(ByteSpan data) = 0;
+    // At most one commit; append is invalid afterwards.
+    virtual Status commit() = 0;
+    // Idempotent; safe after a failed append.
+    virtual void abort() = 0;
+  };
+
+  // The writer borrows this LocalFs and must not outlive it.
+  virtual Result<std::unique_ptr<FileWriter>> open_write(
+      const std::string& path);
+
   virtual Result<Bytes> read(const std::string& path) const = 0;
   virtual Status write(const std::string& path, ByteSpan data) = 0;
   virtual Status remove(const std::string& path) = 0;
@@ -63,6 +83,8 @@ class DiskLocalFs final : public LocalFs {
  public:
   explicit DiskLocalFs(std::string root);
 
+  Result<std::unique_ptr<FileWriter>> open_write(
+      const std::string& path) override;
   Result<Bytes> read(const std::string& path) const override;
   Status write(const std::string& path, ByteSpan data) override;
   Status remove(const std::string& path) override;

@@ -100,43 +100,79 @@ std::vector<Shard> RsCode::encode_shards_parallel(
   return out;
 }
 
-Result<Bytes> RsCode::decode(const std::vector<Shard>& shards,
-                             std::size_t original_size) const {
-  if (shards.size() < k_) {
+namespace {
+
+// Shared front half of both decode paths: pick the first k shards with
+// distinct in-range indices and invert the matching encode rows.
+struct DecodePlan {
+  std::vector<const Shard*> chosen;
+  GfMatrix inverse;
+};
+
+Result<DecodePlan> plan_decode(const std::vector<Shard>& shards,
+                               std::size_t shard_size, std::size_t n,
+                               std::size_t k, const GfMatrix& matrix) {
+  if (shards.size() < k) {
     return make_error(ErrorCode::kCorrupt, "RS decode: fewer than k shards");
   }
-  const std::size_t size = shard_size(original_size);
-
-  // Pick the first k shards with distinct, in-range indices.
-  std::vector<const Shard*> chosen;
+  DecodePlan plan;
   std::unordered_set<std::uint32_t> seen;
   for (const Shard& s : shards) {
-    if (s.index >= n_ || !seen.insert(s.index).second) continue;
-    if (s.data.size() != size) {
+    if (s.index >= n || !seen.insert(s.index).second) continue;
+    if (s.data.size() != shard_size) {
       return make_error(ErrorCode::kCorrupt, "RS decode: bad shard size");
     }
-    chosen.push_back(&s);
-    if (chosen.size() == k_) break;
+    plan.chosen.push_back(&s);
+    if (plan.chosen.size() == k) break;
   }
-  if (chosen.size() < k_) {
+  if (plan.chosen.size() < k) {
     return make_error(ErrorCode::kCorrupt,
                       "RS decode: fewer than k distinct shards");
   }
+  std::vector<std::size_t> rows(k);
+  for (std::size_t i = 0; i < k; ++i) rows[i] = plan.chosen[i]->index;
+  UNI_ASSIGN_OR_RETURN(plan.inverse, matrix.select_rows(rows).inverted());
+  return plan;
+}
 
-  std::vector<std::size_t> rows(k_);
-  for (std::size_t i = 0; i < k_; ++i) rows[i] = chosen[i]->index;
-  UNI_ASSIGN_OR_RETURN(const GfMatrix inverse,
-                       matrix_.select_rows(rows).inverted());
+}  // namespace
+
+Result<Bytes> RsCode::decode(const std::vector<Shard>& shards,
+                             std::size_t original_size) const {
+  const std::size_t size = shard_size(original_size);
+  UNI_ASSIGN_OR_RETURN(const DecodePlan plan,
+                       plan_decode(shards, size, n_, k_, matrix_));
 
   // data[c] = sum_i inverse[c][i] * shard[i]
   Bytes out(k_ * size, 0);
   for (std::size_t c = 0; c < k_; ++c) {
     std::uint8_t* dst = out.data() + c * size;
     for (std::size_t i = 0; i < k_; ++i) {
-      Gf256::mul_add_slice(dst, chosen[i]->data.data(), size,
-                           inverse.at(c, i));
+      Gf256::mul_add_slice(dst, plan.chosen[i]->data.data(), size,
+                           plan.inverse.at(c, i));
     }
   }
+  out.resize(original_size);
+  return out;
+}
+
+Result<Bytes> RsCode::decode_shards_parallel(const std::vector<Shard>& shards,
+                                             std::size_t original_size,
+                                             Executor& executor) const {
+  const std::size_t size = shard_size(original_size);
+  UNI_ASSIGN_OR_RETURN(const DecodePlan plan,
+                       plan_decode(shards, size, n_, k_, matrix_));
+
+  // Each recovered data row writes a disjoint slice of `out`, so the rows
+  // fan out with no synchronization beyond parallel_apply's join.
+  Bytes out(k_ * size, 0);
+  executor.parallel_apply(k_, [&](std::size_t c) {
+    std::uint8_t* dst = out.data() + c * size;
+    for (std::size_t i = 0; i < k_; ++i) {
+      Gf256::mul_add_slice(dst, plan.chosen[i]->data.data(), size,
+                           plan.inverse.at(c, i));
+    }
+  });
   out.resize(original_size);
   return out;
 }

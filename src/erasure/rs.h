@@ -68,6 +68,15 @@ class RsCode {
   [[nodiscard]] Result<Bytes> decode(const std::vector<Shard>& shards,
                                      std::size_t original_size) const;
 
+  // Same result as decode(), but the k recovered data rows are fanned out
+  // over `executor` (caller-participating, so this is safe from pool
+  // threads and degrades to the serial path on a single-thread executor).
+  // The matrix inversion stays serial — it is O(k^3) on k-byte rows, dwarfed
+  // by the O(k * shard_size) row combinations this parallelizes.
+  [[nodiscard]] Result<Bytes> decode_shards_parallel(
+      const std::vector<Shard>& shards, std::size_t original_size,
+      Executor& executor) const;
+
   [[nodiscard]] const GfMatrix& encode_matrix() const noexcept {
     return matrix_;
   }

@@ -7,24 +7,66 @@ namespace unidrive::sched {
 
 DownloadScheduler::DownloadScheduler(std::size_t k,
                                      std::vector<DownloadFileSpec> files)
-    : k_(k), files_(std::move(files)) {
+    : k_(k) {
   assert(k_ > 0);
-  file_segments_.resize(files_.size());
-  for (std::size_t fi = 0; fi < files_.size(); ++fi) {
-    for (const DownloadSegmentSpec& seg : files_[fi].segments) {
-      SegmentState ss;
-      ss.file_index = fi;
-      ss.spec = seg;
-      ss.block_bytes = (seg.size + k_ - 1) / k_;
-      file_segments_[fi].push_back(segments_.size());
-      segments_.push_back(std::move(ss));
+  for (DownloadFileSpec& file : files) append_file(std::move(file));
+}
+
+void DownloadScheduler::append_file(DownloadFileSpec file) {
+  const std::size_t fi = files_.size();
+  file_segments_.emplace_back();
+  for (const DownloadSegmentSpec& seg : file.segments) {
+    SegmentState ss;
+    ss.file_index = fi;
+    ss.spec = seg;
+    ss.block_bytes = (seg.size + k_ - 1) / k_;
+    ss.budget = k_;
+    file_segments_[fi].push_back(segments_.size());
+    segments_.push_back(std::move(ss));
+  }
+  files_.push_back(std::move(file));
+}
+
+void DownloadScheduler::add_file(DownloadFileSpec file) {
+  append_file(std::move(file));
+}
+
+void DownloadScheduler::raise_budget(const std::string& segment_id,
+                                     std::size_t extra) {
+  // Last match wins (see find_segment): only the most recent admission of
+  // a re-fed segment id re-arms.
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+    if (it->spec.id == segment_id) {
+      it->budget += extra;
+      return;
     }
   }
 }
 
+const DownloadScheduler::SegmentState* DownloadScheduler::find_segment(
+    const std::string& segment_id) const {
+  // A streaming batch may re-feed a segment id after an earlier admission
+  // completed (e.g. the same content appears again once its first copy was
+  // written and released); per-id queries track the newest admission.
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+    if (it->spec.id == segment_id) return &*it;
+  }
+  return nullptr;
+}
+
+bool DownloadScheduler::segment_complete(const std::string& segment_id) const {
+  const SegmentState* seg = find_segment(segment_id);
+  return seg != nullptr && seg->complete();
+}
+
+bool DownloadScheduler::segment_failed(const std::string& segment_id) const {
+  const SegmentState* seg = find_segment(segment_id);
+  return seg != nullptr && segment_stuck(*seg);
+}
+
 bool DownloadScheduler::file_complete(std::size_t file_index) const {
   for (const std::size_t si : file_segments_[file_index]) {
-    if (!segments_[si].complete(k_)) return false;
+    if (!segments_[si].complete()) return false;
   }
   return true;
 }
@@ -37,7 +79,7 @@ bool DownloadScheduler::all_complete() const {
 }
 
 bool DownloadScheduler::segment_stuck(const SegmentState& seg) const {
-  if (seg.complete(k_)) return false;
+  if (seg.complete()) return false;
   // Count blocks still obtainable: located on an enabled cloud not yet
   // known-failed for that block, or already done/in-flight.
   std::set<std::uint32_t> reachable(seg.done.begin(), seg.done.end());
@@ -51,7 +93,7 @@ bool DownloadScheduler::segment_stuck(const SegmentState& seg) const {
     }
     reachable.insert(loc.block_index);
   }
-  return reachable.size() < k_;
+  return reachable.size() < seg.budget;
 }
 
 bool DownloadScheduler::file_failed(std::size_t file_index) const {
@@ -68,7 +110,7 @@ bool DownloadScheduler::finished() const {
   if (all_complete()) return true;
   if (in_flight_ > 0) return false;
   for (const SegmentState& seg : segments_) {
-    if (!seg.complete(k_) && !segment_stuck(seg)) return false;
+    if (!seg.complete() && !segment_stuck(seg)) return false;
   }
   return true;
 }
@@ -83,9 +125,9 @@ std::optional<BlockTask> DownloadScheduler::next_task(cloud::CloudId cloud) {
   for (std::size_t fi = 0; fi < files_.size(); ++fi) {
     for (const std::size_t si : file_segments_[fi]) {
       SegmentState& seg = segments_[si];
-      if (seg.complete(k_)) continue;
-      // Never request more than the k still-needed distinct blocks.
-      if (seg.done.size() + seg.in_flight.size() >= k_) continue;
+      if (seg.complete()) continue;
+      // Never request more than the still-needed distinct blocks.
+      if (seg.done.size() + seg.in_flight.size() >= seg.budget) continue;
       for (const metadata::BlockLocation& loc : seg.spec.locations) {
         if (loc.cloud != cloud) continue;
         if (seg.done.count(loc.block_index) != 0 ||
@@ -123,7 +165,7 @@ std::optional<BlockTask> DownloadScheduler::next_hedge_task(
   for (std::size_t fi = 0; fi < files_.size(); ++fi) {
     for (const std::size_t si : file_segments_[fi]) {
       SegmentState& seg = segments_[si];
-      if (seg.complete(k_)) continue;
+      if (seg.complete()) continue;
       // Hedge only when a needed block is pinned on a strictly slower cloud.
       bool pinned_on_slower = false;
       std::size_t my_in_flight = 0;
@@ -183,11 +225,8 @@ void DownloadScheduler::set_cloud_enabled(cloud::CloudId cloud, bool enabled) {
 std::vector<std::uint32_t> DownloadScheduler::fetched_blocks(
     const std::string& segment_id) const {
   std::vector<std::uint32_t> out;
-  for (const SegmentState& seg : segments_) {
-    if (seg.spec.id != segment_id) continue;
-    out.assign(seg.done.begin(), seg.done.end());
-    break;
-  }
+  const SegmentState* seg = find_segment(segment_id);
+  if (seg != nullptr) out.assign(seg->done.begin(), seg->done.end());
   return out;
 }
 

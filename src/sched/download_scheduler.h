@@ -33,6 +33,26 @@ class DownloadScheduler {
  public:
   DownloadScheduler(std::size_t k, std::vector<DownloadFileSpec> files);
 
+  // Streaming: append a file to the batch while the job is running (the
+  // caller must serialize this with next_task/on_complete, like every
+  // other mutating call). The new file ranks after all existing files in
+  // the fastest-first polling order.
+  void add_file(DownloadFileSpec file);
+
+  // Raise a segment's distinct-block budget past k by `extra` blocks (the
+  // corrupt-shard search: a decoded-but-unverifiable segment needs more
+  // distinct blocks to find a clean k-subset). The segment becomes
+  // incomplete again until the extra blocks land or supply runs out.
+  void raise_budget(const std::string& segment_id, std::size_t extra);
+
+  // Per-segment progress, for streaming drivers that notify a consumer as
+  // soon as each segment's budget of distinct blocks has been fetched.
+  [[nodiscard]] bool segment_complete(const std::string& segment_id) const;
+  // True when the segment can never reach its budget with the enabled
+  // clouds and remaining untried sources (counting in-flight requests as
+  // potential successes, so the verdict is final).
+  [[nodiscard]] bool segment_failed(const std::string& segment_id) const;
+
   // Next block an idle connection of `cloud` should fetch, or nullopt.
   std::optional<BlockTask> next_task(cloud::CloudId cloud);
 
@@ -75,16 +95,22 @@ class DownloadScheduler {
     std::size_t file_index = 0;
     DownloadSegmentSpec spec;
     std::uint64_t block_bytes = 0;
+    // Distinct blocks to fetch: k normally, raised by raise_budget() during
+    // a corrupt-shard search.
+    std::size_t budget = 0;
     std::set<std::uint32_t> done;
     std::map<std::uint32_t, cloud::CloudId> in_flight;
     std::set<std::uint32_t> failed_everywhere;  // exhausted all holders
 
-    [[nodiscard]] bool complete(std::size_t k) const noexcept {
-      return done.size() >= k;
+    [[nodiscard]] bool complete() const noexcept {
+      return done.size() >= budget;
     }
   };
 
+  void append_file(DownloadFileSpec file);
   [[nodiscard]] bool segment_stuck(const SegmentState& seg) const;
+  [[nodiscard]] const SegmentState* find_segment(
+      const std::string& segment_id) const;
 
   std::size_t k_;
   std::vector<DownloadFileSpec> files_;

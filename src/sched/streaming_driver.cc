@@ -187,4 +187,200 @@ void StreamingUploadDriver::launch(cloud::CloudId cloud,
   });
 }
 
+// --- StreamingDownloadDriver ------------------------------------------------
+
+StreamingDownloadDriver::StreamingDownloadDriver(
+    std::size_t k, std::vector<cloud::CloudId> clouds, DriverConfig config,
+    ThroughputMonitor& monitor, std::shared_ptr<Executor> executor,
+    TransferFn transfer, std::shared_ptr<cloud::CloudHealthRegistry> health,
+    obs::ObsPtr obs, SegmentFetchedFn on_fetched)
+    : clouds_(std::move(clouds)),
+      config_(config),
+      monitor_(monitor),
+      executor_(std::move(executor)),
+      transfer_(std::move(transfer)),
+      health_(std::move(health)),
+      obs_(std::move(obs)),
+      on_fetched_(std::move(on_fetched)),
+      scheduler_(k, {}) {
+  for (const cloud::CloudId c : clouds_) {
+    free_conns_[c] = config_.connections_per_cloud;
+  }
+  if (obs_) {
+    for (const cloud::CloudId c : clouds_) {
+      ok_counters_[c] =
+          &obs_->metrics.counter("driver.down.cloud" + std::to_string(c) +
+                                 ".ok");
+      err_counters_[c] =
+          &obs_->metrics.counter("driver.down.cloud" + std::to_string(c) +
+                                 ".err");
+    }
+    latency_hist_ = &obs_->metrics.histogram("driver.down.latency");
+  }
+  if (health_ != nullptr) {
+    for (const cloud::CloudId c : clouds_) {
+      if (!health_->admissible(c)) {
+        scheduler_.set_cloud_enabled(c, false);
+        disabled_.insert(c);
+      }
+    }
+  }
+}
+
+StreamingDownloadDriver::~StreamingDownloadDriver() {
+  cancel();
+  wait();
+}
+
+bool StreamingDownloadDriver::done() const {
+  return outstanding_ == 0 &&
+         (cancelled_ || (closed_ && scheduler_.finished()));
+}
+
+void StreamingDownloadDriver::add_file(DownloadFileSpec file) {
+  std::lock_guard<std::mutex> guard(lock_);
+  if (closed_ || cancelled_) return;
+  for (const DownloadSegmentSpec& seg : file.segments) {
+    pending_.insert(seg.id);
+  }
+  scheduler_.add_file(std::move(file));
+  pump();
+  // A segment with too little reachable supply (all holders down) is
+  // undecidable-forever unless reported now.
+  sweep_decided();
+}
+
+void StreamingDownloadDriver::request_extra_block(
+    const std::string& segment_id) {
+  std::lock_guard<std::mutex> guard(lock_);
+  if (cancelled_) {
+    if (on_fetched_) on_fetched_(segment_id, false);
+    return;
+  }
+  scheduler_.raise_budget(segment_id, 1);
+  pending_.insert(segment_id);
+  pump();
+  sweep_decided();  // supply may already be exhausted: fail immediately
+}
+
+void StreamingDownloadDriver::close() {
+  std::lock_guard<std::mutex> guard(lock_);
+  if (closed_) return;
+  closed_ = true;
+  cv_.notify_all();
+}
+
+void StreamingDownloadDriver::cancel() {
+  std::lock_guard<std::mutex> guard(lock_);
+  if (cancelled_) return;
+  cancelled_ = true;
+  sweep_decided();  // every pending segment gets its ok=false callback
+  cv_.notify_all();
+}
+
+void StreamingDownloadDriver::wait() {
+  std::unique_lock<std::mutex> guard(lock_);
+  cv_.wait(guard, [&] { return done(); });
+}
+
+bool StreamingDownloadDriver::cancelled() const {
+  std::lock_guard<std::mutex> guard(lock_);
+  return cancelled_;
+}
+
+void StreamingDownloadDriver::pump() {
+  if (cancelled_ || scheduler_.finished()) return;
+  for (const cloud::CloudId c : clouds_) {
+    while (free_conns_[c] > 0) {
+      const std::optional<BlockTask> task = scheduler_.next_task(c);
+      if (!task.has_value()) break;
+      launch(c, *task, /*is_hedge=*/false);
+    }
+  }
+  // Straggler hedging: once nothing regular is assignable, duplicate work
+  // pinned on strictly slower clouds (fastest-first order refreshed from
+  // the in-channel throughput monitor).
+  scheduler_.set_speed_order(
+      monitor_.ranked(Direction::kDownload, clouds_));
+  for (const cloud::CloudId c : clouds_) {
+    while (free_conns_[c] > 0) {
+      const std::optional<BlockTask> task = scheduler_.next_hedge_task(c);
+      if (!task.has_value()) break;
+      launch(c, *task, /*is_hedge=*/true);
+    }
+  }
+}
+
+void StreamingDownloadDriver::sweep_decided() {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    bool decided = false;
+    bool ok = false;
+    if (scheduler_.segment_complete(*it)) {
+      decided = true;
+      ok = true;
+    } else if (cancelled_ || scheduler_.segment_failed(*it)) {
+      decided = true;
+    }
+    if (!decided) {
+      ++it;
+      continue;
+    }
+    if (on_fetched_) on_fetched_(*it, ok);
+    it = pending_.erase(it);
+  }
+}
+
+void StreamingDownloadDriver::launch(cloud::CloudId cloud,
+                                     const BlockTask& task, bool is_hedge) {
+  --free_conns_[cloud];
+  ++outstanding_;
+  executor_->submit([this, task, cloud, is_hedge] {
+    if (is_hedge) obs::add_counter(obs_.get(), "driver.hedge_tasks");
+    const TimePoint start = RealClock::instance().now();
+    const Status status = transfer_(task);
+    const TimePoint end = RealClock::instance().now();
+    if (obs_ != nullptr) {
+      (status.is_ok() ? ok_counters_ : err_counters_).at(cloud)->add();
+      latency_hist_->observe(end - start);
+    }
+    if (status.is_ok()) {
+      monitor_.record(cloud, Direction::kDownload,
+                      static_cast<double>(task.bytes),
+                      std::max(1e-9, end - start));
+    } else {
+      monitor_.record_failure(cloud, Direction::kDownload, end - start);
+      UNI_LOG(kDebug) << "fetch failed on cloud " << cloud << ": "
+                      << status.to_string();
+    }
+
+    std::lock_guard<std::mutex> guard(lock_);
+    scheduler_.on_complete(task, status.is_ok());
+    if (status.is_ok()) {
+      consecutive_failures_[cloud] = 0;
+      if (disabled_.erase(cloud) != 0) {
+        scheduler_.set_cloud_enabled(cloud, true);
+        obs::add_counter(obs_.get(), "driver.cloud_readmitted");
+        UNI_LOG(kInfo) << "cloud " << cloud << " re-admitted";
+      }
+    } else {
+      ++consecutive_failures_[cloud];
+      const bool down =
+          (health_ != nullptr && !health_->admissible(cloud)) ||
+          consecutive_failures_[cloud] >= config_.max_consecutive_failures;
+      if (down && disabled_.insert(cloud).second) {
+        scheduler_.set_cloud_enabled(cloud, false);
+        obs::add_counter(obs_.get(), "driver.cloud_disabled");
+        UNI_LOG(kInfo) << "cloud " << cloud
+                       << " disabled after repeated failures";
+      }
+    }
+    ++free_conns_[cloud];
+    --outstanding_;
+    pump();
+    sweep_decided();
+    // Notify under the lock: wait() may destroy this object right after.
+    cv_.notify_all();
+  });
+}
+
 }  // namespace unidrive::sched

@@ -1,6 +1,9 @@
-// StreamingUploadDriver — an upload driver that accepts files
-// *incrementally* while transfers are already running, so encode and
-// transfer overlap instead of the driver draining a frozen plan.
+// Streaming transfer drivers — upload and download drivers that accept
+// files *incrementally* while transfers are already running, so the CPU
+// stages (encode / decode) overlap the network instead of the driver
+// draining a frozen plan.
+//
+// StreamingUploadDriver — the transfer stage of the upload pipeline.
 //
 // This is the transfer stage of the sync pipeline: the encode stage calls
 // add_file() as soon as a segment's shards exist, close() when the scan is
@@ -39,6 +42,7 @@
 #include "common/executor.h"
 #include "metadata/types.h"
 #include "obs/obs.h"
+#include "sched/download_scheduler.h"
 #include "sched/monitor.h"
 #include "sched/plan.h"
 #include "sched/threaded_driver.h"
@@ -119,6 +123,104 @@ class StreamingUploadDriver {
   std::map<cloud::CloudId, int> consecutive_failures_;
   std::set<cloud::CloudId> disabled_;
   std::set<std::string> unsettled_;
+  std::map<cloud::CloudId, obs::Counter*> ok_counters_;
+  std::map<cloud::CloudId, obs::Counter*> err_counters_;
+  obs::Histogram* latency_hist_ = nullptr;
+};
+
+// StreamingDownloadDriver — the fetch stage of the restore pipeline: a
+// single long-lived DownloadScheduler + pump fed all segments of a restore
+// batch incrementally, instead of one scheduler/driver pair per segment.
+// The per-cloud connection pools therefore stay busy across segment and
+// file boundaries, fastest-cloud-first polling and straggler hedging
+// (next_hedge_task, refreshed from the throughput monitor before every
+// pump) operate over the whole batch, and the consumer is notified the
+// moment any segment's k distinct blocks have landed — not when the whole
+// job drains.
+//
+// The transfer callback GETs the block and stores the shard (it runs on
+// the shared executor; must be thread-safe). When a segment reaches its
+// distinct-block budget the SegmentFetchedFn fires with ok=true; when the
+// scheduler proves the budget unreachable (supply exhausted / clouds down)
+// it fires with ok=false. request_extra_block() raises the budget for the
+// corrupt-shard search: the segment re-arms and the callback fires again
+// when the extra block lands (or supply runs out).
+//
+// cancel() stops all future assignment; transfers already running finish
+// their current request (cloud verbs are not interruptible) and are
+// awaited by wait(). Every segment fed is guaranteed a callback: fetched,
+// failed, or — after cancel() — cancelled (ok=false).
+class StreamingDownloadDriver {
+ public:
+  // Fired under the driver lock when a segment's fate is decided: ok=true
+  // after its budget of distinct blocks was fetched, ok=false when it can
+  // never be. Must not call back into the driver (post to an executor for
+  // anything heavier than bookkeeping).
+  using SegmentFetchedFn =
+      std::function<void(const std::string& segment_id, bool ok)>;
+
+  StreamingDownloadDriver(std::size_t k, std::vector<cloud::CloudId> clouds,
+                          DriverConfig config, ThroughputMonitor& monitor,
+                          std::shared_ptr<Executor> executor,
+                          TransferFn transfer,
+                          std::shared_ptr<cloud::CloudHealthRegistry> health =
+                              nullptr,
+                          obs::ObsPtr obs = nullptr,
+                          SegmentFetchedFn on_fetched = nullptr);
+  ~StreamingDownloadDriver();
+
+  StreamingDownloadDriver(const StreamingDownloadDriver&) = delete;
+  StreamingDownloadDriver& operator=(const StreamingDownloadDriver&) = delete;
+
+  // Feed one more file into the running job. Ignored after close/cancel.
+  void add_file(DownloadFileSpec file);
+
+  // Corrupt-shard search: fetch one more distinct block of the segment.
+  // The segment becomes pending again and its SegmentFetchedFn re-fires.
+  // Allowed after close() (verification outlives the feed phase).
+  void request_extra_block(const std::string& segment_id);
+
+  // No more files will be added; wait() returns once the scheduler drains.
+  void close();
+
+  // Stop assigning new blocks. In-flight transfers complete and are
+  // reported, pending segments get their ok=false callback.
+  void cancel();
+
+  // Blocks until nothing is in flight AND (cancelled, or closed with the
+  // scheduler finished).
+  void wait();
+
+  [[nodiscard]] bool cancelled() const;
+
+ private:
+  // All three require lock_ held.
+  void pump();
+  void sweep_decided();
+  [[nodiscard]] bool done() const;
+  void launch(cloud::CloudId cloud, const BlockTask& task, bool is_hedge);
+
+  std::vector<cloud::CloudId> clouds_;
+  DriverConfig config_;
+  ThroughputMonitor& monitor_;
+  std::shared_ptr<Executor> executor_;
+  TransferFn transfer_;
+  std::shared_ptr<cloud::CloudHealthRegistry> health_;
+  obs::ObsPtr obs_;
+  SegmentFetchedFn on_fetched_;
+
+  mutable std::mutex lock_;
+  std::condition_variable cv_;
+  DownloadScheduler scheduler_;
+  std::map<cloud::CloudId, std::size_t> free_conns_;
+  std::size_t outstanding_ = 0;
+  bool closed_ = false;
+  bool cancelled_ = false;
+  std::map<cloud::CloudId, int> consecutive_failures_;
+  std::set<cloud::CloudId> disabled_;
+  // Segments fed (or re-armed by request_extra_block) whose fate has not
+  // been reported yet.
+  std::set<std::string> pending_;
   std::map<cloud::CloudId, obs::Counter*> ok_counters_;
   std::map<cloud::CloudId, obs::Counter*> err_counters_;
   obs::Histogram* latency_hist_ = nullptr;

@@ -1,0 +1,735 @@
+// Tests for the streaming restore path: parallel RS decode equivalence,
+// the verified k-subset search, the incremental StreamingDownloadDriver,
+// LocalFs::FileWriter semantics, and the end-to-end DownloadPipeline —
+// bounded-memory admission under slow clouds, cancellation under injected
+// hangs, corrupt-shard search convergence with out-of-order arrivals, and
+// the monolithic (pipeline-disabled) fallback.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "cloud/faulty_cloud.h"
+#include "cloud/memory_cloud.h"
+#include "common/executor.h"
+#include "common/rng.h"
+#include "core/client.h"
+#include "core/download_pipeline.h"
+#include "core/local_fs.h"
+#include "crypto/sha1.h"
+#include "erasure/rs.h"
+#include "metadata/image.h"
+#include "metadata/types.h"
+#include "obs/obs.h"
+#include "sched/streaming_driver.h"
+
+namespace unidrive::core {
+namespace {
+
+using std::chrono::milliseconds;
+
+cloud::MultiCloud make_clouds(int n) {
+  cloud::MultiCloud clouds;
+  for (int i = 0; i < n; ++i) {
+    clouds.push_back(std::make_shared<cloud::MemoryCloud>(
+        static_cast<cloud::CloudId>(i), "cloud" + std::to_string(i)));
+  }
+  return clouds;
+}
+
+// Adds per-request latency to the inner cloud's downloads (uploads pass
+// through untouched) so completions arrive out of order and the admission
+// gate actually fills up.
+class SlowCloud final : public cloud::CloudProvider {
+ public:
+  SlowCloud(cloud::CloudPtr inner, milliseconds delay)
+      : inner_(std::move(inner)), delay_(delay) {}
+
+  [[nodiscard]] cloud::CloudId id() const noexcept override {
+    return inner_->id();
+  }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+  Status upload(const std::string& path, ByteSpan data) override {
+    return inner_->upload(path, data);
+  }
+  Result<Bytes> download(const std::string& path) override {
+    std::this_thread::sleep_for(delay_);
+    return inner_->download(path);
+  }
+  Status create_dir(const std::string& path) override {
+    return inner_->create_dir(path);
+  }
+  Result<std::vector<cloud::FileInfo>> list(const std::string& dir) override {
+    return inner_->list(dir);
+  }
+  Status remove(const std::string& path) override {
+    return inner_->remove(path);
+  }
+
+ private:
+  cloud::CloudPtr inner_;
+  milliseconds delay_;
+};
+
+// Segments `content` at `theta`, encodes `blocks_per_segment` distinct
+// blocks per segment with `code`, uploads block b to cloud (b % clouds),
+// records everything in `image`, and returns the file's snapshot.
+metadata::FileSnapshot publish_file(const std::string& path,
+                                    const Bytes& content, std::size_t theta,
+                                    const erasure::RsCode& code,
+                                    std::uint32_t blocks_per_segment,
+                                    const cloud::MultiCloud& clouds,
+                                    metadata::SyncFolderImage& image) {
+  metadata::FileSnapshot snap;
+  snap.path = path;
+  snap.size = content.size();
+  snap.content_hash = crypto::Sha1::hex(ByteSpan(content));
+  for (std::size_t off = 0; off < content.size(); off += theta) {
+    const std::size_t len = std::min(theta, content.size() - off);
+    const Bytes seg(content.begin() + off, content.begin() + off + len);
+    const std::string id = crypto::Sha1::hex(ByteSpan(seg));
+    snap.segment_ids.push_back(id);
+    if (image.find_segment(id) != nullptr) continue;  // dedup
+    std::vector<std::uint32_t> indices;
+    for (std::uint32_t b = 0; b < blocks_per_segment; ++b) {
+      indices.push_back(b);
+    }
+    metadata::SegmentInfo info;
+    info.id = id;
+    info.size = len;
+    info.refcount = 1;
+    for (const erasure::Shard& shard : code.encode_shards(ByteSpan(seg),
+                                                          indices)) {
+      const auto target = static_cast<cloud::CloudId>(
+          shard.index % clouds.size());
+      EXPECT_TRUE(clouds[target]
+                      ->upload(metadata::block_path(id, shard.index),
+                               ByteSpan(shard.data))
+                      .is_ok());
+      info.blocks.push_back({shard.index, target});
+    }
+    image.upsert_segment(info);
+  }
+  image.upsert_file(snap);
+  return snap;
+}
+
+// find_cloud over an explicit provider table (wrapped or raw).
+FindCloudFn table_lookup(const std::vector<cloud::CloudProvider*>& table) {
+  return [&table](cloud::CloudId id) -> cloud::CloudProvider* {
+    return table[id];
+  };
+}
+
+// --- parallel decode --------------------------------------------------------
+
+TEST(ParallelDecodeTest, MatchesSerialDecodeOnArbitrarySubsets) {
+  const erasure::RsCode code(16, 4);
+  Rng rng(21);
+  const Bytes segment = rng.bytes(200001);  // deliberately not shard-aligned
+  const std::vector<erasure::Shard> all = code.encode(ByteSpan(segment));
+
+  // An unsorted, non-contiguous k-subset, as the corrupt-shard search
+  // produces them.
+  const std::vector<erasure::Shard> subset = {all[5], all[9], all[2],
+                                              all[11]};
+  const auto serial = code.decode(subset, segment.size());
+  ASSERT_TRUE(serial.is_ok());
+  ASSERT_EQ(serial.value(), segment);
+
+  for (const std::size_t threads : {1, 4}) {
+    Executor executor(threads);
+    const auto parallel =
+        code.decode_shards_parallel(subset, segment.size(), executor);
+    ASSERT_TRUE(parallel.is_ok());
+    EXPECT_EQ(parallel.value(), segment) << threads << " threads";
+  }
+}
+
+TEST(ParallelDecodeTest, SafeFromPoolThreadAndRejectsBadInput) {
+  const erasure::RsCode code(8, 3);
+  Rng rng(22);
+  const Bytes segment = rng.bytes(60000);
+  const auto all = code.encode(ByteSpan(segment));
+
+  // Fan-out from a pool thread must not deadlock (decode tasks run on the
+  // same executor the row fan-out uses).
+  Executor executor(1);
+  std::atomic<bool> ok{false};
+  executor.submit([&] {
+    const std::vector<erasure::Shard> subset = {all[1], all[4], all[6]};
+    const auto decoded =
+        code.decode_shards_parallel(subset, segment.size(), executor);
+    ok.store(decoded.is_ok() && decoded.value() == segment);
+  });
+  for (int spin = 0; spin < 5000 && !ok.load(); ++spin) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_TRUE(ok.load());
+
+  // Too few shards fail the same way the serial path does.
+  const std::vector<erasure::Shard> short_set = {all[0], all[1]};
+  EXPECT_FALSE(code.decode_shards_parallel(short_set, segment.size(),
+                                           executor)
+                   .is_ok());
+}
+
+// --- decode_verified --------------------------------------------------------
+
+TEST(DecodeVerifiedTest, FindsCleanSubsetAroundOneCorruptShard) {
+  const erasure::RsCode code(16, 3);
+  Rng rng(23);
+  const Bytes segment = rng.bytes(90001);
+  metadata::SegmentInfo info;
+  info.id = crypto::Sha1::hex(ByteSpan(segment));
+  info.size = segment.size();
+
+  std::vector<erasure::Shard> shards =
+      code.encode_shards(ByteSpan(segment), {0, 1, 2, 3});
+  shards[1].data[7] ^= 0xFF;  // silent corruption, size unchanged
+
+  Executor executor(4);
+  for (Executor* exec : {static_cast<Executor*>(nullptr), &executor}) {
+    const auto decoded = decode_verified(code, shards, info, 3, exec);
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_EQ(decoded.value(), segment);
+  }
+}
+
+TEST(DecodeVerifiedTest, FailsWhenNoCleanSubsetExists) {
+  const erasure::RsCode code(16, 3);
+  Rng rng(24);
+  const Bytes segment = rng.bytes(30000);
+  metadata::SegmentInfo info;
+  info.id = crypto::Sha1::hex(ByteSpan(segment));
+  info.size = segment.size();
+
+  // Two corrupt shards among four: every 3-subset contains at least one.
+  std::vector<erasure::Shard> shards =
+      code.encode_shards(ByteSpan(segment), {0, 1, 2, 3});
+  shards[0].data[0] ^= 0x01;
+  shards[3].data[5] ^= 0x80;
+  const auto decoded = decode_verified(code, shards, info, 3, nullptr);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.code(), ErrorCode::kCorrupt);
+}
+
+// --- StreamingDownloadDriver ------------------------------------------------
+
+TEST(StreamingDownloadDriverTest, IncrementalFeedSettlesEverySegment) {
+  sched::ThroughputMonitor monitor;
+  auto executor = std::make_shared<Executor>(4);
+
+  std::mutex mu;
+  std::map<std::string, std::set<std::uint32_t>> fetched;
+  const sched::TransferFn transfer = [&](const sched::BlockTask& task) {
+    std::lock_guard<std::mutex> g(mu);
+    fetched[task.segment_id].insert(task.block_index);
+    return Status::ok();
+  };
+
+  std::mutex settled_mu;
+  std::map<std::string, bool> settled;
+  sched::StreamingDownloadDriver driver(
+      /*k=*/2, {0, 1, 2}, sched::DriverConfig{2, 3}, monitor, executor,
+      transfer, nullptr, nullptr, [&](const std::string& id, bool ok) {
+        std::lock_guard<std::mutex> g(settled_mu);
+        settled[id] = ok;
+      });
+
+  // Files arrive one by one while fetches are already running.
+  for (int i = 0; i < 3; ++i) {
+    sched::DownloadFileSpec spec;
+    spec.path = "/f" + std::to_string(i);
+    sched::DownloadSegmentSpec seg;
+    seg.id = "seg" + std::to_string(i);
+    seg.size = 64 << 10;
+    for (std::uint32_t b = 0; b < 3; ++b) {
+      seg.locations.push_back({b, static_cast<cloud::CloudId>(b)});
+    }
+    spec.segments.push_back(std::move(seg));
+    driver.add_file(std::move(spec));
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  driver.close();
+  driver.wait();
+
+  for (int i = 0; i < 3; ++i) {
+    const std::string id = "seg" + std::to_string(i);
+    ASSERT_EQ(settled.count(id), 1u) << id;
+    EXPECT_TRUE(settled[id]);
+    // The budget asks for k distinct blocks; hedging may add more.
+    EXPECT_GE(fetched[id].size(), 2u);
+  }
+}
+
+TEST(StreamingDownloadDriverTest, CancelFailsPendingSegmentsWithoutDeadlock) {
+  sched::ThroughputMonitor monitor;
+  auto executor = std::make_shared<Executor>(4);
+
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> entered{0};
+  const sched::TransferFn transfer = [&](const sched::BlockTask&) {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+    return Status::ok();
+  };
+
+  std::mutex settled_mu;
+  std::map<std::string, bool> settled;
+  sched::StreamingDownloadDriver driver(
+      /*k=*/2, {0, 1}, sched::DriverConfig{2, 3}, monitor, executor, transfer,
+      nullptr, nullptr, [&](const std::string& id, bool ok) {
+        std::lock_guard<std::mutex> g(settled_mu);
+        settled[id] = ok;
+      });
+
+  sched::DownloadFileSpec spec;
+  spec.path = "/wedged";
+  sched::DownloadSegmentSpec seg;
+  seg.id = "wedged-seg";
+  seg.size = 4 << 10;
+  seg.locations = {{0, 0}, {1, 1}};
+  spec.segments.push_back(std::move(seg));
+  driver.add_file(std::move(spec));
+
+  for (int spin = 0; spin < 5000 && entered.load() == 0; ++spin) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  ASSERT_GT(entered.load(), 0);
+
+  driver.cancel();  // pending segment settles ok=false immediately
+  {
+    std::lock_guard<std::mutex> g(settled_mu);
+    ASSERT_EQ(settled.count("wedged-seg"), 1u);
+    EXPECT_FALSE(settled["wedged-seg"]);
+  }
+  {
+    std::lock_guard<std::mutex> g(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  driver.wait();  // stuck transfers drained, no deadlock
+}
+
+// --- LocalFs::FileWriter ----------------------------------------------------
+
+TEST(FileWriterTest, BufferedWriterPublishesOnlyOnCommit) {
+  MemoryLocalFs fs;
+  auto writer = fs.open_write("/w.txt");
+  ASSERT_TRUE(writer.is_ok());
+  ASSERT_TRUE(writer.value()->append(ByteSpan(bytes_from_string("he"))).is_ok());
+  ASSERT_TRUE(
+      writer.value()->append(ByteSpan(bytes_from_string("llo"))).is_ok());
+  EXPECT_FALSE(fs.read("/w.txt").is_ok());  // nothing visible pre-commit
+  ASSERT_TRUE(writer.value()->commit().is_ok());
+  EXPECT_EQ(fs.read("/w.txt").value(), bytes_from_string("hello"));
+  // The writer is closed: further appends and commits are rejected.
+  EXPECT_FALSE(writer.value()->append(ByteSpan(bytes_from_string("x"))).is_ok());
+  EXPECT_FALSE(writer.value()->commit().is_ok());
+}
+
+TEST(FileWriterTest, AbortAndDestructionLeaveNoTrace) {
+  MemoryLocalFs fs;
+  {
+    auto writer = fs.open_write("/a.bin");
+    ASSERT_TRUE(writer.is_ok());
+    ASSERT_TRUE(writer.value()->append(ByteSpan(bytes_from_string("xx"))).is_ok());
+    writer.value()->abort();
+    writer.value()->abort();  // idempotent
+  }
+  {
+    auto writer = fs.open_write("/b.bin");
+    ASSERT_TRUE(writer.is_ok());
+    ASSERT_TRUE(writer.value()->append(ByteSpan(bytes_from_string("yy"))).is_ok());
+    // destroyed without commit
+  }
+  EXPECT_FALSE(fs.read("/a.bin").is_ok());
+  EXPECT_FALSE(fs.read("/b.bin").is_ok());
+  EXPECT_TRUE(fs.list_files().empty());
+}
+
+TEST(FileWriterTest, DiskWriterStreamsThroughPartFileAndRenames) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("unidrive_writer_test_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(root);
+  {
+    DiskLocalFs fs(root);
+    auto writer = fs.open_write("/docs/out.bin");
+    ASSERT_TRUE(writer.is_ok());
+    Rng rng(31);
+    const Bytes part1 = rng.bytes(10000);
+    const Bytes part2 = rng.bytes(5000);
+    ASSERT_TRUE(writer.value()->append(ByteSpan(part1)).is_ok());
+    ASSERT_TRUE(writer.value()->append(ByteSpan(part2)).is_ok());
+    EXPECT_FALSE(fs.read("/docs/out.bin").is_ok());  // only the .part exists
+    ASSERT_TRUE(writer.value()->commit().is_ok());
+    Bytes joined = part1;
+    joined.insert(joined.end(), part2.begin(), part2.end());
+    EXPECT_EQ(fs.read("/docs/out.bin").value(), joined);
+    // The temp file was renamed away, not left beside the result.
+    EXPECT_EQ(fs.list_files(),
+              std::vector<std::string>{"/docs/out.bin"});
+
+    auto aborted = fs.open_write("/docs/gone.bin");
+    ASSERT_TRUE(aborted.is_ok());
+    ASSERT_TRUE(aborted.value()->append(ByteSpan(part1)).is_ok());
+    aborted.value()->abort();
+    EXPECT_EQ(fs.list_files(),
+              std::vector<std::string>{"/docs/out.bin"});
+  }
+  std::filesystem::remove_all(root);
+}
+
+// --- DownloadPipeline: end-to-end restores ----------------------------------
+
+TEST(RestorePipelineTest, RestoresMultiFileBatchBitExact) {
+  const std::size_t k = 3;
+  const std::size_t theta = 64 << 10;
+  const erasure::RsCode code(16, k);
+  cloud::MultiCloud clouds = make_clouds(4);
+  metadata::SyncFolderImage image;
+  Rng rng(41);
+
+  const Bytes big = rng.bytes(300 << 10);  // 5 segments
+  // One shared segment: /dup duplicates /big's first segment, and repeats
+  // it twice so one decoded plaintext feeds two file positions.
+  Bytes dup(big.begin(), big.begin() + theta);
+  dup.insert(dup.end(), big.begin(), big.begin() + theta);
+  const Bytes empty;
+
+  const auto snap_big =
+      publish_file("/big.bin", big, theta, code, 5, clouds, image);
+  const auto snap_dup =
+      publish_file("/dup.bin", dup, theta, code, 5, clouds, image);
+  const auto snap_empty =
+      publish_file("/empty", empty, theta, code, 5, clouds, image);
+
+  std::vector<cloud::CloudProvider*> table;
+  for (const auto& c : clouds) table.push_back(c.get());
+  sched::ThroughputMonitor monitor;
+  auto executor = std::make_shared<Executor>(4);
+  auto obs = std::make_shared<obs::Observability>();
+  MemoryLocalFs fs;
+  DownloadPipeline pipeline(k, code, {0, 1, 2, 3}, sched::DriverConfig{2, 3},
+                            monitor, executor, table_lookup(table),
+                            PipelineConfig{}, fs, nullptr, obs);
+  pipeline.add_file(snap_big, image);
+  pipeline.add_file(snap_dup, image);
+  pipeline.add_file(snap_empty, image);
+  const auto results = pipeline.finish();
+
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.status.is_ok()) << r.path << ": " << r.status.message();
+  }
+  EXPECT_EQ(fs.read("/big.bin").value(), big);
+  EXPECT_EQ(fs.read("/dup.bin").value(), dup);
+  EXPECT_EQ(fs.read("/empty").value(), empty);
+  EXPECT_EQ(pipeline.inflight_bytes(), 0u);
+
+  const auto metrics = obs->metrics.snapshot();
+  EXPECT_EQ(metrics.gauge_value("restore.inflight_bytes"), 0.0);
+  EXPECT_GT(metrics.gauge_value("restore.inflight_bytes_peak"), 0.0);
+}
+
+TEST(RestorePipelineTest, InflightBytesStayUnderCapUnderSlowClouds) {
+  const std::size_t k = 2;
+  const std::size_t theta = 64 << 10;
+  const erasure::RsCode code(16, k);
+  cloud::MultiCloud clouds = make_clouds(4);
+  metadata::SyncFolderImage image;
+  Rng rng(42);
+
+  const Bytes content = rng.bytes(1 << 20);  // 16 segments
+  const auto snap =
+      publish_file("/slow.bin", content, theta, code, 4, clouds, image);
+
+  // Every download takes a few milliseconds, so the producer runs far
+  // ahead of the fetch stage and leans on the admission gate.
+  std::vector<std::unique_ptr<SlowCloud>> slow;
+  std::vector<cloud::CloudProvider*> table;
+  for (const auto& c : clouds) {
+    slow.push_back(std::make_unique<SlowCloud>(c, milliseconds(3)));
+    table.push_back(slow.back().get());
+  }
+
+  sched::ThroughputMonitor monitor;
+  auto executor = std::make_shared<Executor>(4);
+  auto obs = std::make_shared<obs::Observability>();
+  MemoryLocalFs fs;
+  PipelineConfig config;
+  // A 64 KiB segment's restore footprint is 128 KiB (k shards of 32 KiB
+  // plus the plaintext): at most four segments fit in flight at once.
+  config.max_inflight_bytes = 512 << 10;
+  DownloadPipeline pipeline(k, code, {0, 1, 2, 3}, sched::DriverConfig{2, 3},
+                            monitor, executor, table_lookup(table), config,
+                            fs, nullptr, obs);
+  pipeline.add_file(snap, image);
+  const auto results = pipeline.finish();
+
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].status.is_ok()) << results[0].status.message();
+  EXPECT_EQ(fs.read("/slow.bin").value(), content);
+
+  const auto metrics = obs->metrics.snapshot();
+  const double peak = metrics.gauge_value("restore.inflight_bytes_peak");
+  EXPECT_GT(peak, 0.0);
+  EXPECT_LE(peak, static_cast<double>(config.max_inflight_bytes));
+  EXPECT_EQ(metrics.gauge_value("restore.inflight_bytes"), 0.0);
+  EXPECT_EQ(pipeline.inflight_bytes(), 0u);
+}
+
+// Blocks every injected hang until the test opens the gate.
+struct HangGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  void release() {
+    {
+      std::lock_guard<std::mutex> g(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return open; });
+  }
+};
+
+TEST(RestorePipelineTest, CancelUnderHangingCloudReleasesProducerAndBytes) {
+  const std::size_t k = 2;
+  const std::size_t theta = 64 << 10;
+  const erasure::RsCode code(16, k);
+  cloud::MultiCloud clouds = make_clouds(2);
+  metadata::SyncFolderImage image;
+  Rng rng(43);
+
+  const Bytes content = rng.bytes(128 << 10);  // two 64 KiB segments
+  const auto snap =
+      publish_file("/hang.bin", content, theta, code, 2, clouds, image);
+
+  HangGate gate;
+  cloud::FaultProfile hang_profile;
+  hang_profile.hang_rate = 1.0;
+  hang_profile.hang_seconds = 1.0;
+  std::vector<std::shared_ptr<cloud::FaultyCloud>> faulty;
+  std::vector<cloud::CloudProvider*> table;
+  for (std::size_t i = 0; i < clouds.size(); ++i) {
+    faulty.push_back(std::make_shared<cloud::FaultyCloud>(
+        clouds[i], hang_profile, /*seed=*/i + 1,
+        [&gate](Duration) { gate.wait(); }));
+    table.push_back(faulty.back().get());
+  }
+
+  sched::ThroughputMonitor monitor;
+  auto executor = std::make_shared<Executor>(4);
+  MemoryLocalFs fs;
+  PipelineConfig config;
+  // One segment's footprint (128 KiB) fits, a second does not: the
+  // producer must block on the admission gate while the first is wedged.
+  config.max_inflight_bytes = 200 << 10;
+  DownloadPipeline pipeline(k, code, {0, 1}, sched::DriverConfig{2, 3},
+                            monitor, executor, table_lookup(table), config,
+                            fs, nullptr, nullptr);
+
+  std::atomic<bool> producer_done{false};
+  std::thread producer([&] {
+    pipeline.add_file(snap, image);
+    producer_done.store(true);
+  });
+
+  // Wait until a fetch is actually stuck inside the injected hang.
+  for (int spin = 0; spin < 5000; ++spin) {
+    if (faulty[0]->hangs() + faulty[1]->hangs() > 0) break;
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  ASSERT_GT(faulty[0]->hangs() + faulty[1]->hangs(), 0u);
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_FALSE(producer_done.load());
+
+  pipeline.cancel();
+  producer.join();  // released without the cloud ever answering
+  EXPECT_TRUE(producer_done.load());
+
+  gate.release();  // let the stuck transfers finish their current request
+  const auto results = pipeline.finish();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].status.is_ok());
+  // No reserved bytes leaked and no partial file survived the abort.
+  EXPECT_EQ(pipeline.inflight_bytes(), 0u);
+  EXPECT_FALSE(fs.read("/hang.bin").is_ok());
+  EXPECT_TRUE(fs.list_files().empty());
+}
+
+TEST(RestorePipelineTest, CorruptShardSearchConvergesWithOutOfOrderBlocks) {
+  const std::size_t k = 3;
+  const std::size_t theta = 64 << 10;
+  const erasure::RsCode code(16, k);
+  cloud::MultiCloud clouds = make_clouds(4);
+  metadata::SyncFolderImage image;
+  Rng rng(44);
+
+  const Bytes content = rng.bytes(384 << 10);  // 6 segments
+  const auto snap =
+      publish_file("/healed.bin", content, theta, code, 4, clouds, image);
+
+  // Corrupt block 1 of the FIRST segment in place on its cloud. With
+  // blocks 0..3 on clouds 0..3 and budget k=3, blocks {0,1,2} are fetched
+  // first, the verified decode fails, and the search must pull block 3.
+  const std::string& first_seg = snap.segment_ids.front();
+  const Bytes junk = rng.bytes(code.shard_size(theta));
+  ASSERT_TRUE(clouds[1]
+                  ->upload(metadata::block_path(first_seg, 1), ByteSpan(junk))
+                  .is_ok());
+
+  // Skewed latencies: cloud 0 is slowest, so block arrivals — and whole
+  // segment decodes — complete out of snapshot order; the writer must
+  // still assemble in order.
+  const milliseconds delays[] = {milliseconds(12), milliseconds(1),
+                                 milliseconds(2), milliseconds(3)};
+  std::vector<std::unique_ptr<SlowCloud>> slow;
+  std::vector<cloud::CloudProvider*> table;
+  for (std::size_t i = 0; i < clouds.size(); ++i) {
+    slow.push_back(std::make_unique<SlowCloud>(clouds[i], delays[i]));
+    table.push_back(slow.back().get());
+  }
+
+  sched::ThroughputMonitor monitor;
+  auto executor = std::make_shared<Executor>(4);
+  MemoryLocalFs fs;
+  DownloadPipeline pipeline(k, code, {0, 1, 2, 3}, sched::DriverConfig{2, 3},
+                            monitor, executor, table_lookup(table),
+                            PipelineConfig{}, fs, nullptr, nullptr);
+  pipeline.add_file(snap, image);
+  const auto results = pipeline.finish();
+
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].status.is_ok()) << results[0].status.message();
+  EXPECT_EQ(fs.read("/healed.bin").value(), content);
+  EXPECT_EQ(pipeline.inflight_bytes(), 0u);
+}
+
+TEST(RestorePipelineTest, UnrecoverableCorruptionFailsWithoutPartialWrite) {
+  const std::size_t k = 3;
+  const std::size_t theta = 64 << 10;
+  const erasure::RsCode code(16, k);
+  cloud::MultiCloud clouds = make_clouds(3);
+  metadata::SyncFolderImage image;
+  Rng rng(45);
+
+  const Bytes content = rng.bytes(100 << 10);  // 2 segments
+  // Exactly k blocks per segment: after a corruption there is no extra
+  // supply, so the search must exhaust and fail the file.
+  const auto snap =
+      publish_file("/doomed.bin", content, theta, code, 3, clouds, image);
+  const std::string& first_seg = snap.segment_ids.front();
+  const Bytes junk = rng.bytes(code.shard_size(theta));
+  ASSERT_TRUE(clouds[2]
+                  ->upload(metadata::block_path(first_seg, 2), ByteSpan(junk))
+                  .is_ok());
+
+  std::vector<cloud::CloudProvider*> table;
+  for (const auto& c : clouds) table.push_back(c.get());
+  sched::ThroughputMonitor monitor;
+  auto executor = std::make_shared<Executor>(4);
+  MemoryLocalFs fs;
+  DownloadPipeline pipeline(k, code, {0, 1, 2}, sched::DriverConfig{2, 3},
+                            monitor, executor, table_lookup(table),
+                            PipelineConfig{}, fs, nullptr, nullptr);
+  pipeline.add_file(snap, image);
+  const auto results = pipeline.finish();
+
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_FALSE(results[0].status.is_ok());
+  EXPECT_EQ(results[0].status.code(), ErrorCode::kCorrupt);
+  EXPECT_FALSE(fs.read("/doomed.bin").is_ok());
+  EXPECT_TRUE(fs.list_files().empty());
+  EXPECT_EQ(pipeline.inflight_bytes(), 0u);
+}
+
+TEST(RestorePipelineTest, MissingSegmentFailsOnlyThatFile) {
+  const std::size_t k = 2;
+  const std::size_t theta = 64 << 10;
+  const erasure::RsCode code(16, k);
+  cloud::MultiCloud clouds = make_clouds(3);
+  metadata::SyncFolderImage image;
+  Rng rng(46);
+
+  const Bytes good = rng.bytes(80 << 10);
+  const auto snap_good =
+      publish_file("/good.bin", good, theta, code, 3, clouds, image);
+
+  metadata::FileSnapshot snap_bad;
+  snap_bad.path = "/bad.bin";
+  snap_bad.size = 10;
+  snap_bad.content_hash = "0000000000000000000000000000000000000000";
+  snap_bad.segment_ids = {"not-a-segment"};
+
+  std::vector<cloud::CloudProvider*> table;
+  for (const auto& c : clouds) table.push_back(c.get());
+  sched::ThroughputMonitor monitor;
+  auto executor = std::make_shared<Executor>(4);
+  MemoryLocalFs fs;
+  DownloadPipeline pipeline(k, code, {0, 1, 2}, sched::DriverConfig{2, 3},
+                            monitor, executor, table_lookup(table),
+                            PipelineConfig{}, fs, nullptr, nullptr);
+  pipeline.add_file(snap_good, image);
+  pipeline.add_file(snap_bad, image);
+  const auto results = pipeline.finish();
+
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].status.is_ok()) << results[0].status.message();
+  EXPECT_FALSE(results[1].status.is_ok());
+  EXPECT_EQ(fs.read("/good.bin").value(), good);
+  EXPECT_FALSE(fs.read("/bad.bin").is_ok());
+}
+
+// --- fallback: pipeline-disabled restores still stream ----------------------
+
+TEST(RestoreFallbackTest, MonolithicReaderMatchesPipelinedWriter) {
+  cloud::MultiCloud clouds = make_clouds(4);
+  auto fs_a = std::make_shared<MemoryLocalFs>();
+  ClientConfig cfg_a;
+  cfg_a.device = "a";
+  cfg_a.theta = 64 << 10;
+  cfg_a.lock.retry.backoff_base = 0.001;
+  cfg_a.lock.retry.backoff_cap = 0.01;
+  UniDriveClient a(clouds, fs_a, cfg_a);
+
+  Rng rng(47);
+  const Bytes data = rng.bytes(300 << 10);
+  ASSERT_TRUE(fs_a->write("/data.bin", ByteSpan(data)).is_ok());
+  ASSERT_TRUE(fs_a->write("/tiny", ByteSpan(bytes_from_string("t"))).is_ok());
+  const auto report = a.sync();
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_TRUE(report.value().committed);
+
+  // The reader takes the segment-by-segment FileWriter path, which must
+  // produce byte-identical results to the streaming pipeline.
+  auto fs_b = std::make_shared<MemoryLocalFs>();
+  ClientConfig cfg_b = cfg_a;
+  cfg_b.device = "b";
+  cfg_b.pipeline.enabled = false;
+  UniDriveClient b(clouds, fs_b, cfg_b);
+  const auto applied = b.sync();
+  ASSERT_TRUE(applied.is_ok());
+  EXPECT_TRUE(applied.value().applied_cloud);
+  EXPECT_TRUE(applied.value().materialize.is_ok());
+  EXPECT_EQ(fs_b->read("/data.bin").value(), data);
+  EXPECT_EQ(fs_b->read("/tiny").value(), bytes_from_string("t"));
+}
+
+}  // namespace
+}  // namespace unidrive::core
