@@ -4,48 +4,37 @@
 
 namespace unidrive::cloud {
 
-bool FaultyCloud::draw(double probability) {
-  if (probability <= 0.0) return false;
-  std::lock_guard<std::mutex> lock(rng_mutex_);
-  return rng_.next_double() < probability;
-}
-
-void FaultyCloud::maybe_hang() {
-  double rate;
-  Duration stall;
-  {
-    std::lock_guard<std::mutex> lock(rng_mutex_);
-    rate = profile_.hang_rate;
-    stall = profile_.hang_seconds;
-  }
-  if (stall <= 0 || !draw(rate)) return;
-  hangs_.fetch_add(1);
-  sleep_(stall);
-}
-
-bool FaultyCloud::should_fail(std::size_t payload_bytes) {
+FaultDecision FaultyCloud::draw_decision(std::size_t payload_bytes,
+                                         bool is_upload) {
   requests_.fetch_add(1);
-  maybe_hang();
-  if (outage_.load()) {
-    failures_.fetch_add(1);
-    return true;
-  }
-  double p;
-  double base;
-  double per_mb;
+  FaultDecision d;
   {
     std::lock_guard<std::mutex> lock(rng_mutex_);
-    p = rng_.next_double();
-    base = profile_.base_failure_rate;
-    per_mb = profile_.per_mb_failure_rate;
+    if (profile_.hang_seconds > 0 && profile_.hang_rate > 0 &&
+        rng_.next_double() < profile_.hang_rate) {
+      d.hang = true;
+      d.hang_seconds = profile_.hang_seconds;
+    }
+    if (outage_.load()) {
+      d.fail = true;
+      d.outage = true;
+    } else {
+      const double p = rng_.next_double();
+      const double mb = static_cast<double>(payload_bytes) / (1 << 20);
+      const double fail_prob = std::min(
+          1.0, profile_.base_failure_rate + profile_.per_mb_failure_rate * mb);
+      if (p < fail_prob) d.fail = true;
+      if (!d.fail && is_upload && payload_bytes > 0 &&
+          profile_.torn_upload_rate > 0 &&
+          rng_.next_double() < profile_.torn_upload_rate) {
+        d.torn = true;
+      }
+    }
   }
-  const double mb = static_cast<double>(payload_bytes) / (1 << 20);
-  const double fail_prob = std::min(1.0, base + per_mb * mb);
-  if (p < fail_prob) {
-    failures_.fetch_add(1);
-    return true;
-  }
-  return false;
+  if (d.hang) hangs_.fetch_add(1);
+  if (d.fail || d.torn) failures_.fetch_add(1);
+  if (d.torn) torn_uploads_.fetch_add(1);
+  return d;
 }
 
 namespace {
@@ -57,18 +46,13 @@ Status fail_status(bool outage, const std::string& name) {
 }  // namespace
 
 Status FaultyCloud::upload(const std::string& path, ByteSpan data) {
-  if (should_fail(data.size())) return fail_status(outage_.load(), name());
-  double torn_rate;
-  {
-    std::lock_guard<std::mutex> lock(rng_mutex_);
-    torn_rate = profile_.torn_upload_rate;
-  }
-  if (!data.empty() && draw(torn_rate)) {
+  const FaultDecision d = draw_decision(data.size(), /*is_upload=*/true);
+  if (d.hang) sleep_(d.hang_seconds);
+  if (d.fail) return fail_status(d.outage, name());
+  if (d.torn) {
     // Mid-flight abort: a truncated prefix lands at the path, the client
     // sees a failure. Integrity checks (hash-verified decode, version/delta
     // consistency) must reject the garbage.
-    torn_uploads_.fetch_add(1);
-    failures_.fetch_add(1);
     (void)inner_->upload(path, data.subspan(0, data.size() / 2));
     return make_error(ErrorCode::kUnavailable,
                       name() + ": upload torn mid-flight");
@@ -82,22 +66,30 @@ Result<Bytes> FaultyCloud::download(const std::string& path) {
   auto inner_result = inner_->download(path);
   const std::size_t size =
       inner_result.is_ok() ? inner_result.value().size() : 0;
-  if (should_fail(size)) return fail_status(outage_.load(), name());
+  const FaultDecision d = draw_decision(size, /*is_upload=*/false);
+  if (d.hang) sleep_(d.hang_seconds);
+  if (d.fail) return fail_status(d.outage, name());
   return inner_result;
 }
 
 Status FaultyCloud::create_dir(const std::string& path) {
-  if (should_fail(0)) return fail_status(outage_.load(), name());
+  const FaultDecision d = draw_decision(0, /*is_upload=*/false);
+  if (d.hang) sleep_(d.hang_seconds);
+  if (d.fail) return fail_status(d.outage, name());
   return inner_->create_dir(path);
 }
 
 Result<std::vector<FileInfo>> FaultyCloud::list(const std::string& dir) {
-  if (should_fail(0)) return fail_status(outage_.load(), name());
+  const FaultDecision d = draw_decision(0, /*is_upload=*/false);
+  if (d.hang) sleep_(d.hang_seconds);
+  if (d.fail) return fail_status(d.outage, name());
   return inner_->list(dir);
 }
 
 Status FaultyCloud::remove(const std::string& path) {
-  if (should_fail(0)) return fail_status(outage_.load(), name());
+  const FaultDecision d = draw_decision(0, /*is_upload=*/false);
+  if (d.hang) sleep_(d.hang_seconds);
+  if (d.fail) return fail_status(d.outage, name());
   return inner_->remove(path);
 }
 

@@ -36,6 +36,16 @@ struct FaultProfile {
   Duration hang_seconds = 0.0;
 };
 
+// One request's worth of injected faults, drawn up front so the blocking
+// and async surfaces share the exact same decision logic and counters.
+struct FaultDecision {
+  bool hang = false;          // stall hang_seconds before proceeding
+  Duration hang_seconds = 0;
+  bool fail = false;          // report fail_status(outage) and stop
+  bool outage = false;        // the failure is a whole-cloud outage
+  bool torn = false;          // upload only: write half, report kUnavailable
+};
+
 class FaultyCloud final : public CloudProvider {
  public:
   FaultyCloud(CloudPtr inner, FaultProfile profile, std::uint64_t seed,
@@ -68,13 +78,21 @@ class FaultyCloud final : public CloudProvider {
   }
   [[nodiscard]] std::uint64_t hangs() const noexcept { return hangs_.load(); }
 
+  // Draws every fault for one request (hang, outage/size-dependent failure,
+  // torn upload) and updates the counters. The caller then acts on the
+  // decision: the blocking verbs sleep/fail inline, the async passthrough
+  // (cloud/async.h) schedules the same effects without blocking its caller.
+  // Note: an outage request hangs too — a dead endpoint times out, it does
+  // not answer fast.
+  [[nodiscard]] FaultDecision draw_decision(std::size_t payload_bytes,
+                                            bool is_upload);
+
+  // The injected sleep, shared with the async passthrough so gated/virtual
+  // hang semantics are identical on both surfaces.
+  [[nodiscard]] const SleepFn& sleep_fn() const noexcept { return sleep_; }
+  [[nodiscard]] const CloudPtr& inner() const noexcept { return inner_; }
+
  private:
-  [[nodiscard]] bool should_fail(std::size_t payload_bytes);
-  // Draws the hang decision and stalls if it hits. Called on every request
-  // (an outage request hangs too: a dead endpoint times out, it does not
-  // answer fast).
-  void maybe_hang();
-  [[nodiscard]] bool draw(double probability);
 
   CloudPtr inner_;
   FaultProfile profile_;

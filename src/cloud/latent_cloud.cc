@@ -1,35 +1,26 @@
 #include "cloud/latent_cloud.h"
 
-#include <chrono>
-#include <thread>
+#include <algorithm>
 
 namespace unidrive::cloud {
 
-namespace {
-void sleep_for_seconds(double seconds) {
-  if (seconds <= 0) return;
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+double LinkState::reserve(std::size_t bytes, double rate,
+                          bool upload_direction, double now) {
+  if (rate <= 0 || bytes == 0) return 0;
+  const double duration = static_cast<double>(bytes) / rate;
+  std::lock_guard<std::mutex> lock(mu_);
+  double& free_at = upload_direction ? up_free_at_ : down_free_at_;
+  const double start = std::max(now, free_at);
+  free_at = start + duration;
+  return free_at - now;
 }
-}  // namespace
 
 void LatentCloud::throttle(std::size_t bytes, bool upload_direction) {
-  sleep_for_seconds(profile_.request_latency_sec);
+  wheel_->sleep(profile_.request_latency_sec);
   const double rate = upload_direction ? profile_.up_bytes_per_sec
                                        : profile_.down_bytes_per_sec;
-  if (rate <= 0 || bytes == 0) return;
-
-  const double duration = static_cast<double>(bytes) / rate;
-  double wait;
-  {
-    std::mutex& m = upload_direction ? up_mutex_ : down_mutex_;
-    double& free_at = upload_direction ? up_free_at_ : down_free_at_;
-    std::lock_guard<std::mutex> lock(m);
-    const double now = RealClock::instance().now();
-    const double start = std::max(now, free_at);
-    free_at = start + duration;
-    wait = free_at - now;
-  }
-  sleep_for_seconds(wait);
+  wheel_->sleep(link_->reserve(bytes, rate, upload_direction,
+                               RealClock::instance().now()));
 }
 
 Status LatentCloud::upload(const std::string& path, ByteSpan data) {
@@ -45,17 +36,17 @@ Result<Bytes> LatentCloud::download(const std::string& path) {
 }
 
 Status LatentCloud::create_dir(const std::string& path) {
-  sleep_for_seconds(profile_.request_latency_sec);
+  wheel_->sleep(profile_.request_latency_sec);
   return inner_->create_dir(path);
 }
 
 Result<std::vector<FileInfo>> LatentCloud::list(const std::string& dir) {
-  sleep_for_seconds(profile_.request_latency_sec);
+  wheel_->sleep(profile_.request_latency_sec);
   return inner_->list(dir);
 }
 
 Status LatentCloud::remove(const std::string& path) {
-  sleep_for_seconds(profile_.request_latency_sec);
+  wheel_->sleep(profile_.request_latency_sec);
   return inner_->remove(path);
 }
 

@@ -4,17 +4,12 @@
 
 namespace unidrive::cloud {
 
-namespace {
-// Buckets request paths by what they carry, mirroring the layout the client
-// uses on every cloud (metadata/types.h): erasure-coded blocks under /data,
-// base/delta/version files under /meta, lock files under /lock.
-const char* area_of(const std::string& path) {
+const char* request_area(const std::string& path) {
   if (path.rfind("/data", 0) == 0) return "data";
   if (path.rfind("/meta", 0) == 0) return "meta";
   if (path.rfind("/lock", 0) == 0) return "lock";
   return "other";
 }
-}  // namespace
 
 MeteredCloud::MeteredCloud(CloudPtr inner, obs::ObsPtr obs)
     : inner_(std::move(inner)),
@@ -24,7 +19,7 @@ MeteredCloud::MeteredCloud(CloudPtr inner, obs::ObsPtr obs)
 void MeteredCloud::account(const char* verb, const std::string& path,
                            const Status& status, Duration elapsed) {
   obs_->metrics
-      .counter(prefix_ + verb + "." + area_of(path) +
+      .counter(prefix_ + verb + "." + request_area(path) +
                (status.is_ok() ? ".ok" : ".err"))
       .add();
   obs_->metrics.histogram(prefix_ + verb + ".latency").observe(elapsed);

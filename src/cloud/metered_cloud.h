@@ -25,6 +25,12 @@
 
 namespace unidrive::cloud {
 
+// Buckets request paths by what they carry, mirroring the layout the client
+// uses on every cloud (metadata/types.h): erasure-coded blocks under /data,
+// base/delta/version files under /meta, lock files under /lock. Shared by
+// the blocking and async metering surfaces so counter names stay identical.
+[[nodiscard]] const char* request_area(const std::string& path);
+
 class MeteredCloud final : public CloudProvider {
  public:
   MeteredCloud(CloudPtr inner, obs::ObsPtr obs);

@@ -4,34 +4,43 @@
 
 namespace unidrive::cloud {
 
+Status QuotaCloud::check_quota(const std::string& normalized,
+                               std::size_t bytes) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t used = 0;
+  for (const auto& [p, s] : sizes_) {
+    if (p != normalized) used += s;
+  }
+  if (used + bytes > quota_) {
+    return make_error(ErrorCode::kQuotaExceeded, name() + ": quota exhausted");
+  }
+  return Status::ok();
+}
+
+void QuotaCloud::record_upload(const std::string& normalized,
+                               std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sizes_[normalized] = bytes;
+}
+
+void QuotaCloud::record_remove(const std::string& normalized) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sizes_.erase(normalized);
+}
+
 Status QuotaCloud::upload(const std::string& path, ByteSpan data) {
   const std::string norm = normalize_path(path);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::uint64_t used = 0;
-    for (const auto& [p, s] : sizes_) {
-      if (p != norm) used += s;
-    }
-    if (used + data.size() > quota_) {
-      return make_error(ErrorCode::kQuotaExceeded,
-                        name() + ": quota exhausted");
-    }
-  }
+  const Status quota = check_quota(norm, data.size());
+  if (!quota.is_ok()) return quota;
   const Status status = inner_->upload(norm, data);
-  if (status.is_ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    sizes_[norm] = data.size();
-  }
+  if (status.is_ok()) record_upload(norm, data.size());
   return status;
 }
 
 Status QuotaCloud::remove(const std::string& path) {
   const std::string norm = normalize_path(path);
   const Status status = inner_->remove(norm);
-  if (status.is_ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    sizes_.erase(norm);
-  }
+  if (status.is_ok()) record_remove(norm);
   return status;
 }
 

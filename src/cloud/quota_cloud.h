@@ -34,6 +34,16 @@ class QuotaCloud final : public CloudProvider {
   [[nodiscard]] std::uint64_t used_bytes() const;
   [[nodiscard]] std::uint64_t quota_bytes() const noexcept { return quota_; }
 
+  // Quota bookkeeping, exposed so the async passthrough (cloud/async.h)
+  // shares the same accounting as the blocking verbs. `normalized` must
+  // already be normalize_path()ed.
+  [[nodiscard]] Status check_quota(const std::string& normalized,
+                                   std::size_t bytes) const;
+  void record_upload(const std::string& normalized, std::size_t bytes);
+  void record_remove(const std::string& normalized);
+
+  [[nodiscard]] const CloudPtr& inner() const noexcept { return inner_; }
+
  private:
   CloudPtr inner_;
   std::uint64_t quota_;

@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <exception>
 #include <memory>
+
+#include "common/logging.h"
 
 namespace unidrive {
 
@@ -54,7 +57,17 @@ void Executor::worker() {
       fn = std::move(queue_.front());
       queue_.pop_front();
     }
-    fn();
+    active_.fetch_add(1, std::memory_order_relaxed);
+    // A fire-and-forget task has nowhere to report an exception; letting it
+    // escape would std::terminate the process and take the pool with it.
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      UNI_LOG(kWarn) << "executor task threw: " << e.what();
+    } catch (...) {
+      UNI_LOG(kWarn) << "executor task threw a non-std exception";
+    }
+    active_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -76,6 +89,7 @@ void Executor::parallel_apply(std::size_t count,
     const std::function<void(std::size_t)>* fn = nullptr;
     std::mutex mutex;
     std::condition_variable cv;
+    std::exception_ptr error;  // first exception, guarded by mutex
   };
   auto shared = std::make_shared<Shared>();
   shared->count = count;
@@ -86,7 +100,14 @@ void Executor::parallel_apply(std::size_t count,
       const std::size_t i =
           shared->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= shared->count) return;
-      (*shared->fn)(i);
+      // The done counter must advance even when fn(i) throws, or the caller
+      // waits forever; the first exception is rethrown there instead.
+      try {
+        (*shared->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        if (!shared->error) shared->error = std::current_exception();
+      }
       if (shared->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           shared->count) {
         std::lock_guard<std::mutex> lock(shared->mutex);
@@ -103,6 +124,7 @@ void Executor::parallel_apply(std::size_t count,
   shared->cv.wait(lock, [&] {
     return shared->done.load(std::memory_order_acquire) >= shared->count;
   });
+  if (shared->error) std::rethrow_exception(shared->error);
 }
 
 }  // namespace unidrive

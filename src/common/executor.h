@@ -19,6 +19,11 @@
 // I/O (a cloud request) is fine — that is exactly what the transfer
 // drivers do — it just occupies a pool slot for the duration.
 //
+// Exception safety: a throwing fire-and-forget task is caught and logged —
+// it must not kill the worker thread (std::terminate) or wedge the pool.
+// parallel_apply() propagates the first exception to the caller after every
+// claimed index has completed, so the fan-out never hangs on a throw.
+//
 // Pool size resolution (Executor::default_threads): the environment
 // variable UNIDRIVE_PIPELINE_THREADS wins when set (CI uses =1 to prove
 // the pipeline degrades to deterministic single-threaded behaviour),
@@ -32,6 +37,7 @@
 // dropped, every blocked producer and consumer released immediately).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -66,6 +72,12 @@ class Executor {
 
   [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
 
+  // Worker threads currently executing a task — the "threads in use" half
+  // of the rpcs-in-flight vs threads-in-use observability split.
+  [[nodiscard]] std::size_t active() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+
  private:
   void worker();
 
@@ -73,6 +85,7 @@ class Executor {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+  std::atomic<std::size_t> active_{0};
   std::vector<std::thread> threads_;
 };
 

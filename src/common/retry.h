@@ -30,6 +30,12 @@ namespace unidrive {
 using SleepFn = std::function<void(Duration)>;
 SleepFn real_sleep();
 
+// True when `sleep` is the real_sleep() default (or empty). The async retry
+// layer uses this to decide HOW to pause: a real sleep becomes a thread-free
+// timer-wheel re-arm, while an injected sleep (virtual time — tests advance
+// a ManualClock in it) must still be CALLED so its side effects happen.
+[[nodiscard]] bool is_real_sleep(const SleepFn& sleep);
+
 struct RetryPolicy {
   // Total tries, including the first one. 1 = no retry.
   int max_attempts = 4;

@@ -1,0 +1,92 @@
+// TimerWheel — the shared deadline queue behind everything that used to
+// sleep a thread: retry backoff re-arming, hedge delays, and LatentCloud's
+// simulated request latency. One dedicated thread waits on the earliest
+// deadline of a min-heap and fires callbacks as they come due, so a
+// thousand pending delays cost one thread, not a thousand.
+//
+// Contract:
+//   - schedule(delay, fn) arms fn to run once on the wheel thread after
+//     `delay` seconds (real time). Callbacks must be quick and must never
+//     block: a slow callback delays every timer behind it. Anything heavier
+//     than re-arming work belongs on an Executor (capture one and submit).
+//   - cancel(id) returns true when the callback was averted. When the
+//     callback is already running it BLOCKS until it finishes — unless
+//     called from the callback itself — so after cancel() returns the
+//     callback is guaranteed not to be running (the AsyncHandle cancel
+//     guarantee is built on this). Returns false in both late cases.
+//   - sleep(d) is the blocking convenience for compat paths that still
+//     need a synchronous wait routed through the wheel.
+//   - Destruction drops every pending timer without firing it and joins
+//     the thread. shared() is the process-wide instance used by the cloud
+//     decorators; it outlives every client.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace unidrive {
+
+class TimerWheel {
+ public:
+  using TimerId = std::uint64_t;
+
+  TimerWheel();
+  ~TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  // Arms `fn` to fire once after `delay` seconds (<= 0 fires as soon as the
+  // wheel thread gets to it). Never invokes fn on the caller's stack.
+  TimerId schedule(Duration delay, std::function<void()> fn);
+
+  // True = the callback will never run. False = it already ran or is
+  // running; in the latter case this blocks until it finished, except when
+  // called from the callback itself (re-entrant cancel cannot deadlock).
+  bool cancel(TimerId id);
+
+  // Blocks the calling thread for `delay` seconds using a wheel timer (the
+  // compat path for blocking verbs; async paths schedule continuations
+  // instead).
+  void sleep(Duration delay);
+
+  [[nodiscard]] std::size_t pending() const;
+
+  // Process-wide wheel shared by the async cloud layer.
+  static TimerWheel& shared();
+
+ private:
+  struct Entry {
+    double deadline = 0;  // steady-clock seconds
+    std::function<void()> fn;
+  };
+
+  void run();
+  [[nodiscard]] static double steady_now();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;        // wakes the wheel thread
+  std::condition_variable done_cv_;   // wakes cancellers of a running timer
+  std::map<TimerId, Entry> entries_;
+  // (deadline, id) min-heap; stale pairs (cancelled entries) are skipped on
+  // pop by checking entries_.
+  std::priority_queue<std::pair<double, TimerId>,
+                      std::vector<std::pair<double, TimerId>>,
+                      std::greater<>>
+      heap_;
+  TimerId next_id_ = 1;
+  TimerId running_ = 0;  // id whose callback is executing, 0 = none
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace unidrive

@@ -64,6 +64,7 @@ UniDriveClient::UniDriveClient(cloud::MultiCloud clouds,
       lock_(guarded_, config_.device, config_.lock, clock_, rng_.fork(),
             config_.sleep, obs_),
       monitor_() {
+  rebuild_async_clouds();
   load_state();
 }
 
@@ -74,6 +75,23 @@ void UniDriveClient::rebuild_guards() {
   store_ = metadata::MetaStore(guarded_, config_.passphrase, obs_);
   lock_ = lock::QuorumLock(guarded_, config_.device, config_.lock, clock_,
                            rng_.fork(), config_.sleep, obs_);
+  rebuild_async_clouds();
+}
+
+void UniDriveClient::rebuild_async_clouds() {
+  async_clouds_.clear();
+  io_executor_ = config_.pipeline.io_threads > 0
+                     ? std::make_shared<Executor>(config_.pipeline.io_threads)
+                     : executor_;
+  cloud::AsyncContext ctx;
+  ctx.io = io_executor_.get();
+  ctx.clock = &clock_;
+  ctx.sleep = config_.sleep;
+  ctx.obs = obs_;
+  async_clouds_.reserve(guarded_.size());
+  for (const cloud::CloudPtr& c : guarded_) {
+    async_clouds_.push_back(cloud::to_async(c, ctx));
+  }
 }
 
 void UniDriveClient::load_state() {
@@ -135,6 +153,13 @@ cloud::CloudProvider* UniDriveClient::find_cloud(cloud::CloudId id) const {
   return nullptr;
 }
 
+cloud::AsyncCloud* UniDriveClient::find_async_cloud(cloud::CloudId id) const {
+  for (const cloud::AsyncCloudPtr& c : async_clouds_) {
+    if (c->id() == id) return c.get();
+  }
+  return nullptr;
+}
+
 bool UniDriveClient::cloud_update_pending() {
   return store_.has_cloud_update(image_.version());
 }
@@ -146,7 +171,8 @@ std::unique_ptr<UploadPipeline> UniDriveClient::make_pipeline(
   return std::make_unique<UploadPipeline>(
       params, codec_for(params), cloud_ids(), config_.driver, monitor_,
       executor_, [this](cloud::CloudId id) { return find_cloud(id); },
-      config_.pipeline, health_, obs_);
+      config_.pipeline, health_, obs_,
+      [this](cloud::CloudId id) { return find_async_cloud(id); });
 }
 
 std::unique_ptr<DownloadPipeline> UniDriveClient::make_download_pipeline(
@@ -154,7 +180,8 @@ std::unique_ptr<DownloadPipeline> UniDriveClient::make_download_pipeline(
   return std::make_unique<DownloadPipeline>(
       params.k, codec_for(params), cloud_ids(), config_.driver, monitor_,
       executor_, [this](cloud::CloudId id) { return find_cloud(id); },
-      config_.pipeline, *fs_, health_, obs_);
+      config_.pipeline, *fs_, health_, obs_,
+      [this](cloud::CloudId id) { return find_async_cloud(id); });
 }
 
 // Fetches, decodes and integrity-checks one segment. On an integrity

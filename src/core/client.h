@@ -19,6 +19,7 @@
 
 #include <memory>
 
+#include "cloud/async.h"
 #include "cloud/health.h"
 #include "cloud/provider.h"
 #include "cloud/retrying_cloud.h"
@@ -223,9 +224,15 @@ class UniDriveClient {
   // Resolves to the GUARDED provider — all I/O goes through the resilience
   // decorator, never the raw cloud.
   [[nodiscard]] cloud::CloudProvider* find_cloud(cloud::CloudId id) const;
+  // Resolves to the guarded provider's completion-based twin (the same
+  // decorator chain, async all the way down to the SyncAdapter leaf).
+  [[nodiscard]] cloud::AsyncCloud* find_async_cloud(cloud::CloudId id) const;
 
   // Re-wraps clouds_ and rebuilds store_/lock_ after membership changes.
   void rebuild_guards();
+  // Builds the async twins of guarded_ (and the dedicated I/O pool when
+  // config_.pipeline.io_threads asks for one).
+  void rebuild_async_clouds();
 
   // State persistence (no-ops when config_.state_file is empty).
   void load_state();
@@ -244,6 +251,12 @@ class UniDriveClient {
   // sized for clouds * connections unless config_.pipeline.threads (or
   // UNIDRIVE_PIPELINE_THREADS) overrides. Rebuilt on membership changes.
   std::shared_ptr<Executor> executor_;
+  // Async completion runtime: the I/O pool running SyncAdapter leaf RPCs
+  // (executor_ unless config_.pipeline.io_threads carves out a dedicated
+  // pool) and the completion-based twin of each guarded cloud. The twins
+  // share breaker/counter/quota/link state with their blocking halves.
+  std::shared_ptr<Executor> io_executor_;
+  cloud::AsyncMultiCloud async_clouds_;
 
   metadata::SyncFolderImage image_;  // v_o: last known committed state
   metadata::MetaStore store_;

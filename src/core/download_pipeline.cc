@@ -47,20 +47,28 @@ DownloadPipeline::DownloadPipeline(
     sched::DriverConfig driver_config, sched::ThroughputMonitor& monitor,
     std::shared_ptr<Executor> executor, FindCloudFn find_cloud,
     PipelineConfig pipeline_config, LocalFs& fs,
-    std::shared_ptr<cloud::CloudHealthRegistry> health, obs::ObsPtr obs)
+    std::shared_ptr<cloud::CloudHealthRegistry> health, obs::ObsPtr obs,
+    FindAsyncCloudFn find_async)
     : k_(k),
       code_(std::move(code)),
       executor_(std::move(executor)),
       find_cloud_(std::move(find_cloud)),
+      find_async_(std::move(find_async)),
       config_(pipeline_config),
       fs_(fs),
       obs_(std::move(obs)) {
+  sched::AsyncTransferFn async;
+  if (find_async_ != nullptr && config_.async_transfers) {
+    async = [this](const sched::BlockTask& task, sched::TransferDoneFn done) {
+      return transfer_async(task, std::move(done));
+    };
+  }
   driver_ = std::make_unique<sched::StreamingDownloadDriver>(
       k_, std::move(clouds), driver_config, monitor, executor_,
       [this](const sched::BlockTask& task) { return transfer(task); }, health,
-      obs_, [this](const std::string& id, bool ok) {
-        on_segment_fetched(id, ok);
-      });
+      obs_,
+      [this](const std::string& id, bool ok) { on_segment_fetched(id, ok); },
+      std::move(async));
 }
 
 DownloadPipeline::~DownloadPipeline() {
@@ -230,6 +238,44 @@ Status DownloadPipeline::transfer(const sched::BlockTask& task) {
   // Keep the first copy (a hedge duplicate may land second).
   blocks.emplace(task.block_index, std::move(data).take());
   return Status::ok();
+}
+
+cloud::AsyncHandle DownloadPipeline::transfer_async(
+    const sched::BlockTask& task, sched::TransferDoneFn done) {
+  if (cancelled_.load()) {
+    executor_->submit([done = std::move(done)] {
+      done(make_error(ErrorCode::kUnavailable, "restore pipeline cancelled"));
+    });
+    return {};
+  }
+  cloud::AsyncCloud* provider = find_async_(task.cloud);
+  if (provider == nullptr) {
+    executor_->submit([done = std::move(done)] {
+      done(make_error(ErrorCode::kInternal, "unknown cloud"));
+    });
+    return {};
+  }
+  const std::string seg = task.segment_id;
+  const std::uint32_t index = task.block_index;
+  // The fetched bytes are stored before `done` fires, so the driver's
+  // segment-fetched callback always sees them; `this` stays valid because
+  // the pipeline destructor waits out the driver, which waits out every
+  // launched completion.
+  return provider->download_async(
+      metadata::block_path(seg, index),
+      [this, seg, index, done = std::move(done)](Result<Bytes> data) {
+        if (!data.is_ok()) {
+          done(data.status());
+          return;
+        }
+        {
+          std::lock_guard<std::mutex> cache(cache_mutex_);
+          auto& blocks = shard_cache_[seg];
+          // Keep the first copy (a hedge duplicate may land second).
+          blocks.emplace(index, std::move(data).take());
+        }
+        done(Status::ok());
+      });
 }
 
 // Fired under the driver lock: bookkeeping + handoff only. mu_ here is

@@ -55,11 +55,12 @@
 #include <utility>
 #include <vector>
 
+#include "cloud/async.h"
 #include "cloud/health.h"
 #include "cloud/provider.h"
 #include "common/executor.h"
 #include "core/local_fs.h"
-#include "core/upload_pipeline.h"  // PipelineConfig, FindCloudFn
+#include "core/upload_pipeline.h"  // PipelineConfig, Find{,Async}CloudFn
 #include "crypto/sha1.h"
 #include "erasure/rs.h"
 #include "metadata/store.h"
@@ -94,7 +95,7 @@ class DownloadPipeline {
                    std::shared_ptr<Executor> executor, FindCloudFn find_cloud,
                    PipelineConfig pipeline_config, LocalFs& fs,
                    std::shared_ptr<cloud::CloudHealthRegistry> health,
-                   obs::ObsPtr obs);
+                   obs::ObsPtr obs, FindAsyncCloudFn find_async = nullptr);
   ~DownloadPipeline();
 
   DownloadPipeline(const DownloadPipeline&) = delete;
@@ -154,6 +155,11 @@ class DownloadPipeline {
   // Executor task: decode + verify (ok) or fail (not ok) one segment.
   void process_segment(const std::string& id, bool ok);
   Status transfer(const sched::BlockTask& task);
+  // Completion-based launcher handed to the driver (called under its
+  // lock). The fetched bytes land in shard_cache_ before `done` fires;
+  // fast-fail paths defer the completion via the executor.
+  cloud::AsyncHandle transfer_async(const sched::BlockTask& task,
+                                    sched::TransferDoneFn done);
 
   // All *_locked helpers require mu_ held.
   void resolve_failed_locked(const std::string& id, SegState& seg,
@@ -170,6 +176,7 @@ class DownloadPipeline {
   erasure::RsCode code_;
   std::shared_ptr<Executor> executor_;
   FindCloudFn find_cloud_;
+  FindAsyncCloudFn find_async_;
   PipelineConfig config_;
   LocalFs& fs_;
   obs::ObsPtr obs_;

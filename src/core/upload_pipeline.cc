@@ -20,7 +20,7 @@ UploadPipeline::UploadPipeline(const sched::CodeParams& params,
                                FindCloudFn find_cloud,
                                PipelineConfig pipeline_config,
                                std::shared_ptr<cloud::CloudHealthRegistry> health,
-                               obs::ObsPtr obs)
+                               obs::ObsPtr obs, FindAsyncCloudFn find_async)
     : params_(params),
       code_(std::move(code)),
       clouds_(std::move(clouds)),
@@ -28,16 +28,25 @@ UploadPipeline::UploadPipeline(const sched::CodeParams& params,
       monitor_(monitor),
       executor_(std::move(executor)),
       find_cloud_(std::move(find_cloud)),
+      find_async_(std::move(find_async)),
       config_(pipeline_config),
       health_(std::move(health)),
       obs_(std::move(obs)),
       queue_(config_.encode_queue_capacity) {
   if (config_.enabled) {
+    sched::AsyncTransferFn async;
+    if (find_async_ != nullptr && config_.async_transfers) {
+      async = [this](const sched::BlockTask& task,
+                     sched::TransferDoneFn done) {
+        return transfer_async(task, std::move(done));
+      };
+    }
     driver_ = std::make_unique<sched::StreamingUploadDriver>(
         params_, clouds_, driver_config_, monitor_, executor_,
         [this](const sched::BlockTask& task) { return transfer(task); },
         sched::UploadOptions{}, health_, obs_,
-        [this](const std::string& id) { on_segment_settled(id); });
+        [this](const std::string& id) { on_segment_settled(id); },
+        std::move(async));
   }
 }
 
@@ -201,6 +210,42 @@ Status UploadPipeline::transfer(const sched::BlockTask& task) {
   return provider->upload(
       metadata::block_path(task.segment_id, task.block_index),
       ByteSpan(*shard));
+}
+
+cloud::AsyncHandle UploadPipeline::transfer_async(
+    const sched::BlockTask& task, sched::TransferDoneFn done) {
+  std::shared_ptr<const Bytes> shard;
+  {
+    std::lock_guard<std::mutex> cache(cache_mutex_);
+    const auto it = shards_.find(task.segment_id);
+    if (it != shards_.end() && task.block_index < it->second.size()) {
+      shard = it->second[task.block_index];
+    }
+  }
+  if (shard == nullptr) {
+    const std::string id = task.segment_id;
+    executor_->submit([done = std::move(done), id] {
+      done(make_error(ErrorCode::kInternal,
+                      "shard bytes unavailable for segment " + id));
+    });
+    return {};
+  }
+  cloud::AsyncCloud* provider = find_async_(task.cloud);
+  if (provider == nullptr) {
+    executor_->submit([done = std::move(done)] {
+      done(make_error(ErrorCode::kInternal, "unknown cloud"));
+    });
+    return {};
+  }
+  // The captured shared_ptr keeps the shard bytes alive until the
+  // completion runs (or the handle is cancelled) — a settle that drops the
+  // cache entry cannot invalidate the span on the wire.
+  return provider->upload_async(
+      metadata::block_path(task.segment_id, task.block_index),
+      ByteSpan(*shard),
+      [shard, done = std::move(done)](Status status) {
+        done(std::move(status));
+      });
 }
 
 void UploadPipeline::cancel() {

@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "cloud/async.h"
 #include "cloud/health.h"
 #include "cloud/provider.h"
 #include "common/executor.h"
@@ -69,10 +70,24 @@ struct PipelineConfig {
   std::size_t encode_queue_capacity = 4;
   // Admission cap on plaintext + shard bytes resident in the pipeline.
   std::size_t max_inflight_bytes = 256u << 20;
+  // Completion-based transfers: when an async cloud resolver is supplied,
+  // block RPCs launch through the AsyncCloud layer and re-enter the
+  // scheduler from their completion — no executor thread is held while a
+  // request is on the wire, so in-flight transfers are bounded by the
+  // per-cloud connection budget, not the thread count. false forces the
+  // blocking one-thread-per-RPC path even when a resolver exists.
+  bool async_transfers = true;
+  // Width of the dedicated async I/O pool used for the SyncAdapter leaf
+  // (blocking RPCs of providers with no native async). 0 = share the
+  // pipeline executor.
+  std::size_t io_threads = 0;
 };
 
 // Resolves a cloud id to its guarded provider (never the raw cloud).
 using FindCloudFn = std::function<cloud::CloudProvider*(cloud::CloudId)>;
+
+// Resolves a cloud id to its async (completion-based) twin, or nullptr.
+using FindAsyncCloudFn = std::function<cloud::AsyncCloud*(cloud::CloudId)>;
 
 class UploadPipeline {
  public:
@@ -83,7 +98,7 @@ class UploadPipeline {
                  std::shared_ptr<Executor> executor, FindCloudFn find_cloud,
                  PipelineConfig pipeline_config,
                  std::shared_ptr<cloud::CloudHealthRegistry> health,
-                 obs::ObsPtr obs);
+                 obs::ObsPtr obs, FindAsyncCloudFn find_async = nullptr);
   ~UploadPipeline();
 
   UploadPipeline(const UploadPipeline&) = delete;
@@ -116,6 +131,11 @@ class UploadPipeline {
   void encode_worker();
   void on_segment_settled(const std::string& id);  // under the driver lock
   Status transfer(const sched::BlockTask& task);
+  // Completion-based launcher handed to the driver (called under its
+  // lock). Fast-fail paths defer the completion via the executor — the
+  // AsyncCloud contract forbids running it on the caller's stack.
+  cloud::AsyncHandle transfer_async(const sched::BlockTask& task,
+                                    sched::TransferDoneFn done);
   void release_bytes_locked(std::size_t n);  // mem_mutex_ held
   void join_encode_workers();
   Result<std::vector<metadata::SegmentInfo>> finish_monolithic();
@@ -131,6 +151,7 @@ class UploadPipeline {
   sched::ThroughputMonitor& monitor_;
   std::shared_ptr<Executor> executor_;
   FindCloudFn find_cloud_;
+  FindAsyncCloudFn find_async_;
   PipelineConfig config_;
   std::shared_ptr<cloud::CloudHealthRegistry> health_;
   obs::ObsPtr obs_;

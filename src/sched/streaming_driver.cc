@@ -13,7 +13,8 @@ StreamingUploadDriver::StreamingUploadDriver(
     DriverConfig config, ThroughputMonitor& monitor,
     std::shared_ptr<Executor> executor, TransferFn transfer,
     UploadOptions options, std::shared_ptr<cloud::CloudHealthRegistry> health,
-    obs::ObsPtr obs, SegmentSettledFn on_settled)
+    obs::ObsPtr obs, SegmentSettledFn on_settled,
+    AsyncTransferFn async_transfer)
     : clouds_(std::move(clouds)),
       config_(config),
       monitor_(monitor),
@@ -22,6 +23,7 @@ StreamingUploadDriver::StreamingUploadDriver(
       health_(std::move(health)),
       obs_(std::move(obs)),
       on_settled_(std::move(on_settled)),
+      async_transfer_(std::move(async_transfer)),
       scheduler_(params, clouds_, {}, options) {
   for (const cloud::CloudId c : clouds_) {
     free_conns_[c] = config_.connections_per_cloud;
@@ -36,6 +38,10 @@ StreamingUploadDriver::StreamingUploadDriver(
                                  ".err");
     }
     latency_hist_ = &obs_->metrics.histogram("driver.up.latency");
+    inflight_gauge_ = &obs_->metrics.gauge("driver.up.rpcs_inflight");
+    inflight_peak_gauge_ =
+        &obs_->metrics.gauge("driver.up.rpcs_inflight_peak");
+    threads_gauge_ = &obs_->metrics.gauge("driver.up.exec_threads_active");
   }
   // Same up-front breaker gate as ThreadedTransferDriver: a cloud tripped
   // in an earlier round starts this job disabled unless its probe timer
@@ -135,56 +141,95 @@ void StreamingUploadDriver::sweep_settled() {
   }
 }
 
+void StreamingUploadDriver::note_inflight() {
+  if (inflight_gauge_ == nullptr) return;
+  inflight_gauge_->set(static_cast<double>(on_wire_));
+  if (on_wire_ > inflight_peak_) {
+    inflight_peak_ = on_wire_;
+    inflight_peak_gauge_->set(static_cast<double>(inflight_peak_));
+  }
+  threads_gauge_->set(static_cast<double>(executor_->active()));
+}
+
 void StreamingUploadDriver::launch(cloud::CloudId cloud,
                                    const BlockTask& task) {
   --free_conns_[cloud];
   ++outstanding_;
-  executor_->submit([this, task, cloud] {
+  if (async_transfer_) {
+    // The RPC is issued right here, so it is on the wire from launch.
+    // Launched under lock_ — safe because async completions never run on
+    // the caller's stack (cloud/async.h invariant 1). The handle is
+    // deliberately dropped: the driver never cancels an in-flight RPC, so
+    // every launch is balanced by exactly one finish_transfer.
+    ++on_wire_;
+    note_inflight();
     const TimePoint start = RealClock::instance().now();
-    const Status status = transfer_(task);
-    const TimePoint end = RealClock::instance().now();
-    if (obs_ != nullptr) {
-      (status.is_ok() ? ok_counters_ : err_counters_).at(cloud)->add();
-      latency_hist_->observe(end - start);
+    async_transfer_(task, [this, task, cloud, start](Status status) {
+      finish_transfer(cloud, task, status, start);
+    });
+    return;
+  }
+  // Blocking path: the task may sit queued behind a busy pool; it only
+  // becomes an RPC when a worker picks it up, so count it there.
+  executor_->submit([this, task, cloud] {
+    {
+      std::lock_guard<std::mutex> guard(lock_);
+      ++on_wire_;
+      note_inflight();
     }
-    if (status.is_ok()) {
-      monitor_.record(cloud, Direction::kUpload,
-                      static_cast<double>(task.bytes),
-                      std::max(1e-9, end - start));
-    } else {
-      monitor_.record_failure(cloud, Direction::kUpload, end - start);
-      UNI_LOG(kDebug) << "transfer failed on cloud " << cloud << ": "
-                      << status.to_string();
-    }
-
-    std::lock_guard<std::mutex> guard(lock_);
-    scheduler_.on_complete(task, status.is_ok());
-    if (status.is_ok()) {
-      consecutive_failures_[cloud] = 0;
-      if (disabled_.erase(cloud) != 0) {
-        scheduler_.set_cloud_enabled(cloud, true);
-        obs::add_counter(obs_.get(), "driver.cloud_readmitted");
-        UNI_LOG(kInfo) << "cloud " << cloud << " re-admitted";
-      }
-    } else {
-      ++consecutive_failures_[cloud];
-      const bool down =
-          (health_ != nullptr && !health_->admissible(cloud)) ||
-          consecutive_failures_[cloud] >= config_.max_consecutive_failures;
-      if (down && disabled_.insert(cloud).second) {
-        scheduler_.set_cloud_enabled(cloud, false);
-        obs::add_counter(obs_.get(), "driver.cloud_disabled");
-        UNI_LOG(kInfo) << "cloud " << cloud
-                       << " disabled after repeated failures";
-      }
-    }
-    ++free_conns_[cloud];
-    --outstanding_;
-    pump();
-    sweep_settled();
-    // Notify under the lock: wait() may destroy this object right after.
-    cv_.notify_all();
+    const TimePoint start = RealClock::instance().now();
+    finish_transfer(cloud, task, transfer_(task), start);
   });
+}
+
+void StreamingUploadDriver::finish_transfer(cloud::CloudId cloud,
+                                            const BlockTask& task,
+                                            const Status& status,
+                                            TimePoint start) {
+  const TimePoint end = RealClock::instance().now();
+  if (obs_ != nullptr) {
+    (status.is_ok() ? ok_counters_ : err_counters_).at(cloud)->add();
+    latency_hist_->observe(end - start);
+  }
+  if (status.is_ok()) {
+    monitor_.record(cloud, Direction::kUpload,
+                    static_cast<double>(task.bytes),
+                    std::max(1e-9, end - start));
+  } else {
+    monitor_.record_failure(cloud, Direction::kUpload, end - start);
+    UNI_LOG(kDebug) << "transfer failed on cloud " << cloud << ": "
+                    << status.to_string();
+  }
+
+  std::lock_guard<std::mutex> guard(lock_);
+  scheduler_.on_complete(task, status.is_ok());
+  if (status.is_ok()) {
+    consecutive_failures_[cloud] = 0;
+    if (disabled_.erase(cloud) != 0) {
+      scheduler_.set_cloud_enabled(cloud, true);
+      obs::add_counter(obs_.get(), "driver.cloud_readmitted");
+      UNI_LOG(kInfo) << "cloud " << cloud << " re-admitted";
+    }
+  } else {
+    ++consecutive_failures_[cloud];
+    const bool down =
+        (health_ != nullptr && !health_->admissible(cloud)) ||
+        consecutive_failures_[cloud] >= config_.max_consecutive_failures;
+    if (down && disabled_.insert(cloud).second) {
+      scheduler_.set_cloud_enabled(cloud, false);
+      obs::add_counter(obs_.get(), "driver.cloud_disabled");
+      UNI_LOG(kInfo) << "cloud " << cloud
+                     << " disabled after repeated failures";
+    }
+  }
+  ++free_conns_[cloud];
+  --outstanding_;
+  --on_wire_;
+  note_inflight();
+  pump();
+  sweep_settled();
+  // Notify under the lock: wait() may destroy this object right after.
+  cv_.notify_all();
 }
 
 // --- StreamingDownloadDriver ------------------------------------------------
@@ -193,7 +238,8 @@ StreamingDownloadDriver::StreamingDownloadDriver(
     std::size_t k, std::vector<cloud::CloudId> clouds, DriverConfig config,
     ThroughputMonitor& monitor, std::shared_ptr<Executor> executor,
     TransferFn transfer, std::shared_ptr<cloud::CloudHealthRegistry> health,
-    obs::ObsPtr obs, SegmentFetchedFn on_fetched)
+    obs::ObsPtr obs, SegmentFetchedFn on_fetched,
+    AsyncTransferFn async_transfer)
     : clouds_(std::move(clouds)),
       config_(config),
       monitor_(monitor),
@@ -202,6 +248,7 @@ StreamingDownloadDriver::StreamingDownloadDriver(
       health_(std::move(health)),
       obs_(std::move(obs)),
       on_fetched_(std::move(on_fetched)),
+      async_transfer_(std::move(async_transfer)),
       scheduler_(k, {}) {
   for (const cloud::CloudId c : clouds_) {
     free_conns_[c] = config_.connections_per_cloud;
@@ -216,6 +263,10 @@ StreamingDownloadDriver::StreamingDownloadDriver(
                                  ".err");
     }
     latency_hist_ = &obs_->metrics.histogram("driver.down.latency");
+    inflight_gauge_ = &obs_->metrics.gauge("driver.down.rpcs_inflight");
+    inflight_peak_gauge_ =
+        &obs_->metrics.gauge("driver.down.rpcs_inflight_peak");
+    threads_gauge_ = &obs_->metrics.gauge("driver.down.exec_threads_active");
   }
   if (health_ != nullptr) {
     for (const cloud::CloudId c : clouds_) {
@@ -330,57 +381,96 @@ void StreamingDownloadDriver::sweep_decided() {
   }
 }
 
+void StreamingDownloadDriver::note_inflight() {
+  if (inflight_gauge_ == nullptr) return;
+  inflight_gauge_->set(static_cast<double>(on_wire_));
+  if (on_wire_ > inflight_peak_) {
+    inflight_peak_ = on_wire_;
+    inflight_peak_gauge_->set(static_cast<double>(inflight_peak_));
+  }
+  threads_gauge_->set(static_cast<double>(executor_->active()));
+}
+
 void StreamingDownloadDriver::launch(cloud::CloudId cloud,
                                      const BlockTask& task, bool is_hedge) {
   --free_conns_[cloud];
   ++outstanding_;
-  executor_->submit([this, task, cloud, is_hedge] {
-    if (is_hedge) obs::add_counter(obs_.get(), "driver.hedge_tasks");
+  if (is_hedge) obs::add_counter(obs_.get(), "driver.hedge_tasks");
+  if (async_transfer_) {
+    // The RPC is issued right here, so it is on the wire from launch.
+    // Launched under lock_ — safe because async completions never run on
+    // the caller's stack (cloud/async.h invariant 1). The handle is
+    // deliberately dropped: the driver never cancels an in-flight RPC, so
+    // every launch is balanced by exactly one finish_transfer.
+    ++on_wire_;
+    note_inflight();
     const TimePoint start = RealClock::instance().now();
-    const Status status = transfer_(task);
-    const TimePoint end = RealClock::instance().now();
-    if (obs_ != nullptr) {
-      (status.is_ok() ? ok_counters_ : err_counters_).at(cloud)->add();
-      latency_hist_->observe(end - start);
+    async_transfer_(task, [this, task, cloud, start](Status status) {
+      finish_transfer(cloud, task, status, start);
+    });
+    return;
+  }
+  // Blocking path: the task may sit queued behind a busy pool; it only
+  // becomes an RPC when a worker picks it up, so count it there.
+  executor_->submit([this, task, cloud] {
+    {
+      std::lock_guard<std::mutex> guard(lock_);
+      ++on_wire_;
+      note_inflight();
     }
-    if (status.is_ok()) {
-      monitor_.record(cloud, Direction::kDownload,
-                      static_cast<double>(task.bytes),
-                      std::max(1e-9, end - start));
-    } else {
-      monitor_.record_failure(cloud, Direction::kDownload, end - start);
-      UNI_LOG(kDebug) << "fetch failed on cloud " << cloud << ": "
-                      << status.to_string();
-    }
-
-    std::lock_guard<std::mutex> guard(lock_);
-    scheduler_.on_complete(task, status.is_ok());
-    if (status.is_ok()) {
-      consecutive_failures_[cloud] = 0;
-      if (disabled_.erase(cloud) != 0) {
-        scheduler_.set_cloud_enabled(cloud, true);
-        obs::add_counter(obs_.get(), "driver.cloud_readmitted");
-        UNI_LOG(kInfo) << "cloud " << cloud << " re-admitted";
-      }
-    } else {
-      ++consecutive_failures_[cloud];
-      const bool down =
-          (health_ != nullptr && !health_->admissible(cloud)) ||
-          consecutive_failures_[cloud] >= config_.max_consecutive_failures;
-      if (down && disabled_.insert(cloud).second) {
-        scheduler_.set_cloud_enabled(cloud, false);
-        obs::add_counter(obs_.get(), "driver.cloud_disabled");
-        UNI_LOG(kInfo) << "cloud " << cloud
-                       << " disabled after repeated failures";
-      }
-    }
-    ++free_conns_[cloud];
-    --outstanding_;
-    pump();
-    sweep_decided();
-    // Notify under the lock: wait() may destroy this object right after.
-    cv_.notify_all();
+    const TimePoint start = RealClock::instance().now();
+    finish_transfer(cloud, task, transfer_(task), start);
   });
+}
+
+void StreamingDownloadDriver::finish_transfer(cloud::CloudId cloud,
+                                              const BlockTask& task,
+                                              const Status& status,
+                                              TimePoint start) {
+  const TimePoint end = RealClock::instance().now();
+  if (obs_ != nullptr) {
+    (status.is_ok() ? ok_counters_ : err_counters_).at(cloud)->add();
+    latency_hist_->observe(end - start);
+  }
+  if (status.is_ok()) {
+    monitor_.record(cloud, Direction::kDownload,
+                    static_cast<double>(task.bytes),
+                    std::max(1e-9, end - start));
+  } else {
+    monitor_.record_failure(cloud, Direction::kDownload, end - start);
+    UNI_LOG(kDebug) << "fetch failed on cloud " << cloud << ": "
+                    << status.to_string();
+  }
+
+  std::lock_guard<std::mutex> guard(lock_);
+  scheduler_.on_complete(task, status.is_ok());
+  if (status.is_ok()) {
+    consecutive_failures_[cloud] = 0;
+    if (disabled_.erase(cloud) != 0) {
+      scheduler_.set_cloud_enabled(cloud, true);
+      obs::add_counter(obs_.get(), "driver.cloud_readmitted");
+      UNI_LOG(kInfo) << "cloud " << cloud << " re-admitted";
+    }
+  } else {
+    ++consecutive_failures_[cloud];
+    const bool down =
+        (health_ != nullptr && !health_->admissible(cloud)) ||
+        consecutive_failures_[cloud] >= config_.max_consecutive_failures;
+    if (down && disabled_.insert(cloud).second) {
+      scheduler_.set_cloud_enabled(cloud, false);
+      obs::add_counter(obs_.get(), "driver.cloud_disabled");
+      UNI_LOG(kInfo) << "cloud " << cloud
+                     << " disabled after repeated failures";
+    }
+  }
+  ++free_conns_[cloud];
+  --outstanding_;
+  --on_wire_;
+  note_inflight();
+  pump();
+  sweep_decided();
+  // Notify under the lock: wait() may destroy this object right after.
+  cv_.notify_all();
 }
 
 }  // namespace unidrive::sched

@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "cloud/async.h"
 #include "cloud/health.h"
 #include "cloud/provider.h"
 #include "common/executor.h"
@@ -54,6 +55,18 @@ namespace unidrive::sched {
 // released. Must not call back into the driver.
 using SegmentSettledFn = std::function<void(const std::string& segment_id)>;
 
+// Completion of one async block transfer, invoked exactly once.
+using TransferDoneFn = std::function<void(Status)>;
+
+// Async transfer launcher: starts the block transfer and returns
+// immediately; `done` fires from the I/O runtime when it resolves. The
+// drivers call this UNDER their lock — implementations must follow the
+// AsyncCloud contract (cloud/async.h): never invoke `done` on the caller's
+// stack. When provided, in-flight transfers are bounded only by the
+// per-cloud connection budget, not by executor threads.
+using AsyncTransferFn =
+    std::function<cloud::AsyncHandle(const BlockTask&, TransferDoneFn)>;
+
 class StreamingUploadDriver {
  public:
   StreamingUploadDriver(CodeParams params,
@@ -64,7 +77,8 @@ class StreamingUploadDriver {
                         std::shared_ptr<cloud::CloudHealthRegistry> health =
                             nullptr,
                         obs::ObsPtr obs = nullptr,
-                        SegmentSettledFn on_settled = nullptr);
+                        SegmentSettledFn on_settled = nullptr,
+                        AsyncTransferFn async_transfer = nullptr);
   // Cancels and waits for in-flight transfers if the job is still open.
   ~StreamingUploadDriver();
 
@@ -98,11 +112,17 @@ class StreamingUploadDriver {
   }
 
  private:
-  // Both require lock_ held.
+  // All of pump/sweep_settled/launch/note_inflight require lock_ held.
   void pump();
   void sweep_settled();
   [[nodiscard]] bool done() const;
   void launch(cloud::CloudId cloud, const BlockTask& task);
+  // Everything that happens once a transfer's Status is known: metering,
+  // monitor feedback, scheduler completion, pump. Shared by the blocking
+  // executor task and the async completion. Takes lock_ itself.
+  void finish_transfer(cloud::CloudId cloud, const BlockTask& task,
+                       const Status& status, TimePoint start);
+  void note_inflight();
 
   std::vector<cloud::CloudId> clouds_;
   DriverConfig config_;
@@ -112,6 +132,7 @@ class StreamingUploadDriver {
   std::shared_ptr<cloud::CloudHealthRegistry> health_;
   obs::ObsPtr obs_;
   SegmentSettledFn on_settled_;
+  AsyncTransferFn async_transfer_;
 
   mutable std::mutex lock_;
   std::condition_variable cv_;
@@ -126,6 +147,17 @@ class StreamingUploadDriver {
   std::map<cloud::CloudId, obs::Counter*> ok_counters_;
   std::map<cloud::CloudId, obs::Counter*> err_counters_;
   obs::Histogram* latency_hist_ = nullptr;
+  // "RPCs on the wire" (on_wire_) vs "threads in use" (Executor::active)
+  // — the decoupling the async path buys, made visible. on_wire_ counts
+  // only *issued* RPCs: the async path issues at launch, the blocking path
+  // only once an executor thread picks the task up (a queued task is not a
+  // network request). outstanding_ keeps counting both so drain logic in
+  // done()/wait() is unchanged.
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Gauge* inflight_peak_gauge_ = nullptr;
+  obs::Gauge* threads_gauge_ = nullptr;
+  std::size_t on_wire_ = 0;
+  std::size_t inflight_peak_ = 0;
 };
 
 // StreamingDownloadDriver — the fetch stage of the restore pipeline: a
@@ -166,7 +198,8 @@ class StreamingDownloadDriver {
                           std::shared_ptr<cloud::CloudHealthRegistry> health =
                               nullptr,
                           obs::ObsPtr obs = nullptr,
-                          SegmentFetchedFn on_fetched = nullptr);
+                          SegmentFetchedFn on_fetched = nullptr,
+                          AsyncTransferFn async_transfer = nullptr);
   ~StreamingDownloadDriver();
 
   StreamingDownloadDriver(const StreamingDownloadDriver&) = delete;
@@ -194,11 +227,16 @@ class StreamingDownloadDriver {
   [[nodiscard]] bool cancelled() const;
 
  private:
-  // All three require lock_ held.
+  // pump/sweep_decided/launch/note_inflight require lock_ held.
   void pump();
   void sweep_decided();
   [[nodiscard]] bool done() const;
   void launch(cloud::CloudId cloud, const BlockTask& task, bool is_hedge);
+  // Post-transfer bookkeeping shared by the blocking executor task and the
+  // async completion. Takes lock_ itself.
+  void finish_transfer(cloud::CloudId cloud, const BlockTask& task,
+                       const Status& status, TimePoint start);
+  void note_inflight();
 
   std::vector<cloud::CloudId> clouds_;
   DriverConfig config_;
@@ -208,6 +246,7 @@ class StreamingDownloadDriver {
   std::shared_ptr<cloud::CloudHealthRegistry> health_;
   obs::ObsPtr obs_;
   SegmentFetchedFn on_fetched_;
+  AsyncTransferFn async_transfer_;
 
   mutable std::mutex lock_;
   std::condition_variable cv_;
@@ -224,6 +263,12 @@ class StreamingDownloadDriver {
   std::map<cloud::CloudId, obs::Counter*> ok_counters_;
   std::map<cloud::CloudId, obs::Counter*> err_counters_;
   obs::Histogram* latency_hist_ = nullptr;
+  // Issued RPCs only — see the upload driver's note on on_wire_.
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Gauge* inflight_peak_gauge_ = nullptr;
+  obs::Gauge* threads_gauge_ = nullptr;
+  std::size_t on_wire_ = 0;
+  std::size_t inflight_peak_ = 0;
 };
 
 }  // namespace unidrive::sched

@@ -12,6 +12,7 @@
 #include <set>
 #include <thread>
 
+#include "cloud/async.h"
 #include "cloud/faulty_cloud.h"
 #include "cloud/memory_cloud.h"
 #include "common/executor.h"
@@ -317,6 +318,130 @@ TEST(UploadPipelineTest, CancelUnderHangingCloudReleasesProducerAndBytes) {
   EXPECT_EQ(pipeline.inflight_bytes(), 0u);
 }
 
+// --- UploadPipeline: completion-based (async) transfer mode ------------------
+
+// Builds async twins of `providers` over `io` and returns a resolver for
+// the pipeline's FindAsyncCloudFn slot. The twins must outlive the
+// pipeline, so the caller keeps the returned vector alive.
+cloud::AsyncMultiCloud async_twins(const cloud::MultiCloud& providers,
+                                   Executor* io) {
+  cloud::AsyncContext ctx;
+  ctx.io = io;
+  cloud::AsyncMultiCloud twins;
+  for (const auto& p : providers) twins.push_back(cloud::to_async(p, ctx));
+  return twins;
+}
+
+FindAsyncCloudFn async_lookup(const cloud::AsyncMultiCloud& twins) {
+  return [&twins](cloud::CloudId id) -> cloud::AsyncCloud* {
+    return twins[id].get();
+  };
+}
+
+TEST(UploadPipelineTest, AsyncTransfersRoundTripDirectly) {
+  const sched::CodeParams params{4, 3, 2, 3};
+  ASSERT_TRUE(params.validate().is_ok());
+
+  cloud::MultiCloud clouds = make_clouds(4);
+  sched::ThroughputMonitor monitor;
+  auto executor = std::make_shared<Executor>(4);
+  cloud::AsyncMultiCloud twins = async_twins(clouds, executor.get());
+
+  UploadPipeline pipeline(
+      params, erasure::RsCode(16, params.k), {0, 1, 2, 3},
+      sched::DriverConfig{2, 3}, monitor, executor,
+      [&](cloud::CloudId id) -> cloud::CloudProvider* {
+        return clouds[id].get();
+      },
+      PipelineConfig{}, nullptr, nullptr, async_lookup(twins));
+
+  Rng rng(21);
+  for (int i = 0; i < 6; ++i) {
+    pipeline.feed("seg" + std::to_string(i), rng.bytes(64 << 10));
+  }
+  const auto result = pipeline.finish();
+  ASSERT_TRUE(result.is_ok()) << result.status().message();
+  ASSERT_EQ(result.value().size(), 6u);
+  for (const auto& seg : result.value()) {
+    EXPECT_GE(seg.blocks.size(), params.k) << seg.id;
+  }
+  EXPECT_EQ(pipeline.inflight_bytes(), 0u);
+  std::uint64_t stored = 0;
+  for (const auto& c : clouds) {
+    stored +=
+        std::static_pointer_cast<cloud::MemoryCloud>(c)->stored_bytes();
+  }
+  EXPECT_GT(stored, 0u);
+}
+
+// The async analog of the hang-cancellation test: cancelling mid-flight
+// with completion-based transfers must release the blocked producer and
+// every reserved byte, and finish() must drain without the cloud ever
+// answering promptly.
+TEST(UploadPipelineTest, AsyncCancelUnderHangingCloudReleasesProducer) {
+  const sched::CodeParams params{2, 2, 1, 2};
+  ASSERT_TRUE(params.validate().is_ok());
+
+  HangGate gate;
+  cloud::FaultProfile hang_profile;
+  hang_profile.hang_rate = 1.0;
+  hang_profile.hang_seconds = 1.0;
+  cloud::MultiCloud faulty;
+  std::vector<std::shared_ptr<cloud::FaultyCloud>> handles;
+  for (int i = 0; i < 2; ++i) {
+    auto f = std::make_shared<cloud::FaultyCloud>(
+        std::make_shared<cloud::MemoryCloud>(static_cast<cloud::CloudId>(i),
+                                             "c" + std::to_string(i)),
+        hang_profile, /*seed=*/i + 1, [&gate](Duration) { gate.wait(); });
+    handles.push_back(f);
+    faulty.push_back(f);
+  }
+
+  sched::ThroughputMonitor monitor;
+  auto executor = std::make_shared<Executor>(4);
+  cloud::AsyncMultiCloud twins = async_twins(faulty, executor.get());
+  PipelineConfig pipeline_config;
+  pipeline_config.encode_queue_capacity = 2;
+  pipeline_config.max_inflight_bytes = 200 << 10;
+
+  {
+    UploadPipeline pipeline(
+        params, erasure::RsCode(16, params.k), {0, 1},
+        sched::DriverConfig{2, 3}, monitor, executor,
+        [&](cloud::CloudId id) -> cloud::CloudProvider* {
+          return faulty[id].get();
+        },
+        pipeline_config, nullptr, nullptr, async_lookup(twins));
+
+    Rng rng(12);
+    pipeline.feed("hang-seg", rng.bytes(64 << 10));
+    for (int spin = 0; spin < 5000; ++spin) {
+      if (handles[0]->hangs() + handles[1]->hangs() > 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GT(handles[0]->hangs() + handles[1]->hangs(), 0u);
+
+    std::atomic<bool> producer_done{false};
+    std::thread producer([&] {
+      pipeline.feed("blocked-seg", rng.bytes(64 << 10));
+      producer_done.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(producer_done.load());
+
+    pipeline.cancel();
+    producer.join();
+    EXPECT_TRUE(producer_done.load());
+
+    gate.release();  // let the wedged completions resolve
+    const auto result = pipeline.finish();
+    ASSERT_FALSE(result.is_ok());
+    EXPECT_EQ(pipeline.inflight_bytes(), 0u);
+  }
+  // The pipeline destructor waited out every launched completion, so the
+  // async twins (and their executor) can be torn down safely here.
+}
+
 // --- end-to-end sync through the pipeline -----------------------------------
 
 TEST(PipelineSyncTest, RoundTripsAcrossDevices) {
@@ -405,6 +530,69 @@ TEST(PipelineSyncTest, SingleThreadedDegradationStillRoundTrips) {
   UniDriveClient b(clouds, fs_b, test_config("b"));
   ASSERT_TRUE(b.sync().is_ok());
   EXPECT_EQ(fs_b->read("/one.bin").value(), data);
+}
+
+// The SyncAdapter fallback contract: forcing the blocking one-thread-per-
+// RPC path (async_transfers = false) must leave every roundtrip intact.
+TEST(PipelineSyncTest, BlockingTransferFallbackStillRoundTrips) {
+  cloud::MultiCloud clouds = make_clouds(4);
+  auto fs_a = std::make_shared<MemoryLocalFs>();
+  ClientConfig cfg = test_config("a");
+  cfg.pipeline.async_transfers = false;
+  UniDriveClient a(clouds, fs_a, cfg);
+
+  Rng rng(7);
+  const Bytes data = rng.bytes(256 << 10);
+  ASSERT_TRUE(fs_a->write("/fallback.bin", ByteSpan(data)).is_ok());
+  const auto report = a.sync();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().committed);
+
+  // An async-mode reader reconstructs what the blocking writer uploaded.
+  auto fs_b = std::make_shared<MemoryLocalFs>();
+  UniDriveClient b(clouds, fs_b, test_config("b"));
+  ASSERT_TRUE(b.sync().is_ok());
+  EXPECT_EQ(fs_b->read("/fallback.bin").value(), data);
+}
+
+// A dedicated I/O pool (pipeline.io_threads > 0) carves the SyncAdapter
+// leaf RPCs out of the pipeline executor; the roundtrip must be unchanged.
+TEST(PipelineSyncTest, DedicatedIoPoolRoundTrips) {
+  cloud::MultiCloud clouds = make_clouds(4);
+  auto fs_a = std::make_shared<MemoryLocalFs>();
+  ClientConfig cfg = test_config("a");
+  cfg.pipeline.io_threads = 3;
+  UniDriveClient a(clouds, fs_a, cfg);
+
+  Rng rng(8);
+  const Bytes data = rng.bytes(256 << 10);
+  ASSERT_TRUE(fs_a->write("/dedicated.bin", ByteSpan(data)).is_ok());
+  const auto report = a.sync();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().committed);
+
+  auto fs_b = std::make_shared<MemoryLocalFs>();
+  UniDriveClient b(clouds, fs_b, test_config("b"));
+  ASSERT_TRUE(b.sync().is_ok());
+  EXPECT_EQ(fs_b->read("/dedicated.bin").value(), data);
+}
+
+// Async transfers are the default: the in-flight RPC gauges must report
+// launches, proving the completion-based path (not the blocking fallback)
+// actually carried the round.
+TEST(PipelineSyncTest, AsyncModeReportsInflightRpcGauges) {
+  cloud::MultiCloud clouds = make_clouds(4);
+  auto fs = std::make_shared<MemoryLocalFs>();
+  UniDriveClient client(clouds, fs, test_config("a"));
+  Rng rng(9);
+  ASSERT_TRUE(fs->write("/gauged.bin", ByteSpan(rng.bytes(300 << 10))).is_ok());
+  const auto report = client.sync();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().committed);
+
+  const auto& metrics = report.value().metrics;
+  EXPECT_GT(metrics.gauge_value("driver.up.rpcs_inflight_peak"), 0.0);
+  EXPECT_EQ(metrics.gauge_value("driver.up.rpcs_inflight"), 0.0);
 }
 
 // --- directory-failure surfacing (apply_cloud_image bugfix) -----------------

@@ -13,6 +13,7 @@
 #include <set>
 #include <thread>
 
+#include "cloud/async.h"
 #include "cloud/faulty_cloud.h"
 #include "cloud/memory_cloud.h"
 #include "common/executor.h"
@@ -571,6 +572,126 @@ TEST(RestorePipelineTest, CancelUnderHangingCloudReleasesProducerAndBytes) {
   EXPECT_EQ(pipeline.inflight_bytes(), 0u);
   EXPECT_FALSE(fs.read("/hang.bin").is_ok());
   EXPECT_TRUE(fs.list_files().empty());
+}
+
+// --- completion-based (async) transfer mode ----------------------------------
+
+// Builds async twins of `providers` over `io`; the caller keeps the
+// returned vector alive for the pipeline's lifetime.
+cloud::AsyncMultiCloud async_twins(const cloud::MultiCloud& providers,
+                                   Executor* io) {
+  cloud::AsyncContext ctx;
+  ctx.io = io;
+  cloud::AsyncMultiCloud twins;
+  for (const auto& p : providers) twins.push_back(cloud::to_async(p, ctx));
+  return twins;
+}
+
+FindAsyncCloudFn async_lookup(const cloud::AsyncMultiCloud& twins) {
+  return [&twins](cloud::CloudId id) -> cloud::AsyncCloud* {
+    return twins[id].get();
+  };
+}
+
+TEST(RestorePipelineTest, AsyncTransfersRestoreBitExact) {
+  const std::size_t k = 3;
+  const std::size_t theta = 64 << 10;
+  const erasure::RsCode code(16, k);
+  cloud::MultiCloud clouds = make_clouds(4);
+  metadata::SyncFolderImage image;
+  Rng rng(47);
+
+  const Bytes big = rng.bytes(300 << 10);
+  const auto snap =
+      publish_file("/async.bin", big, theta, code, 5, clouds, image);
+
+  std::vector<cloud::CloudProvider*> table;
+  for (const auto& c : clouds) table.push_back(c.get());
+  sched::ThroughputMonitor monitor;
+  auto executor = std::make_shared<Executor>(4);
+  cloud::AsyncMultiCloud twins = async_twins(clouds, executor.get());
+  MemoryLocalFs fs;
+  DownloadPipeline pipeline(k, code, {0, 1, 2, 3}, sched::DriverConfig{2, 3},
+                            monitor, executor, table_lookup(table),
+                            PipelineConfig{}, fs, nullptr, nullptr,
+                            async_lookup(twins));
+  pipeline.add_file(snap, image);
+  const auto results = pipeline.finish();
+
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].status.is_ok()) << results[0].status.message();
+  EXPECT_EQ(fs.read("/async.bin").value(), big);
+  EXPECT_EQ(pipeline.inflight_bytes(), 0u);
+}
+
+// Cancel mid-flight with completion-based fetches wedged in an injected
+// hang: the blocked producer and all reserved bytes must be released, and
+// no partial file may survive.
+TEST(RestorePipelineTest, AsyncCancelUnderHangingCloudReleasesProducer) {
+  const std::size_t k = 2;
+  const std::size_t theta = 64 << 10;
+  const erasure::RsCode code(16, k);
+  cloud::MultiCloud clouds = make_clouds(2);
+  metadata::SyncFolderImage image;
+  Rng rng(48);
+
+  const Bytes content = rng.bytes(128 << 10);  // two 64 KiB segments
+  const auto snap =
+      publish_file("/ahang.bin", content, theta, code, 2, clouds, image);
+
+  HangGate gate;
+  cloud::FaultProfile hang_profile;
+  hang_profile.hang_rate = 1.0;
+  hang_profile.hang_seconds = 1.0;
+  cloud::MultiCloud faulty;
+  std::vector<std::shared_ptr<cloud::FaultyCloud>> handles;
+  std::vector<cloud::CloudProvider*> table;
+  for (std::size_t i = 0; i < clouds.size(); ++i) {
+    auto f = std::make_shared<cloud::FaultyCloud>(
+        clouds[i], hang_profile, /*seed=*/i + 1,
+        [&gate](Duration) { gate.wait(); });
+    handles.push_back(f);
+    faulty.push_back(f);
+    table.push_back(f.get());
+  }
+
+  sched::ThroughputMonitor monitor;
+  auto executor = std::make_shared<Executor>(4);
+  cloud::AsyncMultiCloud twins = async_twins(faulty, executor.get());
+  MemoryLocalFs fs;
+  PipelineConfig config;
+  config.max_inflight_bytes = 200 << 10;
+  {
+    DownloadPipeline pipeline(k, code, {0, 1}, sched::DriverConfig{2, 3},
+                              monitor, executor, table_lookup(table), config,
+                              fs, nullptr, nullptr, async_lookup(twins));
+
+    std::atomic<bool> producer_done{false};
+    std::thread producer([&] {
+      pipeline.add_file(snap, image);
+      producer_done.store(true);
+    });
+
+    for (int spin = 0; spin < 5000; ++spin) {
+      if (handles[0]->hangs() + handles[1]->hangs() > 0) break;
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+    ASSERT_GT(handles[0]->hangs() + handles[1]->hangs(), 0u);
+    std::this_thread::sleep_for(milliseconds(20));
+    EXPECT_FALSE(producer_done.load());
+
+    pipeline.cancel();
+    producer.join();
+    EXPECT_TRUE(producer_done.load());
+
+    gate.release();  // let the wedged completions resolve
+    const auto results = pipeline.finish();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].status.is_ok());
+    EXPECT_EQ(pipeline.inflight_bytes(), 0u);
+    EXPECT_FALSE(fs.read("/ahang.bin").is_ok());
+    EXPECT_TRUE(fs.list_files().empty());
+  }
 }
 
 TEST(RestorePipelineTest, CorruptShardSearchConvergesWithOutOfOrderBlocks) {
