@@ -435,6 +435,25 @@ class AsyncFaultyCloud final : public AsyncCloud {
         });
         return;
       }
+      if (d.drop) {
+        // Silently lost: nothing stored, the client sees success.
+        complete(state, done, Status::ok());
+        return;
+      }
+      if (d.bitrot) {
+        // Corrupted at rest: one flipped byte lands, the client sees
+        // success. The rotted buffer rides in the completion closure
+        // (upload invariant 3: the span must outlive the request).
+        auto rotted = std::make_shared<Bytes>(data.begin(), data.end());
+        if (!rotted->empty()) (*rotted)[rotted->size() / 2] ^= 0x01;
+        chain_step(chain, [&] {
+          return inner->upload_async(path, ByteSpan(*rotted),
+                                     [state, done, rotted](Status s) {
+                                       complete(state, done, std::move(s));
+                                     });
+        });
+        return;
+      }
       chain_step(chain, [&] {
         return inner->upload_async(path, data, [state, done](Status s) {
           complete(state, done, std::move(s));
@@ -549,7 +568,10 @@ class AsyncFaultyCloud final : public AsyncCloud {
         sleep(stall);
         proceed();
       });
-    } else if (d.fail || d.torn) {
+    } else if (d.fail || d.torn || d.drop) {
+      // fail and drop complete without launching an inner op, so they must
+      // be deferred off the caller's stack (invariant 1); torn keeps its
+      // historical deferral.
       ctx_.io->submit(std::move(proceed));
     } else {
       proceed();

@@ -29,13 +29,37 @@ FaultDecision FaultyCloud::draw_decision(std::size_t payload_bytes,
           rng_.next_double() < profile_.torn_upload_rate) {
         d.torn = true;
       }
+      // Silent defects: only uploads that (appear to) succeed can rot or
+      // vanish — the client must believe everything went fine. Drop wins
+      // over bitrot when both fire (nothing stored = nothing to rot).
+      if (!d.fail && !d.torn && is_upload && payload_bytes > 0) {
+        if (profile_.block_loss_rate > 0 &&
+            rng_.next_double() < profile_.block_loss_rate) {
+          d.drop = true;
+        } else if (profile_.bitrot_rate > 0 &&
+                   rng_.next_double() < profile_.bitrot_rate) {
+          d.bitrot = true;
+        }
+      }
     }
   }
   if (d.hang) hangs_.fetch_add(1);
   if (d.fail || d.torn) failures_.fetch_add(1);
   if (d.torn) torn_uploads_.fetch_add(1);
+  if (d.bitrot) bitrots_.fetch_add(1);
+  if (d.drop) lost_blocks_.fetch_add(1);
   return d;
 }
+
+namespace {
+// One flipped byte in the middle: size-preserving, so only a content check
+// (the scrubber's deep verify) can catch it.
+Bytes rot_bytes(ByteSpan data) {
+  Bytes rotted(data.begin(), data.end());
+  if (!rotted.empty()) rotted[rotted.size() / 2] ^= 0x01;
+  return rotted;
+}
+}  // namespace
 
 namespace {
 Status fail_status(bool outage, const std::string& name) {
@@ -57,7 +81,28 @@ Status FaultyCloud::upload(const std::string& path, ByteSpan data) {
     return make_error(ErrorCode::kUnavailable,
                       name() + ": upload torn mid-flight");
   }
+  if (d.drop) return Status::ok();  // silently lost: stored nothing
+  if (d.bitrot) {
+    const Bytes rotted = rot_bytes(data);
+    const Status status = inner_->upload(path, ByteSpan(rotted));
+    return status.is_ok() ? Status::ok() : status;
+  }
   return inner_->upload(path, data);
+}
+
+Status FaultyCloud::rot_stored(const std::string& path) {
+  auto stored = inner_->download(path);
+  if (!stored.is_ok()) return stored.status();
+  const Bytes rotted = rot_bytes(ByteSpan(stored.value()));
+  UNI_RETURN_IF_ERROR(inner_->upload(path, ByteSpan(rotted)));
+  bitrots_.fetch_add(1);
+  return Status::ok();
+}
+
+Status FaultyCloud::drop_stored(const std::string& path) {
+  UNI_RETURN_IF_ERROR(inner_->remove(path));
+  lost_blocks_.fetch_add(1);
+  return Status::ok();
 }
 
 Result<Bytes> FaultyCloud::download(const std::string& path) {

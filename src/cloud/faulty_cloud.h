@@ -34,6 +34,14 @@ struct FaultProfile {
   // into kTimeout.
   double hang_rate = 0.0;
   Duration hang_seconds = 0.0;
+
+  // --- silent defects (the scrubber's prey) -------------------------------
+  // Neither produces an error: the client believes the upload succeeded.
+  // Bit-rot: the stored bytes differ from the payload (one byte flipped).
+  double bitrot_rate = 0.0;
+  // Block loss: the upload reports OK but nothing is stored — models a
+  // provider losing the object after the fact, compressed into the write.
+  double block_loss_rate = 0.0;
 };
 
 // One request's worth of injected faults, drawn up front so the blocking
@@ -44,6 +52,8 @@ struct FaultDecision {
   bool fail = false;          // report fail_status(outage) and stop
   bool outage = false;        // the failure is a whole-cloud outage
   bool torn = false;          // upload only: write half, report kUnavailable
+  bool bitrot = false;        // upload only: store corrupted bytes, report OK
+  bool drop = false;          // upload only: store nothing, report OK
 };
 
 class FaultyCloud final : public CloudProvider {
@@ -77,6 +87,19 @@ class FaultyCloud final : public CloudProvider {
     return torn_uploads_.load();
   }
   [[nodiscard]] std::uint64_t hangs() const noexcept { return hangs_.load(); }
+  [[nodiscard]] std::uint64_t bitrots() const noexcept {
+    return bitrots_.load();
+  }
+  [[nodiscard]] std::uint64_t lost_blocks() const noexcept {
+    return lost_blocks_.load();
+  }
+
+  // Deterministic silent-defect injection for tests/benches: corrupt or
+  // delete an object ALREADY stored on the inner cloud, behind the
+  // provider's back (no decision draw, but counted like the probabilistic
+  // variants). rot flips the middle byte, preserving the size.
+  Status rot_stored(const std::string& path);
+  Status drop_stored(const std::string& path);
 
   // Draws every fault for one request (hang, outage/size-dependent failure,
   // torn upload) and updates the counters. The caller then acts on the
@@ -101,6 +124,8 @@ class FaultyCloud final : public CloudProvider {
   std::atomic<std::uint64_t> failures_{0};
   std::atomic<std::uint64_t> torn_uploads_{0};
   std::atomic<std::uint64_t> hangs_{0};
+  std::atomic<std::uint64_t> bitrots_{0};
+  std::atomic<std::uint64_t> lost_blocks_{0};
   std::mutex rng_mutex_;
   Rng rng_;
   SleepFn sleep_;

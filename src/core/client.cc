@@ -55,6 +55,7 @@ UniDriveClient::UniDriveClient(cloud::MultiCloud clouds,
       clock_(clock),
       rng_(rng),
       obs_(std::make_shared<obs::Observability>(clock_)),
+      durability_(std::make_shared<repair::DurabilityTracker>(obs_)),
       health_(std::make_shared<cloud::CloudHealthRegistry>(config_.breaker,
                                                            clock_, obs_)),
       guarded_(cloud::guard_clouds(clouds_, config_.retry, health_, clock_,
@@ -618,7 +619,14 @@ Result<SyncReport> UniDriveClient::sync() {
 
   report.version = image_.version();
   report.cloud_health = health_->snapshot_all();
-  report.degraded = !health_->all_closed();
+  report.durability = durability_->summarize(
+      image_, config_.k, config_.redundancy_floor,
+      [this](cloud::CloudId id) { return health_->admissible(id); });
+  repair::publish_durability_gauges(report.durability, obs_.get());
+  // Degraded = reduced reachability OR eroded durability: an open breaker,
+  // or any segment whose surviving redundancy fell below the floor.
+  report.degraded =
+      !health_->all_closed() || report.durability.under_replicated > 0;
   persist_state();
   round_span.end();
   report.metrics = obs_->metrics.snapshot();
@@ -736,12 +744,10 @@ Status UniDriveClient::restore_previous_version(const std::string& path) {
   return Status::ok();
 }
 
-// Plaintext bytes of a segment, for re-encoding blocks during rebalances.
-// Fast path: slice it out of a local file (the client keeps a full copy of
-// everything). Fallback: fetch + decode k blocks from the multi-cloud —
-// membership changes must work even when the local copy is missing (e.g. a
-// freshly joined device administering the multi-cloud).
-Result<Bytes> UniDriveClient::segment_content(
+// Hash-verified slice of a segment out of a local file (the client keeps a
+// full copy of everything). kNotFound when no referencing file holds a
+// clean copy.
+Result<Bytes> UniDriveClient::local_segment_slice(
     const SyncFolderImage& image, const std::string& segment_id) {
   for (const auto& [path, snapshot] : image.files()) {
     std::size_t offset = 0;
@@ -762,6 +768,18 @@ Result<Bytes> UniDriveClient::segment_content(
       offset += len;
     }
   }
+  return make_error(ErrorCode::kNotFound,
+                    "no verified local copy of segment " + segment_id);
+}
+
+// Plaintext bytes of a segment, for re-encoding blocks during rebalances.
+// Fast path: the local slice. Fallback: fetch + decode k blocks from the
+// multi-cloud — membership changes must work even when the local copy is
+// missing (e.g. a freshly joined device administering the multi-cloud).
+Result<Bytes> UniDriveClient::segment_content(
+    const SyncFolderImage& image, const std::string& segment_id) {
+  auto local = local_segment_slice(image, segment_id);
+  if (local.is_ok()) return local;
   // Repair path: reconstruct from the clouds. fetch_segment resolves
   // block placements from the record itself — no image adoption needed.
   const metadata::SegmentInfo* seg = image.find_segment(segment_id);
@@ -769,6 +787,64 @@ Result<Bytes> UniDriveClient::segment_content(
     return make_error(ErrorCode::kNotFound, "unknown segment " + segment_id);
   }
   return fetch_segment(*seg, {});
+}
+
+erasure::RsCode UniDriveClient::codec() const {
+  return codec_for(code_params());
+}
+
+Result<Bytes> UniDriveClient::reconstruct_segment(
+    const std::string& segment_id,
+    const std::vector<metadata::BlockLocation>& exclude) {
+  auto local = local_segment_slice(image_, segment_id);
+  if (local.is_ok()) return local;
+  const metadata::SegmentInfo* seg = image_.find_segment(segment_id);
+  if (seg == nullptr) {
+    return make_error(ErrorCode::kNotFound, "unknown segment " + segment_id);
+  }
+  // No clean local copy: decode from the clouds WITHOUT the defective
+  // placements — a corrupt block must never poison its own repair.
+  return fetch_segment(*seg, exclude);
+}
+
+Status UniDriveClient::commit_repaired_placements(
+    std::vector<SegmentInfo> repaired) {
+  if (repaired.empty()) return Status::ok();
+  UNI_RETURN_IF_ERROR(lock_.acquire());
+  auto fetched = store_.fetch_latest();
+  if (!fetched.is_ok()) {
+    lock_.release();
+    return fetched.status();
+  }
+  SyncFolderImage next = std::move(fetched).take().image;
+
+  std::vector<Change> changes;
+  for (SegmentInfo& seg : repaired) {
+    const SegmentInfo* current = next.find_segment(seg.id);
+    // Vanished (GC'd) or already identical: the repair is moot/duplicate.
+    if (current == nullptr || current->blocks == seg.blocks) continue;
+    SegmentInfo updated = *current;  // keep the commit-side refcount/size
+    updated.blocks = seg.blocks;
+    changes.push_back(Change::upsert_segment(std::move(updated)));
+  }
+
+  Status status = Status::ok();
+  if (!changes.empty()) {
+    // Deliberately do NOT adopt the committed image as v_o: file changes
+    // committed by other devices since our last sync ride in `next`, and
+    // jumping image_ past them would skip their local materialization.
+    // Restoring image_ makes the repair commit (and anything else in
+    // `next`) arrive through the normal apply path next round.
+    const SyncFolderImage prev = image_;
+    for (const Change& change : changes) apply_change(next, change);
+    status = commit_locked(std::move(next), changes);
+    if (status.is_ok()) {
+      image_ = prev;
+      obs::add_counter(obs_.get(), "repair.placement_commits");
+    }
+  }
+  lock_.release();
+  return status;
 }
 
 // Executes a rebalance plan: re-encode + upload moved blocks, delete shed

@@ -36,6 +36,7 @@
 #include "metadata/diff.h"
 #include "metadata/store.h"
 #include "obs/obs.h"
+#include "repair/durability.h"
 #include "sched/monitor.h"
 #include "sched/rebalance.h"
 #include "sched/threaded_driver.h"
@@ -69,6 +70,10 @@ struct ClientConfig {
   // construction — without it a restarted process would treat the whole
   // cloud state as "concurrent changes" and manufacture conflicts.
   std::string state_file;
+  // Durability floor: a segment counts as under-replicated (and trips
+  // SyncReport.degraded) when its surviving distinct blocks drop below
+  // k + redundancy_floor. 0 = only decodability (surviving < k) degrades.
+  std::size_t redundancy_floor = 1;
 };
 
 struct SyncReport {
@@ -81,10 +86,14 @@ struct SyncReport {
   std::vector<metadata::ConflictRecord> conflicts;
   metadata::VersionStamp version;
   // Degraded mode: true when at least one cloud's circuit breaker was not
-  // closed at the end of the round — the sync proceeded on the remaining
-  // clouds (k-of-N tolerates it) but redundancy is reduced.
+  // closed at the end of the round, OR when any segment's surviving
+  // redundancy is below the configured floor (durability.under_replicated
+  // > 0) — reachability and data health both count.
   bool degraded = false;
   std::vector<cloud::CloudHealthSnapshot> cloud_health;
+  // Data-health rollup over the committed image at the end of the round:
+  // the defect ledger (scrub findings) joined with breaker admissibility.
+  repair::DurabilitySummary durability;
   // Folder materialization outcome. `materialize` is non-OK when the local
   // folder could not be brought fully up to the committed image (directory
   // create/remove failures below, or a file that could not be
@@ -162,6 +171,40 @@ class UniDriveClient {
   [[nodiscard]] const obs::ObsPtr& observability() const noexcept {
     return obs_;
   }
+  [[nodiscard]] Clock& clock() const noexcept { return clock_; }
+
+  // --- scrub-and-repair surface (src/repair) -------------------------------
+  // The defect ledger shared with the scrubber/repair engine. Never null.
+  [[nodiscard]] const std::shared_ptr<repair::DurabilityTracker>& durability()
+      const noexcept {
+    return durability_;
+  }
+  // The exact code this client encodes/decodes with (pinned codec length —
+  // block indices remain stable across membership changes).
+  [[nodiscard]] erasure::RsCode codec() const;
+  // Guarded (resilience-decorated) blocking provider / its async twin.
+  [[nodiscard]] cloud::CloudProvider* guarded_cloud(cloud::CloudId id) const {
+    return find_cloud(id);
+  }
+  [[nodiscard]] cloud::AsyncCloud* async_cloud(cloud::CloudId id) const {
+    return find_async_cloud(id);
+  }
+  [[nodiscard]] const cloud::AsyncMultiCloud& async_clouds() const noexcept {
+    return async_clouds_;
+  }
+  // Plaintext of a committed segment for repair: the verified local file
+  // slice when one exists, otherwise a hash-verified multi-cloud decode
+  // that never trusts any placement in `exclude` (the defective ones).
+  Result<Bytes> reconstruct_segment(
+      const std::string& segment_id,
+      const std::vector<metadata::BlockLocation>& exclude);
+  // Commits repaired block placements under the quorum lock (fetch-latest,
+  // re-validate each segment against the freshest image, upsert, commit).
+  // v_o (image_) is deliberately NOT advanced: the repair commit reaches
+  // the local folder through the normal apply path next round, so file
+  // changes committed by other devices in between are never skipped.
+  Status commit_repaired_placements(
+      std::vector<metadata::SegmentInfo> repaired);
 
  private:
   // Data plane: a staged UploadPipeline wired to this client's executor,
@@ -190,6 +233,11 @@ class UniDriveClient {
   Result<Bytes> fetch_segment(
       const metadata::SegmentInfo& segment,
       const std::vector<metadata::BlockLocation>& exclude);
+
+  // Hash-verified local-file slice of a segment; kNotFound when no
+  // referencing file holds a clean copy.
+  Result<Bytes> local_segment_slice(const metadata::SyncFolderImage& image,
+                                    const std::string& segment_id);
 
   // Plaintext of a segment: local-file slice when available (verified by
   // hash), otherwise reconstructed from the multi-cloud.
@@ -245,6 +293,8 @@ class UniDriveClient {
   Rng rng_;
   // Declared before health_/guarded_/store_/lock_: they all capture it.
   obs::ObsPtr obs_;
+  // Defect ledger shared with the repair subsystem; captures obs_.
+  std::shared_ptr<repair::DurabilityTracker> durability_;
   std::shared_ptr<cloud::CloudHealthRegistry> health_;
   cloud::MultiCloud guarded_;  // clouds_, each wrapped in a RetryingCloud
   // Shared thread pool for the sync pipeline and the transfer drivers;

@@ -38,15 +38,43 @@ SyncDaemon::Stats SyncDaemon::stats() const {
 
 Result<SyncReport> SyncDaemon::run_round() {
   auto report = client_.sync();
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.rounds;
-  if (report.is_ok()) {
-    if (report.value().committed) ++stats_.commits;
-    if (report.value().applied_cloud) ++stats_.applied;
-    stats_.conflicts += report.value().conflicts.size();
-  } else {
-    ++stats_.errors;
-    UNI_LOG(kWarn) << "sync round failed: " << report.status().to_string();
+  const bool busy = report.is_ok() && (report.value().committed ||
+                                       report.value().applied_cloud);
+  std::size_t round = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    round = ++stats_.rounds;
+    if (report.is_ok()) {
+      if (report.value().committed) ++stats_.commits;
+      if (report.value().applied_cloud) ++stats_.applied;
+      stats_.conflicts += report.value().conflicts.size();
+    } else {
+      ++stats_.errors;
+      UNI_LOG(kWarn) << "sync round failed: " << report.status().to_string();
+    }
+  }
+
+  // Background maintenance rides the same cadence: paced (every Nth
+  // round), budgeted, and throttled further when the foreground round
+  // actually moved data.
+  if (config_.maintenance != nullptr && config_.maintenance_every > 0 &&
+      round % static_cast<std::size_t>(config_.maintenance_every) == 0) {
+    MaintenanceBudget budget;
+    budget.blocks = config_.maintenance_blocks;
+    if (busy) {
+      budget.blocks = config_.busy_budget_divisor == 0
+                          ? 0
+                          : budget.blocks / config_.busy_budget_divisor;
+    }
+    if (budget.blocks > 0) {
+      const Status status = config_.maintenance->run_slice(budget);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.maintenance_slices;
+      if (!status.is_ok()) {
+        ++stats_.maintenance_errors;
+        UNI_LOG(kWarn) << "maintenance slice failed: " << status.to_string();
+      }
+    }
   }
   return report;
 }

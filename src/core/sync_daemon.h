@@ -5,6 +5,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -12,8 +13,34 @@
 
 namespace unidrive::core {
 
+// Admission budget for one background maintenance slice: how many
+// block-granular work units (repair uploads, orphan deletions) the task may
+// spend before yielding back to the daemon.
+struct MaintenanceBudget {
+  std::size_t blocks = 32;
+};
+
+// A paced background maintenance phase the daemon runs after sync rounds —
+// e.g. repair::RepairService (scrub-and-repair). Implementations count
+// per-item failures internally and return non-OK only for slice-level
+// faults; either way the daemon keeps ticking.
+class MaintenanceTask {
+ public:
+  virtual ~MaintenanceTask() = default;
+  virtual Status run_slice(const MaintenanceBudget& budget) = 0;
+};
+
 struct DaemonConfig {
   double sync_interval = 5.0;  // tau: seconds between sync rounds
+  // Background maintenance, run after the sync phase of every
+  // `maintenance_every`th round with a `maintenance_blocks` budget. Rounds
+  // that moved foreground data (commit or cloud apply) divide the budget by
+  // `busy_budget_divisor` so maintenance never competes with a user
+  // actively syncing (0 = skip the slice entirely on busy rounds).
+  std::shared_ptr<MaintenanceTask> maintenance;
+  int maintenance_every = 1;
+  std::size_t maintenance_blocks = 32;
+  std::size_t busy_budget_divisor = 4;
 };
 
 class SyncDaemon {
@@ -38,6 +65,8 @@ class SyncDaemon {
     std::size_t applied = 0;       // rounds that pulled cloud changes
     std::size_t conflicts = 0;     // conflict files produced
     std::size_t errors = 0;        // failed rounds (retried next tick)
+    std::size_t maintenance_slices = 0;  // maintenance slices executed
+    std::size_t maintenance_errors = 0;  // slices returning non-OK
   };
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] bool running() const;

@@ -1,0 +1,239 @@
+#include "repair/durability.h"
+
+#include <algorithm>
+
+namespace unidrive::repair {
+
+const char* defect_kind_name(DefectKind kind) noexcept {
+  switch (kind) {
+    case DefectKind::kMissingBlock:
+      return "missing";
+    case DefectKind::kCorruptBlock:
+      return "corrupt";
+    case DefectKind::kOrphanBlock:
+      return "orphan";
+    case DefectKind::kCloudLost:
+      return "cloud_lost";
+  }
+  return "unknown";
+}
+
+namespace {
+// Heal latency stretches from "same slice, virtual time" to "cloud dark
+// for hours": sub-second buckets up to a 6h overflow.
+std::vector<double> mttr_bounds() {
+  return {0.1, 1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0, 21600.0};
+}
+}  // namespace
+
+DurabilityTracker::DurabilityTracker(obs::ObsPtr obs) : obs_(std::move(obs)) {
+  if (obs_ != nullptr) {
+    // Pre-create with the wide bounds; later histogram(name) lookups reuse it.
+    obs_->metrics.histogram("repair.mttr", mttr_bounds());
+  }
+}
+
+bool DurabilityTracker::record(const Defect& defect) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const PlacementKey key{defect.segment_id, defect.block_index, defect.cloud};
+  auto [it, inserted] = defects_.emplace(key, defect);
+  if (!inserted) {
+    // Keep the original detection time (MTTR measures first sighting to
+    // heal) but let the kind sharpen: a size-probe "missing" that deep
+    // verify reclassifies as corrupt should repair as the latter.
+    it->second.kind = defect.kind;
+  }
+  return inserted;
+}
+
+void DurabilityTracker::mark_healed(const std::string& segment_id,
+                                    std::uint32_t block_index,
+                                    cloud::CloudId cloud,
+                                    TimePoint healed_at) {
+  Defect healed;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = defects_.find(PlacementKey{segment_id, block_index, cloud});
+    if (it == defects_.end()) return;
+    healed = it->second;
+    found = true;
+    defects_.erase(it);
+  }
+  if (found && obs_ != nullptr) {
+    obs_->metrics.histogram("repair.mttr", mttr_bounds())
+        .observe(std::max(0.0, healed_at - healed.detected_at));
+  }
+}
+
+void DurabilityTracker::forget_segment(const std::string& segment_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = defects_.begin(); it != defects_.end();) {
+    if (it->first.segment_id == segment_id) {
+      it = defects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DurabilityTracker::retract_cloud_lost(cloud::CloudId cloud) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = defects_.begin(); it != defects_.end();) {
+    if (it->first.cloud == cloud &&
+        it->second.kind == DefectKind::kCloudLost) {
+      it = defects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool DurabilityTracker::is_defective(const std::string& segment_id,
+                                     std::uint32_t block_index,
+                                     cloud::CloudId cloud) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return defects_.count(PlacementKey{segment_id, block_index, cloud}) > 0;
+}
+
+std::optional<DefectKind> DurabilityTracker::defect_kind(
+    const std::string& segment_id, std::uint32_t block_index,
+    cloud::CloudId cloud) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = defects_.find(PlacementKey{segment_id, block_index, cloud});
+  if (it == defects_.end()) return std::nullopt;
+  return it->second.kind;
+}
+
+std::vector<Defect> DurabilityTracker::defects() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Defect> out;
+  out.reserve(defects_.size());
+  for (const auto& [key, defect] : defects_) out.push_back(defect);
+  return out;
+}
+
+std::size_t DurabilityTracker::backlog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return defects_.size();
+}
+
+void DurabilityTracker::observe_orphans(
+    const std::set<OrphanKey>& sighted,
+    const std::set<cloud::CloudId>& listed_clouds,
+    const metadata::VersionStamp& committed_version, TimePoint now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Entries of listed clouds that were not re-sighted resolved themselves
+  // (deleted, or referenced by a newer image).
+  for (auto it = orphans_.begin(); it != orphans_.end();) {
+    if (listed_clouds.count(it->first.cloud) > 0 &&
+        sighted.count(it->first) == 0) {
+      it = orphans_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const OrphanKey& key : sighted) {
+    auto [it, inserted] = orphans_.emplace(
+        key, OrphanEntry{committed_version, now, 1});
+    if (!inserted) ++it->second.sightings;
+  }
+}
+
+std::vector<DurabilityTracker::OrphanKey>
+DurabilityTracker::collectable_orphans(
+    const metadata::VersionStamp& committed_version, TimePoint now,
+    Duration grace) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<OrphanKey> out;
+  for (const auto& [key, entry] : orphans_) {
+    if (entry.sightings >= 2 && entry.first_seen_version < committed_version &&
+        now - entry.first_seen >= grace) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+void DurabilityTracker::drop_orphan(const OrphanKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  orphans_.erase(key);
+}
+
+std::size_t DurabilityTracker::orphans_quarantined() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return orphans_.size();
+}
+
+DurabilitySummary DurabilityTracker::summarize(
+    const metadata::SyncFolderImage& image, std::size_t k,
+    std::size_t redundancy_floor,
+    const std::function<bool(cloud::CloudId)>& admissible) const {
+  DurabilitySummary summary;
+  std::lock_guard<std::mutex> lock(mutex_);
+  summary.repair_backlog = defects_.size();
+  summary.orphans_quarantined = orphans_.size();
+  bool first = true;
+  for (const auto& [id, segment] : image.segments()) {
+    if (segment.refcount == 0) continue;  // GC candidate, not an obligation
+    ++summary.segments;
+    std::set<std::uint32_t> surviving;
+    for (const metadata::BlockLocation& loc : segment.blocks) {
+      if (!admissible(loc.cloud)) continue;
+      if (defects_.count(PlacementKey{id, loc.block_index, loc.cloud}) > 0) {
+        continue;
+      }
+      surviving.insert(loc.block_index);
+    }
+    const std::size_t n = surviving.size();
+    if (first || n < summary.min_surviving) summary.min_surviving = n;
+    first = false;
+    if (n < k) ++summary.unrecoverable;
+    if (n < k + redundancy_floor) ++summary.under_replicated;
+  }
+  if (summary.segments == 0) summary.min_surviving = 0;
+  summary.min_redundancy =
+      summary.segments == 0
+          ? 0
+          : static_cast<long long>(summary.min_surviving) -
+                static_cast<long long>(k);
+  return summary;
+}
+
+bool block_referenced(const metadata::SyncFolderImage& image,
+                      cloud::CloudId cloud, const std::string& name) {
+  const std::size_t sep = name.rfind('_');
+  if (sep == std::string::npos || sep == 0 || sep + 1 >= name.size()) {
+    return false;
+  }
+  std::uint32_t index = 0;
+  for (std::size_t i = sep + 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    index = index * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  const metadata::SegmentInfo* segment = image.find_segment(name.substr(0, sep));
+  if (segment == nullptr) return false;
+  for (const metadata::BlockLocation& loc : segment->blocks) {
+    if (loc.block_index == index && loc.cloud == cloud) return true;
+  }
+  return false;
+}
+
+void publish_durability_gauges(const DurabilitySummary& summary,
+                               obs::Observability* obs) {
+  obs::set_gauge(obs, "repair.backlog",
+                 static_cast<double>(summary.repair_backlog));
+  obs::set_gauge(obs, "repair.under_replicated",
+                 static_cast<double>(summary.under_replicated));
+  obs::set_gauge(obs, "repair.unrecoverable",
+                 static_cast<double>(summary.unrecoverable));
+  obs::set_gauge(obs, "repair.min_surviving",
+                 static_cast<double>(summary.min_surviving));
+  obs::set_gauge(obs, "repair.min_redundancy",
+                 static_cast<double>(summary.min_redundancy));
+  obs::set_gauge(obs, "repair.orphans_quarantined",
+                 static_cast<double>(summary.orphans_quarantined));
+}
+
+}  // namespace unidrive::repair

@@ -1,0 +1,153 @@
+// DurabilityTracker — the shared, thread-safe ledger between the scrubber
+// (which records defects and orphan sightings), the repair engine (which
+// drains them) and the client's SyncReport (which summarizes data health).
+//
+// Defects are keyed by placement (segment, block index, cloud); the first
+// sighting's timestamp survives re-sightings so MTTR measures detection to
+// heal. Orphans go through a quarantine before they are collectable:
+//
+//   an object in /data unreferenced by the committed image is deleted only
+//   after (a) it was sighted in at least two scrub passes, (b) the
+//   committed version advanced past the version it was first sighted
+//   under, and (c) a grace period elapsed since the first sighting.
+//
+// (b) is the crash-safety core: blocks are uploaded BEFORE the metadata
+// referencing them commits, so an object that is still unreferenced after
+// a later commit landed was not part of that commit; (c) bounds the
+// exposure of a slow uploader that has not reached its commit yet (the
+// grace must exceed any client's upload-to-commit window — see DESIGN §11).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "metadata/image.h"
+#include "obs/obs.h"
+#include "repair/types.h"
+
+namespace unidrive::repair {
+
+class DurabilityTracker {
+ public:
+  // MTTR bounds stretch from sub-second (same-slice heal in virtual time)
+  // to hours (a cloud that stayed dark across soak rounds).
+  explicit DurabilityTracker(obs::ObsPtr obs = nullptr);
+
+  // --- defect ledger -----------------------------------------------------
+  // Records one defective placement. Idempotent: re-sighting an already
+  // recorded defect keeps the original detected_at (and kind, unless the
+  // new kind is more severe, i.e. corrupt upgraded from missing is kept as
+  // reported). Returns true when the defect is new.
+  bool record(const Defect& defect);
+
+  // The placement is healthy again (repaired by us, or healed externally —
+  // another device's repair pass). Observes healed_at - detected_at into
+  // the repair.mttr histogram and drops the entry.
+  void mark_healed(const std::string& segment_id, std::uint32_t block_index,
+                   cloud::CloudId cloud, TimePoint healed_at);
+
+  // Drops every ledger entry of the segment (it was garbage-collected or
+  // vanished from the pool) without counting a heal.
+  void forget_segment(const std::string& segment_id);
+
+  // Drops kCloudLost entries of `cloud` (its breaker closed again) without
+  // counting heals — the blocks were never actually gone.
+  void retract_cloud_lost(cloud::CloudId cloud);
+
+  [[nodiscard]] bool is_defective(const std::string& segment_id,
+                                  std::uint32_t block_index,
+                                  cloud::CloudId cloud) const;
+  // Kind of the recorded defect, or nullopt when the placement is healthy.
+  [[nodiscard]] std::optional<DefectKind> defect_kind(
+      const std::string& segment_id, std::uint32_t block_index,
+      cloud::CloudId cloud) const;
+
+  // All defects, unordered. kOrphanBlock never appears here (orphans live
+  // in the quarantine below).
+  [[nodiscard]] std::vector<Defect> defects() const;
+  [[nodiscard]] std::size_t backlog() const;
+
+  // --- orphan quarantine --------------------------------------------------
+  struct OrphanKey {
+    cloud::CloudId cloud = 0;
+    std::string name;  // leaf name under /data, "<segment-id>_<index>"
+    friend bool operator<(const OrphanKey& a, const OrphanKey& b) noexcept {
+      if (a.cloud != b.cloud) return a.cloud < b.cloud;
+      return a.name < b.name;
+    }
+  };
+
+  // Reconciles the quarantine with one scrub pass's full sighting set for
+  // the clouds that were actually listed: new sightings enter quarantine,
+  // re-sightings age, entries of a listed cloud that were NOT re-sighted
+  // leave (the object is gone or became referenced). Clouds not in
+  // `listed_clouds` keep their entries untouched (unreachable != resolved).
+  void observe_orphans(const std::set<OrphanKey>& sighted,
+                       const std::set<cloud::CloudId>& listed_clouds,
+                       const metadata::VersionStamp& committed_version,
+                       TimePoint now);
+
+  // Orphans whose quarantine fully elapsed (see class comment) and which
+  // the repair engine may therefore delete.
+  [[nodiscard]] std::vector<OrphanKey> collectable_orphans(
+      const metadata::VersionStamp& committed_version, TimePoint now,
+      Duration grace) const;
+
+  // The orphan was deleted (or turned out referenced); leave quarantine.
+  void drop_orphan(const OrphanKey& key);
+
+  [[nodiscard]] std::size_t orphans_quarantined() const;
+
+  // --- durability summary -------------------------------------------------
+  // Rolls up data health over `image`: a placement survives when its cloud
+  // is admissible AND the ledger holds no defect for it. Only referenced
+  // (refcount > 0) segments count — refcount-zero pool entries are GC
+  // candidates, not durability obligations. Distinct block indices count
+  // once.
+  [[nodiscard]] DurabilitySummary summarize(
+      const metadata::SyncFolderImage& image, std::size_t k,
+      std::size_t redundancy_floor,
+      const std::function<bool(cloud::CloudId)>& admissible) const;
+
+ private:
+  struct PlacementKey {
+    std::string segment_id;
+    std::uint32_t block_index = 0;
+    cloud::CloudId cloud = 0;
+    friend bool operator<(const PlacementKey& a,
+                          const PlacementKey& b) noexcept {
+      if (a.segment_id != b.segment_id) return a.segment_id < b.segment_id;
+      if (a.block_index != b.block_index) return a.block_index < b.block_index;
+      return a.cloud < b.cloud;
+    }
+  };
+  struct OrphanEntry {
+    metadata::VersionStamp first_seen_version;
+    TimePoint first_seen = 0.0;
+    std::size_t sightings = 0;
+  };
+
+  obs::ObsPtr obs_;
+  mutable std::mutex mutex_;
+  std::map<PlacementKey, Defect> defects_;
+  std::map<OrphanKey, OrphanEntry> orphans_;
+};
+
+// Exports the summary as repair.* gauges (backlog, under_replicated,
+// unrecoverable, min_surviving, min_redundancy, orphans_quarantined).
+void publish_durability_gauges(const DurabilitySummary& summary,
+                               obs::Observability* obs);
+
+// True when the committed image references an object named `name` (the
+// "<segment-id>_<index>" leaf under /data) on `cloud` — by ANY pool entry,
+// including refcount-zero ones: their blocks belong to the segment GC
+// path, not the orphan collector. Unparsable names are unreferenced.
+[[nodiscard]] bool block_referenced(const metadata::SyncFolderImage& image,
+                                    cloud::CloudId cloud,
+                                    const std::string& name);
+
+}  // namespace unidrive::repair

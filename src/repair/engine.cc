@@ -1,0 +1,280 @@
+#include "repair/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "metadata/types.h"
+#include "repair/latch.h"
+#include "sched/plan.h"
+
+namespace unidrive::repair {
+
+RepairEngine::RepairEngine(core::UniDriveClient& client,
+                           std::shared_ptr<DurabilityTracker> tracker,
+                           RepairConfig config)
+    : client_(client), tracker_(std::move(tracker)), config_(std::move(config)) {}
+
+RepairOutcome RepairEngine::run_slice(std::size_t budget_blocks) {
+  RepairOutcome out;
+  if (budget_blocks == 0) return out;
+  obs::Observability* obs = client_.observability().get();
+  obs::Span span = obs::start_span(obs, "repair.slice");
+
+  const metadata::SyncFolderImage image = client_.image();
+  const auto& health = client_.health();
+
+  // Group the ledger by segment, dropping entries whose segment left the
+  // pool (segment GC owns their blocks now).
+  std::map<std::string, std::vector<Defect>> by_segment;
+  for (Defect& defect : tracker_->defects()) {
+    if (image.find_segment(defect.segment_id) == nullptr) {
+      tracker_->forget_segment(defect.segment_id);
+      continue;
+    }
+    by_segment[defect.segment_id].push_back(std::move(defect));
+  }
+
+  // Priority: fewest surviving blocks first — the segment closest to
+  // losing decodability gets the budget before the merely degraded one.
+  struct Item {
+    const metadata::SegmentInfo* segment = nullptr;
+    std::size_t surviving = 0;
+  };
+  std::vector<Item> queue;
+  queue.reserve(by_segment.size());
+  for (const auto& [seg_id, defects] : by_segment) {
+    const metadata::SegmentInfo* segment = image.find_segment(seg_id);
+    std::set<std::uint32_t> surviving;
+    for (const metadata::BlockLocation& loc : segment->blocks) {
+      if (!health->admissible(loc.cloud)) continue;
+      if (tracker_->is_defective(seg_id, loc.block_index, loc.cloud)) continue;
+      surviving.insert(loc.block_index);
+    }
+    queue.push_back(Item{segment, surviving.size()});
+  }
+  std::sort(queue.begin(), queue.end(), [](const Item& a, const Item& b) {
+    if (a.surviving != b.surviving) return a.surviving < b.surviving;
+    return a.segment->id < b.segment->id;
+  });
+
+  std::size_t budget = budget_blocks;
+  std::vector<metadata::SegmentInfo> placement_changes;
+  std::vector<PendingRehome> pending_rehomes;
+  for (const Item& item : queue) {
+    if (budget == 0) break;
+    repair_segment(image, *item.segment, by_segment[item.segment->id], budget,
+                   out, placement_changes, pending_rehomes);
+  }
+
+  // One commit for every re-homed placement of the slice. Blocks are
+  // already uploaded; only after the commit is durable do the re-homes
+  // count as healed (until then the metadata still references the lost
+  // cloud, and the new copies are merely quarantine-protected orphans).
+  if (!placement_changes.empty()) {
+    const Status status =
+        client_.commit_repaired_placements(std::move(placement_changes));
+    if (status.is_ok()) {
+      out.committed = true;
+      obs::add_counter(obs, "repair.commits");
+      const TimePoint now = client_.clock().now();
+      for (const PendingRehome& rehome : pending_rehomes) {
+        tracker_->mark_healed(rehome.segment_id, rehome.block_index,
+                              rehome.old_cloud, now);
+        ++out.blocks_healed;
+        obs::add_counter(obs, "repair.blocks_healed");
+      }
+    } else {
+      out.failures += pending_rehomes.size();
+      obs::add_counter(obs, "repair.commit_failures");
+      UNI_LOG(kWarn) << "repair: placement commit failed: "
+                     << status.to_string();
+    }
+  }
+
+  collect_orphans(budget, out);
+  return out;
+}
+
+void RepairEngine::repair_segment(
+    const metadata::SyncFolderImage& image,
+    const metadata::SegmentInfo& segment, std::vector<Defect> defects,
+    std::size_t& budget, RepairOutcome& out,
+    std::vector<metadata::SegmentInfo>& placement_changes,
+    std::vector<PendingRehome>& pending_rehomes) {
+  obs::Observability* obs = client_.observability().get();
+  const auto& health = client_.health();
+  const sched::CodeParams params = client_.code_params();
+
+  // Plan first, so the (expensive) reconstruction is skipped when nothing
+  // is actionable — e.g. every defective cloud is unreachable.
+  struct Action {
+    Defect defect;
+    cloud::CloudId target = 0;
+    bool rehome = false;
+  };
+  std::map<cloud::CloudId, std::size_t> per_cloud;  // ks security cap input
+  for (const metadata::BlockLocation& loc : segment.blocks) {
+    ++per_cloud[loc.cloud];
+  }
+  std::vector<Action> actions;
+  for (const Defect& defect : defects) {
+    if (budget == actions.size()) break;  // slice budget exhausted
+    if (defect.kind == DefectKind::kCloudLost) {
+      // Re-home onto the admissible cloud holding the fewest blocks of
+      // this segment, never exceeding the security cap and never the lost
+      // cloud itself.
+      cloud::CloudId best = 0;
+      bool found = false;
+      for (const cloud::AsyncCloudPtr& cloud : client_.async_clouds()) {
+        const cloud::CloudId id = cloud->id();
+        if (id == defect.cloud || !health->admissible(id)) continue;
+        if (per_cloud[id] >= params.max_per_cloud()) continue;
+        if (!found || per_cloud[id] < per_cloud[best]) {
+          best = id;
+          found = true;
+        }
+      }
+      if (!found) {
+        ++out.failures;  // no legal target; retry a later slice
+        continue;
+      }
+      ++per_cloud[best];
+      actions.push_back(Action{defect, best, true});
+    } else {
+      if (!health->admissible(defect.cloud)) continue;  // wait for breaker
+      actions.push_back(Action{defect, defect.cloud, false});
+    }
+  }
+  if (actions.empty()) return;
+
+  // Reconstruct the plaintext without trusting any defective placement.
+  std::vector<metadata::BlockLocation> exclude;
+  exclude.reserve(defects.size());
+  for (const Defect& defect : defects) {
+    exclude.push_back(metadata::BlockLocation{defect.block_index, defect.cloud});
+  }
+  const Result<Bytes> plain =
+      client_.reconstruct_segment(segment.id, exclude);
+  if (!plain.is_ok()) {
+    ++out.unrecoverable;
+    obs::add_counter(obs, "repair.reconstruct_failures");
+    UNI_LOG(kWarn) << "repair: segment " << segment.id
+                   << " unrecoverable this slice: "
+                   << plain.status().to_string();
+    return;
+  }
+
+  // Re-encode exactly the needed rows, once per distinct index.
+  std::vector<std::uint32_t> indices;
+  for (const Action& action : actions) {
+    if (std::find(indices.begin(), indices.end(),
+                  action.defect.block_index) == indices.end()) {
+      indices.push_back(action.defect.block_index);
+    }
+  }
+  const erasure::RsCode code = client_.codec();
+  const std::vector<erasure::Shard> shards =
+      code.encode_shards(ByteSpan(plain.value()), indices);
+  std::map<std::uint32_t, const Bytes*> shard_by_index;
+  for (const erasure::Shard& shard : shards) {
+    shard_by_index[shard.index] = &shard.data;
+  }
+
+  // Fan the uploads out; shards outlive the latch wait (invariant 3).
+  struct Slot {
+    bool launched = false;
+    Status status = make_error(ErrorCode::kInternal, "not launched");
+  };
+  std::vector<Slot> slots(actions.size());
+  {
+    CompletionLatch latch;
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      const Action& action = actions[i];
+      cloud::AsyncCloud* cloud = client_.async_cloud(action.target);
+      const Bytes* data = shard_by_index[action.defect.block_index];
+      if (cloud == nullptr || data == nullptr) continue;
+      slots[i].launched = true;
+      latch.expect();
+      cloud->upload_async(
+          metadata::block_path(segment.id, action.defect.block_index),
+          ByteSpan(*data), [slot = &slots[i], &latch](Status s) {
+            slot->status = std::move(s);
+            latch.arrive();
+          });
+    }
+    latch.wait();
+  }
+
+  const TimePoint now = client_.clock().now();
+  bool any_healed = false;
+  metadata::SegmentInfo updated = segment;
+  bool placement_changed = false;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const Action& action = actions[i];
+    if (budget > 0) --budget;  // launched or not, the attempt was admitted
+    if (!slots[i].launched || !slots[i].status.is_ok()) {
+      ++out.failures;
+      obs::add_counter(obs, "repair.upload_failures");
+      continue;
+    }
+    if (action.rehome) {
+      for (metadata::BlockLocation& loc : updated.blocks) {
+        if (loc.block_index == action.defect.block_index &&
+            loc.cloud == action.defect.cloud) {
+          loc.cloud = action.target;
+        }
+      }
+      placement_changed = true;
+      ++out.rehomed;
+      obs::add_counter(obs, "repair.blocks_rehomed");
+      pending_rehomes.push_back(PendingRehome{
+          segment.id, action.defect.block_index, action.defect.cloud});
+      any_healed = true;
+    } else {
+      // In-place: the metadata already references exactly this placement —
+      // the moment the bytes are back, the defect is gone.
+      tracker_->mark_healed(segment.id, action.defect.block_index,
+                            action.defect.cloud, now);
+      ++out.blocks_healed;
+      obs::add_counter(obs, "repair.blocks_healed");
+      any_healed = true;
+    }
+  }
+  (void)image;
+  if (any_healed) ++out.segments_repaired;
+  if (placement_changed) placement_changes.push_back(std::move(updated));
+}
+
+void RepairEngine::collect_orphans(std::size_t& budget, RepairOutcome& out) {
+  obs::Observability* obs = client_.observability().get();
+  const TimePoint now = client_.clock().now();
+  const std::vector<DurabilityTracker::OrphanKey> collectable =
+      tracker_->collectable_orphans(client_.image().version(), now,
+                                    config_.orphan_grace);
+  for (const DurabilityTracker::OrphanKey& key : collectable) {
+    if (budget == 0) break;
+    // Last-line recheck against the FRESHEST committed image we hold: if a
+    // commit adopted the object since quarantine began, it is live data.
+    if (block_referenced(client_.image(), key.cloud, key.name)) {
+      tracker_->drop_orphan(key);
+      continue;
+    }
+    cloud::CloudProvider* provider = client_.guarded_cloud(key.cloud);
+    if (provider == nullptr) continue;
+    const Status status =
+        provider->remove(std::string(metadata::kDataDir) + "/" + key.name);
+    if (status.is_ok() || status.code() == ErrorCode::kNotFound) {
+      tracker_->drop_orphan(key);
+      ++out.orphans_collected;
+      obs::add_counter(obs, "repair.orphans_collected");
+      --budget;
+    } else {
+      ++out.failures;
+    }
+  }
+}
+
+}  // namespace unidrive::repair

@@ -1,0 +1,43 @@
+// CompletionLatch — tiny join primitive for fanning scrub/repair RPCs out
+// over the async cloud API (cloud/async.h) and waiting for all completions.
+//
+// The scrubber and the repair engine launch a bounded batch of *_async
+// verbs, each completion calls arrive(), and the issuing thread blocks in
+// wait() until the batch drains. Completions never run on the caller's
+// stack (AsyncCloud invariant 1), so launching everything before waiting
+// cannot deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace unidrive::repair {
+
+class CompletionLatch {
+ public:
+  // Registers one expected completion. Call before launching the op.
+  void expect(std::size_t n = 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    expected_ += n;
+  }
+
+  void arrive() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++arrived_;
+    if (arrived_ >= expected_) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return arrived_ >= expected_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t expected_ = 0;
+  std::size_t arrived_ = 0;
+};
+
+}  // namespace unidrive::repair

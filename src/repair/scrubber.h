@@ -1,0 +1,98 @@
+// Scrubber — walks the committed SyncFolderImage and checks that every
+// cloud still holds the blocks the metadata promises.
+//
+// One pass has three phases, all driven through the async cloud API so a
+// pass costs completions, not pool threads:
+//
+//   probe        one list(/data) per admissible cloud. Size+presence of
+//                every referenced block is checked against the listing:
+//                absent -> missing defect, wrong size -> corrupt defect.
+//                Clouds with an open breaker are skipped, never blamed.
+//   deep verify  a rotating sample of segments is fully downloaded,
+//                decoded against the segment's content hash and each
+//                stored block compared to its re-encoded codeword row —
+//                the only way to catch same-size bit-rot.
+//   orphans      listing names no committed segment references are handed
+//                to the DurabilityTracker's quarantine (never deleted
+//                here; the repair engine collects them after the
+//                quarantine elapsed).
+//
+// A cloud whose breaker has been open for `cloud_lost_after_passes`
+// consecutive passes is escalated to kCloudLost: its referenced blocks
+// become defects and the repair engine re-homes them onto healthy clouds.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/client.h"
+#include "repair/durability.h"
+
+namespace unidrive::repair {
+
+struct ScrubConfig {
+  // Segments fully downloaded + re-encoded per pass (the expensive check;
+  // the cursor rotates so successive passes cover the whole pool).
+  std::size_t deep_verify_segments = 2;
+  // Consecutive breaker-open passes before a cloud's blocks are treated as
+  // permanently lost and re-homed. Generous by default: re-homing is
+  // expensive and outages (Fig. 14) usually end.
+  int cloud_lost_after_passes = 8;
+};
+
+struct ScrubReport {
+  std::size_t pass = 0;
+  std::size_t clouds_probed = 0;
+  std::size_t clouds_skipped = 0;     // breaker open or listing failed
+  std::size_t blocks_expected = 0;    // referenced placements in the image
+  std::size_t blocks_probed = 0;      // placements actually checked
+  std::size_t segments_deep_verified = 0;
+  // NEW defects recorded this pass (re-sightings are not counted again).
+  std::size_t missing = 0;
+  std::size_t corrupt = 0;
+  std::size_t cloud_lost = 0;
+  std::size_t orphans_sighted = 0;    // current quarantine input
+  std::size_t healed_externally = 0;  // defects that resolved without us
+};
+
+class Scrubber {
+ public:
+  Scrubber(core::UniDriveClient& client,
+           std::shared_ptr<DurabilityTracker> tracker, ScrubConfig config);
+
+  // One bounded scrub pass over the client's committed image. Runs on the
+  // caller's thread; RPCs fan out over the async layer.
+  ScrubReport run_pass();
+
+ private:
+  struct Listing {
+    bool ok = false;
+    std::map<std::string, std::uint64_t> files;  // name -> size
+  };
+
+  void probe_blocks(const metadata::SyncFolderImage& image,
+                    const std::map<cloud::CloudId, Listing>& listings,
+                    TimePoint now, ScrubReport& report);
+  void escalate_lost_clouds(const metadata::SyncFolderImage& image,
+                            TimePoint now, ScrubReport& report);
+  void collect_orphans(const metadata::SyncFolderImage& image,
+                       const std::map<cloud::CloudId, Listing>& listings,
+                       TimePoint now, ScrubReport& report);
+  void deep_verify(const metadata::SyncFolderImage& image,
+                   const std::set<cloud::CloudId>& listed, TimePoint now,
+                   ScrubReport& report);
+  void verify_segment(const metadata::SegmentInfo& segment,
+                      const std::set<cloud::CloudId>& listed, TimePoint now,
+                      ScrubReport& report);
+
+  core::UniDriveClient& client_;
+  std::shared_ptr<DurabilityTracker> tracker_;
+  ScrubConfig config_;
+  std::size_t pass_ = 0;
+  std::string deep_cursor_;  // last deep-verified segment id (rotation)
+  std::map<cloud::CloudId, int> open_passes_;  // consecutive skipped passes
+};
+
+}  // namespace unidrive::repair

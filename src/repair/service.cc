@@ -1,0 +1,63 @@
+#include "repair/service.h"
+
+namespace unidrive::repair {
+
+RepairService::RepairService(core::UniDriveClient& client,
+                             RepairServiceConfig config)
+    : client_(client),
+      config_(config),
+      tracker_(client.durability()),
+      scrubber_(client, tracker_, config.scrub),
+      engine_(client, tracker_, config.repair) {}
+
+Status RepairService::run_slice(const core::MaintenanceBudget& budget) {
+  std::size_t slice = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slice = slice_++;
+  }
+
+  ScrubReport scrub;
+  bool scrubbed = false;
+  if (config_.scrub_every > 0 &&
+      slice % static_cast<std::size_t>(config_.scrub_every) == 0) {
+    scrub = scrubber_.run_pass();
+    scrubbed = true;
+  }
+
+  const RepairOutcome repair = engine_.run_slice(budget.blocks);
+
+  // Publish the durability rollup (the same one sync() surfaces) so a
+  // daemon that is only running maintenance still keeps gauges current.
+  const auto& cfg = client_.config();
+  const auto& health = client_.health();
+  const DurabilitySummary summary = tracker_->summarize(
+      client_.image(), cfg.k, cfg.redundancy_floor,
+      [&health](cloud::CloudId id) { return health->admissible(id); });
+  publish_durability_gauges(summary, client_.observability().get());
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.slices;
+    if (scrubbed) {
+      ++totals_.scrub_passes;
+      totals_.defects_found += scrub.missing + scrub.corrupt + scrub.cloud_lost;
+      totals_.last_scrub = scrub;
+    }
+    totals_.blocks_healed += repair.blocks_healed;
+    totals_.rehomed += repair.rehomed;
+    totals_.orphans_collected += repair.orphans_collected;
+    totals_.failures += repair.failures;
+    totals_.unrecoverable += repair.unrecoverable;
+    totals_.last_repair = repair;
+  }
+  // Per-block failures are counted, not fatal: the next slice retries.
+  return Status::ok();
+}
+
+RepairService::Totals RepairService::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totals_;
+}
+
+}  // namespace unidrive::repair

@@ -1,0 +1,64 @@
+// RepairService — packages Scrubber + RepairEngine as the SyncDaemon's
+// paced background MaintenanceTask.
+//
+// Every slice: (optionally) one scrub pass, then one budget-bounded repair
+// slice, then a durability rollup published as repair.* gauges. The daemon
+// owns the pacing (every Nth round, shrunken budget after busy foreground
+// rounds); the service owns the policy of spending whatever budget arrives.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "core/sync_daemon.h"
+#include "repair/durability.h"
+#include "repair/engine.h"
+#include "repair/scrubber.h"
+
+namespace unidrive::repair {
+
+struct RepairServiceConfig {
+  ScrubConfig scrub;
+  RepairConfig repair;
+  // Scrub on every Nth slice (1 = every slice). Repair runs every slice —
+  // the ledger usually outlives the pass that filled it.
+  int scrub_every = 1;
+};
+
+class RepairService final : public core::MaintenanceTask {
+ public:
+  explicit RepairService(core::UniDriveClient& client,
+                         RepairServiceConfig config = {});
+
+  Status run_slice(const core::MaintenanceBudget& budget) override;
+
+  struct Totals {
+    std::size_t slices = 0;
+    std::size_t scrub_passes = 0;
+    std::size_t defects_found = 0;      // new defects across all passes
+    std::size_t blocks_healed = 0;
+    std::size_t rehomed = 0;
+    std::size_t orphans_collected = 0;
+    std::size_t failures = 0;
+    std::size_t unrecoverable = 0;
+    ScrubReport last_scrub;
+    RepairOutcome last_repair;
+  };
+  [[nodiscard]] Totals totals() const;
+  [[nodiscard]] const std::shared_ptr<DurabilityTracker>& tracker()
+      const noexcept {
+    return tracker_;
+  }
+
+ private:
+  core::UniDriveClient& client_;
+  RepairServiceConfig config_;
+  std::shared_ptr<DurabilityTracker> tracker_;
+  Scrubber scrubber_;
+  RepairEngine engine_;
+  mutable std::mutex mutex_;  // guards totals_ and slice_
+  Totals totals_;
+  std::size_t slice_ = 0;
+};
+
+}  // namespace unidrive::repair

@@ -1,0 +1,68 @@
+// Defect taxonomy of the scrub-and-repair subsystem.
+//
+// UniDrive's (k, n) dispersal *tolerates* a missing cloud at read time, but
+// nothing in the sync protocol ever notices that a provider silently dropped
+// or bit-rotted a block — redundancy erodes invisibly until a restore fails.
+// The scrubber turns those silent events into explicit Defect records, the
+// repair engine drains them, and the DurabilityTracker is the ledger both
+// share (and the SyncReport durability summary reads).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cloud/provider.h"
+#include "common/clock.h"
+
+namespace unidrive::repair {
+
+enum class DefectKind : std::uint8_t {
+  // The committed metadata references the block but the cloud no longer
+  // stores an object at its path (provider lost it, or an operator deleted
+  // it behind UniDrive's back).
+  kMissingBlock = 0,
+  // The object exists but its bytes are not the RS codeword row the
+  // metadata promises: wrong size (cheap probe) or wrong content (deep
+  // verify against a hash-verified decode).
+  kCorruptBlock = 1,
+  // An object in /data that no committed segment references. Usually debris
+  // of a torn upload or a client that died between block upload and
+  // metadata commit; collected only after a quarantine (see
+  // DurabilityTracker) so an upload racing toward its commit is never
+  // deleted from under it.
+  kOrphanBlock = 2,
+  // Escalation of cloud/health breaker state: the cloud has been refusing
+  // requests for so many consecutive scrub passes that its blocks are
+  // treated as gone and re-homed onto healthy clouds.
+  kCloudLost = 3,
+};
+
+const char* defect_kind_name(DefectKind kind) noexcept;
+
+// One defective block. (segment_id, block_index, cloud) identifies the
+// placement; detected_at is when the scrubber first saw the defect, so
+// heal time minus it is the MTTR sample.
+struct Defect {
+  DefectKind kind = DefectKind::kMissingBlock;
+  std::string segment_id;
+  std::uint32_t block_index = 0;
+  cloud::CloudId cloud = 0;
+  TimePoint detected_at = 0.0;
+};
+
+// Point-in-time data-health rollup over a committed image, combining the
+// defect ledger with breaker admissibility. Carried in SyncReport so
+// degraded mode reflects data durability, not just cloud reachability.
+struct DurabilitySummary {
+  std::size_t segments = 0;         // live (referenced) segments considered
+  std::size_t min_surviving = 0;    // min distinct healthy blocks of any segment
+  // min_surviving - k: 0 = some segment has zero margin, negative = some
+  // segment cannot be decoded from the clouds at all.
+  long long min_redundancy = 0;
+  std::size_t under_replicated = 0; // segments with surviving < k + floor
+  std::size_t unrecoverable = 0;    // segments with surviving < k
+  std::size_t repair_backlog = 0;   // defective blocks awaiting repair
+  std::size_t orphans_quarantined = 0;
+};
+
+}  // namespace unidrive::repair

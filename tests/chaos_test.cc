@@ -5,8 +5,10 @@
 // and half-open re-admission of recovered clouds.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cloud/faulty_cloud.h"
@@ -16,6 +18,9 @@
 #include "common/rng.h"
 #include "core/client.h"
 #include "core/local_fs.h"
+#include "core/sync_daemon.h"
+#include "metadata/types.h"
+#include "repair/service.h"
 
 namespace unidrive::core {
 namespace {
@@ -219,6 +224,139 @@ TEST(ChaosTest, HangingCloudIsTimedOutAndSyncStillCompletes) {
   auto r = reader.sync();
   ASSERT_TRUE(r.is_ok()) << r.status().to_string();
   EXPECT_EQ(fs_b->read("/slow").value(), content);
+}
+
+// The scrub-and-repair maintenance loop running inside device A's daemon,
+// concurrent with device B's foreground sync, while clouds silently rot and
+// drop blocks AND flake transiently. The daemon thread and the main thread
+// contend for the quorum lock (repair placement commits vs foreground file
+// commits); nothing may be lost and redundancy must be fully restored once
+// the chaos quiets.
+TEST(ChaosTest, ScrubAndRepairHealSilentDefectsUnderConcurrentSync) {
+  ManualClock clock;
+  ChaosClouds cc = make_chaos_clouds(5, clock);
+  {
+    cloud::FaultProfile flappy;  // honest transient failures
+    flappy.base_failure_rate = 0.1;
+    cc.faulty[0]->set_profile(flappy);
+    cloud::FaultProfile rotten;  // silent same-size corruption
+    rotten.bitrot_rate = 0.2;
+    cc.faulty[3]->set_profile(rotten);
+    cloud::FaultProfile leaky;  // uploads report OK, store nothing
+    leaky.block_loss_rate = 0.2;
+    cc.faulty[1]->set_profile(leaky);
+  }
+
+  auto fs_a = std::make_shared<MemoryLocalFs>();
+  auto fs_b = std::make_shared<MemoryLocalFs>();
+  UniDriveClient a(cc.clouds, fs_a, chaos_config("devA", clock), clock,
+                   Rng(71));
+  UniDriveClient b(cc.clouds, fs_b, chaos_config("devB", clock), clock,
+                   Rng(72));
+
+  repair::RepairServiceConfig repair_cfg;
+  repair_cfg.scrub.deep_verify_segments = 16;  // whole pool, every pass
+  repair_cfg.scrub.cloud_lost_after_passes = 1000;  // outages here are
+                                                    // transient: never rehome
+  auto service = std::make_shared<repair::RepairService>(a, repair_cfg);
+  core::DaemonConfig daemon_cfg;
+  daemon_cfg.sync_interval = 0.01;
+  daemon_cfg.maintenance = service;
+  core::SyncDaemon daemon(a, daemon_cfg);
+  daemon.start();
+
+  // Foreground churn on B while A's daemon syncs and scrubs concurrently.
+  Rng rng(81);
+  std::size_t fabricated_conflicts = 0;
+  const auto settle = [&](UniDriveClient& c) {
+    for (int tries = 0; tries < 8; ++tries) {
+      auto r = c.sync();
+      if (r.is_ok()) {
+        fabricated_conflicts += r.value().conflicts.size();
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int round = 0; round < 3; ++round) {
+    const std::string suffix = std::to_string(round);
+    ASSERT_TRUE(
+        fs_a->write("/a_" + suffix, ByteSpan(payload(rng, 30000))).is_ok());
+    ASSERT_TRUE(
+        fs_b->write("/b_" + suffix, ByteSpan(payload(rng, 30000))).is_ok());
+    ASSERT_TRUE(settle(b));
+  }
+
+  // On top of the probabilistic injection, guarantee at least one loss and
+  // one rot against committed placements of B's image.
+  bool dropped = false, rotted = false;
+  for (const auto& [id, seg] : b.image().segments()) {
+    if (seg.refcount == 0) continue;
+    for (const metadata::BlockLocation& loc : seg.blocks) {
+      if (!dropped && loc.cloud == 2) {
+        ASSERT_TRUE(
+            cc.faulty[2]->drop_stored(metadata::block_path(id, loc.block_index))
+                .is_ok());
+        dropped = true;
+      } else if (!rotted && loc.cloud == 4) {
+        ASSERT_TRUE(
+            cc.faulty[4]->rot_stored(metadata::block_path(id, loc.block_index))
+                .is_ok());
+        rotted = true;
+      }
+    }
+  }
+  ASSERT_TRUE(dropped);
+  ASSERT_TRUE(rotted);
+
+  // Quiet the chaos and let the maintenance loop drain the defect ledger:
+  // every injected defect healed, nothing left in the backlog.
+  for (auto& f : cc.faulty) f->set_profile(cloud::FaultProfile{});
+  clock.advance(301.0);  // any open breaker may probe again
+  bool drained = false;
+  for (int i = 0; i < 1000 && !drained; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    drained = service->totals().blocks_healed >= 2 &&
+              a.durability()->backlog() == 0;
+  }
+  daemon.stop();
+  ASSERT_TRUE(drained) << "backlog " << a.durability()->backlog()
+                       << ", healed " << service->totals().blocks_healed;
+  EXPECT_GT(daemon.stats().maintenance_slices, 0u);
+  EXPECT_EQ(daemon.stats().maintenance_errors, 0u);
+  EXPECT_GE(service->totals().scrub_passes, 1u);
+
+  // Convergence: a final quiet round each way, then both replicas hold all
+  // six files with identical content and no conflict was fabricated.
+  ASSERT_TRUE(settle(b));
+  auto ra = daemon.sync_once();
+  ASSERT_TRUE(ra.is_ok()) << ra.status().to_string();
+  ASSERT_TRUE(settle(b));
+  EXPECT_EQ(fabricated_conflicts, 0u);
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string prefix : {"/a_", "/b_"}) {
+      const std::string path = prefix + std::to_string(round);
+      auto from_a = fs_a->read(path);
+      auto from_b = fs_b->read(path);
+      ASSERT_TRUE(from_a.is_ok()) << path << " missing on devA";
+      ASSERT_TRUE(from_b.is_ok()) << path << " missing on devB";
+      EXPECT_EQ(from_a.value(), from_b.value()) << path;
+    }
+  }
+
+  // Durability ground truth: a fresh device with an empty folder restores
+  // every file from the (healed) clouds alone.
+  auto fs_c = std::make_shared<MemoryLocalFs>();
+  UniDriveClient reader(cc.clouds, fs_c, chaos_config("devC", clock), clock,
+                        Rng(73));
+  ASSERT_TRUE(settle(reader));
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string prefix : {"/a_", "/b_"}) {
+      const std::string path = prefix + std::to_string(round);
+      ASSERT_TRUE(fs_c->read(path).is_ok()) << path << " unrestorable";
+      EXPECT_EQ(fs_c->read(path).value(), fs_b->read(path).value()) << path;
+    }
+  }
 }
 
 }  // namespace
