@@ -29,17 +29,9 @@ void run() {
   for (std::size_t e = 0; e < trial.events.size(); e += stride) {
     const auto& event = trial.events[e];
     const auto& site = trial.sites[event.site];
-    sim::LocationProfile location{site.name, site.region, 0};
 
-    const std::uint64_t seed = 27100 + e;
-    sim::SimEnv env(seed);
-    sim::CloudSet set = sim::make_cloud_set(env, location, seed);
-    advance_to(env, event.time);
-
-    UniDriveRunOptions options;
-    const UpDown r = unidrive_updown(env, set, event.bytes, options);
-    if (r.up <= 0) continue;
-    const double mbps = static_cast<double>(event.bytes) * 8 / r.up / 1e6;
+    const double mbps = replay_trial_upload(trial, e, 27100 + e);
+    if (mbps < 0) continue;
 
     const char* region_name = [&] {
       switch (site.region) {

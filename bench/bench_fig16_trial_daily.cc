@@ -31,20 +31,10 @@ void run() {
     if (workload::size_class_of(event.bytes) != 1) continue;  // medium only
     if (replayed++ % 3 != 0) continue;  // sample 1/3 to bound runtime
 
-    const auto& site = trial.sites[event.site];
-    sim::LocationProfile location{site.name, site.region, 0};
-    const std::uint64_t seed = 28100 + e;
-    sim::SimEnv env(seed);
-    sim::CloudSet set = sim::make_cloud_set(env, location, seed);
-    advance_to(env, event.time);
-    const UpDown r = unidrive_updown(env, set, event.bytes,
-                                     UniDriveRunOptions{});
-    if (r.up <= 0) continue;
+    const double mbps = replay_trial_upload(trial, e, 28100 + e);
+    if (mbps < 0) continue;
     const auto day = static_cast<std::size_t>(event.time / 86400.0);
-    if (day < 7) {
-      daily[event.site][day].add(
-          static_cast<double>(event.bytes) * 8 / r.up / 1e6);
-    }
+    if (day < 7) daily[event.site][day].add(mbps);
   }
 
   std::printf("%-12s", "site");

@@ -119,6 +119,22 @@ double measure_raw(sim::SimEnv& env, sim::SimCloud& cloud,
 
 void advance_to(sim::SimEnv& env, double t) { env.run_until(t); }
 
+double replay_trial_upload(const workload::Trial& trial,
+                           std::size_t event_index, std::uint64_t seed,
+                           const UniDriveRunOptions& options) {
+  const workload::UploadEvent& event = trial.events[event_index];
+  const workload::TrialSite& site = trial.sites[event.site];
+  sim::LocationProfile location{site.name, site.region, 0};
+
+  sim::SimEnv env(seed);
+  sim::CloudSet set = sim::make_cloud_set(env, location, seed);
+  advance_to(env, event.time);
+
+  const UpDown r = unidrive_updown(env, set, event.bytes, options);
+  if (r.up <= 0) return -1.0;
+  return static_cast<double>(event.bytes) * 8 / r.up / 1e6;
+}
+
 std::size_t fastest_native_cloud(const sim::LocationProfile& location) {
   std::size_t best = 0;
   double best_rate = 0;

@@ -17,6 +17,7 @@
 #include "sim/e2e.h"
 #include "sim/profiles.h"
 #include "sim/transfer_run.h"
+#include "workload/trial.h"
 
 namespace unidrive::bench {
 
@@ -102,6 +103,16 @@ UpDown intuitive_updown(sim::SimEnv& env, sim::CloudSet& set,
 // Fastest native cloud at this location for the given direction, by the
 // static profile (used for "best CCS at each location" speedups).
 std::size_t fastest_native_cloud(const sim::LocationProfile& location);
+
+// --- trial replay (Figures 15/16) ----------------------------------------
+//
+// Replays one trial upload event as a UniDrive upload at its originating
+// site, in a fresh virtual-time environment seeded with `seed` and advanced
+// to the event's timestamp. Returns the achieved upload throughput in Mbps,
+// or a negative value if the transfer failed.
+double replay_trial_upload(const workload::Trial& trial,
+                           std::size_t event_index, std::uint64_t seed,
+                           const UniDriveRunOptions& options = {});
 
 // Raw Web-API request measurement (the Section 3.2 measurement client):
 // one upload or download of `bytes` to one cloud, starting now. Returns the

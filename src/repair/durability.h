@@ -15,7 +15,7 @@
 // referencing them commits, so an object that is still unreferenced after
 // a later commit landed was not part of that commit; (c) bounds the
 // exposure of a slow uploader that has not reached its commit yet (the
-// grace must exceed any client's upload-to-commit window — see DESIGN §11).
+// grace must exceed any client's upload-to-commit window — see DESIGN §10d).
 #pragma once
 
 #include <functional>

@@ -37,7 +37,7 @@ namespace unidrive::repair {
 
 struct RepairConfig {
   // Quarantine a scrub-sighted orphan must serve before deletion; must
-  // exceed any client's worst-case upload-to-commit window (DESIGN §11).
+  // exceed any client's worst-case upload-to-commit window (DESIGN §10d).
   Duration orphan_grace = 600.0;
 };
 

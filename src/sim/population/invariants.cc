@@ -1,0 +1,116 @@
+#include "sim/population/invariants.h"
+
+#include <algorithm>
+#include <set>
+
+#include "metadata/types.h"
+
+namespace unidrive::sim::population {
+
+std::string token_marker(std::uint64_t token) {
+  return "[T" + std::to_string(token) + "]";
+}
+
+void FolderOracle::record_commit(const std::string& path, std::uint64_t token,
+                                 std::uint64_t version) {
+  ++commits_;
+  const auto deleted = deleted_at_.find(path);
+  if (deleted != deleted_at_.end() && deleted->second >= version) return;
+  auto it = expected_.find(path);
+  if (it != expected_.end() && it->second.version >= version) return;
+  expected_[path] = ExpectedEdit{token, version};
+}
+
+void FolderOracle::record_delete(const std::string& path,
+                                 std::uint64_t version) {
+  ++commits_;
+  auto it = expected_.find(path);
+  if (it != expected_.end() && it->second.version <= version) {
+    expected_.erase(it);
+  }
+  std::uint64_t& mark = deleted_at_[path];
+  mark = std::max(mark, version);
+}
+
+namespace {
+
+bool contains(const Bytes& haystack, const std::string& needle) {
+  if (needle.empty() || haystack.size() < needle.size()) return false;
+  const auto* begin = reinterpret_cast<const char*>(haystack.data());
+  return std::search(begin, begin + haystack.size(), needle.begin(),
+                     needle.end()) != begin + haystack.size();
+}
+
+}  // namespace
+
+AuditOutcome audit_folder(const AuditContext& ctx) {
+  AuditOutcome out;
+
+  // --- 1. lost updates: every expected token findable in some file -------
+  std::vector<Bytes> contents;
+  for (const std::string& path : ctx.fs->list_files()) {
+    auto data = ctx.fs->read(path);
+    if (data.is_ok()) contents.push_back(std::move(data).take());
+  }
+  for (const auto& [path, edit] : ctx.oracle->expected()) {
+    ++out.expected_tokens;
+    const std::string marker = token_marker(edit.token);
+    const bool found =
+        std::any_of(contents.begin(), contents.end(),
+                    [&](const Bytes& c) { return contains(c, marker); });
+    if (!found) ++out.missing_tokens;
+  }
+
+  // --- 2. durability: survivors per committed segment --------------------
+  // One list per ground-truth store, then set membership per placement.
+  std::map<cloud::CloudId, std::set<std::string>> present;
+  for (const auto& [id, store] : ctx.raw) {
+    auto listing = store->list(metadata::kDataDir);
+    auto& names = present[id];
+    if (listing.is_ok()) {
+      for (const auto& info : listing.value()) names.insert(info.name);
+    }
+  }
+  // Referenced = reachable from a current file snapshot. Refcounts are NOT
+  // trusted: a pure reader's image arrives through changelist decode, which
+  // leaves every refcount at zero until the next local merge rebuilds them.
+  std::set<std::string> referenced;
+  for (const auto& [path, snapshot] : ctx.image->files()) {
+    for (const std::string& id : snapshot.segment_ids) referenced.insert(id);
+  }
+  for (const auto& [segment_id, segment] : ctx.image->segments()) {
+    if (referenced.count(segment_id) == 0) continue;
+    ++out.segments;
+    std::size_t survivors = 0;
+    bool missing_ledgered = false;
+    bool any_missing = false;
+    for (const metadata::BlockLocation& loc : segment.blocks) {
+      const auto it = present.find(loc.cloud);
+      const bool exists =
+          it != present.end() &&
+          it->second.count(
+              metadata::block_name(segment_id, loc.block_index)) > 0;
+      if (exists) {
+        ++survivors;
+      } else {
+        any_missing = true;
+        if (ctx.ledger != nullptr &&
+            ctx.ledger->is_defective(segment_id, loc.block_index, loc.cloud)) {
+          missing_ledgered = true;
+        }
+      }
+    }
+    out.min_survivors = std::min(out.min_survivors, survivors);
+    if (survivors < ctx.k) {
+      ++out.unrecoverable;
+    } else if (survivors < ctx.k + ctx.redundancy_floor) {
+      ++out.under_replicated;
+      if (ctx.ledger != nullptr && any_missing && !missing_ledgered) {
+        ++out.underrep_unledgered;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace unidrive::sim::population

@@ -1,0 +1,101 @@
+// Continuous invariant checking for the population harness.
+//
+// Two fleet-level correctness properties are enforced while the simulation
+// runs (not just at the end):
+//
+//   1. No lost updates. Every edit a simulated client commits embeds a
+//      unique token in the file content; the per-folder FolderOracle keeps
+//      the latest committed token per path (ordered by the commit's version
+//      counter, i.e. the quorum-lock serialization order). An audit
+//      materializes a fresh reader device, restores the folder through the
+//      real download path, and requires every expected token to appear in
+//      some file's content — keep-both conflict copies count, so a token
+//      surviving only under a conflict name is not a loss.
+//
+//   2. No silent durability collapse. The audit counts, for every committed
+//      segment, how many of its placements actually exist on the raw
+//      ground-truth stores (beneath all fault injectors). A segment with
+//      fewer than k survivors is unrecoverable — the hard-gated fleet
+//      counter. A segment that lost redundancy (fewer than k + floor
+//      survivors) while NO defect ledger entry covers any missing placement
+//      is "under-replicated and unledgered": the scrub-and-repair loop has
+//      not noticed yet. The strict (end-of-soak) audit requires that count
+//      to be zero for folders running a scrub anchor.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/memory_cloud.h"
+#include "core/local_fs.h"
+#include "metadata/image.h"
+#include "repair/durability.h"
+
+namespace unidrive::sim::population {
+
+// Content marker for edit token `t`: "[T<t>]". The filler around it is
+// random bytes, so a committed marker appearing by chance is ~2^-80.
+std::string token_marker(std::uint64_t token);
+
+struct ExpectedEdit {
+  std::uint64_t token = 0;
+  std::uint64_t version = 0;  // commit's version counter (serialization order)
+};
+
+// Ground-truth model of one shared folder: what the fleet committed, in
+// quorum-lock order. O(paths) per folder, maintained only for folders that
+// were ever materialized.
+class FolderOracle {
+ public:
+  // A sync round committed `token` as the content of `path` at version
+  // `version`. Later versions win; an out-of-order record is ignored.
+  void record_commit(const std::string& path, std::uint64_t token,
+                     std::uint64_t version);
+  // A sync round committed the deletion of `path`.
+  void record_delete(const std::string& path, std::uint64_t version);
+
+  [[nodiscard]] const std::map<std::string, ExpectedEdit>& expected()
+      const noexcept {
+    return expected_;
+  }
+  [[nodiscard]] std::uint64_t commits() const noexcept { return commits_; }
+
+ private:
+  std::map<std::string, ExpectedEdit> expected_;
+  // Deletions must outrank stale re-records: a delete at v7 followed by a
+  // late record_commit(v6) must not resurrect the expectation.
+  std::map<std::string, std::uint64_t> deleted_at_;
+  std::uint64_t commits_ = 0;
+};
+
+// Everything one audit needs to judge one folder. The auditor client has
+// already synced (its image/local folder are the restored view).
+struct AuditContext {
+  const metadata::SyncFolderImage* image = nullptr;  // auditor's view
+  const core::LocalFs* fs = nullptr;                 // auditor's folder
+  const FolderOracle* oracle = nullptr;
+  // Ground-truth stores, keyed by the cloud id they were enrolled under
+  // (survives add/remove-cloud churn: a removed cloud's store stays here).
+  std::map<cloud::CloudId, cloud::MemoryCloud*> raw;
+  // Defect ledger of the folder's scrub anchor; null when the folder runs
+  // no maintenance (the unledgered check is skipped then).
+  const repair::DurabilityTracker* ledger = nullptr;
+  std::size_t k = 3;
+  std::size_t redundancy_floor = 1;
+};
+
+struct AuditOutcome {
+  std::size_t expected_tokens = 0;
+  std::size_t missing_tokens = 0;       // lost updates
+  std::size_t segments = 0;
+  std::size_t unrecoverable = 0;        // survivors < k
+  std::size_t under_replicated = 0;     // k <= survivors < k + floor
+  std::size_t underrep_unledgered = 0;  // ...and no ledger entry covers it
+  std::size_t min_survivors = SIZE_MAX;  // SIZE_MAX when no segments
+};
+
+AuditOutcome audit_folder(const AuditContext& ctx);
+
+}  // namespace unidrive::sim::population

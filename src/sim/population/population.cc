@@ -1,0 +1,776 @@
+#include "sim/population/population.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "metadata/types.h"
+#include "repair/service.h"
+
+namespace unidrive::sim::population {
+
+namespace {
+
+constexpr std::size_t kNoClient = static_cast<std::size_t>(-1);
+
+// Propagation latencies stretch from sub-second (a live folder-mate pulls on
+// its next step) to a full poll interval plus a degraded sync; the default
+// request-latency bounds top out at 2 minutes and would flatten the tail.
+std::vector<double> propagation_bounds() {
+  return {0.1,  0.25, 0.5,  1,    2,    5,    10,   20,   40,   60,  90,
+          120,  180,  240,  300,  420,  600,  900,  1200, 1800, 2700, 3600};
+}
+
+std::uint64_t sum_cloud_counters(const obs::MetricsSnapshot& snap,
+                                 const std::string& suffix) {
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("cloud.", 0) != 0) continue;
+    if (name.size() < suffix.size()) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    total += value;
+  }
+  return total;
+}
+
+std::uint64_t folder_seed(std::uint64_t base, std::size_t folder) {
+  // splitmix64 step over (base, folder) so folders get decorrelated streams.
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (folder + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+PopulationHarness::PopulationHarness(FleetConfig config)
+    : config_(config), env_(config.seed), world_(0.0), rng_(config.seed) {
+  virtual_sleep_ = [this](Duration d) { world_.advance(d); };
+  obs_ = std::make_shared<obs::Observability>(world_);
+  // Pre-create the tail histogram with propagation-scale bounds (the first
+  // histogram() call pins the bounds for the name).
+  obs_->metrics.histogram("fleet.sync_latency", propagation_bounds());
+
+  config_.hot_folder_members =
+      std::max<std::size_t>(1, std::min(config_.hot_folder_members,
+                                        config_.num_clients));
+  config_.clients_per_folder = std::max<std::size_t>(1, config_.clients_per_folder);
+  const std::size_t rest = config_.num_clients - config_.hot_folder_members;
+  num_folders_ =
+      1 + (rest + config_.clients_per_folder - 1) / config_.clients_per_folder;
+
+  clients_.resize(config_.num_clients);
+  for (std::size_t c = 0; c < config_.num_clients; ++c) {
+    const std::size_t f = folder_of(c);
+    clients_[c].folder = static_cast<std::uint32_t>(f);
+    const auto [begin, end] = folder_members(f);
+    (void)end;
+    clients_[c].device = static_cast<std::uint16_t>(c - begin);
+  }
+  folders_.resize(num_folders_);
+
+  // Fleet arrival process: expected sessions/sec across the whole fleet,
+  // shaped by the same fluctuation model the cloud links use (diurnal swing
+  // + slot noise) and sampled by Lewis thinning against a fixed cap.
+  const double base_rate = static_cast<double>(config_.num_clients) *
+                           config_.sessions_per_client_per_day / 86400.0;
+  arrival_rate_ = fluctuating_bw(std::max(base_rate, 1e-9),
+                                 config_.arrival_shape, config_.seed ^ 0xa11);
+  arrival_rate_cap_ =
+      std::max(base_rate, 1e-9) * (1.0 + config_.arrival_shape.diurnal_amplitude) *
+      std::exp(3.0 * config_.arrival_shape.noise_sigma);
+}
+
+PopulationHarness::~PopulationHarness() = default;
+
+std::size_t PopulationHarness::folder_of(std::size_t client) const {
+  if (client < config_.hot_folder_members) return 0;
+  return 1 + (client - config_.hot_folder_members) / config_.clients_per_folder;
+}
+
+std::pair<std::size_t, std::size_t> PopulationHarness::folder_members(
+    std::size_t folder) const {
+  if (folder == 0) return {0, config_.hot_folder_members};
+  const std::size_t begin =
+      config_.hot_folder_members + (folder - 1) * config_.clients_per_folder;
+  return {begin, std::min(begin + config_.clients_per_folder,
+                          config_.num_clients)};
+}
+
+std::size_t PopulationHarness::idle_state_bytes() const {
+  // Only fleet-proportional bookkeeping counts: the per-client records and
+  // the (mostly null) folder pointer table. Materialized folder/session
+  // state is activity-proportional by design and excluded.
+  const std::size_t total = clients_.capacity() * sizeof(LightClient) +
+                            folders_.capacity() * sizeof(folders_[0]);
+  return total / std::max<std::size_t>(1, config_.num_clients);
+}
+
+PopulationHarness::FolderState& PopulationHarness::materialize_folder(
+    std::size_t folder) {
+  assert(folder < num_folders_);
+  if (folders_[folder]) return *folders_[folder];
+
+  auto state = std::make_unique<FolderState>();
+  state->rng_seed = folder_seed(config_.seed, folder);
+  for (std::size_t i = 0; i < config_.num_clouds; ++i) {
+    const auto id = static_cast<cloud::CloudId>(i);
+    auto memory =
+        std::make_shared<cloud::MemoryCloud>(id, "c" + std::to_string(i));
+    cloud::CloudPtr inner = memory;
+    std::shared_ptr<cloud::QuotaCloud> quota;
+    for (const QuotaBand& band : quota_bands_) {
+      if (band.stride != 0 && folder % band.stride == band.phase &&
+          band.cloud_index == i) {
+        quota = std::make_shared<cloud::QuotaCloud>(inner, band.bytes);
+        inner = quota;
+      }
+    }
+    auto faulty = std::make_shared<cloud::FaultyCloud>(
+        inner, cloud::FaultProfile{}, state->rng_seed + i, virtual_sleep_);
+    state->raw.push_back(memory);
+    state->quota.push_back(quota);
+    state->faulty.push_back(faulty);
+    state->enrolled.push_back(faulty);
+    state->raw_by_id[id] = memory.get();
+  }
+  state->next_cloud_id = static_cast<cloud::CloudId>(config_.num_clouds);
+  state->up_bw = fluctuating_bw(config_.base_up_bw, config_.link_shape,
+                                state->rng_seed ^ 0x55);
+  state->down_bw = fluctuating_bw(config_.base_down_bw, config_.link_shape,
+                                  state->rng_seed ^ 0xaa);
+  folders_[folder] = std::move(state);
+  touched_.push_back(folder);
+  return *folders_[folder];
+}
+
+std::unique_ptr<PopulationHarness::Session> PopulationHarness::make_session(
+    std::size_t folder, std::size_t client_id, const std::string& name) {
+  FolderState& state = materialize_folder(folder);
+  auto session = std::make_unique<Session>();
+  session->client_id = client_id;
+  session->folder = folder;
+  session->fs = std::make_shared<core::MemoryLocalFs>();
+
+  core::ClientConfig cfg;
+  cfg.device = name;
+  cfg.theta = config_.theta;
+  cfg.driver.connections_per_cloud = config_.connections_per_cloud;
+  cfg.pipeline.threads = std::max<std::size_t>(1, config_.client_threads);
+  cfg.lock.retry.backoff_base = 0.001;
+  cfg.lock.retry.backoff_cap = 0.01;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.backoff_base = 0.001;
+  cfg.retry.backoff_cap = 0.01;
+  cfg.breaker.consecutive_failures_to_open = 3;
+  cfg.breaker.open_duration = config_.breaker_open_duration;
+  cfg.redundancy_floor = config_.redundancy_floor;
+  cfg.sleep = virtual_sleep_;
+
+  session->client = std::make_unique<core::UniDriveClient>(
+      state.enrolled, session->fs, cfg, world_, rng_.fork());
+  return session;
+}
+
+void PopulationHarness::sync_world_clock() {
+  if (world_.now() < env_.now()) world_.set(env_.now());
+}
+
+double PopulationHarness::think_delay() {
+  return rng_.exponential(std::max(config_.mean_think, 1e-3));
+}
+
+// --- arrival process --------------------------------------------------------
+
+void PopulationHarness::schedule_next_arrival() {
+  if (draining_) return;
+  const double dt = rng_.exponential(1.0 / arrival_rate_cap_);
+  if (env_.now() + dt > config_.horizon) return;
+  env_.schedule(dt, [this] {
+    const double lambda =
+        std::min(arrival_rate_->at(env_.now()), arrival_rate_cap_);
+    if (rng_.next_double() * arrival_rate_cap_ < lambda) {
+      const std::size_t client = rng_.next_below(config_.num_clients);
+      try_activate(client, config_.ops_per_session, config_.activation_retries);
+    }
+    schedule_next_arrival();
+  });
+}
+
+void PopulationHarness::try_activate(std::size_t client_id, std::size_t ops,
+                                     std::size_t retries_left,
+                                     std::optional<PendingObservation> watch) {
+  sync_world_clock();
+  LightClient& lc = clients_[client_id];
+  if (lc.active) {
+    // Already materialized: hand any watch to the live session so the
+    // propagation of the triggering commit is still observed.
+    if (watch) {
+      auto it = live_.find(client_id);
+      if (it != live_.end()) it->second->pending.push_back(*watch);
+    }
+    return;
+  }
+  if (live_.size() >= config_.max_live_sessions) {
+    if (retries_left > 0) {
+      env_.schedule(think_delay(), [this, client_id, ops, retries_left, watch] {
+        try_activate(client_id, ops, retries_left - 1, watch);
+      });
+    } else {
+      ++result_.deferred;
+      obs::add_counter(obs_.get(), "fleet.deferred_activations");
+    }
+    return;
+  }
+
+  auto session = make_session(lc.folder, client_id,
+                              "d" + std::to_string(client_id));
+  session->ops_left = ops;
+  if (watch) session->pending.push_back(*watch);
+  lc.active = true;
+  std::shared_ptr<Session> shared = std::move(session);
+  live_[client_id] = shared;
+  ++result_.sessions;
+  result_.peak_live_sessions =
+      std::max(result_.peak_live_sessions, live_.size());
+  obs::set_gauge(obs_.get(), "fleet.live_sessions",
+                 static_cast<double>(live_.size()));
+  env_.schedule(0, [this, shared] { session_step(shared); });
+}
+
+// --- the session state machine ----------------------------------------------
+
+PopulationHarness::SyncOutcome PopulationHarness::run_sync(Session& session,
+                                                           int tries) {
+  sync_world_clock();
+  const double t0 = world_.now();
+  const obs::MetricsSnapshot before =
+      session.client->observability()->metrics.snapshot();
+
+  SyncOutcome out;
+  for (int attempt = 0; attempt < tries; ++attempt) {
+    auto r = session.client->sync();
+    if (r.is_ok()) {
+      out.ok = true;
+      out.report = std::move(r).take();
+      break;
+    }
+    ++result_.sync_errors;
+    obs::add_counter(obs_.get(), "fleet.sync_errors");
+  }
+  ++result_.syncs;
+  obs::add_counter(obs_.get(), "fleet.syncs");
+
+  // Virtual cost of the round: injected stalls already advanced the world
+  // clock; payload bytes ride the folder's fluctuating links and every cloud
+  // request pays its share of RPC latency (requests fan out across clouds).
+  const obs::MetricsSnapshot after =
+      session.client->observability()->metrics.snapshot();
+  const double up = static_cast<double>(sum_cloud_counters(after, ".bytes_up") -
+                                        sum_cloud_counters(before, ".bytes_up"));
+  const double down =
+      static_cast<double>(sum_cloud_counters(after, ".bytes_down") -
+                          sum_cloud_counters(before, ".bytes_down"));
+  const std::uint64_t ops_after = sum_cloud_counters(after, ".ok") +
+                                  sum_cloud_counters(after, ".err");
+  const std::uint64_t ops_before = sum_cloud_counters(before, ".ok") +
+                                   sum_cloud_counters(before, ".err");
+  const FolderState& folder = *folders_[session.folder];
+  const double fanout =
+      static_cast<double>(std::max<std::size_t>(1, folder.enrolled.size()));
+  const double stall = world_.now() - t0;
+  double cost = stall;
+  cost += up / std::max(1.0, folder.up_bw->at(env_.now()));
+  cost += down / std::max(1.0, folder.down_bw->at(env_.now()));
+  cost += static_cast<double>(ops_after - ops_before) * config_.request_latency /
+          fanout;
+  out.virt_cost = cost;
+  obs::observe(obs_.get(), "fleet.sync_cost", cost);
+
+  if (out.ok) {
+    note_applied(session);
+    if (out.report.committed) {
+      ++result_.commits;
+      result_.conflicts += out.report.conflicts.size();
+      obs::add_counter(obs_.get(), "fleet.commits");
+      obs::add_counter(obs_.get(), "fleet.conflicts",
+                       out.report.conflicts.size());
+      FolderState& mut = *folders_[session.folder];
+      const std::uint64_t counter = out.report.version.counter;
+      mut.latest_counter = std::max(mut.latest_counter, counter);
+      // Conflicted edits: the cloud's version won the original path and OUR
+      // content was kept at the conflict-copy path. Record the token where
+      // the content actually lives — otherwise a later (legitimate) delete
+      // of the conflict copy would read as a lost update.
+      std::map<std::string, std::string> conflicted;
+      for (const metadata::ConflictRecord& c : out.report.conflicts) {
+        if (!c.conflict_copy.empty()) conflicted[c.path] = c.conflict_copy;
+      }
+      for (const PendingEdit& edit : session.uncommitted) {
+        if (edit.is_delete) {
+          if (conflicted.count(edit.path) == 0) {
+            mut.oracle.record_delete(edit.path, counter);
+          }
+        } else {
+          const auto moved = conflicted.find(edit.path);
+          const std::string& where =
+              moved == conflicted.end() ? edit.path : moved->second;
+          mut.oracle.record_commit(where, edit.token, counter);
+        }
+      }
+      session.uncommitted.clear();
+      after_commit(session.folder, out.report, &session);
+    }
+  }
+  return out;
+}
+
+void PopulationHarness::note_applied(Session& session) {
+  const std::uint64_t applied =
+      session.client->image().version().counter;
+  if (session.client_id != kNoClient) {
+    clients_[session.client_id].last_applied = applied;
+  }
+  auto& pending = session.pending;
+  auto it = pending.begin();
+  while (it != pending.end()) {
+    if (it->counter <= applied) {
+      obs::observe(obs_.get(), "fleet.sync_latency",
+                   world_.now() - it->committed_at);
+      it = pending.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PopulationHarness::after_commit(std::size_t folder,
+                                     const core::SyncReport& report,
+                                     Session* committer) {
+  const PendingObservation watch{report.version.counter, world_.now()};
+
+  // Live folder-mates observe the propagation on their next pull.
+  for (auto& [id, session] : live_) {
+    if (session.get() == committer || session->folder != folder) continue;
+    session->pending.push_back(watch);
+  }
+
+  // Idle mates poll at period tau; rather than simulate every idle device's
+  // timer, wake a sample of them at a uniform offset within the interval —
+  // the latency distribution the fleet would see, at O(commits) cost.
+  const auto [begin, end] = folder_members(folder);
+  if (end <= begin) return;
+  const std::size_t span = end - begin;
+  for (std::size_t i = 0; i < config_.wake_fanout; ++i) {
+    const std::size_t member = begin + rng_.next_below(span);
+    LightClient& lc = clients_[member];
+    if (lc.active || lc.wake_pending) continue;
+    if (live_.count(member) != 0) continue;
+    lc.wake_pending = true;
+    const double delay = rng_.uniform(0.0, config_.poll_interval);
+    env_.schedule(delay, [this, member, watch] {
+      clients_[member].wake_pending = false;
+      try_activate(member, 0, 0, watch);
+    });
+  }
+}
+
+void PopulationHarness::session_step(const std::shared_ptr<Session>& session) {
+  sync_world_clock();
+  const SyncOutcome outcome = run_sync(*session, 4);
+
+  if (session->ops_left == 0) {
+    finish_session(session);
+    return;
+  }
+  --session->ops_left;
+
+  if (rng_.bernoulli(config_.edit_probability)) {
+    const std::vector<std::string> local = session->fs->list_files();
+    const bool do_delete =
+        !local.empty() && rng_.bernoulli(config_.delete_probability);
+    if (do_delete) {
+      const std::string path = local[rng_.next_below(local.size())];
+      if (session->fs->remove(path).is_ok()) {
+        session->uncommitted.push_back(PendingEdit{path, 0, true});
+      }
+    } else {
+      const std::size_t slot = rng_.next_below(config_.max_files_per_folder);
+      const std::string path = "/doc" + std::to_string(slot);
+      const std::uint64_t token = ++token_counter_;
+      const std::size_t range =
+          config_.max_file_bytes > config_.min_file_bytes
+              ? config_.max_file_bytes - config_.min_file_bytes + 1
+              : 1;
+      const std::size_t filler =
+          config_.min_file_bytes + rng_.next_below(range);
+      Bytes content = rng_.bytes(filler);
+      const std::string marker = token_marker(token);
+      const std::size_t offset = rng_.next_below(content.size() + 1);
+      content.insert(content.begin() + static_cast<std::ptrdiff_t>(offset),
+                     marker.begin(), marker.end());
+      if (session->fs->write(path, ByteSpan(content)).is_ok()) {
+        // A same-step overwrite of a still-uncommitted edit supersedes it.
+        auto& uc = session->uncommitted;
+        uc.erase(std::remove_if(uc.begin(), uc.end(),
+                                [&](const PendingEdit& e) {
+                                  return e.path == path;
+                                }),
+                 uc.end());
+        session->uncommitted.push_back(PendingEdit{path, token, false});
+      }
+    }
+  }
+
+  env_.schedule(outcome.virt_cost + think_delay(),
+                [this, session] { session_step(session); });
+}
+
+void PopulationHarness::finish_session(const std::shared_ptr<Session>& session) {
+  if (session->client_id != kNoClient) {
+    clients_[session->client_id].active = false;
+    live_.erase(session->client_id);
+  }
+  obs::set_gauge(obs_.get(), "fleet.live_sessions",
+                 static_cast<double>(live_.size()));
+}
+
+// --- scenario surface -------------------------------------------------------
+
+void PopulationHarness::set_fault_profile(std::size_t folder,
+                                          std::size_t cloud_index,
+                                          const cloud::FaultProfile& profile) {
+  FolderState& state = materialize_folder(folder);
+  if (cloud_index < state.faulty.size()) {
+    state.faulty[cloud_index]->set_profile(profile);
+  }
+}
+
+void PopulationHarness::quiesce_faults() {
+  for (auto& state : folders_) {
+    if (!state) continue;
+    for (auto& faulty : state->faulty) {
+      faulty->set_profile(cloud::FaultProfile{});
+      faulty->set_outage(false);
+    }
+  }
+}
+
+void PopulationHarness::set_quota_band(std::size_t stride, std::size_t phase,
+                                       std::size_t cloud_index,
+                                       std::uint64_t quota_bytes) {
+  quota_bands_.push_back(QuotaBand{stride, phase, cloud_index, quota_bytes});
+}
+
+void PopulationHarness::enable_repair_anchor(std::size_t folder) {
+  FolderState& state = materialize_folder(folder);
+  if (state.anchor) return;
+  state.chaos = true;
+  chaos_folders_.push_back(folder);
+  auto anchor = make_session(folder, kNoClient, "anchor" + std::to_string(folder));
+  anchor->is_anchor = true;
+  state.anchor = std::move(anchor);
+
+  repair::RepairServiceConfig repair_cfg;
+  repair_cfg.scrub.deep_verify_segments = 32;
+  // Outages in these scenarios are transient flaps: never escalate a dark
+  // cloud to "lost" and re-home its whole block population.
+  repair_cfg.scrub.cloud_lost_after_passes = 1000000;
+  state.repair =
+      std::make_shared<repair::RepairService>(*state.anchor->client, repair_cfg);
+
+  env_.schedule(config_.anchor_tick, [this, folder] { anchor_tick(folder); });
+}
+
+void PopulationHarness::anchor_tick(std::size_t folder) {
+  sync_world_clock();
+  FolderState& state = *folders_[folder];
+  if (!state.anchor) return;
+  run_sync(*state.anchor, 4);
+  (void)state.repair->run_slice(
+      core::MaintenanceBudget{config_.anchor_repair_blocks});
+  if (!draining_ && env_.now() < config_.horizon) {
+    env_.schedule(config_.anchor_tick, [this, folder] { anchor_tick(folder); });
+  }
+}
+
+void PopulationHarness::flash_crowd(std::size_t sessions, double window) {
+  const auto [begin, end] = folder_members(0);
+  const std::size_t span = std::max<std::size_t>(1, end - begin);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const std::size_t member = begin + rng_.next_below(span);
+    env_.schedule(rng_.uniform(0.0, std::max(window, 1e-3)),
+                  [this, member] {
+                    try_activate(member, config_.ops_per_session,
+                                 config_.activation_retries);
+                  });
+  }
+  obs::add_counter(obs_.get(), "fleet.flash_crowd_activations", sessions);
+}
+
+Status PopulationHarness::churn_cycle(std::size_t folder) {
+  sync_world_clock();
+  FolderState& state = materialize_folder(folder);
+
+  // A temporary member device executes the membership change through the
+  // real re-plan/rebalance path (anchors do it for chaos folders).
+  Session* actor = state.anchor.get();
+  std::unique_ptr<Session> temp;
+  if (actor == nullptr) {
+    temp = make_session(folder, kNoClient, "churn" + std::to_string(folder));
+    actor = temp.get();
+  }
+  const SyncOutcome pull = run_sync(*actor, 4);
+  if (!pull.ok) return make_error(ErrorCode::kUnavailable, "churn pull failed");
+
+  Status status;
+  if (state.enrolled.size() > config_.num_clouds) {
+    // Shed the most recently added provider; its blocks re-home first.
+    const cloud::CloudId victim = state.enrolled.back()->id();
+    status = actor->client->remove_cloud(victim);
+    if (status.is_ok()) {
+      state.enrolled.pop_back();
+      state.faulty.pop_back();
+      state.quota.pop_back();
+      // The raw store stays in raw_by_id: audits must keep resolving any
+      // placement metadata still (transiently) pointing at the old cloud.
+      obs::add_counter(obs_.get(), "fleet.churn_removes");
+    }
+  } else {
+    const cloud::CloudId id = state.next_cloud_id++;
+    auto memory =
+        std::make_shared<cloud::MemoryCloud>(id, "c" + std::to_string(id));
+    auto faulty = std::make_shared<cloud::FaultyCloud>(
+        memory, cloud::FaultProfile{}, state.rng_seed + id, virtual_sleep_);
+    status = actor->client->add_cloud(faulty);
+    if (status.is_ok()) {
+      state.raw.push_back(memory);
+      state.quota.push_back(nullptr);
+      state.faulty.push_back(faulty);
+      state.enrolled.push_back(faulty);
+      state.raw_by_id[id] = memory.get();
+      obs::add_counter(obs_.get(), "fleet.churn_adds");
+    }
+  }
+  if (status.is_ok()) {
+    state.latest_counter = std::max(
+        state.latest_counter, actor->client->image().version().counter);
+  }
+  return status;
+}
+
+std::size_t PopulationHarness::inject_silent_defects(std::size_t folder,
+                                                     std::size_t blocks,
+                                                     bool rot) {
+  FolderState& state = materialize_folder(folder);
+
+  // Need a committed image to aim at; the anchor's view serves (silent
+  // defects target chaos folders, which always run an anchor).
+  const metadata::SyncFolderImage* image = nullptr;
+  std::unique_ptr<Session> temp;
+  if (state.anchor) {
+    run_sync(*state.anchor, 4);
+    image = &state.anchor->client->image();
+  } else {
+    temp = make_session(folder, kNoClient, "inject" + std::to_string(folder));
+    if (!run_sync(*temp, 4).ok) return 0;
+    image = &temp->client->image();
+  }
+
+  // At most ONE placement per segment, and only into segments that are
+  // fully healthy right now (every placement present on the ground-truth
+  // stores, no open ledger entry). That keeps every segment decodable at
+  // every instant — so any unrecoverable segment an audit later reports is
+  // a real durability bug, not the injector outpacing the repair loop.
+  const repair::DurabilityTracker* ledger =
+      state.repair ? state.repair->tracker().get() : nullptr;
+  std::size_t hit = 0;
+  for (const auto& [segment_id, segment] : image->segments()) {
+    if (hit >= blocks) break;
+    if (segment.refcount == 0 || segment.blocks.size() < 4) continue;
+    bool healthy = true;
+    for (const metadata::BlockLocation& loc : segment.blocks) {
+      const auto raw = state.raw_by_id.find(loc.cloud);
+      if (raw == state.raw_by_id.end() ||
+          !raw->second
+               ->download(metadata::block_path(segment_id, loc.block_index))
+               .is_ok() ||
+          (ledger != nullptr &&
+           ledger->is_defective(segment_id, loc.block_index, loc.cloud))) {
+        healthy = false;
+        break;
+      }
+    }
+    if (!healthy) continue;
+    const metadata::BlockLocation& loc =
+        segment.blocks[rng_.next_below(segment.blocks.size())];
+    for (auto& faulty : state.faulty) {
+      if (faulty->id() != loc.cloud) continue;
+      const std::string path =
+          metadata::block_path(segment_id, loc.block_index);
+      const Status status =
+          rot ? faulty->rot_stored(path) : faulty->drop_stored(path);
+      if (status.is_ok()) ++hit;
+      break;
+    }
+  }
+  obs::add_counter(obs_.get(), "fleet.injected_defects", hit);
+  return hit;
+}
+
+// --- audits ------------------------------------------------------------------
+
+void PopulationHarness::schedule_audit_tick() {
+  if (draining_) return;
+  if (env_.now() + config_.audit_interval > config_.horizon) return;
+  env_.schedule(config_.audit_interval, [this] {
+    audit_tick();
+    schedule_audit_tick();
+  });
+}
+
+void PopulationHarness::audit_tick() {
+  sync_world_clock();
+  if (touched_.empty()) return;
+  for (std::size_t i = 0;
+       i < std::min(config_.audit_folders_per_tick, touched_.size()); ++i) {
+    audit_folder_by_index(touched_[audit_cursor_ % touched_.size()], false);
+    ++audit_cursor_;
+  }
+}
+
+void PopulationHarness::audit_folder_by_index(std::size_t folder, bool strict) {
+  FolderState& state = *folders_[folder];
+  auto auditor = make_session(folder, kNoClient, "audit");
+  const SyncOutcome pull = run_sync(*auditor, strict ? 10 : 3);
+  const bool restored = pull.ok && pull.report.materialize.is_ok();
+
+  ++result_.audits;
+  obs::add_counter(obs_.get(), "fleet.audits");
+
+  AuditContext ctx;
+  ctx.image = &auditor->client->image();
+  ctx.fs = auditor->fs.get();
+  ctx.oracle = &state.oracle;
+  for (const auto& [id, raw] : state.raw_by_id) ctx.raw[id] = raw;
+  ctx.ledger = state.repair ? state.repair->tracker().get() : nullptr;
+  ctx.k = auditor->client->config().k;
+  ctx.redundancy_floor = config_.redundancy_floor;
+  const AuditOutcome out = audit_folder(ctx);
+
+  if (restored) {
+    result_.lost_updates += out.missing_tokens;
+    obs::add_counter(obs_.get(), "fleet.lost_updates", out.missing_tokens);
+  } else {
+    ++result_.restore_failures;
+    obs::add_counter(obs_.get(), "fleet.restore_failures");
+    if (strict) {
+      // Faults are quiet and breakers expired: a strict audit that cannot
+      // restore the folder IS data loss, not bad weather.
+      result_.lost_updates += std::max<std::size_t>(out.expected_tokens, 1);
+      obs::add_counter(obs_.get(), "fleet.lost_updates",
+                       std::max<std::size_t>(out.expected_tokens, 1));
+    }
+  }
+  result_.unrecoverable_segments += out.unrecoverable;
+  obs::add_counter(obs_.get(), "fleet.unrecoverable_segments",
+                   out.unrecoverable);
+  if (strict && state.repair) {
+    result_.underrep_unledgered += out.underrep_unledgered;
+    obs::add_counter(obs_.get(), "fleet.underrep_unledgered",
+                     out.underrep_unledgered);
+  }
+}
+
+// --- run + drain -------------------------------------------------------------
+
+FleetResult PopulationHarness::run(const Scenario& scenario) {
+  for (const ScenarioAction& action : scenario.actions) {
+    const double at =
+        std::max(0.0, std::min(action.at_frac, 1.0)) * config_.horizon;
+    env_.schedule_at(at, [this, &action] {
+      sync_world_clock();
+      action.run(*this);
+    });
+  }
+  schedule_next_arrival();
+  schedule_audit_tick();
+  env_.run();
+  drain_and_finalize();
+
+  result_.clients = config_.num_clients;
+  result_.folders = num_folders_;
+  result_.folders_touched = touched_.size();
+  for (const auto& state : folders_) {
+    if (!state) continue;
+    for (const auto& raw : state->raw) {
+      result_.cloud_stored_bytes += raw->stored_bytes();
+    }
+  }
+  obs::set_gauge(obs_.get(), "fleet.folders_touched",
+                 static_cast<double>(touched_.size()));
+  obs::set_gauge(obs_.get(), "fleet.idle_state_bytes_per_client",
+                 static_cast<double>(idle_state_bytes()));
+  result_.metrics = obs_->metrics.snapshot();
+  return result_;
+}
+
+void PopulationHarness::drain_and_finalize() {
+  draining_ = true;
+  // 1. The weather clears and every breaker's probe timer expires.
+  quiesce_faults();
+  world_.advance(config_.breaker_open_duration + 1.0);
+
+  // 2. Repair anchors work off the defect ledger until it drains.
+  for (const std::size_t folder : chaos_folders_) {
+    FolderState& state = *folders_[folder];
+    if (!state.anchor) continue;
+    // Enough slices that the rotating deep-verify cursor crosses the whole
+    // pool at least once — latent bit-rot must be FOUND before "backlog
+    // empty" means "healed".
+    run_sync(*state.anchor, 8);
+    const std::size_t pool = state.anchor->client->image().segments().size();
+    const int min_slices =
+        static_cast<int>(pool / std::max<std::size_t>(1, 32) + 2);
+    for (int i = 0; i < 200; ++i) {
+      run_sync(*state.anchor, 8);
+      (void)state.repair->run_slice(
+          core::MaintenanceBudget{config_.anchor_repair_blocks});
+      if (i + 1 >= min_slices &&
+          state.anchor->client->durability()->backlog() == 0)
+        break;
+    }
+    // 3. Final pull: the anchor (the folder's one persistent device) must
+    //    end up current with the last committed version.
+    run_sync(*state.anchor, 8);
+    if (state.anchor->client->image().version().counter < state.latest_counter) {
+      ++result_.stale_devices;
+      obs::add_counter(obs_.get(), "fleet.stale_devices");
+    }
+  }
+
+  // 4. Strict audits: every chaos folder, then sampled other touched
+  //    folders up to the configured cap. Coverage is reported, not silent.
+  std::vector<std::size_t> targets = chaos_folders_;
+  for (const std::size_t folder : touched_) {
+    if (targets.size() >= std::max<std::size_t>(config_.strict_audit_folders,
+                                                chaos_folders_.size()))
+      break;
+    if (std::find(targets.begin(), targets.end(), folder) == targets.end()) {
+      targets.push_back(folder);
+    }
+  }
+  for (const std::size_t folder : targets) {
+    audit_folder_by_index(folder, true);
+  }
+  result_.strict_audited = targets.size();
+  obs::set_gauge(obs_.get(), "fleet.strict_audit_coverage",
+                 touched_.empty()
+                     ? 1.0
+                     : static_cast<double>(targets.size()) /
+                           static_cast<double>(touched_.size()));
+}
+
+}  // namespace unidrive::sim::population

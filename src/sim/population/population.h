@@ -1,0 +1,307 @@
+// Population-scale scenario harness (DESIGN.md §11).
+//
+// The paper's trial stops at 272 users; the north star is millions. This
+// harness simulates a fleet of clients as *light state*: an idle client is
+// ~16 bytes (folder, device slot, last-applied version) plus its share of a
+// folder pointer — nothing else exists until an arrival event materializes
+// a session. A session is a REAL core::UniDriveClient (full stack: CDC,
+// encrypt, RS encode, quorum lock, staged pipelines, breakers) over the
+// folder's shared in-memory cloud backends (MemoryCloud, optionally under
+// QuotaCloud, always under FaultyCloud), so fleet-scale correctness is
+// exercised through the genuine sync protocol, not a model of it.
+//
+// Time is virtual (sim::SimEnv). Real sync rounds execute at a virtual
+// instant; their *virtual* cost is derived from what the round actually
+// moved — bytes up/down through the folder's fluctuating bandwidth models
+// (sim/bandwidth.h) plus per-request latency and any injected stalls — and
+// subsequent session events are scheduled after that cost. Idle clients do
+// not poll eagerly; instead every commit lazily materializes the next poll
+// of a sampled set of idle folder-mates within the poll interval, which is
+// observationally equivalent to the whole fleet polling at tau but costs
+// O(commits), not O(clients).
+//
+// Fleet-level results flow through the obs layer: fleet.sync_latency is the
+// commit-to-applied propagation latency across live devices (p50/p95/p99
+// hard-gated in bench_population), fleet.lost_updates and
+// fleet.unrecoverable_segments are the invariant-checker counters
+// (hard-gated at zero).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/faulty_cloud.h"
+#include "cloud/memory_cloud.h"
+#include "cloud/quota_cloud.h"
+#include "core/client.h"
+#include "core/local_fs.h"
+#include "obs/obs.h"
+#include "repair/service.h"
+#include "sim/bandwidth.h"
+#include "sim/event_queue.h"
+#include "sim/population/invariants.h"
+#include "sim/population/scenario.h"
+
+namespace unidrive::sim::population {
+
+struct FleetConfig {
+  std::uint64_t seed = 1;
+
+  // --- fleet shape --------------------------------------------------------
+  std::size_t num_clients = 10'000;
+  std::size_t clients_per_folder = 4;  // devices sharing one sync folder
+  // Folder 0 is the "hot" shared folder (flash crowds) with more members.
+  std::size_t hot_folder_members = 64;
+  std::size_t num_clouds = 5;
+
+  // --- load ---------------------------------------------------------------
+  double horizon = 2 * 3600.0;  // virtual seconds of arrivals
+  // Expected sessions per client per virtual day; the instantaneous rate is
+  // shaped by a sim/bandwidth.h fluctuation model (diurnal swing + noise).
+  double sessions_per_client_per_day = 2.0;
+  FluctuationParams arrival_shape{};  // amplitude raised by `diurnal`
+  double mean_think = 30.0;           // virtual pause between session steps
+  std::size_t ops_per_session = 2;    // edit/delete attempts per session
+  double edit_probability = 0.9;      // else the step is a pull only
+  double delete_probability = 0.05;   // an edit step deletes instead
+  double poll_interval = 300.0;       // tau for lazily-materialized polls
+  std::size_t wake_fanout = 4;        // idle mates woken per commit
+
+  // --- content model (tiny files keep 100k-client fleets in memory) -------
+  std::size_t min_file_bytes = 128;
+  std::size_t max_file_bytes = 1024;
+  std::size_t max_files_per_folder = 8;
+
+  // --- materialization bounds --------------------------------------------
+  std::size_t max_live_sessions = 48;
+  std::size_t activation_retries = 3;  // re-queue when the cap is hit
+
+  // --- virtual cost model -------------------------------------------------
+  double request_latency = 0.15;      // per cloud API call, seconds
+  double base_up_bw = 1.0e6;          // bytes/sec before fluctuation
+  double base_down_bw = 2.5e6;
+  FluctuationParams link_shape{};
+
+  // --- audits (continuous invariant checking) -----------------------------
+  double audit_interval = 600.0;
+  std::size_t audit_folders_per_tick = 4;
+  // Strict end-of-run audit covers every chaos folder plus up to this many
+  // sampled other touched folders (coverage is reported, never silent).
+  std::size_t strict_audit_folders = 512;
+
+  // --- repair anchors (chaos folders) -------------------------------------
+  double anchor_tick = 120.0;          // anchor pull + maintenance period
+  std::size_t anchor_repair_blocks = 16;  // per maintenance slice
+
+  // --- client knobs -------------------------------------------------------
+  std::size_t theta = 64 << 10;
+  std::size_t client_threads = 2;
+  std::size_t connections_per_cloud = 2;
+  std::size_t redundancy_floor = 1;
+  double breaker_open_duration = 300.0;
+};
+
+struct FleetResult {
+  std::size_t clients = 0;
+  std::size_t folders = 0;
+  std::size_t folders_touched = 0;
+  std::size_t sessions = 0;
+  std::size_t syncs = 0;
+  std::size_t sync_errors = 0;
+  std::size_t commits = 0;
+  std::size_t conflicts = 0;
+  std::size_t deferred = 0;       // activations dropped at the session cap
+  std::size_t peak_live_sessions = 0;
+
+  // Invariant-checker verdicts (cumulative across audits; the strict final
+  // audit re-counts every covered folder after faults quiesce).
+  std::size_t audits = 0;
+  std::size_t strict_audited = 0;  // folders covered by the final audit
+  std::size_t lost_updates = 0;
+  std::size_t unrecoverable_segments = 0;
+  std::size_t underrep_unledgered = 0;
+  std::size_t restore_failures = 0;  // non-strict audit restores that failed
+  std::size_t stale_devices = 0;     // live devices behind at drain
+
+  std::uint64_t cloud_stored_bytes = 0;  // ground-truth bytes at the end
+  obs::MetricsSnapshot metrics;          // the fleet.* registry
+};
+
+class PopulationHarness {
+ public:
+  explicit PopulationHarness(FleetConfig config);
+  ~PopulationHarness();
+
+  PopulationHarness(const PopulationHarness&) = delete;
+  PopulationHarness& operator=(const PopulationHarness&) = delete;
+
+  // Runs the scenario's actions + the arrival process to the horizon, then
+  // drains: faults quiesce, repair anchors work off their backlog, every
+  // live device takes a final pull, and the strict audit runs.
+  FleetResult run(const Scenario& scenario);
+
+  // --- scenario surface ---------------------------------------------------
+  // Fault profile of one cloud of one folder (materializes the folder).
+  void set_fault_profile(std::size_t folder, std::size_t cloud_index,
+                         const cloud::FaultProfile& profile);
+  // Clears every fault profile and outage on every materialized folder.
+  void quiesce_faults();
+  // Folders with folder % stride == phase get `quota_bytes` on cloud
+  // `cloud_index` when they materialize (no effect on already-materialized
+  // folders).
+  void set_quota_band(std::size_t stride, std::size_t phase,
+                      std::size_t cloud_index, std::uint64_t quota_bytes);
+  // Marks `folder` as a chaos folder: materializes a persistent anchor
+  // device running scrub-and-repair maintenance on every anchor tick.
+  void enable_repair_anchor(std::size_t folder);
+  // Schedules `sessions` activations of hot-folder members inside
+  // [now, now + window).
+  void flash_crowd(std::size_t sessions, double window);
+  // Membership churn under live traffic: adds a fresh provider to the
+  // folder (re-plan + rebalance through the real client), or removes the
+  // most recently added one when the folder is above its base size.
+  Status churn_cycle(std::size_t folder);
+  // Deterministically drops (or bit-rots) up to `blocks` committed
+  // placements of the folder, behind every injector's back. Returns how
+  // many were hit.
+  std::size_t inject_silent_defects(std::size_t folder, std::size_t blocks,
+                                    bool rot);
+
+  // --- introspection ------------------------------------------------------
+  [[nodiscard]] std::size_t num_clients() const noexcept {
+    return config_.num_clients;
+  }
+  [[nodiscard]] std::size_t num_folders() const noexcept {
+    return num_folders_;
+  }
+  [[nodiscard]] std::size_t folder_of(std::size_t client) const;
+  // Bytes of harness bookkeeping per idle client (the O(bytes) claim):
+  // light-state records plus the folder pointer table, excluding anything
+  // materialized by activity.
+  [[nodiscard]] std::size_t idle_state_bytes() const;
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+  [[nodiscard]] obs::Observability& fleet_obs() noexcept { return *obs_; }
+
+ private:
+  struct LightClient {  // the idle-client state: O(bytes)
+    std::uint32_t folder = 0;
+    std::uint16_t device = 0;
+    bool active = false;
+    bool wake_pending = false;
+    std::uint64_t last_applied = 0;
+  };
+
+  struct PendingObservation {
+    std::uint64_t counter = 0;
+    double committed_at = 0;  // world-clock seconds
+  };
+
+  struct PendingEdit {
+    std::string path;
+    std::uint64_t token = 0;
+    bool is_delete = false;
+  };
+
+  struct Session {
+    std::size_t client_id = 0;
+    std::size_t folder = 0;
+    std::shared_ptr<core::MemoryLocalFs> fs;
+    std::unique_ptr<core::UniDriveClient> client;
+    std::vector<PendingObservation> pending;
+    // Local edits written but not yet seen in a committed SyncReport; their
+    // tokens enter the folder oracle only once the commit really happened.
+    std::vector<PendingEdit> uncommitted;
+    std::size_t ops_left = 0;
+    bool is_anchor = false;
+  };
+
+  struct FolderState {
+    std::vector<std::shared_ptr<cloud::MemoryCloud>> raw;
+    std::vector<std::shared_ptr<cloud::QuotaCloud>> quota;  // slots may be null
+    std::vector<std::shared_ptr<cloud::FaultyCloud>> faulty;
+    cloud::MultiCloud enrolled;  // the FaultyCloud tops, what clients get
+    std::map<cloud::CloudId, cloud::MemoryCloud*> raw_by_id;
+    cloud::CloudId next_cloud_id = 0;
+    FolderOracle oracle;
+    std::uint64_t latest_counter = 0;
+    BandwidthPtr up_bw;
+    BandwidthPtr down_bw;
+    std::unique_ptr<Session> anchor;
+    std::shared_ptr<repair::RepairService> repair;
+    std::uint64_t rng_seed = 0;
+    bool chaos = false;
+  };
+
+  struct SyncOutcome {
+    bool ok = false;
+    double virt_cost = 0;
+    core::SyncReport report;
+  };
+
+  // --- topology -----------------------------------------------------------
+  [[nodiscard]] std::pair<std::size_t, std::size_t> folder_members(
+      std::size_t folder) const;  // [begin, end) client ids
+  FolderState& materialize_folder(std::size_t folder);
+  // client_id is SIZE_MAX for non-member devices (auditors, anchors).
+  [[nodiscard]] std::unique_ptr<Session> make_session(std::size_t folder,
+                                                      std::size_t client_id,
+                                                      const std::string& name);
+
+  // --- session lifecycle (SimEnv event handlers) --------------------------
+  void schedule_next_arrival();
+  void schedule_audit_tick();
+  void try_activate(std::size_t client_id, std::size_t ops,
+                    std::size_t retries_left,
+                    std::optional<PendingObservation> watch = {});
+  void session_step(const std::shared_ptr<Session>& session);
+  void finish_session(const std::shared_ptr<Session>& session);
+  void anchor_tick(std::size_t folder);
+
+  SyncOutcome run_sync(Session& session, int tries);
+  void after_commit(std::size_t folder, const core::SyncReport& report,
+                    Session* committer);
+  void note_applied(Session& session);
+  [[nodiscard]] double think_delay();
+
+  // --- audits -------------------------------------------------------------
+  void audit_tick();
+  // Returns the outcome; also bumps the fleet counters. `strict` is the
+  // end-of-run pass (faults quiet, repair drained).
+  void audit_folder_by_index(std::size_t folder, bool strict);
+  void drain_and_finalize();
+
+  void sync_world_clock();  // world := max(world, env.now())
+
+  FleetConfig config_;
+  SimEnv env_;
+  ManualClock world_;  // shared by every client/injector; sleeps advance it
+  SleepFn virtual_sleep_;
+  obs::ObsPtr obs_;  // fleet.* registry, on the world clock
+  Rng rng_;
+
+  std::size_t num_folders_ = 0;
+  std::vector<LightClient> clients_;
+  std::vector<std::unique_ptr<FolderState>> folders_;
+  std::vector<std::size_t> touched_;  // materialization order
+  std::vector<std::size_t> chaos_folders_;
+
+  std::map<std::size_t, std::shared_ptr<Session>> live_;  // client id -> session
+  struct QuotaBand {
+    std::size_t stride = 0, phase = 0, cloud_index = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<QuotaBand> quota_bands_;
+
+  BandwidthPtr arrival_rate_;  // sessions/sec across the fleet
+  double arrival_rate_cap_ = 0;
+  std::uint64_t token_counter_ = 0;
+  std::size_t audit_cursor_ = 0;
+  bool draining_ = false;
+  FleetResult result_;
+};
+
+}  // namespace unidrive::sim::population

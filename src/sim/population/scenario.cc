@@ -1,0 +1,185 @@
+#include "sim/population/scenario.h"
+
+#include <algorithm>
+
+#include "sim/population/population.h"
+
+namespace unidrive::sim::population {
+
+namespace {
+
+// Chaos folders: the hot shared folder plus the first few cold ones, capped
+// by what actually exists at the configured scale.
+std::vector<std::size_t> chaos_targets(const PopulationHarness& h) {
+  const std::size_t n = std::min<std::size_t>(4, h.num_folders());
+  std::vector<std::size_t> out;
+  for (std::size_t f = 0; f < n; ++f) out.push_back(f);
+  return out;
+}
+
+void start_chaos(PopulationHarness& h) {
+  for (const std::size_t f : chaos_targets(h)) {
+    h.enable_repair_anchor(f);
+    cloud::FaultProfile flappy;  // honest transient failures
+    flappy.base_failure_rate = 0.05;
+    flappy.per_mb_failure_rate = 0.05;
+    h.set_fault_profile(f, 0, flappy);
+    cloud::FaultProfile leaky;  // uploads report OK, store nothing
+    leaky.block_loss_rate = 0.08;
+    h.set_fault_profile(f, 1, leaky);
+    cloud::FaultProfile hangy;  // stalls that blow attempt deadlines
+    hangy.hang_rate = 0.01;
+    hangy.hang_seconds = 20.0;
+    h.set_fault_profile(f, 2, hangy);
+    cloud::FaultProfile rotten;  // silent same-size corruption
+    rotten.bitrot_rate = 0.08;
+    h.set_fault_profile(f, 3, rotten);
+    cloud::FaultProfile torn;  // half-written uploads reported as failed
+    torn.torn_upload_rate = 0.05;
+    h.set_fault_profile(f, 4, torn);
+  }
+}
+
+void inject_round(PopulationHarness& h, bool rot) {
+  for (const std::size_t f : chaos_targets(h)) {
+    h.inject_silent_defects(f, 3, rot);
+  }
+}
+
+void churn_round(PopulationHarness& h) {
+  const std::size_t n = std::min<std::size_t>(3, h.num_folders());
+  for (std::size_t f = 0; f < n; ++f) {
+    (void)h.churn_cycle(f);  // degraded weather may defer a cycle; fine
+  }
+}
+
+Scenario steady() {
+  Scenario s;
+  s.name = "steady";
+  s.description = "homogeneous Poisson arrivals, no faults";
+  s.configure = [](FleetConfig& c) {
+    c.arrival_shape.diurnal_amplitude = 0.0;
+    c.arrival_shape.noise_sigma = 0.2;
+  };
+  return s;
+}
+
+Scenario diurnal() {
+  Scenario s;
+  s.name = "diurnal";
+  s.description = "strong day/night arrival swing shaped by the bandwidth "
+                  "fluctuation model";
+  s.configure = [](FleetConfig& c) {
+    c.arrival_shape.diurnal_amplitude = 0.8;
+    c.arrival_shape.noise_sigma = 0.5;
+  };
+  return s;
+}
+
+Scenario flash_crowd() {
+  Scenario s;
+  s.name = "flash_crowd";
+  s.description = "bursts of activations on the hot shared folder";
+  s.actions.push_back({0.3, "flash crowd 1", [](PopulationHarness& h) {
+                         h.flash_crowd(2 * h.config().max_live_sessions, 120.0);
+                       }});
+  s.actions.push_back({0.65, "flash crowd 2", [](PopulationHarness& h) {
+                         h.flash_crowd(2 * h.config().max_live_sessions, 60.0);
+                       }});
+  return s;
+}
+
+Scenario quota_exhaustion() {
+  Scenario s;
+  s.name = "quota_exhaustion";
+  s.description = "a band of folders exhausts one cloud's quota; placement "
+                  "degrades, commits keep working on the majority";
+  s.actions.push_back({0.0, "arm quotas", [](PopulationHarness& h) {
+                         h.set_quota_band(/*stride=*/3, /*phase=*/0,
+                                          /*cloud_index=*/0,
+                                          /*quota_bytes=*/32u << 10);
+                       }});
+  return s;
+}
+
+Scenario cloud_churn() {
+  Scenario s;
+  s.name = "cloud_churn";
+  s.description = "add/remove a provider with rebalancing, under live traffic";
+  for (const double at : {0.2, 0.45, 0.7, 0.9}) {
+    s.actions.push_back({at, "churn cycle", churn_round});
+  }
+  return s;
+}
+
+Scenario chaos_soak() {
+  Scenario s;
+  s.name = "chaos_soak";
+  s.description = "every fault injector incl. silent bit-rot/block-loss; "
+                  "scrub-and-repair anchors keep fleet durability flat";
+  s.actions.push_back({0.0, "start chaos", start_chaos});
+  s.actions.push_back({0.35, "inject block loss", [](PopulationHarness& h) {
+                         inject_round(h, /*rot=*/false);
+                       }});
+  s.actions.push_back({0.6, "inject bit-rot", [](PopulationHarness& h) {
+                         inject_round(h, /*rot=*/true);
+                       }});
+  return s;
+}
+
+Scenario soak() {
+  Scenario s;
+  s.name = "soak";
+  s.description = "the CI-gated composite: diurnal load + quotas + churn + "
+                  "flash crowds + full chaos with repair";
+  s.configure = [](FleetConfig& c) {
+    c.arrival_shape.diurnal_amplitude = 0.6;
+    c.arrival_shape.noise_sigma = 0.4;
+  };
+  s.actions.push_back({0.0, "arm quotas", [](PopulationHarness& h) {
+                         h.set_quota_band(/*stride=*/5, /*phase=*/2,
+                                          /*cloud_index=*/0,
+                                          /*quota_bytes=*/32u << 10);
+                       }});
+  s.actions.push_back({0.0, "start chaos", start_chaos});
+  s.actions.push_back({0.3, "inject block loss", [](PopulationHarness& h) {
+                         inject_round(h, /*rot=*/false);
+                       }});
+  s.actions.push_back({0.45, "churn cycle", churn_round});
+  s.actions.push_back({0.55, "flash crowd", [](PopulationHarness& h) {
+                         h.flash_crowd(2 * h.config().max_live_sessions, 120.0);
+                       }});
+  s.actions.push_back({0.65, "inject bit-rot", [](PopulationHarness& h) {
+                         inject_round(h, /*rot=*/true);
+                       }});
+  s.actions.push_back({0.85, "churn cycle", churn_round});
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  return {"steady",           "diurnal",     "flash_crowd",
+          "quota_exhaustion", "cloud_churn", "chaos_soak",
+          "soak"};
+}
+
+Result<Scenario> make_scenario(const std::string& name) {
+  if (name == "steady") return steady();
+  if (name == "diurnal") return diurnal();
+  if (name == "flash_crowd") return flash_crowd();
+  if (name == "quota_exhaustion") return quota_exhaustion();
+  if (name == "cloud_churn") return cloud_churn();
+  if (name == "chaos_soak") return chaos_soak();
+  if (name == "soak") return soak();
+  return make_error(ErrorCode::kInvalidArgument,
+                    "unknown scenario: " + name);
+}
+
+FleetResult run_scenario(FleetConfig base, const Scenario& scenario) {
+  if (scenario.configure) scenario.configure(base);
+  PopulationHarness harness(std::move(base));
+  return harness.run(scenario);
+}
+
+}  // namespace unidrive::sim::population

@@ -1,0 +1,54 @@
+// Scenario programs for the population harness: named compositions of load
+// shape, fault schedules and membership churn. A Scenario first tweaks the
+// FleetConfig (arrival shape, quotas), then contributes timed actions that
+// run against the live harness at virtual times — so "add a cloud under
+// live traffic at t=900s" is one line of a program, not a bespoke bench.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace unidrive::sim::population {
+
+class PopulationHarness;
+struct FleetConfig;
+struct FleetResult;
+
+struct ScenarioAction {
+  // When to run, as a FRACTION of the configured horizon in [0, 1) — so one
+  // scenario program scales from a CI smoke (minutes) to a nightly soak
+  // (days) without editing its schedule.
+  double at_frac = 0;
+  std::string label;
+  std::function<void(PopulationHarness&)> run;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  // Applied to the FleetConfig before the harness is built (may be null).
+  std::function<void(FleetConfig&)> configure;
+  std::vector<ScenarioAction> actions;
+};
+
+// Registered scenario programs:
+//   steady           homogeneous Poisson arrivals, no faults
+//   diurnal          strong day/night arrival swing (bandwidth-model shaped)
+//   flash_crowd      bursts of activations on the hot shared folder
+//   quota_exhaustion tight per-cloud quotas on a band of folders
+//   cloud_churn      add/remove a provider with rebalancing, under traffic
+//   chaos_soak       every fault injector incl. silent bit-rot/block-loss,
+//                    scrub-and-repair anchors expected to hold durability
+//   soak             composition of all of the above (the CI-gated mix)
+std::vector<std::string> scenario_names();
+Result<Scenario> make_scenario(const std::string& name);
+
+// Applies scenario.configure to `base`, builds a PopulationHarness and runs
+// it to completion. Declared here (implemented next to the scenarios) so
+// benches and tests need only this header for the common path.
+FleetResult run_scenario(FleetConfig base, const Scenario& scenario);
+
+}  // namespace unidrive::sim::population

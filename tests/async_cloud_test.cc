@@ -122,6 +122,64 @@ TEST(TimerWheelTest, CancelFromOwnCallbackDoesNotDeadlock) {
   EXPECT_TRUE(eventually([&] { return done.load(); }));
 }
 
+TEST(TimerWheelTest, CancelAfterFireReportsLate) {
+  TimerWheel wheel;
+  std::atomic<bool> fired{false};
+  const TimerWheel::TimerId id = wheel.schedule(0.01, [&] { fired = true; });
+  ASSERT_TRUE(eventually([&] { return fired.load(); }));
+  // The callback already ran to completion: cancel must report "too late"
+  // (and must not block — nothing is running).
+  EXPECT_FALSE(wheel.cancel(id));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, ScheduleFromOwnCallbackFires) {
+  TimerWheel wheel;
+  std::atomic<bool> chained{false};
+  wheel.schedule(0.01, [&wheel, &chained] {
+    // Re-arming from the wheel thread is the retry-backoff idiom; it must
+    // not deadlock on the wheel's own lock.
+    wheel.schedule(0.01, [&chained] { chained = true; });
+  });
+  EXPECT_TRUE(eventually([&] { return chained.load(); }));
+}
+
+TEST(TimerWheelTest, IdenticalDeadlinesFireInScheduleOrder) {
+  TimerWheel wheel;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> order;
+  // Deliberately beyond the deadline the wheel thread is already waiting
+  // on, all with the SAME deadline: the (deadline, id) heap must break the
+  // tie by schedule order.
+  for (int i = 0; i < 8; ++i) {
+    wheel.schedule(0.05, [&, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return order.size() == 8; }));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(TimerWheelTest, FarFutureTimerParksWithoutSpinning) {
+  TimerWheel wheel;
+  std::atomic<bool> fired{false};
+  // ~3 years out: must park on the condition variable (not overflow or
+  // busy-wait) and still be cancellable, and must not block destruction.
+  const TimerWheel::TimerId far =
+      wheel.schedule(1e8, [&] { fired = true; });
+  // A short timer armed AFTER the far one must still fire on time (the
+  // wheel re-evaluates its wait when an earlier deadline arrives).
+  std::atomic<bool> near_fired{false};
+  wheel.schedule(0.01, [&] { near_fired = true; });
+  EXPECT_TRUE(eventually([&] { return near_fired.load(); }));
+  EXPECT_TRUE(wheel.cancel(far));
+  EXPECT_FALSE(fired.load());
+}
+
 TEST(TimerWheelTest, SleepBlocksForRoughlyTheDelay) {
   TimerWheel wheel;
   const auto t0 = std::chrono::steady_clock::now();

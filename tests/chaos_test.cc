@@ -16,14 +16,19 @@
 #include "cloud/memory_cloud.h"
 #include "common/clock.h"
 #include "common/rng.h"
+#include "test_seed.h"
 #include "core/client.h"
 #include "core/local_fs.h"
 #include "core/sync_daemon.h"
 #include "metadata/types.h"
 #include "repair/service.h"
 
+UNIDRIVE_REGISTER_SEED_LISTENER()
+
 namespace unidrive::core {
 namespace {
+
+using unidrive::testing::test_seed;
 
 struct ChaosClouds {
   cloud::MultiCloud clouds;
@@ -38,7 +43,7 @@ ChaosClouds make_chaos_clouds(int n, ManualClock& clock) {
     auto memory = std::make_shared<cloud::MemoryCloud>(
         static_cast<cloud::CloudId>(i), "cloud" + std::to_string(i));
     auto faulty = std::make_shared<cloud::FaultyCloud>(
-        memory, cloud::FaultProfile{}, 1000 + static_cast<std::uint64_t>(i),
+        memory, cloud::FaultProfile{}, test_seed(1000) + static_cast<std::uint64_t>(i),
         [&clock](Duration d) { clock.advance(d); });
     out.faulty.push_back(faulty);
     out.clouds.push_back(faulty);
@@ -74,8 +79,8 @@ TEST(ChaosTest, PermanentOutageCostsOneCycleThenFailsFastAcrossRounds) {
 
   auto fs = std::make_shared<MemoryLocalFs>();
   UniDriveClient client(cc.clouds, fs, chaos_config("devA", clock), clock,
-                        Rng(11));
-  Rng rng(21);
+                        Rng(test_seed(11)));
+  Rng rng(test_seed(21));
 
   // Round 1 pays the discovery cost: requests against cloud 0 until its
   // breaker trips, then the round completes on the remaining 4 clouds.
@@ -135,10 +140,10 @@ TEST(ChaosTest, FlappingAndTearingCloudsConvergeWithoutFabricatedConflicts) {
   auto fs_a = std::make_shared<MemoryLocalFs>();
   auto fs_b = std::make_shared<MemoryLocalFs>();
   UniDriveClient a(cc.clouds, fs_a, chaos_config("devA", clock), clock,
-                   Rng(31));
+                   Rng(test_seed(31)));
   UniDriveClient b(cc.clouds, fs_b, chaos_config("devB", clock), clock,
-                   Rng(32));
-  Rng rng(41);
+                   Rng(test_seed(32)));
+  Rng rng(test_seed(41));
 
   // Per-device DISTINCT paths: any conflict the merge reports would be
   // fabricated by the chaos, not by concurrent edits.
@@ -202,8 +207,8 @@ TEST(ChaosTest, HangingCloudIsTimedOutAndSyncStillCompletes) {
   ClientConfig cfg = chaos_config("devA", clock);
   cfg.retry.attempt_deadline = 5.0;  // give up on stalled requests
   cfg.breaker.open_duration = 100000.0;  // hangs advance the clock a lot
-  UniDriveClient client(cc.clouds, fs, cfg, clock, Rng(51));
-  Rng rng(61);
+  UniDriveClient client(cc.clouds, fs, cfg, clock, Rng(test_seed(51)));
+  Rng rng(test_seed(61));
 
   const Bytes content = payload(rng, 60000);
   ASSERT_TRUE(fs->write("/slow", ByteSpan(content)).is_ok());
@@ -220,7 +225,7 @@ TEST(ChaosTest, HangingCloudIsTimedOutAndSyncStillCompletes) {
   ClientConfig cfg_b = chaos_config("devB", clock);
   cfg_b.retry.attempt_deadline = 5.0;
   cfg_b.breaker.open_duration = 100000.0;
-  UniDriveClient reader(cc.clouds, fs_b, cfg_b, clock, Rng(52));
+  UniDriveClient reader(cc.clouds, fs_b, cfg_b, clock, Rng(test_seed(52)));
   auto r = reader.sync();
   ASSERT_TRUE(r.is_ok()) << r.status().to_string();
   EXPECT_EQ(fs_b->read("/slow").value(), content);
@@ -250,9 +255,9 @@ TEST(ChaosTest, ScrubAndRepairHealSilentDefectsUnderConcurrentSync) {
   auto fs_a = std::make_shared<MemoryLocalFs>();
   auto fs_b = std::make_shared<MemoryLocalFs>();
   UniDriveClient a(cc.clouds, fs_a, chaos_config("devA", clock), clock,
-                   Rng(71));
+                   Rng(test_seed(71)));
   UniDriveClient b(cc.clouds, fs_b, chaos_config("devB", clock), clock,
-                   Rng(72));
+                   Rng(test_seed(72)));
 
   repair::RepairServiceConfig repair_cfg;
   repair_cfg.scrub.deep_verify_segments = 16;  // whole pool, every pass
@@ -266,7 +271,7 @@ TEST(ChaosTest, ScrubAndRepairHealSilentDefectsUnderConcurrentSync) {
   daemon.start();
 
   // Foreground churn on B while A's daemon syncs and scrubs concurrently.
-  Rng rng(81);
+  Rng rng(test_seed(81));
   std::size_t fabricated_conflicts = 0;
   const auto settle = [&](UniDriveClient& c) {
     for (int tries = 0; tries < 8; ++tries) {
@@ -348,7 +353,7 @@ TEST(ChaosTest, ScrubAndRepairHealSilentDefectsUnderConcurrentSync) {
   // every file from the (healed) clouds alone.
   auto fs_c = std::make_shared<MemoryLocalFs>();
   UniDriveClient reader(cc.clouds, fs_c, chaos_config("devC", clock), clock,
-                        Rng(73));
+                        Rng(test_seed(73)));
   ASSERT_TRUE(settle(reader));
   for (int round = 0; round < 3; ++round) {
     for (const std::string prefix : {"/a_", "/b_"}) {

@@ -6,13 +6,18 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "test_seed.h"
 #include "erasure/gf256.h"
 #include "erasure/matrix.h"
 #include "erasure/rs.h"
 #include "sched/plan.h"
 
+UNIDRIVE_REGISTER_SEED_LISTENER()
+
 namespace unidrive::erasure {
 namespace {
+
+using unidrive::testing::test_seed;
 
 // --- GF(256) ------------------------------------------------------------------
 
@@ -35,7 +40,7 @@ TEST(Gf256Test, KnownProduct) {
 }
 
 TEST(Gf256Test, MulCommutativeAssociativeSample) {
-  Rng rng(1);
+  Rng rng(test_seed(1));
   for (int i = 0; i < 2000; ++i) {
     const auto a = static_cast<std::uint8_t>(rng.next());
     const auto b = static_cast<std::uint8_t>(rng.next());
@@ -57,7 +62,7 @@ TEST(Gf256Test, InverseProperty) {
 }
 
 TEST(Gf256Test, DivMatchesMulByInverse) {
-  Rng rng(2);
+  Rng rng(test_seed(2));
   for (int i = 0; i < 2000; ++i) {
     const auto a = static_cast<std::uint8_t>(rng.next());
     auto b = static_cast<std::uint8_t>(rng.next());
@@ -73,7 +78,7 @@ TEST(Gf256Test, ExpGeneratorCycle) {
 }
 
 TEST(Gf256Test, MulAddSliceMatchesScalarLoop) {
-  Rng rng(3);
+  Rng rng(test_seed(3));
   const Bytes src = rng.bytes(1000);
   Bytes dst = rng.bytes(1000);
   Bytes expected = dst;
@@ -86,7 +91,7 @@ TEST(Gf256Test, MulAddSliceMatchesScalarLoop) {
 }
 
 TEST(Gf256Test, MulAddSliceCoeffZeroIsNoop) {
-  Rng rng(4);
+  Rng rng(test_seed(4));
   const Bytes src = rng.bytes(100);
   Bytes dst = rng.bytes(100);
   const Bytes before = dst;
@@ -107,7 +112,7 @@ TEST(Gf256Test, ScaleSlice) {
 TEST(MatrixTest, IdentityMultiplication) {
   const GfMatrix id = GfMatrix::identity(4);
   GfMatrix m(4, 4);
-  Rng rng(5);
+  Rng rng(test_seed(5));
   for (std::size_t r = 0; r < 4; ++r) {
     for (std::size_t c = 0; c < 4; ++c) {
       m.at(r, c) = static_cast<std::uint8_t>(rng.next());
@@ -118,7 +123,7 @@ TEST(MatrixTest, IdentityMultiplication) {
 }
 
 TEST(MatrixTest, InverseTimesSelfIsIdentity) {
-  Rng rng(6);
+  Rng rng(test_seed(6));
   for (int trial = 0; trial < 20; ++trial) {
     GfMatrix m(5, 5);
     for (std::size_t r = 0; r < 5; ++r) {
@@ -178,7 +183,7 @@ class RsRoundTrip : public ::testing::TestWithParam<RsCase> {};
 TEST_P(RsRoundTrip, AnyKShardsDecode) {
   const RsCase c = GetParam();
   const RsCode code(c.n, c.k, c.variant);
-  Rng rng(42 + c.n * 100 + c.k);
+  Rng rng(test_seed(42 + c.n * 100 + c.k));
   const Bytes segment = rng.bytes(c.payload);
   const std::vector<Shard> shards = code.encode(ByteSpan(segment));
   ASSERT_EQ(shards.size(), c.n);
@@ -216,7 +221,7 @@ INSTANTIATE_TEST_SUITE_P(
 // (code_n, k) code must decode from ANY k of its shards, and the security
 // ceiling must make Ks-1 colluding clouds arithmetically unable to gather k.
 TEST(RsPropertyTest, RandomCodeParamsRoundTripFromAnyKSubset) {
-  Rng rng(0xC0DE);
+  Rng rng(test_seed(0xC0DE));
   int tested = 0;
   int drawn = 0;
   while (tested < 40) {
@@ -278,7 +283,7 @@ TEST(RsCodeTest, EmptySegment) {
 
 TEST(RsCodeTest, SystematicFirstKShardsAreData) {
   const RsCode code(8, 4, RsVariant::kSystematic);
-  Rng rng(7);
+  Rng rng(test_seed(7));
   const Bytes segment = rng.bytes(400);
   const auto shards = code.encode(ByteSpan(segment));
   const std::size_t shard_size = code.shard_size(segment.size());
@@ -296,7 +301,7 @@ TEST(RsCodeTest, NonSystematicShardsAreNotData) {
   // the file. With a Cauchy matrix no row is a unit vector, so every shard
   // mixes all k data shards.
   const RsCode code(10, 3);
-  Rng rng(8);
+  Rng rng(test_seed(8));
   const Bytes segment = rng.bytes(3000);
   const auto shards = code.encode(ByteSpan(segment));
   const std::size_t shard_size = code.shard_size(segment.size());
@@ -314,7 +319,7 @@ TEST(RsCodeTest, SystematicIsProvablyMdsExhaustive) {
   // guaranteed by the [I ; Cauchy] construction (a reduced-Vandermonde
   // systematic matrix would NOT pass this exhaustively in general).
   const RsCode code(10, 3, RsVariant::kSystematic);
-  Rng rng(99);
+  Rng rng(test_seed(99));
   const Bytes segment = rng.bytes(1500);
   const auto shards = code.encode(ByteSpan(segment));
   for (std::size_t a = 0; a < 10; ++a) {
@@ -331,7 +336,7 @@ TEST(RsCodeTest, SystematicIsProvablyMdsExhaustive) {
 
 TEST(RsCodeTest, NonSystematicIsProvablyMdsExhaustive) {
   const RsCode code(10, 3, RsVariant::kNonSystematic);
-  Rng rng(100);
+  Rng rng(test_seed(100));
   const Bytes segment = rng.bytes(1500);
   const auto shards = code.encode(ByteSpan(segment));
   for (std::size_t a = 0; a < 10; ++a) {
@@ -348,7 +353,7 @@ TEST(RsCodeTest, NonSystematicIsProvablyMdsExhaustive) {
 
 TEST(RsCodeTest, FewerThanKShardsFails) {
   const RsCode code(10, 3);
-  Rng rng(9);
+  Rng rng(test_seed(9));
   const Bytes segment = rng.bytes(100);
   auto shards = code.encode(ByteSpan(segment));
   shards.resize(2);
@@ -357,7 +362,7 @@ TEST(RsCodeTest, FewerThanKShardsFails) {
 
 TEST(RsCodeTest, DuplicateShardIndicesDontCount) {
   const RsCode code(10, 3);
-  Rng rng(10);
+  Rng rng(test_seed(10));
   const Bytes segment = rng.bytes(100);
   const auto shards = code.encode(ByteSpan(segment));
   const std::vector<Shard> dupes = {shards[0], shards[0], shards[0]};
@@ -366,7 +371,7 @@ TEST(RsCodeTest, DuplicateShardIndicesDontCount) {
 
 TEST(RsCodeTest, ExtraShardsIgnored) {
   const RsCode code(10, 3);
-  Rng rng(11);
+  Rng rng(test_seed(11));
   const Bytes segment = rng.bytes(777);
   const auto shards = code.encode(ByteSpan(segment));
   auto decoded = code.decode(shards, segment.size());  // all 10 given
@@ -376,7 +381,7 @@ TEST(RsCodeTest, ExtraShardsIgnored) {
 
 TEST(RsCodeTest, MismatchedShardSizeRejected) {
   const RsCode code(10, 3);
-  Rng rng(12);
+  Rng rng(test_seed(12));
   const Bytes segment = rng.bytes(300);
   auto shards = code.encode(ByteSpan(segment));
   shards[1].data.pop_back();
@@ -386,7 +391,7 @@ TEST(RsCodeTest, MismatchedShardSizeRejected) {
 
 TEST(RsCodeTest, EncodeShardsSubsetMatchesFullEncode) {
   const RsCode code(10, 3);
-  Rng rng(13);
+  Rng rng(test_seed(13));
   const Bytes segment = rng.bytes(999);
   const auto all = code.encode(ByteSpan(segment));
   const auto some = code.encode_shards(ByteSpan(segment), {7, 2, 9});

@@ -7,12 +7,17 @@
 #include <set>
 
 #include "common/rng.h"
+#include "test_seed.h"
 #include "sched/download_scheduler.h"
 #include "sched/plan.h"
 #include "sched/upload_scheduler.h"
 
+UNIDRIVE_REGISTER_SEED_LISTENER()
+
 namespace unidrive::sched {
 namespace {
+
+using unidrive::testing::test_seed;
 
 struct ParamCase {
   std::size_t n, k, ks, kr;
@@ -71,7 +76,7 @@ TEST_P(UploadSchedulerProperty, InvariantsHoldUnderRandomizedExecution) {
   ASSERT_TRUE(params.validate().is_ok());
 
   std::vector<UploadFileSpec> files;
-  Rng rng(c.seed);
+  Rng rng(test_seed(c.seed));
   const std::size_t num_files = 1 + rng.next_below(4);
   for (std::size_t f = 0; f < num_files; ++f) {
     UploadFileSpec spec;
@@ -176,7 +181,7 @@ TEST_P(DownloadSchedulerProperty, FetchesKDistinctUnderChaos) {
   const ParamCase c = GetParam();
   const CodeParams params = make_params(c);
   ASSERT_TRUE(params.validate().is_ok());
-  Rng rng(c.seed * 77 + 5);
+  Rng rng(test_seed(c.seed * 77 + 5));
 
   // Build download specs equivalent to a reliable upload (fair share on
   // every cloud, plus random surplus).

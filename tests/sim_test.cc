@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
 #include <set>
+#include <string>
 
 #include "sim/bandwidth.h"
 #include "sim/e2e.h"
@@ -57,6 +59,70 @@ TEST(SimEnvTest, RunUntilStopsAtBoundary) {
   EXPECT_DOUBLE_EQ(env.now(), 2.0);
   env.run();
   EXPECT_EQ(count, 2);
+}
+
+TEST(SimEnvTest, ZeroDelayFromCallbackRunsAfterQueuedPeers) {
+  // An event that schedules a zero-delay follow-up at its own timestamp
+  // yields to events already queued for that instant (FIFO by sequence),
+  // then runs at the SAME virtual time — no clock creep.
+  SimEnv env;
+  std::vector<int> order;
+  env.schedule(1.0, [&] {
+    order.push_back(1);
+    env.schedule(0.0, [&] {
+      order.push_back(3);
+      EXPECT_DOUBLE_EQ(env.now(), 1.0);
+    });
+  });
+  env.schedule(1.0, [&] { order.push_back(2); });
+  env.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(env.now(), 1.0);
+}
+
+TEST(SimEnvTest, FarFutureEventSurvivesRunUntil) {
+  SimEnv env;
+  bool fired = false;
+  env.schedule_at(1e15, [&] { fired = true; });  // ~30M virtual years out
+  env.run_until(100.0);
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(env.now(), 100.0);
+  EXPECT_EQ(env.pending(), 1u);
+  env.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(env.now(), 1e15);
+}
+
+TEST(SimEnvTest, StepExecutesExactlyOneEvent) {
+  SimEnv env;
+  int count = 0;
+  env.schedule(1.0, [&] { ++count; });
+  env.schedule(2.0, [&] { ++count; });
+  EXPECT_TRUE(env.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(env.now(), 1.0);
+  EXPECT_TRUE(env.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(env.step());  // queue drained
+  EXPECT_TRUE(env.empty());
+}
+
+TEST(SimEnvTest, InterleavedSameTimestampCascades) {
+  // Two chains ping-ponging zero-delay events at one instant interleave in
+  // strict scheduling order — the seq tiebreak is global, not per-chain.
+  SimEnv env;
+  std::vector<std::string> order;
+  std::function<void(char, int)> chain = [&](char name, int depth) {
+    order.push_back(std::string(1, name) + std::to_string(depth));
+    if (depth < 2) {
+      env.schedule(0.0, [&chain, name, depth] { chain(name, depth + 1); });
+    }
+  };
+  env.schedule(1.0, [&] { chain('a', 0); });
+  env.schedule(1.0, [&] { chain('b', 0); });
+  env.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"a0", "b0", "a1", "b1", "a2",
+                                             "b2"}));
 }
 
 // --- bandwidth models -------------------------------------------------------------

@@ -1,0 +1,72 @@
+// Seed-replay plumbing for randomized tests.
+//
+// Every chaos/property/fuzz test derives its RNG seeds through test_seed():
+// by default the seed is the test's own baked-in constant (runs stay
+// deterministic in CI), but setting UNIDRIVE_TEST_SEED replays the whole
+// binary under a different seed — and when a test FAILS, the seed it ran
+// under is printed so the failure reproduces with
+//
+//   UNIDRIVE_TEST_SEED=<seed> ./failing_test --gtest_filter=<Suite.Case>
+//
+// Usage: call test_seed(default) wherever a hard-coded seed used to be.
+// Distinct default constants within one test keep their streams distinct
+// under replay too (the override is XOR-mixed, not substituted).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace unidrive::testing {
+
+// The process-wide seed override: UNIDRIVE_TEST_SEED parsed once, or 0 when
+// unset (0 = "no override"; defaults are used unchanged).
+inline std::uint64_t seed_override() {
+  static const std::uint64_t value = [] {
+    const char* env = std::getenv("UNIDRIVE_TEST_SEED");
+    if (env == nullptr || *env == '\0') return std::uint64_t{0};
+    return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 0));
+  }();
+  return value;
+}
+
+// Seed for one RNG stream: the test's default, XOR-mixed with the override
+// so different streams inside one test remain distinct when replaying.
+inline std::uint64_t test_seed(std::uint64_t default_seed) {
+  const std::uint64_t over = seed_override();
+  if (over == 0) return default_seed;
+  return default_seed ^ (over * 0x9e3779b97f4a7c15ULL);
+}
+
+// Prints the effective seed situation after every failed test, so the log
+// of a red CI run carries its own repro instructions.
+class SeedReportListener : public ::testing::EmptyTestEventListener {
+ public:
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (!info.result()->Failed()) return;
+    const std::uint64_t over = seed_override();
+    std::string note = over == 0
+        ? "test ran with its default seeds; replay a variant with "
+          "UNIDRIVE_TEST_SEED=<n>"
+        : "test ran with UNIDRIVE_TEST_SEED=" + std::to_string(over) +
+          " — set the same value to reproduce";
+    ::testing::Test::RecordProperty("unidrive_seed", std::to_string(over));
+    printf("[  SEED    ] %s.%s: %s\n", info.test_suite_name(), info.name(),
+           note.c_str());
+  }
+};
+
+// Installs the listener once per binary. Include this header and place
+// UNIDRIVE_REGISTER_SEED_LISTENER(); at namespace scope in the test file.
+#define UNIDRIVE_REGISTER_SEED_LISTENER()                                   \
+  namespace {                                                               \
+  const bool unidrive_seed_listener_registered = [] {                       \
+    ::testing::UnitTest::GetInstance()->listeners().Append(                 \
+        new ::unidrive::testing::SeedReportListener());                     \
+    return true;                                                            \
+  }();                                                                      \
+  }
+
+}  // namespace unidrive::testing

@@ -1,10 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <map>
+#include <set>
+
+#include "test_seed.h"
 #include "workload/files.h"
 #include "workload/trial.h"
 
+UNIDRIVE_REGISTER_SEED_LISTENER()
+
 namespace unidrive::workload {
 namespace {
+
+using unidrive::testing::test_seed;
 
 TEST(FilesTest, UniformBatch) {
   const auto batch = uniform_batch(100, 1 << 20);
@@ -108,6 +117,99 @@ TEST(TrialTest, SizeClassesPartition) {
   EXPECT_EQ(size_class_of(1 << 20), 2);
   EXPECT_EQ(size_class_of(50 << 20), 3);
   EXPECT_EQ(trial_size_classes().size(), 4u);
+}
+
+// --- distribution properties, held across seeds ---------------------------
+//
+// The figure benches aggregate over the generated population; these pin the
+// distributional invariants the aggregation relies on, for ANY seed (replay
+// a different draw with UNIDRIVE_TEST_SEED).
+
+TEST(TrialPropertyTest, CategoryAndSizeShapesHoldAcrossSeeds) {
+  TrialConfig config;
+  config.num_files = 12000;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    const Trial trial = generate_trial(config, test_seed(5000 + s));
+    std::size_t docs = 0, media = 0;
+    std::array<std::size_t, 4> classes{};
+    for (const auto& ev : trial.events) {
+      if (ev.kind == UploadEvent::Kind::kDocument) ++docs;
+      if (ev.kind == UploadEvent::Kind::kMultimedia) ++media;
+      ++classes[static_cast<std::size_t>(size_class_of(ev.bytes))];
+    }
+    const double n = static_cast<double>(trial.events.size());
+    // Paper shares: 28.3% documents, 30.5% multimedia (section 7.3).
+    EXPECT_NEAR(static_cast<double>(docs) / n, 0.283, 0.03) << "seed " << s;
+    EXPECT_NEAR(static_cast<double>(media) / n, 0.305, 0.03) << "seed " << s;
+    // Every size class is populated, and the mean stays in the ~5 MB band
+    // implied by ~97k files / ~500 GB.
+    for (std::size_t cl = 0; cl < classes.size(); ++cl) {
+      EXPECT_GT(classes[cl], 0u) << "class " << cl << " empty, seed " << s;
+    }
+    const double mean = static_cast<double>(trial.total_bytes) / n;
+    EXPECT_GT(mean, 0.5e6) << "seed " << s;
+    EXPECT_LT(mean, 20e6) << "seed " << s;
+  }
+}
+
+TEST(TrialPropertyTest, SitePopulationAndEventAttributionConsistent) {
+  TrialConfig config;
+  config.num_files = 6000;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    const Trial trial = generate_trial(config, test_seed(6000 + s));
+    std::size_t total_users = 0;
+    for (const auto& site : trial.sites) {
+      EXPECT_GT(site.users, 0u) << "empty site, seed " << s;
+      total_users += site.users;
+    }
+    EXPECT_EQ(total_users, config.num_users) << "seed " << s;
+    // Every event names a real site and user, and a user never migrates:
+    // all of one user's uploads originate from a single site.
+    std::set<std::size_t> active_sites;
+    std::map<std::size_t, std::size_t> user_site;
+    for (const auto& ev : trial.events) {
+      ASSERT_LT(ev.site, trial.sites.size());
+      EXPECT_LT(ev.user, config.num_users) << "seed " << s;
+      const auto [it, inserted] = user_site.emplace(ev.user, ev.site);
+      if (!inserted) EXPECT_EQ(it->second, ev.site) << "seed " << s;
+      active_sites.insert(ev.site);
+    }
+    // Uploads are not concentrated on a handful of sites.
+    EXPECT_GE(active_sites.size(), trial.sites.size() / 2) << "seed " << s;
+  }
+}
+
+TEST(TrialPropertyTest, EventsSpreadOverTheWholeWindow) {
+  TrialConfig config;
+  config.num_files = 6000;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    const Trial trial = generate_trial(config, test_seed(7000 + s));
+    const double window = config.duration_days * 86400.0;
+    std::array<std::size_t, 7> by_day{};
+    for (const auto& ev : trial.events) {
+      ASSERT_GE(ev.time, 0.0);
+      ASSERT_LE(ev.time, window);
+      const auto day = std::min<std::size_t>(
+          6, static_cast<std::size_t>(ev.time / 86400.0));
+      ++by_day[day];
+    }
+    // Figure 16 averages per day: every day must carry a usable sample.
+    for (std::size_t d = 0; d < by_day.size(); ++d) {
+      EXPECT_GT(by_day[d], config.num_files / 70) << "day " << d << " seed "
+                                                  << s;
+    }
+  }
+}
+
+TEST(TrialPropertyTest, TotalBytesMatchesEventSum) {
+  TrialConfig config;
+  config.num_files = 3000;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    const Trial trial = generate_trial(config, test_seed(8000 + s));
+    std::uint64_t sum = 0;
+    for (const auto& ev : trial.events) sum += ev.bytes;
+    EXPECT_EQ(sum, trial.total_bytes) << "seed " << s;
+  }
 }
 
 TEST(TrialTest, DeterministicUnderSeed) {
