@@ -1,0 +1,451 @@
+// bench_meta_scale — commit/catch-up cost of the metadata plane as the
+// folder grows: monolithic MetaStore (one image, O(folder) folds) vs the
+// sharded ShardedMetaStore (per-shard bases + delta logs, O(changed
+// subtree) commits), plus a concurrent-writer ladder over the sharded
+// store with per-shard locks.
+//
+// Ladder: 10k -> 100k -> 1M files (UNIDRIVE_META_SCALE_FILES appends an
+// extra point, e.g. 10000000). At each point we measure a ONE-FILE commit
+// at its amortized-worst moment — the fold the delta policy forces once
+// the log outgrows λ. Monolithic, that fold re-serializes, re-encrypts and
+// re-replicates the entire image; sharded, it folds one shard (shard count
+// scales with the folder, so the shard stays O(changed subtree)). Reader
+// catch-up after that commit is measured the same way: the monolithic
+// reader replays the full image, the sharded reader re-fetches exactly the
+// one advanced shard (version short-circuit serves the rest from cache).
+//
+// Writer ladder: 1 -> 1000 writers, each committing one token file to its
+// own subtree through its own ShardedMetaStore + LockManager over shared
+// clouds. Disjoint shards stage concurrently; only the root flip
+// serializes.
+//
+// Emits BENCH_meta.json (CI artifact). Hard gates (exit 1):
+//   * sharded one-file fold commit at the 1M point is >= 10x faster than
+//     the monolithic equivalent;
+//   * sharded commit latency grows sublinearly across the ladder
+//     (O(changed subtree), not O(folder)): the 100x file-count span may
+//     cost at most 10x in commit latency;
+//   * every ladder commit succeeded, and the writer ladder lost ZERO
+//     updates (token oracle over the assembled image).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloud/memory_cloud.h"
+#include "common/rng.h"
+#include "lock/lock_manager.h"
+#include "metadata/changelist.h"
+#include "metadata/shard.h"
+#include "metadata/sharded_store.h"
+#include "metadata/store.h"
+
+namespace unidrive::bench {
+namespace {
+
+using metadata::Change;
+using metadata::DeltaPolicy;
+using metadata::FileSnapshot;
+using metadata::MetaStore;
+using metadata::ShardConfig;
+using metadata::ShardedMetaStore;
+using metadata::ShardEntry;
+using metadata::ShardManifest;
+using metadata::SyncFolderImage;
+using metadata::VersionStamp;
+
+constexpr int kClouds = 3;
+constexpr std::size_t kFilesPerDir = 1024;
+
+double now_sec() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+// Peak resident set (MiB) from /proc/self/status; -1 when unavailable.
+double peak_rss_mib() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  double kib = -1;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %lf kB", &kib) == 1) break;
+  }
+  std::fclose(f);
+  return kib < 0 ? -1 : kib / 1024.0;
+}
+
+cloud::MultiCloud make_clouds() {
+  cloud::MultiCloud clouds;
+  for (int i = 0; i < kClouds; ++i) {
+    clouds.push_back(std::make_shared<cloud::MemoryCloud>(
+        static_cast<cloud::CloudId>(i), "cloud" + std::to_string(i)));
+  }
+  return clouds;
+}
+
+std::string file_path(std::size_t index) {
+  return "/dir" + std::to_string(index / kFilesPerDir) + "/f" +
+         std::to_string(index % kFilesPerDir);
+}
+
+FileSnapshot snapshot_of(const std::string& path) {
+  FileSnapshot s;
+  s.path = path;
+  s.size = 4096;
+  s.content_hash = "sha-" + path;
+  s.origin_device = "bench";
+  return s;
+}
+
+SyncFolderImage build_image(std::size_t files) {
+  SyncFolderImage image;
+  for (std::size_t i = 0; i < files; ++i) {
+    image.upsert_file(snapshot_of(file_path(i)));
+  }
+  image.set_version({"bench", 1, 0.0});
+  return image;
+}
+
+// Shard count scaling with the folder keeps each shard O(changed subtree):
+// ~16k files per shard regardless of total size.
+std::uint32_t shards_for(std::size_t files) {
+  return std::max<std::uint32_t>(
+      16, static_cast<std::uint32_t>(files / 16384));
+}
+
+struct PointResult {
+  std::size_t files = 0;
+  double mono_commit_s = -1;    // 1-file commit, fold due (O(folder))
+  double mono_catchup_s = -1;   // reader replay after that commit
+  double shard_commit_s = -1;   // 1-file commit, shard fold forced
+  double shard_catchup_s = -1;  // warm reader: one shard re-fetched
+  std::uint32_t num_shards = 0;
+  bool ok = false;
+};
+
+PointResult run_point(const SyncFolderImage& image, std::size_t files) {
+  PointResult r;
+  r.files = files;
+  r.num_shards = shards_for(files);
+
+  const std::string touched = file_path(files / 2);
+  // Fold ALWAYS due: this is the amortized-worst commit both designs pay
+  // once the delta log outgrows λ — the O(folder)-vs-O(subtree) moment.
+  const DeltaPolicy fold_now{.merge_ratio = 0.0, .merge_floor = 0};
+
+  // --- monolithic -----------------------------------------------------------
+  {
+    MetaStore store(make_clouds(), "bench-pass");
+    metadata::DeltaLog empty;
+    if (!store.publish(image, empty, /*upload_base=*/true).is_ok()) return r;
+
+    SyncFolderImage next = image;
+    FileSnapshot s = snapshot_of(touched);
+    s.content_hash = "sha-v2";
+    const double t0 = now_sec();
+    next.upsert_file(s);
+    next.set_version({"bench", 2, 0.0});
+    // The fold: the whole image re-serialized, re-encrypted, re-replicated.
+    if (!store.publish(next, empty, /*upload_base=*/true).is_ok()) return r;
+    r.mono_commit_s = now_sec() - t0;
+
+    // Reader that fetched v1 catches up to v2: full O(folder) replay (the
+    // version short-circuit only helps when NOTHING changed).
+    MetaStore reader(store.clouds(), "bench-pass");
+    const double t1 = now_sec();
+    auto fetched = reader.fetch_latest();
+    if (!fetched.is_ok()) return r;
+    r.mono_catchup_s = now_sec() - t1;
+  }
+
+  // --- sharded --------------------------------------------------------------
+  {
+    auto clouds = make_clouds();
+    ShardConfig cfg;
+    cfg.num_shards = r.num_shards;
+    ShardedMetaStore store(clouds, "bench-pass", cfg);
+
+    // Seed: one bulk commit of every file (O(folder), paid once at setup).
+    std::vector<Change> seed;
+    seed.reserve(files);
+    for (const auto& [path, snap] : image.files()) {
+      seed.push_back(Change::upsert_file(snap));
+    }
+    ShardManifest fenced;
+    fenced.num_shards = cfg.num_shards;
+    std::vector<ShardEntry> dirty;
+    for (const auto& slice :
+         split_changes_by_shard(seed, cfg.num_shards)) {
+      auto e = store.publish_shard(slice.shard, nullptr, slice.changes,
+                                   image, {"bench", 1, 0.0}, fold_now);
+      if (!e.is_ok()) return r;
+      dirty.push_back(std::move(e).take());
+    }
+    if (!store.commit_manifest(dirty, fenced, {"bench", 1, 0.0}).is_ok()) {
+      return r;
+    }
+
+    // A warm reader holding v1 (cache primed).
+    ShardedMetaStore reader(clouds, "bench-pass", cfg);
+    if (!reader.fetch_latest().is_ok()) return r;
+
+    // The measured 1-file commit, fold forced — but the fold touches ONE
+    // shard, whose size is bounded by the routing, not by the folder.
+    SyncFolderImage next = image;
+    FileSnapshot s = snapshot_of(touched);
+    s.content_hash = "sha-v2";
+    const double t0 = now_sec();
+    next.upsert_file(s);
+    next.set_version({"bench", 2, 0.0});
+    std::vector<Change> one{Change::upsert_file(s)};
+    auto fence = store.fetch_manifest();
+    if (!fence.is_ok()) return r;
+    const metadata::ShardId shard =
+        metadata::shard_of_path(touched, cfg.num_shards);
+    auto entry = store.publish_shard(shard, fence.value().find(shard), one,
+                                     next, {"bench", 2, 0.0}, fold_now);
+    if (!entry.is_ok()) return r;
+    if (!store.commit_manifest({entry.value()}, fence.value(),
+                               {"bench", 2, 0.0})
+             .is_ok()) {
+      return r;
+    }
+    r.shard_commit_s = now_sec() - t0;
+
+    // Warm reader catch-up: every clean shard short-circuits from cache,
+    // only the advanced shard is re-fetched and replayed.
+    const double t1 = now_sec();
+    auto caught = reader.fetch_latest();
+    if (!caught.is_ok() ||
+        caught.value().image.files().size() != files) {
+      return r;
+    }
+    r.shard_catchup_s = now_sec() - t1;
+  }
+
+  r.ok = true;
+  return r;
+}
+
+struct WriterResult {
+  int writers = 0;
+  double seconds = -1;
+  double commits_per_sec = -1;
+  bool zero_lost_updates = false;
+};
+
+WriterResult run_writers(int writers) {
+  WriterResult r;
+  r.writers = writers;
+
+  auto clouds = make_clouds();
+  ShardConfig cfg;
+  cfg.num_shards = 64;
+  const int threads =
+      std::min<int>(writers, std::max(4u, std::thread::hardware_concurrency()));
+
+  const double t0 = now_sec();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  std::atomic<int> next_writer{0};
+  std::atomic<int> failures{0};
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      ShardedMetaStore store(clouds, "bench-pass", cfg);
+      lock::LockConfig lk;
+      lk.retry.backoff_base = 0.0005;
+      lk.retry.backoff_cap = 0.01;
+      lk.retry.max_attempts = 256;
+      lock::LockManager locks(clouds, "writer-thread" + std::to_string(t),
+                              lk, RealClock::instance(),
+                              Rng(0xbe9cull * (t + 1)));
+      for (int w = next_writer.fetch_add(1); w < writers;
+           w = next_writer.fetch_add(1)) {
+        const std::string path = "/w" + std::to_string(w) + "/token";
+        std::vector<Change> cs{Change::upsert_file(snapshot_of(path))};
+        SyncFolderImage mine;
+        metadata::apply_change(mine, cs.front());
+        const metadata::ShardId shard =
+            metadata::shard_of_path(path, cfg.num_shards);
+        bool committed = false;
+        for (int attempt = 0; attempt < 64 && !committed; ++attempt) {
+          if (!locks.acquire(lock::Scope::of_shard(shard)).is_ok()) continue;
+          ShardManifest fenced;
+          auto m = store.fetch_manifest();
+          if (m.is_ok()) {
+            fenced = std::move(m).take();
+          } else if (m.code() != ErrorCode::kNotFound) {
+            locks.release_all();
+            continue;
+          } else {
+            fenced.num_shards = cfg.num_shards;
+          }
+          const VersionStamp stamp{"w" + std::to_string(w),
+                                   fenced.version.counter + 1, 0.0};
+          auto entry = store.publish_shard(shard, fenced.find(shard), cs,
+                                           mine, stamp, DeltaPolicy{});
+          if (entry.is_ok() && locks.acquire(lock::Scope::root()).is_ok()) {
+            committed =
+                store.commit_manifest({entry.value()}, fenced, stamp).is_ok();
+          }
+          locks.release_all();
+        }
+        if (!committed) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  r.seconds = now_sec() - t0;
+  r.commits_per_sec = r.seconds > 0 ? writers / r.seconds : -1;
+
+  if (failures.load() != 0) return r;
+  // Token oracle: every writer's file must be in the assembled image.
+  ShardedMetaStore reader(clouds, "bench-pass", cfg);
+  auto latest = reader.fetch_latest();
+  if (!latest.is_ok()) return r;
+  for (int w = 0; w < writers; ++w) {
+    if (latest.value().image.find_file("/w" + std::to_string(w) +
+                                       "/token") == nullptr) {
+      return r;
+    }
+  }
+  r.zero_lost_updates = true;
+  return r;
+}
+
+int run() {
+  std::vector<std::size_t> ladder{10'000, 100'000, 1'000'000};
+  if (const char* extra = std::getenv("UNIDRIVE_META_SCALE_FILES")) {
+    const auto v = static_cast<std::size_t>(std::strtoull(extra, nullptr, 0));
+    if (v > ladder.back()) ladder.push_back(v);
+  }
+
+  std::printf("bench_meta_scale: monolithic vs sharded metadata plane, "
+              "%d clouds, %zu files/dir\n\n",
+              kClouds, kFilesPerDir);
+  std::printf("%10s %7s | %12s %12s | %12s %12s | %8s\n", "files", "shards",
+              "mono commit", "mono catchup", "shard commit", "shard catchup",
+              "speedup");
+
+  std::vector<PointResult> points;
+  for (const std::size_t files : ladder) {
+    const SyncFolderImage image = build_image(files);
+    PointResult p = run_point(image, files);
+    const double speedup =
+        p.shard_commit_s > 0 ? p.mono_commit_s / p.shard_commit_s : -1;
+    std::printf("%10zu %7u | %10.1f ms %10.1f ms | %10.1f ms %10.1f ms | "
+                "%7.1fx\n",
+                p.files, p.num_shards, p.mono_commit_s * 1e3,
+                p.mono_catchup_s * 1e3, p.shard_commit_s * 1e3,
+                p.shard_catchup_s * 1e3, speedup);
+    points.push_back(p);
+  }
+
+  std::printf("\nwriter ladder (sharded store, per-shard locks):\n");
+  std::printf("%8s | %10s | %12s | %s\n", "writers", "seconds", "commits/s",
+              "lost updates");
+  std::vector<WriterResult> writer_results;
+  for (const int writers : {1, 10, 100, 1000}) {
+    WriterResult w = run_writers(writers);
+    std::printf("%8d | %8.3f s | %12.1f | %s\n", w.writers, w.seconds,
+                w.commits_per_sec, w.zero_lost_updates ? "none" : "LOST");
+    writer_results.push_back(w);
+  }
+
+  const double rss = peak_rss_mib();
+  std::printf("\npeak RSS: %.1f MiB\n", rss);
+
+  // --- gates ----------------------------------------------------------------
+  int failures = 0;
+  for (const PointResult& p : points) {
+    if (!p.ok) {
+      std::fprintf(stderr, "GATE: ladder point %zu files failed to run\n",
+                   p.files);
+      ++failures;
+    }
+  }
+  const PointResult& top = points.back().files >= 1'000'000
+                               ? points.back()
+                               : points[points.size() - 1];
+  const double top_speedup =
+      top.shard_commit_s > 0 ? top.mono_commit_s / top.shard_commit_s : 0;
+  if (top.ok && top_speedup < 10.0) {
+    std::fprintf(stderr,
+                 "GATE: sharded 1-file commit at %zu files must be >= 10x "
+                 "faster than monolithic, got %.1fx\n",
+                 top.files, top_speedup);
+    ++failures;
+  }
+  // O(changed subtree): 100x more files may cost at most 10x commit latency
+  // (it should be near-flat; the bound only absorbs timer noise on tiny
+  // absolute numbers).
+  const PointResult& base = points.front();
+  if (top.ok && base.ok &&
+      top.shard_commit_s > 10.0 * std::max(base.shard_commit_s, 1e-4)) {
+    std::fprintf(stderr,
+                 "GATE: sharded commit latency must scale with the changed "
+                 "subtree, not the folder: %.1f ms at %zu files vs %.1f ms "
+                 "at %zu files\n",
+                 top.shard_commit_s * 1e3, top.files,
+                 base.shard_commit_s * 1e3, base.files);
+    ++failures;
+  }
+  for (const WriterResult& w : writer_results) {
+    if (!w.zero_lost_updates) {
+      std::fprintf(stderr,
+                   "GATE: writer ladder at %d writers lost updates or "
+                   "failed to commit\n",
+                   w.writers);
+      ++failures;
+    }
+  }
+
+  FILE* json = std::fopen("BENCH_meta.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"points\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const PointResult& p = points[i];
+      std::fprintf(
+          json,
+          "    {\"files\": %zu, \"num_shards\": %u, "
+          "\"mono_commit_s\": %.6f, \"mono_catchup_s\": %.6f, "
+          "\"shard_commit_s\": %.6f, \"shard_catchup_s\": %.6f, "
+          "\"speedup\": %.2f}%s\n",
+          p.files, p.num_shards, p.mono_commit_s, p.mono_catchup_s,
+          p.shard_commit_s, p.shard_catchup_s,
+          p.shard_commit_s > 0 ? p.mono_commit_s / p.shard_commit_s : -1.0,
+          i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"writer_ladder\": [\n");
+    for (std::size_t i = 0; i < writer_results.size(); ++i) {
+      const WriterResult& w = writer_results[i];
+      std::fprintf(json,
+                   "    {\"writers\": %d, \"seconds\": %.4f, "
+                   "\"commits_per_sec\": %.1f, \"zero_lost_updates\": %s}%s\n",
+                   w.writers, w.seconds, w.commits_per_sec,
+                   w.zero_lost_updates ? "true" : "false",
+                   i + 1 < writer_results.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"top_speedup\": %.2f,\n"
+                 "  \"peak_rss_mib\": %.1f,\n  \"gate_failures\": %d\n}\n",
+                 top_speedup, rss, failures);
+    std::fclose(json);
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_meta_scale: %d gate failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("\nall gates passed (top speedup %.1fx)\n", top_speedup);
+  return 0;
+}
+
+}  // namespace
+}  // namespace unidrive::bench
+
+int main() { return unidrive::bench::run(); }

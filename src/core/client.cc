@@ -61,9 +61,9 @@ UniDriveClient::UniDriveClient(cloud::MultiCloud clouds,
       guarded_(cloud::guard_clouds(clouds_, config_.retry, health_, clock_,
                                    config_.sleep, rng_, obs_)),
       executor_(make_executor(config_, clouds_.size())),
-      store_(guarded_, config_.passphrase, obs_),
-      lock_(guarded_, config_.device, config_.lock, clock_, rng_.fork(),
-            config_.sleep, obs_),
+      store_(guarded_, config_.passphrase, config_.meta, obs_),
+      locks_(guarded_, config_.device, config_.lock, clock_, rng_.fork(),
+             config_.sleep, obs_),
       monitor_() {
   rebuild_async_clouds();
   load_state();
@@ -73,9 +73,10 @@ void UniDriveClient::rebuild_guards() {
   guarded_ = cloud::guard_clouds(clouds_, config_.retry, health_, clock_,
                                  config_.sleep, rng_, obs_);
   executor_ = make_executor(config_, clouds_.size());
-  store_ = metadata::MetaStore(guarded_, config_.passphrase, obs_);
-  lock_ = lock::QuorumLock(guarded_, config_.device, config_.lock, clock_,
-                           rng_.fork(), config_.sleep, obs_);
+  store_ = metadata::ShardedMetaStore(guarded_, config_.passphrase,
+                                      config_.meta, obs_);
+  locks_ = lock::LockManager(guarded_, config_.device, config_.lock, clock_,
+                             rng_.fork(), config_.sleep, obs_);
   rebuild_async_clouds();
 }
 
@@ -410,51 +411,304 @@ Result<UniDriveClient::ApplyOutcome> UniDriveClient::apply_cloud_image(
 
 // --- control plane ----------------------------------------------------------
 
-Status UniDriveClient::commit_locked(SyncFolderImage next,
-                                     const std::vector<Change>& changes) {
-  // Read the authoritative cloud-side base + delta pair (we hold the lock,
-  // so nobody else is writing) and APPEND our commit to the shared delta —
-  // overwriting it with a locally kept log would drop other devices'
-  // records that are not yet folded into the base.
-  SyncFolderImage base;
-  metadata::DeltaLog delta;
-  std::size_t base_size = 0;
-  auto raw = store_.fetch_raw();
-  if (raw.is_ok()) {
-    base = std::move(raw.value().base);
-    delta = std::move(raw.value().delta);
-    base_size = base.serialize().size();
+std::vector<lock::Scope> UniDriveClient::all_scopes() const {
+  std::vector<lock::Scope> scopes;
+  scopes.reserve(store_.num_shards() + 1);
+  for (std::uint32_t s = 0; s < store_.num_shards(); ++s) {
+    scopes.push_back(lock::Scope::of_shard(s));
   }
+  scopes.push_back(lock::Scope::root());
+  return scopes;
+}
 
-  VersionStamp version;
-  version.device = config_.device;
-  version.counter =
-      std::max({next.version().counter, image_.version().counter,
-                delta.latest_version().value_or(base.version()).counter}) +
-      1;
-  version.timestamp = clock_.now();
-  next.set_version(version);
-
-  metadata::CommitRecord record;
-  record.version = version;
-  record.changes = changes;
-  delta.append(std::move(record));
-
-  const std::size_t delta_size = delta.serialize().size();
-  const bool fold =
-      config_.delta_policy.should_merge(base_size, delta_size) ||
-      base_size == 0;
-  Status status;
-  if (fold) {
-    // Fold: the new base IS `next`; the delta restarts empty.
-    metadata::DeltaLog empty;
-    status = store_.publish(next, empty, /*upload_base=*/true);
-  } else {
-    status = store_.publish(base, delta, /*upload_base=*/false);
+Result<metadata::ShardManifest> UniDriveClient::publish_and_flip(
+    const SyncFolderImage& next, const std::vector<Change>& changes,
+    const metadata::ShardManifest& fenced, const VersionStamp& stamp) {
+  const auto slices =
+      metadata::split_changes_by_shard(changes, store_.num_shards());
+  std::vector<metadata::ShardEntry> dirty;
+  dirty.reserve(slices.size());
+  for (const metadata::ShardSlice& slice : slices) {
+    UNI_ASSIGN_OR_RETURN(
+        metadata::ShardEntry entry,
+        store_.publish_shard(slice.shard, fenced.find(slice.shard),
+                             slice.changes, next, stamp,
+                             config_.delta_policy));
+    dirty.push_back(std::move(entry));
   }
-  if (!status.is_ok()) return status;
-  image_ = std::move(next);
-  return Status::ok();
+  return store_.commit_manifest(dirty, fenced, stamp);
+}
+
+void UniDriveClient::absorb_foreign_shards(
+    SyncFolderImage& next, const metadata::ShardManifest& fenced,
+    const metadata::ShardManifest& committed,
+    const std::vector<metadata::ShardId>& own) {
+  std::set<metadata::ShardId> foreign;
+  for (const metadata::ShardEntry& e : committed.entries) {
+    if (std::find(own.begin(), own.end(), e.id) != own.end()) continue;
+    const metadata::ShardEntry* was = fenced.find(e.id);
+    if (was == nullptr || was->version < e.version) foreign.insert(e.id);
+  }
+  if (foreign.empty()) return;
+
+  // Rebuild the image as (our shards, untouched) + (foreign shards, as
+  // committed). Everything routed to a foreign shard is dropped first so a
+  // concurrent deletion in that shard does not resurrect through us.
+  const std::uint32_t n = committed.num_shards;
+  SyncFolderImage merged = next.extract(
+      [&](const std::string& path) {
+        return foreign.count(metadata::shard_of_path(path, n)) == 0;
+      },
+      [&](const std::string& seg) {
+        return foreign.count(metadata::shard_of_segment(seg, n)) == 0;
+      });
+  for (const metadata::ShardId id : foreign) {
+    const metadata::ShardEntry* e = committed.find(id);
+    if (e == nullptr) continue;
+    auto shard = store_.fetch_shard(*e);
+    if (!shard.is_ok()) {
+      // The foreign writer's objects are not visible right now: keep our
+      // own content but advertise the fenced basis, so the next round sees
+      // a cloud update and reconciles through the normal merge path.
+      obs::add_counter(obs_.get(), "meta.shard.absorb.err");
+      next.set_version(fenced.version);
+      return;
+    }
+    merged.absorb(shard.value());
+  }
+  merged.rebuild_refcounts();
+  merged.prune_segment_stubs();
+  merged.set_version(committed.version);
+  obs::add_counter(obs_.get(), "meta.shard.absorb.ok", foreign.size());
+  next = std::move(merged);
+}
+
+Status UniDriveClient::commit_sharded(const SyncFolderImage& local,
+                                      std::vector<Change> changes,
+                                      SyncReport* report) {
+  constexpr int kMaxAttempts = 4;
+  Status last = Status::ok();
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const std::uint32_t n = store_.num_shards();
+    auto slices = metadata::split_changes_by_shard(changes, n);
+    std::vector<lock::Scope> scopes;
+    scopes.reserve(slices.size());
+    for (const metadata::ShardSlice& s : slices) {
+      scopes.push_back(lock::Scope::of_shard(s.shard));
+    }
+    UNI_RETURN_IF_ERROR(locks_.acquire_all(scopes));
+
+    metadata::ShardManifest fenced;
+    {
+      auto manifest = store_.fetch_manifest();
+      if (manifest.is_ok()) {
+        fenced = std::move(manifest).take();
+      } else if (manifest.code() == ErrorCode::kNotFound) {
+        fenced.num_shards = n;  // first commit ever
+      } else {
+        locks_.release_all();
+        return manifest.status();
+      }
+    }
+    if (store_.num_shards() != n) {
+      // The published manifest was created with a different shard count
+      // (that choice is authoritative): re-route and re-lock.
+      locks_.release_all();
+      continue;
+    }
+
+    SyncFolderImage next = local;
+    if (image_.version() < fenced.version) {
+      // A foreign commit landed since our last reconcile: fetch and 3-way
+      // merge before committing (conflicts keep both copies).
+      auto fetched = store_.fetch_latest();
+      if (!fetched.is_ok()) {
+        locks_.release_all();
+        return fetched.status();
+      }
+      obs::Span merge_span = obs::start_span(obs_.get(), "sync.merge");
+      metadata::MergeResult merged = metadata::merge_images(
+          image_, local, fetched.value().image, config_.device);
+      merge_span.end();
+      if (report != nullptr) report->conflicts = merged.conflicts;
+      obs::add_counter(obs_.get(), "sync.conflicts", merged.conflicts.size());
+      // The merge may have rewritten paths (conflict copies): recompute the
+      // change list as the diff cloud->merged for the shard delta logs.
+      std::vector<Change> merged_changes;
+      for (const auto& [id, seg] : merged.merged.segments()) {
+        if (fetched.value().image.find_segment(id) == nullptr) {
+          merged_changes.push_back(Change::upsert_segment(seg));
+        }
+      }
+      const metadata::ImageDiff d =
+          metadata::diff_images(fetched.value().image, merged.merged);
+      for (const auto& [path, ec] : d.files) {
+        if (ec.kind == metadata::EntryChangeKind::kDeleted) {
+          merged_changes.push_back(Change::delete_file(path));
+        } else {
+          merged_changes.push_back(Change::upsert_file(*ec.snapshot));
+        }
+      }
+      for (const std::string& dir : d.added_dirs) {
+        merged_changes.push_back(Change::add_dir(dir));
+      }
+      for (const std::string& dir : d.removed_dirs) {
+        merged_changes.push_back(Change::delete_dir(dir));
+      }
+      next = std::move(merged.merged);
+      changes = std::move(merged_changes);
+      if (changes.empty()) {
+        // The cloud already carries everything we have: adopt, no commit.
+        next.set_version(fetched.value().image.version());
+        image_ = std::move(next);
+        locks_.release_all();
+        return Status::ok();
+      }
+      // The merge may have routed changes into shards we do not hold yet
+      // (conflict copies in other subtrees): re-lock with the full set.
+      slices = metadata::split_changes_by_shard(changes, n);
+      bool covered = true;
+      for (const metadata::ShardSlice& s : slices) {
+        if (!locks_.held(lock::Scope::of_shard(s.shard))) {
+          covered = false;
+          break;
+        }
+      }
+      if (!covered) {
+        locks_.release_all();
+        last = make_error(ErrorCode::kLockContention,
+                          "merge widened the dirty shard set");
+        continue;
+      }
+    }
+
+    VersionStamp stamp;
+    stamp.device = config_.device;
+    stamp.counter =
+        std::max(fenced.version.counter, image_.version().counter) + 1;
+    stamp.timestamp = clock_.now();
+    next.set_version(stamp);
+
+    // Stage every dirty shard WITHOUT the root scope — the heavy object
+    // uploads run concurrently with other writers' disjoint commits.
+    std::vector<metadata::ShardId> own;
+    own.reserve(slices.size());
+    std::vector<metadata::ShardEntry> dirty;
+    dirty.reserve(slices.size());
+    Status staged = Status::ok();
+    for (const metadata::ShardSlice& slice : slices) {
+      auto entry = store_.publish_shard(slice.shard, fenced.find(slice.shard),
+                                        slice.changes, next, stamp,
+                                        config_.delta_policy);
+      if (!entry.is_ok()) {
+        staged = entry.status();
+        break;
+      }
+      own.push_back(slice.shard);
+      dirty.push_back(std::move(entry).take());
+    }
+    if (!staged.is_ok()) {
+      locks_.release_all();
+      return staged;
+    }
+
+    // Root scope only for the manifest flip — the global choke point stays
+    // as narrow as the commit protocol allows.
+    if (const Status s = locks_.acquire(lock::Scope::root()); !s.is_ok()) {
+      locks_.release_all();
+      return s;
+    }
+    auto flipped = store_.commit_manifest(dirty, fenced, stamp);
+    locks_.release_all();
+    if (!flipped.is_ok()) {
+      if (flipped.code() == ErrorCode::kConflict) {
+        last = flipped.status();
+        continue;  // restage from fresh state
+      }
+      return flipped.status();
+    }
+    next.set_version(flipped.value().version);
+    absorb_foreign_shards(next, fenced, flipped.value(), own);
+    image_ = std::move(next);
+    return Status::ok();
+  }
+  return last.is_ok() ? make_error(ErrorCode::kLockContention,
+                                   "sharded commit retry budget exhausted")
+                      : last;
+}
+
+Status UniDriveClient::locked_mutation(
+    const std::function<std::vector<Change>(SyncFolderImage&)>& mutate,
+    bool adopt) {
+  constexpr int kMaxAttempts = 3;
+  Status last = make_error(ErrorCode::kConflict,
+                           "maintenance commit retry budget exhausted");
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    auto fetched = store_.fetch_latest();
+    if (!fetched.is_ok() && fetched.code() != ErrorCode::kNotFound) {
+      return fetched.status();
+    }
+    SyncFolderImage next =
+        fetched.is_ok() ? std::move(fetched).take().image : image_;
+    const VersionStamp basis = next.version();
+
+    std::vector<Change> changes = mutate(next);
+    if (changes.empty()) return Status::ok();
+
+    const std::uint32_t n = store_.num_shards();
+    const auto slices = metadata::split_changes_by_shard(changes, n);
+    std::vector<lock::Scope> scopes;
+    scopes.reserve(slices.size() + 1);
+    for (const metadata::ShardSlice& s : slices) {
+      scopes.push_back(lock::Scope::of_shard(s.shard));
+    }
+    scopes.push_back(lock::Scope::root());
+    UNI_RETURN_IF_ERROR(locks_.acquire_all(scopes));
+
+    metadata::ShardManifest fenced;
+    auto manifest = store_.fetch_manifest();
+    if (manifest.is_ok()) {
+      fenced = std::move(manifest).take();
+    } else if (manifest.code() == ErrorCode::kNotFound) {
+      fenced.num_shards = n;
+    } else {
+      locks_.release_all();
+      return manifest.status();
+    }
+    if (store_.num_shards() != n || fenced.version < basis ||
+        basis < fenced.version) {
+      // A commit landed between our fetch and the locks (the mutation was
+      // computed against stale state): recompute from fresh state.
+      locks_.release_all();
+      last = make_error(ErrorCode::kConflict,
+                        "metadata moved while staging a maintenance commit");
+      continue;
+    }
+
+    VersionStamp stamp;
+    stamp.device = config_.device;
+    stamp.counter =
+        std::max(fenced.version.counter, image_.version().counter) + 1;
+    stamp.timestamp = clock_.now();
+    next.set_version(stamp);
+
+    auto flipped = publish_and_flip(next, changes, fenced, stamp);
+    if (!flipped.is_ok()) {
+      locks_.release_all();
+      if (flipped.code() == ErrorCode::kConflict) {
+        last = flipped.status();
+        continue;
+      }
+      return flipped.status();
+    }
+    if (adopt) {
+      next.set_version(flipped.value().version);
+      image_ = std::move(next);
+    }
+    locks_.release_all();
+    return Status::ok();
+  }
+  return last;
 }
 
 Result<SyncReport> UniDriveClient::sync() {
@@ -522,57 +776,19 @@ Result<SyncReport> UniDriveClient::sync() {
       if (c.kind == metadata::ChangeKind::kUpsertFile) ++report.files_uploaded;
     }
 
-    UNI_RETURN_IF_ERROR(lock_.acquire());
-    Status commit_status;
-    if (store_.has_cloud_update(image_.version())) {
-      auto fetched = store_.fetch_latest();
-      if (!fetched.is_ok()) {
-        lock_.release();
-        return fetched.status();
-      }
-      obs::Span merge_span = round_span.child("sync.merge");
-      metadata::MergeResult merged = metadata::merge_images(
-          image_, local, fetched.value().image, config_.device);
-      merge_span.end();
-      report.conflicts = merged.conflicts;
-      obs::add_counter(obs_.get(), "sync.conflicts",
-                       merged.conflicts.size());
-      // The merge may have rewritten paths (conflict copies): recompute the
-      // change list as the diff base->merged for the delta log.
-      std::vector<Change> merged_changes;
-      for (const auto& [id, seg] : merged.merged.segments()) {
-        if (fetched.value().image.find_segment(id) == nullptr) {
-          merged_changes.push_back(Change::upsert_segment(seg));
-        }
-      }
-      const metadata::ImageDiff d =
-          metadata::diff_images(fetched.value().image, merged.merged);
-      for (const auto& [path, ec] : d.files) {
-        if (ec.kind == metadata::EntryChangeKind::kDeleted) {
-          merged_changes.push_back(Change::delete_file(path));
-        } else {
-          merged_changes.push_back(Change::upsert_file(*ec.snapshot));
-        }
-      }
-      for (const std::string& dir : d.added_dirs) {
-        merged_changes.push_back(Change::add_dir(dir));
-      }
-      for (const std::string& dir : d.removed_dirs) {
-        merged_changes.push_back(Change::delete_dir(dir));
-      }
+    {
+      // Sharded commit: locks only the dirty shard scopes (merging against
+      // the cloud state when behind), stages one delta object per dirty
+      // shard and flips the root manifest atomically under the root scope.
       obs::Span commit_span = round_span.child("sync.commit");
-      commit_status = commit_locked(merged.merged, merged_changes);
-    } else {
-      obs::Span commit_span = round_span.child("sync.commit");
-      commit_status = commit_locked(local, committed_changes);
+      UNI_RETURN_IF_ERROR(
+          commit_sharded(local, std::move(committed_changes), &report));
     }
-    lock_.release();
-    UNI_RETURN_IF_ERROR(commit_status);
     report.committed = true;
 
     // Bring the local folder up to the committed state (conflict copies,
     // concurrently added files from other devices). The local folder
-    // currently reflects v_l, so diff from there — commit_locked already
+    // currently reflects v_l, so diff from there — commit_sharded already
     // moved image_ to the merged state.
     const SyncFolderImage committed = image_;
     image_ = local;
@@ -637,79 +853,65 @@ Result<SyncReport> UniDriveClient::sync() {
 
 Status UniDriveClient::cleanup_overprovisioned() {
   const sched::CodeParams params = code_params();
-  UNI_RETURN_IF_ERROR(lock_.acquire());
-  auto fetched = store_.fetch_latest();
-  if (!fetched.is_ok()) {
-    lock_.release();
-    return fetched.status();
-  }
-  SyncFolderImage next = std::move(fetched).take().image;
-
-  std::vector<Change> changes;
-  for (const auto& [id, seg] : next.segments()) {
-    std::map<cloud::CloudId, std::size_t> per_cloud;
-    SegmentInfo trimmed = seg;
-    std::vector<metadata::BlockLocation> keep;
-    for (const metadata::BlockLocation& b : seg.blocks) {
-      if (per_cloud[b.cloud] < params.fair_share()) {
-        keep.push_back(b);
-        ++per_cloud[b.cloud];
-      } else {
-        // Surplus: delete the block from the cloud (best effort).
-        cloud::CloudProvider* provider = find_cloud(b.cloud);
-        if (provider != nullptr) {
-          (void)provider->remove(metadata::block_path(id, b.block_index));
+  return locked_mutation(
+      [&](SyncFolderImage& next) {
+        std::vector<Change> changes;
+        for (const auto& [id, seg] : next.segments()) {
+          std::map<cloud::CloudId, std::size_t> per_cloud;
+          SegmentInfo trimmed = seg;
+          std::vector<metadata::BlockLocation> keep;
+          for (const metadata::BlockLocation& b : seg.blocks) {
+            if (per_cloud[b.cloud] < params.fair_share()) {
+              keep.push_back(b);
+              ++per_cloud[b.cloud];
+            } else {
+              // Surplus: delete the block from the cloud (best effort,
+              // idempotent if the commit below retries).
+              cloud::CloudProvider* provider = find_cloud(b.cloud);
+              if (provider != nullptr) {
+                (void)provider->remove(metadata::block_path(id, b.block_index));
+              }
+            }
+          }
+          if (keep.size() != seg.blocks.size()) {
+            trimmed.blocks = std::move(keep);
+            changes.push_back(Change::upsert_segment(trimmed));
+          }
         }
-      }
-    }
-    if (keep.size() != seg.blocks.size()) {
-      trimmed.blocks = std::move(keep);
-      changes.push_back(Change::upsert_segment(trimmed));
-    }
-  }
-
-  Status status = Status::ok();
-  if (!changes.empty()) {
-    for (const Change& c : changes) apply_change(next, c);
-    status = commit_locked(std::move(next), changes);
-  }
-  lock_.release();
-  return status;
+        for (const Change& c : changes) apply_change(next, c);
+        return changes;
+      },
+      /*adopt=*/true);
 }
 
 Result<std::size_t> UniDriveClient::collect_garbage() {
-  UNI_RETURN_IF_ERROR(lock_.acquire());
-  auto fetched = store_.fetch_latest();
-  if (!fetched.is_ok()) {
-    lock_.release();
-    return fetched.status();
-  }
-  SyncFolderImage next = std::move(fetched).take().image;
-
-  std::vector<Change> changes;
-  for (const std::string& seg_id : next.garbage_segments()) {
-    const SegmentInfo* seg = next.find_segment(seg_id);
-    if (seg == nullptr) continue;
-    // Blocks first, metadata second: a crash in between leaves a harmless
-    // pool entry pointing at deleted blocks (retried next GC), never a
-    // referenced segment without blocks.
-    for (const metadata::BlockLocation& b : seg->blocks) {
-      cloud::CloudProvider* provider = find_cloud(b.cloud);
-      if (provider != nullptr) {
-        (void)provider->remove(metadata::block_path(seg_id, b.block_index));
-      }
-    }
-    changes.push_back(Change::drop_segment(seg_id));
-  }
-
-  Status status = Status::ok();
-  if (!changes.empty()) {
-    for (const Change& c : changes) apply_change(next, c);
-    status = commit_locked(std::move(next), changes);
-  }
-  lock_.release();
+  std::size_t collected = 0;
+  const Status status = locked_mutation(
+      [&](SyncFolderImage& next) {
+        collected = 0;
+        std::vector<Change> changes;
+        for (const std::string& seg_id : next.garbage_segments()) {
+          const SegmentInfo* seg = next.find_segment(seg_id);
+          if (seg == nullptr) continue;
+          // Blocks first, metadata second: a crash in between leaves a
+          // harmless pool entry pointing at deleted blocks (retried next
+          // GC), never a referenced segment without blocks.
+          for (const metadata::BlockLocation& b : seg->blocks) {
+            cloud::CloudProvider* provider = find_cloud(b.cloud);
+            if (provider != nullptr) {
+              (void)provider->remove(
+                  metadata::block_path(seg_id, b.block_index));
+            }
+          }
+          changes.push_back(Change::drop_segment(seg_id));
+        }
+        collected = changes.size();
+        for (const Change& c : changes) apply_change(next, c);
+        return changes;
+      },
+      /*adopt=*/true);
   if (!status.is_ok()) return status;
-  return changes.size();
+  return collected;
 }
 
 Status UniDriveClient::resolve_conflict(const metadata::ConflictRecord& record,
@@ -810,40 +1012,31 @@ Result<Bytes> UniDriveClient::reconstruct_segment(
 Status UniDriveClient::commit_repaired_placements(
     std::vector<SegmentInfo> repaired) {
   if (repaired.empty()) return Status::ok();
-  UNI_RETURN_IF_ERROR(lock_.acquire());
-  auto fetched = store_.fetch_latest();
-  if (!fetched.is_ok()) {
-    lock_.release();
-    return fetched.status();
+  bool committed = false;
+  // adopt=false: v_o (image_) deliberately does NOT advance — file changes
+  // committed by other devices since our last sync ride in the fetched
+  // image, and jumping image_ past them would skip their local
+  // materialization. The repair commit arrives through the normal apply
+  // path next round.
+  const Status status = locked_mutation(
+      [&](SyncFolderImage& next) {
+        std::vector<Change> changes;
+        for (const SegmentInfo& seg : repaired) {
+          const SegmentInfo* current = next.find_segment(seg.id);
+          // Vanished (GC'd) or already identical: repair is moot/duplicate.
+          if (current == nullptr || current->blocks == seg.blocks) continue;
+          SegmentInfo updated = *current;  // keep commit-side refcount/size
+          updated.blocks = seg.blocks;
+          changes.push_back(Change::upsert_segment(std::move(updated)));
+        }
+        committed = !changes.empty();
+        for (const Change& c : changes) apply_change(next, c);
+        return changes;
+      },
+      /*adopt=*/false);
+  if (status.is_ok() && committed) {
+    obs::add_counter(obs_.get(), "repair.placement_commits");
   }
-  SyncFolderImage next = std::move(fetched).take().image;
-
-  std::vector<Change> changes;
-  for (SegmentInfo& seg : repaired) {
-    const SegmentInfo* current = next.find_segment(seg.id);
-    // Vanished (GC'd) or already identical: the repair is moot/duplicate.
-    if (current == nullptr || current->blocks == seg.blocks) continue;
-    SegmentInfo updated = *current;  // keep the commit-side refcount/size
-    updated.blocks = seg.blocks;
-    changes.push_back(Change::upsert_segment(std::move(updated)));
-  }
-
-  Status status = Status::ok();
-  if (!changes.empty()) {
-    // Deliberately do NOT adopt the committed image as v_o: file changes
-    // committed by other devices since our last sync ride in `next`, and
-    // jumping image_ past them would skip their local materialization.
-    // Restoring image_ makes the repair commit (and anything else in
-    // `next`) arrive through the normal apply path next round.
-    const SyncFolderImage prev = image_;
-    for (const Change& change : changes) apply_change(next, change);
-    status = commit_locked(std::move(next), changes);
-    if (status.is_ok()) {
-      image_ = prev;
-      obs::add_counter(obs_.get(), "repair.placement_commits");
-    }
-  }
-  lock_.release();
   return status;
 }
 
@@ -882,8 +1075,60 @@ void UniDriveClient::execute_rebalance(const SyncFolderImage& image,
   }
 }
 
+// After a membership swap: re-lock the world on the NEW membership, splice
+// the rebalanced block map onto the freshest committed state (a writer may
+// have committed in the guard-rebuild window — clobbering its image with
+// our pre-swap copy would lose that update) and flip the root.
+Status UniDriveClient::commit_membership_image(SyncFolderImage next) {
+  UNI_RETURN_IF_ERROR(locks_.acquire_all(all_scopes()));
+
+  metadata::ShardManifest fenced;
+  auto manifest = store_.fetch_manifest();
+  if (manifest.is_ok()) {
+    fenced = std::move(manifest).take();
+  } else if (manifest.code() == ErrorCode::kNotFound) {
+    fenced.num_shards = store_.num_shards();
+  } else {
+    locks_.release_all();
+    return manifest.status();
+  }
+
+  std::vector<Change> changes;
+  for (const auto& [id, seg] : next.segments()) {
+    changes.push_back(Change::upsert_segment(seg));
+  }
+
+  SyncFolderImage base = std::move(next);
+  auto fresh = store_.fetch_latest();
+  if (fresh.is_ok()) {
+    // upsert_segment preserves the fresh image's refcounts, so foreign
+    // file commits from the swap window survive with correct references.
+    base = std::move(fresh).take().image;
+    for (const Change& c : changes) apply_change(base, c);
+  }
+
+  VersionStamp stamp;
+  stamp.device = config_.device;
+  stamp.counter =
+      std::max(fenced.version.counter, base.version().counter) + 1;
+  stamp.timestamp = clock_.now();
+  base.set_version(stamp);
+
+  auto flipped = publish_and_flip(base, changes, fenced, stamp);
+  if (!flipped.is_ok()) {
+    locks_.release_all();
+    return flipped.status();
+  }
+  base.set_version(flipped.value().version);
+  image_ = std::move(base);
+  locks_.release_all();
+  return Status::ok();
+}
+
 Status UniDriveClient::add_cloud(cloud::CloudPtr new_cloud) {
-  UNI_RETURN_IF_ERROR(lock_.acquire());
+  // Membership changes rewrite placements across every shard: hold every
+  // scope (stop-the-world) while the rebalance runs.
+  UNI_RETURN_IF_ERROR(locks_.acquire_all(all_scopes()));
   auto fetched = store_.fetch_latest();
   SyncFolderImage next = fetched.is_ok() ? fetched.value().image : image_;
 
@@ -893,7 +1138,7 @@ Status UniDriveClient::add_cloud(cloud::CloudPtr new_cloud) {
   params.num_clouds = all_ids.size();
   const Status valid = params.validate();
   if (!valid.is_ok()) {
-    lock_.release();
+    locks_.release_all();
     return valid;
   }
 
@@ -904,23 +1149,16 @@ Status UniDriveClient::add_cloud(cloud::CloudPtr new_cloud) {
   cloud::RetryingCloud added_guard(new_cloud, config_.retry, health_, clock_,
                                    config_.sleep, rng_.fork(), obs_);
   execute_rebalance(next, plan, codec_for(params), &added_guard);
-
   sched::apply_rebalance(next, plan);
+
+  locks_.release_all();  // release on the OLD membership before rebuilding
   clouds_.push_back(std::move(new_cloud));
-  // Rebuild guards + store + lock over the new membership.
   rebuild_guards();
-  UNI_RETURN_IF_ERROR(lock_.acquire());
-  std::vector<Change> changes;
-  for (const auto& [id, seg] : next.segments()) {
-    changes.push_back(Change::upsert_segment(seg));
-  }
-  const Status status = commit_locked(std::move(next), changes);
-  lock_.release();
-  return status;
+  return commit_membership_image(std::move(next));
 }
 
 Status UniDriveClient::remove_cloud(cloud::CloudId removed) {
-  UNI_RETURN_IF_ERROR(lock_.acquire());
+  UNI_RETURN_IF_ERROR(locks_.acquire_all(all_scopes()));
   auto fetched = store_.fetch_latest();
   SyncFolderImage next = fetched.is_ok() ? fetched.value().image : image_;
 
@@ -929,38 +1167,30 @@ Status UniDriveClient::remove_cloud(cloud::CloudId removed) {
     if (c->id() != removed) survivors.push_back(c->id());
   }
   if (survivors.size() == clouds_.size()) {
-    lock_.release();
+    locks_.release_all();
     return make_error(ErrorCode::kInvalidArgument, "cloud not enrolled");
   }
   sched::CodeParams params = code_params();
   params.num_clouds = survivors.size();
   const Status valid = params.validate();
   if (!valid.is_ok()) {
-    lock_.release();
+    locks_.release_all();
     return valid;
   }
 
   const sched::RebalancePlan plan =
       sched::plan_remove_cloud(next, removed, survivors, params);
   execute_rebalance(next, plan, codec_for(params), nullptr);
-
   sched::apply_rebalance(next, plan);
-  lock_.release();  // release on the OLD membership before rebuilding
 
+  locks_.release_all();  // release on the OLD membership before rebuilding
   clouds_.erase(std::remove_if(clouds_.begin(), clouds_.end(),
                                [&](const cloud::CloudPtr& c) {
                                  return c->id() == removed;
                                }),
                 clouds_.end());
   rebuild_guards();
-  UNI_RETURN_IF_ERROR(lock_.acquire());
-  std::vector<Change> changes;
-  for (const auto& [id, seg] : next.segments()) {
-    changes.push_back(Change::upsert_segment(seg));
-  }
-  const Status status = commit_locked(std::move(next), changes);
-  lock_.release();
-  return status;
+  return commit_membership_image(std::move(next));
 }
 
 }  // namespace unidrive::core

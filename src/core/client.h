@@ -17,6 +17,7 @@
 // the (small) metadata commit.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "cloud/async.h"
@@ -32,9 +33,9 @@
 #include "core/local_fs.h"
 #include "core/upload_pipeline.h"
 #include "erasure/rs.h"
-#include "lock/quorum_lock.h"
+#include "lock/lock_manager.h"
 #include "metadata/diff.h"
-#include "metadata/store.h"
+#include "metadata/sharded_store.h"
 #include "obs/obs.h"
 #include "repair/durability.h"
 #include "sched/monitor.h"
@@ -57,6 +58,8 @@ struct ClientConfig {
   // scan-then-upload round.
   PipelineConfig pipeline;
   metadata::DeltaPolicy delta_policy;
+  // Sharded metadata plane: shard count, per-shard compaction bound, cache.
+  metadata::ShardConfig meta;
   // Unified resilience layer: every enrolled cloud is wrapped exactly once
   // in a cloud::RetryingCloud combining this retry policy with a circuit
   // breaker shared across sync rounds — no other layer retries.
@@ -263,10 +266,50 @@ class UniDriveClient {
   Result<ApplyOutcome> apply_cloud_image(
       const metadata::SyncFolderImage& target);
 
-  // Commits `next` (already merged) under the held lock, handling
-  // delta-vs-base upload per the DeltaPolicy.
-  Status commit_locked(metadata::SyncFolderImage next,
-                       const std::vector<metadata::Change>& changes);
+  // The sharded commit path for sync(): locks only the dirty shard scopes,
+  // merges against the cloud state when behind, stages one delta (or folded
+  // base) per dirty shard and flips the root manifest atomically. Retries
+  // from fresh state on fence conflicts. On success image_ holds the
+  // committed image.
+  Status commit_sharded(const metadata::SyncFolderImage& local,
+                        std::vector<metadata::Change> changes,
+                        SyncReport* report);
+
+  // Stages `changes` (already applied to `next`) against the `fenced`
+  // manifest and flips the root. All required scopes must already be held.
+  // Returns the committed manifest.
+  Result<metadata::ShardManifest> publish_and_flip(
+      const metadata::SyncFolderImage& next,
+      const std::vector<metadata::Change>& changes,
+      const metadata::ShardManifest& fenced,
+      const metadata::VersionStamp& stamp);
+
+  // Fetch-latest → mutate → lock dirty scopes (+ root) → freshness check →
+  // publish+flip retry loop shared by the maintenance commits (cleanup, GC,
+  // repair). `adopt` advances image_ (v_o) to the committed state; repair
+  // passes false so foreign file changes still reach the apply path.
+  Status locked_mutation(
+      const std::function<std::vector<metadata::Change>(
+          metadata::SyncFolderImage&)>& mutate,
+      bool adopt);
+
+  // Folds shards that advanced between `fenced` and `committed` by foreign
+  // writers into `next` (our shards in `own` are kept as-is). Falls back to
+  // advertising the fenced version on fetch failure so the next round
+  // reconciles through the normal cloud-update path.
+  void absorb_foreign_shards(metadata::SyncFolderImage& next,
+                             const metadata::ShardManifest& fenced,
+                             const metadata::ShardManifest& committed,
+                             const std::vector<metadata::ShardId>& own);
+
+  // Every shard scope plus root — the stop-the-world set membership changes
+  // take while they rewrite placements across the whole image.
+  [[nodiscard]] std::vector<lock::Scope> all_scopes() const;
+
+  // Commits the rebalanced image after a membership swap: re-locks all
+  // scopes on the new membership, splices the block map onto the freshest
+  // committed state and flips the root.
+  Status commit_membership_image(metadata::SyncFolderImage next);
 
   [[nodiscard]] std::vector<cloud::CloudId> cloud_ids() const;
   // Resolves to the GUARDED provider — all I/O goes through the resilience
@@ -309,8 +352,8 @@ class UniDriveClient {
   cloud::AsyncMultiCloud async_clouds_;
 
   metadata::SyncFolderImage image_;  // v_o: last known committed state
-  metadata::MetaStore store_;
-  lock::QuorumLock lock_;
+  metadata::ShardedMetaStore store_;
+  lock::LockManager locks_;
   sched::ThroughputMonitor monitor_;
   ScanCache scan_cache_;  // (size, mtime) fingerprints; avoids re-hashing
 };

@@ -1,0 +1,71 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+
+namespace unidrive::lock {
+
+LockManager::LockManager(cloud::MultiCloud clouds, std::string device,
+                         LockConfig config, Clock& clock, Rng rng,
+                         SleepFn sleep, obs::ObsPtr obs)
+    : clouds_(std::move(clouds)),
+      device_(std::move(device)),
+      config_(std::move(config)),
+      clock_(&clock),
+      rng_(rng),
+      sleep_(std::move(sleep)),
+      obs_(std::move(obs)) {}
+
+std::string LockManager::dir_for(const Scope& scope) const {
+  if (scope.kind == Scope::Kind::kRoot) return config_.lock_dir;
+  return config_.lock_dir + "/s" + std::to_string(scope.shard);
+}
+
+QuorumLock& LockManager::lock_for(const Scope& scope) {
+  auto it = locks_.find(scope);
+  if (it == locks_.end()) {
+    LockConfig scoped = config_;
+    scoped.lock_dir = dir_for(scope);
+    it = locks_
+             .emplace(scope, QuorumLock(clouds_, device_, std::move(scoped),
+                                        *clock_, rng_.fork(), sleep_, obs_))
+             .first;
+  }
+  return it->second;
+}
+
+Status LockManager::acquire(const Scope& scope) {
+  return lock_for(scope).acquire();
+}
+
+Status LockManager::acquire_all(std::vector<Scope> scopes) {
+  std::sort(scopes.begin(), scopes.end());
+  scopes.erase(std::unique(scopes.begin(), scopes.end()), scopes.end());
+  for (std::size_t i = 0; i < scopes.size(); ++i) {
+    const Status s = acquire(scopes[i]);
+    if (!s.is_ok()) {
+      for (std::size_t j = 0; j < i; ++j) release(scopes[j]);
+      return s;
+    }
+  }
+  return Status::ok();
+}
+
+void LockManager::release(const Scope& scope) {
+  const auto it = locks_.find(scope);
+  if (it != locks_.end()) it->second.release();
+}
+
+void LockManager::release_all() {
+  // Reverse canonical order (root first, then shards descending) so the
+  // global choke point frees up before the fine-grained scopes.
+  for (auto it = locks_.rbegin(); it != locks_.rend(); ++it) {
+    it->second.release();
+  }
+}
+
+bool LockManager::held(const Scope& scope) const {
+  const auto it = locks_.find(scope);
+  return it != locks_.end() && it->second.held();
+}
+
+}  // namespace unidrive::lock

@@ -105,6 +105,11 @@ void QuorumLock::delete_own_locks() {
 }
 
 Status QuorumLock::acquire() {
+  if (clouds_.empty()) {
+    // A majority of zero clouds must never be "held" — refuse outright.
+    return make_error(ErrorCode::kInvalidArgument,
+                      "lock: no clouds enrolled");
+  }
   if (held_) return Status::ok();
   const RetryPolicy& policy = config_.retry;
   BackoffState backoff(policy);

@@ -20,6 +20,7 @@
 // deleted), so two devices cannot both see themselves alone on a majority.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <string>
 
@@ -93,7 +94,8 @@ class QuorumLock {
   void delete_own_locks();
 
   [[nodiscard]] std::size_t majority() const noexcept {
-    return clouds_.size() / 2 + 1;
+    // max() keeps the degenerate empty multi-cloud unsatisfiable.
+    return std::max<std::size_t>(1, clouds_.size() / 2 + 1);
   }
 
   cloud::MultiCloud clouds_;

@@ -26,6 +26,14 @@ class MetadataCodec {
   [[nodiscard]] Bytes encode_delta(const DeltaLog& log) const;
   [[nodiscard]] Result<DeltaLog> decode_delta(ByteSpan data) const;
 
+  // Opaque pre-serialized payloads (shard manifests, per-shard bases and
+  // delta objects of the sharded store) travel through the same encrypt +
+  // integrity envelope as the monolithic files.
+  [[nodiscard]] Bytes encode_blob(ByteSpan plain) const { return encrypt(plain); }
+  [[nodiscard]] Result<Bytes> decode_blob(ByteSpan cipher) const {
+    return decrypt(cipher);
+  }
+
  private:
   [[nodiscard]] Bytes encrypt(ByteSpan plain) const;
   [[nodiscard]] Result<Bytes> decrypt(ByteSpan cipher) const;

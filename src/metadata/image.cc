@@ -119,6 +119,48 @@ void SyncFolderImage::rebuild_refcounts() {
   }
 }
 
+void SyncFolderImage::prune_segment_stubs() {
+  // Stubs (blockless, zero-size entries manufactured by add_refs for
+  // cross-shard references) are per-shard bookkeeping, not real segments.
+  // On an assembled image an unreferenced stub must not linger — it would
+  // masquerade as garbage forever (the real entry lives, and is dropped,
+  // in the segment's own shard). Referenced stubs are kept: they flag a
+  // dangling cross-shard reference the materializer should surface.
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    const bool stub = it->second.blocks.empty() && it->second.size == 0;
+    if (stub && it->second.refcount == 0) {
+      it = segments_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SyncFolderImage::absorb(const SyncFolderImage& other) {
+  for (const std::string& d : other.dirs_) dirs_.insert(d);
+  for (const auto& [path, snapshot] : other.files_) {
+    files_[path] = snapshot;
+  }
+  for (const auto& [path, hist] : other.history_) {
+    history_[path] = hist;
+  }
+  for (const auto& [id, info] : other.segments_) {
+    auto it = segments_.find(id);
+    if (it == segments_.end()) {
+      segments_.emplace(id, info);
+      continue;
+    }
+    // A record with blocks (or a size) is the owning shard's real entry; a
+    // blockless zero-size record is a stub manufactured by add_refs for a
+    // cross-shard reference. Real beats stub, whichever arrives second.
+    const bool incoming_real = !info.blocks.empty() || info.size > 0;
+    const bool existing_real =
+        !it->second.blocks.empty() || it->second.size > 0;
+    if (incoming_real || !existing_real) it->second = info;
+  }
+  if (version_ < other.version_) version_ = other.version_;
+}
+
 // --- serialization ----------------------------------------------------------
 
 void serialize_version(BinaryWriter& w, const VersionStamp& v) {

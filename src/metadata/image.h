@@ -73,6 +73,46 @@ class SyncFolderImage {
   // by property tests: rebuild is a no-op on a consistent image.
   void rebuild_refcounts();
 
+  // Drops unreferenced blockless stub entries (per-shard refcount
+  // bookkeeping). Run after rebuild_refcounts() when assembling the full
+  // image from shards, so stubs never masquerade as garbage segments.
+  void prune_segment_stubs();
+
+  // --- sharding ------------------------------------------------------------
+  // Copies the subset of this image selected by the predicates into a new
+  // image: files (with their history) whose path satisfies `keep_path`, dirs
+  // likewise, segments whose id satisfies `keep_segment`. Refcounts are NOT
+  // recomputed — the extracted shard keeps each segment's pool-wide count so
+  // reassembly (absorb + rebuild_refcounts) round-trips. Cross-shard
+  // references (a kept file referencing a segment routed elsewhere) are left
+  // dangling here; absorb() resolves them when shards are reassembled.
+  template <typename PathPred, typename SegPred>
+  [[nodiscard]] SyncFolderImage extract(PathPred keep_path,
+                                        SegPred keep_segment) const {
+    SyncFolderImage out;
+    out.version_ = version_;
+    for (const std::string& d : dirs_) {
+      if (keep_path(d)) out.dirs_.insert(d);
+    }
+    for (const auto& [path, snapshot] : files_) {
+      if (keep_path(path)) out.files_.emplace(path, snapshot);
+    }
+    for (const auto& [path, hist] : history_) {
+      if (keep_path(path)) out.history_.emplace(path, hist);
+    }
+    for (const auto& [id, info] : segments_) {
+      if (keep_segment(id)) out.segments_.emplace(id, info);
+    }
+    return out;
+  }
+
+  // Unions `other` into this image (shard reassembly). Entries are disjoint
+  // by construction (each path/segment routes to exactly one shard), but a
+  // real segment record always beats a refcount stub left by a foreign
+  // shard's dangling reference. Call rebuild_refcounts() once after the last
+  // absorb to restore pool-wide counts.
+  void absorb(const SyncFolderImage& other);
+
   // --- version -------------------------------------------------------------
   [[nodiscard]] const VersionStamp& version() const noexcept { return version_; }
   void set_version(VersionStamp v) { version_ = std::move(v); }

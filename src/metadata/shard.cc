@@ -1,0 +1,192 @@
+#include "metadata/shard.h"
+
+#include <algorithm>
+
+#include "metadata/changelist.h"
+#include "metadata/image.h"
+
+namespace unidrive::metadata {
+
+namespace {
+
+constexpr std::uint32_t kManifestMagic = 0x464D4455;  // "UDMF"
+constexpr std::uint8_t kManifestFormatVersion = 1;
+
+// FNV-1a over the routing key: stable across platforms, good enough spread
+// for directory names, and cheap (routing runs once per change).
+std::uint32_t fnv1a(std::string_view s) {
+  std::uint32_t h = 2166136261u;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+// "/docs/a/b.txt" -> "docs"; "/top.txt" -> "top.txt"; "" -> "".
+std::string_view top_component(const std::string& path) {
+  std::string_view v(path);
+  if (!v.empty() && v.front() == '/') v.remove_prefix(1);
+  const std::size_t slash = v.find('/');
+  return slash == std::string_view::npos ? v : v.substr(0, slash);
+}
+
+}  // namespace
+
+ShardId shard_of_path(const std::string& path, std::uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return fnv1a(top_component(path)) % num_shards;
+}
+
+ShardId shard_of_segment(const std::string& segment_id,
+                         std::uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return fnv1a(segment_id) % num_shards;
+}
+
+ShardId shard_of_change(const Change& change, std::uint32_t num_shards) {
+  switch (change.kind) {
+    case ChangeKind::kUpsertSegment:
+    case ChangeKind::kDropSegment:
+      return shard_of_segment(change.path, num_shards);
+    default:
+      return shard_of_path(change.path, num_shards);
+  }
+}
+
+std::vector<ShardSlice> split_changes_by_shard(
+    const std::vector<Change>& changes, std::uint32_t num_shards) {
+  std::vector<ShardSlice> slices;
+  for (const Change& c : changes) {
+    const ShardId id = shard_of_change(c, num_shards);
+    auto it = std::find_if(slices.begin(), slices.end(),
+                           [&](const ShardSlice& s) { return s.shard == id; });
+    if (it == slices.end()) {
+      slices.push_back(ShardSlice{id, {}});
+      it = std::prev(slices.end());
+    }
+    it->changes.push_back(c);
+  }
+  std::sort(slices.begin(), slices.end(),
+            [](const ShardSlice& a, const ShardSlice& b) {
+              return a.shard < b.shard;
+            });
+  return slices;
+}
+
+// --- manifest --------------------------------------------------------------
+
+const ShardEntry* ShardManifest::find(ShardId id) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), id,
+      [](const ShardEntry& e, ShardId want) { return e.id < want; });
+  return it != entries.end() && it->id == id ? &*it : nullptr;
+}
+
+ShardEntry* ShardManifest::find_mutable(ShardId id) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), id,
+      [](const ShardEntry& e, ShardId want) { return e.id < want; });
+  return it != entries.end() && it->id == id ? &*it : nullptr;
+}
+
+void ShardManifest::upsert(ShardEntry entry) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), entry.id,
+      [](const ShardEntry& e, ShardId want) { return e.id < want; });
+  if (it != entries.end() && it->id == entry.id) {
+    *it = std::move(entry);
+  } else {
+    entries.insert(it, std::move(entry));
+  }
+}
+
+Bytes ShardManifest::serialize() const {
+  BinaryWriter w;
+  w.put_u32(kManifestMagic);
+  w.put_u8(kManifestFormatVersion);
+  serialize_version(w, version);
+  w.put_varint(num_shards);
+  w.put_varint(entries.size());
+  for (const ShardEntry& e : entries) {
+    w.put_varint(e.id);
+    serialize_version(w, e.version);
+    w.put_string(e.base_key);
+    w.put_varint(e.base_size);
+    w.put_varint(e.deltas.size());
+    for (const DeltaRef& d : e.deltas) {
+      w.put_string(d.key);
+      w.put_varint(d.size);
+    }
+  }
+  return std::move(w).take();
+}
+
+Result<ShardManifest> ShardManifest::deserialize(ByteSpan data) {
+  BinaryReader r(data);
+  UNI_ASSIGN_OR_RETURN(const std::uint32_t magic, r.get_u32());
+  if (magic != kManifestMagic) {
+    return make_error(ErrorCode::kCorrupt, "bad manifest magic");
+  }
+  UNI_ASSIGN_OR_RETURN(const std::uint8_t fmt, r.get_u8());
+  if (fmt != kManifestFormatVersion) {
+    return make_error(ErrorCode::kCorrupt, "unsupported manifest version");
+  }
+  ShardManifest m;
+  UNI_ASSIGN_OR_RETURN(m.version, deserialize_version(r));
+  UNI_ASSIGN_OR_RETURN(const std::uint64_t shards, r.get_varint());
+  m.num_shards = static_cast<std::uint32_t>(shards);
+  if (m.num_shards == 0) {
+    return make_error(ErrorCode::kCorrupt, "manifest with zero shards");
+  }
+  UNI_ASSIGN_OR_RETURN(const std::uint64_t n, r.get_varint());
+  m.entries.reserve(std::min<std::uint64_t>(n, r.remaining()));
+  ShardId prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ShardEntry e;
+    UNI_ASSIGN_OR_RETURN(const std::uint64_t id, r.get_varint());
+    e.id = static_cast<ShardId>(id);
+    if (e.id >= m.num_shards || (i > 0 && e.id <= prev)) {
+      return make_error(ErrorCode::kCorrupt, "manifest entries unordered");
+    }
+    prev = e.id;
+    UNI_ASSIGN_OR_RETURN(e.version, deserialize_version(r));
+    UNI_ASSIGN_OR_RETURN(e.base_key, r.get_string());
+    UNI_ASSIGN_OR_RETURN(e.base_size, r.get_varint());
+    UNI_ASSIGN_OR_RETURN(const std::uint64_t nd, r.get_varint());
+    e.deltas.reserve(std::min<std::uint64_t>(nd, r.remaining()));
+    for (std::uint64_t j = 0; j < nd; ++j) {
+      DeltaRef d;
+      UNI_ASSIGN_OR_RETURN(d.key, r.get_string());
+      UNI_ASSIGN_OR_RETURN(d.size, r.get_varint());
+      e.deltas.push_back(std::move(d));
+    }
+    m.entries.push_back(std::move(e));
+  }
+  if (!r.at_end()) {
+    return make_error(ErrorCode::kCorrupt, "trailing bytes after manifest");
+  }
+  return m;
+}
+
+// --- object keys -----------------------------------------------------------
+
+namespace {
+std::string stamp_tag(const VersionStamp& v) {
+  return std::to_string(v.counter) + "_" + v.device;
+}
+}  // namespace
+
+std::string shard_base_key(ShardId id, const VersionStamp& v) {
+  return "b" + std::to_string(id) + "/" + stamp_tag(v);
+}
+
+std::string shard_delta_key(ShardId id, const VersionStamp& v) {
+  return "d" + std::to_string(id) + "/" + stamp_tag(v);
+}
+
+std::string manifest_key(const VersionStamp& v) {
+  return "m/" + stamp_tag(v);
+}
+
+}  // namespace unidrive::metadata

@@ -1,0 +1,121 @@
+// Sharding of the metadata plane: routing paths/segments to shards, and the
+// root manifest that ties the per-shard state together.
+//
+// The monolithic SyncFolderImage made every commit O(folder): serialize the
+// whole image, replicate it, replay it. At population scale (10^6+ files,
+// thousands of writers per shared folder) that is fatal. The sharded design
+// splits the image by subtree: each shard owns the files/dirs/segments that
+// hash-route to it and carries its own quorum-replicated base object, delta
+// objects and version stamp. One tiny root manifest — the only mutable
+// record — names the current object set of every shard; flipping the root
+// pointer commits all dirty shards atomically (Unity-style small versioned
+// records instead of a monolith).
+//
+// Object naming: every base/delta/manifest object is immutable and
+// content-unique (keyed by the committing version stamp), so writers never
+// overwrite each other's data objects and a torn publish can never corrupt
+// a previously committed state — crash consistency falls out of
+// write-new-then-flip-pointer ordering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serial.h"
+#include "metadata/types.h"
+
+namespace unidrive::metadata {
+
+using ShardId = std::uint32_t;
+
+// --- routing ---------------------------------------------------------------
+
+// Routes a normalized path ("/docs/a.txt") to its shard by hashing the top
+// path component ("docs"). Whole subtrees land in one shard, so a commit
+// touching one directory tree dirties exactly one shard; the root directory
+// itself ("/x.txt" files) routes by the file name. FNV-1a keeps routing
+// stable across processes and platforms (no std::hash).
+ShardId shard_of_path(const std::string& path, std::uint32_t num_shards);
+
+// Segments route by their content id so blocks referenced from several
+// subtrees have exactly one owning shard.
+ShardId shard_of_segment(const std::string& segment_id,
+                         std::uint32_t num_shards);
+
+// Shard of one committed Change (file/dir changes by path, segment changes
+// by segment id).
+ShardId shard_of_change(const struct Change& change, std::uint32_t num_shards);
+
+// Groups a change list by shard, preserving per-shard order.
+struct ShardSlice {
+  ShardId shard = 0;
+  std::vector<Change> changes;
+};
+std::vector<ShardSlice> split_changes_by_shard(
+    const std::vector<Change>& changes, std::uint32_t num_shards);
+
+// --- manifest --------------------------------------------------------------
+
+// One immutable delta object appended by a commit.
+struct DeltaRef {
+  std::string key;            // KV object key
+  std::uint64_t size = 0;     // encoded size (for λ merge decisions)
+
+  friend bool operator==(const DeltaRef& a, const DeltaRef& b) noexcept {
+    return a.key == b.key && a.size == b.size;
+  }
+};
+
+// Current durable state of one shard: its base object plus the delta chain
+// to replay on top, and the shard's own version stamp (advanced only by
+// commits that touched this shard — clean shards keep their stamp, which is
+// what makes "did this shard change since I last fetched it" a pure
+// manifest-level comparison).
+struct ShardEntry {
+  ShardId id = 0;
+  VersionStamp version;
+  std::string base_key;        // empty until the first fold
+  std::uint64_t base_size = 0;
+  std::vector<DeltaRef> deltas;
+
+  friend bool operator==(const ShardEntry& a, const ShardEntry& b) noexcept {
+    return a.id == b.id && a.version == b.version &&
+           a.base_key == b.base_key && a.base_size == b.base_size &&
+           a.deltas == b.deltas;
+  }
+};
+
+// The root manifest: the single mutable record of the sharded store. Tiny —
+// O(num_shards) keys, no file metadata — so publishing it is O(1) in folder
+// size. `version` is the global commit stamp (successor of every shard
+// stamp inside).
+struct ShardManifest {
+  VersionStamp version;
+  std::uint32_t num_shards = 0;
+  std::vector<ShardEntry> entries;  // sorted by id, only non-empty shards
+
+  [[nodiscard]] const ShardEntry* find(ShardId id) const;
+  [[nodiscard]] ShardEntry* find_mutable(ShardId id);
+  // Inserts or replaces the entry, keeping `entries` sorted by id.
+  void upsert(ShardEntry entry);
+
+  [[nodiscard]] Bytes serialize() const;
+  static Result<ShardManifest> deserialize(ByteSpan data);
+
+  friend bool operator==(const ShardManifest& a,
+                         const ShardManifest& b) noexcept {
+    return a.version == b.version && a.num_shards == b.num_shards &&
+           a.entries == b.entries;
+  }
+};
+
+// --- object keys -----------------------------------------------------------
+// All sharded-store objects live under one KV directory per kind; the key
+// embeds the committing version stamp so keys never collide or get reused.
+
+std::string shard_base_key(ShardId id, const VersionStamp& v);
+std::string shard_delta_key(ShardId id, const VersionStamp& v);
+std::string manifest_key(const VersionStamp& v);
+
+}  // namespace unidrive::metadata

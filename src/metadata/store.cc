@@ -16,6 +16,10 @@ namespace unidrive::metadata {
 // this publish and the majority rule decides the outcome.
 Status MetaStore::publish(const SyncFolderImage& base, const DeltaLog& delta,
                           bool upload_base) {
+  if (clouds_.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "metadata publish with no clouds enrolled");
+  }
   obs::Span span = obs::start_span(obs_.get(), "meta.publish");
   const Bytes version_bytes =
       serialize_version_file(delta.latest_version().value_or(base.version()));
@@ -59,6 +63,10 @@ Status MetaStore::publish(const SyncFolderImage& base, const DeltaLog& delta,
 }
 
 Result<VersionStamp> MetaStore::fetch_remote_version() {
+  if (clouds_.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "metadata fetch with no clouds enrolled");
+  }
   std::optional<VersionStamp> best;
   std::size_t responded = 0;
   for (const cloud::CloudPtr& c : clouds_) {
@@ -119,6 +127,10 @@ Result<MetaStore::RawMetadata> MetaStore::fetch_raw() {
 }
 
 Result<FetchedMetadata> MetaStore::fetch_latest() {
+  if (clouds_.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "metadata fetch with no clouds enrolled");
+  }
   obs::Span span = obs::start_span(obs_.get(), "meta.fetch_latest");
   // Rank clouds by advertised version, newest first, then try to download
   // the full metadata from each until one succeeds.
@@ -148,6 +160,16 @@ Result<FetchedMetadata> MetaStore::fetch_latest() {
                      return b.version < a.version;  // newest first
                    });
 
+  // Short-circuit: nothing newer than the last successful fetch is being
+  // advertised, so the cached reconstruction IS the newest state (commits
+  // are serialized by the quorum lock; versions only move forward).
+  if (last_fetch_.has_value() &&
+      !(last_fetch_->version < candidates.front().version)) {
+    obs::add_counter(obs_.get(), "meta.fetch.short_circuit");
+    obs::add_counter(obs_.get(), "meta.fetch.ok");
+    return *last_fetch_;
+  }
+
   for (const Candidate& cand : candidates) {
     auto base_bytes = cand.cloud->download(kBasePath);
     if (!base_bytes.is_ok()) continue;
@@ -166,6 +188,7 @@ Result<FetchedMetadata> MetaStore::fetch_latest() {
     if (out.image.version() < cand.version) continue;
     out.version = out.image.version();
     obs::add_counter(obs_.get(), "meta.fetch.ok");
+    last_fetch_ = out;
     return out;
   }
   obs::add_counter(obs_.get(), "meta.fetch.err");

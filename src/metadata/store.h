@@ -10,6 +10,9 @@
 // majority of clouds is reachable.
 #pragma once
 
+#include <algorithm>
+#include <optional>
+
 #include "cloud/provider.h"
 #include "metadata/codec.h"
 #include "obs/obs.h"
@@ -45,6 +48,11 @@ class MetaStore {
   [[nodiscard]] bool has_cloud_update(const VersionStamp& local);
 
   // Downloads and reconstructs the newest metadata (base + delta replay).
+  // Re-fetching while no cloud advertises anything newer than the last
+  // successful fetch is answered from a local cache (meta.fetch.short_circuit
+  // counter) instead of re-downloading and replaying base+delta — versions
+  // advance monotonically under the quorum lock, so an equal advertised
+  // version IS the cached state.
   Result<FetchedMetadata> fetch_latest();
 
   // Raw base + delta pair from the cloud advertising the newest version.
@@ -60,13 +68,19 @@ class MetaStore {
     return clouds_;
   }
   [[nodiscard]] std::size_t majority() const noexcept {
-    return clouds_.size() / 2 + 1;
+    // max() guards the degenerate empty multi-cloud: a majority of zero
+    // clouds must be unreachable, not trivially reached. publish()/fetch
+    // additionally refuse outright (kInvalidArgument) when no cloud is
+    // enrolled.
+    return std::max<std::size_t>(1, clouds_.size() / 2 + 1);
   }
 
  private:
   cloud::MultiCloud clouds_;
   MetadataCodec codec_;
   obs::ObsPtr obs_;
+  // Version short-circuit cache: the last state fetch_latest() returned.
+  std::optional<FetchedMetadata> last_fetch_;
 };
 
 }  // namespace unidrive::metadata

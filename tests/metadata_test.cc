@@ -778,5 +778,52 @@ TEST(MetaStoreTest, ReadsNewestAmongClouds) {
   EXPECT_EQ(fetched.value().version.counter, 2u);
 }
 
+TEST(MetaStoreTest, RefetchAtSameVersionShortCircuits) {
+  auto clouds = make_clouds(3);
+  ManualClock clock;
+  auto obs = std::make_shared<obs::Observability>(clock);
+  MetaStore store(clouds, "pass", obs);
+
+  SyncFolderImage image;
+  image.set_version({"dev", 1, 0.0});
+  image.upsert_file(make_snapshot("/a", "h"));
+  DeltaLog empty;
+  ASSERT_TRUE(store.publish(image, empty, true).is_ok());
+
+  ASSERT_TRUE(store.fetch_latest().is_ok());
+  const std::uint64_t before =
+      obs->metrics.snapshot().counter_value("meta.fetch.short_circuit");
+  // Nothing newer was advertised: answered from the cache, no replay.
+  auto again = store.fetch_latest();
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_TRUE(again.value().image == image);
+  EXPECT_EQ(obs->metrics.snapshot().counter_value("meta.fetch.short_circuit"),
+            before + 1);
+
+  // A newer publish invalidates the short circuit.
+  SyncFolderImage v2 = image;
+  v2.set_version({"dev", 2, 0.0});
+  v2.upsert_file(make_snapshot("/b", "h2"));
+  ASSERT_TRUE(store.publish(v2, empty, true).is_ok());
+  auto fresh = store.fetch_latest();
+  ASSERT_TRUE(fresh.is_ok());
+  EXPECT_EQ(fresh.value().version.counter, 2u);
+  EXPECT_EQ(obs->metrics.snapshot().counter_value("meta.fetch.short_circuit"),
+            before + 1);
+}
+
+TEST(MetaStoreTest, EmptyCloudSetIsRejectedNotTriviallySatisfied) {
+  MetaStore store(cloud::MultiCloud{}, "pass");
+  // majority() of zero clouds must be unreachable, not 0-out-of-0.
+  EXPECT_EQ(store.majority(), 1u);
+  SyncFolderImage image;
+  image.set_version({"dev", 1, 0.0});
+  DeltaLog empty;
+  EXPECT_FALSE(store.publish(image, empty, true).is_ok());
+  EXPECT_FALSE(store.fetch_latest().is_ok());
+  EXPECT_FALSE(store.fetch_remote_version().is_ok());
+  EXPECT_FALSE(store.has_cloud_update(VersionStamp{"dev", 0, 0.0}));
+}
+
 }  // namespace
 }  // namespace unidrive::metadata
