@@ -2,6 +2,8 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
 #include "crypto/crc32.h"
 #include "crypto/des.h"
 #include "crypto/sha1.h"
@@ -33,16 +35,59 @@ void BM_Sha256(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256)->Arg(64 << 10)->Arg(1 << 20);
 
-void BM_Crc32(benchmark::State& state) {
+void BM_Crc32c(benchmark::State& state) {
   Rng rng(3);
   const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(crypto::crc32(ByteSpan(data)));
+    benchmark::DoNotOptimize(crypto::crc32c(ByteSpan(data)));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_Crc32)->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK(BM_Crc32c)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_Crc32cSoftware(benchmark::State& state) {
+  Rng rng(3);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::crc32c_sw(ByteSpan(data)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32cSoftware)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_Aes128Ctr(benchmark::State& state) {
+  Rng rng(5);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const auto key = crypto::aes128_key_from_passphrase("bench");
+  const crypto::Aes128 aes(key);
+  const crypto::Aes128::Nonce nonce{};
+  Bytes out(data.size());
+  for (auto _ : state) {
+    aes.ctr_xor(nonce, 0, ByteSpan(data), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Aes128Ctr)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_ChaCha20(benchmark::State& state) {
+  Rng rng(6);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  const auto key = crypto::chacha20_key_from_passphrase("bench");
+  const crypto::ChaCha20 chacha(key);
+  const crypto::ChaCha20::Nonce nonce{};
+  Bytes out(data.size());
+  for (auto _ : state) {
+    chacha.xor_stream(nonce, 0, ByteSpan(data), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(64 << 10)->Arg(1 << 20);
 
 void BM_DesCbcEncrypt(benchmark::State& state) {
   Rng rng(4);

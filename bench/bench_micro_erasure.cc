@@ -47,6 +47,42 @@ void BM_GfMulAddSliceBytewise(benchmark::State& state) {
 }
 BENCHMARK(BM_GfMulAddSliceBytewise)->Arg(64 << 10)->Arg(1 << 20);
 
+void BM_GfMulAddSliceScalar(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes src = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  Bytes dst = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    erasure::Gf256::mul_add_slice_scalar(dst.data(), src.data(), src.size(),
+                                         0x57);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GfMulAddSliceScalar)->Arg(64 << 10)->Arg(1 << 20);
+
+// The fused encode kernel: one dst pass over k source rows, as rs.cc uses it.
+void BM_GfDotSlice(benchmark::State& state) {
+  Rng rng(2);
+  constexpr std::size_t kRows = 3;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<Bytes> srcs(kRows);
+  std::vector<const std::uint8_t*> ptrs(kRows);
+  std::uint8_t coeffs[kRows] = {0x57, 0x13, 0xC9};
+  for (std::size_t r = 0; r < kRows; ++r) {
+    srcs[r] = rng.bytes(n);
+    ptrs[r] = srcs[r].data();
+  }
+  Bytes dst(n);
+  for (auto _ : state) {
+    erasure::Gf256::dot_slice(dst.data(), ptrs.data(), coeffs, kRows, n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * kRows);
+}
+BENCHMARK(BM_GfDotSlice)->Arg(64 << 10)->Arg(1 << 20);
+
 void BM_RsEncode(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto k = static_cast<std::size_t>(state.range(1));

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "core/kernel_gauges.h"
 #include "crypto/sha1.h"
 #include "metadata/delta.h"
 #include "sched/rebalance.h"
@@ -61,10 +62,12 @@ UniDriveClient::UniDriveClient(cloud::MultiCloud clouds,
       guarded_(cloud::guard_clouds(clouds_, config_.retry, health_, clock_,
                                    config_.sleep, rng_, obs_)),
       executor_(make_executor(config_, clouds_.size())),
-      store_(guarded_, config_.passphrase, config_.meta, obs_),
+      store_(guarded_, config_.passphrase, config_.meta, obs_,
+             config_.cipher),
       locks_(guarded_, config_.device, config_.lock, clock_, rng_.fork(),
              config_.sleep, obs_),
       monitor_() {
+  export_kernel_gauges(obs_.get());
   rebuild_async_clouds();
   load_state();
 }
@@ -74,7 +77,7 @@ void UniDriveClient::rebuild_guards() {
                                  config_.sleep, rng_, obs_);
   executor_ = make_executor(config_, clouds_.size());
   store_ = metadata::ShardedMetaStore(guarded_, config_.passphrase,
-                                      config_.meta, obs_);
+                                      config_.meta, obs_, config_.cipher);
   locks_ = lock::LockManager(guarded_, config_.device, config_.lock, clock_,
                              rng_.fork(), config_.sleep, obs_);
   rebuild_async_clouds();

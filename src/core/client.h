@@ -32,6 +32,7 @@
 #include "core/download_pipeline.h"
 #include "core/local_fs.h"
 #include "core/upload_pipeline.h"
+#include "crypto/cipher.h"
 #include "erasure/rs.h"
 #include "lock/lock_manager.h"
 #include "metadata/diff.h"
@@ -47,6 +48,10 @@ namespace unidrive::core {
 struct ClientConfig {
   std::string device = "device";
   std::string passphrase = "unidrive";
+  // Metadata cipher: DES for paper fidelity (default), AES-128-CTR or
+  // ChaCha20 for hardware speed. Decrypt is tag-dispatched, so changing
+  // this never orphans previously written metadata.
+  crypto::CipherKind cipher = crypto::CipherKind::kDes;
   std::size_t k = 3;    // data blocks per segment
   std::size_t ks = 2;   // security requirement
   std::size_t kr = 3;   // reliability requirement

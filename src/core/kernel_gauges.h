@@ -1,0 +1,19 @@
+// Exports the kernel-dispatch registry (common/cpu.h) as observability
+// gauges, so a metrics scrape shows what actually runs on this host:
+//
+//   cpu.kernel.<kernel>         = resolved tier (0 scalar, higher = wider ISA)
+//   cpu.kernel.<kernel>.<impl>  = 1  (the implementation name, as a key)
+//
+// Gauges hold doubles, so the implementation NAME travels in the gauge key
+// and the tier in the value. Called from the client constructor; touching
+// every kernel's accessor here also forces all dispatch decisions to resolve
+// eagerly at startup instead of on the first hot-path byte.
+#pragma once
+
+#include "obs/obs.h"
+
+namespace unidrive::core {
+
+void export_kernel_gauges(obs::Observability* obs);
+
+}  // namespace unidrive::core

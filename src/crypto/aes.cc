@@ -1,0 +1,280 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+
+#include "common/cpu.h"
+#include "crypto/sha256.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define UNIDRIVE_AES_X86 1
+#include <immintrin.h>
+#endif
+
+namespace unidrive::crypto {
+
+namespace {
+
+// FIPS-197 S-box.
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr std::uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1b, 0x36};
+
+inline std::uint8_t xtime(std::uint8_t x) noexcept {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1B));
+}
+
+using RoundKeys = std::array<std::array<std::uint8_t, 16>, 11>;
+
+void scalar_encrypt_block(const RoundKeys& rk, const std::uint8_t* in,
+                          std::uint8_t* out) noexcept {
+  std::uint8_t s[16];
+  for (int i = 0; i < 16; ++i) s[i] = in[i] ^ rk[0][static_cast<size_t>(i)];
+  for (int round = 1; round <= 10; ++round) {
+    // SubBytes.
+    for (auto& b : s) b = kSbox[b];
+    // ShiftRows (state is column-major: byte r + 4c).
+    std::uint8_t t = s[1];
+    s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
+    t = s[2]; s[2] = s[10]; s[10] = t;
+    t = s[6]; s[6] = s[14]; s[14] = t;
+    t = s[15];
+    s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
+    if (round < 10) {
+      // MixColumns.
+      for (int c = 0; c < 4; ++c) {
+        std::uint8_t* col = s + 4 * c;
+        const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        const std::uint8_t all = a0 ^ a1 ^ a2 ^ a3;
+        col[0] = static_cast<std::uint8_t>(a0 ^ all ^ xtime(a0 ^ a1));
+        col[1] = static_cast<std::uint8_t>(a1 ^ all ^ xtime(a1 ^ a2));
+        col[2] = static_cast<std::uint8_t>(a2 ^ all ^ xtime(a2 ^ a3));
+        col[3] = static_cast<std::uint8_t>(a3 ^ all ^ xtime(a3 ^ a0));
+      }
+    }
+    for (int i = 0; i < 16; ++i) s[i] ^= rk[static_cast<size_t>(round)][static_cast<size_t>(i)];
+  }
+  std::memcpy(out, s, 16);
+}
+
+inline void make_counter_block(const Aes128::Nonce& nonce,
+                               std::uint32_t counter,
+                               std::uint8_t* block) noexcept {
+  std::memcpy(block, nonce.data(), nonce.size());
+  block[12] = static_cast<std::uint8_t>(counter >> 24);
+  block[13] = static_cast<std::uint8_t>(counter >> 16);
+  block[14] = static_cast<std::uint8_t>(counter >> 8);
+  block[15] = static_cast<std::uint8_t>(counter);
+}
+
+void ctr_xor_scalar_impl(const RoundKeys& rk, const Aes128::Nonce& nonce,
+                         std::uint32_t counter0, const std::uint8_t* in,
+                         std::size_t n, std::uint8_t* out) noexcept {
+  std::uint32_t counter = counter0;
+  std::size_t off = 0;
+  while (off < n) {
+    std::uint8_t block[16];
+    std::uint8_t ks[16];
+    make_counter_block(nonce, counter++, block);
+    scalar_encrypt_block(rk, block, ks);
+    const std::size_t len = n - off < 16 ? n - off : 16;
+    for (std::size_t i = 0; i < len; ++i) out[off + i] = in[off + i] ^ ks[i];
+    off += len;
+  }
+}
+
+#if UNIDRIVE_AES_X86
+
+__attribute__((target("aes,sse2"))) void ctr_xor_aesni_impl(
+    const RoundKeys& rk, const Aes128::Nonce& nonce, std::uint32_t counter0,
+    const std::uint8_t* in, std::size_t n, std::uint8_t* out) {
+  __m128i k[11];
+  for (int i = 0; i < 11; ++i) {
+    k[i] = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(rk[static_cast<size_t>(i)].data()));
+  }
+  std::uint32_t counter = counter0;
+  std::size_t off = 0;
+  // Four independent blocks per iteration hide the aesenc latency chain.
+  while (n - off >= 64) {
+    alignas(16) std::uint8_t cb[64];
+    for (int b = 0; b < 4; ++b) {
+      make_counter_block(nonce, counter++, cb + 16 * b);
+    }
+    __m128i s0 = _mm_xor_si128(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(cb)), k[0]);
+    __m128i s1 = _mm_xor_si128(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(cb + 16)), k[0]);
+    __m128i s2 = _mm_xor_si128(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(cb + 32)), k[0]);
+    __m128i s3 = _mm_xor_si128(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(cb + 48)), k[0]);
+    for (int r = 1; r < 10; ++r) {
+      s0 = _mm_aesenc_si128(s0, k[r]);
+      s1 = _mm_aesenc_si128(s1, k[r]);
+      s2 = _mm_aesenc_si128(s2, k[r]);
+      s3 = _mm_aesenc_si128(s3, k[r]);
+    }
+    s0 = _mm_aesenclast_si128(s0, k[10]);
+    s1 = _mm_aesenclast_si128(s1, k[10]);
+    s2 = _mm_aesenclast_si128(s2, k[10]);
+    s3 = _mm_aesenclast_si128(s3, k[10]);
+    const std::uint8_t* p = in + off;
+    std::uint8_t* q = out + off;
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(q),
+        _mm_xor_si128(
+            s0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p))));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(q + 16),
+        _mm_xor_si128(
+            s1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16))));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(q + 32),
+        _mm_xor_si128(
+            s2, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32))));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(q + 48),
+        _mm_xor_si128(
+            s3, _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48))));
+    off += 64;
+  }
+  while (off < n) {
+    alignas(16) std::uint8_t cb[16];
+    make_counter_block(nonce, counter++, cb);
+    __m128i s = _mm_xor_si128(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(cb)), k[0]);
+    for (int r = 1; r < 10; ++r) s = _mm_aesenc_si128(s, k[r]);
+    s = _mm_aesenclast_si128(s, k[10]);
+    alignas(16) std::uint8_t ks[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(ks), s);
+    const std::size_t len = n - off < 16 ? n - off : 16;
+    for (std::size_t i = 0; i < len; ++i) out[off + i] = in[off + i] ^ ks[i];
+    off += len;
+  }
+}
+
+__attribute__((target("aes,sse2"))) void encrypt_block_aesni_impl(
+    const RoundKeys& rk, const std::uint8_t* in, std::uint8_t* out) {
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  s = _mm_xor_si128(
+      s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk[0].data())));
+  for (int r = 1; r < 10; ++r) {
+    s = _mm_aesenc_si128(
+        s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+               rk[static_cast<size_t>(r)].data())));
+  }
+  s = _mm_aesenclast_si128(
+      s, _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk[10].data())));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), s);
+}
+
+#endif  // UNIDRIVE_AES_X86
+
+struct AesKernel {
+  void (*ctr)(const RoundKeys&, const Aes128::Nonce&, std::uint32_t,
+              const std::uint8_t*, std::size_t, std::uint8_t*);
+  void (*block)(const RoundKeys&, const std::uint8_t*, std::uint8_t*);
+  const char* name;
+  int tier;
+};
+
+void scalar_block_adapter(const RoundKeys& rk, const std::uint8_t* in,
+                          std::uint8_t* out) noexcept {
+  scalar_encrypt_block(rk, in, out);
+}
+
+const AesKernel& aes_kernel() noexcept {
+  static const AesKernel resolved = [] {
+    AesKernel k{&ctr_xor_scalar_impl, &scalar_block_adapter, "scalar", 0};
+#if UNIDRIVE_AES_X86
+    if (cpu_features().aesni) {
+      k = AesKernel{&ctr_xor_aesni_impl, &encrypt_block_aesni_impl, "aesni",
+                    1};
+    }
+#endif
+    note_kernel("aes_ctr", k.name, k.tier);
+    return k;
+  }();
+  return resolved;
+}
+
+}  // namespace
+
+Aes128::Aes128(const Key& key) noexcept {
+  // Standard AES-128 key schedule (shared by both dispatch paths).
+  std::uint8_t w[176];
+  std::memcpy(w, key.data(), 16);
+  for (int i = 16; i < 176; i += 4) {
+    std::uint8_t t[4] = {w[i - 4], w[i - 3], w[i - 2], w[i - 1]};
+    if (i % 16 == 0) {
+      const std::uint8_t rot = t[0];
+      t[0] = static_cast<std::uint8_t>(kSbox[t[1]] ^ kRcon[i / 16 - 1]);
+      t[1] = kSbox[t[2]];
+      t[2] = kSbox[t[3]];
+      t[3] = kSbox[rot];
+    }
+    for (int j = 0; j < 4; ++j) w[i + j] = static_cast<std::uint8_t>(w[i - 16 + j] ^ t[j]);
+  }
+  for (int r = 0; r < 11; ++r) {
+    std::memcpy(round_keys_[static_cast<size_t>(r)].data(), w + 16 * r, 16);
+  }
+}
+
+Aes128::Block Aes128::encrypt_block(const Block& in) const noexcept {
+  Block out;
+  aes_kernel().block(round_keys_, in.data(), out.data());
+  return out;
+}
+
+void Aes128::ctr_xor(const Nonce& nonce, std::uint32_t counter0, ByteSpan in,
+                     std::uint8_t* out) const noexcept {
+  aes_kernel().ctr(round_keys_, nonce, counter0, in.data(), in.size(), out);
+}
+
+void Aes128::ctr_xor_scalar(const Nonce& nonce, std::uint32_t counter0,
+                            ByteSpan in, std::uint8_t* out) const noexcept {
+  ctr_xor_scalar_impl(round_keys_, nonce, counter0, in.data(), in.size(), out);
+}
+
+const char* Aes128::kernel_name() noexcept { return aes_kernel().name; }
+
+int Aes128::kernel_tier() noexcept { return aes_kernel().tier; }
+
+Bytes aes128_ctr_crypt(const Aes128::Key& key, const Aes128::Nonce& nonce,
+                       ByteSpan data) {
+  Bytes out(data.size());
+  Aes128(key).ctr_xor(nonce, 0, data, out.data());
+  return out;
+}
+
+Aes128::Key aes128_key_from_passphrase(std::string_view passphrase) {
+  const auto digest = Sha256::hash(bytes_from_string(passphrase));
+  Aes128::Key key{};
+  std::memcpy(key.data(), digest.data(), key.size());
+  return key;
+}
+
+}  // namespace unidrive::crypto

@@ -1,0 +1,62 @@
+// AES-128 in CTR mode — the hardware-speed alternative to the paper's DES
+// for the metadata encrypt stage (selected via crypto::CipherKind).
+//
+// Dispatch (common/cpu.h): AES-NI (aesenc, four blocks pipelined per
+// iteration) when the CPU has it, otherwise a portable byte-oriented
+// FIPS-197 fallback. CTR is a stream mode: encrypt and decrypt are the same
+// keystream XOR, any length is supported without padding, and the
+// (nonce, counter) pair must never repeat under one key — callers derive
+// the nonce from the plaintext digest (metadata/codec.h's determinism
+// contract) or from fresh randomness.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace unidrive::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr std::size_t kNonceSize = 12;
+  using Key = std::array<std::uint8_t, kKeySize>;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+  using Nonce = std::array<std::uint8_t, kNonceSize>;
+
+  explicit Aes128(const Key& key) noexcept;
+
+  // Single-block ECB encrypt (building block; dispatched).
+  [[nodiscard]] Block encrypt_block(const Block& in) const noexcept;
+
+  // CTR keystream XOR: out[i] = in[i] ^ E(key, nonce || be32(counter0 + i/16)).
+  // out may alias in.data() (in-place). Encrypt == decrypt.
+  void ctr_xor(const Nonce& nonce, std::uint32_t counter0, ByteSpan in,
+               std::uint8_t* out) const noexcept;
+
+  // Portable reference twin (always scalar, independent of dispatch).
+  void ctr_xor_scalar(const Nonce& nonce, std::uint32_t counter0, ByteSpan in,
+                      std::uint8_t* out) const noexcept;
+
+  // Resolved dispatch decision ("aesni" or "scalar"); forces resolution, so
+  // the result is also visible via common/cpu.h's registry.
+  [[nodiscard]] static const char* kernel_name() noexcept;
+  [[nodiscard]] static int kernel_tier() noexcept;  // 0 scalar, 1 aesni
+
+ private:
+  // 11 round keys from the standard AES-128 schedule, byte layout; the
+  // AES-NI path loads them unaligned per call.
+  std::array<std::array<std::uint8_t, kBlockSize>, 11> round_keys_{};
+};
+
+// Convenience one-shot CTR transform starting at counter 0.
+Bytes aes128_ctr_crypt(const Aes128::Key& key, const Aes128::Nonce& nonce,
+                       ByteSpan data);
+
+// Derive an AES-128 key from a passphrase (SHA-256 truncation).
+Aes128::Key aes128_key_from_passphrase(std::string_view passphrase);
+
+}  // namespace unidrive::crypto

@@ -1,0 +1,111 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+#include "common/cpu.h"
+#include "crypto/sha256.h"
+
+namespace unidrive::crypto {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) noexcept {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+void block(const std::uint32_t state[16], std::uint8_t out[64]) noexcept {
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int i = 0; i < 10; ++i) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+bool note_once() noexcept {
+  note_kernel("chacha20", "portable", 0);
+  return true;
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(const Key& key) noexcept {
+  for (int i = 0; i < 8; ++i) key_words_[static_cast<size_t>(i)] = load_le32(key.data() + 4 * i);
+}
+
+void ChaCha20::xor_stream(const Nonce& nonce, std::uint32_t counter0,
+                          ByteSpan in, std::uint8_t* out) const noexcept {
+  std::uint32_t state[16] = {
+      // "expa" "nd 3" "2-by" "te k"
+      0x61707865u, 0x3320646Eu, 0x79622D32u, 0x6B206574u,
+      key_words_[0], key_words_[1], key_words_[2], key_words_[3],
+      key_words_[4], key_words_[5], key_words_[6], key_words_[7],
+      counter0,
+      load_le32(nonce.data()), load_le32(nonce.data() + 4),
+      load_le32(nonce.data() + 8)};
+  std::size_t off = 0;
+  const std::size_t n = in.size();
+  while (off < n) {
+    std::uint8_t ks[kBlockSize];
+    block(state, ks);
+    ++state[12];
+    const std::size_t len = n - off < kBlockSize ? n - off : kBlockSize;
+    for (std::size_t i = 0; i < len; ++i) out[off + i] = in[off + i] ^ ks[i];
+    off += len;
+  }
+}
+
+const char* ChaCha20::kernel_name() noexcept {
+  static const bool noted = note_once();
+  (void)noted;
+  return "portable";
+}
+
+int ChaCha20::kernel_tier() noexcept {
+  (void)kernel_name();
+  return 0;
+}
+
+Bytes chacha20_crypt(const ChaCha20::Key& key, const ChaCha20::Nonce& nonce,
+                     ByteSpan data) {
+  Bytes out(data.size());
+  ChaCha20(key).xor_stream(nonce, 0, data, out.data());
+  return out;
+}
+
+ChaCha20::Key chacha20_key_from_passphrase(std::string_view passphrase) {
+  const auto digest = Sha256::hash(bytes_from_string(passphrase));
+  ChaCha20::Key key{};
+  std::memcpy(key.data(), digest.data(), key.size());
+  return key;
+}
+
+}  // namespace unidrive::crypto

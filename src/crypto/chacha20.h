@@ -1,0 +1,48 @@
+// ChaCha20 stream cipher (RFC 8439) — the portable hardware-independent
+// member of the cipher pair: no special instructions required, constant-time
+// by construction (add/rotate/xor only), and fast enough in plain C++ that
+// it is the recommended choice on CPUs without AES-NI.
+//
+// Like AES-CTR this is a keystream XOR: encrypt == decrypt, any length, no
+// padding, and a (key, nonce) pair must never repeat. There is no SIMD
+// variant; the kernel registry reports it as "portable" tier 0.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace unidrive::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+  using Key = std::array<std::uint8_t, kKeySize>;
+  using Nonce = std::array<std::uint8_t, kNonceSize>;
+
+  explicit ChaCha20(const Key& key) noexcept;
+
+  // Keystream XOR: out[i] = in[i] ^ keystream(key, nonce, counter0 + i/64).
+  // out may alias in.data() (in-place). Encrypt == decrypt.
+  void xor_stream(const Nonce& nonce, std::uint32_t counter0, ByteSpan in,
+                  std::uint8_t* out) const noexcept;
+
+  [[nodiscard]] static const char* kernel_name() noexcept;  // "portable"
+  [[nodiscard]] static int kernel_tier() noexcept;          // always 0
+
+ private:
+  std::array<std::uint32_t, 8> key_words_{};
+};
+
+// Convenience one-shot transform starting at counter 0.
+Bytes chacha20_crypt(const ChaCha20::Key& key, const ChaCha20::Nonce& nonce,
+                     ByteSpan data);
+
+// Derive a ChaCha20 key from a passphrase (full SHA-256 digest).
+ChaCha20::Key chacha20_key_from_passphrase(std::string_view passphrase);
+
+}  // namespace unidrive::crypto

@@ -1,0 +1,130 @@
+#include "crypto/cipher.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace unidrive::crypto {
+
+namespace {
+
+template <std::size_t N>
+std::array<std::uint8_t, N> nonce_from_plain(ByteSpan plain) noexcept {
+  const auto digest = Sha256::hash(plain);
+  std::array<std::uint8_t, N> nonce{};
+  std::memcpy(nonce.data(), digest.data(), N);
+  return nonce;
+}
+
+}  // namespace
+
+const char* cipher_name(CipherKind kind) noexcept {
+  switch (kind) {
+    case CipherKind::kDes:
+      return "des";
+    case CipherKind::kAes128Ctr:
+      return "aes128ctr";
+    case CipherKind::kChaCha20:
+      return "chacha20";
+  }
+  return "unknown";
+}
+
+Result<CipherKind> cipher_from_name(std::string_view name) {
+  if (name == "des") return CipherKind::kDes;
+  if (name == "aes128ctr" || name == "aes") return CipherKind::kAes128Ctr;
+  if (name == "chacha20") return CipherKind::kChaCha20;
+  return make_error(ErrorCode::kInvalidArgument,
+                    "unknown cipher: " + std::string(name));
+}
+
+Cipher::Cipher(CipherKind kind, const std::string& passphrase)
+    : kind_(kind),
+      des_key_(des_key_from_passphrase(passphrase)),
+      aes_key_(aes128_key_from_passphrase(passphrase)),
+      chacha_key_(chacha20_key_from_passphrase(passphrase)) {}
+
+Bytes Cipher::encrypt(ByteSpan plain) const {
+  Bytes frame;
+  frame.push_back(static_cast<std::uint8_t>(kind_));
+  switch (kind_) {
+    case CipherKind::kDes: {
+      const auto iv_digest = Sha1::hash(plain);
+      Des::Block iv;
+      std::copy_n(iv_digest.begin(), iv.size(), iv.begin());
+      const Bytes body = des_cbc_encrypt(des_key_, plain, iv);
+      frame.insert(frame.end(), body.begin(), body.end());
+      break;
+    }
+    case CipherKind::kAes128Ctr: {
+      const auto nonce = nonce_from_plain<Aes128::kNonceSize>(plain);
+      frame.insert(frame.end(), nonce.begin(), nonce.end());
+      const std::size_t head = frame.size();
+      frame.resize(head + plain.size());
+      Aes128(aes_key_).ctr_xor(nonce, 0, plain, frame.data() + head);
+      break;
+    }
+    case CipherKind::kChaCha20: {
+      const auto nonce = nonce_from_plain<ChaCha20::kNonceSize>(plain);
+      frame.insert(frame.end(), nonce.begin(), nonce.end());
+      const std::size_t head = frame.size();
+      frame.resize(head + plain.size());
+      ChaCha20(chacha_key_).xor_stream(nonce, 0, plain, frame.data() + head);
+      break;
+    }
+  }
+  return frame;
+}
+
+Result<Bytes> Cipher::decrypt(ByteSpan frame) const {
+  if (frame.empty()) {
+    return make_error(ErrorCode::kCorrupt, "empty cipher frame");
+  }
+  const std::uint8_t tag = frame[0];
+  const ByteSpan body = frame.subspan(1);
+  switch (tag) {
+    case static_cast<std::uint8_t>(CipherKind::kDes):
+      return des_cbc_decrypt(des_key_, body);
+    case static_cast<std::uint8_t>(CipherKind::kAes128Ctr): {
+      if (body.size() < Aes128::kNonceSize) {
+        return make_error(ErrorCode::kCorrupt, "aes cipher frame too short");
+      }
+      Aes128::Nonce nonce;
+      std::memcpy(nonce.data(), body.data(), nonce.size());
+      const ByteSpan text = body.subspan(nonce.size());
+      Bytes plain(text.size());
+      Aes128(aes_key_).ctr_xor(nonce, 0, text, plain.data());
+      return plain;
+    }
+    case static_cast<std::uint8_t>(CipherKind::kChaCha20): {
+      if (body.size() < ChaCha20::kNonceSize) {
+        return make_error(ErrorCode::kCorrupt,
+                          "chacha20 cipher frame too short");
+      }
+      ChaCha20::Nonce nonce;
+      std::memcpy(nonce.data(), body.data(), nonce.size());
+      const ByteSpan text = body.subspan(nonce.size());
+      Bytes plain(text.size());
+      ChaCha20(chacha_key_).xor_stream(nonce, 0, text, plain.data());
+      return plain;
+    }
+    default:
+      return make_error(ErrorCode::kCorrupt, "unknown cipher frame tag");
+  }
+}
+
+const char* Cipher::kernel_name() const noexcept {
+  switch (kind_) {
+    case CipherKind::kDes:
+      return "scalar";
+    case CipherKind::kAes128Ctr:
+      return Aes128::kernel_name();
+    case CipherKind::kChaCha20:
+      return ChaCha20::kernel_name();
+  }
+  return "unknown";
+}
+
+}  // namespace unidrive::crypto

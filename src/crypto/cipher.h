@@ -1,0 +1,66 @@
+// Config-selectable cipher for the metadata encrypt stage.
+//
+// The paper uses DES for fidelity; the hardware-speed data plane adds
+// AES-128-CTR (AES-NI dispatched) and ChaCha20 (portable) as alternatives.
+// Every ciphertext is self-describing: a one-byte kind tag leads the frame,
+// so decrypt works regardless of the currently configured kind — a client
+// reconfigured from DES to AES can still read every object it wrote before.
+//
+// Frame layouts (after the tag byte):
+//   kDes        — DES-CBC output as produced by des_cbc_encrypt (IV-prefixed,
+//                 PKCS#7 padded).
+//   kAes128Ctr  — 12-byte nonce || CTR keystream XOR of the plaintext.
+//   kChaCha20   — 12-byte nonce || keystream XOR of the plaintext.
+//
+// Nonces are derived deterministically from SHA-256(plaintext) so identical
+// states serialize identically (the codec's dedup/testing contract, same
+// rationale as the DES IV derivation). Distinct plaintexts under one key
+// therefore never reuse a (key, nonce) pair except with SHA-256-collision
+// probability.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/des.h"
+
+namespace unidrive::crypto {
+
+enum class CipherKind : std::uint8_t {
+  kDes = 0,
+  kAes128Ctr = 1,
+  kChaCha20 = 2,
+};
+
+// "des", "aes128ctr", "chacha20".
+[[nodiscard]] const char* cipher_name(CipherKind kind) noexcept;
+[[nodiscard]] Result<CipherKind> cipher_from_name(std::string_view name);
+
+class Cipher {
+ public:
+  Cipher(CipherKind kind, const std::string& passphrase);
+
+  [[nodiscard]] CipherKind kind() const noexcept { return kind_; }
+
+  // Encrypts under the configured kind; the frame is tagged with it.
+  [[nodiscard]] Bytes encrypt(ByteSpan plain) const;
+
+  // Dispatches on the frame's kind tag — any kind decrypts with any
+  // configured kind (keys for all kinds derive from the one passphrase).
+  [[nodiscard]] Result<Bytes> decrypt(ByteSpan frame) const;
+
+  // Resolved kernel behind the configured kind ("aesni", "scalar", ...).
+  [[nodiscard]] const char* kernel_name() const noexcept;
+
+ private:
+  CipherKind kind_;
+  Des::Key des_key_;
+  Aes128::Key aes_key_;
+  ChaCha20::Key chacha_key_;
+};
+
+}  // namespace unidrive::crypto

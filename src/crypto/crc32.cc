@@ -1,30 +1,135 @@
 #include "crypto/crc32.h"
 
 #include <array>
+#include <cstring>
+
+#include "common/cpu.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define UNIDRIVE_CRC_X86 1
+#include <immintrin.h>
+#endif
 
 namespace unidrive::crypto {
 
 namespace {
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+
+// Reflected CRC-32C polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+// Slicing-by-8 tables: table[0] is the classic byte table; table[k] advances
+// a byte seen k positions earlier, so eight lookups retire eight input bytes
+// per iteration with no inter-lookup dependency chain.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  Tables() noexcept {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      }
+      t[0][i] = c;
     }
-    table[i] = c;
+    for (std::size_t k = 1; k < 8; ++k) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = t[0][t[k - 1][i] & 0xFF] ^ (t[k - 1][i] >> 8);
+      }
+    }
   }
-  return table;
+};
+
+const Tables& tables() noexcept {
+  static const Tables t;
+  return t;
 }
-constexpr auto kTable = make_table();
+
+// Raw state update (state is the inverted running CRC).
+std::uint32_t update_sw(std::uint32_t state, const std::uint8_t* p,
+                        std::size_t n) noexcept {
+  const auto& t = tables().t;
+  std::uint32_t c = state;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    w ^= c;
+    c = t[7][w & 0xFF] ^ t[6][(w >> 8) & 0xFF] ^ t[5][(w >> 16) & 0xFF] ^
+        t[4][(w >> 24) & 0xFF] ^ t[3][(w >> 32) & 0xFF] ^
+        t[2][(w >> 40) & 0xFF] ^ t[1][(w >> 48) & 0xFF] ^ t[0][w >> 56];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  while (n-- > 0) {
+    c = t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+  }
+  return c;
+}
+
+#if UNIDRIVE_CRC_X86
+__attribute__((target("sse4.2"))) std::uint32_t update_hw(
+    std::uint32_t state, const std::uint8_t* p, std::size_t n) {
+#if defined(__x86_64__)
+  std::uint64_t c = state;
+  // Align to 8 so the wide strides never split a cache line.
+  while (n > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7) != 0) {
+    c = _mm_crc32_u8(static_cast<std::uint32_t>(c), *p++);
+    --n;
+  }
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    c = _mm_crc32_u64(c, w);
+    p += 8;
+    n -= 8;
+  }
+  std::uint32_t c32 = static_cast<std::uint32_t>(c);
+#else
+  std::uint32_t c32 = state;
+  while (n >= 4) {
+    std::uint32_t w;
+    std::memcpy(&w, p, 4);
+    c32 = _mm_crc32_u32(c32, w);
+    p += 4;
+    n -= 4;
+  }
+#endif
+  while (n-- > 0) c32 = _mm_crc32_u8(c32, *p++);
+  return c32;
+}
+#endif  // UNIDRIVE_CRC_X86
+
+struct CrcKernel {
+  std::uint32_t (*update)(std::uint32_t, const std::uint8_t*, std::size_t);
+  const char* name;
+  int tier;
+};
+
+const CrcKernel& crc_kernel() noexcept {
+  static const CrcKernel resolved = [] {
+    CrcKernel k{&update_sw, "scalar", 0};
+#if UNIDRIVE_CRC_X86
+    if (cpu_features().sse42) k = CrcKernel{&update_hw, "sse4.2", 1};
+#endif
+    note_kernel("crc32c", k.name, k.tier);
+    return k;
+  }();
+  return resolved;
+}
+
 }  // namespace
 
-std::uint32_t crc32(ByteSpan data, std::uint32_t seed) noexcept {
-  std::uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (std::uint8_t byte : data) {
-    c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed) noexcept {
+  return crc_kernel().update(seed ^ 0xFFFFFFFFu, data.data(), data.size()) ^
+         0xFFFFFFFFu;
 }
+
+std::uint32_t crc32c_sw(ByteSpan data, std::uint32_t seed) noexcept {
+  return update_sw(seed ^ 0xFFFFFFFFu, data.data(), data.size()) ^ 0xFFFFFFFFu;
+}
+
+const char* crc32c_kernel_name() noexcept { return crc_kernel().name; }
+
+int crc32c_kernel_tier() noexcept { return crc_kernel().tier; }
 
 }  // namespace unidrive::crypto

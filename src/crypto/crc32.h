@@ -1,6 +1,12 @@
-// CRC-32 (IEEE 802.3 polynomial, reflected). Cheap per-record checksum for
-// the delta log: each appended record is guarded so a torn/partial upload is
-// detected when replaying the log.
+// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected) — the data plane's
+// cheap corruption screen: per-record guards in the delta log, the fast
+// integrity pre-check in the metadata envelope, and the scrubber's
+// block-compare screen all use it, so a torn upload or flipped bit is
+// rejected for the cost of a CRC instead of a cryptographic hash.
+//
+// Dispatch (common/cpu.h): the SSE4.2 crc32 instruction (one u64 per cycle
+// class throughput) when the CPU has it, otherwise a slicing-by-8 table
+// fallback. Seed chaining composes: crc32c(b, crc32c(a)) == crc32c(a || b).
 #pragma once
 
 #include <cstdint>
@@ -9,6 +15,15 @@
 
 namespace unidrive::crypto {
 
-std::uint32_t crc32(ByteSpan data, std::uint32_t seed = 0) noexcept;
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed = 0) noexcept;
+
+// Portable reference (always the table kernel, independent of dispatch);
+// the differential tests pin the hardware path against it.
+std::uint32_t crc32c_sw(ByteSpan data, std::uint32_t seed = 0) noexcept;
+
+// Resolved dispatch decision ("sse4.2" or "scalar"); forces resolution, so
+// the result is also visible via common/cpu.h's registry.
+[[nodiscard]] const char* crc32c_kernel_name() noexcept;
+[[nodiscard]] int crc32c_kernel_tier() noexcept;  // 0 scalar, 1 sse4.2
 
 }  // namespace unidrive::crypto

@@ -1,7 +1,15 @@
 #include "erasure/gf256.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
+
+#include "common/cpu.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define UNIDRIVE_GF_X86 1
+#include <immintrin.h>
+#endif
 
 namespace unidrive::erasure {
 
@@ -47,6 +55,384 @@ const Tables& tables() noexcept {
   return t;
 }
 
+// Rows fused per pass by the dot kernels: bounds the per-group lookup-table
+// working set (SIMD: 2 * 16 bytes per row). Groups accumulate into dst, so
+// any row count works; UniDrive's codes stay well under one group (k <= 10).
+constexpr std::size_t kDotGroup = 16;
+
+// ---------------------------------------------------------------------------
+// Scalar kernels (also the dispatch fallback). The coefficient's 256-entry
+// product row — and for the dot kernel, every row of the group — is hoisted
+// OUTSIDE the byte loop; the inner loop only indexes resident L1 tables and
+// folds 8 translated bytes per word-wide XOR.
+// ---------------------------------------------------------------------------
+
+void mul_add_scalar(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                    std::uint8_t coeff) noexcept {
+  if (coeff == 0) return;
+  std::size_t i = 0;
+  if (coeff == 1) {
+    // Pure XOR: combine 8 bytes per load/store pair.
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t a;
+      std::uint64_t b;
+      std::memcpy(&a, dst + i, 8);
+      std::memcpy(&b, src + i, 8);
+      a ^= b;
+      std::memcpy(dst + i, &a, 8);
+    }
+    for (; i < n; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const std::uint8_t* const row = tables().mul[coeff].data();
+  for (; i + 8 <= n; i += 8) {
+    std::uint8_t translated[8];
+    for (std::size_t j = 0; j < 8; ++j) translated[j] = row[src[i + j]];
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, translated, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void scale_scalar(std::uint8_t* dst, std::size_t n,
+                  std::uint8_t coeff) noexcept {
+  if (coeff == 1) return;
+  const std::uint8_t* const row = tables().mul[coeff].data();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[dst[i]];
+}
+
+void dot_scalar(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                const std::uint8_t* coeffs, std::size_t rows,
+                std::size_t n) noexcept {
+  bool first = true;
+  for (std::size_t base = 0; base < rows; base += kDotGroup) {
+    const std::size_t g = std::min(kDotGroup, rows - base);
+    // Hoist the group's product rows out of the byte loop once.
+    const std::uint8_t* row[kDotGroup];
+    const std::uint8_t* src[kDotGroup];
+    std::size_t m = 0;
+    for (std::size_t j = 0; j < g; ++j) {
+      if (coeffs[base + j] == 0) continue;  // zero rows contribute nothing
+      row[m] = tables().mul[coeffs[base + j]].data();
+      src[m] = srcs[base + j];
+      ++m;
+    }
+    if (m == 0) continue;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      std::uint8_t blk[8];
+      if (first) {
+        std::memset(blk, 0, 8);
+      } else {
+        std::memcpy(blk, dst + i, 8);
+      }
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint8_t* const r = row[j];
+        const std::uint8_t* const s = src[j] + i;
+        for (std::size_t b = 0; b < 8; ++b) blk[b] ^= r[s[b]];
+      }
+      std::memcpy(dst + i, blk, 8);
+    }
+    for (; i < n; ++i) {
+      std::uint8_t v = first ? 0 : dst[i];
+      for (std::size_t j = 0; j < m; ++j) v ^= row[j][src[j][i]];
+      dst[i] = v;
+    }
+    first = false;
+  }
+  if (first) std::memset(dst, 0, n);  // no row had a nonzero coefficient
+}
+
+// ---------------------------------------------------------------------------
+// x86 shuffle kernels (ISA-L idiom): mul(c, x) decomposes over the two
+// nibbles of x — mul(c, x) = L[x & 0xF] ^ H[x >> 4] with L[i] = mul(c, i)
+// and H[i] = mul(c, i << 4) — so one pshufb per nibble translates 16 (or 32
+// with AVX2) bytes at once. The 2x16-byte tables are built outside the byte
+// loop. All loads/stores are unaligned-safe; tails fall back to the row
+// tables.
+// ---------------------------------------------------------------------------
+#if UNIDRIVE_GF_X86
+
+inline void nibble_tables(std::uint8_t coeff, std::uint8_t* lo,
+                          std::uint8_t* hi) noexcept {
+  const auto& row = tables().mul[coeff];
+  for (int i = 0; i < 16; ++i) {
+    lo[i] = row[static_cast<std::size_t>(i)];
+    hi[i] = row[static_cast<std::size_t>(i << 4)];
+  }
+}
+
+__attribute__((target("ssse3"))) void mul_add_ssse3(std::uint8_t* dst,
+                                                    const std::uint8_t* src,
+                                                    std::size_t n,
+                                                    std::uint8_t coeff) {
+  if (coeff == 0) return;
+  alignas(16) std::uint8_t lo8[16];
+  alignas(16) std::uint8_t hi8[16];
+  nibble_tables(coeff, lo8, hi8);
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(lo8));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(hi8));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(v, mask));
+    const __m128i h = _mm_shuffle_epi8(
+        hi, _mm_and_si128(_mm_srli_epi64(v, 4), mask));
+    d = _mm_xor_si128(d, _mm_xor_si128(l, h));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), d);
+  }
+  const std::uint8_t* const row = tables().mul[coeff].data();
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+__attribute__((target("ssse3"))) void scale_ssse3(std::uint8_t* dst,
+                                                  std::size_t n,
+                                                  std::uint8_t coeff) {
+  if (coeff == 1) return;
+  alignas(16) std::uint8_t lo8[16];
+  alignas(16) std::uint8_t hi8[16];
+  nibble_tables(coeff, lo8, hi8);
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(lo8));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(hi8));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(v, mask));
+    const __m128i h = _mm_shuffle_epi8(
+        hi, _mm_and_si128(_mm_srli_epi64(v, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(l, h));
+  }
+  const std::uint8_t* const row = tables().mul[coeff].data();
+  for (; i < n; ++i) dst[i] = row[dst[i]];
+}
+
+__attribute__((target("ssse3"))) void dot_ssse3(std::uint8_t* dst,
+                                                const std::uint8_t* const* srcs,
+                                                const std::uint8_t* coeffs,
+                                                std::size_t rows,
+                                                std::size_t n) {
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  bool first = true;
+  for (std::size_t base = 0; base < rows; base += kDotGroup) {
+    const std::size_t g = std::min(kDotGroup, rows - base);
+    __m128i lo[kDotGroup];
+    __m128i hi[kDotGroup];
+    const std::uint8_t* src[kDotGroup];
+    const std::uint8_t* row[kDotGroup];
+    std::size_t m = 0;
+    for (std::size_t j = 0; j < g; ++j) {
+      if (coeffs[base + j] == 0) continue;
+      alignas(16) std::uint8_t lo8[16];
+      alignas(16) std::uint8_t hi8[16];
+      nibble_tables(coeffs[base + j], lo8, hi8);
+      lo[m] = _mm_load_si128(reinterpret_cast<const __m128i*>(lo8));
+      hi[m] = _mm_load_si128(reinterpret_cast<const __m128i*>(hi8));
+      src[m] = srcs[base + j];
+      row[m] = tables().mul[coeffs[base + j]].data();
+      ++m;
+    }
+    if (m == 0) continue;
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      __m128i acc =
+          first ? _mm_setzero_si128()
+                : _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+      for (std::size_t j = 0; j < m; ++j) {
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(src[j] + i));
+        const __m128i l = _mm_shuffle_epi8(lo[j], _mm_and_si128(v, mask));
+        const __m128i h = _mm_shuffle_epi8(
+            hi[j], _mm_and_si128(_mm_srli_epi64(v, 4), mask));
+        acc = _mm_xor_si128(acc, _mm_xor_si128(l, h));
+      }
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
+    }
+    for (; i < n; ++i) {
+      std::uint8_t v = first ? 0 : dst[i];
+      for (std::size_t j = 0; j < m; ++j) v ^= row[j][src[j][i]];
+      dst[i] = v;
+    }
+    first = false;
+  }
+  if (first) std::memset(dst, 0, n);
+}
+
+__attribute__((target("avx2"))) void mul_add_avx2(std::uint8_t* dst,
+                                                  const std::uint8_t* src,
+                                                  std::size_t n,
+                                                  std::uint8_t coeff) {
+  if (coeff == 0) return;
+  alignas(16) std::uint8_t lo8[16];
+  alignas(16) std::uint8_t hi8[16];
+  nibble_tables(coeff, lo8, hi8);
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(lo8)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(hi8)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    d0 = _mm256_xor_si256(
+        d0, _mm256_xor_si256(
+                _mm256_shuffle_epi8(lo, _mm256_and_si256(v0, mask)),
+                _mm256_shuffle_epi8(
+                    hi, _mm256_and_si256(_mm256_srli_epi64(v0, 4), mask))));
+    d1 = _mm256_xor_si256(
+        d1, _mm256_xor_si256(
+                _mm256_shuffle_epi8(lo, _mm256_and_si256(v1, mask)),
+                _mm256_shuffle_epi8(
+                    hi, _mm256_and_si256(_mm256_srli_epi64(v1, 4), mask))));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), d1);
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    d = _mm256_xor_si256(
+        d, _mm256_xor_si256(
+               _mm256_shuffle_epi8(lo, _mm256_and_si256(v, mask)),
+               _mm256_shuffle_epi8(
+                   hi, _mm256_and_si256(_mm256_srli_epi64(v, 4), mask))));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  const std::uint8_t* const row = tables().mul[coeff].data();
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+__attribute__((target("avx2"))) void scale_avx2(std::uint8_t* dst,
+                                                std::size_t n,
+                                                std::uint8_t coeff) {
+  if (coeff == 1) return;
+  alignas(16) std::uint8_t lo8[16];
+  alignas(16) std::uint8_t hi8[16];
+  nibble_tables(coeff, lo8, hi8);
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(lo8)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(hi8)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_xor_si256(
+            _mm256_shuffle_epi8(lo, _mm256_and_si256(v, mask)),
+            _mm256_shuffle_epi8(
+                hi, _mm256_and_si256(_mm256_srli_epi64(v, 4), mask))));
+  }
+  const std::uint8_t* const row = tables().mul[coeff].data();
+  for (; i < n; ++i) dst[i] = row[dst[i]];
+}
+
+__attribute__((target("avx2"))) void dot_avx2(std::uint8_t* dst,
+                                              const std::uint8_t* const* srcs,
+                                              const std::uint8_t* coeffs,
+                                              std::size_t rows,
+                                              std::size_t n) {
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  bool first = true;
+  for (std::size_t base = 0; base < rows; base += kDotGroup) {
+    const std::size_t g = std::min(kDotGroup, rows - base);
+    __m256i lo[kDotGroup];
+    __m256i hi[kDotGroup];
+    const std::uint8_t* src[kDotGroup];
+    const std::uint8_t* row[kDotGroup];
+    std::size_t m = 0;
+    for (std::size_t j = 0; j < g; ++j) {
+      if (coeffs[base + j] == 0) continue;
+      alignas(16) std::uint8_t lo8[16];
+      alignas(16) std::uint8_t hi8[16];
+      nibble_tables(coeffs[base + j], lo8, hi8);
+      lo[m] = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(lo8)));
+      hi[m] = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(hi8)));
+      src[m] = srcs[base + j];
+      row[m] = tables().mul[coeffs[base + j]].data();
+      ++m;
+    }
+    if (m == 0) continue;
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+      __m256i acc = first ? _mm256_setzero_si256()
+                          : _mm256_loadu_si256(
+                                reinterpret_cast<const __m256i*>(dst + i));
+      for (std::size_t j = 0; j < m; ++j) {
+        const __m256i v =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src[j] + i));
+        acc = _mm256_xor_si256(
+            acc,
+            _mm256_xor_si256(
+                _mm256_shuffle_epi8(lo[j], _mm256_and_si256(v, mask)),
+                _mm256_shuffle_epi8(
+                    hi[j],
+                    _mm256_and_si256(_mm256_srli_epi64(v, 4), mask))));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), acc);
+    }
+    for (; i < n; ++i) {
+      std::uint8_t v = first ? 0 : dst[i];
+      for (std::size_t j = 0; j < m; ++j) v ^= row[j][src[j][i]];
+      dst[i] = v;
+    }
+    first = false;
+  }
+  if (first) std::memset(dst, 0, n);
+}
+
+#endif  // UNIDRIVE_GF_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch: resolved once at first use, registered with common/cpu.h.
+// ---------------------------------------------------------------------------
+
+struct GfKernels {
+  void (*mul_add)(std::uint8_t*, const std::uint8_t*, std::size_t,
+                  std::uint8_t);
+  void (*scale)(std::uint8_t*, std::size_t, std::uint8_t);
+  void (*dot)(std::uint8_t*, const std::uint8_t* const*, const std::uint8_t*,
+              std::size_t, std::size_t);
+  const char* name;
+  int tier;
+};
+
+const GfKernels& gf_kernels() noexcept {
+  static const GfKernels resolved = [] {
+    GfKernels k{&mul_add_scalar, &scale_scalar, &dot_scalar, "scalar", 0};
+#if UNIDRIVE_GF_X86
+    const CpuFeatures& f = cpu_features();
+    if (f.avx2) {
+      k = GfKernels{&mul_add_avx2, &scale_avx2, &dot_avx2, "avx2", 2};
+    } else if (f.ssse3) {
+      k = GfKernels{&mul_add_ssse3, &scale_ssse3, &dot_ssse3, "ssse3", 1};
+    }
+#endif
+    note_kernel("gf_mul_add", k.name, k.tier);
+    return k;
+  }();
+  return resolved;
+}
+
 }  // namespace
 
 std::uint8_t Gf256::mul(std::uint8_t a, std::uint8_t b) noexcept {
@@ -72,44 +458,39 @@ std::uint8_t Gf256::exp(int power) noexcept {
 
 void Gf256::mul_add_slice(std::uint8_t* dst, const std::uint8_t* src,
                           std::size_t n, std::uint8_t coeff) noexcept {
-  if (coeff == 0) return;
-  std::size_t i = 0;
-  if (coeff == 1) {
-    // Pure XOR: combine 8 bytes per load/store pair.
-    for (; i + 8 <= n; i += 8) {
-      std::uint64_t a;
-      std::uint64_t b;
-      std::memcpy(&a, dst + i, 8);
-      std::memcpy(&b, src + i, 8);
-      a ^= b;
-      std::memcpy(dst + i, &a, 8);
-    }
-    for (; i < n; ++i) dst[i] ^= src[i];
-    return;
-  }
-  // One 256-entry product row per coefficient (a 256-byte table, resident
-  // in L1 for the whole slice), applied in 8-byte blocks: the 8 translated
-  // bytes are composed in a local buffer and folded into dst with a single
-  // word-wide load/XOR/store instead of 8 read-modify-writes.
-  const auto& row = tables().mul[coeff];
-  for (; i + 8 <= n; i += 8) {
-    std::uint8_t translated[8];
-    for (std::size_t j = 0; j < 8; ++j) translated[j] = row[src[i + j]];
-    std::uint64_t a;
-    std::uint64_t b;
-    std::memcpy(&a, dst + i, 8);
-    std::memcpy(&b, translated, 8);
-    a ^= b;
-    std::memcpy(dst + i, &a, 8);
-  }
-  for (; i < n; ++i) dst[i] ^= row[src[i]];
+  gf_kernels().mul_add(dst, src, n, coeff);
 }
 
 void Gf256::scale_slice(std::uint8_t* dst, std::size_t n,
                         std::uint8_t coeff) noexcept {
-  if (coeff == 1) return;
-  const auto& row = tables().mul[coeff];
-  for (std::size_t i = 0; i < n; ++i) dst[i] = row[dst[i]];
+  gf_kernels().scale(dst, n, coeff);
 }
+
+void Gf256::dot_slice(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                      const std::uint8_t* coeffs, std::size_t rows,
+                      std::size_t n) noexcept {
+  gf_kernels().dot(dst, srcs, coeffs, rows, n);
+}
+
+void Gf256::mul_add_slice_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                                 std::size_t n, std::uint8_t coeff) noexcept {
+  mul_add_scalar(dst, src, n, coeff);
+}
+
+void Gf256::scale_slice_scalar(std::uint8_t* dst, std::size_t n,
+                               std::uint8_t coeff) noexcept {
+  scale_scalar(dst, n, coeff);
+}
+
+void Gf256::dot_slice_scalar(std::uint8_t* dst,
+                             const std::uint8_t* const* srcs,
+                             const std::uint8_t* coeffs, std::size_t rows,
+                             std::size_t n) noexcept {
+  dot_scalar(dst, srcs, coeffs, rows, n);
+}
+
+const char* Gf256::kernel_name() noexcept { return gf_kernels().name; }
+
+int Gf256::kernel_tier() noexcept { return gf_kernels().tier; }
 
 }  // namespace unidrive::erasure

@@ -1,6 +1,15 @@
 // GF(2^8) arithmetic with the AES polynomial x^8+x^4+x^3+x+1 (0x11B).
 // Log/antilog tables are built once at static initialization; hot paths
-// (encode/decode inner loops) use mul_add_slice over whole shards.
+// (encode/decode inner loops) use the slice kernels over whole shards.
+//
+// The slice kernels dispatch once at first use (common/cpu.h): an AVX2 or
+// SSSE3 shuffle-based split-nibble implementation (the ISA-L idiom — two
+// 16-entry pshufb tables per coefficient, built outside the byte loop) when
+// the CPU has it, otherwise a portable scalar fallback that caches the
+// coefficient's product row outside the byte loop and folds 8 translated
+// bytes per word-wide XOR. All kernels accept arbitrarily aligned, zero- or
+// odd-length slices; the *_scalar twins are exported as the reference for
+// differential tests and as the explicit baseline for benches.
 #pragma once
 
 #include <cstdint>
@@ -22,13 +31,39 @@ class Gf256 {
   static std::uint8_t inv(std::uint8_t a) noexcept;                  // a != 0
   static std::uint8_t exp(int power) noexcept;  // generator^power (mod 255)
 
-  // dst[i] ^= coeff * src[i] for i in [0, n) — the encode/decode kernel.
+  // dst[i] ^= coeff * src[i] for i in [0, n) — the incremental kernel.
   static void mul_add_slice(std::uint8_t* dst, const std::uint8_t* src,
                             std::size_t n, std::uint8_t coeff) noexcept;
 
   // dst[i] = coeff * dst[i].
   static void scale_slice(std::uint8_t* dst, std::size_t n,
                           std::uint8_t coeff) noexcept;
+
+  // Fused dot product — the encode/decode kernel:
+  //   dst[i] = XOR over r in [0, rows) of coeffs[r] * srcs[r][i]
+  // (dst is OVERWRITTEN). One pass over dst regardless of row count: every
+  // source row is read once and dst written once, instead of rows separate
+  // read-modify-write sweeps via mul_add_slice. All per-row lookup tables
+  // are derived outside the byte loop.
+  static void dot_slice(std::uint8_t* dst,
+                        const std::uint8_t* const* srcs,
+                        const std::uint8_t* coeffs, std::size_t rows,
+                        std::size_t n) noexcept;
+
+  // Portable reference twins (always scalar, independent of dispatch).
+  static void mul_add_slice_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                                   std::size_t n, std::uint8_t coeff) noexcept;
+  static void scale_slice_scalar(std::uint8_t* dst, std::size_t n,
+                                 std::uint8_t coeff) noexcept;
+  static void dot_slice_scalar(std::uint8_t* dst,
+                               const std::uint8_t* const* srcs,
+                               const std::uint8_t* coeffs, std::size_t rows,
+                               std::size_t n) noexcept;
+
+  // Resolved dispatch decision ("avx2", "ssse3" or "scalar"); forces
+  // resolution, so the result is also visible via common/cpu.h's registry.
+  [[nodiscard]] static const char* kernel_name() noexcept;
+  [[nodiscard]] static int kernel_tier() noexcept;  // 0 scalar, 1 ssse3, 2 avx2
 };
 
 }  // namespace unidrive::erasure

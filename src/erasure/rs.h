@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/bytes.h"
 #include "common/executor.h"
 #include "common/status.h"
@@ -82,7 +83,7 @@ class RsCode {
   }
 
  private:
-  [[nodiscard]] std::vector<Bytes> split_into_data_shards(
+  [[nodiscard]] std::vector<AlignedBytes> split_into_data_shards(
       ByteSpan segment) const;
 
   std::size_t n_;

@@ -2,37 +2,35 @@
 
 #include <algorithm>
 
-#include "crypto/sha1.h"
+#include "crypto/crc32.h"
 #include "crypto/sha256.h"
 
 namespace unidrive::metadata {
 
 namespace {
-// DES-CBC provides confidentiality but no integrity; a flipped ciphertext
-// bit garbles one block and can still deserialize into a plausible-looking
-// image. The envelope carries a SHA-256 of the payload INSIDE the
-// encryption, so any tampering (or a wrong key) is detected before the
-// plaintext is trusted.
-constexpr std::uint32_t kEnvelopeMagic = 0x31454455;  // "UDE1"
+// Stream/CBC ciphers provide confidentiality but no integrity; a flipped
+// ciphertext bit flips the same plaintext bit (CTR) or garbles a block (CBC)
+// and can still deserialize into a plausible-looking image. The envelope
+// carries both a CRC-32C and a SHA-256 of the payload INSIDE the encryption:
+// the CRC is a near-free hardware screen that rejects ordinary corruption
+// (torn writes, bit rot, wrong key) before the full cryptographic hash is
+// computed, and the SHA-256 backstops deliberate tampering.
+constexpr std::uint32_t kEnvelopeMagic = 0x32454455;  // "UDE2"
 }  // namespace
 
 Bytes MetadataCodec::encrypt(ByteSpan plain) const {
   BinaryWriter envelope;
   envelope.put_u32(kEnvelopeMagic);
+  envelope.put_u32(crypto::crc32c(plain));
   envelope.put_raw(plain);
   const auto digest = crypto::Sha256::hash(plain);
   envelope.put_raw(ByteSpan(digest.data(), digest.size()));
-
-  const auto iv_digest = crypto::Sha1::hash(plain);
-  crypto::Des::Block iv;
-  std::copy_n(iv_digest.begin(), iv.size(), iv.begin());
-  return crypto::des_cbc_encrypt(key_, ByteSpan(envelope.data()), iv);
+  return cipher_.encrypt(ByteSpan(envelope.data()));
 }
 
 Result<Bytes> MetadataCodec::decrypt(ByteSpan cipher) const {
-  UNI_ASSIGN_OR_RETURN(const Bytes envelope,
-                       crypto::des_cbc_decrypt(key_, cipher));
-  if (envelope.size() < 4 + crypto::Sha256::kDigestSize) {
+  UNI_ASSIGN_OR_RETURN(const Bytes envelope, cipher_.decrypt(cipher));
+  if (envelope.size() < 8 + crypto::Sha256::kDigestSize) {
     return make_error(ErrorCode::kCorrupt, "metadata envelope too short");
   }
   BinaryReader r{ByteSpan(envelope)};
@@ -40,9 +38,14 @@ Result<Bytes> MetadataCodec::decrypt(ByteSpan cipher) const {
   if (magic != kEnvelopeMagic) {
     return make_error(ErrorCode::kCorrupt, "bad metadata envelope magic");
   }
+  UNI_ASSIGN_OR_RETURN(const std::uint32_t crc, r.get_u32());
   const std::size_t payload_size =
-      envelope.size() - 4 - crypto::Sha256::kDigestSize;
+      envelope.size() - 8 - crypto::Sha256::kDigestSize;
   UNI_ASSIGN_OR_RETURN(Bytes payload, r.get_raw(payload_size));
+  if (crypto::crc32c(ByteSpan(payload)) != crc) {
+    return make_error(ErrorCode::kCorrupt,
+                      "metadata failed crc32c pre-check");
+  }
   UNI_ASSIGN_OR_RETURN(const Bytes digest,
                        r.get_raw(crypto::Sha256::kDigestSize));
   const auto expected = crypto::Sha256::hash(ByteSpan(payload));

@@ -2,14 +2,17 @@
 //
 // The paper DES-encrypts the metadata before replication so that no single
 // provider can read the folder image (file names, hierarchy, block map).
-// The IV is derived deterministically from the plaintext digest + version so
-// identical states serialize identically (helps dedup and testing); this is
-// acceptable because each commit produces a distinct plaintext.
+// The cipher is now config-selectable (crypto::CipherKind): DES for paper
+// fidelity, AES-128-CTR or ChaCha20 for hardware speed. Nonces/IVs derive
+// deterministically from the plaintext digest so identical states serialize
+// identically (helps dedup and testing); this is acceptable because each
+// commit produces a distinct plaintext. Decode reads the frame's kind tag,
+// so changing the configured cipher never orphans previously written data.
 #pragma once
 
 #include <string>
 
-#include "crypto/des.h"
+#include "crypto/cipher.h"
 #include "metadata/delta.h"
 #include "metadata/image.h"
 
@@ -17,8 +20,9 @@ namespace unidrive::metadata {
 
 class MetadataCodec {
  public:
-  explicit MetadataCodec(const std::string& passphrase)
-      : key_(crypto::des_key_from_passphrase(passphrase)) {}
+  explicit MetadataCodec(const std::string& passphrase,
+                         crypto::CipherKind kind = crypto::CipherKind::kDes)
+      : cipher_(kind, passphrase) {}
 
   [[nodiscard]] Bytes encode_image(const SyncFolderImage& image) const;
   [[nodiscard]] Result<SyncFolderImage> decode_image(ByteSpan data) const;
@@ -38,7 +42,7 @@ class MetadataCodec {
   [[nodiscard]] Bytes encrypt(ByteSpan plain) const;
   [[nodiscard]] Result<Bytes> decrypt(ByteSpan cipher) const;
 
-  crypto::Des::Key key_;
+  crypto::Cipher cipher_;
 };
 
 }  // namespace unidrive::metadata

@@ -23,7 +23,7 @@ Bytes DeltaLog::serialize() const {
     for (const Change& c : record.changes) serialize_change(body, c);
 
     w.put_varint(body.size());
-    w.put_u32(crypto::crc32(ByteSpan(body.data())));
+    w.put_u32(crypto::crc32c(ByteSpan(body.data())));
     w.put_raw(ByteSpan(body.data()));
   }
   return std::move(w).take();
@@ -44,7 +44,7 @@ Result<DeltaLog> DeltaLog::deserialize(ByteSpan data) {
     auto body_result = r.get_raw(len_result.value());
     if (!body_result.is_ok()) break;
     const Bytes body = std::move(body_result).take();
-    if (crypto::crc32(ByteSpan(body)) != crc_result.value()) break;
+    if (crypto::crc32c(ByteSpan(body)) != crc_result.value()) break;
 
     BinaryReader body_reader{ByteSpan(body)};
     CommitRecord record;

@@ -20,9 +20,10 @@ bool is_prefix(const std::vector<DeltaRef>& prefix,
 
 ShardedMetaStore::ShardedMetaStore(cloud::MultiCloud clouds,
                                    const std::string& passphrase,
-                                   ShardConfig config, obs::ObsPtr obs)
+                                   ShardConfig config, obs::ObsPtr obs,
+                                   crypto::CipherKind cipher)
     : kv_(std::move(clouds), "/meta/kv", obs),
-      codec_(passphrase),
+      codec_(passphrase, cipher),
       config_(config),
       obs_(std::move(obs)) {
   if (config_.num_shards == 0) config_.num_shards = 1;

@@ -57,7 +57,8 @@ struct ShardConfig {
 class ShardedMetaStore {
  public:
   ShardedMetaStore(cloud::MultiCloud clouds, const std::string& passphrase,
-                   ShardConfig config, obs::ObsPtr obs = nullptr);
+                   ShardConfig config, obs::ObsPtr obs = nullptr,
+                   crypto::CipherKind cipher = crypto::CipherKind::kDes);
 
   // --- reads ---------------------------------------------------------------
 

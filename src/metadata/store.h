@@ -31,8 +31,11 @@ class MetaStore {
   // (meta.publish.ok|err, meta.fetch.ok|err; meta.base_bytes /
   // meta.delta_bytes gauges track the last published payload sizes).
   MetaStore(cloud::MultiCloud clouds, const std::string& passphrase,
-            obs::ObsPtr obs = nullptr)
-      : clouds_(std::move(clouds)), codec_(passphrase), obs_(std::move(obs)) {}
+            obs::ObsPtr obs = nullptr,
+            crypto::CipherKind cipher = crypto::CipherKind::kDes)
+      : clouds_(std::move(clouds)),
+        codec_(passphrase, cipher),
+        obs_(std::move(obs)) {}
 
   // Pushes the current metadata state. `upload_base` controls Delta-sync:
   // false = delta + version only (the common, cheap case); true = the delta

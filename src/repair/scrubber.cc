@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "core/download_pipeline.h"
+#include "crypto/crc32.h"
 #include "erasure/rs.h"
 #include "metadata/types.h"
 #include "repair/latch.h"
@@ -317,14 +318,25 @@ void Scrubber::verify_segment(const metadata::SegmentInfo& segment,
 
   // Verified plaintext in hand: every fetched block must equal its
   // re-encoded codeword row, byte for byte. This is what catches same-size
-  // bit-rot the listing probe cannot see.
+  // bit-rot the listing probe cannot see. All candidate rows are re-encoded
+  // in ONE fused pass (the segment is split into data shards once, each row
+  // is one SIMD dot product), and a CRC32C screen runs before the byte
+  // compare so the common all-good case touches each buffer once more at
+  // hardware CRC speed instead of a full memcmp mismatch scan.
+  std::vector<std::uint32_t> indices;
+  indices.reserve(candidates.size());
+  for (const std::size_t i : candidate_slot) {
+    indices.push_back(segment.blocks[i].block_index);
+  }
+  const std::vector<erasure::Shard> expected =
+      code.encode_shards(ByteSpan(plain.value()), indices);
   for (std::size_t c = 0; c < candidates.size(); ++c) {
     const std::size_t i = candidate_slot[c];
     const metadata::BlockLocation& loc = segment.blocks[i];
-    const std::vector<erasure::Shard> expected = code.encode_shards(
-        ByteSpan(plain.value()), {loc.block_index});
     const bool matches =
-        expected.size() == 1 && expected.front().data == slots[i].bytes;
+        crypto::crc32c(ByteSpan(expected[c].data)) ==
+            crypto::crc32c(ByteSpan(slots[i].bytes)) &&
+        expected[c].data == slots[i].bytes;
     if (!matches) {
       if (tracker_->record({DefectKind::kCorruptBlock, segment.id,
                             loc.block_index, loc.cloud, now})) {

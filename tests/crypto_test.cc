@@ -95,21 +95,32 @@ TEST(Sha256Test, IncrementalMatchesOneShot) {
   EXPECT_EQ(h.finish(), Sha256::hash(ByteSpan(data)));
 }
 
-// --- CRC32 --------------------------------------------------------------------
+// --- CRC32C -------------------------------------------------------------------
 
 TEST(Crc32Test, KnownVector) {
+  // RFC 3720 CRC-32C check value for "123456789".
   const Bytes in = bytes_from_string("123456789");
-  EXPECT_EQ(crc32(ByteSpan(in)), 0xCBF43926u);
+  EXPECT_EQ(crc32c(ByteSpan(in)), 0xE3069283u);
+  EXPECT_EQ(crc32c_sw(ByteSpan(in)), 0xE3069283u);
 }
 
-TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(crc32(ByteSpan{}), 0u); }
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(crc32c(ByteSpan{}), 0u); }
 
 TEST(Crc32Test, DetectsBitFlip) {
   Rng rng(3);
   Bytes data = rng.bytes(256);
-  const std::uint32_t before = crc32(ByteSpan(data));
+  const std::uint32_t before = crc32c(ByteSpan(data));
   data[100] ^= 0x01;
-  EXPECT_NE(before, crc32(ByteSpan(data)));
+  EXPECT_NE(before, crc32c(ByteSpan(data)));
+}
+
+TEST(Crc32Test, SeedChainingComposes) {
+  Rng rng(7);
+  const Bytes data = rng.bytes(777);
+  const ByteSpan all(data);
+  const std::uint32_t whole = crc32c(all);
+  const std::uint32_t chained = crc32c(all.subspan(300), crc32c(all.first(300)));
+  EXPECT_EQ(whole, chained);
 }
 
 // --- DES ----------------------------------------------------------------------

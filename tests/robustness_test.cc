@@ -157,7 +157,7 @@ TEST(RobustnessTest, DeltaLogWithHostileRecordCountStops) {
   BinaryWriter log;
   log.put_u32(0x474C4455);  // delta magic
   log.put_varint(body.size());
-  log.put_u32(crypto::crc32(ByteSpan(body.data())));
+  log.put_u32(crypto::crc32c(ByteSpan(body.data())));
   log.put_raw(ByteSpan(body.data()));
 
   auto result = metadata::DeltaLog::deserialize(ByteSpan(log.data()));
