@@ -164,11 +164,13 @@ int run() {
     row.rss_after = resident_bytes();
     std::printf(
         "stage smoke (%s): %zu clients, %zu sessions, %zu commits, "
-        "%zu conflicts, %zu audits (%zu strict), latency p50/p95/p99 = "
-        "%.1f/%.1f/%.1f s\n",
+        "%zu conflicts, %zu audits (%zu strict), %zu segments deduped "
+        "(%.1f MB saved), latency p50/p95/p99 = %.1f/%.1f/%.1f s\n",
         scenario_name.c_str(), smoke_clients, row.result.sessions,
         row.result.commits, row.result.conflicts, row.result.audits,
-        row.result.strict_audited, row.tail.p50, row.tail.p95, row.tail.p99);
+        row.result.strict_audited, row.result.segments_deduped,
+        static_cast<double>(row.result.dedup_bytes_saved) / (1 << 20),
+        row.tail.p50, row.tail.p95, row.tail.p99);
 
     if (row.result.commits == 0) {
       std::fprintf(stderr, "FAIL: smoke soak committed nothing\n");
@@ -283,6 +285,7 @@ int run() {
           "\"lost_updates\": %zu, \"unrecoverable_segments\": %zu, "
           "\"underrep_unledgered\": %zu, \"restore_failures\": %zu, "
           "\"stale_devices\": %zu, \"cloud_stored_bytes\": %" PRIu64 ", "
+          "\"segments_deduped\": %zu, \"dedup_bytes_saved\": %" PRIu64 ", "
           "\"latency_p50_s\": %.3f, \"latency_p95_s\": %.3f, "
           "\"latency_p99_s\": %.3f, \"latency_samples\": %" PRIu64 ", "
           "\"rss_bytes\": %" PRIu64 "}%s\n",
@@ -291,6 +294,7 @@ int run() {
           r.deferred, r.peak_live_sessions, r.audits, r.strict_audited,
           r.lost_updates, r.unrecoverable_segments, r.underrep_unledgered,
           r.restore_failures, r.stale_devices, r.cloud_stored_bytes,
+          r.segments_deduped, r.dedup_bytes_saved,
           row.tail.p50, row.tail.p95, row.tail.p99, row.tail.count,
           row.rss_after, i + 1 < rows.size() ? "," : "");
     }

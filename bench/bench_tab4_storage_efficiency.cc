@@ -53,6 +53,30 @@ void run() {
 
   std::printf("\nPaper example (N=3, tolerate 1 outage): UniDrive 200 GB vs "
               "replication 150 GB from 3 x 100 GB of quota.\n");
+
+  // Content-addressed dedup multiplies the USABLE capacity further: with a
+  // cross-user duplicate fraction d, only (1 - d) of the logical bytes
+  // consume physical pool space (convergent dispersal makes the duplicate
+  // blocks byte-identical, so the pool stores them once; DESIGN.md §13).
+  std::printf("\n=== Effective capacity with segment-pool dedup "
+              "(N=5, Kr=3, Ks=2, k=3) ===\n\n");
+  std::printf("%-12s %22s %18s\n", "dup frac", "effective logical (GB)",
+              "vs no-dedup");
+  print_rule(56);
+  sched::CodeParams base;
+  base.num_clouds = 5;
+  base.kr = 3;
+  base.ks = 2;
+  base.k = 3;
+  const double physical = base.storage_efficiency() * 100.0 * 5.0;
+  for (const double d : {0.0, 0.25, 0.50, 0.75}) {
+    const double logical = physical / (1.0 - d);
+    std::printf("%-12s %22s %17sx\n", fmt(d, 2).c_str(),
+                fmt(logical, 0).c_str(), fmt(logical / physical, 2).c_str());
+  }
+  std::printf("\nAt the 50%% duplication measured in shared-folder fleets, "
+              "dedup doubles the usable capacity the coding layer "
+              "provides.\n");
 }
 
 }  // namespace

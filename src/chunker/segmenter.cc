@@ -2,7 +2,7 @@
 
 #include <cassert>
 
-#include "crypto/sha1.h"
+#include "crypto/convergent.h"
 
 namespace unidrive::chunker {
 
@@ -74,7 +74,7 @@ std::vector<Segment> segment_file(ByteSpan content,
     Segment seg;
     seg.offset = c.offset;
     seg.length = c.length;
-    seg.id = crypto::Sha1::hex(content.subspan(c.offset, c.length));
+    seg.id = crypto::segment_id(content.subspan(c.offset, c.length));
     segments.push_back(std::move(seg));
   }
   return segments;

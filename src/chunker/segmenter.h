@@ -1,7 +1,8 @@
 // UniDrive segmenter: content-defined chunking followed by the paper's size
 // clamp — final segments fall in (0.5*theta, 1.5*theta), achieved by merging
 // small neighbouring chunks and splitting oversized ones. Each segment is
-// identified by the SHA-1 of its content, enabling segment-level dedup.
+// identified by the SHA-256 of its content, enabling segment-level dedup
+// (pre-upgrade images carry SHA-1 ids; see crypto/convergent.h).
 #pragma once
 
 #include <string>
@@ -13,7 +14,7 @@
 namespace unidrive::chunker {
 
 struct Segment {
-  std::string id;      // SHA-1 hex of the content
+  std::string id;      // SHA-256 hex of the content (SHA-1 on legacy images)
   std::size_t offset = 0;
   std::size_t length = 0;
 };

@@ -1,0 +1,59 @@
+// SplitNamespaceCloud — routes the content-addressed block namespace
+// (paths under metadata::kDataDir, "/data/...") to one backing provider and
+// every other path (metadata, locks, changelists) to another.
+//
+// This is the deployment shape cross-user dedup assumes (DESIGN.md §13):
+// many folders enroll the same physical /data plane — convergent dispersal
+// makes identical content produce byte-identical block objects at identical
+// paths, so the plane stores each popular segment once — while each folder
+// keeps a private metadata plane. Both backing providers must match the
+// CloudId the folder enrolled (the decorator reports the data plane's id);
+// in practice that means one shared data store and one private store per
+// (folder, cloud-slot) pair, constructed with the same id.
+//
+// Purely a router: no caching, no locking of its own. Thread-safety is
+// whatever the two backing providers give.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "cloud/provider.h"
+
+namespace unidrive::cloud {
+
+class SplitNamespaceCloud final : public CloudProvider {
+ public:
+  SplitNamespaceCloud(CloudPtr shared_data, CloudPtr priv)
+      : data_(std::move(shared_data)), private_(std::move(priv)) {}
+
+  [[nodiscard]] CloudId id() const noexcept override { return data_->id(); }
+  [[nodiscard]] std::string name() const override { return data_->name(); }
+
+  Status upload(const std::string& path, ByteSpan data) override {
+    return route(path)->upload(path, data);
+  }
+  Result<Bytes> download(const std::string& path) override {
+    return route(path)->download(path);
+  }
+  Status create_dir(const std::string& path) override {
+    return route(path)->create_dir(path);
+  }
+  Result<std::vector<FileInfo>> list(const std::string& dir) override {
+    return route(dir)->list(dir);
+  }
+  Status remove(const std::string& path) override {
+    return route(path)->remove(path);
+  }
+
+ private:
+  // The literal must match metadata::kDataDir; spelled here because the
+  // cloud layer sits below metadata and cannot include its headers.
+  CloudProvider* route(const std::string& path) {
+    return path.rfind("/data", 0) == 0 ? data_.get() : private_.get();
+  }
+  CloudPtr data_;
+  CloudPtr private_;
+};
+
+}  // namespace unidrive::cloud

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "core/kernel_gauges.h"
+#include "crypto/convergent.h"
 #include "crypto/sha1.h"
 #include "metadata/delta.h"
 #include "sched/rebalance.h"
@@ -70,6 +71,11 @@ UniDriveClient::UniDriveClient(cloud::MultiCloud clouds,
   export_kernel_gauges(obs_.get());
   rebuild_async_clouds();
   load_state();
+  // Register the persisted state's references in the shared segment pool,
+  // so other folders' GC protects our segments from the first round on.
+  if (config_.pool != nullptr) {
+    config_.pool->absorb_image(config_.folder_id, image_);
+  }
 }
 
 void UniDriveClient::rebuild_guards() {
@@ -177,7 +183,8 @@ std::unique_ptr<UploadPipeline> UniDriveClient::make_pipeline(
       params, codec_for(params), cloud_ids(), config_.driver, monitor_,
       executor_, [this](cloud::CloudId id) { return find_cloud(id); },
       config_.pipeline, health_, obs_,
-      [this](cloud::CloudId id) { return find_async_cloud(id); });
+      [this](cloud::CloudId id) { return find_async_cloud(id); },
+      config_.pool, config_.folder_id);
 }
 
 std::unique_ptr<DownloadPipeline> UniDriveClient::make_download_pipeline(
@@ -707,6 +714,9 @@ Status UniDriveClient::locked_mutation(
     if (adopt) {
       next.set_version(flipped.value().version);
       image_ = std::move(next);
+      if (config_.pool != nullptr) {
+        config_.pool->absorb_image(config_.folder_id, image_);
+      }
     }
     locks_.release_all();
     return Status::ok();
@@ -756,14 +766,23 @@ Result<SyncReport> UniDriveClient::sync() {
       } else if (!scan.new_segments.empty()) {
         UNI_RETURN_IF_ERROR(params.validate());
         // Monolithic fallback: one batch round through the same object.
-        auto batch = make_pipeline(params);
+        // Assigned to the function-scope pointer so its segment-pool pins
+        // survive until after the metadata commit below.
+        pipeline = make_pipeline(params);
         for (auto& [id, bytes] : scan.new_segments) {
-          batch->feed(id, std::move(bytes));
+          pipeline->feed(id, std::move(bytes));
         }
-        UNI_ASSIGN_OR_RETURN(uploaded, batch->finish());
+        UNI_ASSIGN_OR_RETURN(uploaded, pipeline->finish());
       }
     }
-    report.segments_uploaded = uploaded.size();
+    if (pipeline != nullptr) {
+      const UploadPipeline::DedupStats dedup = pipeline->dedup_stats();
+      report.segments_deduped = dedup.segments;
+      report.dedup_bytes_saved = dedup.bytes_saved;
+      report.segments_uploaded = uploaded.size() - dedup.segments;
+    } else {
+      report.segments_uploaded = uploaded.size();
+    }
 
     // Build v_l = v_o + epsilon (+ fresh segment records).
     SyncFolderImage local = image_;
@@ -836,6 +855,14 @@ Result<SyncReport> UniDriveClient::sync() {
     }
   }
 
+  // Reconcile the shared segment pool with the round's final committed
+  // state: newly committed segments become dedupable for everyone, dropped
+  // ones shed our reference. Runs while the pipeline (and its probe pins)
+  // is still alive, so there is no unprotected window.
+  if (config_.pool != nullptr) {
+    config_.pool->absorb_image(config_.folder_id, image_);
+  }
+
   report.version = image_.version();
   report.cloud_health = health_->snapshot_all();
   report.durability = durability_->summarize(
@@ -896,15 +923,28 @@ Result<std::size_t> UniDriveClient::collect_garbage() {
         for (const std::string& seg_id : next.garbage_segments()) {
           const SegmentInfo* seg = next.find_segment(seg_id);
           if (seg == nullptr) continue;
-          // Blocks first, metadata second: a crash in between leaves a
-          // harmless pool entry pointing at deleted blocks (retried next
-          // GC), never a referenced segment without blocks.
-          for (const metadata::BlockLocation& b : seg->blocks) {
-            cloud::CloudProvider* provider = find_cloud(b.cloud);
-            if (provider != nullptr) {
-              (void)provider->remove(
-                  metadata::block_path(seg_id, b.block_index));
+          // Cross-folder guard: blocks live in a shared content-addressed
+          // namespace, so a segment another folder still references must
+          // keep its physical blocks — we only drop our own record.
+          // try_begin_gc atomically removes the pool entry when nobody else
+          // holds it, so a concurrent probe can no longer hand out the
+          // locations we are about to delete.
+          const bool delete_blocks =
+              config_.pool == nullptr ||
+              config_.pool->try_begin_gc(config_.folder_id, seg_id);
+          if (delete_blocks) {
+            // Blocks first, metadata second: a crash in between leaves a
+            // harmless pool entry pointing at deleted blocks (retried next
+            // GC), never a referenced segment without blocks.
+            for (const metadata::BlockLocation& b : seg->blocks) {
+              cloud::CloudProvider* provider = find_cloud(b.cloud);
+              if (provider != nullptr) {
+                (void)provider->remove(
+                    metadata::block_path(seg_id, b.block_index));
+              }
             }
+          } else {
+            obs::add_counter(obs_.get(), "dedup.gc.shared_keep");
           }
           changes.push_back(Change::drop_segment(seg_id));
         }
@@ -966,7 +1006,10 @@ Result<Bytes> UniDriveClient::local_segment_slice(
           const Bytes piece(view.begin() + offset,
                             view.begin() + offset + len);
           // Trust but verify: the local file may have been edited since.
-          if (crypto::Sha1::hex(ByteSpan(piece)) == segment_id) return piece;
+          // Dispatches on the id's hash family (SHA-256, legacy SHA-1).
+          if (crypto::verify_segment_id(segment_id, ByteSpan(piece))) {
+            return piece;
+          }
         }
         break;  // local copy unusable; try the next referencing file
       }
@@ -1058,8 +1101,11 @@ void UniDriveClient::execute_rebalance(const SyncFolderImage& image,
                      << content.status().to_string();
       continue;
     }
-    const auto shards =
-        code.encode_shards(ByteSpan(content.value()), {move.block_index});
+    // segment_content returns plaintext; stored blocks are coded over the
+    // convergent-sealed payload (identity for legacy SHA-1 ids).
+    const Bytes sealed =
+        crypto::convergent_seal(move.segment_id, ByteSpan(content.value()));
+    const auto shards = code.encode_shards(ByteSpan(sealed), {move.block_index});
     cloud::CloudProvider* target =
         added != nullptr && added->id() == move.to_cloud ? added
                                                          : find_cloud(move.to_cloud);

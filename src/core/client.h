@@ -82,6 +82,16 @@ struct ClientConfig {
   // SyncReport.degraded) when its surviving distinct blocks drop below
   // k + redundancy_floor. 0 = only decodability (surviving < k) degrades.
   std::size_t redundancy_floor = 1;
+  // Content-addressed segment pool (DESIGN.md §13). When set, the upload
+  // pipeline probes it before encode — a hit commits only a file→segment
+  // reference — and GC keeps blocks that another folder still references.
+  // Clients whose data plane lands on the same physical clouds should share
+  // one index; `folder_id` keys its cross-folder refcounts, so all devices
+  // of one sync folder must use the same id and distinct folders over the
+  // same clouds must use distinct ids. Null = no cross-client dedup (the
+  // scanner still dedups within the folder's own image).
+  dedup::PoolIndexPtr pool;
+  std::string folder_id = "folder";
 };
 
 struct SyncReport {
@@ -89,6 +99,13 @@ struct SyncReport {
   bool applied_cloud = false;    // a cloud update was applied locally
   std::size_t files_uploaded = 0;
   std::size_t segments_uploaded = 0;
+  // Segments the upload path short-circuited on a segment-pool hit: their
+  // references were committed but no encode or block RPC happened, and
+  // `dedup_bytes_saved` plaintext bytes never left the device. Counted
+  // separately from segments_uploaded so degraded-mode accounting (how much
+  // actually moved this round) stays truthful.
+  std::size_t segments_deduped = 0;
+  std::uint64_t dedup_bytes_saved = 0;
   std::size_t files_downloaded = 0;
   std::size_t files_removed = 0;
   std::vector<metadata::ConflictRecord> conflicts;

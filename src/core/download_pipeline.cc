@@ -4,6 +4,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "crypto/convergent.h"
 
 namespace unidrive::core {
 
@@ -26,9 +27,12 @@ Result<Bytes> decode_verified(const erasure::RsCode& code,
                          ? code.decode_shards_parallel(subset, segment.size,
                                                        *executor)
                          : code.decode(subset, segment.size);
-      if (decoded.is_ok() &&
-          crypto::Sha1::hex(ByteSpan(decoded.value())) == segment.id) {
-        return decoded;
+      if (decoded.is_ok()) {
+        // Decoded bytes are the sealed payload; open unseals (identity for
+        // legacy SHA-1 ids) and verifies against the id's hash family.
+        auto opened = crypto::convergent_open(segment.id,
+                                              std::move(decoded).take());
+        if (opened.is_ok()) return opened;
       }
       return make_error(ErrorCode::kCorrupt, "subset failed");
     }

@@ -4,6 +4,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "crypto/convergent.h"
 #include "sched/threaded_driver.h"
 #include "sched/upload_scheduler.h"
 
@@ -20,7 +21,8 @@ UploadPipeline::UploadPipeline(const sched::CodeParams& params,
                                FindCloudFn find_cloud,
                                PipelineConfig pipeline_config,
                                std::shared_ptr<cloud::CloudHealthRegistry> health,
-                               obs::ObsPtr obs, FindAsyncCloudFn find_async)
+                               obs::ObsPtr obs, FindAsyncCloudFn find_async,
+                               dedup::PoolIndexPtr pool, std::string folder)
     : params_(params),
       code_(std::move(code)),
       clouds_(std::move(clouds)),
@@ -29,6 +31,8 @@ UploadPipeline::UploadPipeline(const sched::CodeParams& params,
       executor_(std::move(executor)),
       find_cloud_(std::move(find_cloud)),
       find_async_(std::move(find_async)),
+      pool_(std::move(pool)),
+      folder_(std::move(folder)),
       config_(pipeline_config),
       health_(std::move(health)),
       obs_(std::move(obs)),
@@ -79,6 +83,29 @@ void UploadPipeline::feed(const std::string& id, Bytes bytes) {
   {
     std::unique_lock<std::mutex> lock(mem_mutex_);
     if (fed_ids_.count(id) != 0) return;  // dedup (defensive; scanner dedups)
+    // Content-addressed pool probe: if another file, version, folder, or
+    // user already placed this exact segment, skip encode + transfer and
+    // record the pooled locations to emit from finish(). The pin taken here
+    // keeps cross-folder GC from freeing the blocks before our commit; it
+    // is rolled back if the round aborts. pool_'s mutex is a leaf under
+    // mem_mutex_.
+    if (config_.dedup && pool_ != nullptr) {
+      auto probe = pool_->probe_and_retain(folder_, id, plain, params_.k);
+      obs::add_counter(obs_.get(), probe.hit ? "dedup.hit" : "dedup.miss");
+      if (probe.hit) {
+        fed_ids_.insert(id);
+        fed_.emplace_back(id, plain);
+        if (probe.newly_retained) retained_.push_back(id);
+        dedup_.segments += 1;
+        dedup_.bytes_saved += plain;
+        dedup_.blocks_saved += probe.blocks.size();
+        obs::add_counter(obs_.get(), "dedup.bytes_saved", plain);
+        obs::add_counter(obs_.get(), "dedup.blocks_saved",
+                         probe.blocks.size());
+        deduped_.emplace(id, std::move(probe.blocks));
+        return;
+      }
+    }
     if (!config_.enabled) {
       // Monolithic baseline: hold everything, count only the plaintext
       // (shards are produced per block on demand during the batch round).
@@ -142,6 +169,10 @@ void UploadPipeline::encode_worker() {
                    static_cast<double>(queue_.depth()));
     const std::size_t plain = job->bytes.size();
     const TimePoint start = RealClock::instance().now();
+    // Convergent seal before encode (in place, so the admission-gate charge
+    // still covers the bytes): blocks stored in the shared pool are coded
+    // ciphertext, deterministic per segment so dedup survives encryption.
+    crypto::convergent_seal_inplace(job->id, job->bytes);
     std::vector<erasure::Shard> shards =
         code_.encode_shards_parallel(ByteSpan(job->bytes), indices,
                                      *executor_);
@@ -256,6 +287,26 @@ void UploadPipeline::cancel() {
   }
   queue_.cancel();
   if (driver_ != nullptr) driver_->cancel();
+  release_retained_pins();
+}
+
+// Roll back pool pins taken by this round's probes. Pins already superseded
+// by a committed image (the client absorbs after commit) are unaffected —
+// release() drops only the uncommitted pin — so calling this after a
+// successful round (the destructor does) is harmless.
+void UploadPipeline::release_retained_pins() {
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(mem_mutex_);
+    ids.swap(retained_);
+  }
+  if (pool_ == nullptr) return;
+  for (const std::string& id : ids) pool_->release(folder_, id);
+}
+
+UploadPipeline::DedupStats UploadPipeline::dedup_stats() const {
+  std::lock_guard<std::mutex> lock(mem_mutex_);
+  return dedup_;
 }
 
 void UploadPipeline::join_encode_workers() {
@@ -278,6 +329,15 @@ Result<std::vector<SegmentInfo>> UploadPipeline::build_results(
     SegmentInfo info;
     info.id = id;
     info.size = size;
+    // Pool hits short-circuited encode + transfer: their locations come
+    // from the pooled copy and count toward no placement counters (no RPC
+    // was issued for them this round).
+    const auto dedup_it = deduped_.find(id);
+    if (dedup_it != deduped_.end()) {
+      info.blocks = dedup_it->second;
+      out.push_back(std::move(info));
+      continue;
+    }
     info.blocks = locations(id);
     for (const metadata::BlockLocation& b : info.blocks) {
       obs::add_counter(obs_.get(),
@@ -323,6 +383,12 @@ Result<std::vector<SegmentInfo>> UploadPipeline::finish_monolithic() {
       return make_error(ErrorCode::kUnavailable, "upload pipeline cancelled");
     }
     return empty;
+  }
+
+  // Seal once up front; the per-block transfer lambda below re-encodes from
+  // these buffers on every task, so they must already be coded ciphertext.
+  for (auto& [id, data] : segments) {
+    crypto::convergent_seal_inplace(id, data);
   }
 
   // Batch all segments as one upload job (the two-phase scheduler treats

@@ -1,8 +1,9 @@
 // UploadPipeline — the staged, streaming data-plane write path:
 //
-//   scan/CDC  ──feed()──►  [bounded encode queue]  ──►  encode workers
-//   (producer)                                           (RS fan-out on the
-//                                                        shared Executor)
+//   scan/CDC  ──feed()──►  [dedup probe]  ──►  [bounded encode queue]  ──►  encode workers
+//   (producer)             (pool-hit short-circuit)      (seal + RS fan-out
+//                                                        on the shared
+//                                                        Executor)
 //                                                              │ add_file()
 //                                                              ▼
 //                                                     StreamingUploadDriver
@@ -48,6 +49,7 @@
 #include "cloud/health.h"
 #include "cloud/provider.h"
 #include "common/executor.h"
+#include "dedup/pool_index.h"
 #include "erasure/rs.h"
 #include "metadata/types.h"
 #include "obs/obs.h"
@@ -81,6 +83,11 @@ struct PipelineConfig {
   // (blocking RPCs of providers with no native async). 0 = share the
   // pipeline executor.
   std::size_t io_threads = 0;
+  // Probe the content-addressed segment pool before encode: a hit skips
+  // encode + transfer entirely and only a file→segment reference is
+  // committed. Requires a pool index wired through the constructor; off is
+  // the dedup-free baseline the dedup benchmark compares against.
+  bool dedup = true;
 };
 
 // Resolves a cloud id to its guarded provider (never the raw cloud).
@@ -98,7 +105,8 @@ class UploadPipeline {
                  std::shared_ptr<Executor> executor, FindCloudFn find_cloud,
                  PipelineConfig pipeline_config,
                  std::shared_ptr<cloud::CloudHealthRegistry> health,
-                 obs::ObsPtr obs, FindAsyncCloudFn find_async = nullptr);
+                 obs::ObsPtr obs, FindAsyncCloudFn find_async = nullptr,
+                 dedup::PoolIndexPtr pool = nullptr, std::string folder = {});
   ~UploadPipeline();
 
   UploadPipeline(const UploadPipeline&) = delete;
@@ -122,6 +130,17 @@ class UploadPipeline {
   // Bytes currently reserved against the cap (for tests).
   [[nodiscard]] std::size_t inflight_bytes() const;
 
+  // Accounting for segments short-circuited by a pool hit this round:
+  // their bytes never entered the encode queue and no block RPC was issued,
+  // yet finish() still returns full SegmentInfo records for them (block
+  // locations come from the pool). Surfaced in SyncReport.
+  struct DedupStats {
+    std::size_t segments = 0;
+    std::uint64_t bytes_saved = 0;
+    std::uint64_t blocks_saved = 0;
+  };
+  [[nodiscard]] DedupStats dedup_stats() const;
+
  private:
   struct EncodeJob {
     std::string id;
@@ -137,6 +156,7 @@ class UploadPipeline {
   cloud::AsyncHandle transfer_async(const sched::BlockTask& task,
                                     sched::TransferDoneFn done);
   void release_bytes_locked(std::size_t n);  // mem_mutex_ held
+  void release_retained_pins();  // roll back pool pins of an aborted round
   void join_encode_workers();
   Result<std::vector<metadata::SegmentInfo>> finish_monolithic();
   Result<std::vector<metadata::SegmentInfo>> build_results(
@@ -152,6 +172,8 @@ class UploadPipeline {
   std::shared_ptr<Executor> executor_;
   FindCloudFn find_cloud_;
   FindAsyncCloudFn find_async_;
+  dedup::PoolIndexPtr pool_;
+  std::string folder_;
   PipelineConfig config_;
   std::shared_ptr<cloud::CloudHealthRegistry> health_;
   obs::ObsPtr obs_;
@@ -171,6 +193,13 @@ class UploadPipeline {
   // Feed order and sizes, for building the result records.
   std::vector<std::pair<std::string, std::uint64_t>> fed_;
   std::set<std::string> fed_ids_;
+
+  // Pool-hit bookkeeping (guarded by mem_mutex_): block locations to emit
+  // for short-circuited segments, the ids whose pool pin this round created
+  // (released again if the round aborts), and the savings tally.
+  std::map<std::string, std::vector<metadata::BlockLocation>> deduped_;
+  std::vector<std::string> retained_;
+  DedupStats dedup_;
 
   // scan -> encode channel.
   BoundedQueue<EncodeJob> queue_;

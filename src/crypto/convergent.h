@@ -1,0 +1,57 @@
+// Convergent dispersal for the content-addressed segment pool (DESIGN.md
+// §13), in the style of CDStore's two-stage convergent dispersal: the
+// per-segment key is derived from the segment plaintext itself, so two
+// parties holding identical bytes produce byte-identical sealed payloads —
+// and therefore byte-identical coded blocks — without sharing any secret.
+// That is what lets deduplication survive encryption across users.
+//
+// Segment ids are SHA-256 hex (64 chars). Ids minted before the upgrade are
+// SHA-1 hex (40 chars) and their blocks were coded over raw plaintext; both
+// properties are preserved by dispatching on id length, so serialized images
+// from either era keep working against the same cloud set.
+//
+// Sealing is AES-128-CTR keyed by the id's leading bytes. CTR is length
+// preserving (sealed size == plaintext size), so pipeline byte accounting and
+// erasure shard geometry are unchanged, and the AES-NI / scalar twins
+// (crypto/aes.h) produce identical bytes, so convergence holds across
+// machines and under UNIDRIVE_FORCE_SCALAR.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace unidrive::crypto {
+
+enum class SegmentIdKind {
+  kLegacySha1,  // 40 hex chars; blocks are raw-plaintext codewords
+  kSha256,      // 64 hex chars; blocks are convergent-sealed codewords
+  kUnknown,
+};
+
+[[nodiscard]] SegmentIdKind segment_id_kind(std::string_view id) noexcept;
+
+// Canonical id for newly minted segments: SHA-256 hex of the plaintext.
+[[nodiscard]] std::string segment_id(ByteSpan plaintext);
+
+// True when `plaintext` hashes to `id` under the id's own hash family.
+[[nodiscard]] bool verify_segment_id(std::string_view id, ByteSpan plaintext);
+
+// Plaintext -> sealed payload for the segment named `id` (which the caller
+// must have derived from this plaintext). Legacy SHA-1 ids are sealed with
+// the identity transform — their blocks predate convergent sealing.
+[[nodiscard]] Bytes convergent_seal(std::string_view id, ByteSpan plaintext);
+
+// In-place variant (the CTR keystream XORs over `data`; identity for legacy
+// ids) — the hot upload path uses this to avoid a second plaintext-sized
+// buffer inside the admission-gated footprint.
+void convergent_seal_inplace(std::string_view id, Bytes& data);
+
+// Sealed payload -> plaintext, verifying that the result hashes back to
+// `id`. Fails on a hash mismatch (corrupt or mis-addressed payload) or a
+// malformed id. Consumes `sealed` (the CTR unseal runs in place).
+[[nodiscard]] Result<Bytes> convergent_open(std::string_view id, Bytes sealed);
+
+}  // namespace unidrive::crypto

@@ -1,0 +1,129 @@
+#include "dedup/pool_index.h"
+
+#include <algorithm>
+
+namespace unidrive::dedup {
+
+std::size_t SegmentPoolIndex::distinct_block_indices(const Entry& e) {
+  std::set<std::uint32_t> idx;
+  for (const metadata::BlockLocation& b : e.blocks) idx.insert(b.block_index);
+  return idx.size();
+}
+
+SegmentPoolIndex::ProbeResult SegmentPoolIndex::probe_and_retain(
+    const std::string& folder, const std::string& id,
+    std::uint64_t expected_size, std::size_t min_distinct_blocks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++probes_;
+  ProbeResult r;
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return r;
+  Entry& e = it->second;
+  // Sanity screen: a size mismatch means a hash collision or index
+  // corruption; too few distinct indices means the pooled copy cannot be
+  // decoded on its own. Either way a fresh upload is the safe answer.
+  if (e.size != expected_size ||
+      distinct_block_indices(e) < min_distinct_blocks) {
+    return r;
+  }
+  ++hits_;
+  r.hit = true;
+  r.size = e.size;
+  r.blocks = e.blocks;
+  if (e.folders.count(folder) == 0 && e.pinned.insert(folder).second) {
+    r.newly_retained = true;
+  }
+  return r;
+}
+
+void SegmentPoolIndex::release(const std::string& folder,
+                               const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  it->second.pinned.erase(folder);
+  if (it->second.folders.empty() && it->second.pinned.empty()) {
+    entries_.erase(it);
+  }
+}
+
+void SegmentPoolIndex::absorb_image(const std::string& folder,
+                                    const metadata::SyncFolderImage& image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Upsert everything the committed image carries (stubs excluded: a
+  // blockless record is bookkeeping, not a decodable pooled segment).
+  for (const auto& [id, info] : image.segments()) {
+    if (info.blocks.empty()) continue;
+    Entry& e = entries_[id];
+    e.size = info.size;
+    e.blocks = info.blocks;
+    e.folders.insert(folder);
+    e.pinned.erase(folder);  // commit supersedes the probe pin
+  }
+  // Release ids this folder referenced before but no longer carries.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& e = it->second;
+    const bool held = e.folders.count(folder) != 0 ||
+                      e.pinned.count(folder) != 0;
+    const auto* info = image.find_segment(it->first);
+    if (held && (info == nullptr || info->blocks.empty())) {
+      e.folders.erase(folder);
+      e.pinned.erase(folder);
+    }
+    if (e.folders.empty() && e.pinned.empty()) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool SegmentPoolIndex::referenced_elsewhere(const std::string& folder,
+                                            const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  const Entry& e = it->second;
+  auto other = [&](const std::set<std::string>& s) {
+    return std::any_of(s.begin(), s.end(),
+                       [&](const std::string& f) { return f != folder; });
+  };
+  return other(e.folders) || other(e.pinned);
+}
+
+bool SegmentPoolIndex::try_begin_gc(const std::string& folder,
+                                    const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return true;
+  const Entry& e = it->second;
+  for (const std::string& f : e.folders) {
+    if (f != folder) return false;
+  }
+  for (const std::string& f : e.pinned) {
+    if (f != folder) return false;
+  }
+  entries_.erase(it);
+  return true;
+}
+
+PoolStats SegmentPoolIndex::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PoolStats{entries_.size(), probes_, hits_};
+}
+
+std::size_t SegmentPoolIndex::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t SegmentPoolIndex::reference_count(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return 0;
+  std::set<std::string> all = it->second.folders;
+  all.insert(it->second.pinned.begin(), it->second.pinned.end());
+  return all.size();
+}
+
+}  // namespace unidrive::dedup

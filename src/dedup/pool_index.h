@@ -1,0 +1,108 @@
+// In-process fingerprint index over the content-addressed segment pool
+// (DESIGN.md §13). Block objects live at the folder-less path
+// `/data/<id>_<idx>`, so every folder synced over the same cloud set shares
+// one physical pool; this index is the shared view of it. The upload
+// pipeline probes it before encode/transfer (a hit skips both and commits
+// only a file→segment reference), and per-folder GC consults it so a block
+// still referenced by another folder is never deleted.
+//
+// The index is advisory for dedup (a miss merely costs a re-upload of bytes
+// the cloud already had) but load-bearing for cross-folder GC, so its two
+// safety-critical transitions are atomic under one mutex:
+//   - probe_and_retain: hit + refcount pin in one step, so a concurrent GC
+//     cannot free the blocks between the probe and the pin;
+//   - try_begin_gc: the reverse — if no other folder holds the segment the
+//     entry is removed *before* the caller deletes blocks, so a concurrent
+//     probe can no longer hand out soon-to-be-deleted locations.
+//
+// Entries enter only via absorb_image (committed folder images) and
+// probe_and_retain, so a probe never returns blocks that were not durably
+// placed. References are keyed per folder (all devices of one folder share
+// the key: within-folder liveness is already tracked by the image's own
+// refcounts; this index only answers "does anyone ELSE still need it?").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "metadata/image.h"
+#include "metadata/types.h"
+
+namespace unidrive::dedup {
+
+struct PoolStats {
+  std::uint64_t entries = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t hits = 0;
+};
+
+class SegmentPoolIndex {
+ public:
+  struct ProbeResult {
+    bool hit = false;
+    // True when this probe added `folder` to the segment's reference set
+    // (the caller must release() if its commit is abandoned).
+    bool newly_retained = false;
+    std::uint64_t size = 0;
+    std::vector<metadata::BlockLocation> blocks;
+  };
+
+  // Dedup probe: on a hit for a segment of the expected size with at least
+  // `min_distinct_blocks` distinct block indices placed, pins `folder` into
+  // the reference set and returns the known locations. Misses (or entries
+  // that fail the sanity checks) leave the index unchanged.
+  ProbeResult probe_and_retain(const std::string& folder,
+                               const std::string& id,
+                               std::uint64_t expected_size,
+                               std::size_t min_distinct_blocks);
+
+  // Undo a probe_and_retain whose commit was abandoned. Only drops the
+  // reference if it is not also backed by the folder's committed image.
+  void release(const std::string& folder, const std::string& id);
+
+  // Reconcile `folder`'s reference set with a committed image: segments in
+  // the image are retained (and their sizes/locations refreshed), segments
+  // the folder no longer carries are released. Call after every image
+  // adoption so the index tracks the folder's durable state.
+  void absorb_image(const std::string& folder,
+                    const metadata::SyncFolderImage& image);
+
+  // True when a folder other than `folder` currently references `id`.
+  [[nodiscard]] bool referenced_elsewhere(const std::string& folder,
+                                          const std::string& id) const;
+
+  // GC guard: if another folder references `id`, returns false (the caller
+  // must keep the physical blocks). Otherwise removes the entry — so no
+  // concurrent probe can hand it out again — and returns true (the caller
+  // may delete the blocks). Unknown ids return true: nothing to protect.
+  bool try_begin_gc(const std::string& folder, const std::string& id);
+
+  [[nodiscard]] PoolStats stats() const;
+  [[nodiscard]] std::size_t entry_count() const;
+  // Number of folders currently referencing `id` (0 if unknown). Test hook.
+  [[nodiscard]] std::size_t reference_count(const std::string& id) const;
+
+ private:
+  struct Entry {
+    std::uint64_t size = 0;
+    std::vector<metadata::BlockLocation> blocks;
+    std::set<std::string> folders;           // committed references
+    std::set<std::string> pinned;            // probe pins awaiting commit
+  };
+
+  static std::size_t distinct_block_indices(const Entry& e);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t probes_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+using PoolIndexPtr = std::shared_ptr<SegmentPoolIndex>;
+
+}  // namespace unidrive::dedup

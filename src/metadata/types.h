@@ -66,7 +66,7 @@ struct BlockLocation {
 // full block map. Blocks are immutable; over-provisioned blocks may later be
 // garbage-collected, which only shrinks `blocks`.
 struct SegmentInfo {
-  std::string id;             // SHA-1 hex of segment content
+  std::string id;             // content hash hex: SHA-256; 40-hex = legacy SHA-1
   std::uint64_t size = 0;     // plaintext segment size
   std::uint32_t refcount = 0; // number of snapshots referencing it
   std::vector<BlockLocation> blocks;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "crypto/convergent.h"
 #include "metadata/types.h"
 #include "repair/latch.h"
 #include "sched/plan.h"
@@ -176,8 +177,12 @@ void RepairEngine::repair_segment(
     }
   }
   const erasure::RsCode code = client_.codec();
+  // Repaired rows must match the originals byte for byte: seal the
+  // reconstructed plaintext before re-encoding (identity for legacy ids).
+  const Bytes sealed =
+      crypto::convergent_seal(segment.id, ByteSpan(plain.value()));
   const std::vector<erasure::Shard> shards =
-      code.encode_shards(ByteSpan(plain.value()), indices);
+      code.encode_shards(ByteSpan(sealed), indices);
   std::map<std::uint32_t, const Bytes*> shard_by_index;
   for (const erasure::Shard& shard : shards) {
     shard_by_index[shard.index] = &shard.data;

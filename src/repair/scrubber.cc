@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "core/download_pipeline.h"
+#include "crypto/convergent.h"
 #include "crypto/crc32.h"
 #include "erasure/rs.h"
 #include "metadata/types.h"
@@ -328,8 +329,12 @@ void Scrubber::verify_segment(const metadata::SegmentInfo& segment,
   for (const std::size_t i : candidate_slot) {
     indices.push_back(segment.blocks[i].block_index);
   }
+  // decode_verified returned plaintext; the stored rows are codewords over
+  // the convergent-sealed payload, so seal before re-encoding the expected
+  // rows (identity for legacy SHA-1 ids).
+  const Bytes sealed = crypto::convergent_seal(segment.id, ByteSpan(plain.value()));
   const std::vector<erasure::Shard> expected =
-      code.encode_shards(ByteSpan(plain.value()), indices);
+      code.encode_shards(ByteSpan(sealed), indices);
   for (std::size_t c = 0; c < candidates.size(); ++c) {
     const std::size_t i = candidate_slot[c];
     const metadata::BlockLocation& loc = segment.blocks[i];

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "cloud/split_cloud.h"
 #include "metadata/types.h"
 #include "repair/service.h"
 
@@ -52,6 +53,14 @@ PopulationHarness::PopulationHarness(FleetConfig config)
   // Pre-create the tail histogram with propagation-scale bounds (the first
   // histogram() call pins the bounds for the name).
   obs_->metrics.histogram("fleet.sync_latency", propagation_bounds());
+
+  if (config_.shared_block_pool) {
+    fleet_pool_ = std::make_shared<dedup::SegmentPoolIndex>();
+    for (std::size_t i = 0; i < config_.num_clouds; ++i) {
+      shared_data_.push_back(std::make_shared<cloud::MemoryCloud>(
+          static_cast<cloud::CloudId>(i), "shared-c" + std::to_string(i)));
+    }
+  }
 
   config_.hot_folder_members =
       std::max<std::size_t>(1, std::min(config_.hot_folder_members,
@@ -115,11 +124,20 @@ PopulationHarness::FolderState& PopulationHarness::materialize_folder(
 
   auto state = std::make_unique<FolderState>();
   state->rng_seed = folder_seed(config_.seed, folder);
+  state->pool = config_.shared_block_pool
+                    ? fleet_pool_
+                    : std::make_shared<dedup::SegmentPoolIndex>();
   for (std::size_t i = 0; i < config_.num_clouds; ++i) {
     const auto id = static_cast<cloud::CloudId>(i);
     auto memory =
         std::make_shared<cloud::MemoryCloud>(id, "c" + std::to_string(i));
     cloud::CloudPtr inner = memory;
+    if (config_.shared_block_pool) {
+      // Blocks land on the fleet-shared /data plane; metadata, locks and
+      // changelists stay on this folder's private store.
+      inner = std::make_shared<cloud::SplitNamespaceCloud>(shared_data_[i],
+                                                           memory);
+    }
     std::shared_ptr<cloud::QuotaCloud> quota;
     for (const QuotaBand& band : quota_bands_) {
       if (band.stride != 0 && folder % band.stride == band.phase &&
@@ -134,7 +152,10 @@ PopulationHarness::FolderState& PopulationHarness::materialize_folder(
     state->quota.push_back(quota);
     state->faulty.push_back(faulty);
     state->enrolled.push_back(faulty);
-    state->raw_by_id[id] = memory.get();
+    // Ground-truth block reads (audits, defect injection) must hit wherever
+    // the blocks physically live.
+    state->raw_by_id[id] = config_.shared_block_pool ? shared_data_[i].get()
+                                                     : memory.get();
   }
   state->next_cloud_id = static_cast<cloud::CloudId>(config_.num_clouds);
   state->up_bw = fluctuating_bw(config_.base_up_bw, config_.link_shape,
@@ -168,6 +189,8 @@ std::unique_ptr<PopulationHarness::Session> PopulationHarness::make_session(
   cfg.breaker.open_duration = config_.breaker_open_duration;
   cfg.redundancy_floor = config_.redundancy_floor;
   cfg.sleep = virtual_sleep_;
+  cfg.pool = state.pool;
+  cfg.folder_id = "f" + std::to_string(folder);
 
   session->client = std::make_unique<core::UniDriveClient>(
       state.enrolled, session->fs, cfg, world_, rng_.fork());
@@ -294,6 +317,8 @@ PopulationHarness::SyncOutcome PopulationHarness::run_sync(Session& session,
     if (out.report.committed) {
       ++result_.commits;
       result_.conflicts += out.report.conflicts.size();
+      result_.segments_deduped += out.report.segments_deduped;
+      result_.dedup_bytes_saved += out.report.dedup_bytes_saved;
       obs::add_counter(obs_.get(), "fleet.commits");
       obs::add_counter(obs_.get(), "fleet.conflicts",
                        out.report.conflicts.size());
@@ -325,6 +350,19 @@ PopulationHarness::SyncOutcome PopulationHarness::run_sync(Session& session,
     }
   }
   return out;
+}
+
+const Bytes& PopulationHarness::popular_payload(std::size_t index) {
+  const std::size_t bytes = config_.duplicate_payload_bytes != 0
+                                ? config_.duplicate_payload_bytes
+                                : 3 * config_.theta;
+  while (popular_payloads_.size() <= index) {
+    // Seeded off the harness seed only — independent of call order, so two
+    // runs (or two folders within one run) agree on every library entry.
+    Rng gen(config_.seed ^ (0x9e3779b97f4a7c15ULL + popular_payloads_.size()));
+    popular_payloads_.push_back(gen.bytes(bytes));
+  }
+  return popular_payloads_[index];
 }
 
 void PopulationHarness::note_applied(Session& session) {
@@ -411,6 +449,16 @@ void PopulationHarness::session_step(const std::shared_ptr<Session>& session) {
       const std::size_t offset = rng_.next_below(content.size() + 1);
       content.insert(content.begin() + static_cast<std::ptrdiff_t>(offset),
                      marker.begin(), marker.end());
+      if (config_.duplicate_ratio > 0 &&
+          rng_.bernoulli(config_.duplicate_ratio)) {
+        // Append a fleet-wide popular payload after the unique head. The
+        // CDC cut points resynchronize within the tail, so its interior
+        // segments are byte-identical across files/devices and the pool
+        // dedups them even though every file keeps its unique marker.
+        const Bytes& tail = popular_payload(
+            rng_.next_below(std::max<std::size_t>(1, config_.duplicate_library)));
+        content.insert(content.end(), tail.begin(), tail.end());
+      }
       if (session->fs->write(path, ByteSpan(content)).is_ok()) {
         // A same-step overwrite of a still-uncommitted edit supersedes it.
         auto& uc = session->uncommitted;
@@ -465,6 +513,12 @@ void PopulationHarness::set_quota_band(std::size_t stride, std::size_t phase,
 }
 
 void PopulationHarness::enable_repair_anchor(std::size_t folder) {
+  // An anchor's orphan sweep lists the whole /data plane; on the fleet-
+  // shared plane every other folder's blocks would look like orphans and be
+  // quarantine-collected. Scenario authoring error — refuse loudly.
+  assert(!config_.shared_block_pool &&
+         "repair anchors are incompatible with shared_block_pool");
+  if (config_.shared_block_pool) return;
   FolderState& state = materialize_folder(folder);
   if (state.anchor) return;
   state.chaos = true;
@@ -511,6 +565,11 @@ void PopulationHarness::flash_crowd(std::size_t sessions, double window) {
 }
 
 Status PopulationHarness::churn_cycle(std::size_t folder) {
+  if (config_.shared_block_pool) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "membership churn is incompatible with shared_block_pool: "
+                  "a churned-in cloud id exists on one folder only");
+  }
   sync_world_clock();
   FolderState& state = materialize_folder(folder);
 
@@ -708,6 +767,11 @@ FleetResult PopulationHarness::run(const Scenario& scenario) {
     for (const auto& raw : state->raw) {
       result_.cloud_stored_bytes += raw->stored_bytes();
     }
+  }
+  // Under shared_block_pool the block bytes live on the fleet-wide /data
+  // plane, outside every folder's private stores: count them once.
+  for (const auto& shared : shared_data_) {
+    result_.cloud_stored_bytes += shared->stored_bytes();
   }
   obs::set_gauge(obs_.get(), "fleet.folders_touched",
                  static_cast<double>(touched_.size()));

@@ -39,6 +39,7 @@
 #include "cloud/quota_cloud.h"
 #include "core/client.h"
 #include "core/local_fs.h"
+#include "dedup/pool_index.h"
 #include "obs/obs.h"
 #include "repair/service.h"
 #include "sim/bandwidth.h"
@@ -75,6 +76,27 @@ struct FleetConfig {
   std::size_t min_file_bytes = 128;
   std::size_t max_file_bytes = 1024;
   std::size_t max_files_per_folder = 8;
+  // Probability that an edit appends a "popular payload": a multi-segment
+  // tail drawn from a small fleet-wide library (byte-identical wherever it
+  // appears), so the content-addressed segment pool dedups it even though
+  // every file still carries its unique token marker up front. 0 (default)
+  // keeps the content model fully random — dedup-proof, tiny files.
+  double duplicate_ratio = 0.0;
+  // Popular-payload size; 0 = 3 * theta (several whole CDC segments, so
+  // boundary resync after the unique head still yields shared segments).
+  std::size_t duplicate_payload_bytes = 0;
+  std::size_t duplicate_library = 4;  // distinct popular payloads
+  // Fleet-shared /data plane + fleet-wide segment-pool index: every folder's
+  // cloud stack routes block objects (paths under /data) to one shared
+  // MemoryCloud per cloud slot while metadata/locks stay folder-private —
+  // the deployment shape cross-USER dedup assumes (DESIGN.md §13). Off, the
+  // pool is per-folder and structurally hit-free in this harness: the pool
+  // then mirrors the folder image exactly, and the change scanner already
+  // skips in-image segments before the probe. Incompatible with membership
+  // churn, repair anchors, and silent-defect injection (a churned-in cloud
+  // id is not shared, and an anchor's orphan collection would delete other
+  // folders' blocks); those scenario actions refuse when this is set.
+  bool shared_block_pool = false;
 
   // --- materialization bounds --------------------------------------------
   std::size_t max_live_sessions = 48;
@@ -128,6 +150,10 @@ struct FleetResult {
   std::size_t stale_devices = 0;     // live devices behind at drain
 
   std::uint64_t cloud_stored_bytes = 0;  // ground-truth bytes at the end
+  // Segment-pool dedup across the fleet (sums of per-round SyncReport
+  // figures; nonzero only when duplicate_ratio > 0 wires popular payloads).
+  std::size_t segments_deduped = 0;
+  std::uint64_t dedup_bytes_saved = 0;
   obs::MetricsSnapshot metrics;          // the fleet.* registry
 };
 
@@ -164,6 +190,9 @@ class PopulationHarness {
   // Membership churn under live traffic: adds a fresh provider to the
   // folder (re-plan + rebalance through the real client), or removes the
   // most recently added one when the folder is above its base size.
+  // Refuses (kInvalidArgument) under shared_block_pool: a churned-in cloud
+  // id exists on one folder only, so a cross-folder dedup hit against it
+  // would reference a cloud the deduping folder never enrolled.
   Status churn_cycle(std::size_t folder);
   // Deterministically drops (or bit-rots) up to `blocks` committed
   // placements of the folder, behind every injector's back. Returns how
@@ -232,6 +261,10 @@ class PopulationHarness {
     BandwidthPtr down_bw;
     std::unique_ptr<Session> anchor;
     std::shared_ptr<repair::RepairService> repair;
+    // Content-addressed pool index. With shared_block_pool this aliases the
+    // fleet-wide index over the shared /data plane (cross-folder dedup and
+    // GC protection); otherwise it is private to this folder's cloud stack.
+    dedup::PoolIndexPtr pool;
     std::uint64_t rng_seed = 0;
     bool chaos = false;
   };
@@ -260,6 +293,11 @@ class PopulationHarness {
   void session_step(const std::shared_ptr<Session>& session);
   void finish_session(const std::shared_ptr<Session>& session);
   void anchor_tick(std::size_t folder);
+
+  // The fleet-wide popular-payload library for duplicate_ratio > 0: entry
+  // `index` is derived solely from the harness seed, so every folder and
+  // device appends byte-identical tails. Built lazily, cached for the run.
+  [[nodiscard]] const Bytes& popular_payload(std::size_t index);
 
   SyncOutcome run_sync(Session& session, int tries);
   void after_commit(std::size_t folder, const core::SyncReport& report,
@@ -299,6 +337,11 @@ class PopulationHarness {
   BandwidthPtr arrival_rate_;  // sessions/sec across the fleet
   double arrival_rate_cap_ = 0;
   std::uint64_t token_counter_ = 0;
+  std::vector<Bytes> popular_payloads_;  // lazily filled library
+  // shared_block_pool backing: one /data store per cloud slot plus the
+  // fleet-wide pool index; empty/null when the knob is off.
+  std::vector<std::shared_ptr<cloud::MemoryCloud>> shared_data_;
+  dedup::PoolIndexPtr fleet_pool_;
   std::size_t audit_cursor_ = 0;
   bool draining_ = false;
   FleetResult result_;

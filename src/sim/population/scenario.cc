@@ -127,6 +127,22 @@ Scenario chaos_soak() {
   return s;
 }
 
+Scenario dedup_mix() {
+  Scenario s;
+  s.name = "dedup_mix";
+  s.description = "half the edits append a fleet-popular payload; the "
+                  "content-addressed pool suppresses their re-encode/upload";
+  s.configure = [](FleetConfig& c) {
+    c.arrival_shape.diurnal_amplitude = 0.0;
+    c.arrival_shape.noise_sigma = 0.2;
+    c.duplicate_ratio = 0.5;
+    // Cross-folder hits require the fleet-shared /data plane: with per-
+    // folder stacks the pool mirrors the folder image and never hits.
+    c.shared_block_pool = true;
+  };
+  return s;
+}
+
 Scenario soak() {
   Scenario s;
   s.name = "soak";
@@ -161,7 +177,7 @@ Scenario soak() {
 std::vector<std::string> scenario_names() {
   return {"steady",           "diurnal",     "flash_crowd",
           "quota_exhaustion", "cloud_churn", "chaos_soak",
-          "soak"};
+          "dedup_mix",        "soak"};
 }
 
 Result<Scenario> make_scenario(const std::string& name) {
@@ -171,6 +187,7 @@ Result<Scenario> make_scenario(const std::string& name) {
   if (name == "quota_exhaustion") return quota_exhaustion();
   if (name == "cloud_churn") return cloud_churn();
   if (name == "chaos_soak") return chaos_soak();
+  if (name == "dedup_mix") return dedup_mix();
   if (name == "soak") return soak();
   return make_error(ErrorCode::kInvalidArgument,
                     "unknown scenario: " + name);

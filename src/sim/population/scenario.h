@@ -42,6 +42,9 @@ struct Scenario {
 //   cloud_churn      add/remove a provider with rebalancing, under traffic
 //   chaos_soak       every fault injector incl. silent bit-rot/block-loss,
 //                    scrub-and-repair anchors expected to hold durability
+//   dedup_mix        half the edits append a fleet-popular payload over a
+//                    fleet-shared /data plane; the content-addressed pool
+//                    suppresses their cross-folder re-encode/upload
 //   soak             composition of all of the above (the CI-gated mix)
 std::vector<std::string> scenario_names();
 Result<Scenario> make_scenario(const std::string& name);

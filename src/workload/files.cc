@@ -35,4 +35,28 @@ std::vector<sched::UploadFileSpec> upload_specs(
 
 Bytes random_file(Rng& rng, std::size_t bytes) { return rng.bytes(bytes); }
 
+Bytes DuplicatingSource::next_file(std::size_t bytes) {
+  total_bytes_ += bytes;
+  if (ratio_ > 0 && rng_.next_double() < ratio_) {
+    // Scan for a library file of the requested size (sizes in the benches
+    // are drawn from a small set, so a linear probe over a bounded library
+    // is cheap). Fall through to fresh content when none matches yet.
+    const std::size_t start = library_.empty()
+                                  ? 0
+                                  : rng_.next_below(library_.size());
+    for (std::size_t i = 0; i < library_.size(); ++i) {
+      const Bytes& candidate = library_[(start + i) % library_.size()];
+      if (candidate.size() == bytes) {
+        duplicate_bytes_ += bytes;
+        return candidate;
+      }
+    }
+  }
+  Bytes fresh = rng_.bytes(bytes);
+  if (library_.size() < library_cap_) {
+    library_.push_back(fresh);
+  }
+  return fresh;
+}
+
 }  // namespace unidrive::workload

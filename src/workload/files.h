@@ -26,4 +26,38 @@ std::vector<sched::UploadFileSpec> upload_specs(
 // Random (incompressible) file content for real-client benches/examples.
 Bytes random_file(Rng& rng, std::size_t bytes);
 
+// File source with a controllable duplicate-content ratio for the dedup
+// benches and scenarios. Each produced file is either fresh random bytes
+// (recorded into a bounded library) or, with probability `ratio`, a byte-
+// identical copy of a library file — so two sources seeded alike emit the
+// same popular files, modelling cross-user duplication. Duplicates repeat a
+// whole file, which keeps the measured dup ratio independent of CDC
+// boundary resynchronization.
+class DuplicatingSource {
+ public:
+  DuplicatingSource(double ratio, std::size_t library_cap, std::uint64_t seed)
+      : ratio_(ratio), library_cap_(library_cap), rng_(seed) {}
+
+  // A fresh or duplicated file of exactly `bytes` bytes. Duplicates are
+  // drawn per target size, so the caller's size distribution is preserved.
+  Bytes next_file(std::size_t bytes);
+
+  // Bytes emitted that repeated an earlier file, and the total.
+  [[nodiscard]] std::uint64_t duplicate_bytes() const noexcept {
+    return duplicate_bytes_;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return total_bytes_;
+  }
+
+ private:
+  double ratio_;
+  std::size_t library_cap_;
+  Rng rng_;
+  // Library keyed by file size: duplicates must match the requested size.
+  std::vector<Bytes> library_;
+  std::uint64_t duplicate_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
 }  // namespace unidrive::workload

@@ -119,8 +119,20 @@ Trial generate_trial(const TrialConfig& config, std::uint64_t seed) {
     } while (rng.next_double() >
              0.55 + 0.45 * std::sin(2 * M_PI * t / 86400.0));
     ev.time = t;
-    ev.kind = draw_kind(rng);
-    ev.bytes = draw_size(rng, ev.kind);
+    // A duplicate repeats the content (and therefore kind and size) of an
+    // earlier upload; the first event is necessarily original.
+    if (!trial.events.empty() &&
+        rng.next_double() < config.duplication_ratio) {
+      const UploadEvent& source =
+          trial.events[rng.next_below(trial.events.size())];
+      ev.kind = source.kind;
+      ev.bytes = source.bytes;
+      ev.duplicate = true;
+      trial.duplicate_bytes += ev.bytes;
+    } else {
+      ev.kind = draw_kind(rng);
+      ev.bytes = draw_size(rng, ev.kind);
+    }
     trial.total_bytes += ev.bytes;
     trial.events.push_back(ev);
   }

@@ -26,6 +26,10 @@ struct UploadEvent {
   double time = 0;           // seconds within the trial window
   std::uint64_t bytes = 0;
   enum class Kind { kDocument, kMultimedia, kOther } kind = Kind::kDocument;
+  // Content identical to an earlier upload in the trial (possibly by a
+  // different user/site): a content-addressed stack suppresses its
+  // transfer, a dedup-free one re-uploads all of `bytes`.
+  bool duplicate = false;
 };
 
 struct TrialConfig {
@@ -33,12 +37,17 @@ struct TrialConfig {
   std::size_t num_sites = 21;
   std::size_t num_files = 96982;
   double duration_days = 7;  // the window Figures 15-16 report
+  // Fraction of uploads whose content repeats an earlier upload (the paper
+  // avoided dedup with random content; real fleets sit anywhere between 0
+  // and ~0.75 — shared documents, re-synced media libraries).
+  double duplication_ratio = 0.0;
 };
 
 struct Trial {
   std::vector<TrialSite> sites;
   std::vector<UploadEvent> events;  // sorted by time
   std::uint64_t total_bytes = 0;
+  std::uint64_t duplicate_bytes = 0;  // subset of total carried by duplicates
 };
 
 Trial generate_trial(const TrialConfig& config, std::uint64_t seed);

@@ -5,7 +5,8 @@
 #include "chunker/cdc.h"
 #include "chunker/segmenter.h"
 #include "common/rng.h"
-#include "crypto/sha1.h"
+#include "crypto/convergent.h"
+#include "crypto/sha256.h"
 
 namespace unidrive::chunker {
 namespace {
@@ -143,13 +144,15 @@ TEST(SegmenterTest, SizeClampRespected) {
   }
 }
 
-TEST(SegmenterTest, IdIsSha1OfContent) {
+TEST(SegmenterTest, IdIsSha256OfContent) {
   Rng rng(9);
   const Bytes data = rng.bytes(300000);
   const auto segments = segment_file(ByteSpan(data), seg_params());
   for (const Segment& s : segments) {
     EXPECT_EQ(s.id,
-              crypto::Sha1::hex(ByteSpan(data).subspan(s.offset, s.length)));
+              crypto::Sha256::hex(ByteSpan(data).subspan(s.offset, s.length)));
+    EXPECT_TRUE(crypto::verify_segment_id(
+        s.id, ByteSpan(data).subspan(s.offset, s.length)));
   }
 }
 

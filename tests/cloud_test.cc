@@ -285,7 +285,11 @@ TEST(StatsCloudTest, ResetClears) {
 class DirectoryCloudTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    root_ = (std::filesystem::temp_directory_path() / "unidrive_dircloud")
+    // Unique per test case: ctest runs each case as its own process, so a
+    // shared directory would be clobbered by concurrent SetUp/TearDown.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = (std::filesystem::temp_directory_path() /
+             (std::string("unidrive_dircloud_") + info->name()))
                 .string();
     std::filesystem::remove_all(root_);
   }

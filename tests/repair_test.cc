@@ -19,6 +19,7 @@
 #include "core/client.h"
 #include "core/local_fs.h"
 #include "core/sync_daemon.h"
+#include "crypto/convergent.h"
 #include "metadata/types.h"
 #include "repair/engine.h"
 #include "repair/scrubber.h"
@@ -88,8 +89,10 @@ void expect_all_blocks_intact(Rig& rig) {
       ASSERT_TRUE(stored.is_ok())
           << "block " << metadata::block_name(id, loc.block_index)
           << " absent from cloud " << loc.cloud;
+      const unidrive::Bytes sealed =
+          crypto::convergent_seal(id, ByteSpan(plain.value()));
       const auto expected =
-          code.encode_shards(ByteSpan(plain.value()), {loc.block_index});
+          code.encode_shards(ByteSpan(sealed), {loc.block_index});
       EXPECT_EQ(stored.value(), expected.front().data)
           << "block " << metadata::block_name(id, loc.block_index)
           << " on cloud " << loc.cloud << " does not match its codeword";
