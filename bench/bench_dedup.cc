@@ -113,7 +113,8 @@ class SplitNamespaceCloud final : public cloud::CloudProvider {
 
  private:
   cloud::CloudProvider* route(const std::string& path) {
-    return path.rfind("/data", 0) == 0 ? data_.get() : private_.get();
+    return path == "/data" || path.rfind("/data/", 0) == 0 ? data_.get()
+                                                           : private_.get();
   }
   cloud::CloudPtr data_;
   cloud::CloudPtr private_;

@@ -48,9 +48,12 @@ class SplitNamespaceCloud final : public CloudProvider {
 
  private:
   // The literal must match metadata::kDataDir; spelled here because the
-  // cloud layer sits below metadata and cannot include its headers.
+  // cloud layer sits below metadata and cannot include its headers. The
+  // separator is part of the match so "/database" or "/data2" cannot
+  // silently land on the shared plane.
   CloudProvider* route(const std::string& path) {
-    return path.rfind("/data", 0) == 0 ? data_.get() : private_.get();
+    return path == "/data" || path.rfind("/data/", 0) == 0 ? data_.get()
+                                                           : private_.get();
   }
   CloudPtr data_;
   CloudPtr private_;

@@ -1,6 +1,7 @@
 #include "core/client.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <filesystem>
 #include <fstream>
@@ -71,9 +72,22 @@ UniDriveClient::UniDriveClient(cloud::MultiCloud clouds,
   export_kernel_gauges(obs_.get());
   rebuild_async_clouds();
   load_state();
-  // Register the persisted state's references in the shared segment pool,
-  // so other folders' GC protects our segments from the first round on.
   if (config_.pool != nullptr) {
+    // The pool's refcounts are keyed by folder id; an empty (unset) id gets
+    // a process-unique one so two unrelated clients can never collapse into
+    // one folder and GC each other's blocks. Dedup still works (probes are
+    // by content), but devices of one folder should share an explicit id.
+    if (config_.folder_id.empty()) {
+      static std::atomic<std::uint64_t> next_anonymous_folder{0};
+      config_.folder_id =
+          "folder-auto-" +
+          std::to_string(next_anonymous_folder.fetch_add(1)) + "-" +
+          config_.device;
+      UNI_LOG(kWarn) << "client with a shared segment pool but no folder_id;"
+                     << " derived unique id " << config_.folder_id;
+    }
+    // Register the persisted state's references in the shared segment pool,
+    // so other folders' GC protects our segments from the first round on.
     config_.pool->absorb_image(config_.folder_id, image_);
   }
 }
@@ -779,7 +793,11 @@ Result<SyncReport> UniDriveClient::sync() {
       const UploadPipeline::DedupStats dedup = pipeline->dedup_stats();
       report.segments_deduped = dedup.segments;
       report.dedup_bytes_saved = dedup.bytes_saved;
-      report.segments_uploaded = uploaded.size() - dedup.segments;
+      // `uploaded` carries one record per fed segment, dedup hits
+      // included; clamp so a result subset can never underflow size_t.
+      report.segments_uploaded = uploaded.size() >= dedup.segments
+                                     ? uploaded.size() - dedup.segments
+                                     : 0;
     } else {
       report.segments_uploaded = uploaded.size();
     }
@@ -943,6 +961,11 @@ Result<std::size_t> UniDriveClient::collect_garbage() {
                     metadata::block_path(seg_id, b.block_index));
               }
             }
+            // Deletes done: lift the tombstone so probes (held off while
+            // the removes were in flight — a racing re-upload of the same
+            // content would land on the exact paths being deleted) can
+            // miss-and-upload safely again.
+            if (config_.pool != nullptr) config_.pool->finish_gc(seg_id);
           } else {
             obs::add_counter(obs_.get(), "dedup.gc.shared_keep");
           }

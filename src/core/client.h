@@ -90,8 +90,15 @@ struct ClientConfig {
   // of one sync folder must use the same id and distinct folders over the
   // same clouds must use distinct ids. Null = no cross-client dedup (the
   // scanner still dedups within the folder's own image).
+  //
+  // No default id: two folders silently sharing one id would be counted as
+  // ONE folder by the refcount index, and each folder's GC could then
+  // delete blocks the other still references. When `pool` is set and this
+  // is left empty, the client derives a process-unique id at construction
+  // (safe — every client then protects its own references — but devices of
+  // one folder stop sharing refcounts, so set it explicitly).
   dedup::PoolIndexPtr pool;
-  std::string folder_id = "folder";
+  std::string folder_id;
 };
 
 struct SyncReport {

@@ -377,12 +377,22 @@ Result<std::vector<SegmentInfo>> UploadPipeline::finish_monolithic() {
     std::lock_guard<std::mutex> lock(mem_mutex_);
     release_bytes_locked(inflight_);
   };
-  if (segments.empty() || cancelled_.load()) {
+  if (cancelled_.load()) {
     drop_all();
-    if (cancelled_.load() && !segments.empty()) {
-      return make_error(ErrorCode::kUnavailable, "upload pipeline cancelled");
-    }
-    return empty;
+    if (fed_.empty()) return empty;
+    return make_error(ErrorCode::kUnavailable, "upload pipeline cancelled");
+  }
+  if (segments.empty()) {
+    drop_all();
+    if (fed_.empty()) return empty;
+    // Nothing to upload but fed_ is not empty: every fed segment was a
+    // pool hit. Their SegmentInfos must still be emitted, or the caller
+    // would commit file changes referencing segments that never get an
+    // upsert_segment record — blockless, dangling refs whose probe pin is
+    // later released without a committed reference backing it.
+    return build_results(
+        [](const std::string&) { return std::vector<metadata::BlockLocation>{}; },
+        0);
   }
 
   // Seal once up front; the per-block transfer lambda below re-encodes from

@@ -64,6 +64,18 @@ bool verify_segment_id(std::string_view id, ByteSpan plaintext) {
   return false;
 }
 
+std::string storage_address(std::string_view id) {
+  if (segment_id_kind(id) != SegmentIdKind::kSha256) return std::string(id);
+  const Bytes raw = from_hex(id);
+  Sha256 h;
+  static constexpr char kDomain[] = "unidrive.convergent.addr.v1";
+  h.update(ByteSpan(reinterpret_cast<const std::uint8_t*>(kDomain),
+                    sizeof(kDomain) - 1));
+  h.update(ByteSpan(raw.data(), raw.size()));
+  const Sha256::Digest d = h.finish();
+  return to_hex(ByteSpan(d.data(), d.size()));
+}
+
 Bytes convergent_seal(std::string_view id, ByteSpan plaintext) {
   Bytes out(plaintext.begin(), plaintext.end());
   convergent_seal_inplace(id, out);

@@ -39,6 +39,17 @@ enum class SegmentIdKind {
 // True when `plaintext` hashes to `id` under the id's own hash family.
 [[nodiscard]] bool verify_segment_id(std::string_view id, ByteSpan plaintext);
 
+// Data-plane name stem of a segment's block objects. The convergent key IS
+// the id's leading bytes, so the id must never appear on the shared /data
+// plane (any party that can list the pool would read the decryption key out
+// of the filenames). Blocks are therefore addressed by a second,
+// domain-separated SHA-256 over the raw id — one-way, so the name reveals
+// no key material, yet still deterministic in the content, so convergence
+// and cross-user dedup are unaffected. Legacy SHA-1 ids predate sealing
+// (they are not key material) and pass through unchanged, which keeps
+// blocks written before the upgrade reachable at their original paths.
+[[nodiscard]] std::string storage_address(std::string_view id);
+
 // Plaintext -> sealed payload for the segment named `id` (which the caller
 // must have derived from this plaintext). Legacy SHA-1 ids are sealed with
 // the identity transform — their blocks predate convergent sealing.

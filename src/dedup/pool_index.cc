@@ -1,8 +1,17 @@
 #include "dedup/pool_index.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace unidrive::dedup {
+
+namespace {
+// Backstop so a leaked tombstone (a GC'ing client that died between
+// try_begin_gc and finish_gc) degrades to the pre-tombstone behavior
+// (probe misses, re-upload may race a dead client's deletes) instead of
+// wedging every prober of that id forever.
+constexpr std::chrono::seconds kTombstoneWait{5};
+}  // namespace
 
 std::size_t SegmentPoolIndex::distinct_block_indices(const Entry& e) {
   std::set<std::uint32_t> idx;
@@ -13,7 +22,13 @@ std::size_t SegmentPoolIndex::distinct_block_indices(const Entry& e) {
 SegmentPoolIndex::ProbeResult SegmentPoolIndex::probe_and_retain(
     const std::string& folder, const std::string& id,
     std::uint64_t expected_size, std::size_t min_distinct_blocks) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  // A tombstoned id has block deletes in flight. Answering now would be
+  // wrong either way: a hit hands out dying locations, a miss triggers a
+  // re-upload to the very paths still being removed (paths are
+  // deterministic in the content). Wait for finish_gc, then answer.
+  tombstone_cv_.wait_for(lock, kTombstoneWait,
+                         [&] { return tombstones_.count(id) == 0; });
   ++probes_;
   ProbeResult r;
   auto it = entries_.find(id);
@@ -95,16 +110,26 @@ bool SegmentPoolIndex::try_begin_gc(const std::string& folder,
                                     const std::string& id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(id);
-  if (it == entries_.end()) return true;
-  const Entry& e = it->second;
-  for (const std::string& f : e.folders) {
-    if (f != folder) return false;
+  if (it != entries_.end()) {
+    const Entry& e = it->second;
+    for (const std::string& f : e.folders) {
+      if (f != folder) return false;
+    }
+    for (const std::string& f : e.pinned) {
+      if (f != folder) return false;
+    }
+    entries_.erase(it);
   }
-  for (const std::string& f : e.pinned) {
-    if (f != folder) return false;
-  }
-  entries_.erase(it);
+  ++tombstones_[id];
   return true;
+}
+
+void SegmentPoolIndex::finish_gc(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tombstones_.find(id);
+  if (it == tombstones_.end()) return;
+  if (--it->second == 0) tombstones_.erase(it);
+  tombstone_cv_.notify_all();
 }
 
 PoolStats SegmentPoolIndex::stats() const {

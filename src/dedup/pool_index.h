@@ -1,7 +1,9 @@
 // In-process fingerprint index over the content-addressed segment pool
 // (DESIGN.md §13). Block objects live at the folder-less path
-// `/data/<id>_<idx>`, so every folder synced over the same cloud set shares
-// one physical pool; this index is the shared view of it. The upload
+// `/data/<addr>_<idx>` — `addr` a one-way fingerprint of the segment id
+// (crypto::storage_address), deterministic in the content — so every folder
+// synced over the same cloud set shares one physical pool; this index is
+// the shared view of it. The upload
 // pipeline probes it before encode/transfer (a hit skips both and commits
 // only a file→segment reference), and per-folder GC consults it so a block
 // still referenced by another folder is never deleted.
@@ -13,7 +15,11 @@
 //     cannot free the blocks between the probe and the pin;
 //   - try_begin_gc: the reverse — if no other folder holds the segment the
 //     entry is removed *before* the caller deletes blocks, so a concurrent
-//     probe can no longer hand out soon-to-be-deleted locations.
+//     probe can no longer hand out soon-to-be-deleted locations. A granted
+//     GC additionally leaves a tombstone until finish_gc(): block paths
+//     are deterministic, so without it a prober that misses could re-upload
+//     the same content to the exact paths the in-flight deletes are about
+//     to remove. Probes for a tombstoned id wait (bounded) for the clear.
 //
 // Entries enter only via absorb_image (committed folder images) and
 // probe_and_retain, so a probe never returns blocks that were not durably
@@ -22,6 +28,7 @@
 // refcounts; this index only answers "does anyone ELSE still need it?").
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -78,9 +85,16 @@ class SegmentPoolIndex {
 
   // GC guard: if another folder references `id`, returns false (the caller
   // must keep the physical blocks). Otherwise removes the entry — so no
-  // concurrent probe can hand it out again — and returns true (the caller
-  // may delete the blocks). Unknown ids return true: nothing to protect.
+  // concurrent probe can hand it out again — tombstones the id, and
+  // returns true (the caller may delete the blocks, then MUST finish_gc).
+  // Unknown ids return true: nothing to protect, but the tombstone is
+  // still taken (their blocks may exist and be mid-delete).
   bool try_begin_gc(const std::string& folder, const std::string& id);
+
+  // Clears the tombstone taken by a granted try_begin_gc once the caller's
+  // block deletes completed; wakes probes waiting on it. One clear per
+  // grant (concurrent GCs of one id hold the tombstone until the last).
+  void finish_gc(const std::string& id);
 
   [[nodiscard]] PoolStats stats() const;
   [[nodiscard]] std::size_t entry_count() const;
@@ -98,7 +112,10 @@ class SegmentPoolIndex {
   static std::size_t distinct_block_indices(const Entry& e);
 
   mutable std::mutex mu_;
+  std::condition_variable tombstone_cv_;
   std::map<std::string, Entry> entries_;
+  // id -> outstanding try_begin_gc grants whose deletes are in flight.
+  std::map<std::string, std::size_t> tombstones_;
   std::uint64_t probes_ = 0;
   std::uint64_t hits_ = 0;
 };

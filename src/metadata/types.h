@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cloud/provider.h"
+#include "crypto/convergent.h"
 
 namespace unidrive::metadata {
 
@@ -85,10 +86,16 @@ inline constexpr const char* kBasePath = "/meta/base";
 inline constexpr const char* kDeltaPath = "/meta/delta";
 inline constexpr const char* kVersionPath = "/meta/version";
 
-// Cloud filename of a block: "<segment-id>_<block-index>".
+// Cloud filename of a block: "<storage-address>_<block-index>". The address
+// is crypto::storage_address(segment_id) — a one-way fingerprint of the id,
+// NOT the id itself: the convergent key is derived from the id's leading
+// bytes, so publishing the id in a shared-plane filename would hand the
+// decryption key to anyone who can list the pool. Legacy SHA-1 ids map to
+// themselves, so pre-upgrade blocks keep their paths.
 inline std::string block_name(const std::string& segment_id,
                               std::uint32_t block_index) {
-  return segment_id + "_" + std::to_string(block_index);
+  return crypto::storage_address(segment_id) + "_" +
+         std::to_string(block_index);
 }
 inline std::string block_path(const std::string& segment_id,
                               std::uint32_t block_index) {

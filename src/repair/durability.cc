@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "crypto/convergent.h"
+
 namespace unidrive::repair {
 
 const char* defect_kind_name(DefectKind kind) noexcept {
@@ -200,8 +202,15 @@ DurabilitySummary DurabilityTracker::summarize(
   return summary;
 }
 
-bool block_referenced(const metadata::SyncFolderImage& image,
-                      cloud::CloudId cloud, const std::string& name) {
+BlockReferenceIndex::BlockReferenceIndex(
+    const metadata::SyncFolderImage& image) {
+  for (const auto& [id, segment] : image.segments()) {
+    by_address_[crypto::storage_address(id)] = segment.blocks;
+  }
+}
+
+bool BlockReferenceIndex::referenced(cloud::CloudId cloud,
+                                     const std::string& name) const {
   const std::size_t sep = name.rfind('_');
   if (sep == std::string::npos || sep == 0 || sep + 1 >= name.size()) {
     return false;
@@ -212,9 +221,9 @@ bool block_referenced(const metadata::SyncFolderImage& image,
     if (c < '0' || c > '9') return false;
     index = index * 10 + static_cast<std::uint32_t>(c - '0');
   }
-  const metadata::SegmentInfo* segment = image.find_segment(name.substr(0, sep));
-  if (segment == nullptr) return false;
-  for (const metadata::BlockLocation& loc : segment->blocks) {
+  const auto it = by_address_.find(name.substr(0, sep));
+  if (it == by_address_.end()) return false;
+  for (const metadata::BlockLocation& loc : it->second) {
     if (loc.block_index == index && loc.cloud == cloud) return true;
   }
   return false;

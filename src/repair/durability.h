@@ -74,7 +74,7 @@ class DurabilityTracker {
   // --- orphan quarantine --------------------------------------------------
   struct OrphanKey {
     cloud::CloudId cloud = 0;
-    std::string name;  // leaf name under /data, "<segment-id>_<index>"
+    std::string name;  // leaf name under /data, "<storage-address>_<index>"
     friend bool operator<(const OrphanKey& a, const OrphanKey& b) noexcept {
       if (a.cloud != b.cloud) return a.cloud < b.cloud;
       return a.name < b.name;
@@ -142,12 +142,24 @@ class DurabilityTracker {
 void publish_durability_gauges(const DurabilitySummary& summary,
                                obs::Observability* obs);
 
-// True when the committed image references an object named `name` (the
-// "<segment-id>_<index>" leaf under /data) on `cloud` — by ANY pool entry,
-// including refcount-zero ones: their blocks belong to the segment GC
-// path, not the orphan collector. Unparsable names are unreferenced.
-[[nodiscard]] bool block_referenced(const metadata::SyncFolderImage& image,
-                                    cloud::CloudId cloud,
-                                    const std::string& name);
+// Answers "does the committed image reference this /data object?" for the
+// orphan sweep. Block leaf names are "<storage-address>_<index>" where the
+// address is a one-way fingerprint of the segment id (crypto::
+// storage_address) — the id cannot be parsed back out of the name, so the
+// reverse map address → placements is precomputed here, once per image.
+// Build one per scrub pass / orphan drain. An object counts as referenced
+// when ANY pool entry places it, including refcount-zero ones: their
+// blocks belong to the segment GC path, not the orphan collector.
+// Unparsable names are unreferenced.
+class BlockReferenceIndex {
+ public:
+  explicit BlockReferenceIndex(const metadata::SyncFolderImage& image);
+  [[nodiscard]] bool referenced(cloud::CloudId cloud,
+                                const std::string& name) const;
+
+ private:
+  // storage address -> placements of the segment stored under it.
+  std::map<std::string, std::vector<metadata::BlockLocation>> by_address_;
+};
 
 }  // namespace unidrive::repair

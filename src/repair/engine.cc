@@ -259,11 +259,12 @@ void RepairEngine::collect_orphans(std::size_t& budget, RepairOutcome& out) {
   const std::vector<DurabilityTracker::OrphanKey> collectable =
       tracker_->collectable_orphans(client_.image().version(), now,
                                     config_.orphan_grace);
+  // Last-line recheck against the FRESHEST committed image we hold: if a
+  // commit adopted an object since quarantine began, it is live data.
+  const BlockReferenceIndex referenced(client_.image());
   for (const DurabilityTracker::OrphanKey& key : collectable) {
     if (budget == 0) break;
-    // Last-line recheck against the FRESHEST committed image we hold: if a
-    // commit adopted the object since quarantine began, it is live data.
-    if (block_referenced(client_.image(), key.cloud, key.name)) {
+    if (referenced.referenced(key.cloud, key.name)) {
       tracker_->drop_orphan(key);
       continue;
     }

@@ -187,12 +187,15 @@ void Scrubber::collect_orphans(const metadata::SyncFolderImage& image,
                                TimePoint now, ScrubReport& report) {
   std::set<DurabilityTracker::OrphanKey> sighted;
   std::set<cloud::CloudId> listed;
+  // Stored names are one-way fingerprints of the segment id, so the
+  // reverse lookup is precomputed once over the snapshot image.
+  const BlockReferenceIndex referenced(image);
   for (const auto& [cloud_id, listing] : listings) {
     if (!listing.ok) continue;
     listed.insert(cloud_id);
     for (const auto& [name, size] : listing.files) {
       (void)size;
-      if (block_referenced(image, cloud_id, name)) continue;
+      if (referenced.referenced(cloud_id, name)) continue;
       sighted.insert(DurabilityTracker::OrphanKey{cloud_id, name});
     }
   }

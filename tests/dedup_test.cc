@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <set>
@@ -99,6 +101,29 @@ TEST(ConvergentTest, VerifySegmentId) {
   EXPECT_FALSE(crypto::verify_segment_id(id, ByteSpan(other)));
 }
 
+TEST(ConvergentTest, StorageAddressRevealsNoKeyMaterial) {
+  Rng rng(7);
+  const Bytes plain = rng.bytes(2048);
+  const std::string id = crypto::segment_id(ByteSpan(plain));
+  const std::string addr = crypto::storage_address(id);
+  // The convergent key is the id's leading bytes, so the on-cloud name must
+  // be a different (one-way) string — never the id itself or a prefix
+  // relationship in either direction.
+  ASSERT_EQ(addr.size(), 64u);
+  EXPECT_NE(addr, id);
+  EXPECT_NE(addr.substr(0, 32), id.substr(0, 32));
+  // Deterministic in the content: convergence (and dedup) is preserved.
+  EXPECT_EQ(addr, crypto::storage_address(id));
+  // Legacy SHA-1 ids are not key material and keep their original address,
+  // so pre-upgrade blocks stay reachable at their old paths.
+  const std::string sha1_id = crypto::Sha1::hex(ByteSpan(plain));
+  EXPECT_EQ(crypto::storage_address(sha1_id), sha1_id);
+  // block_name embeds the address, not the id.
+  const std::string name = metadata::block_name(id, 3);
+  EXPECT_EQ(name, addr + "_3");
+  EXPECT_EQ(name.find(id), std::string::npos);
+}
+
 // --- pool index --------------------------------------------------------------
 
 metadata::SyncFolderImage image_with_segment(const std::string& id,
@@ -167,11 +192,33 @@ TEST(PoolIndexTest, GcGuardProtectsSharedSegments) {
   // fB stops referencing it (empty committed image), then fA may.
   pool.absorb_image("fB", metadata::SyncFolderImage{});
   EXPECT_TRUE(pool.try_begin_gc("fA", id));
+  pool.finish_gc(id);  // deletes "done"; probes may answer again
   // The entry is gone the moment GC is granted: a late probe cannot be
   // handed soon-to-be-deleted block locations.
   EXPECT_FALSE(pool.probe_and_retain("fC", id, 80, 3).hit);
   // Unknown ids are trivially collectable.
   EXPECT_TRUE(pool.try_begin_gc("fA", std::string(64, 'e')));
+  pool.finish_gc(std::string(64, 'e'));
+}
+
+TEST(PoolIndexTest, TombstoneStallsProbesUntilFinishGc) {
+  SegmentPoolIndex pool;
+  const std::string id(64, 'f');
+  pool.absorb_image("fA", image_with_segment(id, 70, 5));
+  ASSERT_TRUE(pool.try_begin_gc("fA", id));
+  // Block deletes are now "in flight". A prober must not be answered until
+  // finish_gc — a miss would trigger a re-upload onto the exact
+  // (deterministic) paths the deletes are still removing.
+  std::atomic<bool> deletes_done{false};
+  std::thread prober([&pool, &id, &deletes_done] {
+    const auto probe = pool.probe_and_retain("fB", id, 70, 3);
+    EXPECT_FALSE(probe.hit);  // entry was removed at GC grant
+    EXPECT_TRUE(deletes_done.load());  // ...but the answer waited for it
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  deletes_done.store(true);
+  pool.finish_gc(id);
+  prober.join();
 }
 
 TEST(PoolIndexTest, ConcurrentProbeReleaseGcIsRaceFree) {
@@ -204,7 +251,8 @@ TEST(PoolIndexTest, ConcurrentProbeReleaseGcIsRaceFree) {
   });
   workers.emplace_back([&pool, &ids] {
     for (int round = 0; round < 100; ++round) {
-      (void)pool.try_begin_gc("gc", ids[round % kSegments]);
+      const std::string& id = ids[round % kSegments];
+      if (pool.try_begin_gc("gc", id)) pool.finish_gc(id);
     }
   });
   for (auto& t : workers) t.join();
@@ -274,7 +322,7 @@ TEST(ConvergenceTest, TwoIndependentUsersProduceIdenticalBlocks) {
   const auto blocks_a = data_objects(clouds_a);
   const auto blocks_b = data_objects(clouds_b);
   ASSERT_FALSE(blocks_a.empty());
-  // Both users derive the same segment ids from the content...
+  // Both users derive the same storage addresses from the content...
   std::set<std::string> segments_a, segments_b;
   for (const auto& [name, bytes] : blocks_a) {
     segments_a.insert(name.substr(0, name.find('_')));
@@ -298,6 +346,18 @@ TEST(ConvergenceTest, TwoIndependentUsersProduceIdenticalBlocks) {
   }
   // Every segment must overlap in at least its k data blocks.
   EXPECT_GE(compared, segments_a.size() * 3);
+
+  // Shared-plane hygiene: no stored object name may embed a committed
+  // segment id — the convergent key is derived from the id, so a name that
+  // contained it would hand the decryption key to anyone listing the pool.
+  for (const auto& [seg_id, seg] : user_a.image().segments()) {
+    (void)seg;
+    for (const auto& [name, bytes] : blocks_a) {
+      (void)bytes;
+      EXPECT_EQ(name.find(seg_id), std::string::npos)
+          << "stored name " << name << " leaks segment id " << seg_id;
+    }
+  }
 }
 
 // --- cross-folder dedup over a shared data plane -----------------------------
@@ -334,7 +394,8 @@ class SplitNamespaceCloud final : public cloud::CloudProvider {
 
  private:
   cloud::CloudProvider* route(const std::string& path) {
-    return path.rfind("/data", 0) == 0 ? data_.get() : private_.get();
+    return path == "/data" || path.rfind("/data/", 0) == 0 ? data_.get()
+                                                           : private_.get();
   }
   cloud::CloudPtr data_;
   cloud::CloudPtr private_;
@@ -422,6 +483,60 @@ TEST(SharedPoolTest, SecondFolderShortCircuitsEncodeAndUpload) {
 
   // The deduped references must be durable: a second device of folder B
   // reconstructs the file purely from B's metadata + the shared pool.
+  auto fs_b2 = std::make_shared<MemoryLocalFs>();
+  auto b2 = rig.make_client("folderB", "devB2", fs_b2,
+                            rig.folder_clouds("fb"));
+  ASSERT_TRUE(b2->sync().is_ok());
+  EXPECT_EQ(fs_b2->read("/same-movie").value(), content);
+}
+
+TEST(SharedPoolTest, MonolithicRoundWithOnlyPoolHitsStillCommitsReferences) {
+  // Regression: with the staged pipeline disabled, the monolithic batch
+  // path used to return an empty result when every fed segment was a pool
+  // hit (nothing ever reached the pending upload map). The client then
+  // committed file snapshots referencing segments with no upsert_segment
+  // record — dangling refs whose probe pin was later released unbacked, so
+  // another folder's GC could delete the blocks from under them.
+  auto rig = make_rig(5);
+  Rng rng(111);
+  const Bytes content = rng.bytes(180000);
+
+  auto fs_a = std::make_shared<MemoryLocalFs>();
+  auto a = rig.make_client("folderA", "devA", fs_a, rig.folder_clouds("fa"));
+  ASSERT_TRUE(fs_a->write("/movie", ByteSpan(content)).is_ok());
+  ASSERT_TRUE(a->sync().is_ok());
+  const std::size_t blocks_after_a = rig.data_file_count();
+
+  // Folder B runs the monolithic path and hits the pool on EVERY segment.
+  auto fs_b = std::make_shared<MemoryLocalFs>();
+  ClientConfig cfg_b = small_config("devB");
+  cfg_b.pipeline.enabled = false;
+  cfg_b.pool = rig.pool;
+  cfg_b.folder_id = "folderB";
+  auto b = std::make_unique<UniDriveClient>(rig.folder_clouds("fb"), fs_b,
+                                            cfg_b);
+  ASSERT_TRUE(fs_b->write("/same-movie", ByteSpan(content)).is_ok());
+  const auto report_b = b->sync();
+  ASSERT_TRUE(report_b.is_ok()) << report_b.status().to_string();
+  EXPECT_GT(report_b.value().segments_deduped, 0u);
+  EXPECT_EQ(report_b.value().segments_uploaded, 0u);  // no underflow either
+  EXPECT_EQ(rig.data_file_count(), blocks_after_a);
+
+  // The committed image must carry a block map for every referenced
+  // segment (no blockless dangling refs)...
+  for (const auto& [path, snapshot] : b->image().files()) {
+    (void)path;
+    for (const std::string& seg_id : snapshot.segment_ids) {
+      const metadata::SegmentInfo* seg = b->image().find_segment(seg_id);
+      ASSERT_NE(seg, nullptr) << "dangling segment ref " << seg_id;
+      EXPECT_FALSE(seg->blocks.empty()) << "blockless segment " << seg_id;
+    }
+  }
+  // ...and folder A's GC must see folder B's committed references: after A
+  // deletes its file and collects, B can still read everything.
+  ASSERT_TRUE(fs_a->remove("/movie").is_ok());
+  ASSERT_TRUE(a->sync().is_ok());
+  ASSERT_TRUE(a->collect_garbage().is_ok());
   auto fs_b2 = std::make_shared<MemoryLocalFs>();
   auto b2 = rig.make_client("folderB", "devB2", fs_b2,
                             rig.folder_clouds("fb"));
